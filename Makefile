@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench figures examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Regenerate every table/figure of the paper's evaluation.
+figures:
+	go run ./cmd/fleetprofile
+	go run ./cmd/ubench -fig all -ops -ablation all
+	go run ./cmd/hyperbench -stats
+	go run ./cmd/asicreport -sweep
+
+bench:
+	go test -bench=. -benchmem ./...
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/rpcservice
+	go run ./examples/storagelog
+	go run ./examples/telemetry
+
+clean:
+	go clean ./...

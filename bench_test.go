@@ -1,0 +1,116 @@
+// Package protoacc's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation through `go test -bench`:
+//
+//	BenchmarkFig11a*  — deserialization microbenchmarks, non-alloc types
+//	BenchmarkFig11b*  — serialization microbenchmarks, inline types
+//	BenchmarkFig11c*  — deserialization microbenchmarks, alloc types
+//	BenchmarkFig11d*  — serialization microbenchmarks, non-inline types
+//	BenchmarkHyperDeser* / BenchmarkHyperSer* — Figures 12 and 13
+//	BenchmarkAblation* — the DESIGN.md A1-A5 ablations
+//
+// Each benchmark drives the full simulated system (functional + timing)
+// and reports the simulated throughput as the custom metric
+// "Gbit/s(simulated)" — the figure's y-axis — alongside Go's wall-clock
+// ns/op for the simulation itself.
+package protoacc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"protoacc/internal/bench"
+	"protoacc/internal/core"
+)
+
+// runSim runs workload w on system k once per b.N iteration and reports
+// the simulated throughput metric.
+func runSim(b *testing.B, k core.Kind, op bench.Op, w bench.Workload, opts bench.Options) {
+	b.Helper()
+	var m bench.Measurement
+	var err error
+	for i := 0; i < b.N; i++ {
+		m, err = bench.Run(k, op, w, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.GbitsPS, "Gbit/s(simulated)")
+	b.SetBytes(int64(w.Bytes))
+}
+
+// benchSet registers one sub-benchmark per (workload, system).
+func benchSet(b *testing.B, op bench.Op, workloads []bench.Workload, opts bench.Options) {
+	b.Helper()
+	for _, w := range workloads {
+		w := w
+		for _, k := range []core.Kind{core.KindBOOM, core.KindXeon, core.KindAccel} {
+			k := k
+			b.Run(fmt.Sprintf("%s/%s", w.Name, k), func(b *testing.B) {
+				runSim(b, k, op, w, opts)
+			})
+		}
+	}
+}
+
+func BenchmarkFig11aDeserNonAlloc(b *testing.B) {
+	benchSet(b, bench.Deserialize, bench.NonAllocWorkloads(), bench.DefaultOptions())
+}
+
+func BenchmarkFig11bSerInline(b *testing.B) {
+	benchSet(b, bench.Serialize, bench.NonAllocWorkloads(), bench.DefaultOptions())
+}
+
+func BenchmarkFig11cDeserAlloc(b *testing.B) {
+	benchSet(b, bench.Deserialize, bench.AllocWorkloads(), bench.DefaultOptions())
+}
+
+func BenchmarkFig11dSerNonInline(b *testing.B) {
+	benchSet(b, bench.Serialize, bench.AllocWorkloads(), bench.DefaultOptions())
+}
+
+// hyperOnce caches the generated suites; regeneration is deterministic
+// but not free.
+var hyperOnce = sync.OnceValues(func() ([]bench.Workload, error) {
+	return bench.HyperWorkloads()
+})
+
+func BenchmarkHyperDeser(b *testing.B) {
+	ws, err := hyperOnce()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSet(b, bench.Deserialize, ws, bench.HyperOptions())
+}
+
+func BenchmarkHyperSer(b *testing.B) {
+	ws, err := hyperOnce()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSet(b, bench.Serialize, ws, bench.HyperOptions())
+}
+
+func BenchmarkAblationFieldUnitCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblation(bench.AblFieldUnits, bench.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStackDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblation(bench.AblStackDepth, bench.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMemloaderWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblation(bench.AblMemloaderWidth, bench.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command asicreport prints the accelerator's 22 nm silicon cost model
+// (§5.3 of the paper): per-block area and critical path for the
+// deserializer and serializer units, plus scaling sweeps over the main
+// design parameters.
+//
+// Usage:
+//
+//	asicreport [-sweep]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"protoacc/internal/accel/asic"
+	"protoacc/internal/accel/deser"
+	"protoacc/internal/accel/ser"
+)
+
+func main() {
+	sweep := flag.Bool("sweep", false, "print parameter sweeps")
+	flag.Parse()
+
+	d := asic.Deserializer(deser.DefaultConfig())
+	s := asic.Serializer(ser.DefaultConfig())
+	fmt.Println(d)
+	fmt.Println(s)
+	area, freq := asic.Combined(deser.DefaultConfig(), ser.DefaultConfig())
+	fmt.Printf("combined accelerator: %.3f mm^2, worst-unit clock %.2f GHz\n", area, freq)
+	fmt.Println("paper (§5.3): deserializer 0.133 mm^2 @ 1.95 GHz, serializer 0.278 mm^2 @ 1.84 GHz")
+
+	if !*sweep {
+		return
+	}
+	fmt.Println("\nmemloader width sweep (deserializer):")
+	fmt.Printf("  %-8s %12s %10s\n", "width", "area mm^2", "GHz")
+	for _, w := range []uint64{8, 16, 32, 64} {
+		cfg := deser.DefaultConfig()
+		cfg.MemloaderWidth = w
+		r := asic.Deserializer(cfg)
+		fmt.Printf("  %-8d %12.4f %10.2f\n", w, r.TotalAreaMM2(), r.FrequencyGHz())
+	}
+	fmt.Println("\nfield serializer unit sweep (serializer):")
+	fmt.Printf("  %-8s %12s %10s\n", "units", "area mm^2", "GHz")
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		cfg := ser.DefaultConfig()
+		cfg.NumFieldUnits = n
+		r := asic.Serializer(cfg)
+		fmt.Printf("  %-8d %12.4f %10.2f\n", n, r.TotalAreaMM2(), r.FrequencyGHz())
+	}
+	fmt.Println("\nmetadata stack depth sweep (deserializer):")
+	fmt.Printf("  %-8s %12s\n", "depth", "area mm^2")
+	for _, d := range []int{12, 25, 50, 100} {
+		cfg := deser.DefaultConfig()
+		cfg.OnChipStackDepth = d
+		fmt.Printf("  %-8d %12.4f\n", d, asic.Deserializer(cfg).TotalAreaMM2())
+	}
+}

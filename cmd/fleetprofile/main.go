@@ -1,0 +1,226 @@
+// Command fleetprofile regenerates the paper's Section 3 profiling study:
+// Table 1 and Figures 2 through 7, printed as data tables. Figures 5 and 6
+// are re-derived the way the paper describes (§3.6.4): the 24-slice
+// byte-share model is combined with per-byte costs measured by this
+// project's own microbenchmarks on the BOOM baseline model.
+//
+// Usage:
+//
+//	fleetprofile [-section all|types|cycles|sizes|fields|density|depth|rpc|dstime|sertime]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"protoacc/internal/bench"
+	"protoacc/internal/core"
+	"protoacc/internal/fleet"
+	"protoacc/internal/hyperbench"
+	"protoacc/internal/pb/protoparse"
+	"protoacc/internal/pb/registry"
+	"protoacc/internal/pb/schema"
+)
+
+func main() {
+	section := flag.String("section", "all", "which section to print")
+	flag.Parse()
+	sections := map[string]func() error{
+		"types":   types,
+		"cycles":  cycles,
+		"sizes":   sizes,
+		"fields":  fields,
+		"density": density,
+		"depth":   depth,
+		"rpc":     rpc,
+		"protodb": protodb,
+		"dstime": func() error {
+			return timeByType(bench.Deserialize, "Figure 5: Estimated deser. time by field type, fleet-wide")
+		},
+		"sertime": func() error {
+			return timeByType(bench.Serialize, "Figure 6: Estimated ser. time by field type, fleet-wide")
+		},
+	}
+	order := []string{"types", "cycles", "sizes", "fields", "density", "depth", "rpc", "protodb", "dstime", "sertime"}
+	if *section != "all" {
+		f, ok := sections[*section]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown section %q\n", *section)
+			os.Exit(2)
+		}
+		if err := f(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range order {
+		if err := sections[name](); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func types() error {
+	fmt.Println("Table 1: Classification of protobuf field types")
+	fmt.Printf("%-16s %-40s %s\n", "class", "protobuf types", "sizes (bytes)")
+	rows := []struct {
+		class schema.PerfClass
+		types string
+		sizes string
+	}{
+		{schema.ClassBytesLike, "bytes, string", "see Figure 4c buckets"},
+		{schema.ClassVarintLike, "{s,u}int{64,32}, int{64,32}, enum, bool", "1-10, by 1"},
+		{schema.ClassFloatLike, "float", "4"},
+		{schema.ClassDoubleLike, "double", "8"},
+		{schema.ClassFixed32Like, "fixed32, sfixed32", "4"},
+		{schema.ClassFixed64Like, "fixed64, sfixed64", "8"},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-16s %-40s %s\n", r.class, r.types, r.sizes)
+	}
+	return nil
+}
+
+func cycles() error {
+	fmt.Println("Figure 2: Fleet-wide C++ protobuf cycles by operation")
+	fmt.Printf("(protobufs: %.1f%% of fleet cycles; %.0f%% of protobuf cycles in C++)\n",
+		fleet.FleetCyclesInProtobuf*100, fleet.ProtobufCyclesInCpp*100)
+	for _, op := range fleet.CyclesByOperation() {
+		fmt.Printf("  %-14s %5.1f%%\n", op.Op, op.Share*100)
+	}
+	fmt.Printf("accelerator opportunity (deser+ser): %.2f%% of fleet cycles\n",
+		fleet.AccelerationOpportunity*100)
+	return nil
+}
+
+func bucketLabel(lo, hi uint64) string {
+	if hi == fleet.Unbounded {
+		return fmt.Sprintf("[%d - inf]", lo)
+	}
+	return fmt.Sprintf("[%d - %d]", lo, hi)
+}
+
+func sizes() error {
+	fmt.Println("Figure 3: Fleet-wide top-level message size distribution")
+	cum := 0.0
+	for _, b := range fleet.MessageSizes() {
+		cum += b.Share
+		fmt.Printf("  %-18s %7.2f%%   (cumulative %6.2f%%)\n",
+			bucketLabel(b.Lo, b.Hi), b.Share*100, cum*100)
+	}
+	fmt.Println("(proto2 share of serialized bytes: 96%)")
+	return nil
+}
+
+func fields() error {
+	fmt.Println("Figure 4a: % of fields observed by type")
+	for _, ft := range fleet.FieldsByType() {
+		name := ft.Kind.String()
+		if ft.Repeated {
+			name = "repeated " + name
+		}
+		fmt.Printf("  %-20s %5.1f%%\n", name, ft.Share*100)
+	}
+	fmt.Println("\nFigure 4b: % of message bytes observed by type")
+	for _, ft := range fleet.BytesByType() {
+		name := ft.Kind.String()
+		if ft.Repeated {
+			name = "repeated " + name
+		}
+		fmt.Printf("  %-20s %5.1f%%\n", name, ft.Share*100)
+	}
+	fmt.Println("\nFigure 4c: % of bytes fields observed by field size")
+	for _, b := range fleet.BytesFieldSizes() {
+		fmt.Printf("  %-18s %7.2f%%\n", bucketLabel(b.Lo, b.Hi), b.Share*100)
+	}
+	return nil
+}
+
+func density() error {
+	fmt.Println("Figure 7: Field number usage density distribution (weighted by observed msgs)")
+	above := 0.0
+	for _, b := range fleet.FieldDensity() {
+		hi := b.Hi
+		if hi > 1 {
+			hi = 1
+		}
+		fmt.Printf("  [%.2f - %.2f)  %5.1f%%\n", b.Lo, hi, b.Share*100)
+		if b.Lo >= 0.05 {
+			above += b.Share
+		}
+	}
+	fmt.Printf("density > 1/64 (favours per-type ADTs): %.1f%% of messages\n", above*100)
+	return nil
+}
+
+func depth() error {
+	d := fleet.MessageDepths()
+	fmt.Println("Message depth quantiles (§3.8)")
+	fmt.Printf("  99.9%%   of bytes at depth <= %d\n", d.P999)
+	fmt.Printf("  99.999%% of bytes at depth <= %d\n", d.P99999)
+	fmt.Printf("  max observed depth        <  %d\n", d.Max+1)
+	return nil
+}
+
+func rpc() error {
+	fmt.Println("Serialization/deserialization initiators (§3.4)")
+	fmt.Printf("  deserialization cycles from RPC stack: %.1f%%\n", fleet.RPCDeserShare*100)
+	fmt.Printf("  serialization cycles from RPC stack:   %.1f%%\n", fleet.RPCSerShare*100)
+	fmt.Println("  => the majority of both are storage/other users: place the accelerator near the core")
+	return nil
+}
+
+func timeByType(op bench.Op, title string) error {
+	costFn, err := bench.SliceCosts(core.KindBOOM, op, bench.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	ts := fleet.EstimateTimeShares(fleet.Slices(), costFn)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].TimeShare > ts[j].TimeShare })
+	fmt.Println(title)
+	fmt.Printf("  %-18s %10s %12s %12s\n", "slice", "bytes %", "ns/B", "time %")
+	for _, x := range ts {
+		fmt.Printf("  %-18s %9.2f%% %12.3f %11.1f%%\n",
+			x.Slice.Name, x.Slice.ByteShare*100, x.CostPerB, x.TimeShare*100)
+	}
+	fmt.Printf("  time at > 1 GB/s: %.0f%%\n", fleet.FastShare(ts, 1.0)*100)
+	return nil
+}
+
+// protodb runs the §3.1.3 static-schema analysis over the HyperProtoBench
+// corpus: the registry ingests every generated .proto file and reports the
+// aggregates protodb provides (packedness, field-number ranges, density,
+// recursion, proto2 share).
+func protodb() error {
+	reg := registry.New()
+	benches, err := hyperbench.GenerateAll()
+	if err != nil {
+		return err
+	}
+	for _, b := range benches {
+		f, err := protoparse.Parse(b.File.Path, b.Source)
+		if err != nil {
+			return err
+		}
+		if err := reg.AddFile(f); err != nil {
+			return err
+		}
+	}
+	s := reg.Stats()
+	fmt.Println("protodb: static schema analysis of the HyperProtoBench corpus (§3.1.3)")
+	fmt.Printf("  files %d (proto2: %d), message types %d, fields %d\n",
+		s.Files, s.Proto2Files, s.Messages, s.Fields)
+	fmt.Printf("  repeated fields %d, packed scalars %d (%.0f%% of repeated scalars)\n",
+		s.RepeatedFields, s.PackedFields, s.PackedShare*100)
+	fmt.Printf("  max field number %d, max field-number range %d\n",
+		s.MaxFieldNumber, s.MaxFieldRange)
+	fmt.Printf("  mean definition density %.2f; types below the 1/64 ADT crossover: %.1f%%\n",
+		s.MeanDensity, s.DensityBelow164*100)
+	fmt.Printf("  max schema depth %d, recursive types %d\n", s.MaxSchemaDepth, s.RecursiveMessages)
+	return nil
+}

@@ -1,0 +1,75 @@
+// Command ubench regenerates the paper's microbenchmark evaluation
+// (Figures 11a-11d and the §5.1 summary speedups) and the design-choice
+// ablations, running every benchmark on the three systems: riscv-boom,
+// Xeon, and riscv-boom-accel.
+//
+// Usage:
+//
+//	ubench [-fig 11a|11b|11c|11d|all] [-ablation name|all|none] [-ops]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"protoacc/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 11a, 11b, 11c, 11d, or all")
+	ablation := flag.String("ablation", "none", "ablation to run: adt-vs-per-instance, sparse-vs-dense-hasbits, field-unit-count, stack-depth, memloader-width, all, or none")
+	ops := flag.Bool("ops", false, "benchmark the §7 extension operators (clear/copy/merge)")
+	flag.Parse()
+	opts := bench.DefaultOptions()
+
+	figs := []bench.Figure{bench.Fig11a, bench.Fig11b, bench.Fig11c, bench.Fig11d}
+	if *fig != "all" && *fig != "none" {
+		figs = []bench.Figure{bench.Figure(*fig)}
+	}
+	if *fig == "none" {
+		figs = nil
+	}
+	var vbs, vxs []float64
+	for _, f := range figs {
+		rows, err := bench.RunFigure(f, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatTable(bench.FigureTitle(f), rows))
+		vb, vx := bench.Speedups(rows)
+		fmt.Printf("summary: %.1fx vs riscv-boom, %.1fx vs Xeon\n\n", vb, vx)
+		vbs = append(vbs, vb)
+		vxs = append(vxs, vx)
+	}
+	if len(figs) == 4 {
+		fmt.Printf("overall microbenchmark speedup (geomean of the four classes, §5.1.3):\n")
+		fmt.Printf("  %.1fx vs riscv-boom (paper: 11.2x), %.1fx vs Xeon (paper: 3.8x)\n\n",
+			bench.Geomean(vbs), bench.Geomean(vxs))
+	}
+
+	if *ops {
+		out, err := bench.RunOperators(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	if *ablation != "none" {
+		abls := bench.Ablations()
+		if *ablation != "all" {
+			abls = []bench.Ablation{bench.Ablation(*ablation)}
+		}
+		for _, a := range abls {
+			out, err := bench.RunAblation(a, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+		}
+	}
+}

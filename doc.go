@@ -1,0 +1,17 @@
+// Package protoacc is a Go reproduction of "A Hardware Accelerator for
+// Protocol Buffers" (Karandikar et al., MICRO 2021): a from-scratch proto2
+// implementation, a simulated RISC-V SoC memory system, functional and
+// cycle-level models of the paper's deserializer and serializer units,
+// calibrated CPU baselines, the Section 3 fleet profiling study, and a
+// HyperProtoBench-style benchmark generator.
+//
+// The library lives under internal/; the runnable surface is:
+//
+//   - go test -bench=. — regenerates every evaluation table and figure
+//   - cmd/ubench, cmd/hyperbench, cmd/fleetprofile, cmd/asicreport,
+//     cmd/protoc-adt — the evaluation and tooling binaries
+//   - examples/ — quickstart, RPC-service, and storage-log examples
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package protoacc

@@ -1,0 +1,3 @@
+module protoacc
+
+go 1.22

@@ -1,0 +1,298 @@
+// Package adt implements Accelerator Descriptor Tables (§4.2 of the
+// paper): the per-message-type programming tables the modified protoc
+// generates. ADTs are written into simulated memory once, at "program
+// load" time, and handed to the accelerator by address — no per-instance
+// table construction ever happens on the critical path, which is the
+// paper's key programming-interface difference from Optimus Prime.
+//
+// An ADT has three regions, laid out contiguously:
+//
+//	header (64 B):
+//	  +0  vptr value of the type's default instance (our registry type id)
+//	  +8  C++ object size in bytes
+//	  +16 offset of the hasbits array within objects
+//	  +24 min defined field number
+//	  +32 max defined field number
+//	  +40 reserved
+//	entries (16 B per field number in [min, max]):
+//	  +0  flags: kind (low byte), repeated/packed/valid bits (byte 1)
+//	  +4  field slot offset within the object (uint32)
+//	  +8  sub-message ADT pointer (uint64; 0 unless kind == message)
+//	is_submessage bit field (one bit per field number in [min, max],
+//	  packed into 64-bit words)
+package adt
+
+import (
+	"errors"
+	"fmt"
+
+	"protoacc/internal/accel/layout"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/sim/mem"
+)
+
+// HeaderSize is the size of the ADT header region.
+const HeaderSize = 64
+
+// EntrySize is the size of one field entry (128 bits).
+const EntrySize = 16
+
+// Flag bits within entry byte 1.
+const (
+	flagRepeated = 1 << 0
+	flagPacked   = 1 << 1
+	flagValid    = 1 << 2
+)
+
+// ErrNoEntry is returned when a field number outside [min, max] is looked
+// up, or the slot is a hole (no field defined at that number).
+var ErrNoEntry = errors.New("adt: no entry for field number")
+
+// TableSize returns the total ADT size for a type with the given field
+// number range.
+func TableSize(fieldRange int32) uint64 {
+	words := uint64(fieldRange+63) / 64
+	return HeaderSize + uint64(fieldRange)*EntrySize + words*8
+}
+
+// Table records where one type's ADT lives.
+type Table struct {
+	Type   *schema.Message
+	Layout *layout.Layout
+	Addr   uint64
+	Size   uint64
+}
+
+// Set holds the ADTs for a family of message types, as built at program
+// load.
+type Set struct {
+	Mem    *mem.Memory
+	Reg    *layout.Registry
+	tables map[*schema.Message]*Table
+}
+
+// Build allocates and populates ADTs for every type reachable from roots.
+// Two passes: allocate all tables first so sub-message ADT pointers can be
+// cross-linked, then fill them.
+func Build(memory *mem.Memory, alloc *mem.Allocator, reg *layout.Registry, roots ...*schema.Message) (*Set, error) {
+	s := &Set{Mem: memory, Reg: reg, tables: make(map[*schema.Message]*Table)}
+	var all []*schema.Message
+	for _, root := range roots {
+		reg.Register(root)
+		root.Walk(func(t *schema.Message) {
+			if _, ok := s.tables[t]; ok {
+				return
+			}
+			l := reg.Layout(t)
+			size := TableSize(t.FieldNumberRange())
+			addr, err := alloc.Alloc(size, 8)
+			if err != nil {
+				return // surfaced below via missing table
+			}
+			s.tables[t] = &Table{Type: t, Layout: l, Addr: addr, Size: size}
+			all = append(all, t)
+		})
+	}
+	// Detect allocation failures.
+	for _, root := range roots {
+		var failed error
+		root.Walk(func(t *schema.Message) {
+			if _, ok := s.tables[t]; !ok && failed == nil {
+				failed = fmt.Errorf("adt: allocation failed for %s", t.Name)
+			}
+		})
+		if failed != nil {
+			return nil, failed
+		}
+	}
+	for _, t := range all {
+		if err := s.fill(t); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Set) fill(t *schema.Message) error {
+	tab := s.tables[t]
+	l := tab.Layout
+	w := func(off, v uint64) error { return s.Mem.Write64(tab.Addr+off, v) }
+	if err := w(0, s.Reg.TypeID(t)); err != nil {
+		return err
+	}
+	if err := w(8, l.Size); err != nil {
+		return err
+	}
+	if err := w(16, layout.HasbitsOffset); err != nil {
+		return err
+	}
+	if err := w(24, uint64(l.MinField)); err != nil {
+		return err
+	}
+	if err := w(32, uint64(l.MaxField)); err != nil {
+		return err
+	}
+	rng := t.FieldNumberRange()
+	subBitsBase := tab.Addr + HeaderSize + uint64(rng)*EntrySize
+	for _, fl := range l.Fields {
+		f := fl.Field
+		idx := uint64(f.Number - l.MinField)
+		entryAddr := tab.Addr + HeaderSize + idx*EntrySize
+		flags := uint32(f.Kind) | uint32(flagValid)<<8
+		if f.Repeated() {
+			flags |= flagRepeated << 8
+		}
+		if f.Packed {
+			flags |= flagPacked << 8
+		}
+		if err := s.Mem.Write32(entryAddr, flags); err != nil {
+			return err
+		}
+		if err := s.Mem.Write32(entryAddr+4, uint32(fl.Offset)); err != nil {
+			return err
+		}
+		var subADT uint64
+		if f.Kind == schema.KindMessage {
+			sub, ok := s.tables[f.Message]
+			if !ok {
+				return fmt.Errorf("adt: %s.%s: sub-message type %s not built", t.Name, f.Name, f.Message.Name)
+			}
+			subADT = sub.Addr
+			// Set the is_submessage bit.
+			wordAddr := subBitsBase + (idx/64)*8
+			word, err := s.Mem.Read64(wordAddr)
+			if err != nil {
+				return err
+			}
+			if err := s.Mem.Write64(wordAddr, word|1<<(idx%64)); err != nil {
+				return err
+			}
+		}
+		if err := s.Mem.Write64(entryAddr+8, subADT); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table returns the ADT record for t, or nil.
+func (s *Set) Table(t *schema.Message) *Table { return s.tables[t] }
+
+// Addr returns the ADT address for t (0 if not built).
+func (s *Set) Addr(t *schema.Message) uint64 {
+	if tab := s.tables[t]; tab != nil {
+		return tab.Addr
+	}
+	return 0
+}
+
+// TotalBytes returns the combined size of all built tables: the
+// programming-table state footprint the paper contrasts with Optimus
+// Prime's per-instance tables (§3.7).
+func (s *Set) TotalBytes() uint64 {
+	var n uint64
+	for _, tab := range s.tables {
+		n += tab.Size
+	}
+	return n
+}
+
+// --- accelerator-side raw readers ---
+// These are what the accelerator models use: they read the ADT from
+// simulated memory only, never from host-side descriptors, so the models
+// exercise the same programming interface as the RTL.
+
+// Header is a decoded ADT header region.
+type Header struct {
+	TypeID        uint64
+	ObjectSize    uint64
+	HasbitsOffset uint64
+	MinField      int32
+	MaxField      int32
+}
+
+// FieldRange returns the number of entry slots.
+func (h Header) FieldRange() int32 {
+	if h.MaxField < h.MinField {
+		return 0
+	}
+	return h.MaxField - h.MinField + 1
+}
+
+// ReadHeader decodes the header of the ADT at addr.
+func ReadHeader(m *mem.Memory, addr uint64) (Header, error) {
+	var h Header
+	var err error
+	if h.TypeID, err = m.Read64(addr); err != nil {
+		return h, err
+	}
+	if h.ObjectSize, err = m.Read64(addr + 8); err != nil {
+		return h, err
+	}
+	if h.HasbitsOffset, err = m.Read64(addr + 16); err != nil {
+		return h, err
+	}
+	minF, err := m.Read64(addr + 24)
+	if err != nil {
+		return h, err
+	}
+	maxF, err := m.Read64(addr + 32)
+	if err != nil {
+		return h, err
+	}
+	h.MinField, h.MaxField = int32(minF), int32(maxF)
+	return h, nil
+}
+
+// Entry is a decoded ADT field entry.
+type Entry struct {
+	Kind     schema.Kind
+	Repeated bool
+	Packed   bool
+	Offset   uint32
+	SubADT   uint64
+}
+
+// ReadEntry decodes the entry for fieldNum from the ADT at adtAddr with
+// header h. It returns ErrNoEntry for holes and out-of-range numbers.
+func ReadEntry(m *mem.Memory, adtAddr uint64, h Header, fieldNum int32) (Entry, error) {
+	var e Entry
+	if fieldNum < h.MinField || fieldNum > h.MaxField {
+		return e, fmt.Errorf("%w: %d outside [%d, %d]", ErrNoEntry, fieldNum, h.MinField, h.MaxField)
+	}
+	idx := uint64(fieldNum - h.MinField)
+	entryAddr := adtAddr + HeaderSize + idx*EntrySize
+	flags, err := m.Read32(entryAddr)
+	if err != nil {
+		return e, err
+	}
+	if flags>>8&flagValid == 0 {
+		return e, fmt.Errorf("%w: %d is a hole", ErrNoEntry, fieldNum)
+	}
+	e.Kind = schema.Kind(flags & 0xff)
+	e.Repeated = flags>>8&flagRepeated != 0
+	e.Packed = flags>>8&flagPacked != 0
+	if e.Offset, err = m.Read32(entryAddr + 4); err != nil {
+		return e, err
+	}
+	if e.SubADT, err = m.Read64(entryAddr + 8); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+// IsSubmessage reads the is_submessage bit for fieldNum from the ADT at
+// adtAddr (the serializer frontend's fast path, which avoids waiting for a
+// full entry read — §4.2).
+func IsSubmessage(m *mem.Memory, adtAddr uint64, h Header, fieldNum int32) (bool, error) {
+	if fieldNum < h.MinField || fieldNum > h.MaxField {
+		return false, fmt.Errorf("%w: %d outside [%d, %d]", ErrNoEntry, fieldNum, h.MinField, h.MaxField)
+	}
+	idx := uint64(fieldNum - h.MinField)
+	base := adtAddr + HeaderSize + uint64(h.FieldRange())*EntrySize
+	word, err := m.Read64(base + (idx/64)*8)
+	if err != nil {
+		return false, err
+	}
+	return word>>(idx%64)&1 == 1, nil
+}

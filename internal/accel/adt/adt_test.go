@@ -1,0 +1,172 @@
+package adt
+
+import (
+	"errors"
+	"testing"
+
+	"protoacc/internal/accel/layout"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/sim/mem"
+)
+
+func buildSet(t *testing.T, roots ...*schema.Message) (*Set, *mem.Memory) {
+	t.Helper()
+	m := mem.New()
+	alloc := mem.NewAllocator(m.Map("adt", 1<<20))
+	reg := layout.NewRegistry()
+	s, err := Build(m, alloc, reg, roots...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m
+}
+
+func TestTableSize(t *testing.T) {
+	if got := TableSize(1); got != 64+16+8 {
+		t.Errorf("TableSize(1) = %d", got)
+	}
+	if got := TableSize(64); got != 64+64*16+8 {
+		t.Errorf("TableSize(64) = %d", got)
+	}
+	if got := TableSize(65); got != 64+65*16+16 {
+		t.Errorf("TableSize(65) = %d", got)
+	}
+	if got := TableSize(0); got != 64 {
+		t.Errorf("TableSize(0) = %d", got)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "a", Number: 5, Kind: schema.KindInt32},
+		&schema.Field{Name: "b", Number: 12, Kind: schema.KindString},
+	)
+	s, m := buildSet(t, typ)
+	h, err := ReadHeader(m, s.Addr(typ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s.Reg.Layout(typ)
+	if h.TypeID != s.Reg.TypeID(typ) {
+		t.Errorf("TypeID = %d", h.TypeID)
+	}
+	if h.ObjectSize != l.Size {
+		t.Errorf("ObjectSize = %d, want %d", h.ObjectSize, l.Size)
+	}
+	if h.HasbitsOffset != layout.HasbitsOffset {
+		t.Errorf("HasbitsOffset = %d", h.HasbitsOffset)
+	}
+	if h.MinField != 5 || h.MaxField != 12 || h.FieldRange() != 8 {
+		t.Errorf("bounds = %d..%d", h.MinField, h.MaxField)
+	}
+}
+
+func TestEntries(t *testing.T) {
+	sub := schema.MustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt64})
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "a", Number: 3, Kind: schema.KindSint32},
+		&schema.Field{Name: "r", Number: 4, Kind: schema.KindDouble, Label: schema.LabelRepeated, Packed: true},
+		&schema.Field{Name: "s", Number: 6, Kind: schema.KindMessage, Message: sub},
+	)
+	s, m := buildSet(t, typ)
+	h, _ := ReadHeader(m, s.Addr(typ))
+	l := s.Reg.Layout(typ)
+
+	ea, err := ReadEntry(m, s.Addr(typ), h, 3)
+	if err != nil || ea.Kind != schema.KindSint32 || ea.Repeated || ea.Packed {
+		t.Errorf("entry 3 = %+v, %v", ea, err)
+	}
+	if uint64(ea.Offset) != l.FieldByNumber(3).Offset {
+		t.Errorf("entry 3 offset = %d", ea.Offset)
+	}
+
+	er, err := ReadEntry(m, s.Addr(typ), h, 4)
+	if err != nil || !er.Repeated || !er.Packed || er.Kind != schema.KindDouble {
+		t.Errorf("entry 4 = %+v, %v", er, err)
+	}
+
+	es, err := ReadEntry(m, s.Addr(typ), h, 6)
+	if err != nil || es.Kind != schema.KindMessage {
+		t.Fatalf("entry 6 = %+v, %v", es, err)
+	}
+	if es.SubADT != s.Addr(sub) {
+		t.Errorf("entry 6 SubADT = 0x%x, want 0x%x", es.SubADT, s.Addr(sub))
+	}
+
+	// Hole at field 5.
+	if _, err := ReadEntry(m, s.Addr(typ), h, 5); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("hole err = %v", err)
+	}
+	// Out of range.
+	if _, err := ReadEntry(m, s.Addr(typ), h, 100); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("oob err = %v", err)
+	}
+}
+
+func TestIsSubmessageBits(t *testing.T) {
+	sub := schema.MustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt64})
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
+		&schema.Field{Name: "s", Number: 70, Kind: schema.KindMessage, Message: sub}, // second bit word
+	)
+	s, m := buildSet(t, typ)
+	h, _ := ReadHeader(m, s.Addr(typ))
+	b1, err := IsSubmessage(m, s.Addr(typ), h, 1)
+	if err != nil || b1 {
+		t.Errorf("field 1 is_submessage = %v, %v", b1, err)
+	}
+	b70, err := IsSubmessage(m, s.Addr(typ), h, 70)
+	if err != nil || !b70 {
+		t.Errorf("field 70 is_submessage = %v, %v", b70, err)
+	}
+	if _, err := IsSubmessage(m, s.Addr(typ), h, 99); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("oob err = %v", err)
+	}
+}
+
+func TestRecursiveTypeSelfLink(t *testing.T) {
+	rec := &schema.Message{Name: "R"}
+	if err := rec.SetFields([]*schema.Field{
+		{Name: "self", Number: 1, Kind: schema.KindMessage, Message: rec},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, m := buildSet(t, rec)
+	h, _ := ReadHeader(m, s.Addr(rec))
+	e, err := ReadEntry(m, s.Addr(rec), h, 1)
+	if err != nil || e.SubADT != s.Addr(rec) {
+		t.Errorf("recursive SubADT = 0x%x, want self 0x%x (%v)", e.SubADT, s.Addr(rec), err)
+	}
+}
+
+func TestSharedTypeSingleTable(t *testing.T) {
+	shared := schema.MustMessage("Shared", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	a := schema.MustMessage("A", &schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: shared})
+	b := schema.MustMessage("B", &schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: shared})
+	s, _ := buildSet(t, a, b)
+	if s.Table(shared) == nil {
+		t.Fatal("shared type missing")
+	}
+	// Three tables total: A, B, Shared.
+	if s.TotalBytes() != s.Table(a).Size+s.Table(b).Size+s.Table(shared).Size {
+		t.Error("TotalBytes mismatch")
+	}
+}
+
+func TestBuildOutOfSpace(t *testing.T) {
+	m := mem.New()
+	alloc := mem.NewAllocator(m.Map("adt", 16)) // far too small
+	typ := schema.MustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
+	if _, err := Build(m, alloc, layout.NewRegistry(), typ); err == nil {
+		t.Error("expected allocation failure")
+	}
+}
+
+func TestAddrUnknownType(t *testing.T) {
+	typ := schema.MustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
+	other := schema.MustMessage("O", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
+	s, _ := buildSet(t, typ)
+	if s.Addr(other) != 0 || s.Table(other) != nil {
+		t.Error("unknown type should have no table")
+	}
+}

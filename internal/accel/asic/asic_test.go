@@ -1,0 +1,82 @@
+package asic
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"protoacc/internal/accel/deser"
+	"protoacc/internal/accel/ser"
+)
+
+func TestDeserializerMatchesPaper(t *testing.T) {
+	r := Deserializer(deser.DefaultConfig())
+	if got := r.TotalAreaMM2(); math.Abs(got-0.133) > 0.0005 {
+		t.Errorf("deserializer area = %f mm^2, paper: 0.133", got)
+	}
+	if got := r.FrequencyGHz(); math.Abs(got-1.95) > 0.01 {
+		t.Errorf("deserializer frequency = %f GHz, paper: 1.95", got)
+	}
+}
+
+func TestSerializerMatchesPaper(t *testing.T) {
+	r := Serializer(ser.DefaultConfig())
+	if got := r.TotalAreaMM2(); math.Abs(got-0.278) > 0.0005 {
+		t.Errorf("serializer area = %f mm^2, paper: 0.278", got)
+	}
+	if got := r.FrequencyGHz(); math.Abs(got-1.84) > 0.01 {
+		t.Errorf("serializer frequency = %f GHz, paper: 1.84", got)
+	}
+}
+
+func TestScalingTrends(t *testing.T) {
+	base := deser.DefaultConfig()
+	wide := base
+	wide.MemloaderWidth = 32
+	if Deserializer(wide).TotalAreaMM2() <= Deserializer(base).TotalAreaMM2() {
+		t.Error("wider memloader should cost area")
+	}
+	if Deserializer(wide).FrequencyGHz() >= Deserializer(base).FrequencyGHz() {
+		t.Error("wider decode window should slow the clock")
+	}
+	deepStack := base
+	deepStack.OnChipStackDepth = 100
+	if Deserializer(deepStack).TotalAreaMM2() <= Deserializer(base).TotalAreaMM2() {
+		t.Error("deeper stacks should cost area")
+	}
+
+	sbase := ser.DefaultConfig()
+	more := sbase
+	more.NumFieldUnits = 8
+	if Serializer(more).TotalAreaMM2() <= Serializer(sbase).TotalAreaMM2() {
+		t.Error("more field units should cost area")
+	}
+}
+
+func TestCombined(t *testing.T) {
+	area, freq := Combined(deser.DefaultConfig(), ser.DefaultConfig())
+	if math.Abs(area-(0.133+0.278)) > 0.001 {
+		t.Errorf("combined area = %f", area)
+	}
+	if math.Abs(freq-1.84) > 0.01 {
+		t.Errorf("combined freq = %f (min of the two units)", freq)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := Deserializer(deser.DefaultConfig()).String()
+	for _, want := range []string{"memloader", "field handler FSM", "TOTAL", "GHz"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCriticalBlockNames(t *testing.T) {
+	if got := Deserializer(deser.DefaultConfig()).CriticalBlock(); got != "field handler FSM" {
+		t.Errorf("deser critical block = %q", got)
+	}
+	if got := Serializer(ser.DefaultConfig()).CriticalBlock(); got != "RR dispatch + output sequencer" {
+		t.Errorf("ser critical block = %q", got)
+	}
+}

@@ -1,0 +1,784 @@
+// Package deser models the ProtoAcc deserializer unit (§4.4 of the
+// paper): the memloader, the combinational varint decoder, the
+// field-handler state machine with its parseKey/typeInfo/write states, the
+// hasbits writer, the ADT loader, the message-level metadata stacks, and
+// accelerator-arena allocation.
+//
+// The model is functionally exact — it consumes real wire bytes from
+// simulated memory and produces real C++-layout objects, driven only by
+// the in-memory ADTs (never by host-side descriptors) — and cycle-counted:
+// each state transition charges the costs the paper describes (single-cycle
+// combinational varint decode, 16 B/cycle memloader beats, pointer-bump
+// allocation), and memory accesses are charged through the accelerator's
+// port into the shared L2/LLC.
+//
+// Cycle-accounting conventions: the field handler is an in-order FSM, so
+// blocking loads (ADT entries, sub-message ADT headers) charge their full
+// latency beyond the unit-buffer hit time; streaming input and
+// fire-and-forget object writes go through the memory-interface wrappers,
+// which support multiple outstanding requests, so they charge overlapped
+// (divided) latencies. The final cycle count is the FSM total bounded
+// below by the memloader's supply rate.
+package deser
+
+import (
+	"errors"
+	"fmt"
+	"unicode/utf8"
+
+	"protoacc/internal/accel/adt"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/pb/wire"
+	"protoacc/internal/sim/mem"
+	"protoacc/internal/sim/memmodel"
+)
+
+// Errors surfaced by the unit.
+var (
+	ErrMalformed = errors.New("deser: malformed wire input")
+	ErrTooDeep   = errors.New("deser: metadata stack exceeds architectural limit")
+	ErrBadUTF8   = errors.New("deser: invalid UTF-8 in string field")
+)
+
+// Config holds the unit's microarchitectural parameters.
+type Config struct {
+	// MemloaderWidth is the bytes the memloader can supply per cycle
+	// (§4.4.2: 16 B).
+	MemloaderWidth uint64
+	// OnChipStackDepth is the metadata stack depth held on-chip; deeper
+	// nesting spills (§3.8: 25 entries covers 99.999% of fleet bytes).
+	OnChipStackDepth int
+	// SpillPenalty is the extra cycles per push/pop beyond the on-chip
+	// depth (a round trip to the spill region in DRAM).
+	SpillPenalty float64
+	// MaxDepth is the architectural nesting limit (paper: max observed
+	// depth < 100).
+	MaxDepth int
+	// HiddenLatency is the access latency absorbed by unit-internal
+	// buffering (the ADT cache / memloader buffers).
+	HiddenLatency uint64
+	// ValidateUTF8 enables UTF-8 validation of string fields — the one
+	// feature the paper lists as needed for proto3 support (§7).
+	ValidateUTF8 bool
+	// Trace, when non-nil, receives one event per field-handler state
+	// transition — the waveform-style visibility an RTL simulation gives.
+	Trace func(ev TraceEvent)
+}
+
+// TraceEvent describes one field-handler state transition.
+type TraceEvent struct {
+	State string // parseKey, typeInfo, scalarWrite, string, packedRun, subPush, subPop, closeOut, skip
+	Depth int
+	Field int32
+	Pos   uint64 // input stream position
+	Note  string
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		MemloaderWidth:   16,
+		OnChipStackDepth: 25,
+		SpillPenalty:     12,
+		MaxDepth:         100,
+		HiddenLatency:    1,
+	}
+}
+
+// Stats reports what a deserialization did.
+type Stats struct {
+	Cycles        float64
+	FSMCycles     float64
+	SupplyCycles  float64
+	BytesConsumed uint64
+	FieldsParsed  uint64
+	Allocs        uint64
+	ArenaBytes    uint64
+	StackSpills   uint64
+	MaxDepthSeen  int
+}
+
+// Unit is one deserializer unit instance.
+type Unit struct {
+	Mem   *mem.Memory
+	Port  *memmodel.Port
+	Arena *mem.Allocator
+	Cfg   Config
+
+	stats Stats
+
+	// openRegions buffers unpacked-repeated open-allocation regions
+	// (§4.4.8) per (object, field) until close-out.
+	openRegions map[regionKey]*openRegion
+	// current open region key (hardware tracks exactly one open tag).
+	open *regionKey
+}
+
+type regionKey struct {
+	obj uint64
+	num int32
+}
+
+type openRegion struct {
+	elemSize uint64
+	slot     uint64 // address of the repeated-field header in the parent
+	// elems holds raw element images (scalars or string headers) or
+	// sub-object addresses, written to the arena at close-out.
+	elems []uint64
+}
+
+// New creates a deserializer unit.
+func New(m *mem.Memory, port *memmodel.Port, arena *mem.Allocator, cfg Config) *Unit {
+	return &Unit{Mem: m, Port: port, Arena: arena, Cfg: cfg}
+}
+
+// Stats returns cumulative statistics.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// ResetStats clears the accumulators.
+func (u *Unit) ResetStats() { u.stats = Stats{} }
+
+// fsm charges FSM cycles.
+func (u *Unit) fsm(c float64) { u.stats.FSMCycles += c }
+
+// trace emits a state-transition event when tracing is enabled.
+func (u *Unit) trace(state string, depth int, field int32, pos uint64, note string) {
+	if u.Cfg.Trace != nil {
+		u.Cfg.Trace(TraceEvent{State: state, Depth: depth, Field: field, Pos: pos, Note: note})
+	}
+}
+
+// blockingLoad charges a load the FSM waits on (typeInfo state, ADT
+// headers): full latency beyond the hidden buffer time.
+func (u *Unit) blockingLoad(addr, size uint64) {
+	lat := u.Port.Access(addr, size)
+	if lat > u.Cfg.HiddenLatency {
+		u.stats.FSMCycles += float64(lat - u.Cfg.HiddenLatency)
+	}
+}
+
+// overlapped charges a streaming/fire-and-forget access through the memory
+// interface wrappers (outstanding-request tracking): overlapped latency
+// only.
+func (u *Unit) overlapped(addr, size uint64) {
+	lat := u.Port.StreamAccess(addr, size)
+	if lat > u.Cfg.HiddenLatency {
+		u.stats.FSMCycles += float64(lat-u.Cfg.HiddenLatency) / 4
+	}
+}
+
+// Deserialize decodes bufLen wire bytes at bufAddr into the caller
+// allocated object at objAddr, whose type is described by the ADT at
+// adtAddr. It implements the do_proto_deser operation; the returned Stats
+// delta reflects this call.
+func (u *Unit) Deserialize(adtAddr, objAddr, bufAddr, bufLen uint64) (Stats, error) {
+	before := u.stats
+	u.openRegions = make(map[regionKey]*openRegion)
+	u.open = nil
+
+	// Command dispatch and frontend setup.
+	u.fsm(8)
+	supplyStart := u.stats.FSMCycles
+
+	if err := u.parseMessage(adtAddr, objAddr, bufAddr, bufLen, 1); err != nil {
+		return Stats{}, err
+	}
+
+	u.stats.BytesConsumed += bufLen
+	// The memloader supplies at most MemloaderWidth bytes per cycle; the
+	// FSM cannot run faster than its input arrives.
+	supply := float64((bufLen + u.Cfg.MemloaderWidth - 1) / u.Cfg.MemloaderWidth)
+	u.stats.SupplyCycles += supply
+	if fsmDelta := u.stats.FSMCycles - supplyStart; fsmDelta < supply {
+		u.stats.FSMCycles = supplyStart + supply
+	}
+	u.stats.Cycles = u.stats.FSMCycles
+
+	delta := u.stats
+	delta.Cycles -= before.Cycles
+	delta.FSMCycles -= before.FSMCycles
+	delta.SupplyCycles -= before.SupplyCycles
+	delta.BytesConsumed -= before.BytesConsumed
+	delta.FieldsParsed -= before.FieldsParsed
+	delta.Allocs -= before.Allocs
+	delta.ArenaBytes -= before.ArenaBytes
+	delta.StackSpills -= before.StackSpills
+	return delta, nil
+}
+
+// readVarint peeks the next 10 bytes of the stream (the combinational
+// decoder's window) and decodes in a single cycle.
+func (u *Unit) readVarint(pos, end uint64) (uint64, uint64, error) {
+	window := end - pos
+	if window > wire.MaxVarintLen {
+		window = wire.MaxVarintLen
+	}
+	if window == 0 {
+		return 0, 0, ErrMalformed
+	}
+	s, err := u.Mem.Slice(pos, window)
+	if err != nil {
+		return 0, 0, err
+	}
+	var win [wire.MaxVarintLen]byte
+	copy(win[:], s)
+	v, n, err := wire.DecodeVarint10(&win, int(window))
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	u.overlapped(pos, uint64(n))
+	return v, uint64(n), nil
+}
+
+func (u *Unit) parseMessage(adtAddr, objAddr, bufAddr, bufLen uint64, depth int) error {
+	if depth > u.Cfg.MaxDepth {
+		return ErrTooDeep
+	}
+	if depth > u.stats.MaxDepthSeen {
+		u.stats.MaxDepthSeen = depth
+	}
+	header, err := adt.ReadHeader(u.Mem, adtAddr)
+	if err != nil {
+		return err
+	}
+	u.blockingLoad(adtAddr, adt.HeaderSize)
+
+	pos, end := bufAddr, bufAddr+bufLen
+	lastNum := int32(-1)
+	var lastEntry adt.Entry
+	for pos < end {
+		// parseKey state: single-cycle combinational varint decode of
+		// the key.
+		u.fsm(1)
+		tag, n, err := u.readVarint(pos, end)
+		if err != nil {
+			return err
+		}
+		pos += n
+		num, wt := wire.SplitTag(tag)
+		if num <= 0 || num > wire.MaxFieldNumber || !wt.Valid() {
+			return fmt.Errorf("%w: bad tag %d", ErrMalformed, tag)
+		}
+		u.trace("parseKey", depth, num, pos, wt.String())
+
+		// typeInfo state: block on the ADT entry load (entry alignment
+		// and decode). Consecutive occurrences of the same key — the
+		// common shape of unpacked repeated fields — reuse the latched
+		// entry and skip the state. The hasbits writer runs in parallel
+		// (its write is fire-and-forget).
+		var entry adt.Entry
+		var entryErr error
+		if num == lastNum {
+			entry = lastEntry
+		} else {
+			u.trace("typeInfo", depth, num, pos, "")
+			u.fsm(1.5)
+			entryAddr := adtAddr + adt.HeaderSize + uint64(num-header.MinField)*adt.EntrySize
+			entry, entryErr = adt.ReadEntry(u.Mem, adtAddr, header, num)
+			if entryErr == nil {
+				u.blockingLoad(entryAddr, adt.EntrySize)
+				lastNum, lastEntry = num, entry
+			} else {
+				lastNum = -1
+			}
+		}
+		if entryErr != nil || !wireTypeCompatible(entry, wt) {
+			// Unknown field: skip its value.
+			if !errors.Is(entryErr, adt.ErrNoEntry) && entryErr != nil {
+				return entryErr
+			}
+			u.trace("skip", depth, num, pos, "unknown field")
+			pos, err = u.skipValue(pos, end, wt)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		u.stats.FieldsParsed++
+
+		// Hasbits writer (parallel unit): RMW of the sparse hasbits word.
+		idx := uint64(num - header.MinField)
+		hbAddr := objAddr + header.HasbitsOffset + (idx/64)*8
+		w, err := u.Mem.Read64(hbAddr)
+		if err != nil {
+			return err
+		}
+		if err := u.Mem.Write64(hbAddr, w|1<<(idx%64)); err != nil {
+			return err
+		}
+		u.overlapped(hbAddr, 8)
+
+		// Close the open unpacked-repeated region if this field differs.
+		if u.open != nil && (u.open.obj != objAddr || u.open.num != num) {
+			if err := u.closeOpenRegion(); err != nil {
+				return err
+			}
+		}
+
+		pos, err = u.parseFieldValue(entry, num, wt, pos, end, objAddr, depth)
+		if err != nil {
+			return err
+		}
+	}
+	if pos != end {
+		return fmt.Errorf("%w: field overruns message bounds", ErrMalformed)
+	}
+	// End of message closes any open region (§4.4.8).
+	if u.open != nil && u.open.obj == objAddr {
+		if err := u.closeOpenRegion(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func wireTypeCompatible(e adt.Entry, wt wire.Type) bool {
+	natural := e.Kind.WireType()
+	if wt == natural {
+		return true
+	}
+	if e.Repeated && e.Kind != schema.KindMessage && e.Kind.Class() != schema.ClassBytesLike {
+		return wt == wire.TypeBytes
+	}
+	return false
+}
+
+func (u *Unit) skipValue(pos, end uint64, wt wire.Type) (uint64, error) {
+	u.fsm(1)
+	switch wt {
+	case wire.TypeVarint:
+		_, n, err := u.readVarint(pos, end)
+		return pos + n, err
+	case wire.TypeFixed32:
+		if pos+4 > end {
+			return 0, ErrMalformed
+		}
+		return pos + 4, nil
+	case wire.TypeFixed64:
+		if pos+8 > end {
+			return 0, ErrMalformed
+		}
+		return pos + 8, nil
+	case wire.TypeBytes:
+		n, vn, err := u.readVarint(pos, end)
+		if err != nil {
+			return 0, err
+		}
+		if pos+vn+n > end {
+			return 0, ErrMalformed
+		}
+		u.fsm(float64((n + u.Cfg.MemloaderWidth - 1) / u.Cfg.MemloaderWidth))
+		return pos + vn + n, nil
+	default:
+		return 0, fmt.Errorf("%w: deprecated group wire type", ErrMalformed)
+	}
+}
+
+// decodeScalar decodes one scalar value at pos, returning the stored bit
+// pattern (sign-extended where the layout requires).
+func (u *Unit) decodeScalar(e adt.Entry, pos, end uint64) (uint64, uint64, error) {
+	switch e.Kind.WireType() {
+	case wire.TypeFixed32:
+		if pos+4 > end {
+			return 0, 0, ErrMalformed
+		}
+		v, err := u.Mem.Read32(pos)
+		if err != nil {
+			return 0, 0, err
+		}
+		u.overlapped(pos, 4)
+		if e.Kind == schema.KindSfixed32 {
+			return uint64(int64(int32(v))), 4, nil
+		}
+		return uint64(v), 4, nil
+	case wire.TypeFixed64:
+		if pos+8 > end {
+			return 0, 0, ErrMalformed
+		}
+		v, err := u.Mem.Read64(pos)
+		if err != nil {
+			return 0, 0, err
+		}
+		u.overlapped(pos, 8)
+		return v, 8, nil
+	default:
+		v, n, err := u.readVarint(pos, end)
+		if err != nil {
+			return 0, 0, err
+		}
+		// Zig-zag decode is an additional combinational stage (§4.4.6),
+		// not an extra cycle.
+		switch e.Kind {
+		case schema.KindSint32:
+			return uint64(int64(wire.DecodeZigZag32(v))), n, nil
+		case schema.KindSint64:
+			return uint64(wire.DecodeZigZag64(v)), n, nil
+		case schema.KindInt32, schema.KindEnum:
+			return uint64(int64(int32(v))), n, nil
+		case schema.KindUint32:
+			return uint64(uint32(v)), n, nil
+		case schema.KindBool:
+			if v != 0 {
+				return 1, n, nil
+			}
+			return 0, n, nil
+		default:
+			return v, n, nil
+		}
+	}
+}
+
+func scalarSlotSize(k schema.Kind) uint64 {
+	switch k {
+	case schema.KindBool:
+		return 1
+	case schema.KindInt32, schema.KindUint32, schema.KindSint32,
+		schema.KindFixed32, schema.KindSfixed32, schema.KindFloat, schema.KindEnum:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// writeSlot is a fire-and-forget store by the field data writer.
+func (u *Unit) writeSlot(addr, size, bits uint64) error {
+	u.overlapped(addr, size)
+	switch size {
+	case 1:
+		return u.Mem.Write8(addr, byte(bits))
+	case 4:
+		return u.Mem.Write32(addr, uint32(bits))
+	default:
+		return u.Mem.Write64(addr, bits)
+	}
+}
+
+// arenaAlloc is a single-cycle pointer bump (§4.3).
+func (u *Unit) arenaAlloc(n uint64) (uint64, error) {
+	u.fsm(1)
+	addr, err := u.Arena.Alloc(n, 8)
+	if err != nil {
+		return 0, fmt.Errorf("deser: accelerator arena exhausted: %w", err)
+	}
+	u.stats.Allocs++
+	u.stats.ArenaBytes += n
+	return addr, nil
+}
+
+// copyStream copies n payload bytes from the memloader stream into an
+// arena buffer at width bytes/cycle.
+func (u *Unit) copyStream(dst, src, n uint64) error {
+	u.fsm(float64((n + u.Cfg.MemloaderWidth - 1) / u.Cfg.MemloaderWidth))
+	u.overlapped(src, n)
+	u.overlapped(dst, n)
+	if n == 0 {
+		return nil
+	}
+	s, err := u.Mem.Slice(src, n)
+	if err != nil {
+		return err
+	}
+	return u.Mem.WriteBytes(dst, s)
+}
+
+func (u *Unit) parseFieldValue(e adt.Entry, num int32, wt wire.Type, pos, end, objAddr uint64, depth int) (uint64, error) {
+	slotAddr := objAddr + uint64(e.Offset)
+	switch {
+	case e.Kind == schema.KindMessage:
+		return u.parseSubMessage(e, num, pos, end, objAddr, slotAddr, depth)
+	case e.Kind.Class() == schema.ClassBytesLike:
+		return u.parseString(e, num, pos, end, objAddr, slotAddr)
+	case e.Repeated && wt == wire.TypeBytes:
+		return u.parsePackedRun(e, num, objAddr, pos, end, slotAddr)
+	case e.Repeated:
+		// Unpacked repeated element: append to the open region.
+		bits, n, err := u.decodeScalar(e, pos, end)
+		if err != nil {
+			return 0, err
+		}
+		u.fsm(1)
+		u.appendOpen(objAddr, num, slotAddr, scalarSlotSize(e.Kind), bits)
+		return pos + n, nil
+	default:
+		// Final write state for scalars (§4.4.6): single cycle; the
+		// write itself is handled by the field data writer.
+		bits, n, err := u.decodeScalar(e, pos, end)
+		if err != nil {
+			return 0, err
+		}
+		u.trace("scalarWrite", depth, num, pos, e.Kind.String())
+		u.fsm(1)
+		if err := u.writeSlot(slotAddr, scalarSlotSize(e.Kind), bits); err != nil {
+			return 0, err
+		}
+		return pos + n, nil
+	}
+}
+
+// parseString implements the string allocation and copy states (§4.4.7).
+func (u *Unit) parseString(e adt.Entry, num int32, pos, end, objAddr, slotAddr uint64) (uint64, error) {
+	u.trace("string", 0, num, pos, e.Kind.String())
+	u.fsm(1) // length decode
+	n, vn, err := u.readVarint(pos, end)
+	if err != nil {
+		return 0, err
+	}
+	pos += vn
+	if pos+n > end {
+		return 0, ErrMalformed
+	}
+	var dataAddr uint64
+	if n > 0 {
+		dataAddr, err = u.arenaAlloc(n)
+		if err != nil {
+			return 0, err
+		}
+		if err := u.copyStream(dataAddr, pos, n); err != nil {
+			return 0, err
+		}
+		if u.Cfg.ValidateUTF8 && e.Kind == schema.KindString {
+			// Validation is inline with the copy datapath: no extra
+			// cycles, but invalid sequences fault the operation.
+			s, err := u.Mem.Slice(pos, n)
+			if err != nil {
+				return 0, err
+			}
+			if !utf8.Valid(s) {
+				return 0, ErrBadUTF8
+			}
+		}
+	}
+	if e.Repeated {
+		// Element is a 16-byte string header appended to the open region.
+		u.fsm(1)
+		u.appendOpen2(objAddr, num, slotAddr, dataAddr, n)
+	} else {
+		// Header write is fire-and-forget via the field data writer.
+		if err := u.writeSlot(slotAddr, 8, dataAddr); err != nil {
+			return 0, err
+		}
+		if err := u.writeSlot(slotAddr+8, 8, n); err != nil {
+			return 0, err
+		}
+	}
+	return pos + n, nil
+}
+
+// parsePackedRun handles a packed repeated scalar run (§4.4.8): the
+// elements are decoded into the field's open allocation region, so
+// multiple packed runs of the same field (legal proto2: runs concatenate)
+// and mixed packed/unpacked encodings accumulate into one vector. The
+// region closes out like any other (next differing field or end of
+// message).
+func (u *Unit) parsePackedRun(e adt.Entry, num int32, objAddr, pos, end, slotAddr uint64) (uint64, error) {
+	u.trace("packedRun", 0, num, pos, e.Kind.String())
+	u.fsm(1)
+	n, vn, err := u.readVarint(pos, end)
+	if err != nil {
+		return 0, err
+	}
+	pos += vn
+	if pos+n > end {
+		return 0, ErrMalformed
+	}
+	runEnd := pos + n
+	es := scalarSlotSize(e.Kind)
+	for pos < runEnd {
+		bits, sn, err := u.decodeScalar(e, pos, runEnd)
+		if err != nil {
+			return 0, err
+		}
+		pos += sn
+		u.appendOpen(objAddr, num, slotAddr, es, bits)
+		if e.Kind.IsVarint() {
+			// One combinational varint decode per cycle.
+			u.fsm(1)
+		}
+	}
+	if !e.Kind.IsVarint() {
+		// Fixed-width packed data is format-converted at stream rate.
+		u.fsm(float64((n + u.Cfg.MemloaderWidth - 1) / u.Cfg.MemloaderWidth))
+	}
+	if n == 0 {
+		// An empty packed run still marks the field present with an
+		// empty vector; open the region so close-out writes the header.
+		u.appendNone(objAddr, num, slotAddr, es)
+	}
+	return pos, nil
+}
+
+// appendNone opens (or re-marks) a region without adding elements, for
+// empty packed runs.
+func (u *Unit) appendNone(obj uint64, num int32, slot, elemSize uint64) {
+	key := regionKey{obj, num}
+	if _, ok := u.openRegions[key]; !ok {
+		u.openRegions[key] = &openRegion{elemSize: elemSize, slot: slot}
+	}
+	u.open = &key
+}
+
+// parseSubMessage implements the sub-message handling states (§4.4.9).
+func (u *Unit) parseSubMessage(e adt.Entry, num int32, pos, end, objAddr, slotAddr uint64, depth int) (uint64, error) {
+	u.fsm(1) // header (length) decode
+	n, vn, err := u.readVarint(pos, end)
+	if err != nil {
+		return 0, err
+	}
+	pos += vn
+	if pos+n > end {
+		return 0, ErrMalformed
+	}
+	// Fetch the sub-message type's ADT header for default instance info.
+	// (The recursive parse charges the header load once on entry.)
+	subHeader, err := adt.ReadHeader(u.Mem, e.SubADT)
+	if err != nil {
+		return 0, err
+	}
+
+	// Allocate and initialize the sub-object: pointer bump plus
+	// streaming out the default-instance image.
+	var subAddr uint64
+	adopt := false
+	if !e.Repeated {
+		// Repeated occurrences of a singular sub-message merge: reuse an
+		// already-allocated object.
+		existing, err := u.Mem.Read64(slotAddr)
+		if err != nil {
+			return 0, err
+		}
+		if existing != 0 {
+			subAddr = existing
+			adopt = true
+		}
+	}
+	if !adopt {
+		subAddr, err = u.arenaAlloc(subHeader.ObjectSize)
+		if err != nil {
+			return 0, err
+		}
+		buf, err := u.Mem.Slice(subAddr, subHeader.ObjectSize)
+		if err != nil {
+			return 0, err
+		}
+		for i := range buf {
+			buf[i] = 0
+		}
+		// Default-instance initialization streams out through the field
+		// data writer in the background; the FSM only spends the setup
+		// cycle charged by arenaAlloc plus the vptr store below.
+		u.fsm(1)
+		u.overlapped(subAddr, subHeader.ObjectSize)
+		if err := u.Mem.Write64(subAddr, subHeader.TypeID); err != nil {
+			return 0, err
+		}
+		// Write the pointer into the parent.
+		if e.Repeated {
+			u.fsm(1)
+			u.appendOpen(objAddr, num, slotAddr, 8, subAddr)
+		} else {
+			if err := u.writeSlot(slotAddr, 8, subAddr); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	// Push the metadata stack and switch parsing context: update stack
+	// entries, rebase the length tracking (§4.4.9).
+	u.trace("subPush", depth, num, pos, "")
+	u.fsm(4)
+	if depth+1 > u.Cfg.OnChipStackDepth {
+		u.stats.StackSpills++
+		u.fsm(u.Cfg.SpillPenalty)
+	}
+	// A sub-message parse must not leave the parent's open region
+	// dangling across its own fields; hardware closes it on the next
+	// differing field, which the recursive call's first field triggers.
+	if err := u.parseMessage(e.SubADT, subAddr, pos, n, depth+1); err != nil {
+		return 0, err
+	}
+	// Pop and restore the parent's context.
+	u.trace("subPop", depth, num, pos, "")
+	u.fsm(2)
+	if depth+1 > u.Cfg.OnChipStackDepth {
+		u.fsm(u.Cfg.SpillPenalty)
+	}
+	return pos + n, nil
+}
+
+// appendOpen appends a scalar or pointer element to the open region for
+// (obj, num), opening it if needed. The region survives a close-out so a
+// reopened field (interleaved encoding) re-emits the complete vector,
+// preserving proto2 concatenation semantics at the cost of a dead arena
+// buffer — the same trade hardware would make.
+func (u *Unit) appendOpen(obj uint64, num int32, slot, elemSize, value uint64) {
+	key := regionKey{obj, num}
+	r, ok := u.openRegions[key]
+	if !ok {
+		r = &openRegion{elemSize: elemSize, slot: slot}
+		u.openRegions[key] = r
+	}
+	r.elems = append(r.elems, value)
+	u.open = &key
+}
+
+// appendOpen2 appends a two-word element (a string header).
+func (u *Unit) appendOpen2(obj uint64, num int32, slot, w0, w1 uint64) {
+	key := regionKey{obj, num}
+	r, ok := u.openRegions[key]
+	if !ok {
+		r = &openRegion{elemSize: 16, slot: slot}
+		u.openRegions[key] = r
+	}
+	r.elems = append(r.elems, w0, w1)
+	u.open = &key
+}
+
+// closeOpenRegion writes out the current open allocation region: the
+// element data into a fresh arena buffer and the final header into the
+// repeated-field slot (§4.4.8).
+func (u *Unit) closeOpenRegion() error {
+	key := *u.open
+	u.open = nil
+	r := u.openRegions[key]
+	u.trace("closeOut", 0, key.num, 0, fmt.Sprintf("%d elems", len(r.elems)))
+
+	words := uint64(len(r.elems))
+	count := words
+	if r.elemSize == 16 {
+		count = words / 2
+	}
+	var bufAddr uint64
+	var err error
+	if count > 0 {
+		bufAddr, err = u.arenaAlloc(count * r.elemSize)
+		if err != nil {
+			return err
+		}
+		switch r.elemSize {
+		case 16:
+			for i := uint64(0); i < count; i++ {
+				if err := u.writeSlot(bufAddr+i*16, 8, r.elems[2*i]); err != nil {
+					return err
+				}
+				if err := u.writeSlot(bufAddr+i*16+8, 8, r.elems[2*i+1]); err != nil {
+					return err
+				}
+			}
+		default:
+			for i := uint64(0); i < count; i++ {
+				if err := u.writeSlot(bufAddr+i*r.elemSize, r.elemSize, r.elems[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Close-out cycle: write the final header (§4.4.8).
+	u.fsm(1)
+	if err := u.writeSlot(r.slot, 8, bufAddr); err != nil {
+		return err
+	}
+	if err := u.writeSlot(r.slot+8, 8, count); err != nil {
+		return err
+	}
+	return u.writeSlot(r.slot+16, 8, count)
+}

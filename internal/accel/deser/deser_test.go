@@ -1,0 +1,403 @@
+package deser
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"protoacc/internal/accel/adt"
+	"protoacc/internal/accel/layout"
+	"protoacc/internal/pb/codec"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/pbtest"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/sim/mem"
+	"protoacc/internal/sim/memmodel"
+)
+
+// rig assembles the simulated SoC pieces a deserialization needs.
+type rig struct {
+	mem   *mem.Memory
+	arena *mem.Allocator
+	heap  *mem.Allocator
+	reg   *layout.Registry
+	mat   *layout.Materializer
+	adts  *adt.Set
+	unit  *Unit
+}
+
+func newRig(t *testing.T, cfg Config, roots ...*schema.Message) *rig {
+	t.Helper()
+	m := mem.New()
+	adtAlloc := mem.NewAllocator(m.Map("adt", 1<<20))
+	heap := mem.NewAllocator(m.Map("heap", 64<<20))
+	arena := mem.NewAllocator(m.Map("accel-arena", 64<<20))
+	reg := layout.NewRegistry()
+	set, err := adt.Build(m, adtAlloc, reg, roots...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := memmodel.NewSystem(memmodel.DefaultConfig())
+	// The accelerator's "L1" is its internal buffering (ADT cache +
+	// memloader buffers); it shares L2/LLC with the core (Figure 8).
+	acfg := memmodel.DefaultConfig()
+	_ = acfg
+	return &rig{
+		mem:   m,
+		arena: arena,
+		heap:  heap,
+		reg:   reg,
+		mat:   layout.NewMaterializer(m, heap, reg),
+		adts:  set,
+		unit:  New(m, sys.NewPort("accel"), arena, cfg),
+	}
+}
+
+// deserialize runs the unit on wire bytes and returns the decoded message
+// (read back from simulated memory) and the run's stats.
+func (r *rig) deserialize(t *testing.T, typ *schema.Message, b []byte) (*dynamic.Message, Stats) {
+	t.Helper()
+	got, st, err := r.tryDeserialize(typ, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, st
+}
+
+func (r *rig) tryDeserialize(typ *schema.Message, b []byte) (*dynamic.Message, Stats, error) {
+	region := r.mem.Map("in", uint64(len(b))+1)
+	if err := r.mem.WriteBytes(region.Base, b); err != nil {
+		return nil, Stats{}, err
+	}
+	// User code allocates the top-level object (§4.4).
+	objAddr, err := r.mat.AllocObject(typ)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st, err := r.unit.Deserialize(r.adts.Addr(typ), objAddr, region.Base, uint64(len(b)))
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	got, err := r.mat.Read(typ, objAddr)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return got, st, nil
+}
+
+func richType() *schema.Message {
+	sub := schema.MustMessage("Sub",
+		&schema.Field{Name: "id", Number: 1, Kind: schema.KindInt64},
+		&schema.Field{Name: "name", Number: 2, Kind: schema.KindString})
+	return schema.MustMessage("Rich",
+		&schema.Field{Name: "i32", Number: 1, Kind: schema.KindInt32},
+		&schema.Field{Name: "s64", Number: 2, Kind: schema.KindSint64},
+		&schema.Field{Name: "f", Number: 3, Kind: schema.KindFloat},
+		&schema.Field{Name: "d", Number: 4, Kind: schema.KindDouble},
+		&schema.Field{Name: "b", Number: 5, Kind: schema.KindBool},
+		&schema.Field{Name: "s", Number: 6, Kind: schema.KindString},
+		&schema.Field{Name: "sub", Number: 7, Kind: schema.KindMessage, Message: sub},
+		&schema.Field{Name: "ri", Number: 8, Kind: schema.KindInt32, Label: schema.LabelRepeated},
+		&schema.Field{Name: "rp", Number: 9, Kind: schema.KindInt64, Label: schema.LabelRepeated, Packed: true},
+		&schema.Field{Name: "rs", Number: 10, Kind: schema.KindString, Label: schema.LabelRepeated},
+		&schema.Field{Name: "rm", Number: 11, Kind: schema.KindMessage, Message: sub, Label: schema.LabelRepeated},
+		&schema.Field{Name: "sf", Number: 12, Kind: schema.KindSfixed32},
+	)
+}
+
+func populateRich(typ *schema.Message) *dynamic.Message {
+	m := dynamic.New(typ)
+	m.SetInt32(1, -42)
+	m.SetInt64(2, -123456789)
+	m.SetFloat(3, 2.5)
+	m.SetDouble(4, -0.125)
+	m.SetBool(5, true)
+	m.SetString(6, "hello accelerator")
+	s := m.MutableMessage(7)
+	s.SetInt64(1, 99)
+	s.SetString(2, "inner")
+	for i := int32(0); i < 5; i++ {
+		m.AddScalarBits(8, uint64(int64(i-2)))
+		m.AddScalarBits(9, uint64(int64(i*1000)))
+	}
+	m.AddString(10, "first")
+	m.AddString(10, "")
+	m.AddString(10, "third-element")
+	m.AddMessage(11).SetInt64(1, 1)
+	m.AddMessage(11).SetString(2, "two")
+	m.SetInt32(12, -7)
+	return m
+}
+
+func TestDeserializeRich(t *testing.T) {
+	typ := richType()
+	msg := populateRich(typ)
+	b, err := codec.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, DefaultConfig(), typ)
+	got, st := r.deserialize(t, typ, b)
+	if !msg.Equal(got) {
+		t.Error("accelerator deserialization differs from source")
+	}
+	if st.Cycles <= 0 || st.FieldsParsed == 0 || st.Allocs == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BytesConsumed != uint64(len(b)) {
+		t.Errorf("BytesConsumed = %d, want %d", st.BytesConsumed, len(b))
+	}
+}
+
+func TestDeserializeRandomMatchesCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 80; trial++ {
+		typ := pbtest.RandomSchema(rng, pbtest.DefaultSchemaConfig())
+		msg := pbtest.RandomPopulated(rng, typ, pbtest.DefaultMessageConfig())
+		b, err := codec.Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := newRig(t, DefaultConfig(), typ)
+		got, _ := r.deserialize(t, typ, b)
+		want, err := codec.Unmarshal(typ, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("trial %d: accelerator output differs from software codec", trial)
+		}
+	}
+}
+
+func TestSingularSubMessageMerge(t *testing.T) {
+	sub := schema.MustMessage("Sub",
+		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
+		&schema.Field{Name: "b", Number: 2, Kind: schema.KindInt32})
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: sub})
+	m1 := dynamic.New(typ)
+	m1.MutableMessage(1).SetInt32(1, 5)
+	m2 := dynamic.New(typ)
+	m2.MutableMessage(1).SetInt32(2, 7)
+	b1, _ := codec.Marshal(m1)
+	b2, _ := codec.Marshal(m2)
+	r := newRig(t, DefaultConfig(), typ)
+	got, _ := r.deserialize(t, typ, append(b1, b2...))
+	s := got.GetMessage(1)
+	if s.GetInt32(1) != 5 || s.GetInt32(2) != 7 {
+		t.Errorf("merge: a=%d b=%d", s.GetInt32(1), s.GetInt32(2))
+	}
+}
+
+func TestInterleavedRepeatedReopens(t *testing.T) {
+	// r=1, s="x", r=2: the open region closes at s and must reopen for
+	// the second r element without losing the first.
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "r", Number: 1, Kind: schema.KindInt32, Label: schema.LabelRepeated},
+		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString})
+	var b []byte
+	b = append(b, 0x08, 0x01) // r: 1
+	b = append(b, 0x12, 0x01, 'x')
+	b = append(b, 0x08, 0x02) // r: 2
+	r := newRig(t, DefaultConfig(), typ)
+	got, _ := r.deserialize(t, typ, b)
+	vals := got.RepeatedScalarBits(1)
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Errorf("reopened region lost elements: %v", vals)
+	}
+	if got.GetString(2) != "x" {
+		t.Error("string lost")
+	}
+}
+
+func TestUnknownFieldSkipped(t *testing.T) {
+	rich := schema.MustMessage("M",
+		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
+		&schema.Field{Name: "z", Number: 5, Kind: schema.KindString})
+	narrow := schema.MustMessage("M",
+		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
+	src := dynamic.New(rich)
+	src.SetInt32(1, 9)
+	src.SetString(5, "skip me please")
+	b, _ := codec.Marshal(src)
+	r := newRig(t, DefaultConfig(), narrow)
+	got, _ := r.deserialize(t, narrow, b)
+	if got.GetInt32(1) != 9 {
+		t.Error("known field lost while skipping unknown")
+	}
+}
+
+func TestDeepNestingSpills(t *testing.T) {
+	rec := &schema.Message{Name: "R"}
+	if err := rec.SetFields([]*schema.Field{
+		{Name: "self", Number: 1, Kind: schema.KindMessage, Message: rec},
+		{Name: "v", Number: 2, Kind: schema.KindInt32},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	build := func(depth int) []byte {
+		m := dynamic.New(rec)
+		cur := m
+		for i := 0; i < depth; i++ {
+			cur = cur.MutableMessage(1)
+		}
+		cur.SetInt32(2, 1)
+		b, _ := codec.Marshal(m)
+		return b
+	}
+	cfg := DefaultConfig()
+	r := newRig(t, cfg, rec)
+	_, shallow := r.deserialize(t, rec, build(10))
+	if shallow.StackSpills != 0 {
+		t.Errorf("depth 10 spilled %d times", shallow.StackSpills)
+	}
+	r2 := newRig(t, cfg, rec)
+	_, deep := r2.deserialize(t, rec, build(40))
+	if deep.StackSpills == 0 {
+		t.Error("depth 40 should spill past the on-chip stack")
+	}
+	if deep.MaxDepthSeen != 41 {
+		t.Errorf("MaxDepthSeen = %d", deep.MaxDepthSeen)
+	}
+	// Architectural limit.
+	r3 := newRig(t, cfg, rec)
+	if _, _, err := r3.tryDeserialize(rec, build(150)); err == nil {
+		t.Error("expected depth-limit error")
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	typ := richType()
+	cases := map[string][]byte{
+		"truncated tag":    {0x80},
+		"truncated varint": {0x08, 0x80},
+		"bad length":       {0x32, 0x7f, 0x01},
+		"group tag":        {0x0b},
+		"field zero":       {0x00, 0x00},
+		"truncated fixed":  {0x1d, 0x01, 0x02},
+	}
+	for name, b := range cases {
+		r := newRig(t, DefaultConfig(), typ)
+		if _, _, err := r.tryDeserialize(typ, b); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestUTF8Validation(t *testing.T) {
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "s", Number: 1, Kind: schema.KindString},
+		&schema.Field{Name: "by", Number: 2, Kind: schema.KindBytes})
+	bad := []byte{0x0a, 0x02, 0xff, 0xfe} // field 1, invalid UTF-8
+	cfg := DefaultConfig()
+	cfg.ValidateUTF8 = true
+	r := newRig(t, cfg, typ)
+	if _, _, err := r.tryDeserialize(typ, bad); err == nil {
+		t.Error("expected UTF-8 validation failure")
+	}
+	// bytes fields are not validated.
+	badBytes := []byte{0x12, 0x02, 0xff, 0xfe}
+	r2 := newRig(t, cfg, typ)
+	if _, _, err := r2.tryDeserialize(typ, badBytes); err != nil {
+		t.Errorf("bytes field should not be validated: %v", err)
+	}
+	// Valid text passes.
+	good := []byte{0x0a, 0x05, 'h', 'e', 'l', 'l', 'o'}
+	r3 := newRig(t, cfg, typ)
+	if _, _, err := r3.tryDeserialize(typ, good); err != nil {
+		t.Errorf("valid UTF-8 rejected: %v", err)
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	typ := schema.MustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+	m := mem.New()
+	adtAlloc := mem.NewAllocator(m.Map("adt", 1<<16))
+	heap := mem.NewAllocator(m.Map("heap", 1<<16))
+	arena := mem.NewAllocator(m.Map("accel-arena", 32)) // tiny arena
+	reg := layout.NewRegistry()
+	set, err := adt.Build(m, adtAlloc, reg, typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := memmodel.NewSystem(memmodel.DefaultConfig())
+	unit := New(m, sys.NewPort("accel"), arena, DefaultConfig())
+	mat := layout.NewMaterializer(m, heap, reg)
+
+	msg := dynamic.New(typ)
+	msg.SetBytes(1, bytes.Repeat([]byte{1}, 1000))
+	b, _ := codec.Marshal(msg)
+	region := m.Map("in", uint64(len(b))+1)
+	if err := m.WriteBytes(region.Base, b); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := mat.AllocObject(typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unit.Deserialize(set.Addr(typ), obj, region.Base, uint64(len(b))); err == nil {
+		t.Error("expected arena exhaustion error")
+	}
+}
+
+func TestVarintThroughputRisesWithSize(t *testing.T) {
+	// The paper's Figure 11a shape: deser throughput of varint fields
+	// increases with the varint's encoded size.
+	gbps := func(varintBytes int) float64 {
+		typ := schema.MustMessage("M",
+			&schema.Field{Name: "a", Number: 1, Kind: schema.KindUint64},
+			&schema.Field{Name: "b", Number: 2, Kind: schema.KindUint64},
+			&schema.Field{Name: "c", Number: 3, Kind: schema.KindUint64},
+			&schema.Field{Name: "d", Number: 4, Kind: schema.KindUint64},
+			&schema.Field{Name: "e", Number: 5, Kind: schema.KindUint64})
+		msg := dynamic.New(typ)
+		v := uint64(1) << uint(7*varintBytes-1) // encodes to varintBytes bytes
+		for n := int32(1); n <= 5; n++ {
+			msg.SetUint64(n, v)
+		}
+		b, _ := codec.Marshal(msg)
+		r := newRig(t, DefaultConfig(), typ)
+		_, st := r.deserialize(t, typ, b)
+		const freqGHz = 2.0
+		return float64(len(b)) * 8 / (st.Cycles / freqGHz) // Gbit/s
+	}
+	small, large := gbps(1), gbps(9)
+	if large <= small {
+		t.Errorf("throughput should rise with varint size: 1B=%f 9B=%f", small, large)
+	}
+}
+
+func TestStringThroughputMemcpyRegime(t *testing.T) {
+	gbps := func(n int) float64 {
+		typ := schema.MustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+		msg := dynamic.New(typ)
+		msg.SetBytes(1, bytes.Repeat([]byte{'x'}, n))
+		b, _ := codec.Marshal(msg)
+		r := newRig(t, DefaultConfig(), typ)
+		_, st := r.deserialize(t, typ, b)
+		return float64(len(b)) * 8 / (st.Cycles / 2.0)
+	}
+	short, long := gbps(8), gbps(1<<20)
+	if long < 10*short {
+		t.Errorf("long strings should approach memcpy rates: short=%f long=%f Gbit/s", short, long)
+	}
+	// A 1 MiB copy is DRAM-bound, not datapath-bound; the paper's
+	// Figure 11c shows the accelerated system in the ~20-25 Gbit/s range
+	// for very long strings.
+	if long < 15 {
+		t.Errorf("long-string throughput = %f Gbit/s, implausibly low", long)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	typ := richType()
+	r := newRig(t, DefaultConfig(), typ)
+	got, st := r.deserialize(t, typ, nil)
+	if len(got.PresentFieldNumbers()) != 0 {
+		t.Error("empty input should produce empty message")
+	}
+	if st.Cycles <= 0 {
+		t.Error("dispatch overhead should still be charged")
+	}
+}

@@ -1,0 +1,84 @@
+package layout
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"protoacc/internal/pb/pbtest"
+	"protoacc/internal/pb/schema"
+)
+
+// TestLayoutInvariants property-checks the layout generator over random
+// schemas: slots are disjoint, aligned, inside the object, and past the
+// hasbits region; the hasbits region covers the field-number range.
+func TestLayoutInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 300; trial++ {
+		cfg := pbtest.DefaultSchemaConfig()
+		cfg.MaxFieldNum = 1 + rng.Int31n(300) // exercise wide/sparse ranges
+		typ := pbtest.RandomSchema(rng, cfg)
+		typ.Walk(func(m *schema.Message) { checkLayout(t, m) })
+	}
+}
+
+func checkLayout(t *testing.T, m *schema.Message) {
+	t.Helper()
+	l := Compute(m)
+
+	// Hasbits sizing covers the range.
+	if r := m.FieldNumberRange(); r > 0 {
+		if got, want := l.HasbitsWords, int((r+63)/64); got != want {
+			t.Fatalf("%s: hasbits words = %d, want %d", m.Name, got, want)
+		}
+	}
+
+	type span struct{ lo, hi uint64 }
+	spans := []span{{0, 8}, {HasbitsOffset, l.FieldsOffset()}} // vptr + hasbits
+	for _, fl := range l.Fields {
+		// Alignment.
+		_, align := slotFor(fl.Field)
+		if fl.Offset%align != 0 {
+			t.Fatalf("%s.%s: offset %d not %d-aligned", m.Name, fl.Field.Name, fl.Offset, align)
+		}
+		// Inside the object, after the hasbits.
+		if fl.Offset < l.FieldsOffset() || fl.Offset+fl.Slot > l.Size {
+			t.Fatalf("%s.%s: slot [%d,%d) outside fields region [%d,%d)",
+				m.Name, fl.Field.Name, fl.Offset, fl.Offset+fl.Slot, l.FieldsOffset(), l.Size)
+		}
+		spans = append(spans, span{fl.Offset, fl.Offset + fl.Slot})
+	}
+	// Disjointness.
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			t.Fatalf("%s: overlapping slots [%d,%d) and [%d,%d)",
+				m.Name, spans[i-1].lo, spans[i-1].hi, spans[i].lo, spans[i].hi)
+		}
+	}
+	// 8-byte-aligned total size.
+	if l.Size%8 != 0 {
+		t.Fatalf("%s: size %d not 8-aligned", m.Name, l.Size)
+	}
+	// Lookup consistency.
+	for _, fl := range l.Fields {
+		if got := l.FieldByNumber(fl.Field.Number); got == nil || got.Offset != fl.Offset {
+			t.Fatalf("%s: FieldByNumber(%d) inconsistent", m.Name, fl.Field.Number)
+		}
+	}
+}
+
+// TestLayoutDeterministic: the layout is a pure function of the type.
+func TestLayoutDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	typ := pbtest.RandomSchema(rng, pbtest.DefaultSchemaConfig())
+	a, b := Compute(typ), Compute(typ)
+	if a.Size != b.Size || len(a.Fields) != len(b.Fields) {
+		t.Fatal("layout not deterministic")
+	}
+	for i := range a.Fields {
+		if a.Fields[i].Offset != b.Fields[i].Offset {
+			t.Fatal("field offsets not deterministic")
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/pbtest"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/sim/mem"
+)
+
+func newMat(t *testing.T, heapSize uint64) *Materializer {
+	t.Helper()
+	m := mem.New()
+	heap := mem.NewAllocator(m.Map("heap", heapSize))
+	return NewMaterializer(m, heap, NewRegistry())
+}
+
+func TestComputeOffsets(t *testing.T) {
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "b", Number: 3, Kind: schema.KindBool},
+		&schema.Field{Name: "i", Number: 4, Kind: schema.KindInt32},
+		&schema.Field{Name: "d", Number: 5, Kind: schema.KindDouble},
+		&schema.Field{Name: "s", Number: 6, Kind: schema.KindString},
+		&schema.Field{Name: "r", Number: 7, Kind: schema.KindInt64, Label: schema.LabelRepeated},
+		&schema.Field{Name: "m", Number: 8, Kind: schema.KindMessage, Message: schema.MustMessage("Sub")},
+	)
+	l := Compute(typ)
+	// Range 3..8 = 6 bits -> 1 hasbits word; fields start at 16.
+	if l.HasbitsWords != 1 || l.FieldsOffset() != 16 {
+		t.Fatalf("hasbits words=%d fields offset=%d", l.HasbitsWords, l.FieldsOffset())
+	}
+	get := func(n int32) FieldLayout { return *l.FieldByNumber(n) }
+	if get(3).Offset != 16 || get(3).Slot != 1 {
+		t.Errorf("bool at %d/%d", get(3).Offset, get(3).Slot)
+	}
+	if get(4).Offset != 20 || get(4).Slot != 4 { // aligned to 4
+		t.Errorf("int32 at %d", get(4).Offset)
+	}
+	if get(5).Offset != 24 || get(5).Slot != 8 {
+		t.Errorf("double at %d", get(5).Offset)
+	}
+	if get(6).Offset != 32 || get(6).Slot != StringHeaderSize {
+		t.Errorf("string at %d", get(6).Offset)
+	}
+	if get(7).Offset != 48 || get(7).Slot != RepeatedHeaderSize {
+		t.Errorf("repeated at %d", get(7).Offset)
+	}
+	if get(8).Offset != 72 || get(8).Slot != PtrSize {
+		t.Errorf("msg ptr at %d", get(8).Offset)
+	}
+	if l.Size != 80 {
+		t.Errorf("Size = %d", l.Size)
+	}
+}
+
+func TestSparseHasbitsSizing(t *testing.T) {
+	// Fields 1000..1100: range 101 -> 2 words, regardless of how few
+	// fields are defined (the sparse representation of §4.2).
+	typ := schema.MustMessage("W",
+		&schema.Field{Name: "a", Number: 1000, Kind: schema.KindBool},
+		&schema.Field{Name: "b", Number: 1100, Kind: schema.KindBool},
+	)
+	l := Compute(typ)
+	if l.HasbitsWords != 2 {
+		t.Errorf("HasbitsWords = %d, want 2", l.HasbitsWords)
+	}
+	if l.MinField != 1000 || l.MaxField != 1100 {
+		t.Errorf("bounds = %d..%d", l.MinField, l.MaxField)
+	}
+}
+
+func TestEmptyMessageLayout(t *testing.T) {
+	l := Compute(schema.MustMessage("E"))
+	if l.HasbitsWords != 0 || l.Size != 8 {
+		t.Errorf("empty layout words=%d size=%d", l.HasbitsWords, l.Size)
+	}
+}
+
+func TestRegistryIDs(t *testing.T) {
+	sub := schema.MustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	top := schema.MustMessage("Top",
+		&schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: sub})
+	r := NewRegistry()
+	r.Register(top)
+	if r.TypeID(top) == r.TypeID(sub) {
+		t.Error("distinct types should have distinct ids")
+	}
+	if r.TypeByID(r.TypeID(sub)) != sub {
+		t.Error("TypeByID round trip failed")
+	}
+	if r.Layout(sub) == nil {
+		t.Error("sub should be registered transitively")
+	}
+}
+
+func TestMaterializeRoundTripSimple(t *testing.T) {
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "i", Number: 1, Kind: schema.KindInt32},
+		&schema.Field{Name: "neg", Number: 2, Kind: schema.KindSfixed32},
+		&schema.Field{Name: "s", Number: 3, Kind: schema.KindString},
+		&schema.Field{Name: "b", Number: 4, Kind: schema.KindBool},
+		&schema.Field{Name: "d", Number: 5, Kind: schema.KindDouble},
+	)
+	ma := newMat(t, 1<<20)
+	m := dynamic.New(typ)
+	m.SetInt32(1, 42)
+	m.SetInt32(2, -9)
+	m.SetString(3, "hello world")
+	m.SetBool(4, true)
+	m.SetDouble(5, 3.14)
+
+	addr, err := ma.Write(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ma.Read(typ, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Error("materialize round trip not equal")
+	}
+}
+
+func TestMaterializePresenceOnly(t *testing.T) {
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
+		&schema.Field{Name: "b", Number: 2, Kind: schema.KindInt32},
+	)
+	ma := newMat(t, 1<<16)
+	m := dynamic.New(typ)
+	m.SetInt32(1, 0) // present with zero value
+	addr, _ := ma.Write(m)
+	got, err := ma.Read(typ, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Has(1) || got.Has(2) {
+		t.Error("presence bits wrong after round trip")
+	}
+}
+
+func TestMaterializeNested(t *testing.T) {
+	leaf := schema.MustMessage("Leaf", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt64})
+	mid := schema.MustMessage("Mid",
+		&schema.Field{Name: "l", Number: 1, Kind: schema.KindMessage, Message: leaf},
+		&schema.Field{Name: "tag", Number: 2, Kind: schema.KindString})
+	top := schema.MustMessage("Top",
+		&schema.Field{Name: "m", Number: 1, Kind: schema.KindMessage, Message: mid},
+		&schema.Field{Name: "ms", Number: 2, Kind: schema.KindMessage, Message: mid, Label: schema.LabelRepeated})
+	ma := newMat(t, 1<<20)
+
+	m := dynamic.New(top)
+	m.MutableMessage(1).MutableMessage(1).SetInt64(1, 77)
+	m.GetMessage(1).SetString(2, "mid")
+	e1 := m.AddMessage(2)
+	e1.SetString(2, "first")
+	m.AddMessage(2).MutableMessage(1).SetInt64(1, -1)
+
+	addr, err := ma.Write(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ma.Read(top, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Error("nested round trip not equal")
+	}
+}
+
+func TestMaterializeRepeatedKinds(t *testing.T) {
+	typ := schema.MustMessage("R",
+		&schema.Field{Name: "i", Number: 1, Kind: schema.KindInt32, Label: schema.LabelRepeated},
+		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString, Label: schema.LabelRepeated},
+		&schema.Field{Name: "bl", Number: 3, Kind: schema.KindBool, Label: schema.LabelRepeated},
+		&schema.Field{Name: "d", Number: 4, Kind: schema.KindDouble, Label: schema.LabelRepeated, Packed: true},
+	)
+	ma := newMat(t, 1<<20)
+	m := dynamic.New(typ)
+	for i := int32(0); i < 7; i++ {
+		m.AddScalarBits(1, uint64(int64(-i)))
+		m.AddScalarBits(3, uint64(i%2))
+	}
+	m.AddString(2, "")
+	m.AddString(2, "nonempty")
+	m.AddScalarBits(4, 0x3ff0000000000000)
+
+	addr, err := ma.Write(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ma.Read(typ, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Error("repeated round trip not equal")
+	}
+}
+
+func TestVptrValidation(t *testing.T) {
+	a := schema.MustMessage("A", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	b := schema.MustMessage("B", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	ma := newMat(t, 1<<16)
+	ma.Reg.Register(a)
+	ma.Reg.Register(b)
+	addr, err := ma.Write(dynamic.New(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ma.Read(b, addr); err == nil {
+		t.Error("reading with wrong type should fail vptr check")
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	typ := schema.MustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+	ma := newMat(t, 64)
+	m := dynamic.New(typ)
+	m.SetBytes(1, make([]byte, 1024))
+	if _, err := ma.Write(m); err == nil {
+		t.Error("expected out-of-space error")
+	}
+}
+
+func TestMaterializeRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		typ := pbtest.RandomSchema(rng, pbtest.DefaultSchemaConfig())
+		msg := pbtest.RandomPopulated(rng, typ, pbtest.DefaultMessageConfig())
+		ma := newMat(t, 1<<22)
+		addr, err := ma.Write(msg)
+		if err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := ma.Read(typ, addr)
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+		if !msg.Equal(got) {
+			t.Fatalf("trial %d: round trip not equal", trial)
+		}
+	}
+}
+
+func TestHasbitHelpers(t *testing.T) {
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "lo", Number: 10, Kind: schema.KindBool},
+		&schema.Field{Name: "hi", Number: 100, Kind: schema.KindBool},
+	)
+	ma := newMat(t, 1<<16)
+	l := ma.Reg.Layout(typ)
+	if l.HasbitsWords != 2 { // range 91 bits
+		t.Fatalf("words = %d", l.HasbitsWords)
+	}
+	addr, _ := ma.AllocObject(typ)
+	if err := ma.setHasbit(addr, l, 100); err != nil {
+		t.Fatal(err)
+	}
+	hi, _ := ma.Hasbit(addr, l, 100)
+	lo, _ := ma.Hasbit(addr, l, 10)
+	if !hi || lo {
+		t.Errorf("hasbits: hi=%v lo=%v", hi, lo)
+	}
+}

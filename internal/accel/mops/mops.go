@@ -1,0 +1,520 @@
+// Package mops models the message-operations extension the paper sketches
+// in §7 ("Accelerating other protobuf operations"): re-using the
+// serializer/deserializer building blocks — ADT walks, hasbits scanning,
+// arena allocation, streaming copies — behind new custom instructions for
+// the clear, copy, and merge operators, which together account for another
+// 17.1% of fleet-wide C++ protobuf cycles (Figure 2).
+//
+// Like the other units, the model is functionally exact (it transforms
+// real objects in simulated memory, driven only by ADTs) and
+// cycle-counted with the same conventions: blocking ADT loads, streaming
+// fire-and-forget writes, single-cycle pointer-bump allocation.
+package mops
+
+import (
+	"errors"
+	"fmt"
+
+	"protoacc/internal/accel/adt"
+	"protoacc/internal/accel/layout"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/sim/mem"
+	"protoacc/internal/sim/memmodel"
+)
+
+// Errors surfaced by the unit.
+var (
+	ErrTooDeep = errors.New("mops: nesting exceeds architectural limit")
+)
+
+// Config holds the unit's parameters (shared with the deserializer's
+// conventions).
+type Config struct {
+	CopyWidth        uint64 // streaming copy bytes per cycle
+	OnChipStackDepth int
+	SpillPenalty     float64
+	MaxDepth         int
+	HiddenLatency    uint64
+}
+
+// DefaultConfig returns parameters matching the other units.
+func DefaultConfig() Config {
+	return Config{
+		CopyWidth:        16,
+		OnChipStackDepth: 25,
+		SpillPenalty:     12,
+		MaxDepth:         100,
+		HiddenLatency:    1,
+	}
+}
+
+// Stats reports the unit's work.
+type Stats struct {
+	Cycles      float64
+	Clears      uint64
+	Copies      uint64
+	Merges      uint64
+	Allocs      uint64
+	BytesCopied uint64
+}
+
+// Unit is the message-operations unit.
+type Unit struct {
+	Mem   *mem.Memory
+	Port  *memmodel.Port
+	Arena *mem.Allocator
+	Cfg   Config
+
+	stats Stats
+}
+
+// New creates a message-operations unit.
+func New(m *mem.Memory, port *memmodel.Port, arena *mem.Allocator, cfg Config) *Unit {
+	return &Unit{Mem: m, Port: port, Arena: arena, Cfg: cfg}
+}
+
+// Stats returns cumulative statistics.
+func (u *Unit) Stats() Stats { return u.stats }
+
+func (u *Unit) fsm(c float64) { u.stats.Cycles += c }
+
+func (u *Unit) blockingLoad(addr, size uint64) {
+	lat := u.Port.Access(addr, size)
+	if lat > u.Cfg.HiddenLatency {
+		u.stats.Cycles += float64(lat - u.Cfg.HiddenLatency)
+	}
+}
+
+func (u *Unit) overlapped(addr, size uint64) {
+	lat := u.Port.StreamAccess(addr, size)
+	if lat > u.Cfg.HiddenLatency {
+		u.stats.Cycles += float64(lat-u.Cfg.HiddenLatency) / 4
+	}
+}
+
+func (u *Unit) arenaAlloc(n uint64) (uint64, error) {
+	u.fsm(1)
+	addr, err := u.Arena.Alloc(n, 8)
+	if err != nil {
+		return 0, fmt.Errorf("mops: accelerator arena exhausted: %w", err)
+	}
+	u.stats.Allocs++
+	return addr, nil
+}
+
+// streamCopy copies n bytes at CopyWidth per cycle.
+func (u *Unit) streamCopy(dst, src, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	u.fsm(float64((n + u.Cfg.CopyWidth - 1) / u.Cfg.CopyWidth))
+	u.overlapped(src, n)
+	u.overlapped(dst, n)
+	s, err := u.Mem.Slice(src, n)
+	if err != nil {
+		return err
+	}
+	return u.Mem.WriteBytes(dst, s)
+}
+
+// Clear implements do_proto_clear: reset all presence state of the object
+// at objAddr (type ADT at adtAddr). The C++ Clear also resets cached
+// sizes and lengths; presence is the architecturally visible part — a
+// cleared field reads as absent.
+func (u *Unit) Clear(adtAddr, objAddr uint64) (Stats, error) {
+	before := u.stats
+	u.fsm(4) // dispatch
+	h, err := adt.ReadHeader(u.Mem, adtAddr)
+	if err != nil {
+		return Stats{}, err
+	}
+	u.blockingLoad(adtAddr, adt.HeaderSize)
+	words := (uint64(h.FieldRange()) + 63) / 64
+	for w := uint64(0); w < words; w++ {
+		a := objAddr + h.HasbitsOffset + w*8
+		u.fsm(1)
+		u.overlapped(a, 8)
+		if err := u.Mem.Write64(a, 0); err != nil {
+			return Stats{}, err
+		}
+	}
+	u.stats.Clears++
+	return u.delta(before), nil
+}
+
+// Copy implements do_proto_copy: allocate a deep copy of the object at
+// srcObj in the accelerator arena and return its address. The object
+// image is stream-copied, then pointer-bearing present fields are fixed
+// up by recursing through the ADT — the §7 re-use of the deserializer's
+// allocation path and the serializer's hasbits scan.
+func (u *Unit) Copy(adtAddr, srcObj uint64) (uint64, Stats, error) {
+	before := u.stats
+	u.fsm(4)
+	dst, err := u.copyTree(adtAddr, srcObj, 1)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	u.stats.Copies++
+	return dst, u.delta(before), nil
+}
+
+func (u *Unit) copyTree(adtAddr, srcObj uint64, depth int) (uint64, error) {
+	if depth > u.Cfg.MaxDepth {
+		return 0, ErrTooDeep
+	}
+	if depth > u.Cfg.OnChipStackDepth {
+		u.fsm(u.Cfg.SpillPenalty)
+	}
+	h, err := adt.ReadHeader(u.Mem, adtAddr)
+	if err != nil {
+		return 0, err
+	}
+	u.blockingLoad(adtAddr, adt.HeaderSize)
+	dstObj, err := u.arenaAlloc(h.ObjectSize)
+	if err != nil {
+		return 0, err
+	}
+	if err := u.streamCopy(dstObj, srcObj, h.ObjectSize); err != nil {
+		return 0, err
+	}
+	u.stats.BytesCopied += h.ObjectSize
+
+	// Fix up pointer-bearing fields, scanning hasbits like the
+	// serializer frontend.
+	return dstObj, u.scanPresent(h, adtAddr, srcObj, func(num int32, e adt.Entry) error {
+		return u.fixupField(h, e, srcObj, dstObj, depth)
+	})
+}
+
+// scanPresent walks the sparse hasbits and invokes fn for each present
+// field, charging frontend-style scan cycles.
+func (u *Unit) scanPresent(h adt.Header, adtAddr, objAddr uint64, fn func(int32, adt.Entry) error) error {
+	rng := h.FieldRange()
+	if rng == 0 {
+		return nil
+	}
+	words := (uint64(rng) + 63) / 64
+	hbBase := objAddr + h.HasbitsOffset
+	for w := uint64(0); w < words; w++ {
+		u.fsm(1)
+		u.blockingLoad(hbBase+w*8, 8)
+	}
+	for num := h.MinField; num <= h.MaxField; num++ {
+		idx := uint64(num - h.MinField)
+		word, err := u.Mem.Read64(hbBase + (idx/64)*8)
+		if err != nil {
+			return err
+		}
+		if word>>(idx%64)&1 == 0 {
+			continue
+		}
+		u.fsm(1)
+		entry, err := adt.ReadEntry(u.Mem, adtAddr, h, num)
+		if err != nil {
+			return fmt.Errorf("mops: hasbit set for undefined field %d: %w", num, err)
+		}
+		u.blockingLoad(adtAddr+adt.HeaderSize+idx*adt.EntrySize, adt.EntrySize)
+		if err := fn(num, entry); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fixupField deep-copies the payload behind a pointer-bearing field of
+// dstObj (whose inline image was already copied from srcObj).
+func (u *Unit) fixupField(h adt.Header, e adt.Entry, srcObj, dstObj uint64, depth int) error {
+	srcSlot := srcObj + uint64(e.Offset)
+	dstSlot := dstObj + uint64(e.Offset)
+	switch {
+	case e.Repeated:
+		return u.fixupRepeated(e, srcSlot, dstSlot, depth)
+	case e.Kind == schema.KindMessage:
+		ptr, err := u.Mem.Read64(srcSlot)
+		if err != nil {
+			return err
+		}
+		if ptr == 0 {
+			return nil
+		}
+		sub, err := u.copyTree(e.SubADT, ptr, depth+1)
+		if err != nil {
+			return err
+		}
+		u.overlapped(dstSlot, 8)
+		return u.Mem.Write64(dstSlot, sub)
+	case e.Kind.Class() == schema.ClassBytesLike:
+		return u.copyString(srcSlot, dstSlot)
+	default:
+		return nil // scalar: the image copy already handled it
+	}
+}
+
+// copyString duplicates a {ptr, len} header's payload into the arena.
+func (u *Unit) copyString(srcHdr, dstHdr uint64) error {
+	ptr, err := u.Mem.Read64(srcHdr)
+	if err != nil {
+		return err
+	}
+	n, err := u.Mem.Read64(srcHdr + 8)
+	if err != nil {
+		return err
+	}
+	var dataAddr uint64
+	if n > 0 {
+		dataAddr, err = u.arenaAlloc(n)
+		if err != nil {
+			return err
+		}
+		if err := u.streamCopy(dataAddr, ptr, n); err != nil {
+			return err
+		}
+		u.stats.BytesCopied += n
+	}
+	u.overlapped(dstHdr, 16)
+	if err := u.Mem.Write64(dstHdr, dataAddr); err != nil {
+		return err
+	}
+	return u.Mem.Write64(dstHdr+8, n)
+}
+
+func elemSize(e adt.Entry) uint64 {
+	switch {
+	case e.Kind == schema.KindMessage:
+		return 8
+	case e.Kind.Class() == schema.ClassBytesLike:
+		return layout.StringHeaderSize
+	case e.Kind == schema.KindBool:
+		return 1
+	case e.Kind == schema.KindInt32 || e.Kind == schema.KindUint32 ||
+		e.Kind == schema.KindSint32 || e.Kind == schema.KindFixed32 ||
+		e.Kind == schema.KindSfixed32 || e.Kind == schema.KindFloat ||
+		e.Kind == schema.KindEnum:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// fixupRepeated duplicates a repeated field's buffer (and, for pointer
+// element types, the elements behind it).
+func (u *Unit) fixupRepeated(e adt.Entry, srcSlot, dstSlot uint64, depth int) error {
+	buf, err := u.Mem.Read64(srcSlot)
+	if err != nil {
+		return err
+	}
+	n, err := u.Mem.Read64(srcSlot + 8)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	es := elemSize(e)
+	newBuf, err := u.arenaAlloc(n * es)
+	if err != nil {
+		return err
+	}
+	if err := u.streamCopy(newBuf, buf, n*es); err != nil {
+		return err
+	}
+	u.stats.BytesCopied += n * es
+	switch {
+	case e.Kind == schema.KindMessage:
+		for i := uint64(0); i < n; i++ {
+			ptr, err := u.Mem.Read64(buf + i*8)
+			if err != nil {
+				return err
+			}
+			sub, err := u.copyTree(e.SubADT, ptr, depth+1)
+			if err != nil {
+				return err
+			}
+			if err := u.Mem.Write64(newBuf+i*8, sub); err != nil {
+				return err
+			}
+		}
+	case e.Kind.Class() == schema.ClassBytesLike:
+		for i := uint64(0); i < n; i++ {
+			if err := u.copyString(buf+i*es, newBuf+i*es); err != nil {
+				return err
+			}
+		}
+	}
+	u.overlapped(dstSlot, 24)
+	if err := u.Mem.Write64(dstSlot, newBuf); err != nil {
+		return err
+	}
+	if err := u.Mem.Write64(dstSlot+8, n); err != nil {
+		return err
+	}
+	return u.Mem.Write64(dstSlot+16, n)
+}
+
+// Merge implements do_proto_merge: merge the object at srcObj into dstObj
+// with proto2 semantics — singular scalars and strings overwrite,
+// singular sub-messages merge recursively, repeated fields concatenate
+// (source elements deep-copied into the arena).
+func (u *Unit) Merge(adtAddr, dstObj, srcObj uint64) (Stats, error) {
+	before := u.stats
+	u.fsm(4)
+	if err := u.mergeTree(adtAddr, dstObj, srcObj, 1); err != nil {
+		return Stats{}, err
+	}
+	u.stats.Merges++
+	return u.delta(before), nil
+}
+
+func (u *Unit) mergeTree(adtAddr, dstObj, srcObj uint64, depth int) error {
+	if depth > u.Cfg.MaxDepth {
+		return ErrTooDeep
+	}
+	if depth > u.Cfg.OnChipStackDepth {
+		u.fsm(u.Cfg.SpillPenalty)
+	}
+	h, err := adt.ReadHeader(u.Mem, adtAddr)
+	if err != nil {
+		return err
+	}
+	u.blockingLoad(adtAddr, adt.HeaderSize)
+	return u.scanPresent(h, adtAddr, srcObj, func(num int32, e adt.Entry) error {
+		// Set the destination hasbit (the hasbits writer path).
+		idx := uint64(num - h.MinField)
+		hbAddr := dstObj + h.HasbitsOffset + (idx/64)*8
+		w, err := u.Mem.Read64(hbAddr)
+		if err != nil {
+			return err
+		}
+		dstHad := w>>(idx%64)&1 == 1
+		if err := u.Mem.Write64(hbAddr, w|1<<(idx%64)); err != nil {
+			return err
+		}
+		u.overlapped(hbAddr, 8)
+
+		srcSlot := srcObj + uint64(e.Offset)
+		dstSlot := dstObj + uint64(e.Offset)
+		switch {
+		case e.Repeated:
+			return u.mergeRepeated(e, dstSlot, srcSlot, dstHad, depth)
+		case e.Kind == schema.KindMessage:
+			srcPtr, err := u.Mem.Read64(srcSlot)
+			if err != nil {
+				return err
+			}
+			if srcPtr == 0 {
+				return nil
+			}
+			dstPtr := uint64(0)
+			if dstHad {
+				if dstPtr, err = u.Mem.Read64(dstSlot); err != nil {
+					return err
+				}
+			}
+			if dstPtr == 0 {
+				sub, err := u.copyTree(e.SubADT, srcPtr, depth+1)
+				if err != nil {
+					return err
+				}
+				u.overlapped(dstSlot, 8)
+				return u.Mem.Write64(dstSlot, sub)
+			}
+			return u.mergeTree(e.SubADT, dstPtr, srcPtr, depth+1)
+		case e.Kind.Class() == schema.ClassBytesLike:
+			return u.copyString(srcSlot, dstSlot)
+		default:
+			// Scalar overwrite: copy the slot image.
+			u.fsm(1)
+			return u.streamCopy(dstSlot, srcSlot, scalarSlot(e.Kind))
+		}
+	})
+}
+
+func scalarSlot(k schema.Kind) uint64 {
+	switch k {
+	case schema.KindBool:
+		return 1
+	case schema.KindInt32, schema.KindUint32, schema.KindSint32,
+		schema.KindFixed32, schema.KindSfixed32, schema.KindFloat, schema.KindEnum:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// mergeRepeated concatenates src's elements after dst's.
+func (u *Unit) mergeRepeated(e adt.Entry, dstSlot, srcSlot uint64, dstHad bool, depth int) error {
+	srcBuf, err := u.Mem.Read64(srcSlot)
+	if err != nil {
+		return err
+	}
+	srcN, err := u.Mem.Read64(srcSlot + 8)
+	if err != nil {
+		return err
+	}
+	if srcN == 0 {
+		return nil
+	}
+	var dstBuf, dstN uint64
+	if dstHad {
+		if dstBuf, err = u.Mem.Read64(dstSlot); err != nil {
+			return err
+		}
+		if dstN, err = u.Mem.Read64(dstSlot + 8); err != nil {
+			return err
+		}
+	}
+	es := elemSize(e)
+	newBuf, err := u.arenaAlloc((dstN + srcN) * es)
+	if err != nil {
+		return err
+	}
+	if err := u.streamCopy(newBuf, dstBuf, dstN*es); err != nil {
+		return err
+	}
+	if err := u.streamCopy(newBuf+dstN*es, srcBuf, srcN*es); err != nil {
+		return err
+	}
+	u.stats.BytesCopied += (dstN + srcN) * es
+	// Deep-copy the appended pointer elements.
+	switch {
+	case e.Kind == schema.KindMessage:
+		for i := uint64(0); i < srcN; i++ {
+			ptr, err := u.Mem.Read64(srcBuf + i*8)
+			if err != nil {
+				return err
+			}
+			sub, err := u.copyTree(e.SubADT, ptr, depth+1)
+			if err != nil {
+				return err
+			}
+			if err := u.Mem.Write64(newBuf+(dstN+i)*8, sub); err != nil {
+				return err
+			}
+		}
+	case e.Kind.Class() == schema.ClassBytesLike:
+		for i := uint64(0); i < srcN; i++ {
+			if err := u.copyString(srcBuf+i*es, newBuf+(dstN+i)*es); err != nil {
+				return err
+			}
+		}
+	}
+	u.overlapped(dstSlot, 24)
+	if err := u.Mem.Write64(dstSlot, newBuf); err != nil {
+		return err
+	}
+	if err := u.Mem.Write64(dstSlot+8, dstN+srcN); err != nil {
+		return err
+	}
+	return u.Mem.Write64(dstSlot+16, dstN+srcN)
+}
+
+func (u *Unit) delta(before Stats) Stats {
+	d := u.stats
+	d.Cycles -= before.Cycles
+	d.Clears -= before.Clears
+	d.Copies -= before.Copies
+	d.Merges -= before.Merges
+	d.Allocs -= before.Allocs
+	d.BytesCopied -= before.BytesCopied
+	return d
+}

@@ -1,0 +1,283 @@
+package mops
+
+import (
+	"math/rand"
+	"testing"
+
+	"protoacc/internal/accel/adt"
+	"protoacc/internal/accel/layout"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/pbtest"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/sim/mem"
+	"protoacc/internal/sim/memmodel"
+)
+
+type rig struct {
+	mem  *mem.Memory
+	mat  *layout.Materializer
+	adts *adt.Set
+	unit *Unit
+}
+
+func newRig(t *testing.T, roots ...*schema.Message) *rig {
+	t.Helper()
+	m := mem.New()
+	adtAlloc := mem.NewAllocator(m.Map("adt", 1<<20))
+	heap := mem.NewAllocator(m.Map("heap", 32<<20))
+	arena := mem.NewAllocator(m.Map("arena", 32<<20))
+	reg := layout.NewRegistry()
+	set, err := adt.Build(m, adtAlloc, reg, roots...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := memmodel.NewSystem(memmodel.DefaultConfig())
+	return &rig{
+		mem:  m,
+		mat:  layout.NewMaterializer(m, heap, reg),
+		adts: set,
+		unit: New(m, sys.NewPort("accel"), arena, DefaultConfig()),
+	}
+}
+
+func testType() *schema.Message {
+	sub := schema.MustMessage("Sub",
+		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
+		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString})
+	return schema.MustMessage("M",
+		&schema.Field{Name: "i", Number: 1, Kind: schema.KindInt64},
+		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString},
+		&schema.Field{Name: "sub", Number: 3, Kind: schema.KindMessage, Message: sub},
+		&schema.Field{Name: "r", Number: 4, Kind: schema.KindInt32, Label: schema.LabelRepeated},
+		&schema.Field{Name: "rs", Number: 5, Kind: schema.KindString, Label: schema.LabelRepeated},
+		&schema.Field{Name: "rm", Number: 6, Kind: schema.KindMessage, Message: sub, Label: schema.LabelRepeated},
+		&schema.Field{Name: "d", Number: 7, Kind: schema.KindDouble},
+	)
+}
+
+func populated(t *schema.Message) *dynamic.Message {
+	m := dynamic.New(t)
+	m.SetInt64(1, -77)
+	m.SetString(2, "hello mops")
+	s := m.MutableMessage(3)
+	s.SetInt32(1, 5)
+	s.SetString(2, "inner")
+	for i := int32(0); i < 4; i++ {
+		m.AddScalarBits(4, uint64(int64(i)))
+	}
+	m.AddString(5, "alpha")
+	m.AddString(5, "")
+	m.AddMessage(6).SetInt32(1, 9)
+	m.SetDouble(7, 2.5)
+	return m
+}
+
+func TestClear(t *testing.T) {
+	typ := testType()
+	r := newRig(t, typ)
+	msg := populated(typ)
+	addr, err := r.mat.Write(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.unit.Clear(r.adts.Addr(typ), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles <= 0 || st.Clears != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	got, err := r.mat.Read(typ, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PresentFieldNumbers()) != 0 {
+		t.Errorf("cleared object still has fields: %v", got.PresentFieldNumbers())
+	}
+}
+
+func TestCopyDeep(t *testing.T) {
+	typ := testType()
+	r := newRig(t, typ)
+	msg := populated(typ)
+	srcAddr, err := r.mat.Write(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstAddr, st, err := r.unit.Copy(r.adts.Addr(typ), srcAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Copies != 1 || st.Allocs == 0 || st.BytesCopied == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	got, err := r.mat.Read(typ, dstAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msg.Equal(got) {
+		t.Error("copy differs from source")
+	}
+	// Deep: clearing the copy must not disturb the source.
+	if _, err := r.unit.Clear(r.adts.Addr(typ), dstAddr); err != nil {
+		t.Fatal(err)
+	}
+	src, err := r.mat.Read(typ, srcAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msg.Equal(src) {
+		t.Error("clearing the copy disturbed the source")
+	}
+}
+
+func TestMergeMatchesDynamicSemantics(t *testing.T) {
+	typ := testType()
+	r := newRig(t, typ)
+	dst := populated(typ)
+	src := dynamic.New(typ)
+	src.SetInt64(1, 42)         // overwrites
+	src.SetString(2, "updated") // overwrites
+	src.MutableMessage(3).SetInt32(1, 100)
+	src.AddScalarBits(4, 1000) // concatenates
+	src.AddString(5, "gamma")
+	src.AddMessage(6).SetString(2, "second")
+
+	dstAddr, err := r.mat.Write(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcAddr, err := r.mat.Write(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.unit.Merge(r.adts.Addr(typ), dstAddr, srcAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Merges != 1 || st.Cycles <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	got, err := r.mat.Read(typ, dstAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dst.Clone()
+	want.Merge(src)
+	if !want.Equal(got) {
+		t.Error("accelerated merge differs from dynamic.Merge semantics")
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	typ := testType()
+	r := newRig(t, typ)
+	src := populated(typ)
+	dstAddr, err := r.mat.Write(dynamic.New(typ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcAddr, err := r.mat.Write(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.unit.Merge(r.adts.Addr(typ), dstAddr, srcAddr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.mat.Read(typ, dstAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.Equal(got) {
+		t.Error("merge into empty should equal source")
+	}
+}
+
+func TestRandomizedCopyMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 40; trial++ {
+		typ := pbtest.RandomSchema(rng, pbtest.DefaultSchemaConfig())
+		a := pbtest.RandomPopulated(rng, typ, pbtest.DefaultMessageConfig())
+		b := pbtest.RandomPopulated(rng, typ, pbtest.DefaultMessageConfig())
+		r := newRig(t, typ)
+
+		aAddr, err := r.mat.Write(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copyAddr, _, err := r.unit.Copy(r.adts.Addr(typ), aAddr)
+		if err != nil {
+			t.Fatalf("trial %d: copy: %v", trial, err)
+		}
+		gotCopy, err := r.mat.Read(typ, copyAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(gotCopy) {
+			t.Fatalf("trial %d: copy mismatch", trial)
+		}
+
+		bAddr, err := r.mat.Write(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.unit.Merge(r.adts.Addr(typ), copyAddr, bAddr); err != nil {
+			t.Fatalf("trial %d: merge: %v", trial, err)
+		}
+		gotMerge, err := r.mat.Read(typ, copyAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a.Clone()
+		want.Merge(b)
+		if !want.Equal(gotMerge) {
+			t.Fatalf("trial %d: merge mismatch", trial)
+		}
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	rec := &schema.Message{Name: "R"}
+	if err := rec.SetFields([]*schema.Field{
+		{Name: "self", Number: 1, Kind: schema.KindMessage, Message: rec},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m := dynamic.New(rec)
+	cur := m
+	for i := 0; i < 150; i++ {
+		cur = cur.MutableMessage(1)
+	}
+	r := newRig(t, rec)
+	addr, err := r.mat.Write(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.unit.Copy(r.adts.Addr(rec), addr); err == nil {
+		t.Error("expected depth error")
+	}
+}
+
+func TestCopyCheaperThanReserialize(t *testing.T) {
+	// The §7 rationale: copy on the accelerator is a streaming operation;
+	// its cycle count should scale with object bytes, not field count
+	// heavy-parse costs. Sanity: copying a large-string message costs
+	// about its payload beats.
+	typ := schema.MustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+	r := newRig(t, typ)
+	msg := dynamic.New(typ)
+	msg.SetBytes(1, make([]byte, 64<<10))
+	addr, err := r.mat.Write(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := r.unit.Copy(r.adts.Addr(typ), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beats := float64(64<<10) / 16
+	if st.Cycles < beats || st.Cycles > 12*beats {
+		t.Errorf("copy cycles = %f, want ~%f (streaming)", st.Cycles, beats)
+	}
+}

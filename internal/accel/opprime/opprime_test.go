@@ -1,0 +1,175 @@
+package opprime
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"protoacc/internal/accel/layout"
+	"protoacc/internal/pb/codec"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/pbtest"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/sim/cpu"
+	"protoacc/internal/sim/mem"
+	"protoacc/internal/sim/memmodel"
+)
+
+type rig struct {
+	mem     *mem.Memory
+	mat     *layout.Materializer
+	builder *Builder
+	ser     *Serializer
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	m := mem.New()
+	heap := mem.NewAllocator(m.Map("heap", 32<<20))
+	tables := mem.NewAllocator(m.Map("tables", 32<<20))
+	out := m.Map("out", 32<<20)
+	reg := layout.NewRegistry()
+	sys := memmodel.NewSystem(memmodel.DefaultConfig())
+	c := cpu.New(cpu.BOOMParams(), m, sys.NewPort("cpu"), heap, reg)
+	return &rig{
+		mem:     m,
+		mat:     layout.NewMaterializer(m, heap, reg),
+		builder: &Builder{CPU: c, Mem: m, Reg: reg, Alloc: tables},
+		ser:     NewSerializer(m, sys.NewPort("accel"), out),
+	}
+}
+
+// flatSchema generates schemas without repeated message fields (the
+// baseline's supported subset).
+func flatSchema(rng *rand.Rand) *schema.Message {
+	cfg := pbtest.DefaultSchemaConfig()
+	cfg.MessageProb = 0.15
+	for {
+		t := pbtest.RandomSchema(rng, cfg)
+		ok := true
+		t.Walk(func(m *schema.Message) {
+			for _, f := range m.Fields {
+				if f.Kind == schema.KindMessage && f.Repeated() {
+					ok = false
+				}
+			}
+		})
+		if ok {
+			return t
+		}
+	}
+}
+
+func TestByteIdenticalToReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		typ := flatSchema(rng)
+		msg := pbtest.RandomPopulated(rng, typ, pbtest.DefaultMessageConfig())
+		want, err := codec.Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := newRig(t)
+		objAddr, err := r.mat.Write(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := r.builder.BuildTable(typ, objAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, n, err := r.ser.Serialize(tab)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := make([]byte, n)
+		if err := r.mem.ReadBytes(addr, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: baseline output differs (%d vs %d bytes)", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestConstructionChargesCPU(t *testing.T) {
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt64},
+		&schema.Field{Name: "b", Number: 2, Kind: schema.KindString})
+	r := newRig(t)
+	msg := dynamic.New(typ)
+	msg.SetInt64(1, 5)
+	msg.SetString(2, "x")
+	objAddr, err := r.mat.Write(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.builder.CPU.Cycles()
+	tab, err := r.builder.BuildTable(typ, objAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.builder.CPU.Cycles() <= before {
+		t.Error("table construction should cost CPU cycles")
+	}
+	if tab.Count != 2 {
+		t.Errorf("table count = %d", tab.Count)
+	}
+}
+
+func TestTableCountScalesWithPresence(t *testing.T) {
+	// The §3.7 contrast: the per-instance table's size (and its
+	// construction cost) scales with present fields; ProtoAcc's ADT is
+	// per-type and constant.
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
+		&schema.Field{Name: "b", Number: 2, Kind: schema.KindInt32},
+		&schema.Field{Name: "c", Number: 3, Kind: schema.KindInt32})
+	r := newRig(t)
+	sparse := dynamic.New(typ)
+	sparse.SetInt32(1, 1)
+	full := dynamic.New(typ)
+	full.SetInt32(1, 1)
+	full.SetInt32(2, 2)
+	full.SetInt32(3, 3)
+
+	sAddr, err := r.mat.Write(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fAddr, err := r.mat.Write(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.builder.BuildTable(typ, sAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := r.builder.BuildTable(typ, fAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 1 || ft.Count != 3 {
+		t.Errorf("counts = %d, %d", st.Count, ft.Count)
+	}
+}
+
+func TestRepeatedMessageRejected(t *testing.T) {
+	sub := schema.MustMessage("S", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "rm", Number: 1, Kind: schema.KindMessage, Message: sub, Label: schema.LabelRepeated})
+	r := newRig(t)
+	msg := dynamic.New(typ)
+	msg.AddMessage(1).SetInt32(1, 1)
+	objAddr, err := r.mat.Write(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := r.builder.BuildTable(typ, objAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ser.Serialize(tab); err == nil {
+		t.Error("repeated sub-message should be rejected by the baseline")
+	}
+}

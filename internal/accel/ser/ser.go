@@ -1,0 +1,581 @@
+// Package ser models the ProtoAcc serializer unit (§4.5 of the paper):
+// the frontend that scans the sparse hasbits and is_submessage bit fields,
+// the parallel field serializer units, and the memwriter that sequences
+// output and injects sub-message keys.
+//
+// The critical design point is reproduced literally: fields are visited in
+// reverse field-number order and the output buffer is written from high to
+// low addresses, producing byte-identical output to a software serializer
+// that works in increasing field order — while making sub-message lengths
+// known by the time their key must be written (§4.5.1). Output therefore
+// never needs a separate ByteSize pass, which is where a large share of
+// the CPU's serialization cycles go (Figure 2).
+//
+// Cycle accounting: the frontend, the pool of field serializer units, and
+// the memwriter are pipeline stages that run concurrently; the model
+// accumulates per-stage cycle totals and takes their maximum as the
+// operation's duration, then adds serial overheads (dispatch, sub-message
+// context switches, stack spills).
+package ser
+
+import (
+	"errors"
+	"fmt"
+
+	"protoacc/internal/accel/adt"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/pb/wire"
+	"protoacc/internal/sim/mem"
+	"protoacc/internal/sim/memmodel"
+)
+
+// Errors surfaced by the unit.
+var (
+	ErrNoArena    = errors.New("ser: no output arena assigned")
+	ErrArenaFull  = errors.New("ser: serializer output arena exhausted")
+	ErrPtrBufFull = errors.New("ser: serialized-output pointer buffer full")
+	ErrTooDeep    = errors.New("ser: context stack exceeds architectural limit")
+)
+
+// Config holds the unit's microarchitectural parameters.
+type Config struct {
+	// NumFieldUnits is the number of parallel field serializer units
+	// (§4.5.4, parameterizable).
+	NumFieldUnits int
+	// MemwriterWidth is the output bytes the memwriter drains per cycle.
+	MemwriterWidth uint64
+	// OnChipStackDepth / SpillPenalty / MaxDepth: as in the deserializer.
+	OnChipStackDepth int
+	SpillPenalty     float64
+	MaxDepth         int
+	// HiddenLatency is absorbed by unit-internal buffering.
+	HiddenLatency uint64
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		NumFieldUnits:    4,
+		MemwriterWidth:   16,
+		OnChipStackDepth: 25,
+		SpillPenalty:     12,
+		MaxDepth:         100,
+		HiddenLatency:    1,
+	}
+}
+
+// Stats reports what a serialization did.
+type Stats struct {
+	Cycles          float64
+	FrontendCycles  float64
+	FieldUnitCycles float64 // summed across units before dividing
+	MemwriterCycles float64
+	BytesProduced   uint64
+	FieldsEmitted   uint64
+	Messages        uint64
+	StackSpills     uint64
+	MaxDepthSeen    int
+}
+
+// Unit is one serializer unit instance.
+type Unit struct {
+	Mem  *mem.Memory
+	Port *memmodel.Port
+	Cfg  Config
+
+	// Output arena state (§4.5.1): a data buffer written high-to-low and
+	// a pointer buffer recording each completed output.
+	outBase, outTop uint64
+	ptrBase         uint64
+	ptrCap, ptrLen  uint64
+
+	stats Stats
+
+	// Per-handle-field-op work tracking: one field serializer unit owns
+	// one op, so parallelism is op-granular, not element-granular. The
+	// makespan over ops bounds the field-unit stage.
+	opWork  []*float64
+	curWork *float64
+}
+
+// New creates a serializer unit.
+func New(m *mem.Memory, port *memmodel.Port, cfg Config) *Unit {
+	return &Unit{Mem: m, Port: port, Cfg: cfg}
+}
+
+// AssignArena implements ser_assign_arena: dataRegion receives serialized
+// bytes (written from its end toward its base) and ptrRegion records
+// {address, length} pairs of completed outputs.
+func (u *Unit) AssignArena(dataRegion, ptrRegion *mem.Region) {
+	u.outBase = dataRegion.Base
+	u.outTop = dataRegion.End()
+	u.ptrBase = ptrRegion.Base
+	u.ptrCap = ptrRegion.Size() / 16
+	u.ptrLen = 0
+}
+
+// Outputs returns how many serialized outputs the arena holds.
+func (u *Unit) Outputs() uint64 { return u.ptrLen }
+
+// Output returns the address and length of the i-th serialized output
+// (the software-visible completion record, §4.5.2).
+func (u *Unit) Output(i uint64) (addr, length uint64, err error) {
+	if i >= u.ptrLen {
+		return 0, 0, fmt.Errorf("ser: output %d of %d", i, u.ptrLen)
+	}
+	if addr, err = u.Mem.Read64(u.ptrBase + i*16); err != nil {
+		return 0, 0, err
+	}
+	length, err = u.Mem.Read64(u.ptrBase + i*16 + 8)
+	return addr, length, err
+}
+
+// Stats returns cumulative statistics.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// ResetStats clears the accumulators.
+func (u *Unit) ResetStats() { u.stats = Stats{} }
+
+func (u *Unit) frontend(c float64) { u.stats.FrontendCycles += c }
+
+// fieldUnit charges work to the current handle-field-op.
+func (u *Unit) fieldUnit(c float64) {
+	u.stats.FieldUnitCycles += c
+	if u.curWork != nil {
+		*u.curWork += c
+	}
+}
+
+// beginOp opens a new handle-field-op work accumulator and returns a
+// closure restoring the previous one.
+func (u *Unit) beginOp() func() {
+	prev := u.curWork
+	w := new(float64)
+	u.opWork = append(u.opWork, w)
+	u.curWork = w
+	return func() { u.curWork = prev }
+}
+
+// blockingLoad charges a frontend-blocking load.
+func (u *Unit) blockingLoad(addr, size uint64) {
+	lat := u.Port.Access(addr, size)
+	if lat > u.Cfg.HiddenLatency {
+		u.stats.FrontendCycles += float64(lat - u.Cfg.HiddenLatency)
+	}
+}
+
+// unitLoad charges a field-serializer-unit load (overlapped across units).
+func (u *Unit) unitLoad(addr, size uint64) {
+	lat := u.Port.StreamAccess(addr, size)
+	if lat > u.Cfg.HiddenLatency {
+		u.fieldUnit(float64(lat-u.Cfg.HiddenLatency) / 2)
+	}
+}
+
+// outWrite tracks memwriter output traffic (streaming, high-to-low).
+func (u *Unit) outWrite(addr, size uint64) {
+	lat := u.Port.StreamAccess(addr, size)
+	if lat > u.Cfg.HiddenLatency {
+		u.stats.MemwriterCycles += float64(lat-u.Cfg.HiddenLatency) / 4
+	}
+}
+
+// Serialize implements do_proto_ser for the object at objAddr whose type's
+// ADT is at adtAddr. The serialized bytes land in the output arena and a
+// completion record is appended to the pointer buffer.
+func (u *Unit) Serialize(adtAddr, objAddr uint64) (Stats, error) {
+	if u.outTop == 0 {
+		return Stats{}, ErrNoArena
+	}
+	before := u.stats
+	u.opWork = u.opWork[:0]
+	u.curWork = nil
+	u.frontend(8) // RoCC dispatch + context stack init
+
+	frontStart := u.stats.FrontendCycles
+	unitStart := u.stats.FieldUnitCycles
+	writerStart := u.stats.MemwriterCycles
+
+	start, err := u.serializeMessage(adtAddr, objAddr, u.outTop, 1)
+	if err != nil {
+		return Stats{}, err
+	}
+	length := u.outTop - start
+	u.outTop = start
+	u.stats.BytesProduced += length
+	u.stats.Messages++
+
+	// Completion record.
+	if u.ptrLen >= u.ptrCap {
+		return Stats{}, ErrPtrBufFull
+	}
+	if err := u.Mem.Write64(u.ptrBase+u.ptrLen*16, start); err != nil {
+		return Stats{}, err
+	}
+	if err := u.Mem.Write64(u.ptrBase+u.ptrLen*16+8, length); err != nil {
+		return Stats{}, err
+	}
+	u.ptrLen++
+
+	// The memwriter drains MemwriterWidth bytes per cycle.
+	u.stats.MemwriterCycles += float64((length + u.Cfg.MemwriterWidth - 1) / u.Cfg.MemwriterWidth)
+
+	// Pipeline duration: the slowest stage bounds the operation. The
+	// field-unit stage is bounded below by its longest single op (one op
+	// cannot be split across units) and by total work over the unit
+	// count.
+	front := u.stats.FrontendCycles - frontStart
+	units := (u.stats.FieldUnitCycles - unitStart) / float64(u.Cfg.NumFieldUnits)
+	for _, w := range u.opWork {
+		if *w > units {
+			units = *w
+		}
+	}
+	writer := u.stats.MemwriterCycles - writerStart
+	dur := front
+	if units > dur {
+		dur = units
+	}
+	if writer > dur {
+		dur = writer
+	}
+	u.stats.Cycles += dur
+
+	delta := u.stats
+	delta.Cycles -= before.Cycles
+	delta.FrontendCycles -= before.FrontendCycles
+	delta.FieldUnitCycles -= before.FieldUnitCycles
+	delta.MemwriterCycles -= before.MemwriterCycles
+	delta.BytesProduced -= before.BytesProduced
+	delta.FieldsEmitted -= before.FieldsEmitted
+	delta.Messages -= before.Messages
+	delta.StackSpills -= before.StackSpills
+	return delta, nil
+}
+
+// writeBack writes b so that its last byte lands at end-1, returning the
+// new (lower) end. This is the memwriter's high-to-low regime.
+func (u *Unit) writeBack(end uint64, b []byte) (uint64, error) {
+	n := uint64(len(b))
+	if end < u.outBase+n {
+		return 0, ErrArenaFull
+	}
+	pos := end - n
+	if err := u.Mem.WriteBytes(pos, b); err != nil {
+		return 0, err
+	}
+	u.outWrite(pos, n)
+	return pos, nil
+}
+
+// serializeMessage emits the message at objAddr (type ADT at adtAddr)
+// ending at `end`, returning the start address of its encoding.
+func (u *Unit) serializeMessage(adtAddr, objAddr, end uint64, depth int) (uint64, error) {
+	if depth > u.Cfg.MaxDepth {
+		return 0, ErrTooDeep
+	}
+	if depth > u.stats.MaxDepthSeen {
+		u.stats.MaxDepthSeen = depth
+	}
+	header, err := adt.ReadHeader(u.Mem, adtAddr)
+	if err != nil {
+		return 0, err
+	}
+	u.blockingLoad(adtAddr, adt.HeaderSize)
+
+	rng := header.FieldRange()
+	if rng == 0 {
+		return end, nil // empty type: zero bytes (Figure 1)
+	}
+	words := (uint64(rng) + 63) / 64
+	// Frontend loads hasbits and is_submessage bit fields in parallel
+	// (§4.5.3): one pass of word loads each.
+	hbBase := objAddr + header.HasbitsOffset
+	sbBase := adtAddr + adt.HeaderSize + uint64(rng)*adt.EntrySize
+	for w := uint64(0); w < words; w++ {
+		u.blockingLoad(hbBase+w*8, 8)
+		u.blockingLoad(sbBase+w*8, 8)
+		u.frontend(1) // per-word scan step
+	}
+
+	pos := end
+	// Reverse field-number order (§4.5.1).
+	for num := header.MaxField; num >= header.MinField; num-- {
+		idx := uint64(num - header.MinField)
+		hw, err := u.Mem.Read64(hbBase + (idx/64)*8)
+		if err != nil {
+			return 0, err
+		}
+		if hw>>(idx%64)&1 == 0 {
+			continue // absent: only the scanned bit was spent
+		}
+		u.frontend(2.5) // present field: issue ADT load, construct handle-field-op
+		u.stats.FieldsEmitted++
+		entryAddr := adtAddr + adt.HeaderSize + idx*adt.EntrySize
+		entry, err := adt.ReadEntry(u.Mem, adtAddr, header, num)
+		if err != nil {
+			return 0, fmt.Errorf("ser: hasbit set for undefined field %d of ADT 0x%x: %w", num, adtAddr, err)
+		}
+		u.blockingLoad(entryAddr, adt.EntrySize)
+
+		endOp := u.beginOp()
+		pos, err = u.serializeField(entry, num, objAddr, pos, depth)
+		endOp()
+		if err != nil {
+			return 0, err
+		}
+	}
+	return pos, nil
+}
+
+// readSlot loads a field slot via a field serializer unit.
+func (u *Unit) readSlot(addr, size uint64) (uint64, error) {
+	u.unitLoad(addr, size)
+	switch size {
+	case 1:
+		b, err := u.Mem.Read8(addr)
+		return uint64(b), err
+	case 4:
+		v, err := u.Mem.Read32(addr)
+		return uint64(v), err
+	default:
+		return u.Mem.Read64(addr)
+	}
+}
+
+func scalarSlotSize(k schema.Kind) uint64 {
+	switch k {
+	case schema.KindBool:
+		return 1
+	case schema.KindInt32, schema.KindUint32, schema.KindSint32,
+		schema.KindFixed32, schema.KindSfixed32, schema.KindFloat, schema.KindEnum:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// encodeScalar renders one scalar's wire bytes (value only). Encoding is
+// single-cycle in hardware regardless of varint width (§5.1.2).
+func encodeScalar(k schema.Kind, bits uint64) []byte {
+	switch k {
+	case schema.KindFloat, schema.KindFixed32, schema.KindSfixed32:
+		return wire.AppendFixed32(nil, uint32(bits))
+	case schema.KindDouble, schema.KindFixed64, schema.KindSfixed64:
+		return wire.AppendFixed64(nil, bits)
+	case schema.KindSint32:
+		return wire.AppendVarint(nil, wire.EncodeZigZag32(int32(bits)))
+	case schema.KindSint64:
+		return wire.AppendVarint(nil, wire.EncodeZigZag64(int64(bits)))
+	case schema.KindUint32:
+		return wire.AppendVarint(nil, uint64(uint32(bits)))
+	case schema.KindInt32, schema.KindEnum:
+		return wire.AppendVarint(nil, uint64(int64(int32(bits))))
+	case schema.KindBool:
+		if bits != 0 {
+			return []byte{1}
+		}
+		return []byte{0}
+	default:
+		return wire.AppendVarint(nil, bits)
+	}
+}
+
+// sign32 sign-extends 4-byte slots for kinds stored sign-extended.
+func sign32(k schema.Kind, v uint64) uint64 {
+	switch k {
+	case schema.KindInt32, schema.KindSint32, schema.KindSfixed32, schema.KindEnum:
+		return uint64(int64(int32(v)))
+	}
+	return v
+}
+
+func (u *Unit) serializeField(e adt.Entry, num int32, objAddr, pos uint64, depth int) (uint64, error) {
+	slotAddr := objAddr + uint64(e.Offset)
+	switch {
+	case e.Repeated:
+		return u.serializeRepeated(e, num, slotAddr, pos, depth)
+	case e.Kind == schema.KindMessage:
+		ptr, err := u.readSlot(slotAddr, 8)
+		if err != nil {
+			return 0, err
+		}
+		if ptr == 0 {
+			return pos, nil // hasbit set but null pointer: nothing to emit
+		}
+		return u.serializeSubMessage(e.SubADT, ptr, num, pos, depth)
+	case e.Kind.Class() == schema.ClassBytesLike:
+		ptr, err := u.readSlot(slotAddr, 8)
+		if err != nil {
+			return 0, err
+		}
+		n, err := u.readSlot(slotAddr+8, 8)
+		if err != nil {
+			return 0, err
+		}
+		return u.emitString(num, ptr, n, pos)
+	default:
+		size := scalarSlotSize(e.Kind)
+		bits, err := u.readSlot(slotAddr, size)
+		if err != nil {
+			return 0, err
+		}
+		u.fieldUnit(1) // single-cycle encode
+		return u.emitKV(num, e.Kind, sign32(e.Kind, bits), pos)
+	}
+}
+
+// emitKV writes one scalar key/value pair ending at pos.
+func (u *Unit) emitKV(num int32, k schema.Kind, bits uint64, pos uint64) (uint64, error) {
+	val := encodeScalar(k, bits)
+	pos, err := u.writeBack(pos, val)
+	if err != nil {
+		return 0, err
+	}
+	u.fieldUnit(1) // key construction
+	// Round-robin output sequencing of the chunk (§4.5.5): select + drain.
+	u.stats.MemwriterCycles += 2
+	return u.writeBack(pos, wire.AppendTag(nil, num, k.WireType()))
+}
+
+// emitString writes tag + length + payload (payload copied from the
+// object's string buffer at memwriter width).
+func (u *Unit) emitString(num int32, ptr, n, pos uint64) (uint64, error) {
+	if pos < u.outBase+n {
+		return 0, ErrArenaFull
+	}
+	payloadPos := pos - n
+	if n > 0 {
+		src, err := u.Mem.Slice(ptr, n)
+		if err != nil {
+			return 0, err
+		}
+		if err := u.Mem.WriteBytes(payloadPos, src); err != nil {
+			return 0, err
+		}
+		u.unitLoad(ptr, n)
+		u.outWrite(payloadPos, n)
+		u.fieldUnit(float64((n + u.Cfg.MemwriterWidth - 1) / u.Cfg.MemwriterWidth))
+	}
+	pos = payloadPos
+	u.fieldUnit(1) // length + key construction
+	u.stats.MemwriterCycles += 2
+	pos, err := u.writeBack(pos, wire.AppendVarint(nil, n))
+	if err != nil {
+		return 0, err
+	}
+	return u.writeBack(pos, wire.AppendTag(nil, num, wire.TypeBytes))
+}
+
+// serializeSubMessage recurses with a context-stack push/pop; the
+// memwriter injects the key+length once the body is complete (§4.5.5).
+func (u *Unit) serializeSubMessage(subADT, subObj uint64, num int32, pos uint64, depth int) (uint64, error) {
+	u.frontend(5) // context save + sub-message pointer/ADT loads issued
+	if depth+1 > u.Cfg.OnChipStackDepth {
+		u.stats.StackSpills++
+		u.frontend(u.Cfg.SpillPenalty)
+	}
+	bodyEnd := pos
+	bodyStart, err := u.serializeMessage(subADT, subObj, bodyEnd, depth+1)
+	if err != nil {
+		return 0, err
+	}
+	length := bodyEnd - bodyStart
+	// End-of-message op: the memwriter injects the key with the now-known
+	// length.
+	u.stats.MemwriterCycles++
+	pos, err = u.writeBack(bodyStart, wire.AppendVarint(nil, length))
+	if err != nil {
+		return 0, err
+	}
+	pos, err = u.writeBack(pos, wire.AppendTag(nil, num, wire.TypeBytes))
+	if err != nil {
+		return 0, err
+	}
+	u.frontend(2) // context restore
+	if depth+1 > u.Cfg.OnChipStackDepth {
+		u.frontend(u.Cfg.SpillPenalty)
+	}
+	return pos, nil
+}
+
+func (u *Unit) serializeRepeated(e adt.Entry, num int32, slotAddr, pos uint64, depth int) (uint64, error) {
+	buf, err := u.readSlot(slotAddr, 8)
+	if err != nil {
+		return 0, err
+	}
+	n, err := u.readSlot(slotAddr+8, 8)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return pos, nil
+	}
+	switch {
+	case e.Kind == schema.KindMessage:
+		// Elements in reverse so they land in forward order.
+		for i := n; i > 0; i-- {
+			ptr, err := u.readSlot(buf+(i-1)*8, 8)
+			if err != nil {
+				return 0, err
+			}
+			pos, err = u.serializeSubMessage(e.SubADT, ptr, num, pos, depth)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return pos, nil
+	case e.Kind.Class() == schema.ClassBytesLike:
+		for i := n; i > 0; i-- {
+			hdr := buf + (i-1)*16
+			ptr, err := u.readSlot(hdr, 8)
+			if err != nil {
+				return 0, err
+			}
+			sl, err := u.readSlot(hdr+8, 8)
+			if err != nil {
+				return 0, err
+			}
+			pos, err = u.emitString(num, ptr, sl, pos)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return pos, nil
+	case e.Packed:
+		es := scalarSlotSize(e.Kind)
+		body := pos
+		for i := n; i > 0; i-- {
+			bits, err := u.readSlot(buf+(i-1)*es, es)
+			if err != nil {
+				return 0, err
+			}
+			u.fieldUnit(1)
+			pos, err = u.writeBack(pos, encodeScalar(e.Kind, sign32(e.Kind, bits)))
+			if err != nil {
+				return 0, err
+			}
+		}
+		length := body - pos
+		u.fieldUnit(1)
+		pos, err = u.writeBack(pos, wire.AppendVarint(nil, length))
+		if err != nil {
+			return 0, err
+		}
+		return u.writeBack(pos, wire.AppendTag(nil, num, wire.TypeBytes))
+	default:
+		es := scalarSlotSize(e.Kind)
+		for i := n; i > 0; i-- {
+			bits, err := u.readSlot(buf+(i-1)*es, es)
+			if err != nil {
+				return 0, err
+			}
+			u.fieldUnit(1)
+			pos, err = u.emitKV(num, e.Kind, sign32(e.Kind, bits), pos)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return pos, nil
+	}
+}

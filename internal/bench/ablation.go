@@ -1,0 +1,485 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"protoacc/internal/accel/asic"
+	"protoacc/internal/accel/layout"
+	"protoacc/internal/accel/opprime"
+	"protoacc/internal/core"
+	"protoacc/internal/fleet"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/sim/cpu"
+	"protoacc/internal/sim/mem"
+	"protoacc/internal/sim/memmodel"
+)
+
+// Ablation identifiers (DESIGN.md A1-A5).
+type Ablation string
+
+// The ablations.
+const (
+	AblATDvsPerInstance Ablation = "adt-vs-per-instance"
+	AblHasbits          Ablation = "sparse-vs-dense-hasbits"
+	AblFieldUnits       Ablation = "field-unit-count"
+	AblStackDepth       Ablation = "stack-depth"
+	AblMemloaderWidth   Ablation = "memloader-width"
+	AblInterference     Ablation = "shared-cache-interference"
+	AblFrontend         Ablation = "frontend-pressure"
+)
+
+// Ablations lists all ablation ids.
+func Ablations() []Ablation {
+	return []Ablation{AblATDvsPerInstance, AblHasbits, AblFieldUnits, AblStackDepth, AblMemloaderWidth, AblInterference, AblFrontend}
+}
+
+// RunAblation executes one ablation and returns its report text.
+func RunAblation(a Ablation, opts Options) (string, error) {
+	switch a {
+	case AblATDvsPerInstance:
+		emp, err := ablationProgrammingTablesEmpirical(opts)
+		if err != nil {
+			return "", err
+		}
+		return ablationProgrammingTables() + "\n" + emp, nil
+	case AblHasbits:
+		return ablationHasbits(), nil
+	case AblFieldUnits:
+		return ablationFieldUnits(opts)
+	case AblStackDepth:
+		return ablationStackDepth(opts)
+	case AblMemloaderWidth:
+		return ablationMemloaderWidth(opts)
+	case AblInterference:
+		return ablationInterference(opts)
+	case AblFrontend:
+		return ablationFrontendPressure(opts)
+	default:
+		return "", fmt.Errorf("bench: unknown ablation %q", a)
+	}
+}
+
+// ablationProgrammingTables reproduces the §3.7 trade-off analysis: our
+// design reads one extra bit per field number in the defined range (the
+// sparse hasbits), while per-message-instance programming tables (Optimus
+// Prime) write an extra 64 bits per present field. A field-number usage
+// density above 1/64 favours the ADT design; the Figure 7 distribution
+// shows how much of the fleet that covers.
+func ablationProgrammingTables() string {
+	var sb strings.Builder
+	sb.WriteString("A1: per-type ADTs + sparse hasbits vs per-instance programming tables (§3.7)\n")
+	sb.WriteString("model: assume R defined field numbers, P = density*R present fields\n")
+	sb.WriteString("  ADT design overhead      = R bits read per message\n")
+	sb.WriteString("  per-instance table cost  = 64*P bits written per message\n\n")
+	fmt.Fprintf(&sb, "%-14s %10s %14s %16s %10s\n",
+		"density", "msgs %", "ADT bits/field", "table bits/field", "winner")
+	const r = 64.0 // representative range; the ratio depends only on density
+	var favoured float64
+	for _, b := range fleet.FieldDensity() {
+		d := (b.Lo + b.Hi) / 2
+		if b.Hi > 1 {
+			d = 1
+		}
+		if b.Lo == 0 {
+			// The figure's "0.00" bucket: messages whose density rounds
+			// to zero sit below the 1/64 crossover.
+			d = 0.01
+		}
+		p := d * r
+		adtBits := r
+		tableBits := 64 * p
+		winner := "ADT"
+		if adtBits > tableBits {
+			winner = "per-instance"
+		} else {
+			favoured += b.Share
+		}
+		perFieldADT := adtBits / maxF(p, 1)
+		perFieldTable := tableBits / maxF(p, 1)
+		fmt.Fprintf(&sb, "[%.2f, %.2f)  %9.1f%% %14.1f %16.1f %10s\n",
+			b.Lo, minF(b.Hi, 1.0), b.Share*100, perFieldADT, perFieldTable, winner)
+	}
+	fmt.Fprintf(&sb, "\nADT design favoured for %.1f%% of observed messages (paper: at least 92%%)\n", favoured*100)
+	return sb.String()
+}
+
+// ablationHasbits contrasts the accelerator's sparse hasbits (§4.2:
+// directly indexable by field number) with protoc's dense packing, which
+// would require a mapping table read per parsed field.
+func ablationHasbits() string {
+	var sb strings.Builder
+	sb.WriteString("A2: sparse (accelerator) vs dense (protoc) hasbits representation (§4.2)\n")
+	sb.WriteString("model: D defined fields in a range R = D/density\n")
+	sb.WriteString("  sparse: R bits of object state, direct index, 0 extra reads\n")
+	sb.WriteString("  dense:  D bits of object state, +1 32-bit mapping read per field handled\n\n")
+	fmt.Fprintf(&sb, "%-10s %-10s %14s %14s %20s\n",
+		"density", "defined", "sparse bits", "dense bits", "dense extra reads")
+	for _, density := range []float64{1.0, 0.5, 0.25, 0.1, 0.05, 1.0 / 64} {
+		const defined = 16.0
+		r := defined / density
+		fmt.Fprintf(&sb, "%-10.3f %-10.0f %14.0f %14.0f %20s\n",
+			density, defined, r, defined, "1 per present field")
+	}
+	sb.WriteString("\nthe dense form saves object bytes only below density 1/64 —\n")
+	sb.WriteString("the regime Figure 7 shows is rare — while costing a read per field\n")
+	sb.WriteString("on every serialization; the accelerator therefore uses the sparse form.\n")
+	return sb.String()
+}
+
+// ablationFieldUnits sweeps the serializer's field unit count (§4.5.4),
+// reporting throughput on the Figure 11d workload set alongside silicon
+// area from the ASIC model.
+func ablationFieldUnits(opts Options) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("A3: serializer field-unit count sweep (§4.5.4)\n")
+	fmt.Fprintf(&sb, "%-8s %18s %14s\n", "units", "geomean Gbit/s", "area mm^2")
+	workloads := AllocWorkloads()
+	for _, units := range []int{1, 2, 4, 8} {
+		u := units
+		o := opts
+		o.Config = func(k core.Kind) core.Config {
+			cfg := opts.Config(k)
+			cfg.Ser.NumFieldUnits = u
+			return cfg
+		}
+		var vals []float64
+		for _, w := range workloads {
+			m, err := Run(core.KindAccel, Serialize, w, o)
+			if err != nil {
+				return "", err
+			}
+			vals = append(vals, m.GbitsPS)
+		}
+		scfg := opts.Config(core.KindAccel).Ser
+		scfg.NumFieldUnits = u
+		area := asic.Serializer(scfg).TotalAreaMM2()
+		fmt.Fprintf(&sb, "%-8d %18.2f %14.4f\n", units, Geomean(vals), area)
+	}
+	return sb.String(), nil
+}
+
+// deepWorkload builds a chain-nested workload of the given depth.
+func deepWorkload(depth int) Workload {
+	rec := &schema.Message{Name: "Deep"}
+	if err := rec.SetFields([]*schema.Field{
+		{Name: "next", Number: 1, Kind: schema.KindMessage, Message: rec},
+		{Name: "v", Number: 2, Kind: schema.KindInt64},
+	}); err != nil {
+		panic(err)
+	}
+	return newWorkload(fmt.Sprintf("depth-%d", depth), rec, func(int) *dynamic.Message {
+		m := dynamic.New(rec)
+		cur := m
+		for i := 0; i < depth; i++ {
+			cur.SetInt64(2, int64(i))
+			cur = cur.MutableMessage(1)
+		}
+		cur.SetInt64(2, int64(depth))
+		return m
+	}, 32)
+}
+
+// ablationStackDepth sweeps message depth against the on-chip metadata
+// stack (§3.8): past the on-chip depth, pushes and pops spill.
+func ablationStackDepth(opts Options) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("A4: metadata stack depth vs message nesting (§3.8)\n")
+	fmt.Fprintf(&sb, "%-12s %-14s %16s\n", "msg depth", "on-chip depth", "deser Gbit/s")
+	for _, msgDepth := range []int{8, 25, 50, 90} {
+		w := deepWorkload(msgDepth)
+		for _, chipDepth := range []int{12, 25, 100} {
+			d := chipDepth
+			o := opts
+			o.Config = func(k core.Kind) core.Config {
+				cfg := opts.Config(k)
+				cfg.Deser.OnChipStackDepth = d
+				return cfg
+			}
+			m, err := Run(core.KindAccel, Deserialize, w, o)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "%-12d %-14d %16.3f\n", msgDepth, chipDepth, m.GbitsPS)
+		}
+	}
+	sb.WriteString("\nfleet data (§3.8): 99.999% of bytes at depth <= 25, max < 100;\n")
+	sb.WriteString("25 on-chip entries avoid spills for virtually all traffic.\n")
+	return sb.String(), nil
+}
+
+// ablationMemloaderWidth sweeps the memloader width (§4.4.2) over the
+// deserialization microbenchmarks.
+func ablationMemloaderWidth(opts Options) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("A5: memloader width sweep (§4.4.2)\n")
+	fmt.Fprintf(&sb, "%-8s %22s %22s %12s\n",
+		"width", "non-alloc geomean Gb/s", "alloc geomean Gb/s", "area mm^2")
+	for _, width := range []uint64{8, 16, 32} {
+		wd := width
+		o := opts
+		o.Config = func(k core.Kind) core.Config {
+			cfg := opts.Config(k)
+			cfg.Deser.MemloaderWidth = wd
+			return cfg
+		}
+		geo := func(ws []Workload) (float64, error) {
+			var vals []float64
+			for _, w := range ws {
+				m, err := Run(core.KindAccel, Deserialize, w, o)
+				if err != nil {
+					return 0, err
+				}
+				vals = append(vals, m.GbitsPS)
+			}
+			return Geomean(vals), nil
+		}
+		na, err := geo(NonAllocWorkloads())
+		if err != nil {
+			return "", err
+		}
+		al, err := geo(AllocWorkloads())
+		if err != nil {
+			return "", err
+		}
+		dcfg := opts.Config(core.KindAccel).Deser
+		dcfg.MemloaderWidth = wd
+		area := asic.Deserializer(dcfg).TotalAreaMM2()
+		fmt.Fprintf(&sb, "%-8d %22.2f %22.2f %12.4f\n", width, na, al, area)
+	}
+	return sb.String(), nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ablationProgrammingTablesEmpirical runs the §3.7/§6 comparison end to
+// end: serialization on ProtoAcc (per-type ADTs, direct dispatch) versus
+// the Optimus-Prime-style baseline (CPU-built per-instance tables feeding
+// a table-driven serializer), across field-presence densities. Both
+// accelerators produce identical wire bytes; the difference is who pays
+// for programming information and when.
+func ablationProgrammingTablesEmpirical(opts Options) (string, error) {
+	const definedFields = 64
+	const batch = 64
+	var fields []*schema.Field
+	for i := 1; i <= definedFields; i++ {
+		fields = append(fields, &schema.Field{
+			Name: fmt.Sprintf("f%d", i), Number: int32(i), Kind: schema.KindInt64,
+		})
+	}
+	typ := schema.MustMessage("Density", fields...)
+
+	var sb strings.Builder
+	sb.WriteString("A1 (empirical): end-to-end serialization, ProtoAcc vs per-instance tables\n")
+	sb.WriteString("64 defined int64 fields, 64-message batches; cycles per message at 2 GHz\n\n")
+	fmt.Fprintf(&sb, "%-10s %14s %14s %14s %14s %10s\n",
+		"density", "protoacc", "table build", "baseline ser", "baseline tot", "winner")
+
+	for _, density := range []float64{1.0 / 64, 0.125, 0.25, 0.5, 1.0} {
+		present := int(density * definedFields)
+		if present < 1 {
+			present = 1
+		}
+		msgs := make([]*dynamic.Message, batch)
+		for i := range msgs {
+			m := dynamic.New(typ)
+			for f := 0; f < present; f++ {
+				m.SetInt64(int32(1+f), int64(i*64+f)*2654435761)
+			}
+			msgs[i] = m
+		}
+
+		// ProtoAcc path via the standard harness.
+		var wire [][]byte
+		var bytesTotal uint64
+		for _, m := range msgs {
+			b, err := marshalRef(m)
+			if err != nil {
+				return "", err
+			}
+			wire = append(wire, b)
+			bytesTotal += uint64(len(b))
+		}
+		w := Workload{Name: "density", Type: typ, Messages: msgs, Wire: wire, Bytes: bytesTotal}
+		pm, err := Run(core.KindAccel, Serialize, w, opts)
+		if err != nil {
+			return "", err
+		}
+		protoaccPerMsg := pm.Cycles / batch
+
+		// Baseline path: CPU table construction + table-driven serializer.
+		m := mem.New()
+		heap := mem.NewAllocator(m.Map("heap", 32<<20))
+		tables := mem.NewAllocator(m.Map("tables", 32<<20))
+		out := m.Map("out", 32<<20)
+		reg := layout.NewRegistry()
+		msys := memmodel.NewSystem(memmodel.DefaultConfig())
+		c := cpu.New(cpu.BOOMParams(), m, msys.NewPort("cpu"), heap, reg)
+		builder := &opprime.Builder{CPU: c, Mem: m, Reg: reg, Alloc: tables}
+		ser := opprime.NewSerializer(m, msys.NewPort("accel"), out)
+		mat := layout.NewMaterializer(m, heap, reg)
+
+		var buildCycles, serCycles float64
+		for _, msg := range msgs {
+			objAddr, err := mat.Write(msg)
+			if err != nil {
+				return "", err
+			}
+			before := c.Cycles()
+			tab, err := builder.BuildTable(typ, objAddr)
+			if err != nil {
+				return "", err
+			}
+			buildCycles += c.Cycles() - before
+			sBefore := ser.Cycles
+			if _, _, err := ser.Serialize(tab); err != nil {
+				return "", err
+			}
+			serCycles += ser.Cycles - sBefore
+		}
+		buildPerMsg := buildCycles / batch
+		serPerMsg := serCycles / batch
+		baselineTotal := buildPerMsg + serPerMsg
+		winner := "protoacc"
+		if baselineTotal < protoaccPerMsg {
+			winner = "per-instance"
+		}
+		fmt.Fprintf(&sb, "%-10.3f %14.0f %14.0f %14.0f %14.0f %10s\n",
+			density, protoaccPerMsg, buildPerMsg, serPerMsg, baselineTotal, winner)
+	}
+	sb.WriteString("\ntable construction sits on the CPU critical path and grows with\n")
+	sb.WriteString("present fields; ProtoAcc pays only the sparse-hasbits scan, fixed per type.\n")
+	return sb.String(), nil
+}
+
+// ablationInterference measures the cost of sharing the L2/LLC with the
+// application core (Figure 8): between accelerator operations, the CPU
+// streams over a working set of the given size, evicting the shared cache
+// levels. The paper places the accelerator behind the shared L2 precisely
+// so hot ADTs and buffers stay close; this ablation shows the sensitivity.
+func ablationInterference(opts Options) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("A6: shared L2/LLC interference from a co-running core (Figure 8)\n")
+	fmt.Fprintf(&sb, "%-16s %20s %20s\n", "CPU working set", "varint-5 deser Gb/s", "string_long deser Gb/s")
+	workloads := map[string]Workload{}
+	for _, w := range NonAllocWorkloads() {
+		if w.Name == "varint-5" {
+			workloads[w.Name] = w
+		}
+	}
+	for _, w := range AllocWorkloads() {
+		if w.Name == "string_long" {
+			workloads[w.Name] = w
+		}
+	}
+	for _, pollute := range []uint64{0, 256 << 10, 2 << 20, 16 << 20} {
+		row := map[string]float64{}
+		for name, w := range workloads {
+			cfg := sizedConfig(opts.Config(core.KindAccel), w.Bytes+pollute)
+			sys := core.New(cfg)
+			if err := sys.LoadSchema(w.Type); err != nil {
+				return "", err
+			}
+			refs := make([]core.WireRef, len(w.Wire))
+			for i, b := range w.Wire {
+				a, err := sys.WriteWire(b)
+				if err != nil {
+					return "", err
+				}
+				refs[i] = core.WireRef{Addr: a, Len: uint64(len(b))}
+			}
+			var polluter uint64
+			if pollute > 0 {
+				var err error
+				polluter, err = sys.Static.Alloc(pollute, 64)
+				if err != nil {
+					return "", err
+				}
+			}
+			var cycles float64
+			var bytes uint64
+			for batch := 0; batch < 2; batch++ { // warm-up + measured
+				sys.ResetWork()
+				cycles, bytes = 0, 0
+				for _, ref := range refs {
+					if pollute > 0 {
+						// The co-running core sweeps its working set
+						// through the shared hierarchy.
+						sys.CPU.Port.StreamAccess(polluter, pollute)
+					}
+					res, err := sys.Deserialize(w.Type, ref.Addr, ref.Len)
+					if err != nil {
+						return "", err
+					}
+					cycles += res.Cycles
+					bytes += res.Bytes
+				}
+			}
+			seconds := cycles / (sys.Cfg.AccelFreqGHz * 1e9)
+			row[name] = float64(bytes) * 8 / seconds / 1e9
+		}
+		label := "none"
+		if pollute > 0 {
+			label = fmt.Sprintf("%d KiB", pollute>>10)
+		}
+		fmt.Fprintf(&sb, "%-16s %20.2f %20.2f\n", label, row["varint-5"], row["string_long"])
+	}
+	sb.WriteString("\nworking sets past the shared L2 (512 KiB) evict the accelerator's ADTs\n")
+	sb.WriteString("and stream buffers; past the LLC they force DRAM trips per operation.\n")
+	return sb.String(), nil
+}
+
+// ablationFrontendPressure quantifies the §7 observation that protobuf
+// offload also relieves I-cache and branch-predictor pressure: the CPU
+// baselines are charged a per-call front-end refill cost (the generated
+// parse/serialize code is large and branch-heavy), which the accelerator
+// never pays. The headline calibration uses zero; this sweep shows how
+// much additional speedup the front-end effect would contribute —
+// "potentially as many cycles as accelerating protobufs itself".
+func ablationFrontendPressure(opts Options) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("A7: CPU front-end (I$/BTB) pressure per protobuf call (§7)\n")
+	fmt.Fprintf(&sb, "%-18s %16s %16s %14s\n",
+		"refill cy/call", "BOOM Gb/s", "accel Gb/s", "accel/BOOM")
+	ws, err := HyperWorkloads()
+	if err != nil {
+		return "", err
+	}
+	w := ws[4] // bench4: small RPC messages — front-end costs dominate
+	for _, pressure := range []float64{0, 250, 500, 1000} {
+		p := pressure
+		o := opts
+		o.SoftwareArenas = true
+		o.Config = func(k core.Kind) core.Config {
+			cfg := opts.Config(k)
+			cfg.CPU.FrontendPressure = p
+			return cfg
+		}
+		bm, err := Run(core.KindBOOM, Deserialize, w, o)
+		if err != nil {
+			return "", err
+		}
+		am, err := Run(core.KindAccel, Deserialize, w, o)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%-18.0f %16.3f %16.3f %13.1fx\n",
+			pressure, bm.GbitsPS, am.GbitsPS, am.GbitsPS/bm.GbitsPS)
+	}
+	sb.WriteString("\nworkload: bench4 (small RPC messages) deserialization; the accelerator\n")
+	sb.WriteString("is insensitive while the CPU loses throughput to code-footprint refills.\n")
+	return sb.String(), nil
+}

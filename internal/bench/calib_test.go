@@ -1,0 +1,23 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCalibrationPrint is a development aid: -run TestCalibrationPrint -v
+// prints all four microbenchmark figures for calibration inspection.
+func TestCalibrationPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration print skipped in -short")
+	}
+	for _, f := range []Figure{Fig11a, Fig11b, Fig11c, Fig11d} {
+		rows, err := RunFigure(f, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Println(FormatTable(FigureTitle(f), rows))
+		vb, vx := Speedups(rows)
+		fmt.Printf("  summary speedup: %.1fx vs BOOM, %.1fx vs Xeon\n\n", vb, vx)
+	}
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Figure identifiers mapped to their workload sets and operations.
+// Figure 11a: deser, non-alloc. 11b: ser, inline (same type set as 11a).
+// Figure 11c: deser, alloc. 11d: ser, non-inline (same set as 11c).
+// Figures 12/13: HyperProtoBench deser/ser.
+type Figure string
+
+// The evaluated figures.
+const (
+	Fig11a Figure = "11a"
+	Fig11b Figure = "11b"
+	Fig11c Figure = "11c"
+	Fig11d Figure = "11d"
+	Fig12  Figure = "12"
+	Fig13  Figure = "13"
+)
+
+// FigureTitle returns the paper's caption for a figure.
+func FigureTitle(f Figure) string {
+	switch f {
+	case Fig11a:
+		return "Figure 11a: Deser., field types that do not require in-accel. memory allocation"
+	case Fig11b:
+		return "Figure 11b: Ser., field types \"inline\" in top-level C++ message objects"
+	case Fig11c:
+		return "Figure 11c: Deser., field types that require in-accel. memory allocation"
+	case Fig11d:
+		return "Figure 11d: Ser., field types not \"inline\" in top-level C++ message objects"
+	case Fig12:
+		return "Figure 12: HyperProtoBench deserialization results"
+	case Fig13:
+		return "Figure 13: HyperProtoBench serialization results"
+	default:
+		return "Figure " + string(f)
+	}
+}
+
+// RunFigure measures one figure's series.
+func RunFigure(f Figure, opts Options) ([]Series, error) {
+	switch f {
+	case Fig11a:
+		return RunSet(Deserialize, NonAllocWorkloads(), opts)
+	case Fig11b:
+		return RunSet(Serialize, NonAllocWorkloads(), opts)
+	case Fig11c:
+		return RunSet(Deserialize, AllocWorkloads(), opts)
+	case Fig11d:
+		return RunSet(Serialize, AllocWorkloads(), opts)
+	case Fig12, Fig13:
+		ws, err := HyperWorkloads()
+		if err != nil {
+			return nil, err
+		}
+		op := Deserialize
+		if f == Fig13 {
+			op = Serialize
+		}
+		opts.SoftwareArenas = true
+		return RunSet(op, ws, opts)
+	default:
+		return nil, fmt.Errorf("bench: unknown figure %q", f)
+	}
+}
+
+// FormatTable renders series rows as the figure's data table (Gbit/s per
+// system), matching the bar groups of the paper's plots.
+func FormatTable(title string, rows []Series) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	width := len("benchmark")
+	for _, r := range rows {
+		if len(r.Bench) > width {
+			width = len(r.Bench)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s  %12s  %12s  %16s  %9s  %9s\n",
+		width, "benchmark", "riscv-boom", "Xeon", "riscv-boom-accel", "vs-boom", "vs-xeon")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-*s  %12.3f  %12.3f  %16.3f  %8.1fx  %8.1fx\n",
+			width, r.Bench, r.BOOM, r.Xeon, r.Accel, safeDiv(r.Accel, r.BOOM), safeDiv(r.Accel, r.Xeon))
+	}
+	return sb.String()
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,21 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestHyperCalibrationPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration print skipped in -short")
+	}
+	for _, f := range []Figure{Fig12, Fig13} {
+		rows, err := RunFigure(f, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Println(FormatTable(FigureTitle(f), rows))
+		vb, vx := Speedups(rows)
+		fmt.Printf("  summary speedup: %.1fx vs BOOM, %.1fx vs Xeon\n\n", vb, vx)
+	}
+}

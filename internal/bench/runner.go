@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+
+	"protoacc/internal/core"
+	"protoacc/internal/hyperbench"
+	"protoacc/internal/pb/schema"
+)
+
+// Op selects serialization or deserialization.
+type Op int
+
+// Operations.
+const (
+	Deserialize Op = iota
+	Serialize
+)
+
+func (o Op) String() string {
+	if o == Serialize {
+		return "ser"
+	}
+	return "deser"
+}
+
+// Measurement is one (workload, system) result.
+type Measurement struct {
+	Workload string
+	System   core.Kind
+	Op       Op
+	GbitsPS  float64
+	Cycles   float64
+	Bytes    uint64
+}
+
+// Options tunes a run.
+type Options struct {
+	WarmupBatches  int // batches run before the measured one
+	Config         func(core.Kind) core.Config
+	SoftwareArenas bool // CPU baselines allocate from software arenas
+}
+
+// DefaultOptions returns the standard settings: one warm-up batch, paper
+// configurations.
+func DefaultOptions() Options {
+	return Options{WarmupBatches: 1, Config: core.DefaultConfig}
+}
+
+// HyperOptions returns the HyperProtoBench settings: service workloads
+// run their CPU baselines with software arena allocation, the common
+// configuration for protobuf-heavy services at scale (§2.3, §7).
+func HyperOptions() Options {
+	o := DefaultOptions()
+	o.SoftwareArenas = true
+	return o
+}
+
+// sizedConfig scales the system's memory regions to the workload so huge
+// workloads fit and small ones don't pay gigabyte zeroing costs.
+func sizedConfig(base core.Config, need uint64) core.Config {
+	const floor = 16 << 20
+	size := need*4 + floor
+	base.StaticSize = size
+	base.HeapSize = size
+	base.ArenaSize = size
+	base.OutSize = size
+	return base
+}
+
+// Run measures one workload on one system for one operation: warm-up
+// batches followed by a measured batch, returning batch throughput.
+func Run(k core.Kind, op Op, w Workload, opts Options) (Measurement, error) {
+	cfg := sizedConfig(opts.Config(k), w.Bytes)
+	cfg.SoftwareArenas = opts.SoftwareArenas
+	sys := core.New(cfg)
+	if err := sys.LoadSchema(w.Type); err != nil {
+		return Measurement{}, err
+	}
+
+	switch op {
+	case Deserialize:
+		// Inputs: serialized buffers in static memory. Operations are
+		// batched with one completion barrier per batch (§4.4.1).
+		refs := make([]core.WireRef, len(w.Wire))
+		for i, b := range w.Wire {
+			a, err := sys.WriteWire(b)
+			if err != nil {
+				return Measurement{}, err
+			}
+			refs[i] = core.WireRef{Addr: a, Len: uint64(len(b))}
+		}
+		var res core.Result
+		for b := 0; b <= opts.WarmupBatches; b++ {
+			sys.ResetWork()
+			var err error
+			res, _, err = sys.DeserializeBatch(w.Type, refs)
+			if err != nil {
+				return Measurement{}, err
+			}
+		}
+		return measurement(w, k, op, res.Cycles, res.Bytes, freqGHz(sys)), nil
+
+	case Serialize:
+		// Inputs: materialized C++ objects in static memory.
+		objs := make([]uint64, len(w.Messages))
+		for i, m := range w.Messages {
+			a, err := sys.MaterializeInput(m)
+			if err != nil {
+				return Measurement{}, err
+			}
+			objs[i] = a
+		}
+		var res core.Result
+		for b := 0; b <= opts.WarmupBatches; b++ {
+			sys.ResetWork()
+			var err error
+			res, _, err = sys.SerializeBatch(w.Type, objs)
+			if err != nil {
+				return Measurement{}, err
+			}
+		}
+		return measurement(w, k, op, res.Cycles, res.Bytes, freqGHz(sys)), nil
+	}
+	return Measurement{}, fmt.Errorf("bench: unknown op %d", op)
+}
+
+func freqGHz(sys *core.System) float64 {
+	if sys.Accel != nil {
+		return sys.Cfg.AccelFreqGHz
+	}
+	return sys.Cfg.CPU.FrequencyGHz
+}
+
+func measurement(w Workload, k core.Kind, op Op, cycles float64, bytes uint64, ghz float64) Measurement {
+	seconds := cycles / (ghz * 1e9)
+	gbps := 0.0
+	if seconds > 0 {
+		gbps = float64(bytes) * 8 / seconds / 1e9
+	}
+	return Measurement{
+		Workload: w.Name, System: k, Op: op,
+		GbitsPS: gbps, Cycles: cycles, Bytes: bytes,
+	}
+}
+
+// Series is one benchmark's row across the three systems, the layout of
+// the Figure 11-13 bar groups.
+type Series struct {
+	Bench string
+	BOOM  float64 // Gbit/s
+	Xeon  float64
+	Accel float64
+}
+
+// Systems in figure order.
+var systems = []core.Kind{core.KindBOOM, core.KindXeon, core.KindAccel}
+
+// RunSet measures a full workload set on all three systems and appends a
+// geomean row.
+func RunSet(op Op, workloads []Workload, opts Options) ([]Series, error) {
+	var out []Series
+	for _, w := range workloads {
+		s := Series{Bench: w.Name}
+		for _, k := range systems {
+			m, err := Run(k, op, w, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %v: %w", w.Name, k, err)
+			}
+			switch k {
+			case core.KindBOOM:
+				s.BOOM = m.GbitsPS
+			case core.KindXeon:
+				s.Xeon = m.GbitsPS
+			case core.KindAccel:
+				s.Accel = m.GbitsPS
+			}
+		}
+		out = append(out, s)
+	}
+	return append(out, GeomeanRow(out)), nil
+}
+
+// GeomeanRow computes the geomean series over rows.
+func GeomeanRow(rows []Series) Series {
+	var b, x, a []float64
+	for _, r := range rows {
+		b = append(b, r.BOOM)
+		x = append(x, r.Xeon)
+		a = append(a, r.Accel)
+	}
+	return Series{Bench: "geomean", BOOM: Geomean(b), Xeon: Geomean(x), Accel: Geomean(a)}
+}
+
+// Speedups returns the accelerated system's geomean speedups vs the two
+// baselines over the given rows (excluding any "geomean" row).
+func Speedups(rows []Series) (vsBOOM, vsXeon float64) {
+	var sb, sx []float64
+	for _, r := range rows {
+		if r.Bench == "geomean" {
+			continue
+		}
+		sb = append(sb, r.Accel/r.BOOM)
+		sx = append(sx, r.Accel/r.Xeon)
+	}
+	return Geomean(sb), Geomean(sx)
+}
+
+// HyperWorkload converts a generated HyperProtoBench suite into a
+// Workload.
+func HyperWorkload(b *hyperbench.Benchmark) Workload {
+	return Workload{
+		Name:     b.Profile.Name,
+		Type:     b.Root,
+		Messages: b.Messages,
+		Wire:     b.Wire,
+		Bytes:    b.TotalWireBytes,
+	}
+}
+
+// HyperWorkloads generates bench0…bench5 as workloads.
+func HyperWorkloads() ([]Workload, error) {
+	benches, err := hyperbench.GenerateAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Workload, len(benches))
+	for i, b := range benches {
+		out[i] = HyperWorkload(b)
+	}
+	return out, nil
+}
+
+// SchemaOf exposes a workload's root type (tooling convenience).
+func (w Workload) SchemaOf() *schema.Message { return w.Type }

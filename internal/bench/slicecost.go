@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+
+	"protoacc/internal/core"
+	"protoacc/internal/fleet"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/schema"
+)
+
+// sliceWorkload builds the microbenchmark behind one of the 24 §3.6.4
+// model slices: messages containing only fields of the slice's
+// performance class at the slice's representative size.
+func sliceWorkload(s fleet.Slice) Workload {
+	switch s.Class {
+	case schema.ClassBytesLike:
+		n := int(s.SizeBytes)
+		if n < 0 {
+			n = 0
+		}
+		return stringWorkload("slice-"+s.Name, n, 16)
+	case schema.ClassVarintLike:
+		t := scalarType("Slice"+s.Name, schema.KindUint64, false, false)
+		v := varintValue(int(s.SizeBytes))
+		return newWorkload("slice-"+s.Name, t, func(int) *dynamic.Message {
+			m := dynamic.New(t)
+			for i := int32(1); i <= fieldsPerScalarBench; i++ {
+				m.SetUint64(i, v)
+			}
+			return m
+		}, 32)
+	case schema.ClassFloatLike:
+		return fixedWorkload("slice-"+s.Name, schema.KindFloat, false)
+	case schema.ClassDoubleLike:
+		return fixedWorkload("slice-"+s.Name, schema.KindDouble, false)
+	case schema.ClassFixed32Like:
+		return fixedWorkload("slice-"+s.Name, schema.KindFixed32, false)
+	default:
+		return fixedWorkload("slice-"+s.Name, schema.KindFixed64, false)
+	}
+}
+
+// SliceCosts measures the per-byte handling cost (ns/B) of every model
+// slice on one system for one operation, using this project's own
+// microbenchmarks — the measurement step of the paper's Figure 5/6
+// methodology (§3.6.4). The returned function feeds
+// fleet.EstimateTimeShares.
+func SliceCosts(k core.Kind, op Op, opts Options) (func(fleet.Slice) float64, error) {
+	costs := make(map[string]float64)
+	for _, s := range fleet.Slices() {
+		m, err := Run(k, op, sliceWorkload(s), opts)
+		if err != nil {
+			return nil, fmt.Errorf("slice %s: %w", s.Name, err)
+		}
+		if m.Bytes == 0 {
+			return nil, fmt.Errorf("slice %s: empty workload", s.Name)
+		}
+		seconds := float64(m.Bytes) * 8 / (m.GbitsPS * 1e9)
+		costs[s.Name] = seconds * 1e9 / float64(m.Bytes) // ns per byte
+	}
+	return func(s fleet.Slice) float64 { return costs[s.Name] }, nil
+}

@@ -1,0 +1,244 @@
+// Package bench is the benchmark harness for the paper's evaluation
+// (Section 5): it defines the §5.1 microbenchmark workloads, runs every
+// workload on the three systems (riscv-boom, Xeon, riscv-boom-accel),
+// and assembles the series behind Figures 11a-11d (microbenchmarks),
+// Figures 12-13 (HyperProtoBench), and the summary speedups.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"protoacc/internal/pb/codec"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/schema"
+)
+
+// Workload is one microbenchmark: a message type and a pre-populated
+// batch of messages (§5.1: "a timed batch of deserializations and
+// serializations, operating on a pre-populated set of serialized messages
+// or C++ message objects").
+type Workload struct {
+	Name     string
+	Type     *schema.Message
+	Messages []*dynamic.Message
+	Wire     [][]byte
+	Bytes    uint64 // total wire bytes in the batch
+}
+
+// fieldsPerScalarBench is the §5.1 choice: five fields per message for
+// varints, doubles, floats, and their repeated equivalents, placing the
+// middle varint benchmark near the fleet's median message size.
+const fieldsPerScalarBench = 5
+
+// elemsPerRepeated is the element count per repeated field in -R
+// benchmarks.
+const elemsPerRepeated = 4
+
+// defaultBatch is the number of messages per benchmark batch.
+const defaultBatch = 64
+
+// varintValue returns a value whose varint encoding is exactly n bytes
+// (n=0 is the zero value, encoding to one byte).
+func varintValue(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 10 {
+		return math.MaxUint64
+	}
+	return uint64(1) << uint(7*(n-1))
+}
+
+func newWorkload(name string, t *schema.Message, pop func(i int) *dynamic.Message, batch int) Workload {
+	w := Workload{Name: name, Type: t}
+	for i := 0; i < batch; i++ {
+		m := pop(i)
+		b, err := codec.Marshal(m)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %s: %v", name, err))
+		}
+		w.Messages = append(w.Messages, m)
+		w.Wire = append(w.Wire, b)
+		w.Bytes += uint64(len(b))
+	}
+	return w
+}
+
+// scalarType builds a message with fieldsPerScalarBench fields of kind k.
+func scalarType(name string, k schema.Kind, repeated, packed bool) *schema.Message {
+	var fields []*schema.Field
+	label := schema.LabelOptional
+	if repeated {
+		label = schema.LabelRepeated
+	}
+	for i := 1; i <= fieldsPerScalarBench; i++ {
+		fields = append(fields, &schema.Field{
+			Name: fmt.Sprintf("f%d", i), Number: int32(i), Kind: k,
+			Label: label, Packed: packed,
+		})
+	}
+	return schema.MustMessage(name, fields...)
+}
+
+// varintWorkload builds the varint-N benchmark (5 uint64 fields whose
+// values encode to N bytes).
+func varintWorkload(n int) Workload {
+	t := scalarType(fmt.Sprintf("Varint%d", n), schema.KindUint64, false, false)
+	return newWorkload(fmt.Sprintf("varint-%d", n), t, func(int) *dynamic.Message {
+		m := dynamic.New(t)
+		for i := int32(1); i <= fieldsPerScalarBench; i++ {
+			m.SetUint64(i, varintValue(n))
+		}
+		return m
+	}, defaultBatch)
+}
+
+// varintRepeatedWorkload builds varint-N-R (5 repeated unpacked uint64
+// fields of elemsPerRepeated elements each).
+func varintRepeatedWorkload(n int) Workload {
+	t := scalarType(fmt.Sprintf("VarintR%d", n), schema.KindUint64, true, false)
+	return newWorkload(fmt.Sprintf("varint-%d-R", n), t, func(int) *dynamic.Message {
+		m := dynamic.New(t)
+		for i := int32(1); i <= fieldsPerScalarBench; i++ {
+			for e := 0; e < elemsPerRepeated; e++ {
+				m.AddScalarBits(i, varintValue(n))
+			}
+		}
+		return m
+	}, defaultBatch)
+}
+
+func fixedWorkload(name string, k schema.Kind, repeated bool) Workload {
+	t := scalarType(name, k, repeated, false)
+	rng := rand.New(rand.NewSource(7))
+	return newWorkload(name, t, func(int) *dynamic.Message {
+		m := dynamic.New(t)
+		for i := int32(1); i <= fieldsPerScalarBench; i++ {
+			bits := rng.Uint64()
+			if k == schema.KindFloat {
+				bits = uint64(uint32(bits))
+			}
+			if repeated {
+				for e := 0; e < elemsPerRepeated; e++ {
+					m.AddScalarBits(i, bits)
+				}
+			} else {
+				m.SetScalarBits(i, bits)
+			}
+		}
+		return m
+	}, defaultBatch)
+}
+
+// String benchmark sizes (§5.1.1 breaks strings down by field size; the
+// SSO boundary 15 and the long/very-long memcpy regimes).
+const (
+	stringShortLen    = 8
+	stringSSOLen      = 15
+	stringLongLen     = 4 << 10
+	stringVeryLongLen = 512 << 10
+)
+
+func stringWorkload(name string, size int, batch int) Workload {
+	t := schema.MustMessage("Str"+name,
+		&schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+	rng := rand.New(rand.NewSource(int64(size)))
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(' ' + rng.Intn(95))
+	}
+	return newWorkload(name, t, func(int) *dynamic.Message {
+		m := dynamic.New(t)
+		m.SetBytes(1, payload)
+		return m
+	}, batch)
+}
+
+// subWorkload builds the *-SUB benchmarks: one sub-message field whose
+// type carries one field of kind k.
+func subWorkload(name string, k schema.Kind, strLen int) Workload {
+	inner := schema.MustMessage("Inner"+name,
+		&schema.Field{Name: "v", Number: 1, Kind: k})
+	t := schema.MustMessage("Sub"+name,
+		&schema.Field{Name: "sub", Number: 1, Kind: schema.KindMessage, Message: inner})
+	rng := rand.New(rand.NewSource(3))
+	return newWorkload(name, t, func(int) *dynamic.Message {
+		m := dynamic.New(t)
+		s := m.MutableMessage(1)
+		switch {
+		case k == schema.KindString:
+			b := make([]byte, strLen)
+			for i := range b {
+				b[i] = byte('a' + rng.Intn(26))
+			}
+			s.SetBytes(1, b)
+		case k == schema.KindBool:
+			s.SetBool(1, true)
+		default:
+			s.SetScalarBits(1, rng.Uint64())
+		}
+		return m
+	}, defaultBatch)
+}
+
+// NonAllocWorkloads returns the Figure 11a/11b benchmark set: field types
+// that need no in-accelerator allocation on deserialization (equivalently,
+// are inline in the C++ object for serialization): varint-0..varint-10,
+// double, float.
+func NonAllocWorkloads() []Workload {
+	var out []Workload
+	for n := 0; n <= 10; n++ {
+		out = append(out, varintWorkload(n))
+	}
+	out = append(out,
+		fixedWorkload("double", schema.KindDouble, false),
+		fixedWorkload("float", schema.KindFloat, false),
+	)
+	return out
+}
+
+// AllocWorkloads returns the Figure 11c/11d benchmark set: field types
+// requiring in-accelerator allocation (repeated fields, strings,
+// sub-messages): varint-0-R..varint-10-R, string, string_15, string_long,
+// string_very_long, double-R, float-R, bool-SUB, double-SUB, string-SUB.
+func AllocWorkloads() []Workload {
+	var out []Workload
+	for n := 0; n <= 10; n++ {
+		out = append(out, varintRepeatedWorkload(n))
+	}
+	out = append(out,
+		stringWorkload("string", stringShortLen, defaultBatch),
+		stringWorkload("string_15", stringSSOLen, defaultBatch),
+		stringWorkload("string_long", stringLongLen, defaultBatch),
+		stringWorkload("string_very_long", stringVeryLongLen, 16),
+		fixedWorkload("double-R", schema.KindDouble, true),
+		fixedWorkload("float-R", schema.KindFloat, true),
+		subWorkload("bool-SUB", schema.KindBool, 0),
+		subWorkload("double-SUB", schema.KindDouble, 0),
+		subWorkload("string-SUB", schema.KindString, 32),
+	)
+	return out
+}
+
+// Geomean returns the geometric mean of positive values (0 if empty).
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// marshalRef serializes a message with the reference codec (a helper for
+// ad-hoc workloads built by the ablations).
+func marshalRef(m *dynamic.Message) ([]byte, error) {
+	return codec.Marshal(m)
+}

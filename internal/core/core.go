@@ -1,0 +1,493 @@
+// Package core assembles the simulated systems the paper evaluates
+// (Section 5): "riscv-boom" (a BOOM-class OoO core alone), "Xeon" (a
+// server-class core), and "riscv-boom-accel" (the BOOM core with the
+// protobuf accelerator attached over RoCC, sharing the L2/LLC — Figure 8).
+//
+// A System owns a simulated memory, a cache-hierarchy timing model, a
+// layout registry, ADTs, and either a CPU software-codec model or the
+// accelerator units. Workloads are loaded once (schemas, input wire
+// buffers, pre-materialized objects) and then Serialize/Deserialize run
+// the timed operations, returning functional results plus cycle counts
+// convertible to seconds and throughput.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"protoacc/internal/accel/adt"
+	"protoacc/internal/accel/deser"
+	"protoacc/internal/accel/layout"
+	"protoacc/internal/accel/mops"
+	"protoacc/internal/accel/ser"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/sim/cpu"
+	"protoacc/internal/sim/mem"
+	"protoacc/internal/sim/memmodel"
+	"protoacc/internal/sim/rocc"
+)
+
+// Kind selects which evaluated system a System models.
+type Kind int
+
+// The three systems of Section 5.
+const (
+	KindBOOM Kind = iota
+	KindXeon
+	KindAccel // riscv-boom-accel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBOOM:
+		return "riscv-boom"
+	case KindXeon:
+		return "Xeon"
+	case KindAccel:
+		return "riscv-boom-accel"
+	default:
+		return fmt.Sprintf("core.Kind(%d)", int(k))
+	}
+}
+
+// Config sizes and parameterizes a System.
+type Config struct {
+	Kind         Kind
+	Mem          memmodel.Config
+	CPU          cpu.Params
+	Deser        deser.Config
+	Ser          ser.Config
+	AccelFreqGHz float64
+
+	// SoftwareArenas makes the CPU baselines allocate from software
+	// arenas (§2.3) instead of the heap during deserialization.
+	SoftwareArenas bool
+
+	StaticSize uint64 // inputs: wire buffers, materialized objects, ADTs
+	HeapSize   uint64 // software allocations (reset between batches)
+	ArenaSize  uint64 // accelerator arena (reset between batches)
+	OutSize    uint64 // serializer output space (reset between batches)
+}
+
+// XeonMemConfig models the server part's memory system: larger caches,
+// slightly longer L1, a big LLC.
+func XeonMemConfig() memmodel.Config {
+	return memmodel.Config{
+		L1:            memmodel.CacheConfig{Name: "L1", SizeBytes: 32 << 10, Assoc: 8, HitLatency: 4},
+		L2:            memmodel.CacheConfig{Name: "L2", SizeBytes: 256 << 10, Assoc: 8, HitLatency: 12},
+		LLC:           memmodel.CacheConfig{Name: "LLC", SizeBytes: 16 << 20, Assoc: 16, HitLatency: 42},
+		DRAMLatency:   230,
+		TLBEntries:    128,
+		PTWLatency:    60,
+		StreamOverlap: 8, // aggressive hardware prefetchers
+	}
+}
+
+// DefaultConfig returns the configuration for one of the three systems
+// with paper-like parameters.
+func DefaultConfig(k Kind) Config {
+	cfg := Config{
+		Kind:         k,
+		Deser:        deser.DefaultConfig(),
+		Ser:          ser.DefaultConfig(),
+		AccelFreqGHz: 2.0,
+		StaticSize:   256 << 20,
+		HeapSize:     256 << 20,
+		ArenaSize:    256 << 20,
+		OutSize:      256 << 20,
+	}
+	switch k {
+	case KindXeon:
+		cfg.Mem = XeonMemConfig()
+		cfg.CPU = cpu.XeonParams()
+	default:
+		cfg.Mem = memmodel.DefaultConfig()
+		cfg.CPU = cpu.BOOMParams()
+	}
+	return cfg
+}
+
+// Result reports one timed operation.
+type Result struct {
+	Cycles  float64
+	Seconds float64
+	Bytes   uint64 // serialized bytes consumed (deser) or produced (ser)
+
+	ObjAddr  uint64 // deserialization destination object
+	WireAddr uint64 // serialization output
+}
+
+// Throughput returns the operation's Gbit/s over its serialized bytes,
+// the metric of Figures 11-13.
+func (r Result) Throughput() float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / r.Seconds / 1e9
+}
+
+// System is one simulated machine.
+type System struct {
+	Cfg    Config
+	Mem    *mem.Memory
+	MemSys *memmodel.System
+	Reg    *layout.Registry
+
+	Static *mem.Allocator // never reset
+	Heap   *mem.Allocator // software allocations
+	Arena  *mem.Allocator // accelerator arena
+	Out    *mem.Allocator // CPU serializer output
+
+	mat         *layout.Materializer // writes inputs into Static
+	adts        *adt.Set
+	schemaRoots []*schema.Message
+
+	CPU   *cpu.CPU          // nil for KindAccel's accelerated path (still present for host work)
+	Accel *rocc.Accelerator // non-nil only for KindAccel
+
+	serData *mem.Region
+	serPtrs *mem.Region
+
+	adtAlloc *mem.Allocator
+}
+
+// New builds a System.
+func New(cfg Config) *System {
+	m := mem.New()
+	s := &System{
+		Cfg:    cfg,
+		Mem:    m,
+		MemSys: memmodel.NewSystem(cfg.Mem),
+		Reg:    layout.NewRegistry(),
+	}
+	s.adtAlloc = mem.NewAllocator(m.Map("adt", 16<<20))
+	s.Static = mem.NewAllocator(m.Map("static", cfg.StaticSize))
+	s.Heap = mem.NewAllocator(m.Map("heap", cfg.HeapSize))
+	s.Out = mem.NewAllocator(m.Map("out", cfg.OutSize))
+	s.mat = layout.NewMaterializer(m, s.Static, s.Reg)
+	s.CPU = cpu.New(cfg.CPU, m, s.MemSys.NewPort("cpu"), s.Heap, s.Reg)
+	s.CPU.UseArena = cfg.SoftwareArenas
+	if cfg.Kind == KindAccel {
+		arenaRegion := m.Map("accel-arena", cfg.ArenaSize)
+		s.Arena = mem.NewAllocator(arenaRegion)
+		s.serData = m.Map("ser-out", cfg.OutSize)
+		s.serPtrs = m.Map("ser-ptrs", 16<<20)
+		port := s.MemSys.NewPort("accel")
+		// The accelerator's memory interface wrappers track more
+		// outstanding requests than the core's LSU exposes for
+		// streaming (§4.1).
+		port.SetStreamOverlap(8)
+		s.Accel = &rocc.Accelerator{
+			Deser: deser.New(m, port, s.Arena, cfg.Deser),
+			Ser:   ser.New(m, port, cfg.Ser),
+			Mops:  mops.New(m, port, s.Arena, mops.DefaultConfig()),
+			Mem:   m,
+		}
+		s.Accel.AssignArenas(s.Arena, s.serData, s.serPtrs)
+	}
+	return s
+}
+
+// LoadSchema registers message types and builds their ADTs (program-load
+// work, outside any timed region). Subsequent calls rebuild the table set
+// over the union of all roots loaded so far.
+func (s *System) LoadSchema(roots ...*schema.Message) error {
+	s.schemaRoots = append(s.schemaRoots, roots...)
+	for _, r := range s.schemaRoots {
+		s.Reg.Register(r)
+	}
+	set, err := adt.Build(s.Mem, s.adtAlloc, s.Reg, s.schemaRoots...)
+	if err != nil {
+		return err
+	}
+	s.adts = set
+	return nil
+}
+
+// ADTAddr exposes a type's ADT address (for tooling).
+func (s *System) ADTAddr(t *schema.Message) uint64 {
+	if s.adts == nil {
+		return 0
+	}
+	return s.adts.Addr(t)
+}
+
+// WriteWire copies wire bytes into static input space.
+func (s *System) WriteWire(b []byte) (uint64, error) {
+	addr, err := s.Static.Alloc(uint64(len(b))+1, 8)
+	if err != nil {
+		return 0, err
+	}
+	return addr, s.Mem.WriteBytes(addr, b)
+}
+
+// ReadWire copies n bytes out of simulated memory.
+func (s *System) ReadWire(addr, n uint64) ([]byte, error) {
+	b := make([]byte, n)
+	return b, s.Mem.ReadBytes(addr, b)
+}
+
+// MaterializeInput writes msg into static space as a C++-layout object
+// (benchmark setup, untimed).
+func (s *System) MaterializeInput(msg *dynamic.Message) (uint64, error) {
+	return s.mat.Write(msg)
+}
+
+// ReadMessage reconstructs the object at addr as a dynamic message.
+func (s *System) ReadMessage(t *schema.Message, addr uint64) (*dynamic.Message, error) {
+	return s.mat.Read(t, addr)
+}
+
+// AllocTopLevel allocates a destination object from the (resettable) heap
+// — the user-code allocation preceding a deserialization.
+func (s *System) AllocTopLevel(t *schema.Message) (uint64, error) {
+	heapMat := layout.NewMaterializer(s.Mem, s.Heap, s.Reg)
+	return heapMat.AllocObject(t)
+}
+
+// Deserialize runs the timed deserialization of bufLen bytes at bufAddr
+// into a fresh top-level object.
+func (s *System) Deserialize(t *schema.Message, bufAddr, bufLen uint64) (Result, error) {
+	objAddr, err := s.AllocTopLevel(t)
+	if err != nil {
+		return Result{}, err
+	}
+	if s.Accel != nil {
+		if s.adts == nil || s.adts.Addr(t) == 0 {
+			return Result{}, fmt.Errorf("core: type %s not loaded", t.Name)
+		}
+		busy, _, err := s.Accel.DeserializeOp(s.adts.Addr(t), objAddr, bufAddr, bufLen)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Cycles:  busy,
+			Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9),
+			Bytes:   bufLen,
+			ObjAddr: objAddr,
+		}, nil
+	}
+	start := s.CPU.Cycles()
+	if err := s.CPU.Deserialize(t, bufAddr, bufLen, objAddr); err != nil {
+		return Result{}, err
+	}
+	cy := s.CPU.Cycles() - start
+	return Result{
+		Cycles:  cy,
+		Seconds: s.CPU.Seconds(cy),
+		Bytes:   bufLen,
+		ObjAddr: objAddr,
+	}, nil
+}
+
+// Serialize runs the timed serialization of the object at objAddr.
+func (s *System) Serialize(t *schema.Message, objAddr uint64) (Result, error) {
+	if s.Accel != nil {
+		if s.adts == nil || s.adts.Addr(t) == 0 {
+			return Result{}, fmt.Errorf("core: type %s not loaded", t.Name)
+		}
+		busy, st, err := s.Accel.SerializeOp(s.adts.Addr(t), objAddr)
+		if err != nil {
+			return Result{}, err
+		}
+		addr, n, err := s.Accel.Ser.Output(s.Accel.Ser.Outputs() - 1)
+		if err != nil {
+			return Result{}, err
+		}
+		if n != st.BytesProduced {
+			return Result{}, errors.New("core: serializer length bookkeeping mismatch")
+		}
+		return Result{
+			Cycles:   busy,
+			Seconds:  busy / (s.Cfg.AccelFreqGHz * 1e9),
+			Bytes:    n,
+			WireAddr: addr,
+		}, nil
+	}
+	start := s.CPU.Cycles()
+	addr, n, err := s.CPU.Serialize(t, objAddr, s.Out)
+	if err != nil {
+		return Result{}, err
+	}
+	cy := s.CPU.Cycles() - start
+	return Result{
+		Cycles:   cy,
+		Seconds:  s.CPU.Seconds(cy),
+		Bytes:    n,
+		WireAddr: addr,
+	}, nil
+}
+
+// WireRef locates one serialized buffer in simulated memory.
+type WireRef struct {
+	Addr, Len uint64
+}
+
+// DeserializeBatch deserializes a batch of inputs with one completion
+// barrier at the end — the §4.4.1 batching pattern the paper's benchmarks
+// use, amortizing dispatch and fence costs. Returns the batch Result
+// (total cycles and bytes) and the destination object addresses.
+func (s *System) DeserializeBatch(t *schema.Message, refs []WireRef) (Result, []uint64, error) {
+	objs := make([]uint64, len(refs))
+	var total Result
+	if s.Accel == nil {
+		for i, r := range refs {
+			res, err := s.Deserialize(t, r.Addr, r.Len)
+			if err != nil {
+				return Result{}, nil, err
+			}
+			objs[i] = res.ObjAddr
+			total.Cycles += res.Cycles
+			total.Bytes += res.Bytes
+		}
+		total.Seconds = s.CPU.Seconds(total.Cycles)
+		return total, objs, nil
+	}
+	if s.adts == nil || s.adts.Addr(t) == 0 {
+		return Result{}, nil, fmt.Errorf("core: type %s not loaded", t.Name)
+	}
+	adtAddr := s.adts.Addr(t)
+	for i, r := range refs {
+		obj, err := s.AllocTopLevel(t)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		objs[i] = obj
+		if _, err := s.Accel.Issue(rocc.Command{Op: rocc.OpDeserInfo, RS1: adtAddr, RS2: obj}); err != nil {
+			return Result{}, nil, err
+		}
+		if _, err := s.Accel.Issue(rocc.Command{Op: rocc.OpDoProtoDeser, RS1: r.Addr, RS2: r.Len}); err != nil {
+			return Result{}, nil, err
+		}
+		total.Bytes += r.Len
+	}
+	busy, err := s.Accel.Issue(rocc.Command{Op: rocc.OpBlockForDeserCompletion})
+	if err != nil {
+		return Result{}, nil, err
+	}
+	total.Cycles = busy
+	total.Seconds = busy / (s.Cfg.AccelFreqGHz * 1e9)
+	return total, objs, nil
+}
+
+// SerializeBatch serializes a batch of objects with one completion barrier
+// at the end, returning the batch Result and per-object output locations.
+func (s *System) SerializeBatch(t *schema.Message, objAddrs []uint64) (Result, []WireRef, error) {
+	refs := make([]WireRef, len(objAddrs))
+	var total Result
+	if s.Accel == nil {
+		for i, obj := range objAddrs {
+			res, err := s.Serialize(t, obj)
+			if err != nil {
+				return Result{}, nil, err
+			}
+			refs[i] = WireRef{Addr: res.WireAddr, Len: res.Bytes}
+			total.Cycles += res.Cycles
+			total.Bytes += res.Bytes
+		}
+		total.Seconds = s.CPU.Seconds(total.Cycles)
+		return total, refs, nil
+	}
+	if s.adts == nil || s.adts.Addr(t) == 0 {
+		return Result{}, nil, fmt.Errorf("core: type %s not loaded", t.Name)
+	}
+	adtAddr := s.adts.Addr(t)
+	firstOut := s.Accel.Ser.Outputs()
+	for _, obj := range objAddrs {
+		if _, err := s.Accel.Issue(rocc.Command{Op: rocc.OpSerInfo}); err != nil {
+			return Result{}, nil, err
+		}
+		if _, err := s.Accel.Issue(rocc.Command{Op: rocc.OpDoProtoSer, RS1: adtAddr, RS2: obj}); err != nil {
+			return Result{}, nil, err
+		}
+	}
+	busy, err := s.Accel.Issue(rocc.Command{Op: rocc.OpBlockForSerCompletion})
+	if err != nil {
+		return Result{}, nil, err
+	}
+	for i := range objAddrs {
+		addr, n, err := s.Accel.Ser.Output(firstOut + uint64(i))
+		if err != nil {
+			return Result{}, nil, err
+		}
+		refs[i] = WireRef{Addr: addr, Len: n}
+		total.Bytes += n
+	}
+	total.Cycles = busy
+	total.Seconds = busy / (s.Cfg.AccelFreqGHz * 1e9)
+	return total, refs, nil
+}
+
+// Clear resets all presence state of the object at objAddr (the §7
+// clear operator).
+func (s *System) Clear(t *schema.Message, objAddr uint64) (Result, error) {
+	if s.Accel != nil {
+		busy, err := s.Accel.ClearOp(s.adts.Addr(t), objAddr)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Cycles: busy, Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9), ObjAddr: objAddr}, nil
+	}
+	start := s.CPU.Cycles()
+	if err := s.CPU.ClearObject(t, objAddr); err != nil {
+		return Result{}, err
+	}
+	cy := s.CPU.Cycles() - start
+	return Result{Cycles: cy, Seconds: s.CPU.Seconds(cy), ObjAddr: objAddr}, nil
+}
+
+// Copy deep-copies the object at srcObj, returning the new object (the §7
+// copy operator).
+func (s *System) Copy(t *schema.Message, srcObj uint64) (Result, error) {
+	if s.Accel != nil {
+		busy, dst, err := s.Accel.CopyOp(s.adts.Addr(t), srcObj)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Cycles: busy, Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9), ObjAddr: dst}, nil
+	}
+	start := s.CPU.Cycles()
+	dst, err := s.CPU.CopyObject(t, srcObj)
+	if err != nil {
+		return Result{}, err
+	}
+	cy := s.CPU.Cycles() - start
+	return Result{Cycles: cy, Seconds: s.CPU.Seconds(cy), ObjAddr: dst}, nil
+}
+
+// Merge merges srcObj into dstObj with proto2 semantics (the §7 merge
+// operator).
+func (s *System) Merge(t *schema.Message, dstObj, srcObj uint64) (Result, error) {
+	if s.Accel != nil {
+		busy, err := s.Accel.MergeOp(s.adts.Addr(t), dstObj, srcObj)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Cycles: busy, Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9), ObjAddr: dstObj}, nil
+	}
+	start := s.CPU.Cycles()
+	if err := s.CPU.MergeObjects(t, dstObj, srcObj); err != nil {
+		return Result{}, err
+	}
+	cy := s.CPU.Cycles() - start
+	return Result{Cycles: cy, Seconds: s.CPU.Seconds(cy), ObjAddr: dstObj}, nil
+}
+
+// ResetWork rewinds the resettable allocators (heap, accelerator arena,
+// serializer output) between benchmark batches, leaving static inputs and
+// ADTs intact.
+func (s *System) ResetWork() {
+	s.Heap.Reset()
+	s.Out.Reset()
+	if s.Arena != nil {
+		s.Arena.Reset()
+	}
+	if s.Accel != nil {
+		s.Accel.Ser.AssignArena(s.serData, s.serPtrs)
+	}
+}
+
+// Name returns the system's display name ("riscv-boom", "Xeon",
+// "riscv-boom-accel").
+func (s *System) Name() string { return s.Cfg.Kind.String() }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"protoacc/internal/pb/codec"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/pbtest"
+	"protoacc/internal/pb/protoparse"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/pb/textformat"
+)
+
+func dbg4Check(t *testing.T, typ *schema.Message, input []byte, boom, accel *System) bool {
+	ref, refErr := codec.Unmarshal(typ, input)
+	if refErr != nil || hasUnknown(ref) {
+		return false
+	}
+	for _, sys := range []*System{boom, accel} {
+		sys.ResetWork()
+		bufAddr, _ := sys.WriteWire(input)
+		res, err := sys.Deserialize(typ, bufAddr, uint64(len(input)))
+		if err != nil {
+			continue
+		}
+		got, _ := sys.ReadMessage(typ, res.ObjAddr)
+		if !ref.Equal(got) {
+			fmt.Printf("=== %s diverges, input %x\n", sys.Name(), input)
+			fmt.Println("schema:\n" + protoparse.Format(&schema.File{Messages: []*schema.Message{typ}}))
+			fmt.Println("--- ref:\n" + textformat.Marshal(ref))
+			fmt.Println("--- got:\n" + textformat.Marshal(got))
+			return true
+		}
+	}
+	return false
+}
+
+func TestDbg4(t *testing.T) {
+	rng := rand.New(rand.NewSource(31415))
+	for trial := 0; trial < 15; trial++ {
+		typ := pbtest.RandomSchema(rng, pbtest.DefaultSchemaConfig())
+		boom := New(smallConfig(KindBOOM))
+		accel := New(smallConfig(KindAccel))
+		for _, sys := range []*System{boom, accel} {
+			if err := sys.LoadSchema(typ); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var seeds [][]byte
+		for i := 0; i < 4; i++ {
+			m := pbtest.RandomPopulated(rng, typ, pbtest.DefaultMessageConfig())
+			b, _ := codec.Marshal(m)
+			seeds = append(seeds, b)
+		}
+		_ = dynamic.New
+		for _, seed := range seeds {
+			if dbg4Check(t, typ, seed, boom, accel) {
+				return
+			}
+			for m := 0; m < 30; m++ {
+				mut := append([]byte(nil), seed...)
+				switch rng.Intn(4) {
+				case 0:
+					if len(mut) > 0 {
+						mut[rng.Intn(len(mut))] ^= 1 << uint(rng.Intn(8))
+					}
+				case 1:
+					if len(mut) > 0 {
+						mut = mut[:rng.Intn(len(mut))]
+					}
+				case 2:
+					other := seeds[rng.Intn(len(seeds))]
+					if len(other) > 0 && len(mut) > 0 {
+						mut = append(mut[:rng.Intn(len(mut))], other[rng.Intn(len(other)):]...)
+					}
+				case 3:
+					tail := make([]byte, rng.Intn(16))
+					rng.Read(tail)
+					mut = append(mut, tail...)
+				}
+				if dbg4Check(t, typ, mut, boom, accel) {
+					return
+				}
+			}
+		}
+	}
+	fmt.Println("no divergence")
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"protoacc/internal/pb/dynamic"
+)
+
+// TestOperatorsAllSystems exercises the §7 clear/copy/merge operators
+// through the System facade on all three systems, checking functional
+// equivalence with the dynamic-message semantics.
+func TestOperatorsAllSystems(t *testing.T) {
+	typ := testType()
+	base := populate(typ)
+	patch := dynamic.New(typ)
+	patch.SetInt32(1, 99)
+	patch.AddScalarBits(3, 12345)
+	patch.MutableMessage(4).SetString(2, "patched")
+
+	for _, k := range allKinds() {
+		sys := New(smallConfig(k))
+		if err := sys.LoadSchema(typ); err != nil {
+			t.Fatal(err)
+		}
+		baseAddr, err := sys.MaterializeInput(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patchAddr, err := sys.MaterializeInput(patch)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Copy.
+		cres, err := sys.Copy(typ, baseAddr)
+		if err != nil {
+			t.Fatalf("%v: copy: %v", k, err)
+		}
+		if cres.Cycles <= 0 {
+			t.Errorf("%v: copy charged no cycles", k)
+		}
+		cp, err := sys.ReadMessage(typ, cres.ObjAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !base.Equal(cp) {
+			t.Errorf("%v: copy differs", k)
+		}
+
+		// Merge patch into the copy.
+		mres, err := sys.Merge(typ, cres.ObjAddr, patchAddr)
+		if err != nil {
+			t.Fatalf("%v: merge: %v", k, err)
+		}
+		if mres.Cycles <= 0 {
+			t.Errorf("%v: merge charged no cycles", k)
+		}
+		merged, err := sys.ReadMessage(typ, cres.ObjAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := base.Clone()
+		want.Merge(patch)
+		if !want.Equal(merged) {
+			t.Errorf("%v: merge semantics differ", k)
+		}
+
+		// Clear the copy; the original must be untouched (deep copy).
+		if _, err := sys.Clear(typ, cres.ObjAddr); err != nil {
+			t.Fatalf("%v: clear: %v", k, err)
+		}
+		cleared, err := sys.ReadMessage(typ, cres.ObjAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cleared.PresentFieldNumbers()) != 0 {
+			t.Errorf("%v: clear incomplete", k)
+		}
+		orig, err := sys.ReadMessage(typ, baseAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !base.Equal(orig) {
+			t.Errorf("%v: clear of the copy disturbed the original", k)
+		}
+	}
+}
+
+func TestBatchSerializeDeserialize(t *testing.T) {
+	typ := testType()
+	msgs := []*dynamic.Message{populate(typ), dynamic.New(typ), populate(typ)}
+	msgs[1].SetInt32(1, 7)
+
+	for _, k := range allKinds() {
+		sys := New(smallConfig(k))
+		if err := sys.LoadSchema(typ); err != nil {
+			t.Fatal(err)
+		}
+		objs := make([]uint64, len(msgs))
+		for i, m := range msgs {
+			a, err := sys.MaterializeInput(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs[i] = a
+		}
+		sres, refs, err := sys.SerializeBatch(typ, objs)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if len(refs) != 3 || sres.Cycles <= 0 || sres.Bytes == 0 {
+			t.Errorf("%v: batch ser result %+v", k, sres)
+		}
+		dres, outObjs, err := sys.DeserializeBatch(typ, refs)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if dres.Bytes != sres.Bytes {
+			t.Errorf("%v: byte accounting %d vs %d", k, dres.Bytes, sres.Bytes)
+		}
+		for i, obj := range outObjs {
+			got, err := sys.ReadMessage(typ, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !msgs[i].Equal(got) {
+				t.Errorf("%v: batch element %d differs", k, i)
+			}
+		}
+	}
+}
+
+func TestBatchUnloadedType(t *testing.T) {
+	typ := testType()
+	sys := New(smallConfig(KindAccel))
+	if _, _, err := sys.DeserializeBatch(typ, []WireRef{{Addr: 0x10000, Len: 0}}); err == nil {
+		t.Error("expected unloaded-type error for deser batch")
+	}
+	if _, _, err := sys.SerializeBatch(typ, []uint64{0x10000}); err == nil {
+		t.Error("expected unloaded-type error for ser batch")
+	}
+	if _, err := sys.Serialize(typ, 0x10000); err == nil {
+		t.Error("expected unloaded-type error for serialize")
+	}
+}
+
+func TestSystemNames(t *testing.T) {
+	for _, k := range allKinds() {
+		if New(smallConfig(k)).Name() != k.String() {
+			t.Errorf("name mismatch for %v", k)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestADTAddrExposed(t *testing.T) {
+	typ := testType()
+	sys := New(smallConfig(KindAccel))
+	if sys.ADTAddr(typ) != 0 {
+		t.Error("unloaded type should report 0")
+	}
+	if err := sys.LoadSchema(typ); err != nil {
+		t.Fatal(err)
+	}
+	if sys.ADTAddr(typ) == 0 {
+		t.Error("loaded type should have an ADT address")
+	}
+}

@@ -1,0 +1,261 @@
+// Package fleet encodes the paper's fleet-wide profiling study (Section 3)
+// as first-class data and models: the published aggregates behind Figures
+// 2-7, a protobufz-style message-shape sampler that collects the same
+// statistics from any workload, and the §3.6.4 24-slice model that
+// converts field-type byte distributions into estimated serialization and
+// deserialization time.
+//
+// Where the paper publishes exact numbers (9.6% of fleet cycles in
+// protobufs, 24%/56%/93% message-size quantiles, the 13.7× and 7.2×
+// byte-volume ratios, depth quantiles) those are encoded verbatim; bucket
+// shapes not given numerically are interpolated to be consistent with
+// every published constraint, and the tests check those constraints.
+package fleet
+
+import "protoacc/internal/pb/schema"
+
+// Headline fractions from §3.2-§3.4.
+const (
+	// FleetCyclesInProtobuf is the fraction of fleet-wide CPU cycles
+	// spent in protobuf operations.
+	FleetCyclesInProtobuf = 0.096
+	// ProtobufCyclesInCpp is the fraction of protobuf cycles spent in
+	// C++ protobufs.
+	ProtobufCyclesInCpp = 0.88
+	// FleetCyclesInCppDeser / FleetCyclesInCppSer: fleet-wide cycle
+	// fractions for C++ deserialization and serialization (§3.2).
+	FleetCyclesInCppDeser = 0.022
+	FleetCyclesInCppSer   = 0.0125
+	// AccelerationOpportunity is the fleet-cycle fraction the paper's
+	// accelerator targets (§3.2).
+	AccelerationOpportunity = 0.0345
+	// Proto2ByteShare is the fraction of serialized/deserialized bytes
+	// defined in proto2 (§3.3).
+	Proto2ByteShare = 0.96
+	// RPCDeserShare / RPCSerShare: fraction of deserialization and
+	// serialization cycles initiated by the RPC stack (§3.4).
+	RPCDeserShare = 0.163
+	RPCSerShare   = 0.352
+)
+
+// Operation labels one protobuf library operation (Figure 2).
+type Operation string
+
+// Figure 2 operations.
+const (
+	OpDeserialize  Operation = "deserialize"
+	OpSerialize    Operation = "serialize"
+	OpByteSize     Operation = "byte size"
+	OpMerge        Operation = "merge"
+	OpCopy         Operation = "copy"
+	OpClear        Operation = "clear"
+	OpConstructors Operation = "constructors"
+	OpDestructors  Operation = "destructors"
+	OpOther        Operation = "other"
+)
+
+// OperationShare is one slice of Figure 2.
+type OperationShare struct {
+	Op    Operation
+	Share float64 // fraction of fleet-wide C++ protobuf cycles
+}
+
+// CyclesByOperation reproduces Figure 2: the classification of fleet-wide
+// C++ protobuf cycles by operation. Anchors from the text: deserialization
+// is 2.2% of fleet cycles (26% of C++ protobuf cycles), serialization 8.8%
+// and byte-size 6.0% of protobuf cycles (§3.2 fn.4), merge+copy+clear
+// 17.1%, constructors 6.4%, destructors 13.9% (§7). "Other" absorbs the
+// remainder (glue code).
+func CyclesByOperation() []OperationShare {
+	return []OperationShare{
+		{OpDeserialize, 0.260},
+		{OpSerialize, 0.088},
+		{OpByteSize, 0.060},
+		{OpMerge, 0.066},
+		{OpCopy, 0.060},
+		{OpClear, 0.045},
+		{OpConstructors, 0.064},
+		{OpDestructors, 0.139},
+		{OpOther, 0.218},
+	}
+}
+
+// SizeBucket is one bucket of the Figure 3 / Figure 4c size histograms.
+type SizeBucket struct {
+	Lo, Hi uint64 // inclusive byte bounds; Hi = 1<<63 means unbounded
+	Share  float64
+}
+
+// Unbounded marks the top bucket's Hi.
+const Unbounded = uint64(1) << 63
+
+// SizeBucketBounds are the paper's histogram bucket edges.
+var SizeBucketBounds = [][2]uint64{
+	{0, 8}, {9, 32}, {33, 128}, {129, 512}, {513, 2048},
+	{2049, 8192}, {8193, 32768}, {32769, Unbounded},
+}
+
+// MessageSizes reproduces Figure 3: the distribution of top-level encoded
+// message sizes. Published anchors: 24% ≤ 8 B, 56% ≤ 32 B, 93% ≤ 512 B,
+// and the [32769, inf] bucket holds 0.08% of messages while containing at
+// least 13.7× the bytes of the [0, 8] bucket.
+func MessageSizes() []SizeBucket {
+	return []SizeBucket{
+		{0, 8, 0.240},
+		{9, 32, 0.320},
+		{33, 128, 0.220},
+		{129, 512, 0.150},
+		{513, 2048, 0.040},
+		{2049, 8192, 0.019},
+		{8193, 32768, 0.0102},
+		{32769, Unbounded, 0.0008},
+	}
+}
+
+// BytesFieldBucketBounds are the 10 bucket edges the profiling system
+// collects for bytes-like field sizes (§3.6.4: "the profiling system
+// collects 10 buckets with ranges shown in Figure 4c").
+var BytesFieldBucketBounds = [][2]uint64{
+	{0, 8}, {9, 16}, {17, 32}, {33, 64}, {65, 128},
+	{129, 512}, {513, 2048}, {2049, 4096}, {4097, 32768}, {32769, Unbounded},
+}
+
+// BytesFieldSizes reproduces Figure 4c: the distribution of bytes/string
+// field sizes by count across the 10 profiling buckets. Published
+// anchors: the 4097-32768 and 32769-inf buckets hold 1.3% and 0.06% of
+// fields, small fields dominate count, and the top bucket holds at least
+// 7.2× the bytes of the [0, 8] bucket.
+func BytesFieldSizes() []SizeBucket {
+	return []SizeBucket{
+		{0, 8, 0.300},
+		{9, 16, 0.170},
+		{17, 32, 0.120},
+		{33, 64, 0.110},
+		{65, 128, 0.090},
+		{129, 512, 0.120},
+		{513, 2048, 0.055},
+		{2049, 4096, 0.0214},
+		{4097, 32768, 0.013},
+		{32769, Unbounded, 0.0006},
+	}
+}
+
+// FieldTypeShare is one slice of Figure 4a/4b.
+type FieldTypeShare struct {
+	Kind     schema.Kind
+	Repeated bool
+	Share    float64
+}
+
+// FieldsByType reproduces Figure 4a: the proportion of observed fields by
+// primitive type (sub-messages accounted via their contained fields).
+// Anchor: varint-like kinds are over 56% of fields; strings and bytes are
+// significant.
+func FieldsByType() []FieldTypeShare {
+	return []FieldTypeShare{
+		{schema.KindInt32, false, 0.155},
+		{schema.KindInt64, false, 0.130},
+		{schema.KindEnum, false, 0.100},
+		{schema.KindBool, false, 0.070},
+		{schema.KindUint64, false, 0.065},
+		{schema.KindUint32, false, 0.040},
+		{schema.KindString, false, 0.140},
+		{schema.KindBytes, false, 0.050},
+		{schema.KindString, true, 0.030},
+		{schema.KindBytes, true, 0.010},
+		{schema.KindDouble, false, 0.070},
+		{schema.KindFloat, false, 0.040},
+		{schema.KindDouble, true, 0.010},
+		{schema.KindFixed64, false, 0.015},
+		{schema.KindFixed32, false, 0.010},
+		{schema.KindSint64, false, 0.005},
+		{schema.KindSint32, false, 0.005},
+		{schema.KindInt64, true, 0.030},
+		{schema.KindInt32, true, 0.025},
+	}
+}
+
+// BytesByType reproduces Figure 4b: the proportion of message bytes by
+// field type. Anchor: bytes, string, and their repeated forms constitute
+// over 92% of protobuf message bytes.
+func BytesByType() []FieldTypeShare {
+	return []FieldTypeShare{
+		{schema.KindString, false, 0.450},
+		{schema.KindBytes, false, 0.300},
+		{schema.KindString, true, 0.120},
+		{schema.KindBytes, true, 0.055},
+		{schema.KindInt64, false, 0.020},
+		{schema.KindInt32, false, 0.012},
+		{schema.KindDouble, false, 0.015},
+		{schema.KindFloat, false, 0.005},
+		{schema.KindUint64, false, 0.008},
+		{schema.KindEnum, false, 0.005},
+		{schema.KindFixed64, false, 0.005},
+		{schema.KindBool, false, 0.003},
+		{schema.KindFixed32, false, 0.002},
+	}
+}
+
+// VarintSizeShares is the fleet histogram of encoded varint value sizes
+// (1..10 bytes) by bytes of data, used by the 24-slice model (§3.6.4:
+// "the fleet-wide protobufz histogram data provides exact labels on size
+// bins"). Small varints dominate.
+func VarintSizeShares() [10]float64 {
+	return [10]float64{0.34, 0.22, 0.14, 0.09, 0.07, 0.05, 0.04, 0.02, 0.02, 0.01}
+}
+
+// DensityBucket is one bucket of the Figure 7 density histogram.
+type DensityBucket struct {
+	Lo, Hi float64 // density range [Lo, Hi)
+	Share  float64
+}
+
+// FieldDensity reproduces Figure 7: field-number usage density (present
+// fields / defined field-number range) weighted by observed messages.
+// Anchor: at least 92% of messages have density > 1/64 (favouring the
+// per-type ADT design over per-instance tables, §3.7).
+func FieldDensity() []DensityBucket {
+	return []DensityBucket{
+		{0.00, 0.05, 0.078},
+		{0.05, 0.15, 0.030},
+		{0.15, 0.25, 0.040},
+		{0.25, 0.35, 0.060},
+		{0.35, 0.45, 0.070},
+		{0.45, 0.55, 0.090},
+		{0.55, 0.65, 0.090},
+		{0.65, 0.75, 0.100},
+		{0.75, 0.85, 0.110},
+		{0.85, 0.95, 0.130},
+		{0.95, 1.01, 0.202},
+	}
+}
+
+// DepthQuantiles encodes §3.8: 99.9% of protobuf bytes are at depth ≤ 12,
+// 99.999% at depth ≤ 25, and the maximum observed depth is below 100.
+type DepthQuantiles struct {
+	P999, P99999, Max int
+}
+
+// MessageDepths returns the published depth quantiles.
+func MessageDepths() DepthQuantiles {
+	return DepthQuantiles{P999: 12, P99999: 25, Max: 99}
+}
+
+// SparseFieldPresence encodes §3.9's sparsity observation: over 90% of
+// messages populate fewer than 52% of their defined fields on average.
+const SparseFieldPresence = 0.52
+
+// BucketMidpoint returns the representative size for a bucket, using the
+// paper's midpoint interpolation (§3.6.4); the unbounded bucket uses
+// topMean, the calibrated mean chosen to make total byte volume match.
+func BucketMidpoint(b SizeBucket, topMean float64) float64 {
+	if b.Hi == Unbounded {
+		return topMean
+	}
+	return float64(b.Lo+b.Hi) / 2
+}
+
+// TopBucketMeanBytes is the calibrated mean size of the unbounded bucket,
+// chosen so the published byte-volume ratios (13.7× for Figure 3, 7.2×
+// for Figure 4c) hold.
+const TopBucketMeanBytes = 65536

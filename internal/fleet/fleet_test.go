@@ -1,0 +1,316 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/pbtest"
+	"protoacc/internal/pb/schema"
+)
+
+func sumShares(shares []float64) float64 {
+	var s float64
+	for _, v := range shares {
+		s += v
+	}
+	return s
+}
+
+func TestFigure2SumsToOne(t *testing.T) {
+	var sum float64
+	for _, op := range CyclesByOperation() {
+		sum += op.Share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Figure 2 shares sum to %f", sum)
+	}
+}
+
+func TestFigure2Anchors(t *testing.T) {
+	m := map[Operation]float64{}
+	for _, op := range CyclesByOperation() {
+		m[op.Op] = op.Share
+	}
+	// §3.2 fn4: serialization 8.8%, byte size 6.0%.
+	if m[OpSerialize] != 0.088 || m[OpByteSize] != 0.060 {
+		t.Error("serialization/bytesize anchors wrong")
+	}
+	// §7: merge+copy+clear = 17.1%, constructors 6.4%, destructors 13.9%.
+	if v := m[OpMerge] + m[OpCopy] + m[OpClear]; math.Abs(v-0.171) > 1e-9 {
+		t.Errorf("merge+copy+clear = %f", v)
+	}
+	if m[OpConstructors] != 0.064 || m[OpDestructors] != 0.139 {
+		t.Error("ctor/dtor anchors wrong")
+	}
+	// Deserialization ≈ 2.2% of fleet cycles.
+	fleetDeser := m[OpDeserialize] * FleetCyclesInProtobuf * ProtobufCyclesInCpp
+	if math.Abs(fleetDeser-FleetCyclesInCppDeser) > 0.002 {
+		t.Errorf("implied fleet deser share = %f, want ~%f", fleetDeser, FleetCyclesInCppDeser)
+	}
+}
+
+func TestFigure3Anchors(t *testing.T) {
+	buckets := MessageSizes()
+	if math.Abs(sumBuckets(buckets)-1) > 1e-9 {
+		t.Errorf("Figure 3 sums to %f", sumBuckets(buckets))
+	}
+	// 24% ≤ 8 B, 56% ≤ 32 B, 93% ≤ 512 B.
+	var cum float64
+	for _, b := range buckets {
+		cum += b.Share
+		switch b.Hi {
+		case 8:
+			if math.Abs(cum-0.24) > 0.005 {
+				t.Errorf("≤8B = %f, want 0.24", cum)
+			}
+		case 32:
+			if math.Abs(cum-0.56) > 0.005 {
+				t.Errorf("≤32B = %f, want 0.56", cum)
+			}
+		case 512:
+			if math.Abs(cum-0.93) > 0.005 {
+				t.Errorf("≤512B = %f, want 0.93", cum)
+			}
+		}
+	}
+	// Top bucket: 0.08% of messages, ≥13.7× the bytes of the [0-8] bucket.
+	top := buckets[len(buckets)-1]
+	if math.Abs(top.Share-0.0008) > 1e-9 {
+		t.Errorf("top bucket share = %f", top.Share)
+	}
+	topBytes := top.Share * BucketMidpoint(top, TopBucketMeanBytes)
+	smallBytes := buckets[0].Share * BucketMidpoint(buckets[0], TopBucketMeanBytes)
+	if topBytes < 13.7*smallBytes {
+		t.Errorf("top bucket bytes ratio = %f, want ≥13.7", topBytes/smallBytes)
+	}
+}
+
+func TestFigure4Anchors(t *testing.T) {
+	var fieldSum, varintLike float64
+	for _, ft := range FieldsByType() {
+		fieldSum += ft.Share
+		if ft.Kind.Class() == schema.ClassVarintLike {
+			varintLike += ft.Share
+		}
+	}
+	if math.Abs(fieldSum-1) > 1e-9 {
+		t.Errorf("Figure 4a sums to %f", fieldSum)
+	}
+	if varintLike < 0.56 {
+		t.Errorf("varint-like fields = %f, want > 0.56", varintLike)
+	}
+
+	var byteSum, bytesLike float64
+	for _, ft := range BytesByType() {
+		byteSum += ft.Share
+		if ft.Kind.Class() == schema.ClassBytesLike {
+			bytesLike += ft.Share
+		}
+	}
+	if math.Abs(byteSum-1) > 1e-9 {
+		t.Errorf("Figure 4b sums to %f", byteSum)
+	}
+	if bytesLike < 0.92 {
+		t.Errorf("bytes-like bytes = %f, want > 0.92", bytesLike)
+	}
+
+	fieldSizes := BytesFieldSizes()
+	if math.Abs(sumBuckets(fieldSizes)-1) > 1e-9 {
+		t.Errorf("Figure 4c sums to %f", sumBuckets(fieldSizes))
+	}
+	top := fieldSizes[len(fieldSizes)-1]
+	if math.Abs(top.Share-0.0006) > 1e-9 {
+		t.Errorf("4c top share = %f, want 0.0006", top.Share)
+	}
+	topBytes := top.Share * BucketMidpoint(top, TopBucketMeanBytes)
+	smallBytes := fieldSizes[0].Share * BucketMidpoint(fieldSizes[0], TopBucketMeanBytes)
+	if topBytes < 7.2*smallBytes {
+		t.Errorf("4c byte ratio = %f, want ≥7.2", topBytes/smallBytes)
+	}
+}
+
+func sumBuckets(bs []SizeBucket) float64 {
+	var s float64
+	for _, b := range bs {
+		s += b.Share
+	}
+	return s
+}
+
+func TestFigure7Anchor(t *testing.T) {
+	var sum, aboveSixtyFourth float64
+	for _, b := range FieldDensity() {
+		sum += b.Share
+		if b.Lo >= 0.05 { // everything above the 0.00 bucket exceeds 1/64
+			aboveSixtyFourth += b.Share
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Figure 7 sums to %f", sum)
+	}
+	if aboveSixtyFourth < 0.92 {
+		t.Errorf("density > 1/64 share = %f, want ≥ 0.92", aboveSixtyFourth)
+	}
+}
+
+func TestVarintSharesSumToOne(t *testing.T) {
+	var s float64
+	for _, v := range VarintSizeShares() {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("varint shares sum to %f", s)
+	}
+}
+
+func TestSlices24(t *testing.T) {
+	slices := Slices()
+	if len(slices) != 24 {
+		t.Fatalf("got %d slices, want 24", len(slices))
+	}
+	var sum float64
+	for _, s := range slices {
+		sum += s.ByteShare
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("slice byte shares sum to %f", sum)
+	}
+}
+
+func TestEstimateTimeShares(t *testing.T) {
+	slices := Slices()
+	// With uniform per-byte cost, time shares equal byte shares.
+	ts := EstimateTimeShares(slices, func(Slice) float64 { return 1 })
+	for i := range ts {
+		if math.Abs(ts[i].TimeShare-slices[i].ByteShare) > 1e-12 {
+			t.Fatalf("uniform cost should preserve shares")
+		}
+	}
+	// Making small varints 100× pricier shifts time toward them even
+	// though bytes-like dominates bytes — the Figure 4b vs Figure 5
+	// contrast the paper highlights.
+	ts2 := EstimateTimeShares(slices, func(s Slice) float64 {
+		if s.Class == schema.ClassVarintLike {
+			return 100
+		}
+		return 1
+	})
+	var varintTime float64
+	for _, x := range ts2 {
+		if x.Slice.Class == schema.ClassVarintLike {
+			varintTime += x.TimeShare
+		}
+	}
+	if varintTime < 0.3 {
+		t.Errorf("expensive varints should dominate time: %f", varintTime)
+	}
+	// FastShare counts only cheap slices.
+	fs := FastShare(ts2, 1)
+	if fs <= 0 || fs >= 1 {
+		t.Errorf("FastShare = %f", fs)
+	}
+}
+
+func TestSamplerBasics(t *testing.T) {
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "v", Number: 1, Kind: schema.KindUint64},
+		&schema.Field{Name: "s", Number: 4, Kind: schema.KindString},
+	)
+	s := NewSampler()
+	m := dynamic.New(typ)
+	m.SetUint64(1, 300) // 2-byte varint
+	m.SetString(4, "abcdefghij")
+	s.SampleTopLevel(m)
+
+	if s.Messages != 1 {
+		t.Errorf("Messages = %d", s.Messages)
+	}
+	counts := s.FieldCountShares()
+	if counts[TypeKey{schema.KindUint64, false}] != 0.5 ||
+		counts[TypeKey{schema.KindString, false}] != 0.5 {
+		t.Errorf("field counts = %v", counts)
+	}
+	if s.VarintSizeBytes[1] != 2 { // one 2-byte varint
+		t.Errorf("varint size bytes = %v", s.VarintSizeBytes)
+	}
+	// The 10-byte string lands in the 9-32 bucket.
+	if s.BytesFieldCounts[1] != 1 {
+		t.Errorf("bytes field counts = %v", s.BytesFieldCounts)
+	}
+	// Density: 2 present / range 4 = 0.5.
+	shares := s.DensityShares()
+	if shares[densityIndex(0.5)] != 1 {
+		t.Errorf("density shares = %v", shares)
+	}
+}
+
+func TestSamplerDepth(t *testing.T) {
+	leaf := schema.MustMessage("Leaf", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	mid := schema.MustMessage("Mid", &schema.Field{Name: "l", Number: 1, Kind: schema.KindMessage, Message: leaf})
+	top := schema.MustMessage("Top",
+		&schema.Field{Name: "m", Number: 1, Kind: schema.KindMessage, Message: mid},
+		&schema.Field{Name: "v", Number: 2, Kind: schema.KindInt32})
+	m := dynamic.New(top)
+	m.SetInt32(2, 1)
+	m.MutableMessage(1).MutableMessage(1).SetInt32(1, 2)
+	s := NewSampler()
+	s.SampleTopLevel(m)
+	if len(s.BytesAtDepth) != 3 {
+		t.Fatalf("depths = %v", s.BytesAtDepth)
+	}
+	if s.DepthCoverage(1.0) != 3 {
+		t.Errorf("DepthCoverage(1.0) = %d", s.DepthCoverage(1.0))
+	}
+	if s.DepthCoverage(0.3) != 1 {
+		t.Errorf("DepthCoverage(0.3) = %d", s.DepthCoverage(0.3))
+	}
+}
+
+func TestSamplerRandomizedTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewSampler()
+	for i := 0; i < 50; i++ {
+		typ := pbtest.RandomSchema(rng, pbtest.DefaultSchemaConfig())
+		msg := pbtest.RandomPopulated(rng, typ, pbtest.DefaultMessageConfig())
+		s.SampleTopLevel(msg)
+	}
+	if s.Messages != 50 {
+		t.Errorf("Messages = %d", s.Messages)
+	}
+	if math.Abs(sumShares(s.MessageSizeShares())-1) > 1e-9 {
+		t.Error("message size shares don't sum to 1")
+	}
+	var fieldShareSum float64
+	for _, v := range s.FieldCountShares() {
+		fieldShareSum += v
+	}
+	if math.Abs(fieldShareSum-1) > 1e-9 {
+		t.Errorf("field count shares sum to %f", fieldShareSum)
+	}
+	var byteShareSum float64
+	for _, v := range s.FieldByteShares() {
+		byteShareSum += v
+	}
+	if math.Abs(byteShareSum-1) > 1e-9 {
+		t.Errorf("field byte shares sum to %f", byteShareSum)
+	}
+}
+
+func TestDepthQuantilesPublished(t *testing.T) {
+	d := MessageDepths()
+	if d.P999 != 12 || d.P99999 != 25 || d.Max != 99 {
+		t.Errorf("depth quantiles = %+v", d)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := map[uint64]int{0: 0, 8: 0, 9: 1, 32: 1, 33: 2, 512: 3, 513: 4,
+		8192: 5, 8193: 6, 32768: 6, 32769: 7, 1 << 40: 7}
+	for n, want := range cases {
+		if got := bucketIndex(n); got != want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"fmt"
+
+	"protoacc/internal/pb/schema"
+)
+
+// Slice is one of the 24 [field-type-like, size] pairs of the §3.6.4
+// model: 10 varint sizes, 10 bytes-like size buckets, float, double,
+// fixed32, and fixed64.
+type Slice struct {
+	Name      string
+	Class     schema.PerfClass
+	SizeBytes float64 // representative size of one value
+	ByteShare float64 // fraction of fleet protobuf bytes in this slice
+}
+
+// Slices derives the 24 slices from the published distributions: total
+// bytes per performance class from Figure 4b, subdivided by the varint
+// size histogram and the Figure 4c bucket distribution (midpoint
+// interpolation, with the unbounded bucket's mean calibrated — §3.6.4).
+func Slices() []Slice {
+	classShare := map[schema.PerfClass]float64{}
+	for _, ft := range BytesByType() {
+		classShare[ft.Kind.Class()] += ft.Share
+	}
+
+	var out []Slice
+	// Varint-like: split by encoded size.
+	vs := VarintSizeShares()
+	for size := 1; size <= 10; size++ {
+		out = append(out, Slice{
+			Name:      fmt.Sprintf("varint-%d", size),
+			Class:     schema.ClassVarintLike,
+			SizeBytes: float64(size),
+			ByteShare: classShare[schema.ClassVarintLike] * vs[size-1],
+		})
+	}
+	// Bytes-like: split by the Figure 4c buckets, weighting each bucket
+	// by its byte volume (count share × representative size).
+	buckets := BytesFieldSizes()
+	var totalVolume float64
+	volumes := make([]float64, len(buckets))
+	for i, b := range buckets {
+		volumes[i] = b.Share * BucketMidpoint(b, TopBucketMeanBytes)
+		totalVolume += volumes[i]
+	}
+	for i, b := range buckets {
+		hi := fmt.Sprintf("%d", b.Hi)
+		if b.Hi == Unbounded {
+			hi = "inf"
+		}
+		out = append(out, Slice{
+			Name:      fmt.Sprintf("bytes-%d-%s", b.Lo, hi),
+			Class:     schema.ClassBytesLike,
+			SizeBytes: BucketMidpoint(b, TopBucketMeanBytes),
+			ByteShare: classShare[schema.ClassBytesLike] * volumes[i] / totalVolume,
+		})
+	}
+	out = append(out,
+		Slice{Name: "float", Class: schema.ClassFloatLike, SizeBytes: 4,
+			ByteShare: classShare[schema.ClassFloatLike]},
+		Slice{Name: "double", Class: schema.ClassDoubleLike, SizeBytes: 8,
+			ByteShare: classShare[schema.ClassDoubleLike]},
+		Slice{Name: "fixed32", Class: schema.ClassFixed32Like, SizeBytes: 4,
+			ByteShare: classShare[schema.ClassFixed32Like]},
+		Slice{Name: "fixed64", Class: schema.ClassFixed64Like, SizeBytes: 8,
+			ByteShare: classShare[schema.ClassFixed64Like]},
+	)
+	return out
+}
+
+// TimeShare is one slice of Figure 5 or 6: the estimated fraction of
+// fleet-wide (de)serialization time spent on a slice.
+type TimeShare struct {
+	Slice     Slice
+	CostPerB  float64 // measured cost per byte (arbitrary unit, e.g. ns/B)
+	TimeShare float64
+}
+
+// EstimateTimeShares combines the slices' byte shares with measured
+// per-byte costs (from the project's own microbenchmarks, as §3.6.4
+// prescribes) into time shares. costPerByte must return the cost of
+// handling one byte of a slice's data.
+func EstimateTimeShares(slices []Slice, costPerByte func(Slice) float64) []TimeShare {
+	out := make([]TimeShare, len(slices))
+	var total float64
+	for i, s := range slices {
+		c := costPerByte(s)
+		out[i] = TimeShare{Slice: s, CostPerB: c}
+		total += s.ByteShare * c
+	}
+	if total == 0 {
+		return out
+	}
+	for i := range out {
+		out[i].TimeShare = out[i].Slice.ByteShare * out[i].CostPerB / total
+	}
+	return out
+}
+
+// FastShare returns the fraction of estimated time spent on slices whose
+// measured throughput exceeds the given bytes-per-cost threshold — the
+// paper's "only 14% of time is spent deserializing protobuf data at
+// higher than 1 GB/s" style statistic.
+func FastShare(ts []TimeShare, maxCostPerB float64) float64 {
+	var fast float64
+	for _, t := range ts {
+		if t.CostPerB <= maxCostPerB {
+			fast += t.TimeShare
+		}
+	}
+	return fast
+}

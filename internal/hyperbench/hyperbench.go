@@ -1,0 +1,546 @@
+// Package hyperbench generates HyperProtoBench-style benchmark suites
+// (§5.2 of the paper): for each of six service profiles (bench0…bench5,
+// the five heaviest deserialization users and five heaviest serialization
+// users at Google, which overlap into six distinct services here), it fits
+// a message-shape distribution and samples a .proto schema plus a batch of
+// populated messages representative of that service.
+//
+// We cannot sample Google's production fleet; profiles are instead seeded
+// from the published fleet distributions in package fleet, with per-service
+// emphasis (string-heavy storage services, varint-heavy analytics events,
+// deeply nested configuration trees, …) chosen to span the same diversity
+// the paper's Figures 12-13 show across bench0-bench5.
+package hyperbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"protoacc/internal/fleet"
+	"protoacc/internal/pb/codec"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/protoparse"
+	"protoacc/internal/pb/schema"
+)
+
+// Profile describes one synthetic service's protobuf usage shape.
+type Profile struct {
+	Name string
+	Seed int64
+
+	// Schema shape.
+	NumTypes      int     // message types in the service's schema tree
+	FieldsPerType int     // mean fields per type
+	MaxDepth      int     // nesting depth bound
+	Density       float64 // defined fields / field-number range target
+	SubMsgProb    float64 // probability a field is a sub-message
+	RepeatedProb  float64
+	PackedProb    float64
+
+	// Value shape.
+	StringWeight float64 // relative weight of bytes-like fields
+	VarintWeight float64 // relative weight of varint-like fields
+	FixedWeight  float64 // relative weight of float/double/fixed fields
+	// StringSizes overrides the fleet bytes-field size distribution when
+	// non-nil (services differ greatly here).
+	StringSizes []fleet.SizeBucket
+	// PresenceProb is per-field population probability (fleet: most
+	// messages populate < 52% of defined fields, §3.9).
+	PresenceProb float64
+	// TargetSizes is the top-level encoded-size distribution to aim for.
+	TargetSizes []fleet.SizeBucket
+
+	// Messages is the number of messages in the generated batch.
+	Messages int
+}
+
+// Profiles returns the six service profiles, bench0…bench5.
+func Profiles() []Profile {
+	base := Profile{
+		NumTypes:      8,
+		FieldsPerType: 9,
+		MaxDepth:      4,
+		Density:       0.65,
+		SubMsgProb:    0.15,
+		RepeatedProb:  0.2,
+		PackedProb:    0.5,
+		StringWeight:  0.3,
+		VarintWeight:  0.5,
+		FixedWeight:   0.2,
+		PresenceProb:  0.5,
+		TargetSizes:   fleet.MessageSizes(),
+		Messages:      192,
+	}
+	mk := func(name string, seed int64, mut func(*Profile)) Profile {
+		p := base
+		p.Name = name
+		p.Seed = seed
+		mut(&p)
+		return p
+	}
+	return []Profile{
+		// bench0: storage/logging service — large string-heavy records.
+		mk("bench0", 100, func(p *Profile) {
+			p.StringWeight, p.VarintWeight, p.FixedWeight = 0.6, 0.3, 0.1
+			p.StringSizes = []fleet.SizeBucket{
+				{Lo: 65, Hi: 128, Share: 0.3}, {Lo: 129, Hi: 512, Share: 0.4},
+				{Lo: 513, Hi: 2048, Share: 0.25}, {Lo: 2049, Hi: 4096, Share: 0.05},
+			}
+			p.TargetSizes = tailHeavySizes()
+		}),
+		// bench1: analytics/event service — many small varint fields with
+		// a few mid-sized payload strings.
+		mk("bench1", 101, func(p *Profile) {
+			p.StringWeight, p.VarintWeight, p.FixedWeight = 0.15, 0.7, 0.15
+			p.FieldsPerType = 14
+			p.PresenceProb = 0.65
+		}),
+		// bench2: configuration service — deeply nested small messages
+		// carrying path/name strings.
+		mk("bench2", 102, func(p *Profile) {
+			p.MaxDepth = 9
+			p.SubMsgProb = 0.35
+			p.NumTypes = 14
+			p.FieldsPerType = 5
+			p.StringSizes = []fleet.SizeBucket{
+				{Lo: 9, Hi: 64, Share: 0.8}, {Lo: 65, Hi: 512, Share: 0.2},
+			}
+		}),
+		// bench3: media metadata — mixed with large blobs.
+		mk("bench3", 103, func(p *Profile) {
+			p.StringWeight = 0.45
+			p.StringSizes = []fleet.SizeBucket{
+				{Lo: 9, Hi: 32, Share: 0.4}, {Lo: 513, Hi: 2048, Share: 0.3},
+				{Lo: 8193, Hi: 32768, Share: 0.3},
+			}
+			p.TargetSizes = tailHeavySizes()
+			p.Messages = 96
+		}),
+		// bench4: RPC front-end — tiny sparse request/response messages.
+		mk("bench4", 104, func(p *Profile) {
+			p.PresenceProb = 0.3
+			p.Density = 0.4
+			p.FieldsPerType = 7
+			p.StringSizes = []fleet.SizeBucket{
+				{Lo: 9, Hi: 32, Share: 0.5}, {Lo: 33, Hi: 128, Share: 0.5},
+			}
+			p.Messages = 384
+		}),
+		// bench5: ML feature store — repeated packed numeric vectors plus
+		// feature-name strings.
+		mk("bench5", 105, func(p *Profile) {
+			p.RepeatedProb = 0.5
+			p.PackedProb = 0.8
+			p.FixedWeight, p.VarintWeight, p.StringWeight = 0.4, 0.45, 0.15
+			p.StringSizes = []fleet.SizeBucket{
+				{Lo: 129, Hi: 2048, Share: 1.0},
+			}
+		}),
+	}
+}
+
+// tailHeavySizes shifts the fleet size distribution toward larger
+// messages (storage-style services).
+func tailHeavySizes() []fleet.SizeBucket {
+	return []fleet.SizeBucket{
+		{Lo: 129, Hi: 512, Share: 0.35},
+		{Lo: 513, Hi: 2048, Share: 0.35},
+		{Lo: 2049, Hi: 8192, Share: 0.22},
+		{Lo: 8193, Hi: 32768, Share: 0.07},
+		{Lo: 32769, Hi: fleet.Unbounded, Share: 0.01},
+	}
+}
+
+// Benchmark is one generated suite: a schema, its .proto source, and a
+// batch of populated messages with their wire encodings.
+type Benchmark struct {
+	Profile  Profile
+	Root     *schema.Message
+	File     *schema.File
+	Source   string // .proto text
+	Messages []*dynamic.Message
+	Wire     [][]byte
+
+	TotalWireBytes uint64
+}
+
+// Generate builds the benchmark for a profile. Generation is
+// deterministic per profile seed.
+func Generate(p Profile) (*Benchmark, error) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := &generator{p: p, rng: rng}
+	root := g.genSchema()
+	file := &schema.File{
+		Path:     p.Name + ".proto",
+		Package:  "hyperprotobench." + p.Name,
+		Syntax:   "proto2",
+		Messages: []*schema.Message{root},
+	}
+	src := protoparse.Format(file)
+	// Validate the emitted schema parses back (the generated .proto is a
+	// deliverable, not just documentation).
+	if _, err := protoparse.Parse(file.Path, src); err != nil {
+		return nil, fmt.Errorf("hyperbench: generated schema invalid: %w", err)
+	}
+	b := &Benchmark{Profile: p, Root: root, File: file, Source: src}
+	for i := 0; i < p.Messages; i++ {
+		m := g.genMessage(root)
+		w, err := codec.Marshal(m)
+		if err != nil {
+			return nil, err
+		}
+		b.Messages = append(b.Messages, m)
+		b.Wire = append(b.Wire, w)
+		b.TotalWireBytes += uint64(len(w))
+	}
+	return b, nil
+}
+
+// GenerateAll builds all six benchmarks.
+func GenerateAll() ([]*Benchmark, error) {
+	var out []*Benchmark
+	for _, p := range Profiles() {
+		b, err := Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+type generator struct {
+	p       p
+	rng     *rand.Rand
+	types   []*schema.Message
+	counter int
+}
+
+// p aliases Profile to keep struct literal lines short.
+type p = Profile
+
+var varintKinds = []schema.Kind{
+	schema.KindInt32, schema.KindInt64, schema.KindUint32,
+	schema.KindUint64, schema.KindSint32, schema.KindSint64,
+	schema.KindBool, schema.KindEnum,
+}
+
+var fixedKinds = []schema.Kind{
+	schema.KindFloat, schema.KindDouble, schema.KindFixed32,
+	schema.KindFixed64, schema.KindSfixed32, schema.KindSfixed64,
+}
+
+// pickKind draws a scalar kind per the profile's weights.
+func (g *generator) pickKind() schema.Kind {
+	total := g.p.StringWeight + g.p.VarintWeight + g.p.FixedWeight
+	r := g.rng.Float64() * total
+	switch {
+	case r < g.p.StringWeight:
+		if g.rng.Intn(3) == 0 {
+			return schema.KindBytes
+		}
+		return schema.KindString
+	case r < g.p.StringWeight+g.p.VarintWeight:
+		return varintKinds[g.rng.Intn(len(varintKinds))]
+	default:
+		return fixedKinds[g.rng.Intn(len(fixedKinds))]
+	}
+}
+
+// genSchema builds the service's type tree and returns the root type.
+func (g *generator) genSchema() *schema.Message {
+	// Create the pool of types first so sub-message fields can point
+	// anywhere below themselves (acyclic; recursion is exercised by unit
+	// tests, not by the fleet-shaped benches).
+	n := g.p.NumTypes
+	types := make([]*schema.Message, n)
+	for i := range types {
+		types[i] = &schema.Message{Name: fmt.Sprintf("%sT%d", titleName(g.p.Name), i)}
+	}
+	g.types = types
+	for i, t := range types {
+		depthLeft := g.p.MaxDepth - depthOf(i, n, g.p.MaxDepth)
+		fields := g.genFields(i, depthLeft > 1)
+		if err := t.SetFields(fields); err != nil {
+			panic(fmt.Sprintf("hyperbench: internal schema error: %v", err))
+		}
+	}
+	return types[0]
+}
+
+// depthOf spreads types across depth levels: type 0 is the root, later
+// types sit deeper.
+func depthOf(i, n, maxDepth int) int {
+	if n <= 1 {
+		return 0
+	}
+	return i * maxDepth / n
+}
+
+func titleName(s string) string {
+	if s == "" {
+		return "B"
+	}
+	return string(s[0]-'a'+'A') + s[1:]
+}
+
+// genFields draws the field set for type index ti.
+func (g *generator) genFields(ti int, allowSub bool) []*schema.Field {
+	nf := 1 + g.rng.Intn(2*g.p.FieldsPerType-1) // mean ≈ FieldsPerType
+	// Choose a field-number range giving the target density.
+	rangeSize := int32(float64(nf)/g.p.Density) + 1
+	if rangeSize < int32(nf) {
+		rangeSize = int32(nf)
+	}
+	used := map[int32]bool{}
+	var fields []*schema.Field
+	hasSub := false
+	canSub := allowSub && ti+1 < len(g.types)
+	for len(fields) < nf {
+		num := 1 + g.rng.Int31n(rangeSize)
+		if used[num] {
+			continue
+		}
+		used[num] = true
+		f := &schema.Field{Name: fmt.Sprintf("f%d", num), Number: num}
+		if canSub && g.rng.Float64() < g.p.SubMsgProb {
+			f.Kind = schema.KindMessage
+			// Point at a strictly deeper type to stay acyclic.
+			f.Message = g.types[ti+1+g.rng.Intn(len(g.types)-ti-1)]
+			hasSub = true
+		} else {
+			f.Kind = g.pickKind()
+		}
+		if g.rng.Float64() < g.p.RepeatedProb {
+			f.Label = schema.LabelRepeated
+			if f.Kind != schema.KindMessage && f.Kind.Class() != schema.ClassBytesLike &&
+				g.rng.Float64() < g.p.PackedProb {
+				f.Packed = true
+			}
+		}
+		fields = append(fields, f)
+	}
+	// Keep the type tree connected: every non-leaf type carries at least
+	// one sub-message field, so the suite actually exercises nesting.
+	if canSub && !hasSub {
+		num := rangeSize + 1
+		for used[num] {
+			num++
+		}
+		fields = append(fields, &schema.Field{
+			Name:    fmt.Sprintf("f%d", num),
+			Number:  num,
+			Kind:    schema.KindMessage,
+			Message: g.types[ti+1+g.rng.Intn(len(g.types)-ti-1)],
+		})
+	}
+	return fields
+}
+
+// sampleBucket draws a size from a bucket distribution.
+func (g *generator) sampleBucket(buckets []fleet.SizeBucket) uint64 {
+	var total float64
+	for _, b := range buckets {
+		total += b.Share
+	}
+	r := g.rng.Float64() * total
+	for _, b := range buckets {
+		if r < b.Share {
+			hi := b.Hi
+			if hi == fleet.Unbounded {
+				hi = b.Lo * 4
+			}
+			if hi <= b.Lo {
+				return b.Lo
+			}
+			return b.Lo + uint64(g.rng.Int63n(int64(hi-b.Lo+1)))
+		}
+		r -= b.Share
+	}
+	last := buckets[len(buckets)-1]
+	return last.Lo
+}
+
+// stringSize draws a bytes-like field payload size.
+func (g *generator) stringSize() uint64 {
+	buckets := g.p.StringSizes
+	if buckets == nil {
+		buckets = fleet.BytesFieldSizes()
+	}
+	return g.sampleBucket(buckets)
+}
+
+// varintBits draws a value whose encoded size follows the fleet varint
+// size histogram.
+func (g *generator) varintBits(k schema.Kind) uint64 {
+	shares := fleet.VarintSizeShares()
+	r := g.rng.Float64()
+	size := 1
+	for i, s := range shares {
+		if r < s {
+			size = i + 1
+			break
+		}
+		r -= s
+	}
+	if k == schema.KindBool {
+		return uint64(g.rng.Intn(2))
+	}
+	// A value with encoded size `size`: top bit within that size range.
+	bits := uint(7*size - 1)
+	if bits > 62 {
+		bits = 62
+	}
+	v := uint64(1)<<bits | g.rng.Uint64()&(1<<bits-1)
+	switch k {
+	case schema.KindInt32, schema.KindSint32, schema.KindEnum:
+		return uint64(int64(int32(v)))
+	case schema.KindUint32:
+		return uint64(uint32(v))
+	default:
+		return v
+	}
+}
+
+// genMessage populates one top-level message aiming for a size drawn from
+// the profile's target distribution. Population is budget-driven: the
+// target size is spent across fields and down the sub-message tree, so
+// message sizes track the target distribution instead of fanning out
+// exponentially with nesting.
+func (g *generator) genMessage(root *schema.Message) *dynamic.Message {
+	target := int64(g.sampleBucket(g.p.TargetSizes))
+	budget := target
+	m := g.populate(root, g.p.MaxDepth, &budget)
+	// Top up if population stopped short of the target (sparse schemas).
+	for i := 0; int64(codec.Size(m)) < target && i < 64; i++ {
+		if !g.grow(m, target-int64(codec.Size(m))) {
+			break
+		}
+	}
+	return m
+}
+
+// populate fills fields with the profile's presence probability, spending
+// from the shared size budget.
+func (g *generator) populate(t *schema.Message, depthLeft int, budget *int64) *dynamic.Message {
+	m := dynamic.New(t)
+	for _, f := range t.Fields {
+		if g.rng.Float64() >= g.p.PresenceProb {
+			continue
+		}
+		count := 1
+		if f.Repeated() {
+			count = 1 + g.rng.Intn(6)
+		}
+		for i := 0; i < count; i++ {
+			if *budget <= 0 && m.Has(f.Number) {
+				break
+			}
+			g.addValue(m, f, depthLeft, budget)
+		}
+	}
+	return m
+}
+
+func (g *generator) addValue(m *dynamic.Message, f *schema.Field, depthLeft int, budget *int64) {
+	switch {
+	case f.Kind == schema.KindMessage:
+		if depthLeft <= 1 || *budget <= 0 {
+			return
+		}
+		*budget -= 2 // key + length
+		sub := g.populate(f.Message, depthLeft-1, budget)
+		if f.Repeated() {
+			m.AddMessage(f.Number).Merge(sub)
+		} else {
+			m.SetMessage(f.Number, sub)
+		}
+	case f.Kind.Class() == schema.ClassBytesLike:
+		n := int64(g.stringSize())
+		// Clamp payloads to the remaining budget; presence survives tiny
+		// targets with a short payload.
+		if rem := *budget; n > rem {
+			if rem > 0 {
+				n = rem
+			} else {
+				n = int64(g.rng.Intn(8))
+			}
+		}
+		b := g.blob(uint64(n))
+		*budget -= n + 2
+		if f.Repeated() {
+			m.AddBytes(f.Number, b)
+		} else {
+			m.SetBytes(f.Number, b)
+		}
+	default:
+		var bits uint64
+		if f.Kind.IsVarint() {
+			bits = g.varintBits(f.Kind)
+		} else {
+			bits = g.rng.Uint64()
+			switch f.Kind {
+			case schema.KindFloat, schema.KindFixed32:
+				bits = uint64(uint32(bits))
+			case schema.KindSfixed32:
+				// Signed 32-bit kinds are stored sign-extended.
+				bits = uint64(int64(int32(bits)))
+			}
+		}
+		*budget -= 6
+		if f.Repeated() {
+			m.AddScalarBits(f.Number, bits)
+		} else {
+			m.SetScalarBits(f.Number, bits)
+		}
+	}
+}
+
+// grow enlarges the message toward its size target by roughly `room`
+// bytes; returns false when no growable field exists.
+func (g *generator) grow(m *dynamic.Message, room int64) bool {
+	t := m.Type()
+	// Prefer appending to repeated fields or extending a bytes field.
+	var candidates []*schema.Field
+	for _, f := range t.Fields {
+		if f.Repeated() || f.Kind.Class() == schema.ClassBytesLike {
+			candidates = append(candidates, f)
+		}
+	}
+	if len(candidates) == 0 {
+		// Try growing through a sub-message.
+		for _, f := range t.Fields {
+			if f.Kind == schema.KindMessage && !f.Repeated() && m.GetMessage(f.Number) != nil {
+				return g.grow(m.GetMessage(f.Number), room)
+			}
+		}
+		return false
+	}
+	f := candidates[g.rng.Intn(len(candidates))]
+	switch {
+	case f.Kind.Class() == schema.ClassBytesLike && !f.Repeated():
+		// Extend the existing payload.
+		n := int64(g.stringSize())
+		if n > room {
+			n = room
+		}
+		if n <= 0 {
+			n = 1
+		}
+		cur := m.GetBytes(f.Number)
+		m.SetBytes(f.Number, append(append([]byte(nil), cur...), g.blob(uint64(n))...))
+	default:
+		budget := room
+		g.addValue(m, f, 2, &budget)
+	}
+	return true
+}
+
+// blob produces n compressible-ish bytes (ASCII mix, like logged text).
+func (g *generator) blob(n uint64) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(' ' + g.rng.Intn(95))
+	}
+	return b
+}

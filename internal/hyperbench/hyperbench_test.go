@@ -1,0 +1,173 @@
+package hyperbench
+
+import (
+	"bytes"
+	"testing"
+
+	"protoacc/internal/fleet"
+	"protoacc/internal/pb/codec"
+	"protoacc/internal/pb/protoparse"
+)
+
+func TestGenerateAllSixBenches(t *testing.T) {
+	benches, err := GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 6 {
+		t.Fatalf("got %d benches, want 6 (bench0..bench5)", len(benches))
+	}
+	for i, b := range benches {
+		wantName := "bench" + string(rune('0'+i))
+		if b.Profile.Name != wantName {
+			t.Errorf("bench %d name = %s", i, b.Profile.Name)
+		}
+		if len(b.Messages) != b.Profile.Messages || len(b.Wire) != len(b.Messages) {
+			t.Errorf("%s: %d messages, %d wire", b.Profile.Name, len(b.Messages), len(b.Wire))
+		}
+		if b.TotalWireBytes == 0 {
+			t.Errorf("%s: empty workload", b.Profile.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profiles()[0]
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != b.Source || len(a.Wire) != len(b.Wire) {
+		t.Fatal("generation not deterministic")
+	}
+	for i := range a.Wire {
+		if !bytes.Equal(a.Wire[i], b.Wire[i]) {
+			t.Fatalf("message %d differs between runs", i)
+		}
+	}
+}
+
+func TestWireMatchesMessages(t *testing.T) {
+	b, err := Generate(Profiles()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range b.Messages {
+		w, err := codec.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w, b.Wire[i]) {
+			t.Fatalf("message %d wire mismatch", i)
+		}
+		back, err := codec.Unmarshal(b.Root, b.Wire[i])
+		if err != nil || !m.Equal(back) {
+			t.Fatalf("message %d round trip failed: %v", i, err)
+		}
+	}
+}
+
+func TestEmittedProtoParses(t *testing.T) {
+	for _, p := range Profiles() {
+		b, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := protoparse.Parse(p.Name+".proto", b.Source)
+		if err != nil {
+			t.Fatalf("%s: emitted .proto unparseable: %v", p.Name, err)
+		}
+		if len(f.Messages) == 0 {
+			t.Fatalf("%s: no messages in emitted schema", p.Name)
+		}
+	}
+}
+
+func TestProfilesSpanDiversity(t *testing.T) {
+	benches, err := GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := make([]*fleet.Sampler, len(benches))
+	for i, b := range benches {
+		s := fleet.NewSampler()
+		for _, m := range b.Messages {
+			s.SampleTopLevel(m)
+		}
+		stats[i] = s
+	}
+	// bench0 (storage) should be more bytes-heavy than bench1 (events).
+	bytesShare := func(s *fleet.Sampler) float64 {
+		var sh float64
+		for k, v := range s.FieldByteShares() {
+			if k.Kind.Class() == 0 { // ClassBytesLike
+				sh += v
+			}
+		}
+		return sh
+	}
+	if bytesShare(stats[0]) <= bytesShare(stats[1]) {
+		t.Errorf("bench0 bytes share (%f) should exceed bench1's (%f)",
+			bytesShare(stats[0]), bytesShare(stats[1]))
+	}
+	// bench2 (config) should nest deeper than bench4 (RPC).
+	if stats[2].DepthCoverage(0.999) <= stats[4].DepthCoverage(0.999) {
+		t.Errorf("bench2 depth %d should exceed bench4 depth %d",
+			stats[2].DepthCoverage(0.999), stats[4].DepthCoverage(0.999))
+	}
+	// bench4 (RPC) messages should be small: majority ≤ 512 B.
+	sizeShares := stats[4].MessageSizeShares()
+	small := sizeShares[0] + sizeShares[1] + sizeShares[2] + sizeShares[3]
+	if small < 0.7 {
+		t.Errorf("bench4 small-message share = %f", small)
+	}
+	// bench0 (storage) should carry more average bytes per message than
+	// bench4.
+	avg := func(b *Benchmark) float64 {
+		return float64(b.TotalWireBytes) / float64(len(b.Messages))
+	}
+	if avg(benches[0]) <= avg(benches[4]) {
+		t.Errorf("bench0 avg size (%f) should exceed bench4's (%f)",
+			avg(benches[0]), avg(benches[4]))
+	}
+}
+
+func TestDepthsWithinFleetBounds(t *testing.T) {
+	benches, err := GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDepth := fleet.MessageDepths().Max
+	for _, b := range benches {
+		s := fleet.NewSampler()
+		for _, m := range b.Messages {
+			s.SampleTopLevel(m)
+		}
+		if d := s.DepthCoverage(1.0); d > maxDepth {
+			t.Errorf("%s: depth %d exceeds fleet max %d", b.Profile.Name, d, maxDepth)
+		}
+	}
+}
+
+func TestDensityMostlyAboveSixtyFourth(t *testing.T) {
+	// The generated schemas must preserve the §3.7 density property that
+	// favours the ADT design.
+	benches, err := GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range benches {
+		s := fleet.NewSampler()
+		for _, m := range b.Messages {
+			s.SampleTopLevel(m)
+		}
+		shares := s.DensityShares()
+		if shares[0] > 0.5 {
+			t.Errorf("%s: %f of messages in the lowest density bucket", b.Profile.Name, shares[0])
+		}
+	}
+}

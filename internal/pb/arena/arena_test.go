@@ -1,0 +1,100 @@
+package arena
+
+import (
+	"testing"
+
+	"protoacc/internal/pb/schema"
+)
+
+func TestAllocBasic(t *testing.T) {
+	a := New()
+	b1 := a.Alloc(10)
+	b2 := a.Alloc(20)
+	if len(b1) != 10 || len(b2) != 20 {
+		t.Fatal("wrong lengths")
+	}
+	for i := range b1 {
+		b1[i] = 0xaa
+	}
+	for _, c := range b2 {
+		if c != 0 {
+			t.Fatal("allocations overlap")
+		}
+	}
+	if a.SpaceUsed() != 16+24 { // 8-byte aligned
+		t.Errorf("SpaceUsed = %d", a.SpaceUsed())
+	}
+	if a.Blocks() != 1 {
+		t.Errorf("Blocks = %d", a.Blocks())
+	}
+}
+
+func TestAllocNewBlock(t *testing.T) {
+	a := NewWithBlockSize(64)
+	a.Alloc(48)
+	a.Alloc(48) // doesn't fit: new block
+	if a.Blocks() != 2 {
+		t.Errorf("Blocks = %d", a.Blocks())
+	}
+	// Oversized allocation gets its own block.
+	big := a.Alloc(1000)
+	if len(big) != 1000 || a.Blocks() != 3 {
+		t.Errorf("big alloc: len=%d blocks=%d", len(big), a.Blocks())
+	}
+}
+
+func TestAllocZero(t *testing.T) {
+	a := New()
+	if b := a.Alloc(0); len(b) != 0 {
+		t.Error("Alloc(0) should be empty")
+	}
+}
+
+func TestAllocCapClamped(t *testing.T) {
+	a := New()
+	b := a.Alloc(5)
+	if cap(b) != 5 {
+		t.Errorf("cap = %d, want 5 (appends must not scribble into the arena)", cap(b))
+	}
+}
+
+func TestBytesCopies(t *testing.T) {
+	a := New()
+	src := []byte("hello")
+	cp := a.Bytes(src)
+	src[0] = 'X'
+	if string(cp) != "hello" {
+		t.Error("Bytes should copy")
+	}
+}
+
+func TestMessagesAndReset(t *testing.T) {
+	a := New()
+	typ := schema.MustMessage("M", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	m := a.NewMessage(typ)
+	m.SetInt32(1, 5)
+	if a.OwnedMessages() != 1 {
+		t.Errorf("OwnedMessages = %d", a.OwnedMessages())
+	}
+	a.Alloc(100)
+	a.Reset()
+	if a.OwnedMessages() != 0 || a.SpaceUsed() != 0 || a.Blocks() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative alloc": func() { New().Alloc(-1) },
+		"bad block size": func() { NewWithBlockSize(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,471 @@
+// Package dynamic provides the host-side in-memory representation of proto2
+// messages: the Go analogue of the C++ objects protoc generates (§2.1.3 of
+// the paper). A Message tracks per-field presence exactly as the C++
+// library's hasbits do, stores scalars as fixed-width bit patterns, strings
+// and bytes as byte slices, and sub-messages as pointers.
+//
+// Accessors panic on schema misuse (wrong kind, unknown field number): such
+// errors are programming bugs, matching the behaviour of generated code.
+package dynamic
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"protoacc/internal/pb/schema"
+)
+
+// fieldValue holds the value(s) of one present field. Singular fields use
+// index 0 of the relevant slice; repeated fields use the full slice.
+type fieldValue struct {
+	scalars []uint64   // numeric/bool/enum bit patterns
+	blobs   [][]byte   // string/bytes payloads
+	msgs    []*Message // sub-messages
+}
+
+// Message is a dynamically-typed proto2 message instance.
+type Message struct {
+	typ    *schema.Message
+	fields map[int32]*fieldValue
+
+	// Unknown holds wire-format bytes of fields that were not in the
+	// schema when the message was deserialized; proto2 preserves them
+	// across a deserialize/serialize round trip.
+	Unknown []byte
+}
+
+// New creates an empty message of the given type.
+func New(t *schema.Message) *Message {
+	if t == nil {
+		panic("dynamic: nil message type")
+	}
+	return &Message{typ: t, fields: make(map[int32]*fieldValue)}
+}
+
+// Type returns the message's descriptor.
+func (m *Message) Type() *schema.Message { return m.typ }
+
+// field returns the descriptor for num, panicking if undefined.
+func (m *Message) field(num int32) *schema.Field {
+	f := m.typ.FieldByNumber(num)
+	if f == nil {
+		panic(fmt.Sprintf("dynamic: %s has no field %d", m.typ.Name, num))
+	}
+	return f
+}
+
+func (m *Message) checkKind(f *schema.Field, want ...schema.Kind) {
+	for _, k := range want {
+		if f.Kind == k {
+			return
+		}
+	}
+	panic(fmt.Sprintf("dynamic: %s.%s is %v, not %v", m.typ.Name, f.Name, f.Kind, want))
+}
+
+func (m *Message) checkSingular(f *schema.Field) {
+	if f.Repeated() {
+		panic(fmt.Sprintf("dynamic: %s.%s is repeated; use Add/Index accessors", m.typ.Name, f.Name))
+	}
+}
+
+func (m *Message) checkRepeated(f *schema.Field) {
+	if !f.Repeated() {
+		panic(fmt.Sprintf("dynamic: %s.%s is singular; use Set/Get accessors", m.typ.Name, f.Name))
+	}
+}
+
+func (m *Message) val(num int32) *fieldValue {
+	v, ok := m.fields[num]
+	if !ok {
+		v = &fieldValue{}
+		m.fields[num] = v
+	}
+	return v
+}
+
+// Has reports whether the field is present (set). For repeated fields it
+// reports whether at least one element exists.
+func (m *Message) Has(num int32) bool {
+	m.field(num)
+	_, ok := m.fields[num]
+	return ok
+}
+
+// Clear removes the field's value and presence bit.
+func (m *Message) Clear(num int32) {
+	m.field(num)
+	delete(m.fields, num)
+}
+
+// ClearAll resets the message to empty (the protobuf Clear operation).
+func (m *Message) ClearAll() {
+	m.fields = make(map[int32]*fieldValue)
+	m.Unknown = nil
+}
+
+// PresentFieldNumbers returns the numbers of all present fields in
+// ascending order.
+func (m *Message) PresentFieldNumbers() []int32 {
+	var nums []int32
+	for _, f := range m.typ.Fields {
+		if _, ok := m.fields[f.Number]; ok {
+			nums = append(nums, f.Number)
+		}
+	}
+	return nums
+}
+
+// --- scalar accessors (bit-pattern level) ---
+
+// SetScalarBits sets a singular numeric/bool/enum field from its raw
+// 64-bit pattern (sign-extended two's complement for signed kinds,
+// IEEE-754 bits for floats, 0/1 for bool).
+func (m *Message) SetScalarBits(num int32, bits uint64) {
+	f := m.field(num)
+	m.checkSingular(f)
+	if c := f.Kind.Class(); c == schema.ClassBytesLike || c == schema.ClassMessage {
+		panic(fmt.Sprintf("dynamic: %s.%s is not scalar", m.typ.Name, f.Name))
+	}
+	v := m.val(num)
+	v.scalars = append(v.scalars[:0], bits)
+}
+
+// ScalarBits returns the raw bit pattern of a singular scalar field, or its
+// default if absent.
+func (m *Message) ScalarBits(num int32) uint64 {
+	f := m.field(num)
+	m.checkSingular(f)
+	if v, ok := m.fields[num]; ok {
+		return v.scalars[0]
+	}
+	return f.Default
+}
+
+// AddScalarBits appends to a repeated numeric/bool/enum field.
+func (m *Message) AddScalarBits(num int32, bits uint64) {
+	f := m.field(num)
+	m.checkRepeated(f)
+	if c := f.Kind.Class(); c == schema.ClassBytesLike || c == schema.ClassMessage {
+		panic(fmt.Sprintf("dynamic: %s.%s is not scalar", m.typ.Name, f.Name))
+	}
+	v := m.val(num)
+	v.scalars = append(v.scalars, bits)
+}
+
+// RepeatedScalarBits returns the elements of a repeated scalar field. The
+// slice aliases internal storage; treat it as read-only.
+func (m *Message) RepeatedScalarBits(num int32) []uint64 {
+	f := m.field(num)
+	m.checkRepeated(f)
+	if v, ok := m.fields[num]; ok {
+		return v.scalars
+	}
+	return nil
+}
+
+// --- typed convenience accessors ---
+
+// SetInt32 sets an int32/sint32/sfixed32/enum field.
+func (m *Message) SetInt32(num int32, v int32) { m.SetScalarBits(num, uint64(int64(v))) }
+
+// GetInt32 returns an int32-like field's value or default.
+func (m *Message) GetInt32(num int32) int32 { return int32(m.ScalarBits(num)) }
+
+// SetInt64 sets an int64/sint64/sfixed64 field.
+func (m *Message) SetInt64(num int32, v int64) { m.SetScalarBits(num, uint64(v)) }
+
+// GetInt64 returns an int64-like field's value or default.
+func (m *Message) GetInt64(num int32) int64 { return int64(m.ScalarBits(num)) }
+
+// SetUint32 sets a uint32/fixed32 field.
+func (m *Message) SetUint32(num int32, v uint32) { m.SetScalarBits(num, uint64(v)) }
+
+// GetUint32 returns a uint32-like field's value or default.
+func (m *Message) GetUint32(num int32) uint32 { return uint32(m.ScalarBits(num)) }
+
+// SetUint64 sets a uint64/fixed64 field.
+func (m *Message) SetUint64(num int32, v uint64) { m.SetScalarBits(num, v) }
+
+// GetUint64 returns a uint64-like field's value or default.
+func (m *Message) GetUint64(num int32) uint64 { return m.ScalarBits(num) }
+
+// SetBool sets a bool field.
+func (m *Message) SetBool(num int32, v bool) {
+	var b uint64
+	if v {
+		b = 1
+	}
+	m.SetScalarBits(num, b)
+}
+
+// GetBool returns a bool field's value or default.
+func (m *Message) GetBool(num int32) bool { return m.ScalarBits(num) != 0 }
+
+// SetFloat sets a float field.
+func (m *Message) SetFloat(num int32, v float32) {
+	m.SetScalarBits(num, uint64(math.Float32bits(v)))
+}
+
+// GetFloat returns a float field's value or default.
+func (m *Message) GetFloat(num int32) float32 {
+	return math.Float32frombits(uint32(m.ScalarBits(num)))
+}
+
+// SetDouble sets a double field.
+func (m *Message) SetDouble(num int32, v float64) {
+	m.SetScalarBits(num, math.Float64bits(v))
+}
+
+// GetDouble returns a double field's value or default.
+func (m *Message) GetDouble(num int32) float64 {
+	return math.Float64frombits(m.ScalarBits(num))
+}
+
+// --- string/bytes accessors ---
+
+// SetBytes sets a singular string/bytes field. The slice is not copied.
+func (m *Message) SetBytes(num int32, v []byte) {
+	f := m.field(num)
+	m.checkSingular(f)
+	m.checkKind(f, schema.KindString, schema.KindBytes)
+	fv := m.val(num)
+	fv.blobs = append(fv.blobs[:0], v)
+}
+
+// GetBytes returns a singular string/bytes field's value or default.
+func (m *Message) GetBytes(num int32) []byte {
+	f := m.field(num)
+	m.checkSingular(f)
+	m.checkKind(f, schema.KindString, schema.KindBytes)
+	if v, ok := m.fields[num]; ok {
+		return v.blobs[0]
+	}
+	return f.DefaultBytes
+}
+
+// SetString sets a singular string field.
+func (m *Message) SetString(num int32, v string) { m.SetBytes(num, []byte(v)) }
+
+// GetString returns a singular string field's value or default.
+func (m *Message) GetString(num int32) string { return string(m.GetBytes(num)) }
+
+// AddBytes appends to a repeated string/bytes field.
+func (m *Message) AddBytes(num int32, v []byte) {
+	f := m.field(num)
+	m.checkRepeated(f)
+	m.checkKind(f, schema.KindString, schema.KindBytes)
+	fv := m.val(num)
+	fv.blobs = append(fv.blobs, v)
+}
+
+// AddString appends to a repeated string field.
+func (m *Message) AddString(num int32, v string) { m.AddBytes(num, []byte(v)) }
+
+// RepeatedBytes returns the elements of a repeated string/bytes field.
+func (m *Message) RepeatedBytes(num int32) [][]byte {
+	f := m.field(num)
+	m.checkRepeated(f)
+	m.checkKind(f, schema.KindString, schema.KindBytes)
+	if v, ok := m.fields[num]; ok {
+		return v.blobs
+	}
+	return nil
+}
+
+// --- sub-message accessors ---
+
+// SetMessage sets a singular message field.
+func (m *Message) SetMessage(num int32, v *Message) {
+	f := m.field(num)
+	m.checkSingular(f)
+	m.checkKind(f, schema.KindMessage)
+	if v != nil && v.typ != f.Message {
+		panic(fmt.Sprintf("dynamic: %s.%s wants %s, got %s", m.typ.Name, f.Name, f.Message.Name, v.typ.Name))
+	}
+	fv := m.val(num)
+	fv.msgs = append(fv.msgs[:0], v)
+}
+
+// GetMessage returns a singular message field's value, or nil if absent.
+func (m *Message) GetMessage(num int32) *Message {
+	f := m.field(num)
+	m.checkSingular(f)
+	m.checkKind(f, schema.KindMessage)
+	if v, ok := m.fields[num]; ok {
+		return v.msgs[0]
+	}
+	return nil
+}
+
+// MutableMessage returns the singular sub-message, allocating it if absent
+// (the mutable_foo() accessor of C++ generated code).
+func (m *Message) MutableMessage(num int32) *Message {
+	f := m.field(num)
+	m.checkSingular(f)
+	m.checkKind(f, schema.KindMessage)
+	fv := m.val(num)
+	if len(fv.msgs) == 0 || fv.msgs[0] == nil {
+		fv.msgs = append(fv.msgs[:0], New(f.Message))
+	}
+	return fv.msgs[0]
+}
+
+// AddMessage appends a new empty element to a repeated message field and
+// returns it.
+func (m *Message) AddMessage(num int32) *Message {
+	f := m.field(num)
+	m.checkRepeated(f)
+	m.checkKind(f, schema.KindMessage)
+	fv := m.val(num)
+	sub := New(f.Message)
+	fv.msgs = append(fv.msgs, sub)
+	return sub
+}
+
+// RepeatedMessages returns the elements of a repeated message field.
+func (m *Message) RepeatedMessages(num int32) []*Message {
+	f := m.field(num)
+	m.checkRepeated(f)
+	m.checkKind(f, schema.KindMessage)
+	if v, ok := m.fields[num]; ok {
+		return v.msgs
+	}
+	return nil
+}
+
+// Len returns the number of elements in a repeated field (0 if absent).
+func (m *Message) Len(num int32) int {
+	f := m.field(num)
+	m.checkRepeated(f)
+	v, ok := m.fields[num]
+	if !ok {
+		return 0
+	}
+	switch {
+	case f.Kind == schema.KindMessage:
+		return len(v.msgs)
+	case f.Kind.Class() == schema.ClassBytesLike:
+		return len(v.blobs)
+	default:
+		return len(v.scalars)
+	}
+}
+
+// --- message-level operations (the paper's Figure 2 "other" operators) ---
+
+// Equal reports deep equality of two messages of the same type, comparing
+// presence, values, element order, and unknown bytes.
+func (m *Message) Equal(o *Message) bool {
+	if m == nil || o == nil {
+		return m == o
+	}
+	if m.typ != o.typ || len(m.fields) != len(o.fields) || !bytes.Equal(m.Unknown, o.Unknown) {
+		return false
+	}
+	for num, v := range m.fields {
+		ov, ok := o.fields[num]
+		if !ok {
+			return false
+		}
+		if len(v.scalars) != len(ov.scalars) || len(v.blobs) != len(ov.blobs) || len(v.msgs) != len(ov.msgs) {
+			return false
+		}
+		for i := range v.scalars {
+			if v.scalars[i] != ov.scalars[i] {
+				return false
+			}
+		}
+		for i := range v.blobs {
+			if !bytes.Equal(v.blobs[i], ov.blobs[i]) {
+				return false
+			}
+		}
+		for i := range v.msgs {
+			if !v.msgs[i].Equal(ov.msgs[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of m.
+func (m *Message) Clone() *Message {
+	c := New(m.typ)
+	c.Unknown = append([]byte(nil), m.Unknown...)
+	if len(c.Unknown) == 0 {
+		c.Unknown = nil
+	}
+	for num, v := range m.fields {
+		cv := &fieldValue{}
+		if v.scalars != nil {
+			cv.scalars = append([]uint64(nil), v.scalars...)
+		}
+		for _, b := range v.blobs {
+			cv.blobs = append(cv.blobs, append([]byte(nil), b...))
+		}
+		for _, s := range v.msgs {
+			cv.msgs = append(cv.msgs, s.Clone())
+		}
+		c.fields[num] = cv
+	}
+	return c
+}
+
+// Merge merges src into m with proto2 semantics: singular scalars and
+// strings are overwritten if present in src, singular sub-messages are
+// merged recursively, repeated fields are concatenated.
+func (m *Message) Merge(src *Message) {
+	if src.typ != m.typ {
+		panic(fmt.Sprintf("dynamic: cannot merge %s into %s", src.typ.Name, m.typ.Name))
+	}
+	for num, sv := range src.fields {
+		f := m.field(num)
+		dv := m.val(num)
+		switch {
+		case f.Repeated():
+			dv.scalars = append(dv.scalars, sv.scalars...)
+			for _, b := range sv.blobs {
+				dv.blobs = append(dv.blobs, append([]byte(nil), b...))
+			}
+			for _, s := range sv.msgs {
+				dv.msgs = append(dv.msgs, s.Clone())
+			}
+		case f.Kind == schema.KindMessage:
+			if len(dv.msgs) == 0 || dv.msgs[0] == nil {
+				dv.msgs = append(dv.msgs[:0], New(f.Message))
+			}
+			dv.msgs[0].Merge(sv.msgs[0])
+		case f.Kind.Class() == schema.ClassBytesLike:
+			dv.blobs = append(dv.blobs[:0], append([]byte(nil), sv.blobs[0]...))
+		default:
+			dv.scalars = append(dv.scalars[:0], sv.scalars[0])
+		}
+	}
+	m.Unknown = append(m.Unknown, src.Unknown...)
+}
+
+// IsInitialized reports whether all required fields are present,
+// recursively (proto2 required-field semantics).
+func (m *Message) IsInitialized() bool {
+	for _, f := range m.typ.Fields {
+		if f.Label == schema.LabelRequired && !m.Has(f.Number) {
+			return false
+		}
+		if f.Kind != schema.KindMessage {
+			continue
+		}
+		if f.Repeated() {
+			for _, s := range m.RepeatedMessages(f.Number) {
+				if !s.IsInitialized() {
+					return false
+				}
+			}
+		} else if s := m.GetMessage(f.Number); s != nil && !s.IsInitialized() {
+			return false
+		}
+	}
+	return true
+}

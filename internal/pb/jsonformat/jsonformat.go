@@ -1,0 +1,377 @@
+// Package jsonformat implements the protobuf JSON mapping for dynamic
+// messages, following the canonical proto-JSON conventions adapted to
+// proto2: objects for messages, arrays for repeated fields, 64-bit
+// integers rendered as decimal strings, bytes as standard base64,
+// non-finite floats as the strings "NaN"/"Infinity"/"-Infinity", and enum
+// values by name when the descriptor carries one.
+//
+// Marshal emits deterministic output (fields in field-number order);
+// Unmarshal accepts both the canonical forms and natural JSON variants
+// (64-bit integers as numbers, enums by number).
+package jsonformat
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"unicode/utf8"
+
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/schema"
+)
+
+// ErrInvalidUTF8 is returned when a string field holds bytes that are not
+// valid UTF-8: the canonical proto-JSON mapping rejects such messages
+// (matching the §7 observation that proto3/JSON paths require UTF-8
+// validation).
+var ErrInvalidUTF8 = fmt.Errorf("jsonformat: string field contains invalid UTF-8")
+
+// Marshal renders m as compact JSON.
+func Marshal(m *dynamic.Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeMessage(&buf, m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// MarshalIndent renders m with two-space indentation.
+func MarshalIndent(m *dynamic.Message) ([]byte, error) {
+	compact, err := Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	if err := json.Indent(&out, compact, "", "  "); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+func writeMessage(buf *bytes.Buffer, m *dynamic.Message) error {
+	buf.WriteByte('{')
+	first := true
+	for _, f := range m.Type().Fields {
+		if !m.Has(f.Number) {
+			continue
+		}
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		name, _ := json.Marshal(f.Name)
+		buf.Write(name)
+		buf.WriteByte(':')
+		if err := writeField(buf, m, f); err != nil {
+			return err
+		}
+	}
+	buf.WriteByte('}')
+	return nil
+}
+
+func writeField(buf *bytes.Buffer, m *dynamic.Message, f *schema.Field) error {
+	if f.Repeated() {
+		buf.WriteByte('[')
+		switch {
+		case f.Kind == schema.KindMessage:
+			for i, s := range m.RepeatedMessages(f.Number) {
+				if i > 0 {
+					buf.WriteByte(',')
+				}
+				if err := writeMessage(buf, s); err != nil {
+					return err
+				}
+			}
+		case f.Kind.Class() == schema.ClassBytesLike:
+			for i, b := range m.RepeatedBytes(f.Number) {
+				if i > 0 {
+					buf.WriteByte(',')
+				}
+				if err := writeBlob(buf, f, b); err != nil {
+					return err
+				}
+			}
+		default:
+			for i, bits := range m.RepeatedScalarBits(f.Number) {
+				if i > 0 {
+					buf.WriteByte(',')
+				}
+				if err := writeScalar(buf, f, bits); err != nil {
+					return err
+				}
+			}
+		}
+		buf.WriteByte(']')
+		return nil
+	}
+	switch {
+	case f.Kind == schema.KindMessage:
+		sub := m.GetMessage(f.Number)
+		if sub == nil {
+			buf.WriteString("null")
+			return nil
+		}
+		return writeMessage(buf, sub)
+	case f.Kind.Class() == schema.ClassBytesLike:
+		return writeBlob(buf, f, m.GetBytes(f.Number))
+	default:
+		return writeScalar(buf, f, m.ScalarBits(f.Number))
+	}
+}
+
+func writeBlob(buf *bytes.Buffer, f *schema.Field, b []byte) error {
+	if f.Kind == schema.KindBytes {
+		enc, _ := json.Marshal(base64.StdEncoding.EncodeToString(b))
+		buf.Write(enc)
+		return nil
+	}
+	if !utf8.Valid(b) {
+		return fmt.Errorf("%w (field %s)", ErrInvalidUTF8, f.Name)
+	}
+	enc, _ := json.Marshal(string(b))
+	buf.Write(enc)
+	return nil
+}
+
+func writeScalar(buf *bytes.Buffer, f *schema.Field, bits uint64) error {
+	switch f.Kind {
+	case schema.KindBool:
+		if bits != 0 {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case schema.KindFloat:
+		writeFloat(buf, float64(math.Float32frombits(uint32(bits))), 32)
+	case schema.KindDouble:
+		writeFloat(buf, math.Float64frombits(bits), 64)
+	case schema.KindInt32, schema.KindSint32, schema.KindSfixed32:
+		buf.WriteString(strconv.FormatInt(int64(int32(bits)), 10))
+	case schema.KindUint32, schema.KindFixed32:
+		buf.WriteString(strconv.FormatUint(uint64(uint32(bits)), 10))
+	case schema.KindEnum:
+		v := int32(bits)
+		if f.Enum != nil {
+			for name, n := range f.Enum.Values {
+				if n == v {
+					enc, _ := json.Marshal(name)
+					buf.Write(enc)
+					return nil
+				}
+			}
+		}
+		buf.WriteString(strconv.FormatInt(int64(v), 10))
+	case schema.KindInt64, schema.KindSint64, schema.KindSfixed64:
+		// 64-bit integers are quoted per the proto-JSON mapping.
+		fmt.Fprintf(buf, "%q", strconv.FormatInt(int64(bits), 10))
+	default: // uint64, fixed64
+		fmt.Fprintf(buf, "%q", strconv.FormatUint(bits, 10))
+	}
+	return nil
+}
+
+func writeFloat(buf *bytes.Buffer, v float64, bitsize int) {
+	switch {
+	case math.IsNaN(v):
+		buf.WriteString(`"NaN"`)
+	case math.IsInf(v, 1):
+		buf.WriteString(`"Infinity"`)
+	case math.IsInf(v, -1):
+		buf.WriteString(`"-Infinity"`)
+	default:
+		buf.WriteString(strconv.FormatFloat(v, 'g', -1, bitsize))
+	}
+}
+
+// Unmarshal parses JSON into a fresh message of type t.
+func Unmarshal(t *schema.Message, data []byte) (*dynamic.Message, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var raw any
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("jsonformat: %w", err)
+	}
+	m := dynamic.New(t)
+	if err := intoMessage(m, raw); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func intoMessage(m *dynamic.Message, raw any) error {
+	obj, ok := raw.(map[string]any)
+	if !ok {
+		return fmt.Errorf("jsonformat: %s: expected object, got %T", m.Type().Name, raw)
+	}
+	for name, val := range obj {
+		f := m.Type().FieldByName(name)
+		if f == nil {
+			return fmt.Errorf("jsonformat: unknown field %q in %s", name, m.Type().Name)
+		}
+		if err := intoField(m, f, val); err != nil {
+			return fmt.Errorf("jsonformat: field %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func intoField(m *dynamic.Message, f *schema.Field, val any) error {
+	if f.Repeated() {
+		arr, ok := val.([]any)
+		if !ok {
+			return fmt.Errorf("expected array, got %T", val)
+		}
+		for _, elem := range arr {
+			if err := addValue(m, f, elem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch {
+	case f.Kind == schema.KindMessage:
+		if val == nil {
+			m.SetMessage(f.Number, nil)
+			return nil
+		}
+		return intoMessage(m.MutableMessage(f.Number), val)
+	case f.Kind.Class() == schema.ClassBytesLike:
+		b, err := blobValue(f, val)
+		if err != nil {
+			return err
+		}
+		m.SetBytes(f.Number, b)
+		return nil
+	default:
+		bits, err := scalarValue(f, val)
+		if err != nil {
+			return err
+		}
+		m.SetScalarBits(f.Number, bits)
+		return nil
+	}
+}
+
+func addValue(m *dynamic.Message, f *schema.Field, val any) error {
+	switch {
+	case f.Kind == schema.KindMessage:
+		return intoMessage(m.AddMessage(f.Number), val)
+	case f.Kind.Class() == schema.ClassBytesLike:
+		b, err := blobValue(f, val)
+		if err != nil {
+			return err
+		}
+		m.AddBytes(f.Number, b)
+		return nil
+	default:
+		bits, err := scalarValue(f, val)
+		if err != nil {
+			return err
+		}
+		m.AddScalarBits(f.Number, bits)
+		return nil
+	}
+}
+
+func blobValue(f *schema.Field, val any) ([]byte, error) {
+	s, ok := val.(string)
+	if !ok {
+		return nil, fmt.Errorf("expected string, got %T", val)
+	}
+	if f.Kind == schema.KindBytes {
+		return base64.StdEncoding.DecodeString(s)
+	}
+	return []byte(s), nil
+}
+
+func scalarValue(f *schema.Field, val any) (uint64, error) {
+	switch f.Kind {
+	case schema.KindBool:
+		b, ok := val.(bool)
+		if !ok {
+			return 0, fmt.Errorf("expected bool, got %T", val)
+		}
+		if b {
+			return 1, nil
+		}
+		return 0, nil
+	case schema.KindFloat, schema.KindDouble:
+		v, err := floatValue(val)
+		if err != nil {
+			return 0, err
+		}
+		if f.Kind == schema.KindFloat {
+			return uint64(math.Float32bits(float32(v))), nil
+		}
+		return math.Float64bits(v), nil
+	case schema.KindEnum:
+		if s, ok := val.(string); ok {
+			if f.Enum == nil {
+				return 0, fmt.Errorf("enum name %q without enum descriptor", s)
+			}
+			v, ok := f.Enum.Values[s]
+			if !ok {
+				return 0, fmt.Errorf("unknown enum value %q", s)
+			}
+			return uint64(int64(v)), nil
+		}
+		v, err := intValue(val, 32)
+		return uint64(v), err
+	case schema.KindInt32, schema.KindSint32, schema.KindSfixed32:
+		v, err := intValue(val, 32)
+		return uint64(v), err
+	case schema.KindUint32, schema.KindFixed32:
+		v, err := uintValue(val, 32)
+		return v, err
+	case schema.KindUint64, schema.KindFixed64:
+		return uintValue(val, 64)
+	default: // int64, sint64, sfixed64
+		v, err := intValue(val, 64)
+		return uint64(v), err
+	}
+}
+
+func floatValue(val any) (float64, error) {
+	switch v := val.(type) {
+	case json.Number:
+		return v.Float64()
+	case string:
+		switch v {
+		case "NaN":
+			return math.NaN(), nil
+		case "Infinity":
+			return math.Inf(1), nil
+		case "-Infinity":
+			return math.Inf(-1), nil
+		}
+		return strconv.ParseFloat(v, 64)
+	default:
+		return 0, fmt.Errorf("expected number, got %T", val)
+	}
+}
+
+func intValue(val any, bits int) (int64, error) {
+	switch v := val.(type) {
+	case json.Number:
+		return strconv.ParseInt(v.String(), 10, bits)
+	case string:
+		return strconv.ParseInt(v, 10, bits)
+	default:
+		return 0, fmt.Errorf("expected integer, got %T", val)
+	}
+}
+
+func uintValue(val any, bits int) (uint64, error) {
+	switch v := val.(type) {
+	case json.Number:
+		return strconv.ParseUint(v.String(), 10, bits)
+	case string:
+		return strconv.ParseUint(v, 10, bits)
+	default:
+		return 0, fmt.Errorf("expected unsigned integer, got %T", val)
+	}
+}

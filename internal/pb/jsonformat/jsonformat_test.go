@@ -1,0 +1,228 @@
+package jsonformat
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/pbtest"
+	"protoacc/internal/pb/schema"
+)
+
+func demoType() *schema.Message {
+	sub := schema.MustMessage("Sub",
+		&schema.Field{Name: "id", Number: 1, Kind: schema.KindInt64},
+		&schema.Field{Name: "tag", Number: 2, Kind: schema.KindString})
+	e := &schema.Enum{Name: "Color", Values: map[string]int32{"RED": 0, "BLUE": 2}}
+	return schema.MustMessage("Demo",
+		&schema.Field{Name: "name", Number: 1, Kind: schema.KindString},
+		&schema.Field{Name: "count", Number: 2, Kind: schema.KindInt32},
+		&schema.Field{Name: "big", Number: 3, Kind: schema.KindInt64},
+		&schema.Field{Name: "ubig", Number: 4, Kind: schema.KindUint64},
+		&schema.Field{Name: "ratio", Number: 5, Kind: schema.KindDouble},
+		&schema.Field{Name: "ok", Number: 6, Kind: schema.KindBool},
+		&schema.Field{Name: "data", Number: 7, Kind: schema.KindBytes},
+		&schema.Field{Name: "color", Number: 8, Kind: schema.KindEnum, Enum: e},
+		&schema.Field{Name: "sub", Number: 9, Kind: schema.KindMessage, Message: sub},
+		&schema.Field{Name: "vals", Number: 10, Kind: schema.KindInt32, Label: schema.LabelRepeated},
+		&schema.Field{Name: "subs", Number: 11, Kind: schema.KindMessage, Message: sub, Label: schema.LabelRepeated},
+	)
+}
+
+func TestMarshalCanonicalForms(t *testing.T) {
+	typ := demoType()
+	m := dynamic.New(typ)
+	m.SetString(1, "ada")
+	m.SetInt32(2, -5)
+	m.SetInt64(3, -1234567890123456789)
+	m.SetUint64(4, 18446744073709551615)
+	m.SetDouble(5, 0.5)
+	m.SetBool(6, true)
+	m.SetBytes(7, []byte{0xde, 0xad})
+	m.SetInt32(8, 2)
+	m.MutableMessage(9).SetInt64(1, 7)
+	m.AddScalarBits(10, 1)
+	negTwo := int64(-2)
+	m.AddScalarBits(10, uint64(negTwo))
+
+	b, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(b)
+	for _, want := range []string{
+		`"name":"ada"`,
+		`"count":-5`,
+		`"big":"-1234567890123456789"`, // 64-bit as string
+		`"ubig":"18446744073709551615"`,
+		`"ratio":0.5`,
+		`"ok":true`,
+		`"data":"3q0="`, // base64
+		`"color":"BLUE"`,
+		`"sub":{"id":"7"}`,
+		`"vals":[1,-2]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s:\n%s", want, out)
+		}
+	}
+	// Output must be valid JSON.
+	var any1 any
+	if err := json.Unmarshal(b, &any1); err != nil {
+		t.Errorf("invalid JSON: %v", err)
+	}
+}
+
+func TestNonFiniteFloats(t *testing.T) {
+	typ := schema.MustMessage("F",
+		&schema.Field{Name: "f", Number: 1, Kind: schema.KindFloat},
+		&schema.Field{Name: "d", Number: 2, Kind: schema.KindDouble})
+	m := dynamic.New(typ)
+	m.SetFloat(1, float32(math.Inf(-1)))
+	m.SetDouble(2, math.NaN())
+	b, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"-Infinity"`) || !strings.Contains(string(b), `"NaN"`) {
+		t.Errorf("non-finite rendering wrong: %s", b)
+	}
+	got, err := Unmarshal(typ, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(got.GetFloat(1)), -1) || !math.IsNaN(got.GetDouble(2)) {
+		t.Error("non-finite parse wrong")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	typ := demoType()
+	m := dynamic.New(typ)
+	m.SetString(1, "unicode ✓ and \"quotes\"")
+	m.SetInt64(3, math.MinInt64)
+	m.SetUint64(4, math.MaxUint64)
+	m.SetDouble(5, -2.5e-100)
+	m.SetBytes(7, []byte{0, 1, 2, 255})
+	m.SetInt32(8, 0)
+	s := m.AddMessage(11)
+	s.SetInt64(1, 1)
+	s.SetString(2, "x")
+	m.AddMessage(11)
+
+	b, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(typ, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Errorf("round trip not equal:\n%s", b)
+	}
+}
+
+func TestRandomizedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 100; trial++ {
+		typ := pbtest.RandomSchema(rng, pbtest.DefaultSchemaConfig())
+		msg := pbtest.RandomPopulated(rng, typ, pbtest.DefaultMessageConfig())
+		b, err := Marshal(msg)
+		if err != nil {
+			// Random binary blobs in string fields are rejected by the
+			// strict UTF-8 rule; that's the specified behaviour.
+			if strings.Contains(err.Error(), "UTF-8") {
+				continue
+			}
+			t.Fatal(err)
+		}
+		got, err := Unmarshal(typ, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, b)
+		}
+		// NaN payloads don't survive (canonicalized), like text format.
+		if strings.Contains(string(b), `"NaN"`) {
+			continue
+		}
+		if !msg.Equal(got) {
+			t.Fatalf("trial %d: round trip not equal\n%s", trial, b)
+		}
+	}
+}
+
+func TestUnmarshalLenientForms(t *testing.T) {
+	typ := demoType()
+	// 64-bit as bare numbers, enum by number, float from string.
+	src := `{"big": -7, "ubig": 7, "color": 2, "ratio": "0.25"}`
+	m, err := Unmarshal(typ, []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GetInt64(3) != -7 || m.GetUint64(4) != 7 || m.GetInt32(8) != 2 || m.GetDouble(5) != 0.25 {
+		t.Error("lenient parse wrong")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	typ := demoType()
+	cases := map[string]string{
+		"not object":     `[1]`,
+		"unknown field":  `{"bogus": 1}`,
+		"bad bool":       `{"ok": "yes"}`,
+		"bad array":      `{"vals": 5}`,
+		"bad base64":     `{"data": "!!!"}`,
+		"overflow int32": `{"count": 3000000000}`,
+		"bad enum name":  `{"color": "GREEN"}`,
+		"trailing junk":  `{"count": }`,
+	}
+	for name, src := range cases {
+		if _, err := Unmarshal(typ, []byte(src)); err == nil {
+			t.Errorf("%s: expected error for %s", name, src)
+		}
+	}
+}
+
+func TestMarshalIndent(t *testing.T) {
+	m := dynamic.New(demoType())
+	m.SetString(1, "x")
+	b, err := MarshalIndent(m)
+	if err != nil || !strings.Contains(string(b), "\n") {
+		t.Errorf("indent failed: %v\n%s", err, b)
+	}
+}
+
+func TestInvalidUTF8Rejected(t *testing.T) {
+	typ := schema.MustMessage("U", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+	m := dynamic.New(typ)
+	m.SetBytes(1, []byte{0xff, 0xfe})
+	if _, err := Marshal(m); err == nil {
+		t.Error("invalid UTF-8 in string field should be rejected")
+	}
+	// bytes fields are base64, so arbitrary data is fine.
+	typ2 := schema.MustMessage("U2", &schema.Field{Name: "b", Number: 1, Kind: schema.KindBytes})
+	m2 := dynamic.New(typ2)
+	m2.SetBytes(1, []byte{0xff, 0xfe})
+	if _, err := Marshal(m2); err != nil {
+		t.Errorf("bytes field should marshal: %v", err)
+	}
+}
+
+func TestNullSubMessage(t *testing.T) {
+	typ := demoType()
+	m, err := Unmarshal(typ, []byte(`{"sub": null}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(9) || m.GetMessage(9) != nil {
+		t.Error("null sub-message should be present-but-nil")
+	}
+	// And re-marshals as null.
+	b, _ := Marshal(m)
+	if !strings.Contains(string(b), `"sub":null`) {
+		t.Errorf("re-marshal: %s", b)
+	}
+}

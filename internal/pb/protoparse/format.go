@@ -1,0 +1,183 @@
+package protoparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"protoacc/internal/pb/schema"
+)
+
+// Format renders a schema.File back to proto2 source text. Nested message
+// types (those named "Outer.Inner") are emitted inside their parents;
+// enums referenced by fields are emitted at file scope. Format and Parse
+// are inverses up to formatting: parsing the output reproduces the same
+// descriptors, which the HyperProtoBench generator uses to validate its
+// emitted schemas.
+func Format(f *schema.File) string {
+	var sb strings.Builder
+	sb.WriteString("syntax = \"proto2\";\n")
+	if f.Package != "" {
+		fmt.Fprintf(&sb, "package %s;\n", f.Package)
+	}
+	sb.WriteString("\n")
+
+	// Collect referenced enums (deduplicated, stable order).
+	enumSet := map[*schema.Enum]bool{}
+	var enums []*schema.Enum
+	for _, m := range f.Messages {
+		m.Walk(func(t *schema.Message) {
+			for _, fd := range t.Fields {
+				if fd.Kind == schema.KindEnum && fd.Enum != nil && !enumSet[fd.Enum] {
+					enumSet[fd.Enum] = true
+					enums = append(enums, fd.Enum)
+				}
+			}
+		})
+	}
+	for _, e := range enums {
+		formatEnum(&sb, e, "")
+		sb.WriteString("\n")
+	}
+
+	// Group nested types under their parents by name prefix.
+	children := map[string][]*schema.Message{}
+	var tops []*schema.Message
+	for _, m := range f.Messages {
+		m.Walk(func(t *schema.Message) {
+			if i := strings.LastIndex(t.Name, "."); i >= 0 {
+				parent := t.Name[:i]
+				children[parent] = append(children[parent], t)
+			}
+		})
+	}
+	seen := map[*schema.Message]bool{}
+	for _, m := range f.Messages {
+		if !seen[m] && !strings.Contains(m.Name, ".") {
+			tops = append(tops, m)
+			seen[m] = true
+		}
+	}
+	// Messages reachable only as sub-message types still need emission.
+	for _, m := range f.Messages {
+		m.Walk(func(t *schema.Message) {
+			if !seen[t] && !strings.Contains(t.Name, ".") {
+				tops = append(tops, t)
+				seen[t] = true
+			}
+		})
+	}
+
+	emitted := map[*schema.Message]bool{}
+	for _, m := range tops {
+		formatMessage(&sb, m, "", children, emitted)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func formatEnum(sb *strings.Builder, e *schema.Enum, indent string) {
+	fmt.Fprintf(sb, "%senum %s {\n", indent, e.Name)
+	names := make([]string, 0, len(e.Values))
+	for n := range e.Values {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if e.Values[names[i]] != e.Values[names[j]] {
+			return e.Values[names[i]] < e.Values[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		fmt.Fprintf(sb, "%s  %s = %d;\n", indent, n, e.Values[n])
+	}
+	fmt.Fprintf(sb, "%s}\n", indent)
+}
+
+func formatMessage(sb *strings.Builder, m *schema.Message, indent string, children map[string][]*schema.Message, emitted map[*schema.Message]bool) {
+	if emitted[m] {
+		return
+	}
+	emitted[m] = true
+	short := m.Name
+	if i := strings.LastIndex(short, "."); i >= 0 {
+		short = short[i+1:]
+	}
+	fmt.Fprintf(sb, "%smessage %s {\n", indent, short)
+	for _, c := range children[m.Name] {
+		formatMessage(sb, c, indent+"  ", children, emitted)
+	}
+	for _, f := range m.Fields {
+		var opts []string
+		if f.Packed {
+			opts = append(opts, "packed=true")
+		}
+		if def := formatDefault(f); def != "" {
+			opts = append(opts, "default="+def)
+		}
+		optStr := ""
+		if len(opts) > 0 {
+			optStr = " [" + strings.Join(opts, ", ") + "]"
+		}
+		fmt.Fprintf(sb, "%s  %s %s %s = %d%s;\n",
+			indent, f.Label, typeName(f), f.Name, f.Number, optStr)
+	}
+	fmt.Fprintf(sb, "%s}\n", indent)
+}
+
+func typeName(f *schema.Field) string {
+	switch f.Kind {
+	case schema.KindMessage:
+		return f.Message.Name
+	case schema.KindEnum:
+		if f.Enum != nil {
+			return f.Enum.Name
+		}
+		return "int32" // synthetic schemas may omit the enum descriptor
+	default:
+		return f.Kind.String()
+	}
+}
+
+func formatDefault(f *schema.Field) string {
+	switch f.Kind {
+	case schema.KindString, schema.KindBytes:
+		if f.DefaultBytes == nil {
+			return ""
+		}
+		return fmt.Sprintf("%q", f.DefaultBytes)
+	case schema.KindBool:
+		if f.Default == 1 {
+			return "true"
+		}
+		return ""
+	case schema.KindEnum:
+		if f.Default == 0 || f.Enum == nil {
+			return ""
+		}
+		for n, v := range f.Enum.Values {
+			if uint64(int64(v)) == f.Default {
+				return n
+			}
+		}
+		return ""
+	case schema.KindMessage:
+		return ""
+	default:
+		if f.Default == 0 {
+			return ""
+		}
+		switch f.Kind {
+		case schema.KindInt32, schema.KindInt64, schema.KindSint32,
+			schema.KindSint64, schema.KindSfixed32, schema.KindSfixed64:
+			return fmt.Sprintf("%d", int64(f.Default))
+		case schema.KindFloat:
+			return fmt.Sprintf("%g", math.Float32frombits(uint32(f.Default)))
+		case schema.KindDouble:
+			return fmt.Sprintf("%g", math.Float64frombits(f.Default))
+		default:
+			return fmt.Sprintf("%d", f.Default)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package protoparse
+
+import (
+	"strings"
+	"testing"
+
+	"protoacc/internal/pb/schema"
+)
+
+// structurallyEqual compares two message descriptors field-by-field.
+func structurallyEqual(a, b *schema.Message, seen map[*schema.Message]*schema.Message) bool {
+	if prev, ok := seen[a]; ok {
+		return prev == b
+	}
+	seen[a] = b
+	if len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for i, fa := range a.Fields {
+		fb := b.Fields[i]
+		if fa.Name != fb.Name || fa.Number != fb.Number || fa.Kind != fb.Kind ||
+			fa.Label != fb.Label || fa.Packed != fb.Packed ||
+			fa.Default != fb.Default || string(fa.DefaultBytes) != string(fb.DefaultBytes) {
+			return false
+		}
+		if fa.Kind == schema.KindMessage && !structurallyEqual(fa.Message, fb.Message, seen) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	src := `
+		syntax = "proto2";
+		package round.trip;
+		enum Mode { SLOW = 0; FAST = 1; }
+		message Outer {
+			message Inner {
+				optional string tag = 1;
+				optional Outer back = 2;
+			}
+			required int64 id = 1;
+			optional Inner inner = 2;
+			repeated int32 packed_vals = 3 [packed=true];
+			repeated string names = 4;
+			optional bool flag = 5 [default=true];
+			optional int32 answer = 6 [default=-42];
+			optional double ratio = 7 [default=2.5];
+			optional Mode mode = 8 [default=FAST];
+			optional bytes blob = 9 [default="\x01\x02"];
+		}
+	`
+	f1, err := Parse("a.proto", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(f1)
+	f2, err := Parse("b.proto", text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nsource:\n%s", err, text)
+	}
+	m1, m2 := f1.MessageByName("Outer"), f2.MessageByName("Outer")
+	if m1 == nil || m2 == nil {
+		t.Fatalf("Outer missing after round trip:\n%s", text)
+	}
+	if !structurallyEqual(m1, m2, map[*schema.Message]*schema.Message{}) {
+		t.Errorf("round trip changed structure:\n%s", text)
+	}
+	if f2.Package != "round.trip" {
+		t.Errorf("package lost: %q", f2.Package)
+	}
+}
+
+func TestFormatRecursive(t *testing.T) {
+	f1, err := Parse("r.proto", `message B { optional B f0 = 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(f1)
+	f2, err := Parse("r2.proto", text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	b := f2.MessageByName("B")
+	if b.FieldByName("f0").Message != b {
+		t.Error("recursion lost in round trip")
+	}
+}
+
+func TestFormatSyntheticEnumlessField(t *testing.T) {
+	// Synthetic schemas may have enum fields with no descriptor; Format
+	// falls back to int32 (wire-compatible).
+	typ := schema.MustMessage("M", &schema.Field{Name: "e", Number: 1, Kind: schema.KindEnum})
+	text := Format(&schema.File{Messages: []*schema.Message{typ}})
+	if !strings.Contains(text, "int32 e = 1") {
+		t.Errorf("fallback missing:\n%s", text)
+	}
+	if _, err := Parse("s.proto", text); err != nil {
+		t.Errorf("fallback output unparseable: %v", err)
+	}
+}

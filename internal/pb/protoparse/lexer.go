@@ -1,0 +1,188 @@
+package protoparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokSymbol // one of = ; { } [ ] , . -
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes proto2 source. Comments (// and /* */) are skipped.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("proto:%d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return l.errorf("unterminated block comment")
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	start, line := l.pos, l.line
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], line}, nil
+	case c >= '0' && c <= '9':
+		kind := tokInt
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c == '.' || c == 'e' || c == 'E' || c == '+' && kind == tokFloat {
+				kind = tokFloat
+				l.pos++
+				continue
+			}
+			if c >= '0' && c <= '9' || c == 'x' || c == 'X' ||
+				c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{kind, l.src[start:l.pos], line}, nil
+	case c == '"' || c == '\'':
+		quote := c
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf("unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == quote {
+				l.pos++
+				return token{tokString, sb.String(), line}, nil
+			}
+			if ch == '\n' {
+				return token{}, l.errorf("newline in string literal")
+			}
+			if ch == '\\' {
+				l.pos++
+				if l.pos >= len(l.src) {
+					return token{}, l.errorf("unterminated escape")
+				}
+				esc := l.src[l.pos]
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case 'r':
+					sb.WriteByte('\r')
+				case '\\', '"', '\'':
+					sb.WriteByte(esc)
+				case '0':
+					sb.WriteByte(0)
+				case 'x':
+					if l.pos+2 >= len(l.src) {
+						return token{}, l.errorf("truncated \\x escape")
+					}
+					hi, ok1 := hexVal(l.src[l.pos+1])
+					lo, ok2 := hexVal(l.src[l.pos+2])
+					if !ok1 || !ok2 {
+						return token{}, l.errorf("invalid \\x escape")
+					}
+					sb.WriteByte(hi<<4 | lo)
+					l.pos += 2
+				default:
+					return token{}, l.errorf("unknown escape \\%c", esc)
+				}
+				l.pos++
+				continue
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+	case strings.IndexByte("=;{}[],.-()<>", c) >= 0:
+		l.pos++
+		return token{tokSymbol, string(c), line}, nil
+	default:
+		return token{}, l.errorf("unexpected character %q", c)
+	}
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,638 @@
+// Package protoparse parses the proto2 language subset used throughout this
+// project into schema descriptors. It plays the role of the protoc
+// front-end: HyperProtoBench-style generated .proto files, the example
+// services' schemas, and the microbenchmark schemas all pass through it.
+//
+// Supported: syntax/package declarations, messages (arbitrarily nested and
+// recursive), enums, optional/required/repeated labels, all proto2 scalar
+// types, [packed=true], [default=...], [deprecated=...] (ignored), reserved
+// statements, and option statements (ignored). Unsupported (rejected):
+// imports, services, extensions, groups, oneof, and maps — matching the
+// feature set the paper's accelerator handles.
+package protoparse
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"protoacc/internal/pb/schema"
+)
+
+// Parse parses proto2 source text into a schema.File. path is used only
+// for error messages and the resulting File.Path.
+func Parse(path, src string) (*schema.File, error) {
+	p := &parser{lex: newLexer(src), path: path}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f, err := p.parseFile()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	f.Path = path
+	return f, nil
+}
+
+// astField is a field before type resolution.
+type astField struct {
+	label    schema.Label
+	typeName string
+	name     string
+	number   int32
+	packed   bool
+	defText  string // raw default literal ("" if none)
+	defIsStr bool
+	line     int
+}
+
+// astMessage is a message before type resolution.
+type astMessage struct {
+	name     string
+	fields   []*astField
+	children []*astMessage
+	enums    []*schema.Enum
+	parent   *astMessage
+
+	resolved *schema.Message
+}
+
+type parser struct {
+	lex   *lexer
+	tok   token
+	path  string
+	roots []*astMessage // set during resolve, for type lookup
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if p.tok.kind != tokSymbol || p.tok.text != s {
+		return p.errorf("expected %q, found %s", s, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errorf("expected identifier, found %s", p.tok)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *parser) atIdent(name string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == name
+}
+
+func (p *parser) atSymbol(s string) bool {
+	return p.tok.kind == tokSymbol && p.tok.text == s
+}
+
+// skipStatement consumes tokens through the next ';' at nesting level zero.
+func (p *parser) skipStatement() error {
+	depth := 0
+	for {
+		switch {
+		case p.tok.kind == tokEOF:
+			return p.errorf("unexpected end of input in statement")
+		case p.atSymbol("{"):
+			depth++
+		case p.atSymbol("}"):
+			depth--
+			if depth == 0 {
+				return p.advance()
+			}
+		case p.atSymbol(";") && depth == 0:
+			return p.advance()
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseFile() (*schema.File, error) {
+	f := &schema.File{Syntax: "proto2"}
+	var roots []*astMessage
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.atIdent("syntax"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("="); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokString {
+				return nil, p.errorf("expected syntax string")
+			}
+			if p.tok.text != "proto2" {
+				return nil, p.errorf("unsupported syntax %q (only proto2, per the paper's §3.3 finding)", p.tok.text)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(";"); err != nil {
+				return nil, err
+			}
+		case p.atIdent("package"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var parts []string
+			for {
+				id, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				parts = append(parts, id)
+				if !p.atSymbol(".") {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			f.Package = strings.Join(parts, ".")
+			if err := p.expectSymbol(";"); err != nil {
+				return nil, err
+			}
+		case p.atIdent("option"):
+			if err := p.skipStatement(); err != nil {
+				return nil, err
+			}
+		case p.atIdent("import"):
+			return nil, p.errorf("import statements are not supported")
+		case p.atIdent("service"), p.atIdent("extend"):
+			return nil, p.errorf("%s declarations are not supported", p.tok.text)
+		case p.atIdent("message"):
+			m, err := p.parseMessage(nil)
+			if err != nil {
+				return nil, err
+			}
+			roots = append(roots, m)
+		case p.atIdent("enum"):
+			e, err := p.parseEnum()
+			if err != nil {
+				return nil, err
+			}
+			// File-level enums are visible to all messages; carry them in
+			// an anonymous synthetic root scope (never matched as a
+			// message type).
+			roots = append(roots, &astMessage{enums: []*schema.Enum{e}})
+		case p.atSymbol(";"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("unexpected %s at file scope", p.tok)
+		}
+	}
+	return f, p.resolve(f, roots)
+}
+
+func (p *parser) parseEnum() (*schema.Enum, error) {
+	if err := p.advance(); err != nil { // consume "enum"
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("{"); err != nil {
+		return nil, err
+	}
+	e := &schema.Enum{Name: name, Values: map[string]int32{}}
+	for !p.atSymbol("}") {
+		if p.tok.kind == tokEOF {
+			return nil, p.errorf("unterminated enum %s", name)
+		}
+		if p.atIdent("option") || p.atIdent("reserved") {
+			if err := p.skipStatement(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		vname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		neg := false
+		if p.atSymbol("-") {
+			neg = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if p.tok.kind != tokInt {
+			return nil, p.errorf("expected enum value number")
+		}
+		v, err := strconv.ParseInt(p.tok.text, 0, 32)
+		if err != nil {
+			return nil, p.errorf("bad enum value: %v", err)
+		}
+		if neg {
+			v = -v
+		}
+		if _, dup := e.Values[vname]; dup {
+			return nil, p.errorf("duplicate enum value name %s", vname)
+		}
+		e.Values[vname] = int32(v)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.atSymbol("[") { // value options, e.g. [deprecated=true]
+			for !p.atSymbol("]") {
+				if p.tok.kind == tokEOF {
+					return nil, p.errorf("unterminated option list")
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+	}
+	return e, p.advance()
+}
+
+func (p *parser) parseMessage(parent *astMessage) (*astMessage, error) {
+	if err := p.advance(); err != nil { // consume "message"
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("{"); err != nil {
+		return nil, err
+	}
+	m := &astMessage{name: name, parent: parent}
+	for !p.atSymbol("}") {
+		switch {
+		case p.tok.kind == tokEOF:
+			return nil, p.errorf("unterminated message %s", name)
+		case p.atIdent("message"):
+			child, err := p.parseMessage(m)
+			if err != nil {
+				return nil, err
+			}
+			m.children = append(m.children, child)
+		case p.atIdent("enum"):
+			e, err := p.parseEnum()
+			if err != nil {
+				return nil, err
+			}
+			m.enums = append(m.enums, e)
+		case p.atIdent("reserved"), p.atIdent("option"), p.atIdent("extensions"):
+			if err := p.skipStatement(); err != nil {
+				return nil, err
+			}
+		case p.atIdent("oneof"), p.atIdent("map"), p.atIdent("group"):
+			return nil, p.errorf("%s is not supported", p.tok.text)
+		case p.atSymbol(";"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			fld, err := p.parseField()
+			if err != nil {
+				return nil, err
+			}
+			m.fields = append(m.fields, fld)
+		}
+	}
+	return m, p.advance()
+}
+
+func (p *parser) parseField() (*astField, error) {
+	f := &astField{label: schema.LabelOptional, line: p.tok.line}
+	switch {
+	case p.atIdent("optional"):
+		f.label = schema.LabelOptional
+	case p.atIdent("required"):
+		f.label = schema.LabelRequired
+	case p.atIdent("repeated"):
+		f.label = schema.LabelRepeated
+	default:
+		return nil, p.errorf("proto2 field must begin with optional/required/repeated, found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	// Type name: possibly dotted.
+	var parts []string
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, id)
+		if !p.atSymbol(".") {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	f.typeName = strings.Join(parts, ".")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	f.name = name
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokInt {
+		return nil, p.errorf("expected field number, found %s", p.tok)
+	}
+	n, err := strconv.ParseInt(p.tok.text, 0, 32)
+	if err != nil {
+		return nil, p.errorf("bad field number: %v", err)
+	}
+	f.number = int32(n)
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.atSymbol("[") {
+		if err := p.parseFieldOptions(f); err != nil {
+			return nil, err
+		}
+	}
+	return f, p.expectSymbol(";")
+}
+
+func (p *parser) parseFieldOptions(f *astField) error {
+	if err := p.advance(); err != nil { // consume "["
+		return err
+	}
+	for {
+		key, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return err
+		}
+		// Option value: literal, identifier, or signed number.
+		var val string
+		isStr := false
+		if p.atSymbol("-") {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			val = "-"
+		}
+		switch p.tok.kind {
+		case tokIdent, tokInt, tokFloat:
+			val += p.tok.text
+		case tokString:
+			val += p.tok.text
+			isStr = true
+		default:
+			return p.errorf("bad option value %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		switch key {
+		case "packed":
+			f.packed = val == "true"
+		case "default":
+			f.defText = val
+			f.defIsStr = isStr
+			if val == "" && isStr {
+				f.defText = "\x00empty" // sentinel: explicit empty-string default
+			}
+		case "deprecated", "lazy", "ctype":
+			// accepted and ignored
+		default:
+			return p.errorf("unknown field option %q", key)
+		}
+		if p.atSymbol("]") {
+			return p.advance()
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return err
+		}
+	}
+}
+
+// resolve performs the second pass: create schema.Message objects for every
+// AST message (so recursive references work), then resolve field types and
+// defaults and install fields.
+func (p *parser) resolve(f *schema.File, roots []*astMessage) error {
+	p.roots = roots
+	var all []*astMessage
+	var collect func(*astMessage)
+	collect = func(m *astMessage) {
+		all = append(all, m)
+		for _, c := range m.children {
+			collect(c)
+		}
+	}
+	for _, r := range roots {
+		collect(r)
+	}
+	for _, m := range all {
+		m.resolved = &schema.Message{Name: m.fullName()}
+	}
+	for _, m := range all {
+		fields := make([]*schema.Field, 0, len(m.fields))
+		for _, af := range m.fields {
+			sf, err := p.resolveField(m, af)
+			if err != nil {
+				return err
+			}
+			fields = append(fields, sf)
+		}
+		if err := m.resolved.SetFields(fields); err != nil {
+			return err
+		}
+	}
+	for _, r := range roots {
+		if r.name == "" {
+			continue // synthetic scope for a file-level enum
+		}
+		f.Messages = append(f.Messages, r.resolved)
+	}
+	return nil
+}
+
+func (m *astMessage) fullName() string {
+	if m.parent == nil {
+		return m.name
+	}
+	return m.parent.fullName() + "." + m.name
+}
+
+// lookupType resolves name from the scope of m outward: first m's nested
+// types, then each ancestor's, then file scope. Dotted names walk nested
+// scopes explicitly.
+func lookupType(scope *astMessage, roots []*astMessage, name string) (*astMessage, *schema.Enum) {
+	parts := strings.Split(name, ".")
+	for s := scope; s != nil; s = s.parent {
+		if m, e := lookupIn(s, parts); m != nil || e != nil {
+			return m, e
+		}
+	}
+	// File scope: treat roots as children of an anonymous scope. Only
+	// file-level enums (carried by anonymous synthetic roots) are visible
+	// unqualified here; message-nested enums need a dotted path.
+	top := &astMessage{}
+	for _, r := range roots {
+		if r.name == "" {
+			top.enums = append(top.enums, r.enums...)
+		} else {
+			top.children = append(top.children, r)
+		}
+	}
+	return lookupIn(top, parts)
+}
+
+// lookupIn resolves the dotted path parts within scope s (checking s's own
+// name too, so `Foo.Bar` resolves from inside Foo).
+func lookupIn(s *astMessage, parts []string) (*astMessage, *schema.Enum) {
+	head, rest := parts[0], parts[1:]
+	var cand *astMessage
+	if s.name == head {
+		cand = s
+	}
+	if cand == nil {
+		for _, c := range s.children {
+			if c.name == head {
+				cand = c
+				break
+			}
+		}
+	}
+	if cand == nil {
+		if len(rest) == 0 {
+			for _, e := range s.enums {
+				if e.Name == head {
+					return nil, e
+				}
+			}
+		}
+		return nil, nil
+	}
+	if len(rest) == 0 {
+		return cand, nil
+	}
+	return lookupIn(cand, rest)
+}
+
+func (p *parser) resolveField(scope *astMessage, af *astField) (*schema.Field, error) {
+	sf := &schema.Field{
+		Name:   af.name,
+		Number: af.number,
+		Label:  af.label,
+		Packed: af.packed,
+	}
+	if k, ok := schema.KindByName(af.typeName); ok {
+		sf.Kind = k
+	} else {
+		msg, enum := lookupType(scope, p.roots, af.typeName)
+		switch {
+		case msg != nil:
+			sf.Kind = schema.KindMessage
+			sf.Message = msg.resolved
+		case enum != nil:
+			sf.Kind = schema.KindEnum
+			sf.Enum = enum
+		default:
+			return nil, fmt.Errorf("line %d: unknown type %q for field %s", af.line, af.typeName, af.name)
+		}
+	}
+	if af.packed && (sf.Kind.WireType() == 2 || sf.Kind == schema.KindMessage) {
+		return nil, fmt.Errorf("line %d: field %s: packed is invalid for %v", af.line, af.name, sf.Kind)
+	}
+	if af.defText != "" {
+		if err := applyDefault(sf, af); err != nil {
+			return nil, fmt.Errorf("line %d: field %s: %w", af.line, af.name, err)
+		}
+	}
+	return sf, nil
+}
+
+func applyDefault(sf *schema.Field, af *astField) error {
+	text := af.defText
+	if text == "\x00empty" {
+		text = ""
+	}
+	switch sf.Kind {
+	case schema.KindString, schema.KindBytes:
+		if !af.defIsStr {
+			return fmt.Errorf("default for %v must be a string literal", sf.Kind)
+		}
+		sf.DefaultBytes = []byte(text)
+	case schema.KindBool:
+		switch text {
+		case "true":
+			sf.Default = 1
+		case "false":
+			sf.Default = 0
+		default:
+			return fmt.Errorf("bad bool default %q", text)
+		}
+	case schema.KindEnum:
+		if sf.Enum == nil {
+			return fmt.Errorf("enum default on field without enum type")
+		}
+		v, ok := sf.Enum.Values[text]
+		if !ok {
+			return fmt.Errorf("unknown enum value %q", text)
+		}
+		sf.Default = uint64(int64(v))
+	case schema.KindFloat:
+		v, err := strconv.ParseFloat(text, 32)
+		if err != nil {
+			return fmt.Errorf("bad float default %q", text)
+		}
+		sf.Default = uint64(math.Float32bits(float32(v)))
+	case schema.KindDouble:
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return fmt.Errorf("bad double default %q", text)
+		}
+		sf.Default = math.Float64bits(v)
+	case schema.KindUint32, schema.KindUint64, schema.KindFixed32, schema.KindFixed64:
+		v, err := strconv.ParseUint(text, 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad unsigned default %q", text)
+		}
+		sf.Default = v
+	case schema.KindInt32, schema.KindInt64, schema.KindSint32, schema.KindSint64,
+		schema.KindSfixed32, schema.KindSfixed64:
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad integer default %q", text)
+		}
+		sf.Default = uint64(v)
+	default:
+		return fmt.Errorf("default not allowed on %v field", sf.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package protoparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"protoacc/internal/pb/schema"
+)
+
+func mustParse(t *testing.T, src string) *schema.File {
+	t.Helper()
+	f, err := Parse("test.proto", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestParseBasicMessage(t *testing.T) {
+	f := mustParse(t, `
+		syntax = "proto2";
+		package bench.micro;
+
+		// A message exercising every scalar kind.
+		message Scalars {
+			optional double   d   = 1;
+			optional float    f   = 2;
+			optional int32    i32 = 3;
+			optional int64    i64 = 4;
+			optional uint32   u32 = 5;
+			optional uint64   u64 = 6;
+			optional sint32   s32 = 7;
+			optional sint64   s64 = 8;
+			optional fixed32  x32 = 9;
+			optional fixed64  x64 = 10;
+			optional sfixed32 y32 = 11;
+			optional sfixed64 y64 = 12;
+			optional bool     b   = 13;
+			optional string   s   = 14;
+			optional bytes    by  = 15;
+		}
+	`)
+	if f.Package != "bench.micro" {
+		t.Errorf("Package = %q", f.Package)
+	}
+	m := f.MessageByName("Scalars")
+	if m == nil {
+		t.Fatal("Scalars not found")
+	}
+	if len(m.Fields) != 15 {
+		t.Fatalf("got %d fields", len(m.Fields))
+	}
+	wantKinds := []schema.Kind{
+		schema.KindDouble, schema.KindFloat, schema.KindInt32, schema.KindInt64,
+		schema.KindUint32, schema.KindUint64, schema.KindSint32, schema.KindSint64,
+		schema.KindFixed32, schema.KindFixed64, schema.KindSfixed32, schema.KindSfixed64,
+		schema.KindBool, schema.KindString, schema.KindBytes,
+	}
+	for i, k := range wantKinds {
+		if m.Fields[i].Kind != k {
+			t.Errorf("field %d kind = %v, want %v", i+1, m.Fields[i].Kind, k)
+		}
+	}
+}
+
+func TestParseLabelsAndPacked(t *testing.T) {
+	f := mustParse(t, `
+		message M {
+			required int32 a = 1;
+			repeated int64 b = 2;
+			repeated int32 c = 3 [packed=true];
+			repeated string d = 4;
+		}
+	`)
+	m := f.MessageByName("M")
+	if m.FieldByName("a").Label != schema.LabelRequired {
+		t.Error("a should be required")
+	}
+	if m.FieldByName("b").Label != schema.LabelRepeated || m.FieldByName("b").Packed {
+		t.Error("b should be repeated, unpacked")
+	}
+	if !m.FieldByName("c").Packed {
+		t.Error("c should be packed")
+	}
+}
+
+func TestParseNestedAndRecursive(t *testing.T) {
+	f := mustParse(t, `
+		message Tree {
+			optional int32 value = 1;
+			repeated Tree children = 2;
+			optional Inner inner = 3;
+			message Inner {
+				optional string name = 1;
+				optional Tree back = 2; // refers to outer type
+			}
+		}
+	`)
+	tree := f.MessageByName("Tree")
+	if tree == nil {
+		t.Fatal("Tree not found")
+	}
+	ch := tree.FieldByName("children")
+	if ch.Kind != schema.KindMessage || ch.Message != tree {
+		t.Error("children should be recursive reference to Tree")
+	}
+	inner := tree.FieldByName("inner").Message
+	if inner == nil || inner.Name != "Tree.Inner" {
+		t.Fatalf("inner = %v", inner)
+	}
+	if inner.FieldByName("back").Message != tree {
+		t.Error("Inner.back should refer to Tree")
+	}
+}
+
+func TestParseDottedReference(t *testing.T) {
+	f := mustParse(t, `
+		message Outer {
+			message Mid {
+				message Leaf { optional int32 v = 1; }
+			}
+		}
+		message User {
+			optional Outer.Mid.Leaf leaf = 1;
+		}
+	`)
+	u := f.MessageByName("User")
+	if u.FieldByName("leaf").Message.Name != "Outer.Mid.Leaf" {
+		t.Errorf("leaf type = %q", u.FieldByName("leaf").Message.Name)
+	}
+}
+
+func TestParseEnum(t *testing.T) {
+	f := mustParse(t, `
+		enum Color { RED = 0; GREEN = 1; BLUE = 2; }
+		message M {
+			optional Color c = 1 [default=GREEN];
+			repeated Status history = 2;
+			enum Status { OK = 0; FAIL = -1; }
+		}
+	`)
+	m := f.MessageByName("M")
+	c := m.FieldByName("c")
+	if c.Kind != schema.KindEnum || c.Enum.Name != "Color" {
+		t.Fatalf("c = %v/%v", c.Kind, c.Enum)
+	}
+	if c.Default != 1 {
+		t.Errorf("default = %d, want GREEN=1", c.Default)
+	}
+	h := m.FieldByName("history")
+	if h.Kind != schema.KindEnum || h.Enum.Values["FAIL"] != -1 {
+		t.Errorf("history enum wrong: %v", h.Enum)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	f := mustParse(t, `
+		message M {
+			optional int32  a = 1 [default=-42];
+			optional uint64 b = 2 [default=0xff];
+			optional double c = 3 [default=2.5];
+			optional float  g = 7 [default=1.5];
+			optional bool   d = 4 [default=true];
+			optional string e = 5 [default="hi\n"];
+			optional bytes  h = 8 [default=""];
+			optional sint64 i = 9 [default=-1];
+		}
+	`)
+	m := f.MessageByName("M")
+	if got := int64(m.FieldByName("a").Default); got != -42 {
+		t.Errorf("a default = %d", got)
+	}
+	if m.FieldByName("b").Default != 255 {
+		t.Errorf("b default = %d", m.FieldByName("b").Default)
+	}
+	if math.Float64frombits(m.FieldByName("c").Default) != 2.5 {
+		t.Error("c default wrong")
+	}
+	if math.Float32frombits(uint32(m.FieldByName("g").Default)) != 1.5 {
+		t.Error("g default wrong")
+	}
+	if m.FieldByName("d").Default != 1 {
+		t.Error("d default wrong")
+	}
+	if string(m.FieldByName("e").DefaultBytes) != "hi\n" {
+		t.Errorf("e default = %q", m.FieldByName("e").DefaultBytes)
+	}
+	if m.FieldByName("h").DefaultBytes == nil {
+		t.Error("h explicit empty default should be non-nil")
+	}
+	if got := int64(m.FieldByName("i").Default); got != -1 {
+		t.Errorf("i default = %d", got)
+	}
+}
+
+func TestParseReservedAndOptions(t *testing.T) {
+	f := mustParse(t, `
+		syntax = "proto2";
+		option java_package = "com.example";
+		message M {
+			option deprecated = true;
+			reserved 2, 15, 9 to 11;
+			reserved "foo", "bar";
+			optional int32 a = 1 [deprecated=true];
+			extensions 100 to 199;
+		}
+	`)
+	if f.MessageByName("M").FieldByName("a") == nil {
+		t.Error("field a lost")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	f := mustParse(t, `
+		// line comment
+		/* block
+		   comment */
+		message M { optional int32 a = 1; /* trailing */ } // end
+	`)
+	if f.MessageByName("M") == nil {
+		t.Error("M not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, errSub string
+	}{
+		{"proto3", `syntax = "proto3";`, "unsupported syntax"},
+		{"import", `import "other.proto";`, "not supported"},
+		{"nolabel", `message M { int32 a = 1; }`, "must begin with"},
+		{"badtype", `message M { optional int16 a = 1; }`, "unknown type"},
+		{"dupnum", `message M { optional int32 a = 1; optional int32 b = 1; }`, "duplicate"},
+		{"oneof", `message M { oneof o { int32 a = 1; } }`, "not supported"},
+		{"unterminated", `message M { optional int32 a = 1;`, "unterminated"},
+		{"service", `service S {}`, "not supported"},
+		{"packedstring", `message M { repeated string a = 1 [packed=true]; }`, "packed"},
+		{"badenumdefault", `enum E { A = 0; } message M { optional E e = 1 [default=B]; }`, "unknown enum value"},
+		{"badbool", `message M { optional bool b = 1 [default=yes]; }`, "bad bool"},
+		{"unknownopt", `message M { optional int32 a = 1 [weird=1]; }`, "unknown field option"},
+		{"badchar", `message M { optional int32 a = 1; } @`, "unexpected character"},
+		{"msgdefault", `message S {} message M { optional S s = 1 [default=x]; }`, "default not allowed"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t.proto", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.errSub)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	f := mustParse(t, `message M { optional bytes b = 1 [default="\x01\x02\t\\\"\0"]; }`)
+	got := f.MessageByName("M").FieldByName("b").DefaultBytes
+	want := []byte{1, 2, '\t', '\\', '"', 0}
+	if string(got) != string(want) {
+		t.Errorf("escapes = %v, want %v", got, want)
+	}
+}
+
+func TestFileLevelEnumNotAMessage(t *testing.T) {
+	f := mustParse(t, `enum E { A = 0; } message M { optional E e = 1; }`)
+	if len(f.Messages) != 1 || f.Messages[0].Name != "M" {
+		names := make([]string, len(f.Messages))
+		for i, m := range f.Messages {
+			names[i] = m.Name
+		}
+		t.Errorf("Messages = %v, want [M]", names)
+	}
+}
+
+func TestParsePaperFigure1Style(t *testing.T) {
+	// The recursive/repeated example from Figure 1 of the paper.
+	f := mustParse(t, `
+		syntax = "proto2";
+		message A {
+			repeated int32 f0 = 1;
+		}
+		message B {
+			optional B f0 = 1;
+		}
+	`)
+	a := f.MessageByName("A")
+	if !a.FieldByName("f0").Repeated() {
+		t.Error("A.f0 should be repeated")
+	}
+	b := f.MessageByName("B")
+	if b.FieldByName("f0").Message != b {
+		t.Error("B.f0 should be recursive")
+	}
+}

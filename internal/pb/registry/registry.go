@@ -1,0 +1,199 @@
+// Package registry is the protodb analogue (§3.1.3 of the paper): a
+// static database of every .proto file and message type in a codebase,
+// answering the questions the paper's study asks of protodb — which
+// language version a type is defined against, whether repeated fields are
+// packed, the range of field numbers defined in a message, definition
+// density, and aggregate type statistics.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"protoacc/internal/pb/schema"
+)
+
+// Registry indexes files and their message types by fully-qualified name
+// (package.Message, nested types as package.Outer.Inner).
+type Registry struct {
+	files  []*schema.File
+	byName map[string]*schema.Message
+	file   map[*schema.Message]*schema.File
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		byName: make(map[string]*schema.Message),
+		file:   make(map[*schema.Message]*schema.File),
+	}
+}
+
+// qualified returns the fully-qualified name of t within f.
+func qualified(f *schema.File, t *schema.Message) string {
+	if f.Package == "" {
+		return t.Name
+	}
+	return f.Package + "." + t.Name
+}
+
+// AddFile registers a parsed file and every message type reachable from
+// its top-level messages. Duplicate fully-qualified names are rejected
+// (protodb's one-definition rule).
+func (r *Registry) AddFile(f *schema.File) error {
+	var added []string
+	rollback := func() {
+		for _, n := range added {
+			delete(r.file, r.byName[n])
+			delete(r.byName, n)
+		}
+	}
+	for _, top := range f.Messages {
+		var err error
+		top.Walk(func(t *schema.Message) {
+			if err != nil {
+				return
+			}
+			name := qualified(f, t)
+			if prev, dup := r.byName[name]; dup {
+				if prev == t {
+					return // same type reachable from two roots
+				}
+				err = fmt.Errorf("registry: duplicate type %q (already in %s)", name, r.file[prev].Path)
+				return
+			}
+			r.byName[name] = t
+			r.file[t] = f
+			added = append(added, name)
+		})
+		if err != nil {
+			rollback()
+			return err
+		}
+	}
+	r.files = append(r.files, f)
+	return nil
+}
+
+// Message resolves a fully-qualified type name, or nil.
+func (r *Registry) Message(name string) *schema.Message { return r.byName[name] }
+
+// FileOf returns the file a type was defined in, or nil.
+func (r *Registry) FileOf(t *schema.Message) *schema.File { return r.file[t] }
+
+// Files returns the registered files in registration order.
+func (r *Registry) Files() []*schema.File { return r.files }
+
+// TypeNames returns all fully-qualified names, sorted.
+func (r *Registry) TypeNames() []string {
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats are the protodb-style static aggregates over the registered
+// schema corpus.
+type Stats struct {
+	Files    int
+	Messages int
+	Fields   int
+
+	RepeatedFields int
+	PackedFields   int // repeated scalars with [packed=true]
+	PackedShare    float64
+
+	FieldsByKind map[schema.Kind]int
+
+	MaxFieldNumber    int32
+	MaxFieldRange     int32
+	MeanDensity       float64 // mean static definition density
+	DensityBelow164   float64 // share of types below the 1/64 ADT crossover
+	Proto2Files       int
+	MaxSchemaDepth    int
+	RecursiveMessages int
+}
+
+// Stats computes the corpus aggregates.
+func (r *Registry) Stats() Stats {
+	s := Stats{
+		Files:        len(r.files),
+		FieldsByKind: make(map[schema.Kind]int),
+	}
+	var densitySum float64
+	var repeatedScalar int
+	for _, f := range r.files {
+		if f.Syntax == "proto2" || f.Syntax == "" {
+			s.Proto2Files++
+		}
+	}
+	for _, name := range r.TypeNames() {
+		t := r.byName[name]
+		s.Messages++
+		s.Fields += len(t.Fields)
+		for _, fd := range t.Fields {
+			s.FieldsByKind[fd.Kind]++
+			if fd.Repeated() {
+				s.RepeatedFields++
+				if fd.Kind != schema.KindMessage && fd.Kind.Class() != schema.ClassBytesLike {
+					repeatedScalar++
+					if fd.Packed {
+						s.PackedFields++
+					}
+				}
+			}
+			if fd.Number > s.MaxFieldNumber {
+				s.MaxFieldNumber = fd.Number
+			}
+		}
+		if rng := t.FieldNumberRange(); rng > s.MaxFieldRange {
+			s.MaxFieldRange = rng
+		}
+		d := t.DefinitionDensity()
+		densitySum += d
+		if d > 0 && d < 1.0/64 {
+			s.DensityBelow164++
+		}
+		if depth := t.MaxDepth(200); depth > s.MaxSchemaDepth {
+			s.MaxSchemaDepth = depth
+		}
+		if isRecursive(t) {
+			s.RecursiveMessages++
+		}
+	}
+	if s.Messages > 0 {
+		s.MeanDensity = densitySum / float64(s.Messages)
+		s.DensityBelow164 /= float64(s.Messages)
+	}
+	if repeatedScalar > 0 {
+		s.PackedShare = float64(s.PackedFields) / float64(repeatedScalar)
+	}
+	return s
+}
+
+// isRecursive reports whether t can reach itself through sub-message
+// fields.
+func isRecursive(t *schema.Message) bool {
+	seen := map[*schema.Message]bool{}
+	var walk func(m *schema.Message) bool
+	walk = func(m *schema.Message) bool {
+		for _, f := range m.Fields {
+			if f.Kind != schema.KindMessage {
+				continue
+			}
+			if f.Message == t {
+				return true
+			}
+			if !seen[f.Message] {
+				seen[f.Message] = true
+				if walk(f.Message) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(t)
+}

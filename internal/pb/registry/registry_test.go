@@ -1,0 +1,131 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"protoacc/internal/pb/protoparse"
+	"protoacc/internal/pb/schema"
+)
+
+func parse(t *testing.T, path, src string) *schema.File {
+	t.Helper()
+	f, err := protoparse.Parse(path, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestAddAndResolve(t *testing.T) {
+	r := New()
+	f := parse(t, "a.proto", `
+		syntax = "proto2";
+		package corp.storage;
+		message Record {
+			optional int64 id = 1;
+			optional Meta meta = 2;
+			message Meta { optional string owner = 1; }
+		}
+	`)
+	if err := r.AddFile(f); err != nil {
+		t.Fatal(err)
+	}
+	if r.Message("corp.storage.Record") == nil {
+		t.Error("Record not resolvable")
+	}
+	if r.Message("corp.storage.Record.Meta") == nil {
+		t.Error("nested Meta not resolvable")
+	}
+	if r.Message("corp.storage.Nope") != nil {
+		t.Error("phantom type resolved")
+	}
+	if got := r.FileOf(r.Message("corp.storage.Record")); got != f {
+		t.Error("FileOf wrong")
+	}
+	names := r.TypeNames()
+	if len(names) != 2 || names[0] != "corp.storage.Record" {
+		t.Errorf("TypeNames = %v", names)
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	r := New()
+	src := `syntax = "proto2"; package p; message M { optional int32 a = 1; }`
+	if err := r.AddFile(parse(t, "a.proto", src)); err != nil {
+		t.Fatal(err)
+	}
+	err := r.AddFile(parse(t, "b.proto", src))
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("err = %v", err)
+	}
+	// Rollback: the registry still has exactly one M and one file.
+	if len(r.Files()) != 1 || len(r.TypeNames()) != 1 {
+		t.Error("failed AddFile should not leave partial state")
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := New()
+	f := parse(t, "s.proto", `
+		syntax = "proto2";
+		package p;
+		message Tree {
+			optional int32 v = 1;
+			repeated Tree kids = 2;
+			repeated int32 packedv = 3 [packed=true];
+			repeated int32 unpackedv = 4;
+			optional string name = 10;
+		}
+		message Sparse {
+			optional bool a = 1;
+			optional bool b = 1000;
+		}
+	`)
+	if err := r.AddFile(f); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.Files != 1 || s.Messages != 2 || s.Fields != 7 {
+		t.Errorf("counts = %+v", s)
+	}
+	if s.RepeatedFields != 3 || s.PackedFields != 1 {
+		t.Errorf("repeated/packed = %d/%d", s.RepeatedFields, s.PackedFields)
+	}
+	if s.PackedShare != 0.5 { // 1 of 2 repeated scalars
+		t.Errorf("PackedShare = %f", s.PackedShare)
+	}
+	if s.MaxFieldNumber != 1000 || s.MaxFieldRange != 1000 {
+		t.Errorf("max num/range = %d/%d", s.MaxFieldNumber, s.MaxFieldRange)
+	}
+	if s.RecursiveMessages != 1 {
+		t.Errorf("recursive = %d", s.RecursiveMessages)
+	}
+	if s.Proto2Files != 1 {
+		t.Errorf("proto2 files = %d", s.Proto2Files)
+	}
+	if s.FieldsByKind[schema.KindInt32] != 3 {
+		t.Errorf("int32 fields = %d", s.FieldsByKind[schema.KindInt32])
+	}
+	// Sparse has density 2/1000 < 1/64 -> half the corpus below crossover.
+	if s.DensityBelow164 != 0.5 {
+		t.Errorf("DensityBelow164 = %f", s.DensityBelow164)
+	}
+}
+
+func TestSharedTypeAcrossRoots(t *testing.T) {
+	r := New()
+	f := parse(t, "x.proto", `
+		syntax = "proto2";
+		package p;
+		message Common { optional int32 v = 1; }
+		message A { optional Common c = 1; }
+		message B { optional Common c = 1; }
+	`)
+	if err := r.AddFile(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.TypeNames()) != 3 {
+		t.Errorf("TypeNames = %v", r.TypeNames())
+	}
+}

@@ -1,0 +1,365 @@
+// Package textformat implements the protobuf text format for dynamic
+// messages: the human-readable rendering C++ protobuf exposes as
+// DebugString/TextFormat. Marshal renders a message; Unmarshal parses the
+// format back. The two are inverses, enabling golden-file fixtures,
+// debugging output in the tools, and human-authored test messages.
+//
+// Supported syntax: `name: value` for scalars (strings quoted with Go
+// escaping, bools as true/false, floats with %g), `name { ... }` for
+// sub-messages, repeated fields as repeated entries, and `name: [v1, v2]`
+// accepted on input for repeated scalars.
+package textformat
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/schema"
+)
+
+// Marshal renders m in text format.
+func Marshal(m *dynamic.Message) string {
+	var sb strings.Builder
+	marshal(&sb, m, "")
+	return sb.String()
+}
+
+func marshal(sb *strings.Builder, m *dynamic.Message, indent string) {
+	for _, f := range m.Type().Fields {
+		if !m.Has(f.Number) {
+			continue
+		}
+		switch {
+		case f.Kind == schema.KindMessage:
+			var subs []*dynamic.Message
+			if f.Repeated() {
+				subs = m.RepeatedMessages(f.Number)
+			} else if s := m.GetMessage(f.Number); s != nil {
+				subs = []*dynamic.Message{s}
+			}
+			for _, s := range subs {
+				fmt.Fprintf(sb, "%s%s {\n", indent, f.Name)
+				marshal(sb, s, indent+"  ")
+				fmt.Fprintf(sb, "%s}\n", indent)
+			}
+		case f.Kind.Class() == schema.ClassBytesLike:
+			var vals [][]byte
+			if f.Repeated() {
+				vals = m.RepeatedBytes(f.Number)
+			} else {
+				vals = [][]byte{m.GetBytes(f.Number)}
+			}
+			for _, v := range vals {
+				fmt.Fprintf(sb, "%s%s: %q\n", indent, f.Name, v)
+			}
+		default:
+			var vals []uint64
+			if f.Repeated() {
+				vals = m.RepeatedScalarBits(f.Number)
+			} else {
+				vals = []uint64{m.ScalarBits(f.Number)}
+			}
+			for _, bits := range vals {
+				fmt.Fprintf(sb, "%s%s: %s\n", indent, f.Name, scalarText(f.Kind, bits))
+			}
+		}
+	}
+}
+
+func scalarText(k schema.Kind, bits uint64) string {
+	switch k {
+	case schema.KindBool:
+		if bits != 0 {
+			return "true"
+		}
+		return "false"
+	case schema.KindFloat:
+		return strconv.FormatFloat(float64(math.Float32frombits(uint32(bits))), 'g', -1, 32)
+	case schema.KindDouble:
+		return strconv.FormatFloat(math.Float64frombits(bits), 'g', -1, 64)
+	case schema.KindInt32, schema.KindSint32, schema.KindSfixed32, schema.KindEnum:
+		return strconv.FormatInt(int64(int32(bits)), 10)
+	case schema.KindInt64, schema.KindSint64, schema.KindSfixed64:
+		return strconv.FormatInt(int64(bits), 10)
+	case schema.KindUint32, schema.KindFixed32:
+		return strconv.FormatUint(uint64(uint32(bits)), 10)
+	default:
+		return strconv.FormatUint(bits, 10)
+	}
+}
+
+// Unmarshal parses text-format src into a fresh message of type t.
+func Unmarshal(t *schema.Message, src string) (*dynamic.Message, error) {
+	p := &parser{src: src, line: 1}
+	m := dynamic.New(t)
+	if err := p.parseFields(m, false); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type parser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("textformat:%d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r' || c == ',' || c == ';':
+			p.pos++
+		case c == '#': // comment to end of line
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) ident() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '.' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errorf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parseFields parses `name: value` / `name { ... }` entries until end of
+// input (or a closing brace when nested).
+func (p *parser) parseFields(m *dynamic.Message, nested bool) error {
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			if nested {
+				return p.errorf("unexpected end of input, want '}'")
+			}
+			return nil
+		}
+		if p.peek() == '}' {
+			if !nested {
+				return p.errorf("unexpected '}'")
+			}
+			p.pos++
+			return nil
+		}
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		f := m.Type().FieldByName(name)
+		if f == nil {
+			return p.errorf("unknown field %q in %s", name, m.Type().Name)
+		}
+		p.skipSpace()
+		switch {
+		case p.peek() == '{':
+			if f.Kind != schema.KindMessage {
+				return p.errorf("field %q is not a message", name)
+			}
+			p.pos++
+			var sub *dynamic.Message
+			if f.Repeated() {
+				sub = m.AddMessage(f.Number)
+			} else {
+				sub = m.MutableMessage(f.Number)
+			}
+			if err := p.parseFields(sub, true); err != nil {
+				return err
+			}
+		case p.peek() == ':':
+			p.pos++
+			p.skipSpace()
+			if f.Kind == schema.KindMessage {
+				if p.peek() != '{' {
+					return p.errorf("field %q requires a { ... } value", name)
+				}
+				p.pos++
+				var sub *dynamic.Message
+				if f.Repeated() {
+					sub = m.AddMessage(f.Number)
+				} else {
+					sub = m.MutableMessage(f.Number)
+				}
+				if err := p.parseFields(sub, true); err != nil {
+					return err
+				}
+				continue
+			}
+			if p.peek() == '[' {
+				if !f.Repeated() {
+					return p.errorf("field %q is not repeated", name)
+				}
+				p.pos++
+				for {
+					p.skipSpace()
+					if p.peek() == ']' {
+						p.pos++
+						break
+					}
+					if err := p.parseValue(m, f); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			if err := p.parseValue(m, f); err != nil {
+				return err
+			}
+		default:
+			return p.errorf("expected ':' or '{' after %q", name)
+		}
+	}
+}
+
+func (p *parser) parseValue(m *dynamic.Message, f *schema.Field) error {
+	p.skipSpace()
+	if f.Kind.Class() == schema.ClassBytesLike {
+		s, err := p.quoted()
+		if err != nil {
+			return err
+		}
+		if f.Repeated() {
+			m.AddBytes(f.Number, []byte(s))
+		} else {
+			m.SetBytes(f.Number, []byte(s))
+		}
+		return nil
+	}
+	tok, err := p.token()
+	if err != nil {
+		return err
+	}
+	bits, err := scalarBits(f, tok)
+	if err != nil {
+		return p.errorf("field %q: %v", f.Name, err)
+	}
+	if f.Repeated() {
+		m.AddScalarBits(f.Number, bits)
+	} else {
+		m.SetScalarBits(f.Number, bits)
+	}
+	return nil
+}
+
+// token reads a bare scalar token.
+func (p *parser) token() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ',' ||
+			c == ';' || c == ']' || c == '}' || c == '#' {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errorf("expected value")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// quoted reads a Go-style quoted string.
+func (p *parser) quoted() (string, error) {
+	if p.peek() != '"' {
+		return "", p.errorf("expected quoted string")
+	}
+	start := p.pos
+	p.pos++
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '\\':
+			p.pos += 2
+		case '"':
+			p.pos++
+			s, err := strconv.Unquote(p.src[start:p.pos])
+			if err != nil {
+				return "", p.errorf("bad string literal: %v", err)
+			}
+			return s, nil
+		case '\n':
+			return "", p.errorf("newline in string literal")
+		default:
+			p.pos++
+		}
+	}
+	return "", p.errorf("unterminated string literal")
+}
+
+func scalarBits(f *schema.Field, tok string) (uint64, error) {
+	switch f.Kind {
+	case schema.KindBool:
+		switch tok {
+		case "true":
+			return 1, nil
+		case "false":
+			return 0, nil
+		}
+		return 0, fmt.Errorf("bad bool %q", tok)
+	case schema.KindFloat:
+		v, err := strconv.ParseFloat(tok, 32)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(math.Float32bits(float32(v))), nil
+	case schema.KindDouble:
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return 0, err
+		}
+		return math.Float64bits(v), nil
+	case schema.KindUint32, schema.KindFixed32:
+		v, err := strconv.ParseUint(tok, 0, 32)
+		if err != nil {
+			return 0, err
+		}
+		return v, nil
+	case schema.KindUint64, schema.KindFixed64:
+		v, err := strconv.ParseUint(tok, 0, 64)
+		if err != nil {
+			return 0, err
+		}
+		return v, nil
+	case schema.KindInt32, schema.KindSint32, schema.KindSfixed32, schema.KindEnum:
+		v, err := strconv.ParseInt(tok, 0, 32)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(v), nil
+	default:
+		v, err := strconv.ParseInt(tok, 0, 64)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(v), nil
+	}
+}

@@ -1,0 +1,162 @@
+package textformat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/pbtest"
+	"protoacc/internal/pb/schema"
+)
+
+func demoType() *schema.Message {
+	sub := schema.MustMessage("Sub",
+		&schema.Field{Name: "id", Number: 1, Kind: schema.KindInt64},
+		&schema.Field{Name: "tag", Number: 2, Kind: schema.KindString})
+	return schema.MustMessage("Demo",
+		&schema.Field{Name: "name", Number: 1, Kind: schema.KindString},
+		&schema.Field{Name: "count", Number: 2, Kind: schema.KindInt32},
+		&schema.Field{Name: "ratio", Number: 3, Kind: schema.KindDouble},
+		&schema.Field{Name: "ok", Number: 4, Kind: schema.KindBool},
+		&schema.Field{Name: "sub", Number: 5, Kind: schema.KindMessage, Message: sub},
+		&schema.Field{Name: "vals", Number: 6, Kind: schema.KindInt64, Label: schema.LabelRepeated},
+		&schema.Field{Name: "subs", Number: 7, Kind: schema.KindMessage, Message: sub, Label: schema.LabelRepeated},
+		&schema.Field{Name: "blob", Number: 8, Kind: schema.KindBytes},
+	)
+}
+
+func TestMarshalRendering(t *testing.T) {
+	m := dynamic.New(demoType())
+	m.SetString(1, "hi \"there\"\n")
+	m.SetInt32(2, -5)
+	m.SetDouble(3, 0.25)
+	m.SetBool(4, true)
+	m.MutableMessage(5).SetInt64(1, 9)
+	m.AddScalarBits(6, 1)
+	m.AddScalarBits(6, 2)
+	out := Marshal(m)
+	for _, want := range []string{
+		`name: "hi \"there\"\n"`,
+		"count: -5",
+		"ratio: 0.25",
+		"ok: true",
+		"sub {",
+		"  id: 9",
+		"vals: 1",
+		"vals: 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	typ := demoType()
+	m := dynamic.New(typ)
+	m.SetString(1, "text \\ format")
+	m.SetInt32(2, 42)
+	m.SetDouble(3, -1.5e-9)
+	m.SetBool(4, false)
+	s := m.MutableMessage(5)
+	s.SetInt64(1, -1)
+	s.SetString(2, "nested")
+	for i := 0; i < 3; i++ {
+		m.AddScalarBits(6, uint64(i*100))
+		m.AddMessage(7).SetInt64(1, int64(i))
+	}
+	m.SetBytes(8, []byte{0, 1, 0xff})
+
+	text := Marshal(m)
+	got, err := Unmarshal(typ, text)
+	if err != nil {
+		t.Fatalf("%v\ntext:\n%s", err, text)
+	}
+	if !m.Equal(got) {
+		t.Errorf("round trip not equal:\n%s", text)
+	}
+}
+
+func TestRandomizedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5150))
+	for trial := 0; trial < 100; trial++ {
+		typ := pbtest.RandomSchema(rng, pbtest.DefaultSchemaConfig())
+		msg := pbtest.RandomPopulated(rng, typ, pbtest.DefaultMessageConfig())
+		text := Marshal(msg)
+		got, err := Unmarshal(typ, text)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, text)
+		}
+		// NaN payload bits cannot survive a textual round trip (the same
+		// limitation as C++ TextFormat), so the strong equality property
+		// only applies to NaN-free messages; idempotence always holds.
+		if !strings.Contains(text, "NaN") {
+			if !msg.Equal(got) {
+				t.Fatalf("trial %d: round trip not equal\n%s", trial, text)
+			}
+		}
+		if again := Marshal(got); again != text {
+			t.Fatalf("trial %d: marshal not idempotent\n--- first\n%s\n--- second\n%s", trial, text, again)
+		}
+	}
+}
+
+func TestUnmarshalSyntaxVariants(t *testing.T) {
+	typ := demoType()
+	// Bracketed repeated scalars, comments, commas, colon-before-brace.
+	src := `
+		# a comment
+		count: 7
+		vals: [1, 2, 3]
+		sub: { id: 5 }
+		subs { id: 1 } subs { id: 2 }
+	`
+	m, err := Unmarshal(typ, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GetInt32(2) != 7 || m.Len(6) != 3 || m.GetMessage(5).GetInt64(1) != 5 || m.Len(7) != 2 {
+		t.Errorf("parsed wrong: %s", Marshal(m))
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	typ := demoType()
+	cases := map[string]string{
+		"unknown field":       `bogus: 1`,
+		"bad bool":            `ok: maybe`,
+		"unterminated string": `name: "abc`,
+		"missing brace":       `sub { id: 1`,
+		"stray brace":         `}`,
+		"bracket non-rep":     `count: [1]`,
+		"msg without brace":   `sub: 5`,
+		"bad int":             `count: abc`,
+		"newline in string":   "name: \"a\nb\"",
+	}
+	for name, src := range cases {
+		if _, err := Unmarshal(typ, src); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}
+
+func TestSignedRendering(t *testing.T) {
+	typ := schema.MustMessage("S",
+		&schema.Field{Name: "a", Number: 1, Kind: schema.KindSfixed32},
+		&schema.Field{Name: "b", Number: 2, Kind: schema.KindUint64})
+	m := dynamic.New(typ)
+	m.SetInt32(1, -9)
+	m.SetUint64(2, 1<<63)
+	out := Marshal(m)
+	if !strings.Contains(out, "a: -9") {
+		t.Errorf("sfixed32 rendering wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "b: 9223372036854775808") {
+		t.Errorf("uint64 rendering wrong:\n%s", out)
+	}
+	got, err := Unmarshal(typ, out)
+	if err != nil || !m.Equal(got) {
+		t.Errorf("signed round trip failed: %v", err)
+	}
+}

@@ -1,0 +1,330 @@
+// Package wire implements the Protocol Buffers wire format primitives:
+// base-128 varints, zig-zag encoding for signed integers, fixed-width
+// little-endian 32/64-bit values, and field tags (field number + wire type).
+//
+// Two decoder styles are provided. The streaming functions (ReadVarint,
+// ReadTag, ...) advance through a byte slice and are used by the software
+// codec. The "combinational" decoder (DecodeVarint10) decodes a varint from
+// a fixed 10-byte window in a single call with no data-dependent loop over
+// input availability, mirroring the single-cycle combinational varint
+// decoder in the ProtoAcc RTL (§4.4.4 of the paper).
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Type is a protobuf wire type, the low three bits of a field tag.
+type Type uint8
+
+// Wire types defined by the protobuf encoding. StartGroup and EndGroup are
+// deprecated in proto2 but still reserved on the wire.
+const (
+	TypeVarint     Type = 0
+	TypeFixed64    Type = 1
+	TypeBytes      Type = 2 // length-delimited
+	TypeStartGroup Type = 3
+	TypeEndGroup   Type = 4
+	TypeFixed32    Type = 5
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeVarint:
+		return "varint"
+	case TypeFixed64:
+		return "fixed64"
+	case TypeBytes:
+		return "length-delimited"
+	case TypeStartGroup:
+		return "start-group"
+	case TypeEndGroup:
+		return "end-group"
+	case TypeFixed32:
+		return "fixed32"
+	default:
+		return fmt.Sprintf("wire.Type(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t is a wire type defined by the encoding.
+func (t Type) Valid() bool { return t <= TypeFixed32 }
+
+// MaxVarintLen is the maximum encoded size of a 64-bit varint.
+const MaxVarintLen = 10
+
+// MaxFieldNumber is the largest permitted protobuf field number (2^29 - 1).
+const MaxFieldNumber = 1<<29 - 1
+
+// FirstReservedFieldNumber and LastReservedFieldNumber bound the range
+// reserved for the protobuf implementation (19000-19999).
+const (
+	FirstReservedFieldNumber = 19000
+	LastReservedFieldNumber  = 19999
+)
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated   = errors.New("wire: truncated input")
+	ErrOverflow    = errors.New("wire: varint overflows 64 bits")
+	ErrInvalidTag  = errors.New("wire: invalid tag")
+	ErrInvalidType = errors.New("wire: invalid wire type")
+)
+
+// AppendVarint appends the base-128 varint encoding of v to b.
+func AppendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// SizeVarint returns the encoded size of v as a varint, in bytes (1..10).
+func SizeVarint(v uint64) int {
+	// 1 + floor(bits/7): computed without a loop, as fixed-function
+	// hardware would.
+	switch {
+	case v < 1<<7:
+		return 1
+	case v < 1<<14:
+		return 2
+	case v < 1<<21:
+		return 3
+	case v < 1<<28:
+		return 4
+	case v < 1<<35:
+		return 5
+	case v < 1<<42:
+		return 6
+	case v < 1<<49:
+		return 7
+	case v < 1<<56:
+		return 8
+	case v < 1<<63:
+		return 9
+	default:
+		return 10
+	}
+}
+
+// ReadVarint decodes a varint from the front of b, returning the value and
+// the number of bytes consumed.
+func ReadVarint(b []byte) (v uint64, n int, err error) {
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		if i == MaxVarintLen {
+			return 0, 0, ErrOverflow
+		}
+		c := b[i]
+		if i == MaxVarintLen-1 && c > 1 {
+			// The 10th byte may only contribute the 64th bit.
+			return 0, 0, ErrOverflow
+		}
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, ErrTruncated
+}
+
+// DecodeVarint10 decodes a varint from a window of up to 10 bytes in one
+// step. It mirrors the combinational decoder in the accelerator RTL: the
+// hardware always peeks at the next 10 bytes of the memloader stream and
+// produces (value, length) in a single cycle. avail is the number of valid
+// bytes in win starting at index 0.
+func DecodeVarint10(win *[MaxVarintLen]byte, avail int) (v uint64, n int, err error) {
+	if avail > MaxVarintLen {
+		avail = MaxVarintLen
+	}
+	var shift uint
+	for i := 0; i < avail; i++ {
+		c := win[i]
+		if i == MaxVarintLen-1 && c > 1 {
+			return 0, 0, ErrOverflow
+		}
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, ErrTruncated
+}
+
+// EncodeZigZag32 maps a signed 32-bit integer onto an unsigned integer so
+// that numbers with small absolute value have small varint encodings.
+func EncodeZigZag32(v int32) uint64 {
+	return uint64(uint32(v<<1) ^ uint32(v>>31))
+}
+
+// DecodeZigZag32 inverts EncodeZigZag32.
+func DecodeZigZag32(v uint64) int32 {
+	u := uint32(v)
+	return int32(u>>1) ^ -int32(u&1)
+}
+
+// EncodeZigZag64 maps a signed 64-bit integer onto an unsigned integer.
+func EncodeZigZag64(v int64) uint64 {
+	return uint64(v<<1) ^ uint64(v>>63)
+}
+
+// DecodeZigZag64 inverts EncodeZigZag64.
+func DecodeZigZag64(v uint64) int64 {
+	return int64(v>>1) ^ -int64(v&1)
+}
+
+// AppendFixed32 appends v in little-endian order.
+func AppendFixed32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// AppendFixed64 appends v in little-endian order.
+func AppendFixed64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// ReadFixed32 decodes a little-endian 32-bit value from the front of b.
+func ReadFixed32(b []byte) (uint32, int, error) {
+	if len(b) < 4 {
+		return 0, 0, ErrTruncated
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, 4, nil
+}
+
+// ReadFixed64 decodes a little-endian 64-bit value from the front of b.
+func ReadFixed64(b []byte) (uint64, int, error) {
+	if len(b) < 8 {
+		return 0, 0, ErrTruncated
+	}
+	lo := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24
+	hi := uint64(b[4]) | uint64(b[5])<<8 | uint64(b[6])<<16 | uint64(b[7])<<24
+	return lo | hi<<32, 8, nil
+}
+
+// AppendFloat32 appends the IEEE-754 bits of v little-endian.
+func AppendFloat32(b []byte, v float32) []byte {
+	return AppendFixed32(b, math.Float32bits(v))
+}
+
+// AppendFloat64 appends the IEEE-754 bits of v little-endian.
+func AppendFloat64(b []byte, v float64) []byte {
+	return AppendFixed64(b, math.Float64bits(v))
+}
+
+// MakeTag packs a field number and wire type into a tag value.
+func MakeTag(fieldNum int32, t Type) uint64 {
+	return uint64(fieldNum)<<3 | uint64(t)
+}
+
+// SplitTag unpacks a tag value into field number and wire type.
+func SplitTag(tag uint64) (fieldNum int32, t Type) {
+	return int32(tag >> 3), Type(tag & 7)
+}
+
+// AppendTag appends the varint-encoded tag for (fieldNum, t).
+func AppendTag(b []byte, fieldNum int32, t Type) []byte {
+	return AppendVarint(b, MakeTag(fieldNum, t))
+}
+
+// SizeTag returns the encoded size of the tag for fieldNum.
+func SizeTag(fieldNum int32) int {
+	return SizeVarint(MakeTag(fieldNum, TypeVarint))
+}
+
+// ReadTag decodes a tag from the front of b, validating the field number
+// and wire type.
+func ReadTag(b []byte) (fieldNum int32, t Type, n int, err error) {
+	tag, n, err := ReadVarint(b)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	fieldNum, t = SplitTag(tag)
+	if fieldNum <= 0 || fieldNum > MaxFieldNumber {
+		return 0, 0, 0, ErrInvalidTag
+	}
+	if !t.Valid() {
+		return 0, 0, 0, ErrInvalidType
+	}
+	return fieldNum, t, n, nil
+}
+
+// SizeBytes returns the encoded size of a length-delimited value of n bytes
+// excluding its tag: the length varint plus the payload.
+func SizeBytes(n int) int {
+	return SizeVarint(uint64(n)) + n
+}
+
+// AppendBytes appends the length-delimited encoding of v (length varint
+// followed by the raw bytes).
+func AppendBytes(b, v []byte) []byte {
+	b = AppendVarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+// ReadBytes decodes a length-delimited value from the front of b. The
+// returned slice aliases b.
+func ReadBytes(b []byte) (v []byte, n int, err error) {
+	l, n, err := ReadVarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if l > uint64(len(b)-n) {
+		return nil, 0, ErrTruncated
+	}
+	return b[n : n+int(l)], n + int(l), nil
+}
+
+// SkipValue returns the number of bytes occupied by a value of wire type t
+// at the front of b, so unknown fields can be skipped. Group types are
+// handled by scanning for the matching end-group tag.
+func SkipValue(b []byte, fieldNum int32, t Type) (int, error) {
+	switch t {
+	case TypeVarint:
+		_, n, err := ReadVarint(b)
+		return n, err
+	case TypeFixed64:
+		if len(b) < 8 {
+			return 0, ErrTruncated
+		}
+		return 8, nil
+	case TypeFixed32:
+		if len(b) < 4 {
+			return 0, ErrTruncated
+		}
+		return 4, nil
+	case TypeBytes:
+		_, n, err := ReadBytes(b)
+		return n, err
+	case TypeStartGroup:
+		n := 0
+		for {
+			fn, wt, tn, err := ReadTag(b[n:])
+			if err != nil {
+				return 0, err
+			}
+			n += tn
+			if wt == TypeEndGroup {
+				if fn != fieldNum {
+					return 0, ErrInvalidTag
+				}
+				return n, nil
+			}
+			vn, err := SkipValue(b[n:], fn, wt)
+			if err != nil {
+				return 0, err
+			}
+			n += vn
+		}
+	case TypeEndGroup:
+		return 0, ErrInvalidType
+	default:
+		return 0, ErrInvalidType
+	}
+}

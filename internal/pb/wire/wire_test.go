@@ -1,0 +1,313 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarintKnownValues(t *testing.T) {
+	// Golden vectors from the protobuf encoding documentation.
+	cases := []struct {
+		v   uint64
+		enc []byte
+	}{
+		{0, []byte{0x00}},
+		{1, []byte{0x01}},
+		{127, []byte{0x7f}},
+		{128, []byte{0x80, 0x01}},
+		{150, []byte{0x96, 0x01}},
+		{300, []byte{0xac, 0x02}},
+		{16383, []byte{0xff, 0x7f}},
+		{16384, []byte{0x80, 0x80, 0x01}},
+		{math.MaxUint64, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}},
+	}
+	for _, c := range cases {
+		got := AppendVarint(nil, c.v)
+		if !bytes.Equal(got, c.enc) {
+			t.Errorf("AppendVarint(%d) = %x, want %x", c.v, got, c.enc)
+		}
+		if s := SizeVarint(c.v); s != len(c.enc) {
+			t.Errorf("SizeVarint(%d) = %d, want %d", c.v, s, len(c.enc))
+		}
+		v, n, err := ReadVarint(c.enc)
+		if err != nil || v != c.v || n != len(c.enc) {
+			t.Errorf("ReadVarint(%x) = (%d,%d,%v), want (%d,%d,nil)", c.enc, v, n, err, c.v, len(c.enc))
+		}
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := AppendVarint(nil, v)
+		if len(enc) != SizeVarint(v) {
+			return false
+		}
+		got, n, err := ReadVarint(enc)
+		return err == nil && got == v && n == len(enc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarintTruncated(t *testing.T) {
+	enc := AppendVarint(nil, 1<<40)
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := ReadVarint(enc[:i]); err != ErrTruncated {
+			t.Errorf("ReadVarint(%x) err = %v, want ErrTruncated", enc[:i], err)
+		}
+	}
+}
+
+func TestVarintOverflow(t *testing.T) {
+	// 11 continuation bytes: too long for 64 bits.
+	long := bytes.Repeat([]byte{0x80}, 10)
+	long = append(long, 0x01)
+	if _, _, err := ReadVarint(long); err != ErrOverflow {
+		t.Errorf("err = %v, want ErrOverflow", err)
+	}
+	// 10 bytes but the last one carries more than the 64th bit.
+	over := bytes.Repeat([]byte{0xff}, 9)
+	over = append(over, 0x02)
+	if _, _, err := ReadVarint(over); err != ErrOverflow {
+		t.Errorf("err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestDecodeVarint10MatchesStreaming(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := AppendVarint(nil, v)
+		var win [MaxVarintLen]byte
+		copy(win[:], enc)
+		got, n, err := DecodeVarint10(&win, len(enc))
+		return err == nil && got == v && n == len(enc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeVarint10Truncated(t *testing.T) {
+	var win [MaxVarintLen]byte
+	win[0] = 0x80
+	if _, _, err := DecodeVarint10(&win, 1); err != ErrTruncated {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestZigZagKnownValues(t *testing.T) {
+	cases32 := []struct {
+		in  int32
+		out uint64
+	}{{0, 0}, {-1, 1}, {1, 2}, {-2, 3}, {2, 4}, {2147483647, 4294967294}, {-2147483648, 4294967295}}
+	for _, c := range cases32 {
+		if got := EncodeZigZag32(c.in); got != c.out {
+			t.Errorf("EncodeZigZag32(%d) = %d, want %d", c.in, got, c.out)
+		}
+		if got := DecodeZigZag32(c.out); got != c.in {
+			t.Errorf("DecodeZigZag32(%d) = %d, want %d", c.out, got, c.in)
+		}
+	}
+	if got := EncodeZigZag64(math.MinInt64); got != math.MaxUint64 {
+		t.Errorf("EncodeZigZag64(MinInt64) = %d, want MaxUint64", got)
+	}
+}
+
+func TestZigZagRoundTrip(t *testing.T) {
+	f64 := func(v int64) bool { return DecodeZigZag64(EncodeZigZag64(v)) == v }
+	f32 := func(v int32) bool { return DecodeZigZag32(EncodeZigZag32(v)) == v }
+	if err := quick.Check(f64, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(f32, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigZagSmallMagnitudeSmallEncoding(t *testing.T) {
+	// Invariant: |v| < 64 implies a 1-byte varint after zig-zag.
+	for v := int64(-63); v < 64; v++ {
+		if SizeVarint(EncodeZigZag64(v)) != 1 {
+			t.Errorf("zigzag(%d) does not fit one byte", v)
+		}
+	}
+}
+
+func TestFixedRoundTrip(t *testing.T) {
+	f32 := func(v uint32) bool {
+		enc := AppendFixed32(nil, v)
+		got, n, err := ReadFixed32(enc)
+		return err == nil && got == v && n == 4
+	}
+	f64 := func(v uint64) bool {
+		enc := AppendFixed64(nil, v)
+		got, n, err := ReadFixed64(enc)
+		return err == nil && got == v && n == 8
+	}
+	if err := quick.Check(f32, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(f64, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedLittleEndian(t *testing.T) {
+	if got := AppendFixed32(nil, 0x01020304); !bytes.Equal(got, []byte{4, 3, 2, 1}) {
+		t.Errorf("AppendFixed32 = %x", got)
+	}
+	if got := AppendFixed64(nil, 0x0102030405060708); !bytes.Equal(got, []byte{8, 7, 6, 5, 4, 3, 2, 1}) {
+		t.Errorf("AppendFixed64 = %x", got)
+	}
+}
+
+func TestFixedTruncated(t *testing.T) {
+	if _, _, err := ReadFixed32([]byte{1, 2, 3}); err != ErrTruncated {
+		t.Errorf("ReadFixed32 err = %v", err)
+	}
+	if _, _, err := ReadFixed64([]byte{1, 2, 3, 4, 5, 6, 7}); err != ErrTruncated {
+		t.Errorf("ReadFixed64 err = %v", err)
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	enc := AppendFloat64(nil, 3.5)
+	bits, _, _ := ReadFixed64(enc)
+	if math.Float64frombits(bits) != 3.5 {
+		t.Error("float64 round trip failed")
+	}
+	enc32 := AppendFloat32(nil, -1.25)
+	bits32, _, _ := ReadFixed32(enc32)
+	if math.Float32frombits(bits32) != -1.25 {
+		t.Error("float32 round trip failed")
+	}
+}
+
+func TestTagRoundTrip(t *testing.T) {
+	for _, fn := range []int32{1, 15, 16, 100, 19999, MaxFieldNumber} {
+		for _, wt := range []Type{TypeVarint, TypeFixed64, TypeBytes, TypeFixed32} {
+			enc := AppendTag(nil, fn, wt)
+			gfn, gwt, n, err := ReadTag(enc)
+			if err != nil || gfn != fn || gwt != wt || n != len(enc) {
+				t.Errorf("tag(%d,%v) round trip = (%d,%v,%d,%v)", fn, wt, gfn, gwt, n, err)
+			}
+		}
+	}
+	// Field numbers 1-15 fit in a single tag byte: the boundary the paper's
+	// density discussion relies on.
+	if SizeTag(15) != 1 || SizeTag(16) != 2 {
+		t.Errorf("SizeTag boundary wrong: %d %d", SizeTag(15), SizeTag(16))
+	}
+}
+
+func TestReadTagRejectsInvalid(t *testing.T) {
+	// Field number 0.
+	if _, _, _, err := ReadTag(AppendVarint(nil, MakeTag(0, TypeVarint))); err != ErrInvalidTag {
+		t.Errorf("field 0: err = %v", err)
+	}
+	// Wire type 6 (undefined).
+	if _, _, _, err := ReadTag(AppendVarint(nil, 1<<3|6)); err != ErrInvalidType {
+		t.Errorf("wiretype 6: err = %v", err)
+	}
+	if _, _, _, err := ReadTag(nil); err != ErrTruncated {
+		t.Errorf("empty: err = %v", err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(v []byte) bool {
+		enc := AppendBytes(nil, v)
+		if len(enc) != SizeBytes(len(v)) {
+			return false
+		}
+		got, n, err := ReadBytes(enc)
+		return err == nil && bytes.Equal(got, v) && n == len(enc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadBytesTruncated(t *testing.T) {
+	enc := AppendBytes(nil, []byte("hello"))
+	if _, _, err := ReadBytes(enc[:3]); err != ErrTruncated {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestSkipValue(t *testing.T) {
+	var b []byte
+	b = AppendVarint(b, 300)
+	if n, err := SkipValue(b, 1, TypeVarint); err != nil || n != 2 {
+		t.Errorf("skip varint = (%d,%v)", n, err)
+	}
+	if n, err := SkipValue(AppendFixed64(nil, 7), 1, TypeFixed64); err != nil || n != 8 {
+		t.Errorf("skip fixed64 = (%d,%v)", n, err)
+	}
+	if n, err := SkipValue(AppendFixed32(nil, 7), 1, TypeFixed32); err != nil || n != 4 {
+		t.Errorf("skip fixed32 = (%d,%v)", n, err)
+	}
+	enc := AppendBytes(nil, []byte("abc"))
+	if n, err := SkipValue(enc, 1, TypeBytes); err != nil || n != len(enc) {
+		t.Errorf("skip bytes = (%d,%v)", n, err)
+	}
+}
+
+func TestSkipGroup(t *testing.T) {
+	// group 3 { field 1 varint 5; nested group 4 { field 2 fixed32 } }
+	var b []byte
+	b = AppendTag(b, 1, TypeVarint)
+	b = AppendVarint(b, 5)
+	b = AppendTag(b, 4, TypeStartGroup)
+	b = AppendTag(b, 2, TypeFixed32)
+	b = AppendFixed32(b, 9)
+	b = AppendTag(b, 4, TypeEndGroup)
+	b = AppendTag(b, 3, TypeEndGroup)
+	n, err := SkipValue(b, 3, TypeStartGroup)
+	if err != nil || n != len(b) {
+		t.Errorf("skip group = (%d,%v), want (%d,nil)", n, err, len(b))
+	}
+	// Mismatched end-group field number must error.
+	bad := AppendTag(nil, 9, TypeEndGroup)
+	if _, err := SkipValue(bad, 3, TypeStartGroup); err != ErrInvalidTag {
+		t.Errorf("mismatched group err = %v", err)
+	}
+}
+
+func TestSizeVarintMatchesEncoding(t *testing.T) {
+	// Exhaustive boundary check at every 7-bit threshold.
+	for bits := 0; bits < 64; bits++ {
+		v := uint64(1) << bits
+		for _, u := range []uint64{v - 1, v, v + 1} {
+			if SizeVarint(u) != len(AppendVarint(nil, u)) {
+				t.Errorf("SizeVarint(%d) = %d, want %d", u, SizeVarint(u), len(AppendVarint(nil, u)))
+			}
+		}
+	}
+}
+
+func BenchmarkAppendVarint(b *testing.B) {
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = AppendVarint(buf[:0], uint64(i)*2654435761)
+	}
+}
+
+func BenchmarkReadVarint(b *testing.B) {
+	enc := AppendVarint(nil, 1<<45)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = ReadVarint(enc)
+	}
+}
+
+func BenchmarkDecodeVarint10(b *testing.B) {
+	var win [MaxVarintLen]byte
+	copy(win[:], AppendVarint(nil, 1<<45))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = DecodeVarint10(&win, 10)
+	}
+}

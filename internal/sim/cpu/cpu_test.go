@@ -1,0 +1,318 @@
+package cpu
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"protoacc/internal/accel/layout"
+	"protoacc/internal/pb/codec"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/pbtest"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/sim/mem"
+	"protoacc/internal/sim/memmodel"
+)
+
+// rig wires up a memory, ports, heap, and a CPU model for tests.
+type rig struct {
+	mem  *mem.Memory
+	heap *mem.Allocator
+	out  *mem.Allocator
+	reg  *layout.Registry
+	mat  *layout.Materializer
+	cpu  *CPU
+}
+
+func newRig(t *testing.T, p Params) *rig {
+	t.Helper()
+	m := mem.New()
+	heap := mem.NewAllocator(m.Map("heap", 64<<20))
+	out := mem.NewAllocator(m.Map("out", 64<<20))
+	reg := layout.NewRegistry()
+	sys := memmodel.NewSystem(memmodel.DefaultConfig())
+	c := New(p, m, sys.NewPort(p.Name), heap, reg)
+	return &rig{mem: m, heap: heap, out: out, reg: reg,
+		mat: layout.NewMaterializer(m, heap, reg), cpu: c}
+}
+
+// serializeViaCPU materializes msg and serializes it with the CPU model.
+func (r *rig) serializeViaCPU(t *testing.T, msg *dynamic.Message) []byte {
+	t.Helper()
+	objAddr, err := r.mat.Write(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, n, err := r.cpu.Serialize(msg.Type(), objAddr, r.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, n)
+	if err := r.mem.ReadBytes(addr, b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// deserializeViaCPU writes wire bytes into memory, parses them with the
+// CPU model, and reads the result back as a dynamic message.
+func (r *rig) deserializeViaCPU(t *testing.T, typ *schema.Message, b []byte) *dynamic.Message {
+	t.Helper()
+	bufRegion := r.mem.Map("in", uint64(len(b))+1)
+	if err := r.mem.WriteBytes(bufRegion.Base, b); err != nil {
+		t.Fatal(err)
+	}
+	objAddr, err := r.cpu.AllocTopLevel(typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.cpu.Deserialize(typ, bufRegion.Base, uint64(len(b)), objAddr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.mat.Read(typ, objAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func richType() *schema.Message {
+	sub := schema.MustMessage("Sub",
+		&schema.Field{Name: "id", Number: 1, Kind: schema.KindInt64},
+		&schema.Field{Name: "name", Number: 2, Kind: schema.KindString})
+	return schema.MustMessage("Rich",
+		&schema.Field{Name: "i32", Number: 1, Kind: schema.KindInt32},
+		&schema.Field{Name: "s64", Number: 2, Kind: schema.KindSint64},
+		&schema.Field{Name: "f", Number: 3, Kind: schema.KindFloat},
+		&schema.Field{Name: "d", Number: 4, Kind: schema.KindDouble},
+		&schema.Field{Name: "b", Number: 5, Kind: schema.KindBool},
+		&schema.Field{Name: "s", Number: 6, Kind: schema.KindString},
+		&schema.Field{Name: "by", Number: 7, Kind: schema.KindBytes},
+		&schema.Field{Name: "sub", Number: 8, Kind: schema.KindMessage, Message: sub},
+		&schema.Field{Name: "ri", Number: 9, Kind: schema.KindInt32, Label: schema.LabelRepeated},
+		&schema.Field{Name: "rp", Number: 10, Kind: schema.KindInt64, Label: schema.LabelRepeated, Packed: true},
+		&schema.Field{Name: "rs", Number: 11, Kind: schema.KindString, Label: schema.LabelRepeated},
+		&schema.Field{Name: "rm", Number: 12, Kind: schema.KindMessage, Message: sub, Label: schema.LabelRepeated},
+		&schema.Field{Name: "fx", Number: 13, Kind: schema.KindFixed32},
+		&schema.Field{Name: "sf", Number: 14, Kind: schema.KindSfixed64},
+	)
+}
+
+func populateRich(typ *schema.Message) *dynamic.Message {
+	m := dynamic.New(typ)
+	m.SetInt32(1, -42)
+	m.SetInt64(2, -1e15)
+	m.SetFloat(3, 1.5)
+	m.SetDouble(4, -2.5)
+	m.SetBool(5, true)
+	m.SetString(6, "a string of moderate length")
+	m.SetBytes(7, bytes.Repeat([]byte{0xab}, 100))
+	sub := m.MutableMessage(8)
+	sub.SetInt64(1, 7)
+	sub.SetString(2, "nested")
+	for i := int32(0); i < 6; i++ {
+		m.AddScalarBits(9, uint64(int64(i*100)))
+		m.AddScalarBits(10, uint64(int64(-i)))
+	}
+	m.AddString(11, "alpha")
+	m.AddString(11, "beta")
+	rm := m.AddMessage(12)
+	rm.SetInt64(1, 1)
+	m.AddMessage(12).SetString(2, "second")
+	m.SetUint32(13, 0xdeadbeef)
+	m.SetInt64(14, -99)
+	return m
+}
+
+func TestSerializeMatchesCodec(t *testing.T) {
+	for _, p := range []Params{BOOMParams(), XeonParams()} {
+		r := newRig(t, p)
+		msg := populateRich(richType())
+		want, err := codec.Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.serializeViaCPU(t, msg)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: CPU serializer output differs from reference (%d vs %d bytes)", p.Name, len(got), len(want))
+		}
+		if r.cpu.Cycles() <= 0 {
+			t.Errorf("%s: no cycles charged", p.Name)
+		}
+	}
+}
+
+func TestDeserializeMatchesCodec(t *testing.T) {
+	for _, p := range []Params{BOOMParams(), XeonParams()} {
+		r := newRig(t, p)
+		msg := populateRich(richType())
+		b, err := codec.Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.deserializeViaCPU(t, msg.Type(), b)
+		if !msg.Equal(got) {
+			t.Errorf("%s: CPU deserializer result differs from source message", p.Name)
+		}
+	}
+}
+
+func TestRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		typ := pbtest.RandomSchema(rng, pbtest.DefaultSchemaConfig())
+		msg := pbtest.RandomPopulated(rng, typ, pbtest.DefaultMessageConfig())
+		want, err := codec.Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		r := newRig(t, BOOMParams())
+		got := r.serializeViaCPU(t, msg)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: serialize mismatch", trial)
+		}
+		back := r.deserializeViaCPU(t, typ, want)
+		if !msg.Equal(back) {
+			t.Fatalf("trial %d: deserialize mismatch", trial)
+		}
+	}
+}
+
+func TestUnknownFieldsSkipped(t *testing.T) {
+	rich := schema.MustMessage("M",
+		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
+		&schema.Field{Name: "z", Number: 9, Kind: schema.KindString})
+	narrow := schema.MustMessage("M",
+		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
+	src := dynamic.New(rich)
+	src.SetInt32(1, 5)
+	src.SetString(9, "dropped")
+	b, _ := codec.Marshal(src)
+
+	r := newRig(t, BOOMParams())
+	got := r.deserializeViaCPU(t, narrow, b)
+	if got.GetInt32(1) != 5 {
+		t.Error("known field lost")
+	}
+	// The CPU model drops unknown fields (documented divergence).
+	if len(got.Unknown) != 0 {
+		t.Error("unexpected unknown preservation")
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	typ := richType()
+	good, _ := codec.Marshal(populateRich(typ))
+	cases := map[string][]byte{
+		"truncated tag":    {0x80},
+		"truncated varint": {0x08, 0x80},
+		"bad length":       {0x32, 0x7f, 0x01},       // string longer than buffer
+		"group tag":        {0x0b},                   // start-group for field 1
+		"field zero":       {0x00, 0x00},             // tag with field number 0
+		"truncated fixed":  {0x1d, 0x01, 0x02},       // float with 2 of 4 bytes
+		"overlong":         append(good, 0x32, 0x7f), // trailing bad field
+	}
+	for name, b := range cases {
+		r := newRig(t, BOOMParams())
+		region := r.mem.Map("in", uint64(len(b))+1)
+		if err := r.mem.WriteBytes(region.Base, b); err != nil {
+			t.Fatal(err)
+		}
+		obj, _ := r.cpu.AllocTopLevel(typ)
+		if err := r.cpu.Deserialize(typ, region.Base, uint64(len(b)), obj); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestXeonFasterThanBOOM(t *testing.T) {
+	msg := populateRich(richType())
+	b, _ := codec.Marshal(msg)
+
+	timeFor := func(p Params) (serSec, deserSec float64) {
+		r := newRig(t, p)
+		r.cpu.ResetCycles()
+		r.serializeViaCPU(t, msg)
+		serCycles := r.cpu.Cycles()
+		r.cpu.ResetCycles()
+		r.deserializeViaCPU(t, msg.Type(), b)
+		deserCycles := r.cpu.Cycles()
+		return r.cpu.Seconds(serCycles), r.cpu.Seconds(deserCycles)
+	}
+	bSer, bDes := timeFor(BOOMParams())
+	xSer, xDes := timeFor(XeonParams())
+	if xSer >= bSer || xDes >= bDes {
+		t.Errorf("Xeon should be faster: ser %v vs %v, deser %v vs %v", xSer, bSer, xDes, bDes)
+	}
+}
+
+func TestLongStringCheaperPerByte(t *testing.T) {
+	// Per-byte cost must fall with string length (the memcpy regime the
+	// paper identifies for large bytes-like fields).
+	perByte := func(n int) float64 {
+		typ := schema.MustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+		msg := dynamic.New(typ)
+		msg.SetBytes(1, bytes.Repeat([]byte{'x'}, n))
+		b, _ := codec.Marshal(msg)
+		r := newRig(t, BOOMParams())
+		r.deserializeViaCPU(t, typ, b)
+		return r.cpu.Cycles() / float64(len(b))
+	}
+	small, large := perByte(8), perByte(64<<10)
+	if large >= small {
+		t.Errorf("per-byte cost should fall with size: small=%f large=%f", small, large)
+	}
+	if small/large < 5 {
+		t.Errorf("expected a large gap between small (%f) and large (%f) per-byte costs", small, large)
+	}
+}
+
+func TestRepeatedGrowthFunctional(t *testing.T) {
+	// Enough elements to force several reallocations.
+	typ := schema.MustMessage("M",
+		&schema.Field{Name: "r", Number: 1, Kind: schema.KindInt64, Label: schema.LabelRepeated})
+	msg := dynamic.New(typ)
+	for i := 0; i < 1000; i++ {
+		msg.AddScalarBits(1, uint64(i))
+	}
+	b, _ := codec.Marshal(msg)
+	r := newRig(t, BOOMParams())
+	got := r.deserializeViaCPU(t, typ, b)
+	if !msg.Equal(got) {
+		t.Error("repeated growth lost elements")
+	}
+}
+
+func TestEmptyMessageDeserialize(t *testing.T) {
+	typ := schema.MustMessage("E")
+	r := newRig(t, BOOMParams())
+	got := r.deserializeViaCPU(t, typ, nil)
+	if len(got.PresentFieldNumbers()) != 0 {
+		t.Error("empty parse should produce empty message")
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	rec := &schema.Message{Name: "R"}
+	if err := rec.SetFields([]*schema.Field{
+		{Name: "self", Number: 1, Kind: schema.KindMessage, Message: rec},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m := dynamic.New(rec)
+	cur := m
+	for i := 0; i < maxDepth+3; i++ {
+		cur = cur.MutableMessage(1)
+	}
+	b, _ := codec.Marshal(m)
+	r := newRig(t, BOOMParams())
+	region := r.mem.Map("in", uint64(len(b))+1)
+	if err := r.mem.WriteBytes(region.Base, b); err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := r.cpu.AllocTopLevel(rec)
+	if err := r.cpu.Deserialize(rec, region.Base, uint64(len(b)), obj); err == nil {
+		t.Error("expected depth error")
+	}
+}

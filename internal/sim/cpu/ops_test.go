@@ -1,0 +1,119 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/pbtest"
+	"protoacc/internal/pb/schema"
+)
+
+func opsType() *schema.Message {
+	sub := schema.MustMessage("OSub",
+		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
+		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString})
+	return schema.MustMessage("O",
+		&schema.Field{Name: "i", Number: 1, Kind: schema.KindInt64},
+		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString},
+		&schema.Field{Name: "sub", Number: 3, Kind: schema.KindMessage, Message: sub},
+		&schema.Field{Name: "r", Number: 4, Kind: schema.KindInt32, Label: schema.LabelRepeated},
+		&schema.Field{Name: "rs", Number: 5, Kind: schema.KindString, Label: schema.LabelRepeated},
+		&schema.Field{Name: "rm", Number: 6, Kind: schema.KindMessage, Message: sub, Label: schema.LabelRepeated},
+	)
+}
+
+func opsPopulate(t *schema.Message) *dynamic.Message {
+	m := dynamic.New(t)
+	m.SetInt64(1, 7)
+	m.SetString(2, "seven")
+	m.MutableMessage(3).SetInt32(1, 3)
+	m.AddScalarBits(4, 10)
+	m.AddScalarBits(4, 20)
+	m.AddString(5, "x")
+	m.AddMessage(6).SetString(2, "el")
+	return m
+}
+
+func TestCPUClearObject(t *testing.T) {
+	typ := opsType()
+	r := newRig(t, BOOMParams())
+	msg := opsPopulate(typ)
+	addr, err := r.mat.Write(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.cpu.Cycles()
+	if err := r.cpu.ClearObject(typ, addr); err != nil {
+		t.Fatal(err)
+	}
+	if r.cpu.Cycles() <= before {
+		t.Error("no cycles charged")
+	}
+	got, err := r.mat.Read(typ, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PresentFieldNumbers()) != 0 {
+		t.Error("clear incomplete")
+	}
+}
+
+func TestCPUCopyObject(t *testing.T) {
+	typ := opsType()
+	r := newRig(t, BOOMParams())
+	msg := opsPopulate(typ)
+	addr, err := r.mat.Write(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := r.cpu.CopyObject(typ, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.mat.Read(typ, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msg.Equal(got) {
+		t.Error("copy differs")
+	}
+	// Deep copy: clearing the copy leaves the source intact.
+	if err := r.cpu.ClearObject(typ, cp); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := r.mat.Read(typ, addr)
+	if !msg.Equal(src) {
+		t.Error("copy shares storage with source")
+	}
+}
+
+func TestCPUMergeMatchesDynamic(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	for trial := 0; trial < 30; trial++ {
+		typ := pbtest.RandomSchema(rng, pbtest.DefaultSchemaConfig())
+		a := pbtest.RandomPopulated(rng, typ, pbtest.DefaultMessageConfig())
+		b := pbtest.RandomPopulated(rng, typ, pbtest.DefaultMessageConfig())
+		r := newRig(t, XeonParams())
+		aAddr, err := r.mat.Write(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bAddr, err := r.mat.Write(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.cpu.MergeObjects(typ, aAddr, bAddr); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := r.mat.Read(typ, aAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a.Clone()
+		want.Merge(b)
+		if !want.Equal(got) {
+			t.Fatalf("trial %d: merge mismatch", trial)
+		}
+	}
+}

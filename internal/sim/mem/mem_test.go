@@ -1,0 +1,181 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapAndAccess(t *testing.T) {
+	m := New()
+	r := m.Map("heap", 4096)
+	if r.Base == 0 {
+		t.Error("region should not start at 0")
+	}
+	if err := m.Write64(r.Base, 0x0102030405060708); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read64(r.Base)
+	if err != nil || v != 0x0102030405060708 {
+		t.Fatalf("Read64 = %x, %v", v, err)
+	}
+	b, err := m.Read8(r.Base)
+	if err != nil || b != 0x08 {
+		t.Fatalf("Read8 = %x (little-endian expected)", b)
+	}
+	if err := m.Write32(r.Base+8, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	v32, err := m.Read32(r.Base + 8)
+	if err != nil || v32 != 0xdeadbeef {
+		t.Fatalf("Read32 = %x", v32)
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	m := New()
+	r := m.Map("a", 100)
+	cases := []uint64{0, 8, r.Base - 1, r.End(), r.End() + 100}
+	for _, addr := range cases {
+		if _, err := m.Read8(addr); !errors.Is(err, ErrUnmapped) && !errors.Is(err, ErrSpansRegion) {
+			t.Errorf("Read8(0x%x) err = %v, want fault", addr, err)
+		}
+	}
+	// Access straddling the region end.
+	if _, err := m.Read64(r.End() - 4); err == nil {
+		t.Error("straddling read should fault")
+	}
+}
+
+func TestGuardGapBetweenRegions(t *testing.T) {
+	m := New()
+	a := m.Map("a", 100)
+	b := m.Map("b", 100)
+	if b.Base < a.End()+guardGap {
+		t.Errorf("no guard gap: a ends 0x%x, b starts 0x%x", a.End(), b.Base)
+	}
+	// Writing into the gap faults.
+	if err := m.Write8(a.End()+1, 1); err == nil {
+		t.Error("guard gap write should fault")
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	m := New()
+	r := m.Map("buf", 1024)
+	src := []byte("the quick brown fox")
+	if err := m.WriteBytes(r.Base+10, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	if err := m.ReadBytes(r.Base+10, dst); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != string(src) {
+		t.Errorf("round trip = %q", dst)
+	}
+}
+
+func TestSliceAliases(t *testing.T) {
+	m := New()
+	r := m.Map("buf", 64)
+	s, err := m.Slice(r.Base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s[0] = 0x7f
+	v, _ := m.Read8(r.Base)
+	if v != 0x7f {
+		t.Error("Slice should alias memory")
+	}
+	if cap(s) != 8 {
+		t.Error("Slice cap should be clamped")
+	}
+}
+
+func TestZeroSizeRegionAddressable(t *testing.T) {
+	m := New()
+	r := m.Map("z", 0)
+	if r.Size() != 1 {
+		t.Errorf("zero-size region size = %d", r.Size())
+	}
+}
+
+func TestRead64Write64RoundTrip(t *testing.T) {
+	m := New()
+	r := m.Map("x", 16)
+	f := func(v uint64) bool {
+		if err := m.Write64(r.Base, v); err != nil {
+			return false
+		}
+		got, err := m.Read64(r.Base)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	m := New()
+	r := m.Map("arena", 256)
+	a := NewAllocator(r)
+	p1, err := a.Alloc(10, 8)
+	if err != nil || p1 != r.Base {
+		t.Fatalf("first alloc = 0x%x, %v", p1, err)
+	}
+	p2, err := a.Alloc(8, 8)
+	if err != nil || p2 != r.Base+16 { // 10 rounded up to 16
+		t.Fatalf("second alloc = 0x%x (want +16)", p2)
+	}
+	p3, err := a.Alloc(1, 0)
+	if err != nil || p3 != r.Base+24 {
+		t.Fatalf("unaligned alloc = 0x%x", p3)
+	}
+	if a.Allocs() != 3 || a.Used() != 25 {
+		t.Errorf("allocs=%d used=%d", a.Allocs(), a.Used())
+	}
+	if _, err := a.Alloc(1000, 8); !errors.Is(err, ErrOutOfSpace) {
+		t.Errorf("overflow err = %v", err)
+	}
+	a.Reset()
+	if a.Used() != 0 || a.Remaining() != 256 {
+		t.Error("Reset incomplete")
+	}
+	p4, _ := a.Alloc(4, 4)
+	if p4 != r.Base {
+		t.Error("post-reset alloc should restart at base")
+	}
+}
+
+func TestAllocatorExactFit(t *testing.T) {
+	m := New()
+	r := m.Map("arena", 64)
+	a := NewAllocator(r)
+	if _, err := a.Alloc(64, 1); err != nil {
+		t.Fatalf("exact fit should succeed: %v", err)
+	}
+	if _, err := a.Alloc(1, 1); err == nil {
+		t.Error("full arena should fail")
+	}
+}
+
+func TestMappedBytes(t *testing.T) {
+	m := New()
+	m.Map("a", 100)
+	m.Map("b", 200)
+	if m.MappedBytes() != 300 {
+		t.Errorf("MappedBytes = %d", m.MappedBytes())
+	}
+}
+
+func BenchmarkRead64(b *testing.B) {
+	m := New()
+	r := m.Map("x", 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Read64(r.Base + uint64(i%512)*8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

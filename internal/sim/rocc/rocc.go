@@ -1,0 +1,292 @@
+// Package rocc models the RoCC custom-instruction interface between the
+// application core and the protobuf accelerator (§4.1, §4.4.1, §4.5.2 of
+// the paper). Each custom instruction carries two 64-bit register values
+// to the accelerator with ones-of-cycles dispatch latency; setup
+// instructions ({deser,ser}_info, *_assign_arena) pair with kick-off
+// instructions (do_proto_{deser,ser}), and block_for_*_completion commits
+// once all in-flight operations have finished — the batching middle ground
+// the paper describes, with no software polling.
+package rocc
+
+import (
+	"errors"
+	"fmt"
+
+	"protoacc/internal/accel/deser"
+	"protoacc/internal/accel/mops"
+	"protoacc/internal/accel/ser"
+	"protoacc/internal/sim/mem"
+)
+
+// Opcode selects one of the accelerator's custom instructions.
+type Opcode uint8
+
+// The accelerator's custom instructions.
+const (
+	OpDeserAssignArena Opcode = iota
+	OpSerAssignArena
+	OpDeserInfo
+	OpDoProtoDeser
+	OpSerInfo
+	OpDoProtoSer
+	OpBlockForDeserCompletion
+	OpBlockForSerCompletion
+
+	// §7 extension: the message-operations unit's instructions. mops_info
+	// supplies the ADT (and, for merge, the destination object);
+	// do_proto_{clear,copy,merge} kick off the operation.
+	OpMopsInfo
+	OpDoProtoClear
+	OpDoProtoCopy
+	OpDoProtoMerge
+	OpBlockForMopsCompletion
+)
+
+func (o Opcode) String() string {
+	names := [...]string{
+		"deser_assign_arena", "ser_assign_arena", "deser_info",
+		"do_proto_deser", "ser_info", "do_proto_ser",
+		"block_for_deser_completion", "block_for_ser_completion",
+		"mops_info", "do_proto_clear", "do_proto_copy", "do_proto_merge",
+		"block_for_mops_completion",
+	}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("rocc.Opcode(%d)", uint8(o))
+}
+
+// Command is one RoCC instruction: an opcode plus two source registers.
+type Command struct {
+	Op       Opcode
+	RS1, RS2 uint64
+}
+
+// Errors.
+var (
+	ErrNoInfo = errors.New("rocc: do_proto_* issued without preceding *_info")
+	ErrState  = errors.New("rocc: protocol violation")
+)
+
+// DispatchCycles is the core-side cost of issuing one RoCC instruction
+// ("low latency (ones-of-cycles)", §4.1).
+const DispatchCycles = 2.0
+
+// FenceCycles is the cost of the fence between CPU protobuf work and
+// accelerator work (§4.1).
+const FenceCycles = 10.0
+
+// Accelerator couples the RoCC command router to the deserializer and
+// serializer units (the CMD Router of Figures 9 and 10).
+type Accelerator struct {
+	Deser *deser.Unit
+	Ser   *ser.Unit
+	Mops  *mops.Unit // §7 extension: clear/copy/merge
+	Mem   *mem.Memory
+
+	// Pending setup state.
+	deserADT, deserObj uint64
+	deserInfoValid     bool
+	serHasbitsOff      uint64
+	serMinMax          uint64
+	serInfoValid       bool
+	mopsADT, mopsDst   uint64
+	mopsInfoValid      bool
+
+	// Cycle accounting since the last block_for_*_completion.
+	dispatch      float64
+	deserInFlight float64
+	serInFlight   float64
+	mopsInFlight  float64
+
+	// Completed operation stats, appended per do_proto_*.
+	DeserOps []deser.Stats
+	SerOps   []ser.Stats
+	MopsOps  []mops.Stats
+
+	// CopyResults records the destination addresses do_proto_copy
+	// produced (the value the instruction returns in rd).
+	CopyResults []uint64
+}
+
+// Issue executes one RoCC instruction. Operations complete "in the
+// background": their cycle counts accumulate until the matching
+// block_for_*_completion instruction is issued, whose return value is the
+// total accelerator-busy time for the batch.
+func (a *Accelerator) Issue(cmd Command) (float64, error) {
+	a.dispatch += DispatchCycles
+	switch cmd.Op {
+	case OpDeserAssignArena, OpSerAssignArena:
+		// Arena regions are assigned via AssignArenas (addresses alone
+		// are not enough to recover region bounds in the model).
+		return 0, nil
+	case OpDeserInfo:
+		a.deserADT, a.deserObj = cmd.RS1, cmd.RS2
+		a.deserInfoValid = true
+		return 0, nil
+	case OpDoProtoDeser:
+		if !a.deserInfoValid {
+			return 0, ErrNoInfo
+		}
+		a.deserInfoValid = false
+		st, err := a.Deser.Deserialize(a.deserADT, a.deserObj, cmd.RS1, cmd.RS2)
+		if err != nil {
+			return 0, err
+		}
+		a.DeserOps = append(a.DeserOps, st)
+		a.deserInFlight += st.Cycles
+		return 0, nil
+	case OpSerInfo:
+		a.serHasbitsOff, a.serMinMax = cmd.RS1, cmd.RS2
+		a.serInfoValid = true
+		return 0, nil
+	case OpDoProtoSer:
+		if !a.serInfoValid {
+			return 0, ErrNoInfo
+		}
+		a.serInfoValid = false
+		st, err := a.Ser.Serialize(cmd.RS1, cmd.RS2)
+		if err != nil {
+			return 0, err
+		}
+		a.SerOps = append(a.SerOps, st)
+		a.serInFlight += st.Cycles
+		return 0, nil
+	case OpBlockForDeserCompletion:
+		busy := a.deserInFlight + a.dispatch + FenceCycles
+		a.deserInFlight, a.dispatch = 0, 0
+		return busy, nil
+	case OpBlockForSerCompletion:
+		busy := a.serInFlight + a.dispatch + FenceCycles
+		a.serInFlight, a.dispatch = 0, 0
+		return busy, nil
+	case OpMopsInfo:
+		a.mopsADT, a.mopsDst = cmd.RS1, cmd.RS2
+		a.mopsInfoValid = true
+		return 0, nil
+	case OpDoProtoClear:
+		if !a.mopsInfoValid {
+			return 0, ErrNoInfo
+		}
+		a.mopsInfoValid = false
+		st, err := a.Mops.Clear(a.mopsADT, cmd.RS1)
+		if err != nil {
+			return 0, err
+		}
+		a.MopsOps = append(a.MopsOps, st)
+		a.mopsInFlight += st.Cycles
+		return 0, nil
+	case OpDoProtoCopy:
+		if !a.mopsInfoValid {
+			return 0, ErrNoInfo
+		}
+		a.mopsInfoValid = false
+		dst, st, err := a.Mops.Copy(a.mopsADT, cmd.RS1)
+		if err != nil {
+			return 0, err
+		}
+		a.MopsOps = append(a.MopsOps, st)
+		a.CopyResults = append(a.CopyResults, dst)
+		a.mopsInFlight += st.Cycles
+		return 0, nil
+	case OpDoProtoMerge:
+		if !a.mopsInfoValid {
+			return 0, ErrNoInfo
+		}
+		a.mopsInfoValid = false
+		st, err := a.Mops.Merge(a.mopsADT, a.mopsDst, cmd.RS1)
+		if err != nil {
+			return 0, err
+		}
+		a.MopsOps = append(a.MopsOps, st)
+		a.mopsInFlight += st.Cycles
+		return 0, nil
+	case OpBlockForMopsCompletion:
+		busy := a.mopsInFlight + a.dispatch + FenceCycles
+		a.mopsInFlight, a.dispatch = 0, 0
+		return busy, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown opcode %v", ErrState, cmd.Op)
+	}
+}
+
+// AssignArenas installs the accelerator arena regions (the model-level
+// realization of the *_assign_arena instructions).
+func (a *Accelerator) AssignArenas(deserArena *mem.Allocator, serData, serPtrs *mem.Region) {
+	if deserArena != nil {
+		a.Deser.Arena = deserArena
+	}
+	if serData != nil {
+		a.Ser.AssignArena(serData, serPtrs)
+	}
+}
+
+// DeserializeOp is the convenience pair (deser_info, do_proto_deser)
+// followed by a completion barrier; returns total busy cycles.
+func (a *Accelerator) DeserializeOp(adtAddr, objAddr, bufAddr, bufLen uint64) (float64, deser.Stats, error) {
+	if _, err := a.Issue(Command{Op: OpDeserInfo, RS1: adtAddr, RS2: objAddr}); err != nil {
+		return 0, deser.Stats{}, err
+	}
+	if _, err := a.Issue(Command{Op: OpDoProtoDeser, RS1: bufAddr, RS2: bufLen}); err != nil {
+		return 0, deser.Stats{}, err
+	}
+	busy, err := a.Issue(Command{Op: OpBlockForDeserCompletion})
+	if err != nil {
+		return 0, deser.Stats{}, err
+	}
+	return busy, a.DeserOps[len(a.DeserOps)-1], nil
+}
+
+// SerializeOp is the convenience pair (ser_info, do_proto_ser) followed by
+// a completion barrier; returns total busy cycles.
+func (a *Accelerator) SerializeOp(adtAddr, objAddr uint64) (float64, ser.Stats, error) {
+	if _, err := a.Issue(Command{Op: OpSerInfo}); err != nil {
+		return 0, ser.Stats{}, err
+	}
+	if _, err := a.Issue(Command{Op: OpDoProtoSer, RS1: adtAddr, RS2: objAddr}); err != nil {
+		return 0, ser.Stats{}, err
+	}
+	busy, err := a.Issue(Command{Op: OpBlockForSerCompletion})
+	if err != nil {
+		return 0, ser.Stats{}, err
+	}
+	return busy, a.SerOps[len(a.SerOps)-1], nil
+}
+
+// ClearOp is the convenience (mops_info, do_proto_clear, barrier) triple.
+func (a *Accelerator) ClearOp(adtAddr, objAddr uint64) (float64, error) {
+	if _, err := a.Issue(Command{Op: OpMopsInfo, RS1: adtAddr}); err != nil {
+		return 0, err
+	}
+	if _, err := a.Issue(Command{Op: OpDoProtoClear, RS1: objAddr}); err != nil {
+		return 0, err
+	}
+	return a.Issue(Command{Op: OpBlockForMopsCompletion})
+}
+
+// CopyOp deep-copies srcObj into the arena, returning busy cycles and the
+// new object's address.
+func (a *Accelerator) CopyOp(adtAddr, srcObj uint64) (float64, uint64, error) {
+	if _, err := a.Issue(Command{Op: OpMopsInfo, RS1: adtAddr}); err != nil {
+		return 0, 0, err
+	}
+	if _, err := a.Issue(Command{Op: OpDoProtoCopy, RS1: srcObj}); err != nil {
+		return 0, 0, err
+	}
+	busy, err := a.Issue(Command{Op: OpBlockForMopsCompletion})
+	if err != nil {
+		return 0, 0, err
+	}
+	return busy, a.CopyResults[len(a.CopyResults)-1], nil
+}
+
+// MergeOp merges srcObj into dstObj.
+func (a *Accelerator) MergeOp(adtAddr, dstObj, srcObj uint64) (float64, error) {
+	if _, err := a.Issue(Command{Op: OpMopsInfo, RS1: adtAddr, RS2: dstObj}); err != nil {
+		return 0, err
+	}
+	if _, err := a.Issue(Command{Op: OpDoProtoMerge, RS1: srcObj}); err != nil {
+		return 0, err
+	}
+	return a.Issue(Command{Op: OpBlockForMopsCompletion})
+}
