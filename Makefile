@@ -1,8 +1,19 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench figures examples clean
+.PHONY: all build test vet race bench bench-smoke figures examples clean
 
 all: build vet test
+
+# Race-detector pass over everything, exercising the bench worker pool
+# (the serial/parallel equivalence test runs with Parallelism: 8).
+race:
+	go test -race ./...
+
+# One iteration of every Benchmark* family; results land in
+# results/bench_smoke.json for trajectory tracking across PRs.
+bench-smoke:
+	mkdir -p results
+	go test -run '^$$' -bench . -benchtime 1x -benchmem -json ./... > results/bench_smoke.json
 
 build:
 	go build ./...

@@ -24,9 +24,12 @@ import (
 )
 
 // runSim runs workload w on system k once per b.N iteration and reports
-// the simulated throughput metric.
+// the simulated throughput and cycle metrics. ReportAllocs makes
+// host-side allocation regressions in the simulator hot path visible in
+// every benchmark run alongside the simulated numbers.
 func runSim(b *testing.B, k core.Kind, op bench.Op, w bench.Workload, opts bench.Options) {
 	b.Helper()
+	b.ReportAllocs()
 	var m bench.Measurement
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -36,6 +39,7 @@ func runSim(b *testing.B, k core.Kind, op bench.Op, w bench.Workload, opts bench
 		}
 	}
 	b.ReportMetric(m.GbitsPS, "Gbit/s(simulated)")
+	b.ReportMetric(m.Cycles, "cycles(simulated)")
 	b.SetBytes(int64(w.Bytes))
 }
 

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	hyperbench [-op deser|ser|both] [-dump-proto dir] [-stats]
+//	           [-parallel n] [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"protoacc/internal/bench"
 	"protoacc/internal/fleet"
@@ -25,7 +28,37 @@ func main() {
 	op := flag.String("op", "both", "operation: deser, ser, or both")
 	dump := flag.String("dump-proto", "", "directory to write the generated .proto files")
 	stats := flag.Bool("stats", false, "print per-suite shape statistics")
+	parallel := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *dump != "" {
 		if err := dumpProtos(*dump); err != nil {
@@ -52,9 +85,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown op %q\n", *op)
 		os.Exit(2)
 	}
+	opts := bench.HyperOptions()
+	opts.Parallelism = *parallel
+
 	var vbs, vxs []float64
 	for _, f := range figs {
-		rows, err := bench.RunFigure(f, bench.HyperOptions())
+		rows, err := bench.RunFigure(f, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

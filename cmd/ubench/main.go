@@ -6,12 +6,15 @@
 // Usage:
 //
 //	ubench [-fig 11a|11b|11c|11d|all] [-ablation name|all|none] [-ops]
+//	       [-parallel n] [-cpuprofile file] [-memprofile file]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"protoacc/internal/bench"
 )
@@ -20,8 +23,40 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 11a, 11b, 11c, 11d, or all")
 	ablation := flag.String("ablation", "none", "ablation to run: adt-vs-per-instance, sparse-vs-dense-hasbits, field-unit-count, stack-depth, memloader-width, all, or none")
 	ops := flag.Bool("ops", false, "benchmark the §7 extension operators (clear/copy/merge)")
+	parallel := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
 	opts := bench.DefaultOptions()
+	opts.Parallelism = *parallel
 
 	figs := []bench.Figure{bench.Fig11a, bench.Fig11b, bench.Fig11c, bench.Fig11d}
 	if *fig != "all" && *fig != "none" {

@@ -135,8 +135,13 @@ func New(m *mem.Memory, port *memmodel.Port, arena *mem.Allocator, cfg Config) *
 // Stats returns cumulative statistics.
 func (u *Unit) Stats() Stats { return u.stats }
 
-// ResetStats clears the accumulators.
-func (u *Unit) ResetStats() { u.stats = Stats{} }
+// ResetStats clears the accumulators and any residual parse state,
+// returning the unit to its post-construction state.
+func (u *Unit) ResetStats() {
+	u.stats = Stats{}
+	u.openRegions = nil
+	u.open = nil
+}
 
 // fsm charges FSM cycles.
 func (u *Unit) fsm(c float64) { u.stats.FSMCycles += c }
@@ -207,7 +212,9 @@ func (u *Unit) Deserialize(adtAddr, objAddr, bufAddr, bufLen uint64) (Stats, err
 }
 
 // readVarint peeks the next 10 bytes of the stream (the combinational
-// decoder's window) and decodes in a single cycle.
+// decoder's window) and decodes in a single cycle. The window is a
+// zero-copy view of the memloader stream — decoding reads simulated
+// memory in place, with no staging copy per access.
 func (u *Unit) readVarint(pos, end uint64) (uint64, uint64, error) {
 	window := end - pos
 	if window > wire.MaxVarintLen {
@@ -216,13 +223,11 @@ func (u *Unit) readVarint(pos, end uint64) (uint64, uint64, error) {
 	if window == 0 {
 		return 0, 0, ErrMalformed
 	}
-	s, err := u.Mem.Slice(pos, window)
+	s, err := u.Mem.View(pos, window)
 	if err != nil {
 		return 0, 0, err
 	}
-	var win [wire.MaxVarintLen]byte
-	copy(win[:], s)
-	v, n, err := wire.DecodeVarint10(&win, int(window))
+	v, n, err := wire.ReadVarint(s)
 	if err != nil {
 		return 0, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
@@ -474,7 +479,7 @@ func (u *Unit) copyStream(dst, src, n uint64) error {
 	if n == 0 {
 		return nil
 	}
-	s, err := u.Mem.Slice(src, n)
+	s, err := u.Mem.View(src, n)
 	if err != nil {
 		return err
 	}
@@ -539,7 +544,7 @@ func (u *Unit) parseString(e adt.Entry, num int32, pos, end, objAddr, slotAddr u
 		if u.Cfg.ValidateUTF8 && e.Kind == schema.KindString {
 			// Validation is inline with the copy datapath: no extra
 			// cycles, but invalid sequences fault the operation.
-			s, err := u.Mem.Slice(pos, n)
+			s, err := u.Mem.View(pos, n)
 			if err != nil {
 				return 0, err
 			}

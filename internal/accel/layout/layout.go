@@ -150,6 +150,17 @@ func NewRegistry() *Registry {
 	}
 }
 
+// Reset empties the registry and restarts type-id assignment from 1, as
+// if freshly constructed. Used when recycling a System so a re-registered
+// schema receives the same ids (and therefore identical simulated vptr
+// values) as on a fresh System.
+func (r *Registry) Reset() {
+	clear(r.layouts)
+	clear(r.ids)
+	clear(r.byID)
+	r.nextID = 1
+}
+
 // Register computes layouts for t and everything reachable from it.
 func (r *Registry) Register(t *schema.Message) {
 	t.Walk(func(m *schema.Message) {

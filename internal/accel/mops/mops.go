@@ -76,6 +76,9 @@ func New(m *mem.Memory, port *memmodel.Port, arena *mem.Allocator, cfg Config) *
 // Stats returns cumulative statistics.
 func (u *Unit) Stats() Stats { return u.stats }
 
+// ResetStats clears the accumulators.
+func (u *Unit) ResetStats() { u.stats = Stats{} }
+
 func (u *Unit) fsm(c float64) { u.stats.Cycles += c }
 
 func (u *Unit) blockingLoad(addr, size uint64) {
@@ -110,7 +113,7 @@ func (u *Unit) streamCopy(dst, src, n uint64) error {
 	u.fsm(float64((n + u.Cfg.CopyWidth - 1) / u.Cfg.CopyWidth))
 	u.overlapped(src, n)
 	u.overlapped(dst, n)
-	s, err := u.Mem.Slice(src, n)
+	s, err := u.Mem.View(src, n)
 	if err != nil {
 		return err
 	}

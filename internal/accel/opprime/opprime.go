@@ -366,7 +366,7 @@ func (s *Serializer) emitString(num int32, ptr, n, pos uint64) (uint64, error) {
 	}
 	payload := pos - n
 	if n > 0 {
-		src, err := s.Mem.Slice(ptr, n)
+		src, err := s.Mem.View(ptr, n)
 		if err != nil {
 			return 0, err
 		}

@@ -133,8 +133,14 @@ func (u *Unit) Output(i uint64) (addr, length uint64, err error) {
 // Stats returns cumulative statistics.
 func (u *Unit) Stats() Stats { return u.stats }
 
-// ResetStats clears the accumulators.
-func (u *Unit) ResetStats() { u.stats = Stats{} }
+// ResetStats clears the accumulators and per-op work tracking, returning
+// the unit to its post-construction state (the output arena is
+// re-assigned separately via AssignArena).
+func (u *Unit) ResetStats() {
+	u.stats = Stats{}
+	u.opWork = nil
+	u.curWork = nil
+}
 
 func (u *Unit) frontend(c float64) { u.stats.FrontendCycles += c }
 
@@ -446,7 +452,7 @@ func (u *Unit) emitString(num int32, ptr, n, pos uint64) (uint64, error) {
 	}
 	payloadPos := pos - n
 	if n > 0 {
-		src, err := u.Mem.Slice(ptr, n)
+		src, err := u.Mem.View(ptr, n)
 		if err != nil {
 			return 0, err
 		}

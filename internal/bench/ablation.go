@@ -130,32 +130,38 @@ func ablationHasbits() string {
 
 // ablationFieldUnits sweeps the serializer's field unit count (§4.5.4),
 // reporting throughput on the Figure 11d workload set alongside silicon
-// area from the ASIC model.
+// area from the ASIC model. The (unit count × workload) grid fans out
+// over the worker pool; the report is assembled by grid index.
 func ablationFieldUnits(opts Options) (string, error) {
-	var sb strings.Builder
-	sb.WriteString("A3: serializer field-unit count sweep (§4.5.4)\n")
-	fmt.Fprintf(&sb, "%-8s %18s %14s\n", "units", "geomean Gbit/s", "area mm^2")
+	units := []int{1, 2, 4, 8}
 	workloads := AllocWorkloads()
-	for _, units := range []int{1, 2, 4, 8} {
-		u := units
+	vals := make([]float64, len(units)*len(workloads))
+	err := forEachIndexed(len(vals), opts.parallelism(), func(i int) error {
+		u := units[i/len(workloads)]
 		o := opts
 		o.Config = func(k core.Kind) core.Config {
 			cfg := opts.Config(k)
 			cfg.Ser.NumFieldUnits = u
 			return cfg
 		}
-		var vals []float64
-		for _, w := range workloads {
-			m, err := Run(core.KindAccel, Serialize, w, o)
-			if err != nil {
-				return "", err
-			}
-			vals = append(vals, m.GbitsPS)
+		m, err := Run(core.KindAccel, Serialize, workloads[i%len(workloads)], o)
+		if err != nil {
+			return err
 		}
+		vals[i] = m.GbitsPS
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("A3: serializer field-unit count sweep (§4.5.4)\n")
+	fmt.Fprintf(&sb, "%-8s %18s %14s\n", "units", "geomean Gbit/s", "area mm^2")
+	for ui, u := range units {
 		scfg := opts.Config(core.KindAccel).Ser
 		scfg.NumFieldUnits = u
 		area := asic.Serializer(scfg).TotalAreaMM2()
-		fmt.Fprintf(&sb, "%-8d %18.2f %14.4f\n", units, Geomean(vals), area)
+		fmt.Fprintf(&sb, "%-8d %18.2f %14.4f\n", u, Geomean(vals[ui*len(workloads):(ui+1)*len(workloads)]), area)
 	}
 	return sb.String(), nil
 }
@@ -184,24 +190,37 @@ func deepWorkload(depth int) Workload {
 // ablationStackDepth sweeps message depth against the on-chip metadata
 // stack (§3.8): past the on-chip depth, pushes and pops spill.
 func ablationStackDepth(opts Options) (string, error) {
+	msgDepths := []int{8, 25, 50, 90}
+	chipDepths := []int{12, 25, 100}
+	ws := make([]Workload, len(msgDepths))
+	for i, d := range msgDepths {
+		ws[i] = deepWorkload(d)
+	}
+	vals := make([]float64, len(msgDepths)*len(chipDepths))
+	err := forEachIndexed(len(vals), opts.parallelism(), func(i int) error {
+		d := chipDepths[i%len(chipDepths)]
+		o := opts
+		o.Config = func(k core.Kind) core.Config {
+			cfg := opts.Config(k)
+			cfg.Deser.OnChipStackDepth = d
+			return cfg
+		}
+		m, err := Run(core.KindAccel, Deserialize, ws[i/len(chipDepths)], o)
+		if err != nil {
+			return err
+		}
+		vals[i] = m.GbitsPS
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
 	var sb strings.Builder
 	sb.WriteString("A4: metadata stack depth vs message nesting (§3.8)\n")
 	fmt.Fprintf(&sb, "%-12s %-14s %16s\n", "msg depth", "on-chip depth", "deser Gbit/s")
-	for _, msgDepth := range []int{8, 25, 50, 90} {
-		w := deepWorkload(msgDepth)
-		for _, chipDepth := range []int{12, 25, 100} {
-			d := chipDepth
-			o := opts
-			o.Config = func(k core.Kind) core.Config {
-				cfg := opts.Config(k)
-				cfg.Deser.OnChipStackDepth = d
-				return cfg
-			}
-			m, err := Run(core.KindAccel, Deserialize, w, o)
-			if err != nil {
-				return "", err
-			}
-			fmt.Fprintf(&sb, "%-12d %-14d %16.3f\n", msgDepth, chipDepth, m.GbitsPS)
+	for mi, msgDepth := range msgDepths {
+		for ci, chipDepth := range chipDepths {
+			fmt.Fprintf(&sb, "%-12d %-14d %16.3f\n", msgDepth, chipDepth, vals[mi*len(chipDepths)+ci])
 		}
 	}
 	sb.WriteString("\nfleet data (§3.8): 99.999% of bytes at depth <= 25, max < 100;\n")
@@ -212,41 +231,39 @@ func ablationStackDepth(opts Options) (string, error) {
 // ablationMemloaderWidth sweeps the memloader width (§4.4.2) over the
 // deserialization microbenchmarks.
 func ablationMemloaderWidth(opts Options) (string, error) {
-	var sb strings.Builder
-	sb.WriteString("A5: memloader width sweep (§4.4.2)\n")
-	fmt.Fprintf(&sb, "%-8s %22s %22s %12s\n",
-		"width", "non-alloc geomean Gb/s", "alloc geomean Gb/s", "area mm^2")
-	for _, width := range []uint64{8, 16, 32} {
-		wd := width
+	widths := []uint64{8, 16, 32}
+	nonAlloc := NonAllocWorkloads()
+	workloads := append(append([]Workload{}, nonAlloc...), AllocWorkloads()...)
+	vals := make([]float64, len(widths)*len(workloads))
+	err := forEachIndexed(len(vals), opts.parallelism(), func(i int) error {
+		wd := widths[i/len(workloads)]
 		o := opts
 		o.Config = func(k core.Kind) core.Config {
 			cfg := opts.Config(k)
 			cfg.Deser.MemloaderWidth = wd
 			return cfg
 		}
-		geo := func(ws []Workload) (float64, error) {
-			var vals []float64
-			for _, w := range ws {
-				m, err := Run(core.KindAccel, Deserialize, w, o)
-				if err != nil {
-					return 0, err
-				}
-				vals = append(vals, m.GbitsPS)
-			}
-			return Geomean(vals), nil
-		}
-		na, err := geo(NonAllocWorkloads())
+		m, err := Run(core.KindAccel, Deserialize, workloads[i%len(workloads)], o)
 		if err != nil {
-			return "", err
+			return err
 		}
-		al, err := geo(AllocWorkloads())
-		if err != nil {
-			return "", err
-		}
+		vals[i] = m.GbitsPS
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("A5: memloader width sweep (§4.4.2)\n")
+	fmt.Fprintf(&sb, "%-8s %22s %22s %12s\n",
+		"width", "non-alloc geomean Gb/s", "alloc geomean Gb/s", "area mm^2")
+	for wi, width := range widths {
+		row := vals[wi*len(workloads) : (wi+1)*len(workloads)]
 		dcfg := opts.Config(core.KindAccel).Deser
-		dcfg.MemloaderWidth = wd
+		dcfg.MemloaderWidth = width
 		area := asic.Deserializer(dcfg).TotalAreaMM2()
-		fmt.Fprintf(&sb, "%-8d %22.2f %22.2f %12.4f\n", width, na, al, area)
+		fmt.Fprintf(&sb, "%-8d %22.2f %22.2f %12.4f\n",
+			width, Geomean(row[:len(nonAlloc)]), Geomean(row[len(nonAlloc):]), area)
 	}
 	return sb.String(), nil
 }
@@ -388,7 +405,7 @@ func ablationInterference(opts Options) (string, error) {
 	for _, pollute := range []uint64{0, 256 << 10, 2 << 20, 16 << 20} {
 		row := map[string]float64{}
 		for name, w := range workloads {
-			cfg := sizedConfig(opts.Config(core.KindAccel), w.Bytes+pollute)
+			cfg := sizedConfig(opts.Config(core.KindAccel), w.Bytes+pollute, Deserialize)
 			sys := core.New(cfg)
 			if err := sys.LoadSchema(w.Type); err != nil {
 				return "", err

@@ -33,7 +33,9 @@ func RunOperators(opts Options) (string, error) {
 	}
 
 	for _, k := range systems {
-		cfg := sizedConfig(opts.Config(k), w.Bytes*8)
+		// Deserialize-shaped sizing: materialized objects live in Static
+		// and the operators allocate copies from Heap/Arena.
+		cfg := sizedConfig(opts.Config(k), w.Bytes*8, Deserialize)
 		cfg.SoftwareArenas = opts.SoftwareArenas
 		sys := core.New(cfg)
 		if err := sys.LoadSchema(w.Type); err != nil {

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel simulation engine. Every (workload, system, op) simulation
+// behind RunSet, the ablation sweeps, and HyperProtoBench generation is
+// independent: each owns a private core.System (memory, caches, layout
+// registry), and the shared inputs — schemas, pre-populated messages,
+// wire buffers — are read-only after construction. forEachIndexed fans
+// those jobs out over a bounded worker pool and the callers gather
+// results by job index, so output order (and therefore every figure and
+// table) is identical to the serial path regardless of completion order.
+//
+// The determinism contract is strict: a parallel run must produce
+// bitwise-identical Measurement/Series values to a serial run. Nothing
+// about a simulation depends on wall-clock time or scheduling; the
+// equivalence test in parallel_test.go enforces this.
+
+// parallelism resolves Options.Parallelism: non-positive means
+// GOMAXPROCS-sized.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachIndexed runs fn(0), …, fn(n-1) on at most workers goroutines.
+// Jobs are handed out in index order from a shared counter. All jobs run
+// to completion; if any fail, the error of the lowest-indexed failing job
+// is returned (matching which job a serial loop would have failed on).
+func forEachIndexed(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"protoacc/internal/core"
+)
+
+// TestSerialParallelEquivalence is the determinism gate for the parallel
+// engine: RunSet over the Figure 11a workload set must produce
+// bitwise-identical Series whether the grid runs on one worker or eight
+// (which also exceeds GOMAXPROCS on small machines, forcing real
+// interleaving through the shared System pool).
+func TestSerialParallelEquivalence(t *testing.T) {
+	ws := NonAllocWorkloads()
+	serial := DefaultOptions()
+	serial.Parallelism = 1
+	parallel := DefaultOptions()
+	parallel.Parallelism = 8
+	for _, op := range []Op{Deserialize, Serialize} {
+		want, err := RunSet(op, ws, serial)
+		if err != nil {
+			t.Fatalf("%v serial: %v", op, err)
+		}
+		got, err := RunSet(op, ws, parallel)
+		if err != nil {
+			t.Fatalf("%v parallel: %v", op, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d rows parallel vs %d serial", op, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%v row %d: parallel %+v != serial %+v", op, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPooledRunDeterminism checks the System-pool contract directly:
+// back-to-back identical runs — the second recycling the first's System
+// via ResetAll — return bitwise-identical Measurements.
+func TestPooledRunDeterminism(t *testing.T) {
+	opts := DefaultOptions()
+	var ws []Workload
+	for _, w := range AllocWorkloads() {
+		switch w.Name {
+		case "varint-5-R", "string_long", "string-SUB":
+			ws = append(ws, w)
+		}
+	}
+	for _, w := range ws {
+		for _, k := range []core.Kind{core.KindBOOM, core.KindXeon, core.KindAccel} {
+			for _, op := range []Op{Deserialize, Serialize} {
+				first, err := Run(k, op, w, opts)
+				if err != nil {
+					t.Fatalf("%s/%v/%v: %v", w.Name, k, op, err)
+				}
+				second, err := Run(k, op, w, opts)
+				if err != nil {
+					t.Fatalf("%s/%v/%v (pooled): %v", w.Name, k, op, err)
+				}
+				if first != second {
+					t.Errorf("%s/%v/%v: pooled rerun %+v != fresh %+v", w.Name, k, op, second, first)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachIndexedVisitsAllOnce(t *testing.T) {
+	const n = 100
+	var visits [n]atomic.Int32
+	if err := forEachIndexed(n, 7, func(i int) error {
+		visits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range visits {
+		if v := visits[i].Load(); v != 1 {
+			t.Errorf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+// forEachIndexed reports the lowest-indexed failure — the job a serial
+// loop would have failed on — regardless of completion order.
+func TestForEachIndexedReturnsLowestError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	err := forEachIndexed(20, 5, func(i int) error {
+		switch i {
+		case 7:
+			return errLow
+		case 13:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Errorf("err = %v, want %v", err, errLow)
+	}
+}
+
+func TestParallelismDefaults(t *testing.T) {
+	if got := (Options{Parallelism: 3}).parallelism(); got != 3 {
+		t.Errorf("explicit parallelism = %d", got)
+	}
+	if got := (Options{}).parallelism(); got < 1 {
+		t.Errorf("default parallelism = %d", got)
+	}
+}

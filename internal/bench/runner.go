@@ -39,6 +39,12 @@ type Options struct {
 	WarmupBatches  int // batches run before the measured one
 	Config         func(core.Kind) core.Config
 	SoftwareArenas bool // CPU baselines allocate from software arenas
+
+	// Parallelism bounds the worker pool fanning out independent
+	// simulations (RunSet, the ablation sweeps). 0 means GOMAXPROCS;
+	// 1 forces serial execution. Results are bitwise-identical at any
+	// setting — parallel runs gather by index, not completion order.
+	Parallelism int
 }
 
 // DefaultOptions returns the standard settings: one warm-up batch, paper
@@ -56,24 +62,66 @@ func HyperOptions() Options {
 	return o
 }
 
-// sizedConfig scales the system's memory regions to the workload so huge
-// workloads fit and small ones don't pay gigabyte zeroing costs.
-func sizedConfig(base core.Config, need uint64) core.Config {
+// sizedConfig scales the system's memory regions to the workload and
+// operation, so huge workloads fit and small ones don't pay gigabyte
+// mapping/zeroing costs. From need (the batch's total wire bytes,
+// rounded up to 1 MiB so near-identical workloads share a region
+// geometry and a System-pool key) two budgets derive, each padded by a
+// 16 MiB floor for batch headers, alignment, and ADTs:
+//
+//	wireNeed = ceil1M(need)   + floor  // wire-resident data
+//	objNeed  = ceil1M(need)*4 + floor  // materialized C++ objects:
+//	                                   // hasbits, vptr, slot padding and
+//	                                   // repeated/string headers expand
+//	                                   // wire bytes by up to ~4x
+//
+// Deserialize reads wire from Static (wireNeed) and materializes into
+// Heap and the accelerator Arena (objNeed); its Out space is unused.
+// Serialize reads materialized objects from Static (objNeed) and writes
+// wire to Out (wireNeed); its Heap/Arena are unused. Unused regions get
+// the floor only.
+func sizedConfig(base core.Config, need uint64, op Op) core.Config {
 	const floor = 16 << 20
-	size := need*4 + floor
-	base.StaticSize = size
-	base.HeapSize = size
-	base.ArenaSize = size
-	base.OutSize = size
+	const quantum = 1 << 20
+	qneed := (need + quantum - 1) &^ (quantum - 1)
+	wireNeed := qneed + floor
+	objNeed := qneed*4 + floor
+	if op == Serialize {
+		base.StaticSize = objNeed
+		base.OutSize = wireNeed
+		base.HeapSize = floor
+		base.ArenaSize = floor
+	} else {
+		base.StaticSize = wireNeed
+		base.OutSize = floor
+		base.HeapSize = objNeed
+		base.ArenaSize = objNeed
+	}
 	return base
 }
 
 // Run measures one workload on one system for one operation: warm-up
 // batches followed by a measured batch, returning batch throughput.
+// Systems are recycled through core.DefaultPool: repeated runs with the
+// same configuration (warm-ups, b.N benchmark iterations, sweep points)
+// reuse memory regions instead of re-mapping and re-zeroing them, with
+// results bitwise-identical to fresh construction (System.ResetAll).
 func Run(k core.Kind, op Op, w Workload, opts Options) (Measurement, error) {
-	cfg := sizedConfig(opts.Config(k), w.Bytes)
+	cfg := sizedConfig(opts.Config(k), w.Bytes, op)
 	cfg.SoftwareArenas = opts.SoftwareArenas
-	sys := core.New(cfg)
+	sys := core.DefaultPool.Get(cfg)
+	m, err := runOn(sys, op, w, opts)
+	if err != nil {
+		// A failed run may leave the System mid-operation; drop it.
+		return Measurement{}, err
+	}
+	core.DefaultPool.Put(sys)
+	return m, nil
+}
+
+// runOn executes the measured batches of one run on a prepared System.
+func runOn(sys *core.System, op Op, w Workload, opts Options) (Measurement, error) {
+	k := sys.Cfg.Kind
 	if err := sys.LoadSchema(w.Type); err != nil {
 		return Measurement{}, err
 	}
@@ -157,16 +205,28 @@ type Series struct {
 var systems = []core.Kind{core.KindBOOM, core.KindXeon, core.KindAccel}
 
 // RunSet measures a full workload set on all three systems and appends a
-// geomean row.
+// geomean row. The (workload, system) grid fans out over the worker pool
+// (Options.Parallelism); measurements are gathered by grid index, so the
+// returned Series are identical to a serial run's.
 func RunSet(op Op, workloads []Workload, opts Options) ([]Series, error) {
-	var out []Series
-	for _, w := range workloads {
+	ms := make([]Measurement, len(workloads)*len(systems))
+	err := forEachIndexed(len(ms), opts.parallelism(), func(i int) error {
+		w, k := workloads[i/len(systems)], systems[i%len(systems)]
+		m, err := Run(k, op, w, opts)
+		if err != nil {
+			return fmt.Errorf("%s on %v: %w", w.Name, k, err)
+		}
+		ms[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Series, 0, len(workloads)+1)
+	for wi, w := range workloads {
 		s := Series{Bench: w.Name}
-		for _, k := range systems {
-			m, err := Run(k, op, w, opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %v: %w", w.Name, k, err)
-			}
+		for ki, k := range systems {
+			m := ms[wi*len(systems)+ki]
 			switch k {
 			case core.KindBOOM:
 				s.BOOM = m.GbitsPS
@@ -218,15 +278,22 @@ func HyperWorkload(b *hyperbench.Benchmark) Workload {
 	}
 }
 
-// HyperWorkloads generates bench0…bench5 as workloads.
+// HyperWorkloads generates bench0…bench5 as workloads. Generation is
+// deterministic per profile (each owns a seeded RNG), so the suites are
+// generated in parallel and gathered by profile index.
 func HyperWorkloads() ([]Workload, error) {
-	benches, err := hyperbench.GenerateAll()
+	profiles := hyperbench.Profiles()
+	out := make([]Workload, len(profiles))
+	err := forEachIndexed(len(profiles), Options{}.parallelism(), func(i int) error {
+		b, err := hyperbench.Generate(profiles[i])
+		if err != nil {
+			return err
+		}
+		out[i] = HyperWorkload(b)
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]Workload, len(benches))
-	for i, b := range benches {
-		out[i] = HyperWorkload(b)
 	}
 	return out, nil
 }

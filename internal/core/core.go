@@ -488,6 +488,36 @@ func (s *System) ResetWork() {
 	}
 }
 
+// ResetAll returns the System to the state New left it in, without
+// remapping or re-zeroing whole regions: allocators rewind, only the
+// dirty prefix of each region is zeroed (mem.Region's high-water mark),
+// the cache/TLB hierarchy and all cycle accumulators reset, and the
+// layout registry restarts type-id assignment. After ResetAll the System
+// is bitwise-indistinguishable — addresses, latencies, cycle counts —
+// from a freshly constructed one with the same Config, which is what lets
+// the Pool recycle Systems without perturbing measurements.
+func (s *System) ResetAll() {
+	s.adtAlloc.Reset()
+	s.Static.Reset()
+	s.Heap.Reset()
+	s.Out.Reset()
+	if s.Arena != nil {
+		s.Arena.Reset()
+	}
+	s.Mem.ResetDirty()
+	s.MemSys.Reset()
+	s.Reg.Reset()
+	s.schemaRoots = nil
+	s.adts = nil
+	if s.CPU != nil {
+		s.CPU.ResetCycles()
+	}
+	if s.Accel != nil {
+		s.Accel.Reset()
+		s.Accel.Ser.AssignArena(s.serData, s.serPtrs)
+	}
+}
+
 // Name returns the system's display name ("riscv-boom", "Xeon",
 // "riscv-boom-accel").
 func (s *System) Name() string { return s.Cfg.Kind.String() }

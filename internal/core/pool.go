@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool recycles Systems across runs with identical configurations.
+// Building a System maps (and the runtime zeroes) hundreds of megabytes of
+// simulated memory; recycling one costs only a ResetAll, which zeroes the
+// dirty prefix of each region — proportional to the bytes the previous
+// run touched. Get returns a reset System that is bitwise-equivalent to a
+// freshly constructed one (see System.ResetAll), so pooled execution
+// produces identical measurements to the unpooled path.
+//
+// Pool is safe for concurrent use; the benchmark harness's worker pool
+// shares one.
+type Pool struct {
+	mu    sync.Mutex
+	max   int
+	idle  map[string][]*System
+	count int
+}
+
+// NewPool creates a pool retaining at most max idle Systems (0 means a
+// default scaled to GOMAXPROCS).
+func NewPool(max int) *Pool {
+	if max <= 0 {
+		max = 4 * runtime.GOMAXPROCS(0)
+		if max < 16 {
+			max = 16
+		}
+	}
+	return &Pool{max: max, idle: make(map[string][]*System)}
+}
+
+// DefaultPool is the process-wide pool used by the bench harness.
+var DefaultPool = NewPool(0)
+
+// poolKey fingerprints a Config. Configs carrying a trace callback are
+// not poolable (func values cannot be compared, and traced runs are
+// debugging runs anyway).
+func poolKey(cfg Config) (string, bool) {
+	if cfg.Deser.Trace != nil {
+		return "", false
+	}
+	return fmt.Sprintf("%+v", cfg), true
+}
+
+// Get returns a System for cfg: a recycled one when an idle System with
+// an identical configuration is available, a new one otherwise.
+func (p *Pool) Get(cfg Config) *System {
+	key, ok := poolKey(cfg)
+	if !ok {
+		return New(cfg)
+	}
+	p.mu.Lock()
+	list := p.idle[key]
+	if n := len(list); n > 0 {
+		s := list[n-1]
+		list[n-1] = nil
+		p.idle[key] = list[:n-1]
+		p.count--
+		p.mu.Unlock()
+		s.ResetAll()
+		return s
+	}
+	p.mu.Unlock()
+	return New(cfg)
+}
+
+// Put returns a System to the pool for future reuse. Systems whose
+// configuration is not poolable, or that would exceed the pool's
+// capacity, are dropped (the GC reclaims them). Callers must not return a
+// System that reported an error mid-run: its state may be inconsistent.
+func (p *Pool) Put(s *System) {
+	if s == nil {
+		return
+	}
+	key, ok := poolKey(s.Cfg)
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.count >= p.max {
+		return
+	}
+	p.idle[key] = append(p.idle[key], s)
+	p.count++
+}
+
+// Idle returns the number of Systems currently retained (for tests).
+func (p *Pool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}

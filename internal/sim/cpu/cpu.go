@@ -506,7 +506,7 @@ func (c *CPU) copyBytes(dst, src, n uint64) error {
 	if n == 0 {
 		return nil
 	}
-	s, err := c.Mem.Slice(src, n)
+	s, err := c.Mem.View(src, n)
 	if err != nil {
 		return err
 	}

@@ -61,7 +61,7 @@ func (c *CPU) readVarintAt(pos, end uint64) (v uint64, n uint64, err error) {
 	if window == 0 {
 		return 0, 0, ErrMalformed
 	}
-	s, err := c.Mem.Slice(pos, window)
+	s, err := c.Mem.View(pos, window)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -27,10 +27,17 @@ var (
 )
 
 // Region is a contiguous mapped range of simulated memory.
+//
+// Each region tracks a dirty high-water mark: the end offset of the
+// highest byte handed out through a mutable path (Slice and the Write*
+// helpers). ResetDirty restores the region to its freshly-mapped all-zero
+// state by zeroing only [0, dirty), so the cost of recycling a System is
+// proportional to the bytes a run actually touched, not to region size.
 type Region struct {
-	Name string
-	Base uint64
-	data []byte
+	Name  string
+	Base  uint64
+	data  []byte
+	dirty uint64 // end offset of the highest possibly-written byte
 }
 
 // Size returns the region's size in bytes.
@@ -42,6 +49,21 @@ func (r *Region) End() uint64 { return r.Base + r.Size() }
 // Contains reports whether [addr, addr+n) lies within the region.
 func (r *Region) Contains(addr, n uint64) bool {
 	return addr >= r.Base && n <= r.Size() && addr-r.Base <= r.Size()-n
+}
+
+// DirtyBytes returns the dirty high-water mark: the size of the prefix
+// that may differ from the region's initial all-zero state.
+func (r *Region) DirtyBytes() uint64 { return r.dirty }
+
+// ResetDirty restores the region to its freshly-mapped all-zero state,
+// zeroing only the dirty prefix. Slices previously obtained via Slice keep
+// aliasing the same backing bytes and observe the zeroing.
+func (r *Region) ResetDirty() {
+	b := r.data[:r.dirty]
+	for i := range b {
+		b[i] = 0
+	}
+	r.dirty = 0
 }
 
 // Memory is the simulated physical memory.
@@ -100,8 +122,28 @@ func (m *Memory) find(addr, n uint64) (*Region, error) {
 // Slice returns a slice aliasing simulated memory at [addr, addr+n). The
 // fast path for streaming units (memloader, memwriter, memcpy).
 // Zero-length slices succeed at any address (including one past a region's
-// end, where an empty high-to-low output lands).
+// end, where an empty high-to-low output lands). The caller may write
+// through the slice, so the region's dirty mark is advanced; read-only
+// paths should use View instead.
 func (m *Memory) Slice(addr, n uint64) ([]byte, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	r, err := m.find(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	off := addr - r.Base
+	if off+n > r.dirty {
+		r.dirty = off + n
+	}
+	return r.data[off : off+n : off+n], nil
+}
+
+// View returns a read-only alias of [addr, addr+n) without advancing the
+// dirty mark: the zero-copy fetch path of the memloader/memwriter models.
+// Callers must not write through the returned slice.
+func (m *Memory) View(addr, n uint64) ([]byte, error) {
 	if n == 0 {
 		return nil, nil
 	}
@@ -113,9 +155,17 @@ func (m *Memory) Slice(addr, n uint64) ([]byte, error) {
 	return r.data[off : off+n : off+n], nil
 }
 
+// ResetDirty restores every region to its freshly-mapped all-zero state,
+// zeroing only dirty prefixes (see Region.ResetDirty).
+func (m *Memory) ResetDirty() {
+	for _, r := range m.regions {
+		r.ResetDirty()
+	}
+}
+
 // ReadBytes copies len(dst) bytes from addr into dst.
 func (m *Memory) ReadBytes(addr uint64, dst []byte) error {
-	src, err := m.Slice(addr, uint64(len(dst)))
+	src, err := m.View(addr, uint64(len(dst)))
 	if err != nil {
 		return err
 	}
@@ -135,7 +185,7 @@ func (m *Memory) WriteBytes(addr uint64, src []byte) error {
 
 // Read8 reads one byte.
 func (m *Memory) Read8(addr uint64) (byte, error) {
-	s, err := m.Slice(addr, 1)
+	s, err := m.View(addr, 1)
 	if err != nil {
 		return 0, err
 	}
@@ -154,7 +204,7 @@ func (m *Memory) Write8(addr uint64, v byte) error {
 
 // Read32 reads a little-endian 32-bit value.
 func (m *Memory) Read32(addr uint64) (uint32, error) {
-	s, err := m.Slice(addr, 4)
+	s, err := m.View(addr, 4)
 	if err != nil {
 		return 0, err
 	}
@@ -173,7 +223,7 @@ func (m *Memory) Write32(addr uint64, v uint32) error {
 
 // Read64 reads a little-endian 64-bit value.
 func (m *Memory) Read64(addr uint64) (uint64, error) {
-	s, err := m.Slice(addr, 8)
+	s, err := m.View(addr, 8)
 	if err != nil {
 		return 0, err
 	}

@@ -169,6 +169,145 @@ func TestMappedBytes(t *testing.T) {
 	}
 }
 
+func TestDirtyHighWaterMark(t *testing.T) {
+	m := New()
+	r := m.Map("buf", 4096)
+	if r.DirtyBytes() != 0 {
+		t.Fatalf("fresh region dirty = %d", r.DirtyBytes())
+	}
+	// A write advances the mark to the end of the access.
+	if err := m.Write64(r.Base+100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.DirtyBytes() != 108 {
+		t.Errorf("dirty after Write64@100 = %d, want 108", r.DirtyBytes())
+	}
+	// A write below the mark leaves it in place.
+	if err := m.Write8(r.Base+10, 2); err != nil {
+		t.Fatal(err)
+	}
+	if r.DirtyBytes() != 108 {
+		t.Errorf("dirty after low write = %d, want 108", r.DirtyBytes())
+	}
+	// A write above the mark advances it.
+	if err := m.WriteBytes(r.Base+200, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if r.DirtyBytes() != 203 {
+		t.Errorf("dirty after high write = %d, want 203", r.DirtyBytes())
+	}
+	// Reads do not advance the mark.
+	if _, err := m.Read64(r.Base + 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.View(r.Base+2000, 64); err != nil {
+		t.Fatal(err)
+	}
+	if r.DirtyBytes() != 203 {
+		t.Errorf("dirty after reads = %d, want 203", r.DirtyBytes())
+	}
+	// Slice conservatively dirties its whole range (callers may write).
+	if _, err := m.Slice(r.Base+300, 8); err != nil {
+		t.Fatal(err)
+	}
+	if r.DirtyBytes() != 308 {
+		t.Errorf("dirty after Slice = %d, want 308", r.DirtyBytes())
+	}
+}
+
+func TestResetDirtyZeroesOnlyTouchedPrefix(t *testing.T) {
+	m := New()
+	r := m.Map("buf", 4096)
+	if err := m.WriteBytes(r.Base+8, []byte{0xaa, 0xbb, 0xcc}); err != nil {
+		t.Fatal(err)
+	}
+	r.ResetDirty()
+	if r.DirtyBytes() != 0 {
+		t.Errorf("dirty after reset = %d", r.DirtyBytes())
+	}
+	buf := make([]byte, 16)
+	if err := m.ReadBytes(r.Base, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Errorf("byte %d = %#x after reset, want 0", i, b)
+		}
+	}
+	// The region behaves exactly like a fresh one afterwards.
+	if err := m.Write8(r.Base, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.DirtyBytes() != 1 {
+		t.Errorf("dirty after post-reset write = %d, want 1", r.DirtyBytes())
+	}
+}
+
+func TestSliceAliasingAcrossResetDirty(t *testing.T) {
+	m := New()
+	r := m.Map("buf", 64)
+	s, err := m.Slice(r.Base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s[3] = 0x7f
+	m.ResetDirty()
+	// Old slices keep aliasing the backing bytes and observe the zeroing.
+	if s[3] != 0 {
+		t.Errorf("aliased slice after ResetDirty = %#x, want 0", s[3])
+	}
+	// Writes through a stale alias still land in the region (the mark is
+	// conservative, not a correctness guard), and a fresh Slice re-dirties.
+	s2, err := m.Slice(r.Base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2[0] = 0x11
+	if v, _ := m.Read8(r.Base); v != 0x11 {
+		t.Error("fresh slice should alias memory after reset")
+	}
+}
+
+func TestZeroLengthAccessesAtRegionBoundaries(t *testing.T) {
+	m := New()
+	r := m.Map("buf", 64)
+	// Zero-length Slice/View succeed anywhere — including one past the
+	// region end and in unmapped space — and never advance the mark.
+	for _, addr := range []uint64{r.Base, r.End(), r.End() + 5000, 0} {
+		if s, err := m.Slice(addr, 0); err != nil || s != nil {
+			t.Errorf("Slice(0x%x, 0) = %v, %v", addr, s, err)
+		}
+		if s, err := m.View(addr, 0); err != nil || s != nil {
+			t.Errorf("View(0x%x, 0) = %v, %v", addr, s, err)
+		}
+	}
+	if r.DirtyBytes() != 0 {
+		t.Errorf("zero-length accesses dirtied %d bytes", r.DirtyBytes())
+	}
+	// A full-region access marks everything; reset restores cleanliness.
+	if _, err := m.Slice(r.Base, r.Size()); err != nil {
+		t.Fatal(err)
+	}
+	if r.DirtyBytes() != r.Size() {
+		t.Errorf("full-region Slice dirty = %d, want %d", r.DirtyBytes(), r.Size())
+	}
+	m.ResetDirty()
+	if r.DirtyBytes() != 0 {
+		t.Error("ResetDirty should clear a fully-dirty region")
+	}
+}
+
+func TestViewRejectsOutOfBounds(t *testing.T) {
+	m := New()
+	r := m.Map("buf", 64)
+	if _, err := m.View(r.End()-4, 8); err == nil {
+		t.Error("View straddling the region end should fault")
+	}
+	if _, err := m.View(r.End()+guardGap, 1); !errors.Is(err, ErrUnmapped) {
+		t.Error("View of unmapped space should fault")
+	}
+}
+
 func BenchmarkRead64(b *testing.B) {
 	m := New()
 	r := m.Map("x", 4096)

@@ -128,6 +128,15 @@ func (c *cache) access(line uint64) uint64 {
 	return c.cfg.HitLatency + below
 }
 
+// reset empties the cache and zeroes its counters, keeping the backing
+// set arrays so a recycled System allocates nothing.
+func (c *cache) reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.stats = LevelStats{}
+}
+
 // tlb is a fully-associative LRU TLB.
 type tlb struct {
 	entries []uint64
@@ -154,11 +163,18 @@ func (t *tlb) access(page uint64) uint64 {
 	return t.ptw
 }
 
+// reset empties the TLB and zeroes its counters.
+func (t *tlb) reset() {
+	t.entries = t.entries[:0]
+	t.stats = LevelStats{}
+}
+
 // System is the shared part of the memory hierarchy (L2, LLC, DRAM).
 type System struct {
-	cfg Config
-	l2  *cache
-	llc *cache
+	cfg   Config
+	l2    *cache
+	llc   *cache
+	ports []*Port
 }
 
 // NewSystem builds the shared hierarchy from cfg.
@@ -173,6 +189,19 @@ func NewSystem(cfg Config) *System {
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// Reset restores the hierarchy to its post-construction state: every
+// level (the shared L2/LLC and each port's private L1 and TLB) is emptied
+// and all hit/miss counters are zeroed. A reset hierarchy is
+// indistinguishable, access for access, from a freshly built one — the
+// property the System pool's bitwise-determinism contract relies on.
+func (s *System) Reset() {
+	s.l2.reset()
+	s.llc.reset()
+	for _, p := range s.ports {
+		p.Reset()
+	}
+}
 
 // L2Stats returns the shared L2's counters.
 func (s *System) L2Stats() LevelStats { return s.l2.stats }
@@ -199,12 +228,20 @@ func (p *Port) SetStreamOverlap(n uint64) { p.overlap = n }
 
 // NewPort creates a port with its own L1 and TLB.
 func (s *System) NewPort(name string) *Port {
-	return &Port{
+	p := &Port{
 		name: name,
 		sys:  s,
 		l1:   newCache(s.cfg.L1, s.l2, 0),
 		tlb:  &tlb{max: s.cfg.TLBEntries, ptw: s.cfg.PTWLatency},
 	}
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// Reset empties the port's private L1 and TLB and zeroes their counters.
+func (p *Port) Reset() {
+	p.l1.reset()
+	p.tlb.reset()
 }
 
 // Access performs a demand access of size bytes at addr and returns its

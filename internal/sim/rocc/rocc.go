@@ -210,6 +210,22 @@ func (a *Accelerator) Issue(cmd Command) (float64, error) {
 	}
 }
 
+// Reset returns the accelerator to its post-construction state: pending
+// setup, in-flight cycle accounting, the completed-operation logs, and
+// the units' cumulative counters are all cleared. Required before reusing
+// a pooled System so cycle deltas start from zero exactly as they would
+// on a fresh accelerator.
+func (a *Accelerator) Reset() {
+	a.deserADT, a.deserObj, a.deserInfoValid = 0, 0, false
+	a.serHasbitsOff, a.serMinMax, a.serInfoValid = 0, 0, false
+	a.mopsADT, a.mopsDst, a.mopsInfoValid = 0, 0, false
+	a.dispatch, a.deserInFlight, a.serInFlight, a.mopsInFlight = 0, 0, 0, 0
+	a.DeserOps, a.SerOps, a.MopsOps, a.CopyResults = nil, nil, nil, nil
+	a.Deser.ResetStats()
+	a.Ser.ResetStats()
+	a.Mops.ResetStats()
+}
+
 // AssignArenas installs the accelerator arena regions (the model-level
 // realization of the *_assign_arena instructions).
 func (a *Accelerator) AssignArenas(deserArena *mem.Allocator, serData, serPtrs *mem.Region) {
