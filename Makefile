@@ -18,8 +18,12 @@ bench-smoke:
 build:
 	go build ./...
 
+# Static checks plus the telemetry overhead contract: with tracing and
+# per-op capture off, the observability layer must add zero allocations
+# to the simulation hot paths (internal/telemetry/overhead_test.go).
 vet:
 	go vet ./...
+	go test -run 'Allocs|Amortized' -count=1 ./internal/telemetry
 
 test:
 	go test ./...

@@ -8,6 +8,13 @@
 //
 //	hyperbench [-op deser|ser|both] [-dump-proto dir] [-stats]
 //	           [-parallel n] [-cpuprofile file] [-memprofile file]
+//	           [-stats-out file] [-trace-op suite] [-trace-out file]
+//
+// -stats-out writes every run's telemetry counters (all units, all
+// memory-hierarchy levels) as JSON (or Prometheus text with a .prom
+// suffix). -trace-op enables cycle-level tracing of the named suite
+// (bench0…bench5) on riscv-boom-accel; -trace-out (default trace.json)
+// receives the Perfetto-loadable trace.
 package main
 
 import (
@@ -17,8 +24,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"protoacc/internal/bench"
+	"protoacc/internal/core"
 	"protoacc/internal/fleet"
 	"protoacc/internal/hyperbench"
 	"protoacc/internal/pb/schema"
@@ -31,6 +40,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	statsOut := flag.String("stats-out", "", "write aggregated telemetry counters to this file (JSON, or Prometheus text with a .prom suffix)")
+	traceOp := flag.String("trace-op", "", "capture a cycle trace of this suite on riscv-boom-accel")
+	traceOut := flag.String("trace-out", "trace.json", "write the captured Perfetto trace to this file")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -87,6 +99,12 @@ func main() {
 	}
 	opts := bench.HyperOptions()
 	opts.Parallelism = *parallel
+	if *statsOut != "" {
+		opts.Telemetry = &bench.TelemetrySink{}
+	}
+	if *traceOp != "" {
+		opts.Trace = &bench.TraceCapture{Workload: *traceOp, System: core.KindAccel}
+	}
 
 	var vbs, vxs []float64
 	for _, f := range figs {
@@ -104,6 +122,22 @@ func main() {
 	if len(figs) == 2 {
 		fmt.Printf("HyperProtoBench overall (§5.2): %.1fx vs riscv-boom (paper: 6.2x), %.1fx vs Xeon (paper: 3.8x)\n",
 			bench.Geomean(vbs), bench.Geomean(vxs))
+	}
+
+	if opts.Telemetry != nil {
+		m := bench.NewManifest("hyperbench "+strings.Join(os.Args[1:], " "), opts)
+		if err := bench.WriteStatsFile(*statsOut, m, opts.Telemetry); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry counters written to %s\n", *statsOut)
+	}
+	if opts.Trace != nil {
+		if err := bench.WriteTraceFile(*traceOut, opts.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace of %q written to %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceOp, *traceOut)
 	}
 }
 

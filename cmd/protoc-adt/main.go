@@ -25,7 +25,6 @@ import (
 	"strings"
 
 	"protoacc/internal/accel/adt"
-	"protoacc/internal/accel/deser"
 	"protoacc/internal/accel/layout"
 	"protoacc/internal/core"
 	"protoacc/internal/pb/codec"
@@ -158,17 +157,7 @@ func runCodec(t *schema.Message, encode, useHex, trace bool) error {
 // of §4.4 on your own message.
 func decodeTraced(t *schema.Message, b []byte) error {
 	sys := core.New(core.DefaultConfig(core.KindAccel))
-	var base uint64
-	cfg := deser.DefaultConfig()
-	cfg.Trace = func(ev deser.TraceEvent) {
-		pos := ev.Pos
-		if pos >= base {
-			pos -= base
-		}
-		fmt.Fprintf(os.Stderr, "  [%-11s] depth=%d field=%-4d pos=%-5d %s\n",
-			ev.State, ev.Depth, ev.Field, pos, ev.Note)
-	}
-	sys.Accel.Deser.Cfg = cfg
+	sys.Telemetry().Tracer.Enable()
 	if err := sys.LoadSchema(t); err != nil {
 		return err
 	}
@@ -176,11 +165,21 @@ func decodeTraced(t *schema.Message, b []byte) error {
 	if err != nil {
 		return err
 	}
-	base = bufAddr
 	fmt.Fprintf(os.Stderr, "deserializer FSM trace (%d input bytes):\n", len(b))
 	res, err := sys.Deserialize(t, bufAddr, uint64(len(b)))
 	if err != nil {
 		return err
+	}
+	for _, ev := range sys.Telemetry().Tracer.Events() {
+		if ev.Unit != "deser" {
+			continue
+		}
+		pos := ev.Pos
+		if pos >= bufAddr {
+			pos -= bufAddr
+		}
+		fmt.Fprintf(os.Stderr, "  [%-11s] depth=%d field=%-4d pos=%-5d %s\n",
+			ev.Name, ev.Depth, ev.Field, pos, ev.Note)
 	}
 	fmt.Fprintf(os.Stderr, "completed in %.0f accelerator cycles (%.2f Gbit/s at 2 GHz)\n",
 		res.Cycles, res.Throughput())

@@ -7,6 +7,13 @@
 //
 //	ubench [-fig 11a|11b|11c|11d|all] [-ablation name|all|none] [-ops]
 //	       [-parallel n] [-cpuprofile file] [-memprofile file]
+//	       [-stats-out file] [-trace-op workload] [-trace-out file]
+//
+// -stats-out writes the telemetry counters of every run (all units, all
+// memory-hierarchy levels) as JSON (or Prometheus text with a .prom
+// suffix), with an embedded provenance manifest. -trace-op enables
+// cycle-level tracing of the named workload on riscv-boom-accel and
+// -trace-out (default trace.json) receives the Perfetto-loadable trace.
 package main
 
 import (
@@ -15,8 +22,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"protoacc/internal/bench"
+	"protoacc/internal/core"
 )
 
 func main() {
@@ -26,6 +35,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	statsOut := flag.String("stats-out", "", "write aggregated telemetry counters to this file (JSON, or Prometheus text with a .prom suffix)")
+	traceOp := flag.String("trace-op", "", "capture a cycle trace of this workload on riscv-boom-accel")
+	traceOut := flag.String("trace-out", "trace.json", "write the captured Perfetto trace to this file")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -57,6 +69,12 @@ func main() {
 
 	opts := bench.DefaultOptions()
 	opts.Parallelism = *parallel
+	if *statsOut != "" {
+		opts.Telemetry = &bench.TelemetrySink{}
+	}
+	if *traceOp != "" {
+		opts.Trace = &bench.TraceCapture{Workload: *traceOp, System: core.KindAccel}
+	}
 
 	figs := []bench.Figure{bench.Fig11a, bench.Fig11b, bench.Fig11c, bench.Fig11d}
 	if *fig != "all" && *fig != "none" {
@@ -106,5 +124,21 @@ func main() {
 			}
 			fmt.Println(out)
 		}
+	}
+
+	if opts.Telemetry != nil {
+		m := bench.NewManifest("ubench "+strings.Join(os.Args[1:], " "), opts)
+		if err := bench.WriteStatsFile(*statsOut, m, opts.Telemetry); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry counters written to %s\n", *statsOut)
+	}
+	if opts.Trace != nil {
+		if err := bench.WriteTraceFile(*traceOut, opts.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace of %q written to %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceOp, *traceOut)
 	}
 }

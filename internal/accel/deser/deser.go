@@ -31,6 +31,7 @@ import (
 	"protoacc/internal/pb/wire"
 	"protoacc/internal/sim/mem"
 	"protoacc/internal/sim/memmodel"
+	"protoacc/internal/telemetry"
 )
 
 // Errors surfaced by the unit.
@@ -61,11 +62,20 @@ type Config struct {
 	// feature the paper lists as needed for proto3 support (§7).
 	ValidateUTF8 bool
 	// Trace, when non-nil, receives one event per field-handler state
-	// transition — the waveform-style visibility an RTL simulation gives.
+	// transition.
+	//
+	// Deprecated: a Config carrying a Trace func cannot be pooled
+	// (core.Pool refuses it — func values are incomparable), so traced
+	// runs used to pay full System construction. Use the System-owned
+	// telemetry buffer instead: enable the Unit's Tracer (wired to
+	// core.System.Telemetry().Tracer), which buffers the same transitions
+	// as cycle-timestamped telemetry.Events without touching the Config.
 	Trace func(ev TraceEvent)
 }
 
 // TraceEvent describes one field-handler state transition.
+//
+// Deprecated: see Config.Trace; new code consumes telemetry.Event.
 type TraceEvent struct {
 	State string // parseKey, typeInfo, scalarWrite, string, packedRun, subPush, subPop, closeOut, skip
 	Depth int
@@ -85,7 +95,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats reports what a deserialization did.
+// Stats reports what a deserialization did. The cycle-attribution
+// counters (SupplyBoundCycles, SpillCycles, ADTStallCycles) classify
+// portions of Cycles by stall cause; the remainder is pure FSM work.
 type Stats struct {
 	Cycles        float64
 	FSMCycles     float64
@@ -96,6 +108,15 @@ type Stats struct {
 	ArenaBytes    uint64
 	StackSpills   uint64
 	MaxDepthSeen  int
+
+	// SupplyBoundCycles is how many cycles the supply bound added beyond
+	// the FSM's own work — the deserializer was input-starved.
+	SupplyBoundCycles float64
+	// SpillCycles is the total metadata-stack spill penalty paid.
+	SpillCycles float64
+	// ADTStallCycles is the FSM time spent blocked on ADT header/entry
+	// loads (the model's ADT-miss stall class).
+	ADTStallCycles float64
 }
 
 // Unit is one deserializer unit instance.
@@ -104,6 +125,11 @@ type Unit struct {
 	Port  *memmodel.Port
 	Arena *mem.Allocator
 	Cfg   Config
+
+	// Tracer, when enabled, buffers one telemetry.Event per field-handler
+	// state transition on the System-owned trace stream. Assigned by
+	// core.New; nil is valid (tracing off).
+	Tracer *telemetry.Tracer
 
 	stats Stats
 
@@ -135,6 +161,22 @@ func New(m *mem.Memory, port *memmodel.Port, arena *mem.Allocator, cfg Config) *
 // Stats returns cumulative statistics.
 func (u *Unit) Stats() Stats { return u.stats }
 
+// CollectTelemetry registers the unit's counters (telemetry.Collector).
+func (u *Unit) CollectTelemetry(emit func(name string, value float64)) {
+	emit("cycles", u.stats.Cycles)
+	emit("fsm_cycles", u.stats.FSMCycles)
+	emit("supply_cycles", u.stats.SupplyCycles)
+	emit("supply_bound_cycles", u.stats.SupplyBoundCycles)
+	emit("spill_cycles", u.stats.SpillCycles)
+	emit("adt_stall_cycles", u.stats.ADTStallCycles)
+	emit("bytes_consumed", float64(u.stats.BytesConsumed))
+	emit("fields_parsed", float64(u.stats.FieldsParsed))
+	emit("allocs", float64(u.stats.Allocs))
+	emit("arena_bytes", float64(u.stats.ArenaBytes))
+	emit("stack_spills", float64(u.stats.StackSpills))
+	emit("max_depth_seen", float64(u.stats.MaxDepthSeen))
+}
+
 // ResetStats clears the accumulators and any residual parse state,
 // returning the unit to its post-construction state.
 func (u *Unit) ResetStats() {
@@ -146,19 +188,37 @@ func (u *Unit) ResetStats() {
 // fsm charges FSM cycles.
 func (u *Unit) fsm(c float64) { u.stats.FSMCycles += c }
 
-// trace emits a state-transition event when tracing is enabled.
+// tracing reports whether any trace consumer is attached; emit sites
+// whose arguments allocate (formatted notes) check it first.
+func (u *Unit) tracing() bool {
+	return u.Cfg.Trace != nil || u.Tracer.Enabled()
+}
+
+// trace emits a state-transition event when tracing is enabled: to the
+// deprecated Config.Trace hook and/or the System-owned telemetry stream,
+// timestamped with the unit's cumulative FSM cycle counter.
 func (u *Unit) trace(state string, depth int, field int32, pos uint64, note string) {
 	if u.Cfg.Trace != nil {
 		u.Cfg.Trace(TraceEvent{State: state, Depth: depth, Field: field, Pos: pos, Note: note})
 	}
+	if u.Tracer.Enabled() {
+		u.Tracer.Emit(telemetry.Event{
+			Unit: "deser", Name: state, Cycle: u.stats.FSMCycles,
+			Depth: depth, Field: field, Pos: pos, Note: note,
+		})
+	}
 }
 
 // blockingLoad charges a load the FSM waits on (typeInfo state, ADT
-// headers): full latency beyond the hidden buffer time.
+// headers): full latency beyond the hidden buffer time. Every blocking
+// load in this unit is an ADT header or entry fetch, so the charged
+// cycles are also attributed to the ADT-stall class.
 func (u *Unit) blockingLoad(addr, size uint64) {
 	lat := u.Port.Access(addr, size)
 	if lat > u.Cfg.HiddenLatency {
-		u.stats.FSMCycles += float64(lat - u.Cfg.HiddenLatency)
+		stall := float64(lat - u.Cfg.HiddenLatency)
+		u.stats.FSMCycles += stall
+		u.stats.ADTStallCycles += stall
 	}
 }
 
@@ -195,6 +255,7 @@ func (u *Unit) Deserialize(adtAddr, objAddr, bufAddr, bufLen uint64) (Stats, err
 	supply := float64((bufLen + u.Cfg.MemloaderWidth - 1) / u.Cfg.MemloaderWidth)
 	u.stats.SupplyCycles += supply
 	if fsmDelta := u.stats.FSMCycles - supplyStart; fsmDelta < supply {
+		u.stats.SupplyBoundCycles += supply - fsmDelta
 		u.stats.FSMCycles = supplyStart + supply
 	}
 	u.stats.Cycles = u.stats.FSMCycles
@@ -203,6 +264,9 @@ func (u *Unit) Deserialize(adtAddr, objAddr, bufAddr, bufLen uint64) (Stats, err
 	delta.Cycles -= before.Cycles
 	delta.FSMCycles -= before.FSMCycles
 	delta.SupplyCycles -= before.SupplyCycles
+	delta.SupplyBoundCycles -= before.SupplyBoundCycles
+	delta.SpillCycles -= before.SpillCycles
+	delta.ADTStallCycles -= before.ADTStallCycles
 	delta.BytesConsumed -= before.BytesConsumed
 	delta.FieldsParsed -= before.FieldsParsed
 	delta.Allocs -= before.Allocs
@@ -693,6 +757,7 @@ func (u *Unit) parseSubMessage(e adt.Entry, num int32, pos, end, objAddr, slotAd
 	u.fsm(4)
 	if depth+1 > u.Cfg.OnChipStackDepth {
 		u.stats.StackSpills++
+		u.stats.SpillCycles += u.Cfg.SpillPenalty
 		u.fsm(u.Cfg.SpillPenalty)
 	}
 	// A sub-message parse must not leave the parent's open region
@@ -705,6 +770,7 @@ func (u *Unit) parseSubMessage(e adt.Entry, num int32, pos, end, objAddr, slotAd
 	u.trace("subPop", depth, num, pos, "")
 	u.fsm(2)
 	if depth+1 > u.Cfg.OnChipStackDepth {
+		u.stats.SpillCycles += u.Cfg.SpillPenalty
 		u.fsm(u.Cfg.SpillPenalty)
 	}
 	return pos + n, nil
@@ -745,7 +811,9 @@ func (u *Unit) closeOpenRegion() error {
 	key := *u.open
 	u.open = nil
 	r := u.openRegions[key]
-	u.trace("closeOut", 0, key.num, 0, fmt.Sprintf("%d elems", len(r.elems)))
+	if u.tracing() {
+		u.trace("closeOut", 0, key.num, 0, fmt.Sprintf("%d elems", len(r.elems)))
+	}
 
 	words := uint64(len(r.elems))
 	count := words

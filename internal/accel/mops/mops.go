@@ -20,6 +20,7 @@ import (
 	"protoacc/internal/pb/schema"
 	"protoacc/internal/sim/mem"
 	"protoacc/internal/sim/memmodel"
+	"protoacc/internal/telemetry"
 )
 
 // Errors surfaced by the unit.
@@ -48,14 +49,19 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats reports the unit's work.
+// Stats reports the unit's work. SpillCycles and ADTStallCycles are
+// attribution trackers: they classify cycles already included in Cycles
+// (metadata-stack spill penalties and blocking ADT-load stalls) without
+// changing the charged totals.
 type Stats struct {
-	Cycles      float64
-	Clears      uint64
-	Copies      uint64
-	Merges      uint64
-	Allocs      uint64
-	BytesCopied uint64
+	Cycles         float64
+	SpillCycles    float64
+	ADTStallCycles float64
+	Clears         uint64
+	Copies         uint64
+	Merges         uint64
+	Allocs         uint64
+	BytesCopied    uint64
 }
 
 // Unit is the message-operations unit.
@@ -64,6 +70,11 @@ type Unit struct {
 	Port  *memmodel.Port
 	Arena *mem.Allocator
 	Cfg   Config
+
+	// Tracer, when set and enabled, receives one span event per
+	// operation (clear/copy/merge) on the unit's cumulative-cycle
+	// timeline. Nil is valid and means no tracing.
+	Tracer *telemetry.Tracer
 
 	stats Stats
 }
@@ -79,12 +90,46 @@ func (u *Unit) Stats() Stats { return u.stats }
 // ResetStats clears the accumulators.
 func (u *Unit) ResetStats() { u.stats = Stats{} }
 
+// CollectTelemetry implements telemetry.Collector.
+func (u *Unit) CollectTelemetry(emit func(name string, value float64)) {
+	emit("cycles", u.stats.Cycles)
+	emit("spill_cycles", u.stats.SpillCycles)
+	emit("adt_stall_cycles", u.stats.ADTStallCycles)
+	emit("clears", float64(u.stats.Clears))
+	emit("copies", float64(u.stats.Copies))
+	emit("merges", float64(u.stats.Merges))
+	emit("allocs", float64(u.stats.Allocs))
+	emit("bytes_copied", float64(u.stats.BytesCopied))
+}
+
+// traceOp emits one span event covering a whole operation: start is the
+// unit's cumulative cycle count when the op was issued, and the duration
+// is the op's cycle delta.
+func (u *Unit) traceOp(name string, start float64) {
+	if u.Tracer.Enabled() {
+		u.Tracer.Emit(telemetry.Event{
+			Unit: "mops", Name: name, Cycle: start, Dur: u.stats.Cycles - start,
+		})
+	}
+}
+
 func (u *Unit) fsm(c float64) { u.stats.Cycles += c }
 
 func (u *Unit) blockingLoad(addr, size uint64) {
 	lat := u.Port.Access(addr, size)
 	if lat > u.Cfg.HiddenLatency {
 		u.stats.Cycles += float64(lat - u.Cfg.HiddenLatency)
+	}
+}
+
+// adtLoad is a blockingLoad of ADT-resident metadata (headers, entries);
+// the stall is additionally attributed to the ADT-miss class.
+func (u *Unit) adtLoad(addr, size uint64) {
+	lat := u.Port.Access(addr, size)
+	if lat > u.Cfg.HiddenLatency {
+		stall := float64(lat - u.Cfg.HiddenLatency)
+		u.stats.Cycles += stall
+		u.stats.ADTStallCycles += stall
 	}
 }
 
@@ -126,12 +171,13 @@ func (u *Unit) streamCopy(dst, src, n uint64) error {
 // cleared field reads as absent.
 func (u *Unit) Clear(adtAddr, objAddr uint64) (Stats, error) {
 	before := u.stats
+	defer u.traceOp("clear", before.Cycles)
 	u.fsm(4) // dispatch
 	h, err := adt.ReadHeader(u.Mem, adtAddr)
 	if err != nil {
 		return Stats{}, err
 	}
-	u.blockingLoad(adtAddr, adt.HeaderSize)
+	u.adtLoad(adtAddr, adt.HeaderSize)
 	words := (uint64(h.FieldRange()) + 63) / 64
 	for w := uint64(0); w < words; w++ {
 		a := objAddr + h.HasbitsOffset + w*8
@@ -152,6 +198,7 @@ func (u *Unit) Clear(adtAddr, objAddr uint64) (Stats, error) {
 // allocation path and the serializer's hasbits scan.
 func (u *Unit) Copy(adtAddr, srcObj uint64) (uint64, Stats, error) {
 	before := u.stats
+	defer u.traceOp("copy", before.Cycles)
 	u.fsm(4)
 	dst, err := u.copyTree(adtAddr, srcObj, 1)
 	if err != nil {
@@ -166,13 +213,14 @@ func (u *Unit) copyTree(adtAddr, srcObj uint64, depth int) (uint64, error) {
 		return 0, ErrTooDeep
 	}
 	if depth > u.Cfg.OnChipStackDepth {
+		u.stats.SpillCycles += u.Cfg.SpillPenalty
 		u.fsm(u.Cfg.SpillPenalty)
 	}
 	h, err := adt.ReadHeader(u.Mem, adtAddr)
 	if err != nil {
 		return 0, err
 	}
-	u.blockingLoad(adtAddr, adt.HeaderSize)
+	u.adtLoad(adtAddr, adt.HeaderSize)
 	dstObj, err := u.arenaAlloc(h.ObjectSize)
 	if err != nil {
 		return 0, err
@@ -216,7 +264,7 @@ func (u *Unit) scanPresent(h adt.Header, adtAddr, objAddr uint64, fn func(int32,
 		if err != nil {
 			return fmt.Errorf("mops: hasbit set for undefined field %d: %w", num, err)
 		}
-		u.blockingLoad(adtAddr+adt.HeaderSize+idx*adt.EntrySize, adt.EntrySize)
+		u.adtLoad(adtAddr+adt.HeaderSize+idx*adt.EntrySize, adt.EntrySize)
 		if err := fn(num, entry); err != nil {
 			return err
 		}
@@ -360,6 +408,7 @@ func (u *Unit) fixupRepeated(e adt.Entry, srcSlot, dstSlot uint64, depth int) er
 // (source elements deep-copied into the arena).
 func (u *Unit) Merge(adtAddr, dstObj, srcObj uint64) (Stats, error) {
 	before := u.stats
+	defer u.traceOp("merge", before.Cycles)
 	u.fsm(4)
 	if err := u.mergeTree(adtAddr, dstObj, srcObj, 1); err != nil {
 		return Stats{}, err
@@ -373,13 +422,14 @@ func (u *Unit) mergeTree(adtAddr, dstObj, srcObj uint64, depth int) error {
 		return ErrTooDeep
 	}
 	if depth > u.Cfg.OnChipStackDepth {
+		u.stats.SpillCycles += u.Cfg.SpillPenalty
 		u.fsm(u.Cfg.SpillPenalty)
 	}
 	h, err := adt.ReadHeader(u.Mem, adtAddr)
 	if err != nil {
 		return err
 	}
-	u.blockingLoad(adtAddr, adt.HeaderSize)
+	u.adtLoad(adtAddr, adt.HeaderSize)
 	return u.scanPresent(h, adtAddr, srcObj, func(num int32, e adt.Entry) error {
 		// Set the destination hasbit (the hasbits writer path).
 		idx := uint64(num - h.MinField)
@@ -514,6 +564,8 @@ func (u *Unit) mergeRepeated(e adt.Entry, dstSlot, srcSlot uint64, dstHad bool, 
 func (u *Unit) delta(before Stats) Stats {
 	d := u.stats
 	d.Cycles -= before.Cycles
+	d.SpillCycles -= before.SpillCycles
+	d.ADTStallCycles -= before.ADTStallCycles
 	d.Clears -= before.Clears
 	d.Copies -= before.Copies
 	d.Merges -= before.Merges

@@ -27,6 +27,7 @@ import (
 	"protoacc/internal/pb/wire"
 	"protoacc/internal/sim/mem"
 	"protoacc/internal/sim/memmodel"
+	"protoacc/internal/telemetry"
 )
 
 // Errors surfaced by the unit.
@@ -64,7 +65,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats reports what a serialization did.
+// Stats reports what a serialization did. SpillCycles and ADTStallCycles
+// classify portions of the frontend's cycles by stall cause for the
+// telemetry layer's attribution breakdown.
 type Stats struct {
 	Cycles          float64
 	FrontendCycles  float64
@@ -75,6 +78,11 @@ type Stats struct {
 	Messages        uint64
 	StackSpills     uint64
 	MaxDepthSeen    int
+
+	// SpillCycles is the total context-stack spill penalty paid.
+	SpillCycles float64
+	// ADTStallCycles is frontend time blocked on ADT header/entry loads.
+	ADTStallCycles float64
 }
 
 // Unit is one serializer unit instance.
@@ -82,6 +90,10 @@ type Unit struct {
 	Mem  *mem.Memory
 	Port *memmodel.Port
 	Cfg  Config
+
+	// Tracer, when enabled, buffers message/field events on the
+	// System-owned trace stream. Assigned by core.New; nil is valid.
+	Tracer *telemetry.Tracer
 
 	// Output arena state (§4.5.1): a data buffer written high-to-low and
 	// a pointer buffer recording each completed output.
@@ -133,6 +145,33 @@ func (u *Unit) Output(i uint64) (addr, length uint64, err error) {
 // Stats returns cumulative statistics.
 func (u *Unit) Stats() Stats { return u.stats }
 
+// CollectTelemetry registers the unit's counters (telemetry.Collector).
+func (u *Unit) CollectTelemetry(emit func(name string, value float64)) {
+	emit("cycles", u.stats.Cycles)
+	emit("frontend_cycles", u.stats.FrontendCycles)
+	emit("field_unit_cycles", u.stats.FieldUnitCycles)
+	emit("memwriter_cycles", u.stats.MemwriterCycles)
+	emit("spill_cycles", u.stats.SpillCycles)
+	emit("adt_stall_cycles", u.stats.ADTStallCycles)
+	emit("bytes_produced", float64(u.stats.BytesProduced))
+	emit("fields_emitted", float64(u.stats.FieldsEmitted))
+	emit("messages", float64(u.stats.Messages))
+	emit("stack_spills", float64(u.stats.StackSpills))
+	emit("max_depth_seen", float64(u.stats.MaxDepthSeen))
+	emit("outputs", float64(u.ptrLen))
+}
+
+// trace emits one event on the System-owned stream, timestamped with the
+// frontend's cumulative cycle counter.
+func (u *Unit) trace(name string, depth int, field int32, note string) {
+	if u.Tracer.Enabled() {
+		u.Tracer.Emit(telemetry.Event{
+			Unit: "ser", Name: name, Cycle: u.stats.FrontendCycles,
+			Depth: depth, Field: field, Note: note,
+		})
+	}
+}
+
 // ResetStats clears the accumulators and per-op work tracking, returning
 // the unit to its post-construction state (the output arena is
 // re-assigned separately via AssignArena).
@@ -167,6 +206,18 @@ func (u *Unit) blockingLoad(addr, size uint64) {
 	lat := u.Port.Access(addr, size)
 	if lat > u.Cfg.HiddenLatency {
 		u.stats.FrontendCycles += float64(lat - u.Cfg.HiddenLatency)
+	}
+}
+
+// adtLoad is a blockingLoad of ADT-resident metadata (headers, entries,
+// is_submessage bit words); the stall is additionally attributed to the
+// ADT-miss class.
+func (u *Unit) adtLoad(addr, size uint64) {
+	lat := u.Port.Access(addr, size)
+	if lat > u.Cfg.HiddenLatency {
+		stall := float64(lat - u.Cfg.HiddenLatency)
+		u.stats.FrontendCycles += stall
+		u.stats.ADTStallCycles += stall
 	}
 }
 
@@ -252,6 +303,8 @@ func (u *Unit) Serialize(adtAddr, objAddr uint64) (Stats, error) {
 	delta.FrontendCycles -= before.FrontendCycles
 	delta.FieldUnitCycles -= before.FieldUnitCycles
 	delta.MemwriterCycles -= before.MemwriterCycles
+	delta.SpillCycles -= before.SpillCycles
+	delta.ADTStallCycles -= before.ADTStallCycles
 	delta.BytesProduced -= before.BytesProduced
 	delta.FieldsEmitted -= before.FieldsEmitted
 	delta.Messages -= before.Messages
@@ -287,7 +340,8 @@ func (u *Unit) serializeMessage(adtAddr, objAddr, end uint64, depth int) (uint64
 	if err != nil {
 		return 0, err
 	}
-	u.blockingLoad(adtAddr, adt.HeaderSize)
+	u.adtLoad(adtAddr, adt.HeaderSize)
+	u.trace("message", depth, 0, "")
 
 	rng := header.FieldRange()
 	if rng == 0 {
@@ -300,7 +354,7 @@ func (u *Unit) serializeMessage(adtAddr, objAddr, end uint64, depth int) (uint64
 	sbBase := adtAddr + adt.HeaderSize + uint64(rng)*adt.EntrySize
 	for w := uint64(0); w < words; w++ {
 		u.blockingLoad(hbBase+w*8, 8)
-		u.blockingLoad(sbBase+w*8, 8)
+		u.adtLoad(sbBase+w*8, 8)
 		u.frontend(1) // per-word scan step
 	}
 
@@ -322,7 +376,8 @@ func (u *Unit) serializeMessage(adtAddr, objAddr, end uint64, depth int) (uint64
 		if err != nil {
 			return 0, fmt.Errorf("ser: hasbit set for undefined field %d of ADT 0x%x: %w", num, adtAddr, err)
 		}
-		u.blockingLoad(entryAddr, adt.EntrySize)
+		u.adtLoad(entryAddr, adt.EntrySize)
+		u.trace("field", depth, num, entry.Kind.String())
 
 		endOp := u.beginOp()
 		pos, err = u.serializeField(entry, num, objAddr, pos, depth)
@@ -476,9 +531,11 @@ func (u *Unit) emitString(num int32, ptr, n, pos uint64) (uint64, error) {
 // serializeSubMessage recurses with a context-stack push/pop; the
 // memwriter injects the key+length once the body is complete (§4.5.5).
 func (u *Unit) serializeSubMessage(subADT, subObj uint64, num int32, pos uint64, depth int) (uint64, error) {
+	u.trace("subPush", depth, num, "")
 	u.frontend(5) // context save + sub-message pointer/ADT loads issued
 	if depth+1 > u.Cfg.OnChipStackDepth {
 		u.stats.StackSpills++
+		u.stats.SpillCycles += u.Cfg.SpillPenalty
 		u.frontend(u.Cfg.SpillPenalty)
 	}
 	bodyEnd := pos
@@ -498,8 +555,10 @@ func (u *Unit) serializeSubMessage(subADT, subObj uint64, num int32, pos uint64,
 	if err != nil {
 		return 0, err
 	}
+	u.trace("subPop", depth, num, "")
 	u.frontend(2) // context restore
 	if depth+1 > u.Cfg.OnChipStackDepth {
+		u.stats.SpillCycles += u.Cfg.SpillPenalty
 		u.frontend(u.Cfg.SpillPenalty)
 	}
 	return pos, nil

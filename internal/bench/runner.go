@@ -45,6 +45,16 @@ type Options struct {
 	// 1 forces serial execution. Results are bitwise-identical at any
 	// setting — parallel runs gather by index, not completion order.
 	Parallelism int
+
+	// Telemetry, when non-nil, receives each run's end-of-run counter
+	// snapshot. Counters are per-run (Systems are reset on pool reuse),
+	// so recorded values are independent of pooling and parallelism.
+	Telemetry *TelemetrySink
+
+	// Trace, when non-nil, enables the matching runs' System tracers and
+	// captures their event streams. Tracing is per-System state, not
+	// Config state, so traced runs still pool.
+	Trace *TraceCapture
 }
 
 // DefaultOptions returns the standard settings: one warm-up batch, paper
@@ -110,10 +120,21 @@ func Run(k core.Kind, op Op, w Workload, opts Options) (Measurement, error) {
 	cfg := sizedConfig(opts.Config(k), w.Bytes, op)
 	cfg.SoftwareArenas = opts.SoftwareArenas
 	sys := core.DefaultPool.Get(cfg)
+	traced := opts.Trace.Matches(w.Name, k)
+	if traced {
+		sys.Telemetry().Tracer.Enable()
+	}
 	m, err := runOn(sys, op, w, opts)
 	if err != nil {
 		// A failed run may leave the System mid-operation; drop it.
 		return Measurement{}, err
+	}
+	if opts.Telemetry != nil {
+		opts.Telemetry.Record(w.Name, k, op, sys.Telemetry().Registry.Snapshot())
+	}
+	if traced {
+		opts.Trace.Record(w.Name, k, op, sys.Telemetry().Tracer.TakeEvents())
+		sys.Telemetry().Tracer.Reset()
 	}
 	core.DefaultPool.Put(sys)
 	return m, nil

@@ -26,6 +26,7 @@ import (
 	"protoacc/internal/sim/mem"
 	"protoacc/internal/sim/memmodel"
 	"protoacc/internal/sim/rocc"
+	"protoacc/internal/telemetry"
 )
 
 // Kind selects which evaluated system a System models.
@@ -116,6 +117,11 @@ type Result struct {
 
 	ObjAddr  uint64 // deserialization destination object
 	WireAddr uint64 // serialization output
+
+	// Telemetry carries the operation's counter delta and cycle
+	// attribution when per-op telemetry is enabled on the System
+	// (Telemetry().EnablePerOp(true)); nil otherwise.
+	Telemetry *telemetry.OpTelemetry
 }
 
 // Throughput returns the operation's Gbit/s over its serialized bytes,
@@ -150,6 +156,8 @@ type System struct {
 	serPtrs *mem.Region
 
 	adtAlloc *mem.Allocator
+
+	tel telemetry.Hub
 }
 
 // New builds a System.
@@ -186,8 +194,28 @@ func New(cfg Config) *System {
 		}
 		s.Accel.AssignArenas(s.Arena, s.serData, s.serPtrs)
 	}
+	// Register every unit's counters and hand each tracing-capable unit
+	// the System's trace buffer (disabled until somebody enables it).
+	s.tel.Registry.Register("mem", s.MemSys)
+	s.tel.Registry.Register("cpu", s.CPU)
+	if s.Accel != nil {
+		s.tel.Registry.Register("rocc", s.Accel)
+		s.tel.Registry.Register("deser", s.Accel.Deser)
+		s.tel.Registry.Register("ser", s.Accel.Ser)
+		s.tel.Registry.Register("mops", s.Accel.Mops)
+		s.Accel.Tracer = &s.tel.Tracer
+		s.Accel.Deser.Tracer = &s.tel.Tracer
+		s.Accel.Ser.Tracer = &s.tel.Tracer
+		s.Accel.Mops.Tracer = &s.tel.Tracer
+	}
 	return s
 }
+
+// Telemetry returns the System's telemetry hub: the counter registry
+// covering every unit, the shared trace buffer, and the per-op Result
+// attachment switch. Tracing and per-op capture are System-local state,
+// not Config state, so enabling them does not fragment the System pool.
+func (s *System) Telemetry() *telemetry.Hub { return &s.tel }
 
 // LoadSchema registers message types and builds their ADTs (program-load
 // work, outside any timed region). Subsequent calls rebuild the table set
@@ -253,36 +281,47 @@ func (s *System) Deserialize(t *schema.Message, bufAddr, bufLen uint64) (Result,
 	if err != nil {
 		return Result{}, err
 	}
+	began := s.tel.OpBegin()
 	if s.Accel != nil {
 		if s.adts == nil || s.adts.Addr(t) == 0 {
 			return Result{}, fmt.Errorf("core: type %s not loaded", t.Name)
 		}
-		busy, _, err := s.Accel.DeserializeOp(s.adts.Addr(t), objAddr, bufAddr, bufLen)
+		busy, st, err := s.Accel.DeserializeOp(s.adts.Addr(t), objAddr, bufAddr, bufLen)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{
+		res := Result{
 			Cycles:  busy,
 			Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9),
 			Bytes:   bufLen,
 			ObjAddr: objAddr,
-		}, nil
+		}
+		if began {
+			res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(
+				busy, st.SupplyBoundCycles, st.SpillCycles, st.ADTStallCycles))
+		}
+		return res, nil
 	}
 	start := s.CPU.Cycles()
 	if err := s.CPU.Deserialize(t, bufAddr, bufLen, objAddr); err != nil {
 		return Result{}, err
 	}
 	cy := s.CPU.Cycles() - start
-	return Result{
+	res := Result{
 		Cycles:  cy,
 		Seconds: s.CPU.Seconds(cy),
 		Bytes:   bufLen,
 		ObjAddr: objAddr,
-	}, nil
+	}
+	if began {
+		res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(cy, 0, 0, 0))
+	}
+	return res, nil
 }
 
 // Serialize runs the timed serialization of the object at objAddr.
 func (s *System) Serialize(t *schema.Message, objAddr uint64) (Result, error) {
+	began := s.tel.OpBegin()
 	if s.Accel != nil {
 		if s.adts == nil || s.adts.Addr(t) == 0 {
 			return Result{}, fmt.Errorf("core: type %s not loaded", t.Name)
@@ -298,12 +337,17 @@ func (s *System) Serialize(t *schema.Message, objAddr uint64) (Result, error) {
 		if n != st.BytesProduced {
 			return Result{}, errors.New("core: serializer length bookkeeping mismatch")
 		}
-		return Result{
+		res := Result{
 			Cycles:   busy,
 			Seconds:  busy / (s.Cfg.AccelFreqGHz * 1e9),
 			Bytes:    n,
 			WireAddr: addr,
-		}, nil
+		}
+		if began {
+			res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(
+				busy, 0, st.SpillCycles, st.ADTStallCycles))
+		}
+		return res, nil
 	}
 	start := s.CPU.Cycles()
 	addr, n, err := s.CPU.Serialize(t, objAddr, s.Out)
@@ -311,12 +355,16 @@ func (s *System) Serialize(t *schema.Message, objAddr uint64) (Result, error) {
 		return Result{}, err
 	}
 	cy := s.CPU.Cycles() - start
-	return Result{
+	res := Result{
 		Cycles:   cy,
 		Seconds:  s.CPU.Seconds(cy),
 		Bytes:    n,
 		WireAddr: addr,
-	}, nil
+	}
+	if began {
+		res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(cy, 0, 0, 0))
+	}
+	return res, nil
 }
 
 // WireRef locates one serialized buffer in simulated memory.
@@ -331,6 +379,14 @@ type WireRef struct {
 func (s *System) DeserializeBatch(t *schema.Message, refs []WireRef) (Result, []uint64, error) {
 	objs := make([]uint64, len(refs))
 	var total Result
+	// Batches snapshot the registry directly rather than via Hub.OpBegin:
+	// the software path below re-enters Deserialize per item, and the
+	// Hub's single scratch snapshot must stay owned by the innermost op.
+	began := s.tel.PerOpEnabled()
+	var prev telemetry.Snapshot
+	if began {
+		prev = s.tel.Registry.Snapshot()
+	}
 	if s.Accel == nil {
 		for i, r := range refs {
 			res, err := s.Deserialize(t, r.Addr, r.Len)
@@ -342,11 +398,18 @@ func (s *System) DeserializeBatch(t *schema.Message, refs []WireRef) (Result, []
 			total.Bytes += res.Bytes
 		}
 		total.Seconds = s.CPU.Seconds(total.Cycles)
+		if began {
+			total.Telemetry = &telemetry.OpTelemetry{
+				Counters:    s.tel.Registry.Snapshot().Delta(prev),
+				Attribution: telemetry.NewAttribution(total.Cycles, 0, 0, 0),
+			}
+		}
 		return total, objs, nil
 	}
 	if s.adts == nil || s.adts.Addr(t) == 0 {
 		return Result{}, nil, fmt.Errorf("core: type %s not loaded", t.Name)
 	}
+	before := s.Accel.Deser.Stats()
 	adtAddr := s.adts.Addr(t)
 	for i, r := range refs {
 		obj, err := s.AllocTopLevel(t)
@@ -368,6 +431,16 @@ func (s *System) DeserializeBatch(t *schema.Message, refs []WireRef) (Result, []
 	}
 	total.Cycles = busy
 	total.Seconds = busy / (s.Cfg.AccelFreqGHz * 1e9)
+	if began {
+		after := s.Accel.Deser.Stats()
+		total.Telemetry = &telemetry.OpTelemetry{
+			Counters: s.tel.Registry.Snapshot().Delta(prev),
+			Attribution: telemetry.NewAttribution(busy,
+				after.SupplyBoundCycles-before.SupplyBoundCycles,
+				after.SpillCycles-before.SpillCycles,
+				after.ADTStallCycles-before.ADTStallCycles),
+		}
+	}
 	return total, objs, nil
 }
 
@@ -376,6 +449,11 @@ func (s *System) DeserializeBatch(t *schema.Message, refs []WireRef) (Result, []
 func (s *System) SerializeBatch(t *schema.Message, objAddrs []uint64) (Result, []WireRef, error) {
 	refs := make([]WireRef, len(objAddrs))
 	var total Result
+	began := s.tel.PerOpEnabled()
+	var prev telemetry.Snapshot
+	if began {
+		prev = s.tel.Registry.Snapshot()
+	}
 	if s.Accel == nil {
 		for i, obj := range objAddrs {
 			res, err := s.Serialize(t, obj)
@@ -387,11 +465,18 @@ func (s *System) SerializeBatch(t *schema.Message, objAddrs []uint64) (Result, [
 			total.Bytes += res.Bytes
 		}
 		total.Seconds = s.CPU.Seconds(total.Cycles)
+		if began {
+			total.Telemetry = &telemetry.OpTelemetry{
+				Counters:    s.tel.Registry.Snapshot().Delta(prev),
+				Attribution: telemetry.NewAttribution(total.Cycles, 0, 0, 0),
+			}
+		}
 		return total, refs, nil
 	}
 	if s.adts == nil || s.adts.Addr(t) == 0 {
 		return Result{}, nil, fmt.Errorf("core: type %s not loaded", t.Name)
 	}
+	before := s.Accel.Ser.Stats()
 	adtAddr := s.adts.Addr(t)
 	firstOut := s.Accel.Ser.Outputs()
 	for _, obj := range objAddrs {
@@ -416,36 +501,59 @@ func (s *System) SerializeBatch(t *schema.Message, objAddrs []uint64) (Result, [
 	}
 	total.Cycles = busy
 	total.Seconds = busy / (s.Cfg.AccelFreqGHz * 1e9)
+	if began {
+		after := s.Accel.Ser.Stats()
+		total.Telemetry = &telemetry.OpTelemetry{
+			Counters: s.tel.Registry.Snapshot().Delta(prev),
+			Attribution: telemetry.NewAttribution(busy, 0,
+				after.SpillCycles-before.SpillCycles,
+				after.ADTStallCycles-before.ADTStallCycles),
+		}
+	}
 	return total, refs, nil
 }
 
 // Clear resets all presence state of the object at objAddr (the §7
 // clear operator).
 func (s *System) Clear(t *schema.Message, objAddr uint64) (Result, error) {
+	began := s.tel.OpBegin()
 	if s.Accel != nil {
 		busy, err := s.Accel.ClearOp(s.adts.Addr(t), objAddr)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Cycles: busy, Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9), ObjAddr: objAddr}, nil
+		res := Result{Cycles: busy, Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9), ObjAddr: objAddr}
+		if began {
+			res.Telemetry = s.tel.OpEnd(s.mopsAttribution(busy))
+		}
+		return res, nil
 	}
 	start := s.CPU.Cycles()
 	if err := s.CPU.ClearObject(t, objAddr); err != nil {
 		return Result{}, err
 	}
 	cy := s.CPU.Cycles() - start
-	return Result{Cycles: cy, Seconds: s.CPU.Seconds(cy), ObjAddr: objAddr}, nil
+	res := Result{Cycles: cy, Seconds: s.CPU.Seconds(cy), ObjAddr: objAddr}
+	if began {
+		res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(cy, 0, 0, 0))
+	}
+	return res, nil
 }
 
 // Copy deep-copies the object at srcObj, returning the new object (the §7
 // copy operator).
 func (s *System) Copy(t *schema.Message, srcObj uint64) (Result, error) {
+	began := s.tel.OpBegin()
 	if s.Accel != nil {
 		busy, dst, err := s.Accel.CopyOp(s.adts.Addr(t), srcObj)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Cycles: busy, Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9), ObjAddr: dst}, nil
+		res := Result{Cycles: busy, Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9), ObjAddr: dst}
+		if began {
+			res.Telemetry = s.tel.OpEnd(s.mopsAttribution(busy))
+		}
+		return res, nil
 	}
 	start := s.CPU.Cycles()
 	dst, err := s.CPU.CopyObject(t, srcObj)
@@ -453,25 +561,48 @@ func (s *System) Copy(t *schema.Message, srcObj uint64) (Result, error) {
 		return Result{}, err
 	}
 	cy := s.CPU.Cycles() - start
-	return Result{Cycles: cy, Seconds: s.CPU.Seconds(cy), ObjAddr: dst}, nil
+	res := Result{Cycles: cy, Seconds: s.CPU.Seconds(cy), ObjAddr: dst}
+	if began {
+		res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(cy, 0, 0, 0))
+	}
+	return res, nil
 }
 
 // Merge merges srcObj into dstObj with proto2 semantics (the §7 merge
 // operator).
 func (s *System) Merge(t *schema.Message, dstObj, srcObj uint64) (Result, error) {
+	began := s.tel.OpBegin()
 	if s.Accel != nil {
 		busy, err := s.Accel.MergeOp(s.adts.Addr(t), dstObj, srcObj)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Cycles: busy, Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9), ObjAddr: dstObj}, nil
+		res := Result{Cycles: busy, Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9), ObjAddr: dstObj}
+		if began {
+			res.Telemetry = s.tel.OpEnd(s.mopsAttribution(busy))
+		}
+		return res, nil
 	}
 	start := s.CPU.Cycles()
 	if err := s.CPU.MergeObjects(t, dstObj, srcObj); err != nil {
 		return Result{}, err
 	}
 	cy := s.CPU.Cycles() - start
-	return Result{Cycles: cy, Seconds: s.CPU.Seconds(cy), ObjAddr: dstObj}, nil
+	res := Result{Cycles: cy, Seconds: s.CPU.Seconds(cy), ObjAddr: dstObj}
+	if began {
+		res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(cy, 0, 0, 0))
+	}
+	return res, nil
+}
+
+// mopsAttribution builds the cycle attribution for the message-operations
+// op that just completed (its per-op stats are the last MopsOps entry).
+func (s *System) mopsAttribution(busy float64) telemetry.Attribution {
+	if n := len(s.Accel.MopsOps); n > 0 {
+		st := s.Accel.MopsOps[n-1]
+		return telemetry.NewAttribution(busy, 0, st.SpillCycles, st.ADTStallCycles)
+	}
+	return telemetry.NewAttribution(busy, 0, 0, 0)
 }
 
 // ResetWork rewinds the resettable allocators (heap, accelerator arena,
@@ -516,6 +647,7 @@ func (s *System) ResetAll() {
 		s.Accel.Reset()
 		s.Accel.Ser.AssignArena(s.serData, s.serPtrs)
 	}
+	s.tel.Reset()
 }
 
 // Name returns the system's display name ("riscv-boom", "Xeon",

@@ -38,9 +38,11 @@ func NewPool(max int) *Pool {
 // DefaultPool is the process-wide pool used by the bench harness.
 var DefaultPool = NewPool(0)
 
-// poolKey fingerprints a Config. Configs carrying a trace callback are
-// not poolable (func values cannot be compared, and traced runs are
-// debugging runs anyway).
+// poolKey fingerprints a Config. Configs carrying the deprecated
+// deser.Config.Trace callback are not poolable (func values cannot be
+// compared); telemetry-based tracing does not have this problem — it is
+// System state enabled after Get via Telemetry().Tracer.Enable(), so
+// traced runs pool normally and ResetAll clears the buffer on recycle.
 func poolKey(cfg Config) (string, bool) {
 	if cfg.Deser.Trace != nil {
 		return "", false

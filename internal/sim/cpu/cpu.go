@@ -147,6 +147,13 @@ type CPU struct {
 	UseArena bool
 
 	cycles float64
+
+	// Operation counters (telemetry only; no cycle effect).
+	serializes   uint64
+	deserializes uint64
+	clears       uint64
+	copies       uint64
+	merges       uint64
 }
 
 // New creates a CPU model.
@@ -157,8 +164,21 @@ func New(p Params, m *mem.Memory, port *memmodel.Port, heap *mem.Allocator, reg 
 // Cycles returns the cycles accumulated so far.
 func (c *CPU) Cycles() float64 { return c.cycles }
 
-// ResetCycles zeroes the accumulator.
-func (c *CPU) ResetCycles() { c.cycles = 0 }
+// ResetCycles zeroes the accumulator and the operation counters.
+func (c *CPU) ResetCycles() {
+	c.cycles = 0
+	c.serializes, c.deserializes, c.clears, c.copies, c.merges = 0, 0, 0, 0, 0
+}
+
+// CollectTelemetry implements the telemetry Collector contract.
+func (c *CPU) CollectTelemetry(emit func(name string, value float64)) {
+	emit("cycles", c.cycles)
+	emit("serializes", float64(c.serializes))
+	emit("deserializes", float64(c.deserializes))
+	emit("clears", float64(c.clears))
+	emit("copies", float64(c.copies))
+	emit("merges", float64(c.merges))
+}
 
 // Seconds converts a cycle count to seconds at this CPU's frequency.
 func (c *CPU) Seconds(cycles float64) float64 {
@@ -197,6 +217,7 @@ func (c *CPU) memcpyCost(n uint64) {
 // t), writing the wire bytes into space allocated from out. Returns the
 // output address and length.
 func (c *CPU) Serialize(t *schema.Message, objAddr uint64, out *mem.Allocator) (uint64, uint64, error) {
+	c.serializes++
 	c.charge(c.P.FrontendPressure)
 	sizes := make(map[uint64]uint64) // the C++ cached_size fields
 	n, err := c.sizePass(t, objAddr, sizes)

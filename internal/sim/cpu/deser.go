@@ -46,6 +46,7 @@ type deserCtx struct {
 // allocated) object at objAddr, allocating sub-objects and payloads from
 // the CPU's heap. Unknown fields are skipped (charged but not preserved).
 func (c *CPU) Deserialize(t *schema.Message, bufAddr, bufLen, objAddr uint64) error {
+	c.deserializes++
 	c.charge(c.P.FrontendPressure)
 	ctx := &deserCtx{reps: make(map[repKey]*repState)}
 	return c.parseMessage(ctx, t, bufAddr, bufLen, objAddr, maxDepth)

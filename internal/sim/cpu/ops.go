@@ -15,6 +15,7 @@ import (
 // C++ Clear walks present fields to release/reset them before clearing
 // the bits, so the walk is charged first.
 func (c *CPU) ClearObject(t *schema.Message, objAddr uint64) error {
+	c.clears++
 	l := c.Reg.Layout(t)
 	c.charge(c.P.MessageSetup / 2)
 	for _, fl := range l.Fields {
@@ -39,6 +40,7 @@ func (c *CPU) ClearObject(t *schema.Message, objAddr uint64) error {
 // CopyObject deep-copies the object at srcObj into a freshly allocated
 // object and returns its address (C++ CopyFrom onto a new message).
 func (c *CPU) CopyObject(t *schema.Message, srcObj uint64) (uint64, error) {
+	c.copies++
 	dst, err := c.allocObject(t)
 	if err != nil {
 		return 0, err
@@ -49,6 +51,7 @@ func (c *CPU) CopyObject(t *schema.Message, srcObj uint64) (uint64, error) {
 // MergeObjects merges src into dst with proto2 semantics, charging
 // per-field software costs.
 func (c *CPU) MergeObjects(t *schema.Message, dstObj, srcObj uint64) error {
+	c.merges++
 	return c.mergeObjects(t, dstObj, srcObj, maxDepth)
 }
 

@@ -209,6 +209,57 @@ func (s *System) L2Stats() LevelStats { return s.l2.stats }
 // LLCStats returns the shared LLC's counters.
 func (s *System) LLCStats() LevelStats { return s.llc.stats }
 
+// DRAMAccesses returns how many accesses reached DRAM (LLC misses).
+func (s *System) DRAMAccesses() uint64 { return s.llc.stats.Misses }
+
+// PortNames returns the names of every port, in creation order.
+func (s *System) PortNames() []string {
+	out := make([]string, len(s.ports))
+	for i, p := range s.ports {
+		out[i] = p.name
+	}
+	return out
+}
+
+// L1Stats returns the named port's private L1 counters; ok is false when
+// no such port exists.
+func (s *System) L1Stats(port string) (LevelStats, bool) {
+	for _, p := range s.ports {
+		if p.name == port {
+			return p.l1.stats, true
+		}
+	}
+	return LevelStats{}, false
+}
+
+// TLBStats returns the named port's TLB counters; ok is false when no
+// such port exists.
+func (s *System) TLBStats(port string) (LevelStats, bool) {
+	for _, p := range s.ports {
+		if p.name == port {
+			return p.tlb.stats, true
+		}
+	}
+	return LevelStats{}, false
+}
+
+// CollectTelemetry implements the telemetry Collector contract: shared
+// levels first (l2, llc, dram), then each port's private L1 and TLB in
+// creation order, named "l1/<port>/..." and "tlb/<port>/...".
+func (s *System) CollectTelemetry(emit func(name string, value float64)) {
+	emit("l2/hits", float64(s.l2.stats.Hits))
+	emit("l2/misses", float64(s.l2.stats.Misses))
+	emit("llc/hits", float64(s.llc.stats.Hits))
+	emit("llc/misses", float64(s.llc.stats.Misses))
+	emit("dram/accesses", float64(s.llc.stats.Misses))
+	for _, p := range s.ports {
+		emit("l1/"+p.name+"/hits", float64(p.l1.stats.Hits))
+		emit("l1/"+p.name+"/misses", float64(p.l1.stats.Misses))
+		emit("tlb/"+p.name+"/hits", float64(p.tlb.stats.Hits))
+		emit("tlb/"+p.name+"/misses", float64(p.tlb.stats.Misses))
+	}
+}
+
 // Port is one agent's view of the memory system: a private L1 and TLB in
 // front of the shared levels. The BOOM core and the accelerator each own
 // a Port.

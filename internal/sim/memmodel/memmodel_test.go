@@ -178,3 +178,50 @@ func TestWorkingSetLocality(t *testing.T) {
 		t.Errorf("streaming scan avg = %f cycles, should be expensive", avgBig)
 	}
 }
+
+// TestSystemStatAccessors covers the by-name hierarchy accessors the
+// telemetry layer and external tooling use.
+func TestSystemStatAccessors(t *testing.T) {
+	sys := NewSystem(testConfig())
+	cpu := sys.NewPort("cpu")
+	sys.NewPort("accel")
+	cpu.Access(0x10000, 8) // cold: misses all the way to DRAM
+	cpu.Access(0x10000, 8) // warm: L1 hit
+
+	if got := sys.PortNames(); len(got) != 2 || got[0] != "cpu" || got[1] != "accel" {
+		t.Errorf("PortNames = %v", got)
+	}
+	if st, ok := sys.L1Stats("cpu"); !ok || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("L1Stats(cpu) = %+v, %v", st, ok)
+	}
+	if st, ok := sys.L1Stats("accel"); !ok || st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("L1Stats(accel) = %+v, %v", st, ok)
+	}
+	if st, ok := sys.TLBStats("cpu"); !ok || st.Misses != 1 {
+		t.Errorf("TLBStats(cpu) = %+v, %v", st, ok)
+	}
+	if _, ok := sys.L1Stats("nope"); ok {
+		t.Error("L1Stats found a nonexistent port")
+	}
+	if _, ok := sys.TLBStats("nope"); ok {
+		t.Error("TLBStats found a nonexistent port")
+	}
+	if got, want := sys.DRAMAccesses(), sys.LLCStats().Misses; got != want {
+		t.Errorf("DRAMAccesses = %d, LLC misses = %d", got, want)
+	}
+
+	counters := map[string]float64{}
+	sys.CollectTelemetry(func(name string, v float64) { counters[name] = v })
+	for _, name := range []string{
+		"l2/hits", "l2/misses", "llc/hits", "llc/misses", "dram/accesses",
+		"l1/cpu/hits", "l1/cpu/misses", "tlb/cpu/hits", "tlb/cpu/misses",
+		"l1/accel/hits", "l1/accel/misses", "tlb/accel/hits", "tlb/accel/misses",
+	} {
+		if _, ok := counters[name]; !ok {
+			t.Errorf("CollectTelemetry missing %q", name)
+		}
+	}
+	if counters["l1/cpu/hits"] != 1 || counters["dram/accesses"] != 1 {
+		t.Errorf("counter values off: %v", counters)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"protoacc/internal/accel/mops"
 	"protoacc/internal/accel/ser"
 	"protoacc/internal/sim/mem"
+	"protoacc/internal/telemetry"
 )
 
 // Opcode selects one of the accelerator's custom instructions.
@@ -93,11 +94,32 @@ type Accelerator struct {
 	mopsADT, mopsDst   uint64
 	mopsInfoValid      bool
 
+	// Tracer, when set and enabled, receives one event per issued
+	// command on the router's cumulative-dispatch timeline (do_proto_*
+	// kick-offs become spans covering the unit's busy time). Nil is
+	// valid and means no tracing.
+	Tracer *telemetry.Tracer
+
 	// Cycle accounting since the last block_for_*_completion.
 	dispatch      float64
 	deserInFlight float64
 	serInFlight   float64
 	mopsInFlight  float64
+
+	// Telemetry counters (cumulative until Reset; barriers do not clear
+	// them). cumDispatch is the router's own timeline for trace
+	// timestamps; pending/queueHighWater track how many do_proto_*
+	// operations were outstanding between barriers at the worst point.
+	commands       uint64
+	fences         uint64
+	deserOps       uint64
+	serOps         uint64
+	mopsOps        uint64
+	cumDispatch    float64
+	pendingDeser   int
+	pendingSer     int
+	pendingMops    int
+	queueHighWater int
 
 	// Completed operation stats, appended per do_proto_*.
 	DeserOps []deser.Stats
@@ -109,20 +131,54 @@ type Accelerator struct {
 	CopyResults []uint64
 }
 
+// CollectTelemetry implements telemetry.Collector.
+func (a *Accelerator) CollectTelemetry(emit func(name string, value float64)) {
+	emit("commands", float64(a.commands))
+	emit("fences", float64(a.fences))
+	emit("deser_ops", float64(a.deserOps))
+	emit("ser_ops", float64(a.serOps))
+	emit("mops_ops", float64(a.mopsOps))
+	emit("dispatch_cycles", a.cumDispatch)
+	emit("queue_high_water", float64(a.queueHighWater))
+}
+
+// traceCmd emits one command event on the router's dispatch timeline;
+// dur > 0 marks a do_proto_* kick-off spanning the unit's busy time.
+func (a *Accelerator) traceCmd(op Opcode, rs1 uint64, dur float64) {
+	if a.Tracer.Enabled() {
+		a.Tracer.Emit(telemetry.Event{
+			Unit: "rocc", Name: op.String(), Cycle: a.cumDispatch, Dur: dur, Pos: rs1,
+		})
+	}
+}
+
+// enqueued bumps the per-class outstanding-operation count and the
+// high-water mark across all classes.
+func (a *Accelerator) enqueued(class *int) {
+	*class++
+	if q := a.pendingDeser + a.pendingSer + a.pendingMops; q > a.queueHighWater {
+		a.queueHighWater = q
+	}
+}
+
 // Issue executes one RoCC instruction. Operations complete "in the
 // background": their cycle counts accumulate until the matching
 // block_for_*_completion instruction is issued, whose return value is the
 // total accelerator-busy time for the batch.
 func (a *Accelerator) Issue(cmd Command) (float64, error) {
 	a.dispatch += DispatchCycles
+	a.cumDispatch += DispatchCycles
+	a.commands++
 	switch cmd.Op {
 	case OpDeserAssignArena, OpSerAssignArena:
 		// Arena regions are assigned via AssignArenas (addresses alone
 		// are not enough to recover region bounds in the model).
+		a.traceCmd(cmd.Op, cmd.RS1, 0)
 		return 0, nil
 	case OpDeserInfo:
 		a.deserADT, a.deserObj = cmd.RS1, cmd.RS2
 		a.deserInfoValid = true
+		a.traceCmd(cmd.Op, cmd.RS1, 0)
 		return 0, nil
 	case OpDoProtoDeser:
 		if !a.deserInfoValid {
@@ -135,10 +191,14 @@ func (a *Accelerator) Issue(cmd Command) (float64, error) {
 		}
 		a.DeserOps = append(a.DeserOps, st)
 		a.deserInFlight += st.Cycles
+		a.deserOps++
+		a.enqueued(&a.pendingDeser)
+		a.traceCmd(cmd.Op, cmd.RS1, st.Cycles)
 		return 0, nil
 	case OpSerInfo:
 		a.serHasbitsOff, a.serMinMax = cmd.RS1, cmd.RS2
 		a.serInfoValid = true
+		a.traceCmd(cmd.Op, cmd.RS1, 0)
 		return 0, nil
 	case OpDoProtoSer:
 		if !a.serInfoValid {
@@ -151,18 +211,28 @@ func (a *Accelerator) Issue(cmd Command) (float64, error) {
 		}
 		a.SerOps = append(a.SerOps, st)
 		a.serInFlight += st.Cycles
+		a.serOps++
+		a.enqueued(&a.pendingSer)
+		a.traceCmd(cmd.Op, cmd.RS1, st.Cycles)
 		return 0, nil
 	case OpBlockForDeserCompletion:
 		busy := a.deserInFlight + a.dispatch + FenceCycles
 		a.deserInFlight, a.dispatch = 0, 0
+		a.fences++
+		a.pendingDeser = 0
+		a.traceCmd(cmd.Op, 0, 0)
 		return busy, nil
 	case OpBlockForSerCompletion:
 		busy := a.serInFlight + a.dispatch + FenceCycles
 		a.serInFlight, a.dispatch = 0, 0
+		a.fences++
+		a.pendingSer = 0
+		a.traceCmd(cmd.Op, 0, 0)
 		return busy, nil
 	case OpMopsInfo:
 		a.mopsADT, a.mopsDst = cmd.RS1, cmd.RS2
 		a.mopsInfoValid = true
+		a.traceCmd(cmd.Op, cmd.RS1, 0)
 		return 0, nil
 	case OpDoProtoClear:
 		if !a.mopsInfoValid {
@@ -175,6 +245,9 @@ func (a *Accelerator) Issue(cmd Command) (float64, error) {
 		}
 		a.MopsOps = append(a.MopsOps, st)
 		a.mopsInFlight += st.Cycles
+		a.mopsOps++
+		a.enqueued(&a.pendingMops)
+		a.traceCmd(cmd.Op, cmd.RS1, st.Cycles)
 		return 0, nil
 	case OpDoProtoCopy:
 		if !a.mopsInfoValid {
@@ -188,6 +261,9 @@ func (a *Accelerator) Issue(cmd Command) (float64, error) {
 		a.MopsOps = append(a.MopsOps, st)
 		a.CopyResults = append(a.CopyResults, dst)
 		a.mopsInFlight += st.Cycles
+		a.mopsOps++
+		a.enqueued(&a.pendingMops)
+		a.traceCmd(cmd.Op, cmd.RS1, st.Cycles)
 		return 0, nil
 	case OpDoProtoMerge:
 		if !a.mopsInfoValid {
@@ -200,10 +276,16 @@ func (a *Accelerator) Issue(cmd Command) (float64, error) {
 		}
 		a.MopsOps = append(a.MopsOps, st)
 		a.mopsInFlight += st.Cycles
+		a.mopsOps++
+		a.enqueued(&a.pendingMops)
+		a.traceCmd(cmd.Op, cmd.RS1, st.Cycles)
 		return 0, nil
 	case OpBlockForMopsCompletion:
 		busy := a.mopsInFlight + a.dispatch + FenceCycles
 		a.mopsInFlight, a.dispatch = 0, 0
+		a.fences++
+		a.pendingMops = 0
+		a.traceCmd(cmd.Op, 0, 0)
 		return busy, nil
 	default:
 		return 0, fmt.Errorf("%w: unknown opcode %v", ErrState, cmd.Op)
@@ -221,6 +303,9 @@ func (a *Accelerator) Reset() {
 	a.mopsADT, a.mopsDst, a.mopsInfoValid = 0, 0, false
 	a.dispatch, a.deserInFlight, a.serInFlight, a.mopsInFlight = 0, 0, 0, 0
 	a.DeserOps, a.SerOps, a.MopsOps, a.CopyResults = nil, nil, nil, nil
+	a.commands, a.fences, a.deserOps, a.serOps, a.mopsOps = 0, 0, 0, 0, 0
+	a.cumDispatch = 0
+	a.pendingDeser, a.pendingSer, a.pendingMops, a.queueHighWater = 0, 0, 0, 0
 	a.Deser.ResetStats()
 	a.Ser.ResetStats()
 	a.Mops.ResetStats()

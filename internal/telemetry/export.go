@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Manifest records how a stats artifact was produced, so checked-in
+// results are reproducible: the exact command, the build's VCS revision,
+// a fingerprint of the simulated configurations, and the harness
+// parallelism (which, per the determinism contract, must not change any
+// counter value — it is recorded so that claim is checkable).
+type Manifest struct {
+	Command           string `json:"command,omitempty"`
+	GitRevision       string `json:"git_revision,omitempty"`
+	GitDirty          bool   `json:"git_dirty,omitempty"`
+	GoVersion         string `json:"go_version,omitempty"`
+	ConfigFingerprint string `json:"config_fingerprint,omitempty"`
+	Parallelism       int    `json:"parallelism"`
+}
+
+// statsDoc is the JSON snapshot schema.
+type statsDoc struct {
+	Schema   string             `json:"schema"`
+	Manifest *Manifest          `json:"manifest,omitempty"`
+	Counters map[string]float64 `json:"counters"`
+}
+
+// StatsSchema identifies the JSON snapshot format.
+const StatsSchema = "protoacc-telemetry/v1"
+
+// WriteStatsJSON writes a counter snapshot (plus an optional manifest) as
+// an indented JSON document. Counter keys are emitted in sorted order
+// (encoding/json sorts map keys), so identical snapshots produce
+// byte-identical files.
+func WriteStatsJSON(w io.Writer, m *Manifest, s Snapshot) error {
+	doc := statsDoc{Schema: StatsSchema, Manifest: m, Counters: make(map[string]float64, s.Len())}
+	for _, sm := range s.Samples() {
+		doc.Counters[sm.Name] = sm.Value
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadStatsJSON parses a document written by WriteStatsJSON back into a
+// manifest and a by-name counter map.
+func ReadStatsJSON(r io.Reader) (*Manifest, map[string]float64, error) {
+	var doc statsDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, err
+	}
+	if doc.Schema != StatsSchema {
+		return nil, nil, fmt.Errorf("telemetry: unknown stats schema %q", doc.Schema)
+	}
+	return doc.Manifest, doc.Counters, nil
+}
+
+// promName mangles a counter path into a Prometheus-legal metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("protoacc_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format, one counter per line in snapshot order.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, sm := range s.Samples() {
+		n := promName(sm.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %v\n", n, n, sm.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceEvent is one Chrome trace-event record. Field order is the JSON
+// emission order (encoding/json follows declaration order), keeping
+// exports byte-stable.
+type traceEvent struct {
+	Name  string     `json:"name"`
+	Cat   string     `json:"cat,omitempty"`
+	Phase string     `json:"ph"`
+	Scope string     `json:"s,omitempty"`
+	TS    float64    `json:"ts"`
+	Dur   *float64   `json:"dur,omitempty"`
+	PID   int        `json:"pid"`
+	TID   int        `json:"tid"`
+	Args  *traceArgs `json:"args,omitempty"`
+}
+
+type traceArgs struct {
+	Name  string  `json:"name,omitempty"`
+	Depth *int    `json:"depth,omitempty"`
+	Field *int32  `json:"field,omitempty"`
+	Pos   *uint64 `json:"pos,omitempty"`
+	Note  string  `json:"note,omitempty"`
+}
+
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// unitTIDs pins the well-known units to stable thread ids so traces from
+// different runs line up in the viewer; unknown units get ids after them
+// in first-seen order.
+var unitTIDs = map[string]int{"rocc": 1, "deser": 2, "ser": 3, "mops": 4, "cpu": 5}
+
+// WritePerfetto writes events as Chrome trace-event JSON (the format
+// Perfetto's trace viewer and chrome://tracing load). Each unit becomes
+// one named thread; instant events use phase "i" and spans phase "X".
+// Timestamps map one simulated cycle to one microsecond of trace time, so
+// the viewer's time axis reads directly in cycles.
+func WritePerfetto(w io.Writer, events []Event) error {
+	doc := traceDoc{DisplayTimeUnit: "ns", TraceEvents: []traceEvent{
+		{Name: "process_name", Phase: "M", PID: 1, Args: &traceArgs{Name: "protoacc-sim"}},
+	}}
+	nextTID := len(unitTIDs) + 1
+	tids := make(map[string]int)
+	tidFor := func(unit string) int {
+		if tid, ok := tids[unit]; ok {
+			return tid
+		}
+		tid, ok := unitTIDs[unit]
+		if !ok {
+			tid = nextTID
+			nextTID++
+		}
+		tids[unit] = tid
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tid, Args: &traceArgs{Name: unit},
+		})
+		return tid
+	}
+	for _, ev := range events {
+		te := traceEvent{
+			Name: ev.Name, Cat: ev.Unit, Phase: "i", Scope: "t",
+			TS: ev.Cycle, PID: 1, TID: tidFor(ev.Unit),
+		}
+		if ev.Dur > 0 {
+			dur := ev.Dur
+			te.Phase, te.Scope, te.Dur = "X", "", &dur
+		}
+		args := &traceArgs{Note: ev.Note}
+		if ev.Depth != 0 {
+			d := ev.Depth
+			args.Depth = &d
+		}
+		if ev.Field != 0 {
+			f := ev.Field
+			args.Field = &f
+		}
+		if ev.Pos != 0 {
+			p := ev.Pos
+			args.Pos = &p
+		}
+		if args.Depth != nil || args.Field != nil || args.Pos != nil || args.Note != "" {
+			te.Args = args
+		}
+		doc.TraceEvents = append(doc.TraceEvents, te)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func sampleEvents() []Event {
+	return []Event{
+		{Unit: "rocc", Name: "deser_info", Cycle: 2, Pos: 0x1000},
+		{Unit: "rocc", Name: "do_proto_deser", Cycle: 4, Dur: 120, Pos: 0x2000},
+		{Unit: "deser", Name: "parseKey", Cycle: 7, Depth: 1, Field: 3, Pos: 16},
+		{Unit: "deser", Name: "subPush", Cycle: 20, Depth: 1, Field: 5},
+		{Unit: "ser", Name: "message", Cycle: 0},
+		{Unit: "mops", Name: "copy", Cycle: 40, Dur: 55},
+		{Unit: "custom", Name: "odd", Cycle: 9, Note: "extra unit"},
+	}
+}
+
+func TestWritePerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "perfetto_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/telemetry -update` to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Perfetto export drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPerfettoSchema validates the structural contract the Perfetto /
+// chrome://tracing loader requires, independent of byte-exact goldens.
+func TestPerfettoSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string   `json:"name"`
+			Phase string   `json:"ph"`
+			Scope string   `json:"s"`
+			TS    *float64 `json:"ts"`
+			Dur   *float64 `json:"dur"`
+			PID   *int     `json:"pid"`
+			TID   *int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	var spans, instants, meta int
+	tids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			t.Error("event with empty name")
+		}
+		if ev.PID == nil {
+			t.Errorf("event %q missing pid", ev.Name)
+		}
+		switch ev.Phase {
+		case "M":
+			meta++
+		case "i":
+			instants++
+			if ev.Scope != "t" {
+				t.Errorf("instant %q scope = %q, want t", ev.Name, ev.Scope)
+			}
+			if ev.TS == nil {
+				t.Errorf("instant %q missing ts", ev.Name)
+			}
+		case "X":
+			spans++
+			if ev.Dur == nil || *ev.Dur <= 0 {
+				t.Errorf("span %q missing dur", ev.Name)
+			}
+		default:
+			t.Errorf("event %q has unknown phase %q", ev.Name, ev.Phase)
+		}
+		if ev.TID != nil {
+			tids[*ev.TID] = true
+		}
+	}
+	if spans != 2 || instants != 5 {
+		t.Errorf("spans=%d instants=%d, want 2 and 5", spans, instants)
+	}
+	// process_name + one thread_name per distinct unit.
+	if meta != 1+5 {
+		t.Errorf("metadata events = %d, want 6", meta)
+	}
+	// Well-known units keep their pinned lanes; the unknown one follows.
+	for _, tid := range []int{1, 2, 3, 4, 6} {
+		if !tids[tid] {
+			t.Errorf("missing tid %d (have %v)", tid, tids)
+		}
+	}
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	s := Snapshot{samples: []Sample{
+		{Name: "deser/cycles", Value: 123.5},
+		{Name: "mem/l1/cpu/hits", Value: 99},
+	}}
+	m := &Manifest{Command: "ubench -fig 11a", GitRevision: "abc123", GoVersion: "go1.x",
+		ConfigFingerprint: "deadbeef", Parallelism: 4}
+	var buf bytes.Buffer
+	if err := WriteStatsJSON(&buf, m, s); err != nil {
+		t.Fatal(err)
+	}
+	gotM, counters, err := ReadStatsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *gotM != *m {
+		t.Errorf("manifest round trip: %+v != %+v", gotM, m)
+	}
+	if counters["deser/cycles"] != 123.5 || counters["mem/l1/cpu/hits"] != 99 {
+		t.Errorf("counters round trip: %v", counters)
+	}
+
+	// Unknown schema rejected.
+	if _, _, err := ReadStatsJSON(strings.NewReader(`{"schema":"other/v9","counters":{}}`)); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}
+
+func TestStatsJSONDeterministicBytes(t *testing.T) {
+	s := Snapshot{samples: []Sample{{Name: "b", Value: 2}, {Name: "a", Value: 1}}}
+	var x, y bytes.Buffer
+	if err := WriteStatsJSON(&x, nil, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStatsJSON(&y, nil, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(x.Bytes(), y.Bytes()) {
+		t.Error("same snapshot produced different bytes")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	s := Snapshot{samples: []Sample{
+		{Name: "deser/stack_spills", Value: 3},
+		{Name: "mem/l1/cpu/hits", Value: 42},
+	}}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE protoacc_deser_stack_spills counter",
+		"protoacc_deser_stack_spills 3",
+		"protoacc_mem_l1_cpu_hits 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package telemetry is the unified observability layer of the simulator:
+// a registry of named, hierarchically-grouped counters that every unit
+// (deserializer, serializer, message-operations, CPU model, RoCC router,
+// and the cache/TLB/DRAM hierarchy) registers into, a cycle-timestamped
+// structured trace stream, and exporters (JSON snapshot, Prometheus-style
+// text, Chrome trace-event / Perfetto JSON).
+//
+// Design contract (the "overhead contract"):
+//
+//   - Counters live inside the units that own them (their existing Stats
+//     structs); the registry holds only Collector callbacks enumerated on
+//     demand by Snapshot. Incrementing a counter is a plain field add and
+//     collection costs nothing until somebody asks, so the hot simulation
+//     paths pay zero allocations and zero extra work when no snapshot is
+//     taken.
+//   - Tracing is opt-in per System. A disabled (or nil) Tracer makes every
+//     emit site a single predictable branch; callers must check Enabled()
+//     before building events whose construction itself would allocate
+//     (e.g. formatted notes). The zero-allocation property is enforced by
+//     a guard test run from `make vet`.
+//   - Everything is deterministic: collectors are enumerated in
+//     registration order, snapshots of the same System are identical
+//     between serial and parallel harness runs, and aggregation across
+//     runs sums in sorted key order.
+package telemetry
+
+import "sort"
+
+// Collector is implemented by any unit exposing counters. The unit calls
+// emit once per counter with a name relative to its registration prefix
+// ("stack_spills", "l1/cpu/hits", ...). Implementations must emit the
+// same names in the same order on every call — the determinism and
+// delta semantics rely on a stable shape.
+type Collector interface {
+	CollectTelemetry(emit func(name string, value float64))
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(emit func(name string, value float64))
+
+// CollectTelemetry implements Collector.
+func (f CollectorFunc) CollectTelemetry(emit func(name string, value float64)) { f(emit) }
+
+// Sample is one named counter value.
+type Sample struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Snapshot is a point-in-time enumeration of every registered counter,
+// in registration order.
+type Snapshot struct {
+	samples []Sample
+}
+
+// Len returns the number of samples.
+func (s Snapshot) Len() int { return len(s.samples) }
+
+// Samples returns the underlying sample slice (callers must not modify).
+func (s Snapshot) Samples() []Sample { return s.samples }
+
+// Get returns the value of the named counter, or (0, false).
+func (s Snapshot) Get(name string) (float64, bool) {
+	for _, sm := range s.samples {
+		if sm.Name == name {
+			return sm.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Zero reports whether every counter in the snapshot is zero.
+func (s Snapshot) Zero() bool {
+	for _, sm := range s.samples {
+		if sm.Value != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Delta returns s minus prev, counter by counter. Snapshots of the same
+// registry share a shape, so the subtraction is positional; a name
+// mismatch (snapshots of different registries) falls back to matching by
+// name, treating counters missing from prev as zero.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{samples: make([]Sample, len(s.samples))}
+	aligned := len(prev.samples) == len(s.samples)
+	if aligned {
+		for i := range s.samples {
+			if s.samples[i].Name != prev.samples[i].Name {
+				aligned = false
+				break
+			}
+		}
+	}
+	if aligned {
+		for i, sm := range s.samples {
+			out.samples[i] = Sample{Name: sm.Name, Value: sm.Value - prev.samples[i].Value}
+		}
+		return out
+	}
+	byName := make(map[string]float64, len(prev.samples))
+	for _, sm := range prev.samples {
+		byName[sm.Name] = sm.Value
+	}
+	for i, sm := range s.samples {
+		out.samples[i] = Sample{Name: sm.Name, Value: sm.Value - byName[sm.Name]}
+	}
+	return out
+}
+
+// group is one registered collector with its name prefix.
+type group struct {
+	prefix string
+	c      Collector
+}
+
+// Registry is an ordered set of named counter groups. The zero value is
+// ready to use. Registration happens at System construction; Snapshot
+// enumerates every group's counters on demand.
+type Registry struct {
+	groups []group
+}
+
+// Register adds a collector under the given prefix ("deser", "mem", ...).
+// Counter names become "<prefix>/<name>".
+func (r *Registry) Register(prefix string, c Collector) {
+	r.groups = append(r.groups, group{prefix: prefix, c: c})
+}
+
+// RegisterFunc is Register for a bare function.
+func (r *Registry) RegisterFunc(prefix string, fn CollectorFunc) {
+	r.Register(prefix, fn)
+}
+
+// Groups returns the registered prefixes in registration order.
+func (r *Registry) Groups() []string {
+	out := make([]string, len(r.groups))
+	for i, g := range r.groups {
+		out[i] = g.prefix
+	}
+	return out
+}
+
+// Snapshot enumerates every registered counter.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	r.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto refills s in place, reusing its sample storage so repeated
+// snapshotting (per-op deltas) stops allocating once the shape is known.
+func (r *Registry) SnapshotInto(s *Snapshot) {
+	s.samples = s.samples[:0]
+	for _, g := range r.groups {
+		prefix := g.prefix
+		g.c.CollectTelemetry(func(name string, value float64) {
+			s.samples = append(s.samples, Sample{Name: prefix + "/" + name, Value: value})
+		})
+	}
+}
+
+// Aggregate accumulates snapshots from many runs into one by-name total.
+// Callers must Add in a deterministic order (the harness sorts runs by
+// key first) so float summation order — and therefore the result — is
+// identical between serial and parallel executions.
+type Aggregate struct {
+	values map[string]float64
+	order  []string // first-seen order, for stable iteration before sort
+}
+
+// Add folds one snapshot into the aggregate.
+func (a *Aggregate) Add(s Snapshot) {
+	if a.values == nil {
+		a.values = make(map[string]float64)
+	}
+	for _, sm := range s.samples {
+		if _, ok := a.values[sm.Name]; !ok {
+			a.order = append(a.order, sm.Name)
+		}
+		a.values[sm.Name] += sm.Value
+	}
+}
+
+// Snapshot returns the aggregated counters sorted by name.
+func (a *Aggregate) Snapshot() Snapshot {
+	names := make([]string, len(a.order))
+	copy(names, a.order)
+	sort.Strings(names)
+	out := Snapshot{samples: make([]Sample, len(names))}
+	for i, n := range names {
+		out.samples[i] = Sample{Name: n, Value: a.values[n]}
+	}
+	return out
+}
+
+// Attribution breaks an operation's cycles into the stall classes the
+// paper's evaluation reasons about: pure FSM/compute work, supply-bound
+// cycles (the memloader cannot feed the FSM faster), metadata-stack spill
+// penalties, and blocking ADT-load stalls (the model's "ADT cache miss"
+// analogue). Total is the operation's cycle count; the four classes
+// partition it (FSM is the remainder).
+type Attribution struct {
+	Total   float64 `json:"total"`
+	FSM     float64 `json:"fsm"`
+	Supply  float64 `json:"supply"`
+	Spill   float64 `json:"spill"`
+	ADTMiss float64 `json:"adt_miss"`
+}
+
+// NewAttribution builds an Attribution from a total and the three stall
+// classes, computing FSM as the (clamped) remainder.
+func NewAttribution(total, supply, spill, adtMiss float64) Attribution {
+	fsm := total - supply - spill - adtMiss
+	if fsm < 0 {
+		fsm = 0
+	}
+	return Attribution{Total: total, FSM: fsm, Supply: supply, Spill: spill, ADTMiss: adtMiss}
+}
+
+// OpTelemetry is the per-operation report a System attaches to a Result
+// when per-op telemetry is enabled: the counter delta the operation caused
+// and its cycle attribution.
+type OpTelemetry struct {
+	Counters    Snapshot
+	Attribution Attribution
+}
+
+// Hub bundles the per-System telemetry state: the counter registry and
+// the trace buffer, plus the per-op attachment switch. core.System owns
+// exactly one Hub; pooled Systems reset it via Reset.
+type Hub struct {
+	Registry Registry
+	Tracer   Tracer
+
+	perOp bool
+	prev  Snapshot // scratch for per-op deltas
+}
+
+// EnablePerOp toggles per-operation Result attachment (counter deltas and
+// cycle attribution). Off by default; costs nothing when off.
+func (h *Hub) EnablePerOp(on bool) { h.perOp = on }
+
+// PerOpEnabled reports whether per-op attachment is on.
+func (h *Hub) PerOpEnabled() bool { return h != nil && h.perOp }
+
+// OpBegin snapshots the registry before an operation when per-op
+// telemetry is on, returning false (and doing nothing) otherwise.
+func (h *Hub) OpBegin() bool {
+	if !h.PerOpEnabled() {
+		return false
+	}
+	h.Registry.SnapshotInto(&h.prev)
+	return true
+}
+
+// OpEnd completes a per-op capture started by OpBegin, returning the
+// counter delta attributed to the operation.
+func (h *Hub) OpEnd(attr Attribution) *OpTelemetry {
+	after := h.Registry.Snapshot()
+	return &OpTelemetry{Counters: after.Delta(h.prev), Attribution: attr}
+}
+
+// Reset returns the Hub to its post-construction state: the trace buffer
+// is emptied and disabled and per-op attachment is switched off. Counter
+// registrations persist — the counters themselves live in the units,
+// which the owning System resets separately (System.ResetAll zeroes every
+// unit's accumulators, so a snapshot taken after ResetAll is all-zero).
+func (h *Hub) Reset() {
+	h.Tracer.Reset()
+	h.perOp = false
+	h.prev.samples = h.prev.samples[:0]
+}

@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+type fakeUnit struct {
+	hits, misses float64
+}
+
+func (f *fakeUnit) CollectTelemetry(emit func(name string, value float64)) {
+	emit("hits", f.hits)
+	emit("misses", f.misses)
+}
+
+func TestRegistrySnapshotOrderAndNames(t *testing.T) {
+	var r Registry
+	a := &fakeUnit{hits: 1, misses: 2}
+	b := &fakeUnit{hits: 3}
+	r.Register("l1", a)
+	r.Register("tlb", b)
+	s := r.Snapshot()
+	want := []Sample{
+		{Name: "l1/hits", Value: 1},
+		{Name: "l1/misses", Value: 2},
+		{Name: "tlb/hits", Value: 3},
+		{Name: "tlb/misses", Value: 0},
+	}
+	if !reflect.DeepEqual(s.Samples(), want) {
+		t.Errorf("snapshot = %+v, want %+v", s.Samples(), want)
+	}
+	if got := r.Groups(); !reflect.DeepEqual(got, []string{"l1", "tlb"}) {
+		t.Errorf("groups = %v", got)
+	}
+	if v, ok := s.Get("l1/misses"); !ok || v != 2 {
+		t.Errorf("Get(l1/misses) = %v, %v", v, ok)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Error("Get(nope) should miss")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	var r Registry
+	u := &fakeUnit{hits: 10, misses: 1}
+	r.Register("u", u)
+	before := r.Snapshot()
+	u.hits, u.misses = 25, 4
+	delta := r.Snapshot().Delta(before)
+	if v, _ := delta.Get("u/hits"); v != 15 {
+		t.Errorf("hits delta = %v", v)
+	}
+	if v, _ := delta.Get("u/misses"); v != 3 {
+		t.Errorf("misses delta = %v", v)
+	}
+
+	// Misaligned shapes fall back to by-name matching.
+	var other Registry
+	other.Register("u", &fakeUnit{})
+	odd := other.Snapshot()
+	d2 := r.Snapshot().Delta(Snapshot{samples: odd.samples[:1]})
+	if v, _ := d2.Get("u/misses"); v != 4 {
+		t.Errorf("fallback misses delta = %v", v)
+	}
+}
+
+func TestSnapshotZero(t *testing.T) {
+	var r Registry
+	u := &fakeUnit{}
+	r.Register("u", u)
+	if !r.Snapshot().Zero() {
+		t.Error("fresh unit snapshot should be zero")
+	}
+	u.hits = 1
+	if r.Snapshot().Zero() {
+		t.Error("non-zero counter not detected")
+	}
+}
+
+func TestAggregateSortedDeterminism(t *testing.T) {
+	mk := func(name string, v float64) Snapshot {
+		return Snapshot{samples: []Sample{{Name: name, Value: v}}}
+	}
+	var a, b Aggregate
+	a.Add(mk("x", 1))
+	a.Add(mk("y", 2))
+	a.Add(mk("x", 3))
+	b.Add(mk("y", 2))
+	b.Add(mk("x", 3))
+	b.Add(mk("x", 1))
+	if !reflect.DeepEqual(a.Snapshot().Samples(), b.Snapshot().Samples()) {
+		t.Errorf("aggregation order leaked into result: %+v vs %+v",
+			a.Snapshot().Samples(), b.Snapshot().Samples())
+	}
+	s := a.Snapshot()
+	if v, _ := s.Get("x"); v != 4 {
+		t.Errorf("x total = %v", v)
+	}
+}
+
+func TestAttributionPartition(t *testing.T) {
+	at := NewAttribution(100, 20, 5, 10)
+	if at.FSM != 65 {
+		t.Errorf("FSM = %v, want 65", at.FSM)
+	}
+	if sum := at.FSM + at.Supply + at.Spill + at.ADTMiss; sum != at.Total {
+		t.Errorf("classes sum to %v, total %v", sum, at.Total)
+	}
+	// Overcommitted stalls clamp FSM at zero rather than going negative.
+	if at := NewAttribution(10, 8, 8, 8); at.FSM != 0 {
+		t.Errorf("clamped FSM = %v", at.FSM)
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer enabled")
+	}
+	tr.Emit(Event{Unit: "x"}) // must not panic
+	tr.Disable()
+	tr.Reset()
+	if ev := tr.Events(); ev != nil {
+		t.Errorf("nil tracer events = %v", ev)
+	}
+	if ev := tr.TakeEvents(); ev != nil {
+		t.Errorf("nil tracer take = %v", ev)
+	}
+}
+
+func TestTracerLifecycle(t *testing.T) {
+	tr := &Tracer{}
+	tr.Emit(Event{Name: "dropped"})
+	if len(tr.Events()) != 0 {
+		t.Error("disabled tracer recorded an event")
+	}
+	tr.Enable()
+	tr.Emit(Event{Name: "a", Cycle: 1})
+	tr.Emit(Event{Name: "b", Cycle: 2})
+	if len(tr.Events()) != 2 {
+		t.Fatalf("events = %d", len(tr.Events()))
+	}
+	got := tr.TakeEvents()
+	if len(got) != 2 || got[0].Name != "a" {
+		t.Errorf("take = %+v", got)
+	}
+	if len(tr.Events()) != 0 {
+		t.Error("take did not empty the buffer")
+	}
+	tr.Emit(Event{Name: "c"})
+	tr.Reset()
+	if tr.Enabled() || len(tr.Events()) != 0 {
+		t.Error("reset did not disable and empty")
+	}
+}
+
+func TestHubPerOpCapture(t *testing.T) {
+	var h Hub
+	u := &fakeUnit{}
+	h.Registry.Register("u", u)
+	if h.OpBegin() {
+		t.Fatal("OpBegin should be a no-op while per-op is off")
+	}
+	h.EnablePerOp(true)
+	if !h.OpBegin() {
+		t.Fatal("OpBegin should arm after EnablePerOp")
+	}
+	u.hits = 7
+	ot := h.OpEnd(NewAttribution(7, 0, 0, 0))
+	if v, _ := ot.Counters.Get("u/hits"); v != 7 {
+		t.Errorf("op delta = %v", v)
+	}
+	if ot.Attribution.Total != 7 {
+		t.Errorf("attribution total = %v", ot.Attribution.Total)
+	}
+	h.Reset()
+	if h.PerOpEnabled() || h.Tracer.Enabled() {
+		t.Error("reset left per-op or tracer on")
+	}
+	if len(h.Registry.Groups()) != 1 {
+		t.Error("reset must keep registrations")
+	}
+}
