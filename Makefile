@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet race bench bench-smoke figures examples clean
+.PHONY: all build test vet race bench bench-smoke fuzz-smoke chaos-smoke figures examples clean
 
 all: build vet test
 
@@ -14,6 +14,20 @@ race:
 bench-smoke:
 	mkdir -p results
 	go test -run '^$$' -bench . -benchtime 1x -benchmem -json ./... > results/bench_smoke.json
+
+# Short live-fuzzing pass over the native targets (seed corpora alone run
+# in `make test`): the deserializers and the serialize round trip, each
+# differentially checked against the reference codec, including a System
+# running under an injected-fault schedule.
+fuzz-smoke:
+	go test -run '^$$' -fuzz FuzzDeserialize -fuzztime 30s ./internal/core
+	go test -run '^$$' -fuzz FuzzSerializeRoundTrip -fuzztime 30s ./internal/core
+
+# The differential chaos harness under the race detector: faulted runs
+# must produce byte-identical output to pure software, and fault-disabled
+# runs must leave every measurement untouched.
+chaos-smoke:
+	go test -run TestChaos -race -count=1 ./internal/bench
 
 build:
 	go build ./...

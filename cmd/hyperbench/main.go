@@ -9,6 +9,7 @@
 //	hyperbench [-op deser|ser|both] [-dump-proto dir] [-stats]
 //	           [-parallel n] [-cpuprofile file] [-memprofile file]
 //	           [-stats-out file] [-trace-op suite] [-trace-out file]
+//	           [-faults rate[@site,...]] [-fault-seed n]
 //
 // -stats-out writes every run's telemetry counters (all units, all
 // memory-hierarchy levels) as JSON (or Prometheus text with a .prom
@@ -28,6 +29,7 @@ import (
 
 	"protoacc/internal/bench"
 	"protoacc/internal/core"
+	"protoacc/internal/faults"
 	"protoacc/internal/fleet"
 	"protoacc/internal/hyperbench"
 	"protoacc/internal/pb/schema"
@@ -43,7 +45,15 @@ func main() {
 	statsOut := flag.String("stats-out", "", "write aggregated telemetry counters to this file (JSON, or Prometheus text with a .prom suffix)")
 	traceOp := flag.String("trace-op", "", "capture a cycle trace of this suite on riscv-boom-accel")
 	traceOut := flag.String("trace-out", "trace.json", "write the captured Perfetto trace to this file")
+	faultSpec := flag.String("faults", "", "fault injection: RATE or RATE@site,... (sites: "+strings.Join(faults.SiteNames(), ",")+"); empty or \"off\" disables")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault schedule")
 	flag.Parse()
+
+	faultCfg, err := faults.ParseFlag(*faultSpec, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -99,6 +109,7 @@ func main() {
 	}
 	opts := bench.HyperOptions()
 	opts.Parallelism = *parallel
+	opts.Faults = faultCfg
 	if *statsOut != "" {
 		opts.Telemetry = &bench.TelemetrySink{}
 	}

@@ -8,6 +8,7 @@
 //	ubench [-fig 11a|11b|11c|11d|all] [-ablation name|all|none] [-ops]
 //	       [-parallel n] [-cpuprofile file] [-memprofile file]
 //	       [-stats-out file] [-trace-op workload] [-trace-out file]
+//	       [-faults rate[@site,...]] [-fault-seed n]
 //
 // -stats-out writes the telemetry counters of every run (all units, all
 // memory-hierarchy levels) as JSON (or Prometheus text with a .prom
@@ -26,6 +27,7 @@ import (
 
 	"protoacc/internal/bench"
 	"protoacc/internal/core"
+	"protoacc/internal/faults"
 )
 
 func main() {
@@ -38,7 +40,15 @@ func main() {
 	statsOut := flag.String("stats-out", "", "write aggregated telemetry counters to this file (JSON, or Prometheus text with a .prom suffix)")
 	traceOp := flag.String("trace-op", "", "capture a cycle trace of this workload on riscv-boom-accel")
 	traceOut := flag.String("trace-out", "trace.json", "write the captured Perfetto trace to this file")
+	faultSpec := flag.String("faults", "", "fault injection: RATE or RATE@site,... (sites: "+strings.Join(faults.SiteNames(), ",")+"); empty or \"off\" disables")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault schedule")
 	flag.Parse()
+
+	faultCfg, err := faults.ParseFlag(*faultSpec, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -69,6 +79,7 @@ func main() {
 
 	opts := bench.DefaultOptions()
 	opts.Parallelism = *parallel
+	opts.Faults = faultCfg
 	if *statsOut != "" {
 		opts.Telemetry = &bench.TelemetrySink{}
 	}

@@ -37,7 +37,7 @@ func TestTableSize(t *testing.T) {
 }
 
 func TestHeaderRoundTrip(t *testing.T) {
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "a", Number: 5, Kind: schema.KindInt32},
 		&schema.Field{Name: "b", Number: 12, Kind: schema.KindString},
 	)
@@ -62,8 +62,8 @@ func TestHeaderRoundTrip(t *testing.T) {
 }
 
 func TestEntries(t *testing.T) {
-	sub := schema.MustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt64})
-	typ := schema.MustMessage("M",
+	sub := mustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt64})
+	typ := mustMessage("M",
 		&schema.Field{Name: "a", Number: 3, Kind: schema.KindSint32},
 		&schema.Field{Name: "r", Number: 4, Kind: schema.KindDouble, Label: schema.LabelRepeated, Packed: true},
 		&schema.Field{Name: "s", Number: 6, Kind: schema.KindMessage, Message: sub},
@@ -104,8 +104,8 @@ func TestEntries(t *testing.T) {
 }
 
 func TestIsSubmessageBits(t *testing.T) {
-	sub := schema.MustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt64})
-	typ := schema.MustMessage("M",
+	sub := mustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt64})
+	typ := mustMessage("M",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "s", Number: 70, Kind: schema.KindMessage, Message: sub}, // second bit word
 	)
@@ -140,9 +140,9 @@ func TestRecursiveTypeSelfLink(t *testing.T) {
 }
 
 func TestSharedTypeSingleTable(t *testing.T) {
-	shared := schema.MustMessage("Shared", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
-	a := schema.MustMessage("A", &schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: shared})
-	b := schema.MustMessage("B", &schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: shared})
+	shared := mustMessage("Shared", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	a := mustMessage("A", &schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: shared})
+	b := mustMessage("B", &schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: shared})
 	s, _ := buildSet(t, a, b)
 	if s.Table(shared) == nil {
 		t.Fatal("shared type missing")
@@ -156,17 +156,29 @@ func TestSharedTypeSingleTable(t *testing.T) {
 func TestBuildOutOfSpace(t *testing.T) {
 	m := mem.New()
 	alloc := mem.NewAllocator(m.Map("adt", 16)) // far too small
-	typ := schema.MustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
+	typ := mustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
 	if _, err := Build(m, alloc, layout.NewRegistry(), typ); err == nil {
 		t.Error("expected allocation failure")
 	}
 }
 
 func TestAddrUnknownType(t *testing.T) {
-	typ := schema.MustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
-	other := schema.MustMessage("O", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
+	typ := mustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
+	other := mustMessage("O", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
 	s, _ := buildSet(t, typ)
 	if s.Addr(other) != 0 || s.Table(other) != nil {
 		t.Error("unknown type should have no table")
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

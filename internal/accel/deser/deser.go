@@ -27,6 +27,7 @@ import (
 	"unicode/utf8"
 
 	"protoacc/internal/accel/adt"
+	"protoacc/internal/faults"
 	"protoacc/internal/pb/schema"
 	"protoacc/internal/pb/wire"
 	"protoacc/internal/sim/mem"
@@ -131,6 +132,16 @@ type Unit struct {
 	// core.New; nil is valid (tracing off).
 	Tracer *telemetry.Tracer
 
+	// Inj, when non-nil and enabled, injects simulated faults at the
+	// unit's named sites: memloader access faults in the varint window
+	// fetch, memwriter faults on object-slot stores, metadata-stack spill
+	// failures on sub-message pushes, arena exhaustion on allocation, and
+	// wire-byte corruption per parsed key. Injected faults are phantom —
+	// the access never happens, so memory holds only what the operation
+	// legitimately wrote before the fault. Assigned by core.New; nil is
+	// valid (injection off).
+	Inj *faults.Injector
+
 	stats Stats
 
 	// openRegions buffers unpacked-repeated open-allocation regions
@@ -183,6 +194,21 @@ func (u *Unit) ResetStats() {
 	u.stats = Stats{}
 	u.openRegions = nil
 	u.open = nil
+}
+
+// Abort discards the in-progress operation's parse state after a fault
+// and absorbs the aborted attempt's FSM cycles into the cumulative cycle
+// counter (a successful Deserialize syncs Cycles to FSMCycles on
+// completion, so the unsynced delta is exactly the attempt's work).
+// Returns the attempt's cycles so the dispatch layer can charge them to
+// the recovery episode. Arena rollback is the caller's job (the unit does
+// not own allocator marks).
+func (u *Unit) Abort() float64 {
+	attempt := u.stats.FSMCycles - u.stats.Cycles
+	u.stats.Cycles = u.stats.FSMCycles
+	u.openRegions = nil
+	u.open = nil
+	return attempt
 }
 
 // fsm charges FSM cycles.
@@ -280,6 +306,9 @@ func (u *Unit) Deserialize(adtAddr, objAddr, bufAddr, bufLen uint64) (Stats, err
 // zero-copy view of the memloader stream — decoding reads simulated
 // memory in place, with no staging copy per access.
 func (u *Unit) readVarint(pos, end uint64) (uint64, uint64, error) {
+	if err := u.Inj.At(faults.SiteMemloader); err != nil {
+		return 0, 0, err
+	}
 	window := end - pos
 	if window > wire.MaxVarintLen {
 		window = wire.MaxVarintLen
@@ -316,6 +345,10 @@ func (u *Unit) parseMessage(adtAddr, objAddr, bufAddr, bufLen uint64, depth int)
 	lastNum := int32(-1)
 	var lastEntry adt.Entry
 	for pos < end {
+		// Wire-corruption detection point: one trial per parsed key.
+		if err := u.Inj.At(faults.SiteWireCorrupt); err != nil {
+			return err
+		}
 		// parseKey state: single-cycle combinational varint decode of
 		// the key.
 		u.fsm(1)
@@ -511,6 +544,9 @@ func scalarSlotSize(k schema.Kind) uint64 {
 
 // writeSlot is a fire-and-forget store by the field data writer.
 func (u *Unit) writeSlot(addr, size, bits uint64) error {
+	if err := u.Inj.At(faults.SiteMemwriter); err != nil {
+		return err
+	}
 	u.overlapped(addr, size)
 	switch size {
 	case 1:
@@ -524,6 +560,9 @@ func (u *Unit) writeSlot(addr, size, bits uint64) error {
 
 // arenaAlloc is a single-cycle pointer bump (§4.3).
 func (u *Unit) arenaAlloc(n uint64) (uint64, error) {
+	if err := u.Inj.At(faults.SiteArena); err != nil {
+		return 0, err
+	}
 	u.fsm(1)
 	addr, err := u.Arena.Alloc(n, 8)
 	if err != nil {
@@ -537,6 +576,9 @@ func (u *Unit) arenaAlloc(n uint64) (uint64, error) {
 // copyStream copies n payload bytes from the memloader stream into an
 // arena buffer at width bytes/cycle.
 func (u *Unit) copyStream(dst, src, n uint64) error {
+	if err := u.Inj.At(faults.SiteMemwriter); err != nil {
+		return err
+	}
 	u.fsm(float64((n + u.Cfg.MemloaderWidth - 1) / u.Cfg.MemloaderWidth))
 	u.overlapped(src, n)
 	u.overlapped(dst, n)
@@ -753,6 +795,9 @@ func (u *Unit) parseSubMessage(e adt.Entry, num int32, pos, end, objAddr, slotAd
 
 	// Push the metadata stack and switch parsing context: update stack
 	// entries, rebase the length tracking (§4.4.9).
+	if err := u.Inj.At(faults.SiteStackSpill); err != nil {
+		return 0, err
+	}
 	u.trace("subPush", depth, num, pos, "")
 	u.fsm(4)
 	if depth+1 > u.Cfg.OnChipStackDepth {

@@ -86,10 +86,10 @@ func (r *rig) tryDeserialize(typ *schema.Message, b []byte) (*dynamic.Message, S
 }
 
 func richType() *schema.Message {
-	sub := schema.MustMessage("Sub",
+	sub := mustMessage("Sub",
 		&schema.Field{Name: "id", Number: 1, Kind: schema.KindInt64},
 		&schema.Field{Name: "name", Number: 2, Kind: schema.KindString})
-	return schema.MustMessage("Rich",
+	return mustMessage("Rich",
 		&schema.Field{Name: "i32", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "s64", Number: 2, Kind: schema.KindSint64},
 		&schema.Field{Name: "f", Number: 3, Kind: schema.KindFloat},
@@ -171,10 +171,10 @@ func TestDeserializeRandomMatchesCodec(t *testing.T) {
 }
 
 func TestSingularSubMessageMerge(t *testing.T) {
-	sub := schema.MustMessage("Sub",
+	sub := mustMessage("Sub",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "b", Number: 2, Kind: schema.KindInt32})
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: sub})
 	m1 := dynamic.New(typ)
 	m1.MutableMessage(1).SetInt32(1, 5)
@@ -193,7 +193,7 @@ func TestSingularSubMessageMerge(t *testing.T) {
 func TestInterleavedRepeatedReopens(t *testing.T) {
 	// r=1, s="x", r=2: the open region closes at s and must reopen for
 	// the second r element without losing the first.
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "r", Number: 1, Kind: schema.KindInt32, Label: schema.LabelRepeated},
 		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString})
 	var b []byte
@@ -212,10 +212,10 @@ func TestInterleavedRepeatedReopens(t *testing.T) {
 }
 
 func TestUnknownFieldSkipped(t *testing.T) {
-	rich := schema.MustMessage("M",
+	rich := mustMessage("M",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "z", Number: 5, Kind: schema.KindString})
-	narrow := schema.MustMessage("M",
+	narrow := mustMessage("M",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
 	src := dynamic.New(rich)
 	src.SetInt32(1, 9)
@@ -286,7 +286,7 @@ func TestMalformedInputs(t *testing.T) {
 }
 
 func TestUTF8Validation(t *testing.T) {
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "s", Number: 1, Kind: schema.KindString},
 		&schema.Field{Name: "by", Number: 2, Kind: schema.KindBytes})
 	bad := []byte{0x0a, 0x02, 0xff, 0xfe} // field 1, invalid UTF-8
@@ -311,7 +311,7 @@ func TestUTF8Validation(t *testing.T) {
 }
 
 func TestArenaExhaustion(t *testing.T) {
-	typ := schema.MustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+	typ := mustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
 	m := mem.New()
 	adtAlloc := mem.NewAllocator(m.Map("adt", 1<<16))
 	heap := mem.NewAllocator(m.Map("heap", 1<<16))
@@ -345,7 +345,7 @@ func TestVarintThroughputRisesWithSize(t *testing.T) {
 	// The paper's Figure 11a shape: deser throughput of varint fields
 	// increases with the varint's encoded size.
 	gbps := func(varintBytes int) float64 {
-		typ := schema.MustMessage("M",
+		typ := mustMessage("M",
 			&schema.Field{Name: "a", Number: 1, Kind: schema.KindUint64},
 			&schema.Field{Name: "b", Number: 2, Kind: schema.KindUint64},
 			&schema.Field{Name: "c", Number: 3, Kind: schema.KindUint64},
@@ -370,7 +370,7 @@ func TestVarintThroughputRisesWithSize(t *testing.T) {
 
 func TestStringThroughputMemcpyRegime(t *testing.T) {
 	gbps := func(n int) float64 {
-		typ := schema.MustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+		typ := mustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
 		msg := dynamic.New(typ)
 		msg.SetBytes(1, bytes.Repeat([]byte{'x'}, n))
 		b, _ := codec.Marshal(msg)
@@ -400,4 +400,16 @@ func TestEmptyInput(t *testing.T) {
 	if st.Cycles <= 0 {
 		t.Error("dispatch overhead should still be charged")
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

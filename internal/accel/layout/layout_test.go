@@ -18,13 +18,13 @@ func newMat(t *testing.T, heapSize uint64) *Materializer {
 }
 
 func TestComputeOffsets(t *testing.T) {
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "b", Number: 3, Kind: schema.KindBool},
 		&schema.Field{Name: "i", Number: 4, Kind: schema.KindInt32},
 		&schema.Field{Name: "d", Number: 5, Kind: schema.KindDouble},
 		&schema.Field{Name: "s", Number: 6, Kind: schema.KindString},
 		&schema.Field{Name: "r", Number: 7, Kind: schema.KindInt64, Label: schema.LabelRepeated},
-		&schema.Field{Name: "m", Number: 8, Kind: schema.KindMessage, Message: schema.MustMessage("Sub")},
+		&schema.Field{Name: "m", Number: 8, Kind: schema.KindMessage, Message: mustMessage("Sub")},
 	)
 	l := Compute(typ)
 	// Range 3..8 = 6 bits -> 1 hasbits word; fields start at 16.
@@ -58,7 +58,7 @@ func TestComputeOffsets(t *testing.T) {
 func TestSparseHasbitsSizing(t *testing.T) {
 	// Fields 1000..1100: range 101 -> 2 words, regardless of how few
 	// fields are defined (the sparse representation of §4.2).
-	typ := schema.MustMessage("W",
+	typ := mustMessage("W",
 		&schema.Field{Name: "a", Number: 1000, Kind: schema.KindBool},
 		&schema.Field{Name: "b", Number: 1100, Kind: schema.KindBool},
 	)
@@ -72,15 +72,15 @@ func TestSparseHasbitsSizing(t *testing.T) {
 }
 
 func TestEmptyMessageLayout(t *testing.T) {
-	l := Compute(schema.MustMessage("E"))
+	l := Compute(mustMessage("E"))
 	if l.HasbitsWords != 0 || l.Size != 8 {
 		t.Errorf("empty layout words=%d size=%d", l.HasbitsWords, l.Size)
 	}
 }
 
 func TestRegistryIDs(t *testing.T) {
-	sub := schema.MustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
-	top := schema.MustMessage("Top",
+	sub := mustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	top := mustMessage("Top",
 		&schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: sub})
 	r := NewRegistry()
 	r.Register(top)
@@ -96,7 +96,7 @@ func TestRegistryIDs(t *testing.T) {
 }
 
 func TestMaterializeRoundTripSimple(t *testing.T) {
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "i", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "neg", Number: 2, Kind: schema.KindSfixed32},
 		&schema.Field{Name: "s", Number: 3, Kind: schema.KindString},
@@ -125,7 +125,7 @@ func TestMaterializeRoundTripSimple(t *testing.T) {
 }
 
 func TestMaterializePresenceOnly(t *testing.T) {
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "b", Number: 2, Kind: schema.KindInt32},
 	)
@@ -143,11 +143,11 @@ func TestMaterializePresenceOnly(t *testing.T) {
 }
 
 func TestMaterializeNested(t *testing.T) {
-	leaf := schema.MustMessage("Leaf", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt64})
-	mid := schema.MustMessage("Mid",
+	leaf := mustMessage("Leaf", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt64})
+	mid := mustMessage("Mid",
 		&schema.Field{Name: "l", Number: 1, Kind: schema.KindMessage, Message: leaf},
 		&schema.Field{Name: "tag", Number: 2, Kind: schema.KindString})
-	top := schema.MustMessage("Top",
+	top := mustMessage("Top",
 		&schema.Field{Name: "m", Number: 1, Kind: schema.KindMessage, Message: mid},
 		&schema.Field{Name: "ms", Number: 2, Kind: schema.KindMessage, Message: mid, Label: schema.LabelRepeated})
 	ma := newMat(t, 1<<20)
@@ -173,7 +173,7 @@ func TestMaterializeNested(t *testing.T) {
 }
 
 func TestMaterializeRepeatedKinds(t *testing.T) {
-	typ := schema.MustMessage("R",
+	typ := mustMessage("R",
 		&schema.Field{Name: "i", Number: 1, Kind: schema.KindInt32, Label: schema.LabelRepeated},
 		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString, Label: schema.LabelRepeated},
 		&schema.Field{Name: "bl", Number: 3, Kind: schema.KindBool, Label: schema.LabelRepeated},
@@ -203,8 +203,8 @@ func TestMaterializeRepeatedKinds(t *testing.T) {
 }
 
 func TestVptrValidation(t *testing.T) {
-	a := schema.MustMessage("A", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
-	b := schema.MustMessage("B", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	a := mustMessage("A", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	b := mustMessage("B", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
 	ma := newMat(t, 1<<16)
 	ma.Reg.Register(a)
 	ma.Reg.Register(b)
@@ -218,7 +218,7 @@ func TestVptrValidation(t *testing.T) {
 }
 
 func TestHeapExhaustion(t *testing.T) {
-	typ := schema.MustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+	typ := mustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
 	ma := newMat(t, 64)
 	m := dynamic.New(typ)
 	m.SetBytes(1, make([]byte, 1024))
@@ -248,7 +248,7 @@ func TestMaterializeRandomRoundTrip(t *testing.T) {
 }
 
 func TestHasbitHelpers(t *testing.T) {
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "lo", Number: 10, Kind: schema.KindBool},
 		&schema.Field{Name: "hi", Number: 100, Kind: schema.KindBool},
 	)
@@ -266,4 +266,16 @@ func TestHasbitHelpers(t *testing.T) {
 	if !hi || lo {
 		t.Errorf("hasbits: hi=%v lo=%v", hi, lo)
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

@@ -17,6 +17,7 @@ import (
 
 	"protoacc/internal/accel/adt"
 	"protoacc/internal/accel/layout"
+	"protoacc/internal/faults"
 	"protoacc/internal/pb/schema"
 	"protoacc/internal/sim/mem"
 	"protoacc/internal/sim/memmodel"
@@ -26,6 +27,15 @@ import (
 // Errors surfaced by the unit.
 var (
 	ErrTooDeep = errors.New("mops: nesting exceeds architectural limit")
+	// ErrArenaShort is returned by Merge's validation pre-pass when the
+	// arena cannot hold the merge's allocations. Because the pre-pass runs
+	// before any mutation, the destination object is untouched.
+	ErrArenaShort = errors.New("mops: arena too small for merge")
+	// ErrPoisoned is returned when an operation fails after it has begun
+	// mutating the destination object in ways arena rollback cannot
+	// revert. The destination's state is undefined; the owning System must
+	// not be reused without a full reset.
+	ErrPoisoned = errors.New("mops: operation aborted mid-mutation; destination state undefined")
 )
 
 // Config holds the unit's parameters (shared with the deserializer's
@@ -76,7 +86,34 @@ type Unit struct {
 	// timeline. Nil is valid and means no tracing.
 	Tracer *telemetry.Tracer
 
+	// Inj, when non-nil and enabled, injects simulated faults at the
+	// unit's named sites: memloader faults on hasbits-scan loads,
+	// memwriter faults on streaming copies, and arena exhaustion on
+	// allocation. Clear and Copy trial freely (Clear is idempotent; Copy
+	// writes only fresh arena memory, so arena rollback reverts it).
+	// Merge trials only during its read-only validation pre-pass —
+	// injection is suspended during the mutating phase, which validation
+	// has guaranteed cannot fail (see Merge). Assigned by core.New; nil
+	// is valid (injection off).
+	Inj *faults.Injector
+
+	// suspendInj masks injection during Merge's mutating phase.
+	suspendInj bool
+
+	// opStart is the cumulative cycle count when the current (or most
+	// recent) operation began; Abort uses it to charge a failed attempt.
+	opStart float64
+
 	stats Stats
+}
+
+// inject is the unit's injection trial, masked during Merge's mutating
+// phase.
+func (u *Unit) inject(site faults.Site) error {
+	if u.suspendInj {
+		return nil
+	}
+	return u.Inj.At(site)
 }
 
 // New creates a message-operations unit.
@@ -88,7 +125,21 @@ func New(m *mem.Memory, port *memmodel.Port, arena *mem.Allocator, cfg Config) *
 func (u *Unit) Stats() Stats { return u.stats }
 
 // ResetStats clears the accumulators.
-func (u *Unit) ResetStats() { u.stats = Stats{} }
+func (u *Unit) ResetStats() {
+	u.stats = Stats{}
+	u.suspendInj = false
+	u.opStart = 0
+}
+
+// Abort closes out a failed operation's cycle accounting: it returns the
+// cycles the aborted attempt consumed (already included in the cumulative
+// Stats) and resynchronizes the op-start marker, so a spurious Abort —
+// one not paired with a failed operation — charges nothing.
+func (u *Unit) Abort() float64 {
+	d := u.stats.Cycles - u.opStart
+	u.opStart = u.stats.Cycles
+	return d
+}
 
 // CollectTelemetry implements telemetry.Collector.
 func (u *Unit) CollectTelemetry(emit func(name string, value float64)) {
@@ -141,6 +192,9 @@ func (u *Unit) overlapped(addr, size uint64) {
 }
 
 func (u *Unit) arenaAlloc(n uint64) (uint64, error) {
+	if err := u.inject(faults.SiteArena); err != nil {
+		return 0, err
+	}
 	u.fsm(1)
 	addr, err := u.Arena.Alloc(n, 8)
 	if err != nil {
@@ -154,6 +208,9 @@ func (u *Unit) arenaAlloc(n uint64) (uint64, error) {
 func (u *Unit) streamCopy(dst, src, n uint64) error {
 	if n == 0 {
 		return nil
+	}
+	if err := u.inject(faults.SiteMemwriter); err != nil {
+		return err
 	}
 	u.fsm(float64((n + u.Cfg.CopyWidth - 1) / u.Cfg.CopyWidth))
 	u.overlapped(src, n)
@@ -171,6 +228,7 @@ func (u *Unit) streamCopy(dst, src, n uint64) error {
 // cleared field reads as absent.
 func (u *Unit) Clear(adtAddr, objAddr uint64) (Stats, error) {
 	before := u.stats
+	u.opStart = before.Cycles
 	defer u.traceOp("clear", before.Cycles)
 	u.fsm(4) // dispatch
 	h, err := adt.ReadHeader(u.Mem, adtAddr)
@@ -198,6 +256,7 @@ func (u *Unit) Clear(adtAddr, objAddr uint64) (Stats, error) {
 // allocation path and the serializer's hasbits scan.
 func (u *Unit) Copy(adtAddr, srcObj uint64) (uint64, Stats, error) {
 	before := u.stats
+	u.opStart = before.Cycles
 	defer u.traceOp("copy", before.Cycles)
 	u.fsm(4)
 	dst, err := u.copyTree(adtAddr, srcObj, 1)
@@ -247,6 +306,9 @@ func (u *Unit) scanPresent(h adt.Header, adtAddr, objAddr uint64, fn func(int32,
 	words := (uint64(rng) + 63) / 64
 	hbBase := objAddr + h.HasbitsOffset
 	for w := uint64(0); w < words; w++ {
+		if err := u.inject(faults.SiteMemloader); err != nil {
+			return err
+		}
 		u.fsm(1)
 		u.blockingLoad(hbBase+w*8, 8)
 	}
@@ -406,12 +468,32 @@ func (u *Unit) fixupRepeated(e adt.Entry, srcSlot, dstSlot uint64, depth int) er
 // with proto2 semantics — singular scalars and strings overwrite,
 // singular sub-messages merge recursively, repeated fields concatenate
 // (source elements deep-copied into the arena).
+//
+// Merge mutates live destination state in place, which arena rollback
+// cannot revert, so it validates the whole operation with a zero-cycle
+// read-only dry walk first (see validate.go): nesting depth, arena
+// capacity, and every fault-injection trial happen before the first
+// mutating write. A merge that starts mutating is therefore guaranteed to
+// finish; if it nevertheless fails (a model invariant violation), the
+// error wraps ErrPoisoned and the destination's state is undefined.
 func (u *Unit) Merge(adtAddr, dstObj, srcObj uint64) (Stats, error) {
 	before := u.stats
+	u.opStart = before.Cycles
 	defer u.traceOp("merge", before.Cycles)
-	u.fsm(4)
-	if err := u.mergeTree(adtAddr, dstObj, srcObj, 1); err != nil {
+	need, err := u.validateMerge(adtAddr, dstObj, srcObj, 1)
+	if err != nil {
 		return Stats{}, err
+	}
+	// +8 covers worst-case misalignment of the arena's current offset.
+	if rem := u.Arena.Remaining(); need+8 > rem {
+		return Stats{}, fmt.Errorf("%w: need ≤%d bytes, %d remaining", ErrArenaShort, need+8, rem)
+	}
+	u.fsm(4)
+	u.suspendInj = true
+	err = u.mergeTree(adtAddr, dstObj, srcObj, 1)
+	u.suspendInj = false
+	if err != nil {
+		return Stats{}, fmt.Errorf("%w: %v", ErrPoisoned, err)
 	}
 	u.stats.Merges++
 	return u.delta(before), nil
@@ -562,6 +644,7 @@ func (u *Unit) mergeRepeated(e adt.Entry, dstSlot, srcSlot uint64, dstHad bool, 
 }
 
 func (u *Unit) delta(before Stats) Stats {
+	u.opStart = u.stats.Cycles // close the op window; a spurious Abort charges nothing
 	d := u.stats
 	d.Cycles -= before.Cycles
 	d.SpillCycles -= before.SpillCycles

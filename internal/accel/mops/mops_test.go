@@ -41,10 +41,10 @@ func newRig(t *testing.T, roots ...*schema.Message) *rig {
 }
 
 func testType() *schema.Message {
-	sub := schema.MustMessage("Sub",
+	sub := mustMessage("Sub",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString})
-	return schema.MustMessage("M",
+	return mustMessage("M",
 		&schema.Field{Name: "i", Number: 1, Kind: schema.KindInt64},
 		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString},
 		&schema.Field{Name: "sub", Number: 3, Kind: schema.KindMessage, Message: sub},
@@ -264,7 +264,7 @@ func TestCopyCheaperThanReserialize(t *testing.T) {
 	// its cycle count should scale with object bytes, not field count
 	// heavy-parse costs. Sanity: copying a large-string message costs
 	// about its payload beats.
-	typ := schema.MustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+	typ := mustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
 	r := newRig(t, typ)
 	msg := dynamic.New(typ)
 	msg.SetBytes(1, make([]byte, 64<<10))
@@ -280,4 +280,16 @@ func TestCopyCheaperThanReserialize(t *testing.T) {
 	if st.Cycles < beats || st.Cycles > 12*beats {
 		t.Errorf("copy cycles = %f, want ~%f (streaming)", st.Cycles, beats)
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

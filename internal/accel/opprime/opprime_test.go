@@ -93,7 +93,7 @@ func TestByteIdenticalToReference(t *testing.T) {
 }
 
 func TestConstructionChargesCPU(t *testing.T) {
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt64},
 		&schema.Field{Name: "b", Number: 2, Kind: schema.KindString})
 	r := newRig(t)
@@ -121,7 +121,7 @@ func TestTableCountScalesWithPresence(t *testing.T) {
 	// The §3.7 contrast: the per-instance table's size (and its
 	// construction cost) scales with present fields; ProtoAcc's ADT is
 	// per-type and constant.
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "b", Number: 2, Kind: schema.KindInt32},
 		&schema.Field{Name: "c", Number: 3, Kind: schema.KindInt32})
@@ -155,8 +155,8 @@ func TestTableCountScalesWithPresence(t *testing.T) {
 }
 
 func TestRepeatedMessageRejected(t *testing.T) {
-	sub := schema.MustMessage("S", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
-	typ := schema.MustMessage("M",
+	sub := mustMessage("S", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	typ := mustMessage("M",
 		&schema.Field{Name: "rm", Number: 1, Kind: schema.KindMessage, Message: sub, Label: schema.LabelRepeated})
 	r := newRig(t)
 	msg := dynamic.New(typ)
@@ -172,4 +172,16 @@ func TestRepeatedMessageRejected(t *testing.T) {
 	if _, _, err := r.ser.Serialize(tab); err == nil {
 		t.Error("repeated sub-message should be rejected by the baseline")
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"protoacc/internal/accel/adt"
+	"protoacc/internal/faults"
 	"protoacc/internal/pb/schema"
 	"protoacc/internal/pb/wire"
 	"protoacc/internal/sim/mem"
@@ -95,13 +96,29 @@ type Unit struct {
 	// System-owned trace stream. Assigned by core.New; nil is valid.
 	Tracer *telemetry.Tracer
 
+	// Inj, when non-nil and enabled, injects simulated faults at the
+	// unit's named sites: memloader faults on field-slot loads, memwriter
+	// faults on output stores, and context-stack spill failures on
+	// sub-message pushes. Injected faults are phantom (the access never
+	// happens). Assigned by core.New; nil is valid (injection off).
+	Inj *faults.Injector
+
 	// Output arena state (§4.5.1): a data buffer written high-to-low and
 	// a pointer buffer recording each completed output.
 	outBase, outTop uint64
 	ptrBase         uint64
 	ptrCap, ptrLen  uint64
+	// lowWater is the lowest output-arena address written since the arena
+	// was assigned. The memwriter's regime is strictly high-to-low, so an
+	// aborted operation's writes occupy exactly [lowWater, pre-op outTop)
+	// — the span Rewind scrubs.
+	lowWater uint64
 
 	stats Stats
+
+	// Stage-cycle marks of the in-flight Serialize, for Abort's pipeline
+	// duration computation when the op dies mid-flight.
+	opFrontStart, opUnitStart, opWriterStart float64
 
 	// Per-handle-field-op work tracking: one field serializer unit owns
 	// one op, so parallelism is op-granular, not element-granular. The
@@ -124,6 +141,7 @@ func (u *Unit) AssignArena(dataRegion, ptrRegion *mem.Region) {
 	u.ptrBase = ptrRegion.Base
 	u.ptrCap = ptrRegion.Size() / 16
 	u.ptrLen = 0
+	u.lowWater = dataRegion.End()
 }
 
 // Outputs returns how many serialized outputs the arena holds.
@@ -179,6 +197,85 @@ func (u *Unit) ResetStats() {
 	u.stats = Stats{}
 	u.opWork = nil
 	u.curWork = nil
+	u.opFrontStart, u.opUnitStart, u.opWriterStart = 0, 0, 0
+}
+
+// OutMark captures the output-arena position (completed outputs, data
+// top, low-water) for transactional rollback via Rewind.
+type OutMark struct {
+	outputs, top, low uint64
+}
+
+// Mark returns the current output-arena position. Take it before issuing
+// an operation; pass it to Rewind to abort.
+func (u *Unit) Mark() OutMark {
+	return OutMark{outputs: u.ptrLen, top: u.outTop, low: u.lowWater}
+}
+
+// Rewind aborts everything emitted since the Mark was taken: the data
+// span written below the marked top and any completion records (including
+// a partially-written one) are scrubbed to zero, and the arena cursors
+// are restored. After Rewind no partial output is observable — the
+// serializer is positioned exactly where it was at Mark time.
+func (u *Unit) Rewind(m OutMark) error {
+	if u.lowWater < m.top {
+		b, err := u.Mem.Slice(u.lowWater, m.top-u.lowWater)
+		if err != nil {
+			return err
+		}
+		for i := range b {
+			b[i] = 0
+		}
+	}
+	// One extra slot covers a completion record that faulted between its
+	// two word writes.
+	endSlot := u.ptrLen + 1
+	if endSlot > u.ptrCap {
+		endSlot = u.ptrCap
+	}
+	if m.outputs < endSlot {
+		b, err := u.Mem.Slice(u.ptrBase+m.outputs*16, (endSlot-m.outputs)*16)
+		if err != nil {
+			return err
+		}
+		for i := range b {
+			b[i] = 0
+		}
+	}
+	u.ptrLen = m.outputs
+	u.outTop = m.top
+	u.lowWater = m.low
+	return nil
+}
+
+// Abort accounts the in-flight operation's cycles after a fault: the
+// pipeline-stage work accumulated since the op began is folded into the
+// cumulative cycle counter (mirroring the duration computation of a
+// successful Serialize) and returned so the dispatch layer can charge it
+// to the recovery episode. Output rollback is separate (Mark/Rewind).
+func (u *Unit) Abort() float64 {
+	front := u.stats.FrontendCycles - u.opFrontStart
+	units := (u.stats.FieldUnitCycles - u.opUnitStart) / float64(u.Cfg.NumFieldUnits)
+	for _, w := range u.opWork {
+		if *w > units {
+			units = *w
+		}
+	}
+	writer := u.stats.MemwriterCycles - u.opWriterStart
+	dur := front
+	if units > dur {
+		dur = units
+	}
+	if writer > dur {
+		dur = writer
+	}
+	u.stats.Cycles += dur
+	u.opWork = u.opWork[:0]
+	u.curWork = nil
+	u.opFrontStart = u.stats.FrontendCycles
+	u.opUnitStart = u.stats.FieldUnitCycles
+	u.opWriterStart = u.stats.MemwriterCycles
+	return dur
 }
 
 func (u *Unit) frontend(c float64) { u.stats.FrontendCycles += c }
@@ -249,9 +346,9 @@ func (u *Unit) Serialize(adtAddr, objAddr uint64) (Stats, error) {
 	u.curWork = nil
 	u.frontend(8) // RoCC dispatch + context stack init
 
-	frontStart := u.stats.FrontendCycles
-	unitStart := u.stats.FieldUnitCycles
-	writerStart := u.stats.MemwriterCycles
+	u.opFrontStart = u.stats.FrontendCycles
+	u.opUnitStart = u.stats.FieldUnitCycles
+	u.opWriterStart = u.stats.MemwriterCycles
 
 	start, err := u.serializeMessage(adtAddr, objAddr, u.outTop, 1)
 	if err != nil {
@@ -281,14 +378,14 @@ func (u *Unit) Serialize(adtAddr, objAddr uint64) (Stats, error) {
 	// field-unit stage is bounded below by its longest single op (one op
 	// cannot be split across units) and by total work over the unit
 	// count.
-	front := u.stats.FrontendCycles - frontStart
-	units := (u.stats.FieldUnitCycles - unitStart) / float64(u.Cfg.NumFieldUnits)
+	front := u.stats.FrontendCycles - u.opFrontStart
+	units := (u.stats.FieldUnitCycles - u.opUnitStart) / float64(u.Cfg.NumFieldUnits)
 	for _, w := range u.opWork {
 		if *w > units {
 			units = *w
 		}
 	}
-	writer := u.stats.MemwriterCycles - writerStart
+	writer := u.stats.MemwriterCycles - u.opWriterStart
 	dur := front
 	if units > dur {
 		dur = units
@@ -297,6 +394,10 @@ func (u *Unit) Serialize(adtAddr, objAddr uint64) (Stats, error) {
 		dur = writer
 	}
 	u.stats.Cycles += dur
+	// Close the op's stage window so a spurious Abort charges nothing.
+	u.opFrontStart = u.stats.FrontendCycles
+	u.opUnitStart = u.stats.FieldUnitCycles
+	u.opWriterStart = u.stats.MemwriterCycles
 
 	delta := u.stats
 	delta.Cycles -= before.Cycles
@@ -315,6 +416,9 @@ func (u *Unit) Serialize(adtAddr, objAddr uint64) (Stats, error) {
 // writeBack writes b so that its last byte lands at end-1, returning the
 // new (lower) end. This is the memwriter's high-to-low regime.
 func (u *Unit) writeBack(end uint64, b []byte) (uint64, error) {
+	if err := u.Inj.At(faults.SiteMemwriter); err != nil {
+		return 0, err
+	}
 	n := uint64(len(b))
 	if end < u.outBase+n {
 		return 0, ErrArenaFull
@@ -322,6 +426,9 @@ func (u *Unit) writeBack(end uint64, b []byte) (uint64, error) {
 	pos := end - n
 	if err := u.Mem.WriteBytes(pos, b); err != nil {
 		return 0, err
+	}
+	if pos < u.lowWater {
+		u.lowWater = pos
 	}
 	u.outWrite(pos, n)
 	return pos, nil
@@ -391,6 +498,9 @@ func (u *Unit) serializeMessage(adtAddr, objAddr, end uint64, depth int) (uint64
 
 // readSlot loads a field slot via a field serializer unit.
 func (u *Unit) readSlot(addr, size uint64) (uint64, error) {
+	if err := u.Inj.At(faults.SiteMemloader); err != nil {
+		return 0, err
+	}
 	u.unitLoad(addr, size)
 	switch size {
 	case 1:
@@ -507,12 +617,18 @@ func (u *Unit) emitString(num int32, ptr, n, pos uint64) (uint64, error) {
 	}
 	payloadPos := pos - n
 	if n > 0 {
+		if err := u.Inj.At(faults.SiteMemwriter); err != nil {
+			return 0, err
+		}
 		src, err := u.Mem.View(ptr, n)
 		if err != nil {
 			return 0, err
 		}
 		if err := u.Mem.WriteBytes(payloadPos, src); err != nil {
 			return 0, err
+		}
+		if payloadPos < u.lowWater {
+			u.lowWater = payloadPos
 		}
 		u.unitLoad(ptr, n)
 		u.outWrite(payloadPos, n)
@@ -531,6 +647,9 @@ func (u *Unit) emitString(num int32, ptr, n, pos uint64) (uint64, error) {
 // serializeSubMessage recurses with a context-stack push/pop; the
 // memwriter injects the key+length once the body is complete (§4.5.5).
 func (u *Unit) serializeSubMessage(subADT, subObj uint64, num int32, pos uint64, depth int) (uint64, error) {
+	if err := u.Inj.At(faults.SiteStackSpill); err != nil {
+		return 0, err
+	}
 	u.trace("subPush", depth, num, "")
 	u.frontend(5) // context save + sub-message pointer/ADT loads issued
 	if depth+1 > u.Cfg.OnChipStackDepth {

@@ -64,10 +64,10 @@ func (r *rig) serialize(t *testing.T, msg *dynamic.Message) ([]byte, Stats) {
 }
 
 func richType() *schema.Message {
-	sub := schema.MustMessage("Sub",
+	sub := mustMessage("Sub",
 		&schema.Field{Name: "id", Number: 1, Kind: schema.KindInt64},
 		&schema.Field{Name: "name", Number: 2, Kind: schema.KindString})
-	return schema.MustMessage("Rich",
+	return mustMessage("Rich",
 		&schema.Field{Name: "i32", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "s64", Number: 2, Kind: schema.KindSint64},
 		&schema.Field{Name: "f", Number: 3, Kind: schema.KindFloat},
@@ -141,7 +141,7 @@ func TestSerializeRandomByteIdentical(t *testing.T) {
 }
 
 func TestMultipleOutputsDescend(t *testing.T) {
-	typ := schema.MustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
+	typ := mustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
 	r := newRig(t, DefaultConfig(), typ)
 	var addrs []uint64
 	for i := int32(0); i < 3; i++ {
@@ -181,7 +181,7 @@ func TestMultipleOutputsDescend(t *testing.T) {
 }
 
 func TestEmptyMessageZeroBytes(t *testing.T) {
-	typ := schema.MustMessage("E")
+	typ := mustMessage("E")
 	r := newRig(t, DefaultConfig(), typ)
 	got, _ := r.serialize(t, dynamic.New(typ))
 	if len(got) != 0 {
@@ -190,7 +190,7 @@ func TestEmptyMessageZeroBytes(t *testing.T) {
 }
 
 func TestNoArenaError(t *testing.T) {
-	typ := schema.MustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
+	typ := mustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
 	m := mem.New()
 	adtAlloc := mem.NewAllocator(m.Map("adt", 1<<16))
 	reg := layout.NewRegistry()
@@ -206,7 +206,7 @@ func TestNoArenaError(t *testing.T) {
 }
 
 func TestArenaExhaustion(t *testing.T) {
-	typ := schema.MustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+	typ := mustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
 	m := mem.New()
 	adtAlloc := mem.NewAllocator(m.Map("adt", 1<<16))
 	heap := mem.NewAllocator(m.Map("heap", 1<<20))
@@ -293,7 +293,7 @@ func TestNoByteSizePass(t *testing.T) {
 	// cycles should scale ~linearly in output size for string payloads,
 	// with no separate size-pass component. Serialize a large string and
 	// check the cycle count is close to the memwriter bound.
-	typ := schema.MustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+	typ := mustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
 	msg := dynamic.New(typ)
 	const n = 1 << 20
 	msg.SetBytes(1, bytes.Repeat([]byte{7}, n))
@@ -314,10 +314,10 @@ func TestNoByteSizePass(t *testing.T) {
 func TestSparseWideMessageFrontendCost(t *testing.T) {
 	// §3.7: our design reads one bit per defined field number. A sparse
 	// message with a huge field-number range pays frontend scan cycles.
-	dense := schema.MustMessage("Dense",
+	dense := mustMessage("Dense",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "b", Number: 2, Kind: schema.KindInt32})
-	sparse := schema.MustMessage("Sparse",
+	sparse := mustMessage("Sparse",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "b", Number: 4000, Kind: schema.KindInt32})
 	run := func(typ *schema.Message) float64 {
@@ -331,4 +331,16 @@ func TestSparseWideMessageFrontendCost(t *testing.T) {
 	if run(sparse) <= run(dense) {
 		t.Error("sparse wide-range type should cost more frontend cycles")
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

@@ -297,7 +297,7 @@ func ablationProgrammingTablesEmpirical(opts Options) (string, error) {
 			Name: fmt.Sprintf("f%d", i), Number: int32(i), Kind: schema.KindInt64,
 		})
 	}
-	typ := schema.MustMessage("Density", fields...)
+	typ := mustType("Density", fields...)
 
 	var sb strings.Builder
 	sb.WriteString("A1 (empirical): end-to-end serialization, ProtoAcc vs per-instance tables\n")

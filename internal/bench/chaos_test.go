@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"testing"
+
+	"protoacc/internal/core"
+	"protoacc/internal/faults"
+	"protoacc/internal/pb/schema"
+)
+
+// chaosWorkloads is a small cross-section of the microbenchmark set:
+// inline scalars, repeated fields, strings around the allocation
+// boundaries, and nested sub-messages.
+func chaosWorkloads() []Workload {
+	return []Workload{
+		varintWorkload(3),
+		varintRepeatedWorkload(5),
+		stringWorkload("string", stringShortLen, defaultBatch),
+		stringWorkload("string_long", stringLongLen, 8),
+		subWorkload("string-SUB", schema.KindString, 32),
+	}
+}
+
+// TestChaosDifferential is the core chaos invariant: under seeded fault
+// schedules across rates and seeds, every operation's output is
+// byte-identical to the pure-software reference, whether it succeeded
+// fault-free, after retries, or on the software fallback path.
+func TestChaosDifferential(t *testing.T) {
+	opts := DefaultOptions()
+	var injected, faulted, fallbacks, retries int
+	for _, w := range chaosWorkloads() {
+		for _, seed := range []uint64{1, 42} {
+			for _, rate := range []float64{0.005, 0.08} {
+				fcfg := faults.Config{Enabled: true, Seed: seed, Rate: rate}
+				rep, err := RunChaos(w, fcfg, opts)
+				if err != nil {
+					t.Fatalf("%s seed=%d rate=%v: %v", w.Name, seed, rate, err)
+				}
+				injected += int(rep.Injected)
+				faulted += rep.Faulted
+				fallbacks += rep.Fallbacks
+				retries += rep.Retries
+			}
+		}
+	}
+	// The matrix must actually exercise the recovery machinery, not just
+	// pass vacuously.
+	if injected == 0 || faulted == 0 {
+		t.Fatalf("chaos matrix injected no faults (injected=%d faulted=%d)", injected, faulted)
+	}
+	if fallbacks == 0 {
+		t.Error("chaos matrix produced no software fallbacks")
+	}
+	if retries == 0 {
+		t.Error("chaos matrix produced no retries")
+	}
+}
+
+// TestChaosSiteFilter restricts injection to single sites, covering each
+// site's abort/rollback path in isolation.
+func TestChaosSiteFilter(t *testing.T) {
+	opts := DefaultOptions()
+	w := varintRepeatedWorkload(4)
+	ws := stringWorkload("string", stringShortLen, defaultBatch)
+	for _, site := range faults.SiteNames() {
+		fcfg := faults.Config{Enabled: true, Seed: 9, Rate: 0.05, Sites: site}
+		if _, err := RunChaos(w, fcfg, opts); err != nil {
+			t.Errorf("site %s: %v", site, err)
+		}
+		if _, err := RunChaos(ws, fcfg, opts); err != nil {
+			t.Errorf("site %s (strings): %v", site, err)
+		}
+	}
+}
+
+// TestChaosDeterminism: the same seed replays the identical fault
+// schedule and recovery history.
+func TestChaosDeterminism(t *testing.T) {
+	opts := DefaultOptions()
+	w := varintRepeatedWorkload(6)
+	fcfg := faults.Config{Enabled: true, Seed: 123, Rate: 0.05}
+	a, err := RunChaos(w, fcfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(w, fcfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("chaos runs with identical seeds diverged: %+v vs %+v", a, b)
+	}
+	if a.Injected == 0 {
+		t.Error("determinism run injected no faults")
+	}
+}
+
+// TestChaosDisabledIsFaultFree: a disabled fault config must not perturb
+// the measurement at all — the recovery layer stays invisible.
+func TestChaosDisabledIsFaultFree(t *testing.T) {
+	opts := DefaultOptions()
+	w := varintWorkload(5)
+	rep, err := RunChaos(w, faults.Config{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected != 0 || rep.Faulted != 0 || rep.Fallbacks != 0 || rep.Retries != 0 {
+		t.Errorf("disabled config produced recovery activity: %+v", rep)
+	}
+}
+
+// TestChaosMeasurementUnperturbed: running the harness with injection
+// disabled yields bit-identical throughput to the plain benchmark path,
+// for both a disabled zero config and an enabled config at rate 0.
+func TestChaosMeasurementUnperturbed(t *testing.T) {
+	w := varintWorkload(2)
+	base, err := Run(core.KindAccel, Deserialize, w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fcfg := range []faults.Config{
+		{},
+		{Enabled: true, Seed: 7, Rate: 0},
+	} {
+		opts := DefaultOptions()
+		opts.Faults = fcfg
+		got, err := Run(core.KindAccel, Deserialize, w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cycles != base.Cycles || got.GbitsPS != base.GbitsPS || got.Bytes != base.Bytes {
+			t.Errorf("faults config %+v perturbed the measurement: %+v vs %+v", fcfg, got, base)
+		}
+	}
+}

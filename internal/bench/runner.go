@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"protoacc/internal/core"
+	"protoacc/internal/faults"
 	"protoacc/internal/hyperbench"
 	"protoacc/internal/pb/schema"
 )
@@ -55,6 +56,13 @@ type Options struct {
 	// captures their event streams. Tracing is per-System state, not
 	// Config state, so traced runs still pool.
 	Trace *TraceCapture
+
+	// Faults selects the deterministic fault-injection schedule
+	// (internal/faults) for every System the run builds. The zero value —
+	// the default — disables injection and leaves all measurements
+	// bitwise-identical to a faultless build. Fault configuration is part
+	// of core.Config, so faulted and fault-free runs pool separately.
+	Faults faults.Config
 }
 
 // DefaultOptions returns the standard settings: one warm-up batch, paper
@@ -119,6 +127,7 @@ func sizedConfig(base core.Config, need uint64, op Op) core.Config {
 func Run(k core.Kind, op Op, w Workload, opts Options) (Measurement, error) {
 	cfg := sizedConfig(opts.Config(k), w.Bytes, op)
 	cfg.SoftwareArenas = opts.SoftwareArenas
+	cfg.Faults = opts.Faults
 	sys := core.DefaultPool.Get(cfg)
 	traced := opts.Trace.Matches(w.Name, k)
 	if traced {

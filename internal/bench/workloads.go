@@ -79,7 +79,7 @@ func scalarType(name string, k schema.Kind, repeated, packed bool) *schema.Messa
 			Label: label, Packed: packed,
 		})
 	}
-	return schema.MustMessage(name, fields...)
+	return mustType(name, fields...)
 }
 
 // varintWorkload builds the varint-N benchmark (5 uint64 fields whose
@@ -142,7 +142,7 @@ const (
 )
 
 func stringWorkload(name string, size int, batch int) Workload {
-	t := schema.MustMessage("Str"+name,
+	t := mustType("Str"+name,
 		&schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
 	rng := rand.New(rand.NewSource(int64(size)))
 	payload := make([]byte, size)
@@ -159,9 +159,9 @@ func stringWorkload(name string, size int, batch int) Workload {
 // subWorkload builds the *-SUB benchmarks: one sub-message field whose
 // type carries one field of kind k.
 func subWorkload(name string, k schema.Kind, strLen int) Workload {
-	inner := schema.MustMessage("Inner"+name,
+	inner := mustType("Inner"+name,
 		&schema.Field{Name: "v", Number: 1, Kind: k})
-	t := schema.MustMessage("Sub"+name,
+	t := mustType("Sub"+name,
 		&schema.Field{Name: "sub", Number: 1, Kind: schema.KindMessage, Message: inner})
 	rng := rand.New(rand.NewSource(3))
 	return newWorkload(name, t, func(int) *dynamic.Message {
@@ -241,4 +241,16 @@ func Geomean(vals []float64) float64 {
 // ad-hoc workloads built by the ablations).
 func marshalRef(m *dynamic.Message) ([]byte, error) {
 	return codec.Marshal(m)
+}
+
+// mustType builds a workload's message type from static literal fields.
+// These inputs are compile-time constants — never wire or user data — so
+// a failure is a programmer error surfaced at process start; dynamic
+// schema construction goes through schema.NewMessage and returns errors.
+func mustType(name string, fields ...*schema.Field) *schema.Message {
+	t, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(fmt.Sprintf("bench: invalid static schema %s: %v", name, err))
+	}
+	return t
 }

@@ -20,6 +20,7 @@ import (
 	"protoacc/internal/accel/layout"
 	"protoacc/internal/accel/mops"
 	"protoacc/internal/accel/ser"
+	"protoacc/internal/faults"
 	"protoacc/internal/pb/dynamic"
 	"protoacc/internal/pb/schema"
 	"protoacc/internal/sim/cpu"
@@ -64,6 +65,13 @@ type Config struct {
 	// SoftwareArenas makes the CPU baselines allocate from software
 	// arenas (§2.3) instead of the heap during deserialization.
 	SoftwareArenas bool
+
+	// Faults selects the deterministic fault-injection schedule threaded
+	// through the accelerator units (internal/faults). The zero value
+	// disables injection, leaving every simulation path cycle-identical to
+	// a build without the framework. All fields are comparable, so a
+	// faulted Config pools like any other.
+	Faults faults.Config
 
 	StaticSize uint64 // inputs: wire buffers, materialized objects, ADTs
 	HeapSize   uint64 // software allocations (reset between batches)
@@ -122,6 +130,13 @@ type Result struct {
 	// attribution when per-op telemetry is enabled on the System
 	// (Telemetry().EnablePerOp(true)); nil otherwise.
 	Telemetry *telemetry.OpTelemetry
+
+	// Fault records the operation's fault-recovery history (aborted
+	// attempts, retries, software fallback); nil when the operation
+	// completed on the accelerator without any injected fault. When
+	// Fault.FellBack is set, Cycles mixes the accelerator's and the host
+	// core's clock domains and Seconds is the authoritative total.
+	Fault *FaultReport
 }
 
 // Throughput returns the operation's Gbit/s over its serialized bytes,
@@ -157,17 +172,36 @@ type System struct {
 
 	adtAlloc *mem.Allocator
 
+	// Inj is the System's fault injector, shared by every accelerator unit
+	// (internal/faults). Always non-nil; disabled unless Cfg.Faults asks
+	// for injection.
+	Inj *faults.Injector
+
+	// res counts the resilient-dispatch layer's recovery actions.
+	res resilienceStats
+
+	// poisoned marks a System whose simulated state an aborted
+	// mid-mutation operation left undefined; see Poisoned.
+	poisoned bool
+
 	tel telemetry.Hub
 }
 
-// New builds a System.
+// New builds a System. An invalid fault configuration panics: Config is
+// assembled programmatically, and the command-line front ends validate
+// user-supplied fault flags with faults.Config.Validate before building.
 func New(cfg Config) *System {
+	inj, err := faults.New(cfg.Faults)
+	if err != nil {
+		panic(fmt.Sprintf("core: invalid fault config: %v", err))
+	}
 	m := mem.New()
 	s := &System{
 		Cfg:    cfg,
 		Mem:    m,
 		MemSys: memmodel.NewSystem(cfg.Mem),
 		Reg:    layout.NewRegistry(),
+		Inj:    inj,
 	}
 	s.adtAlloc = mem.NewAllocator(m.Map("adt", 16<<20))
 	s.Static = mem.NewAllocator(m.Map("static", cfg.StaticSize))
@@ -193,6 +227,10 @@ func New(cfg Config) *System {
 			Mem:   m,
 		}
 		s.Accel.AssignArenas(s.Arena, s.serData, s.serPtrs)
+		s.Accel.Inj = inj
+		s.Accel.Deser.Inj = inj
+		s.Accel.Ser.Inj = inj
+		s.Accel.Mops.Inj = inj
 	}
 	// Register every unit's counters and hand each tracing-capable unit
 	// the System's trace buffer (disabled until somebody enables it).
@@ -208,6 +246,10 @@ func New(cfg Config) *System {
 		s.Accel.Ser.Tracer = &s.tel.Tracer
 		s.Accel.Mops.Tracer = &s.tel.Tracer
 	}
+	// Fault and resilience counters are registered on every kind so the
+	// -stats-out shape stays uniform (zero for software-only systems).
+	s.tel.Registry.Register("faults", s.Inj)
+	s.tel.Registry.Register("resilience", &s.res)
 	return s
 }
 
@@ -274,49 +316,104 @@ func (s *System) AllocTopLevel(t *schema.Message) (uint64, error) {
 	return heapMat.AllocObject(t)
 }
 
-// Deserialize runs the timed deserialization of bufLen bytes at bufAddr
-// into a fresh top-level object.
-func (s *System) Deserialize(t *schema.Message, bufAddr, bufLen uint64) (Result, error) {
+// deserializeSoftware runs one deserialization on the host core's
+// software codec (the CPU path of software systems, and the fallback path
+// of faulted accelerator systems).
+func (s *System) deserializeSoftware(t *schema.Message, bufAddr, bufLen uint64) (Result, error) {
 	objAddr, err := s.AllocTopLevel(t)
 	if err != nil {
 		return Result{}, err
-	}
-	began := s.tel.OpBegin()
-	if s.Accel != nil {
-		if s.adts == nil || s.adts.Addr(t) == 0 {
-			return Result{}, fmt.Errorf("core: type %s not loaded", t.Name)
-		}
-		busy, st, err := s.Accel.DeserializeOp(s.adts.Addr(t), objAddr, bufAddr, bufLen)
-		if err != nil {
-			return Result{}, err
-		}
-		res := Result{
-			Cycles:  busy,
-			Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9),
-			Bytes:   bufLen,
-			ObjAddr: objAddr,
-		}
-		if began {
-			res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(
-				busy, st.SupplyBoundCycles, st.SpillCycles, st.ADTStallCycles))
-		}
-		return res, nil
 	}
 	start := s.CPU.Cycles()
 	if err := s.CPU.Deserialize(t, bufAddr, bufLen, objAddr); err != nil {
 		return Result{}, err
 	}
 	cy := s.CPU.Cycles() - start
-	res := Result{
+	return Result{
 		Cycles:  cy,
 		Seconds: s.CPU.Seconds(cy),
 		Bytes:   bufLen,
 		ObjAddr: objAddr,
+	}, nil
+}
+
+// Deserialize runs the timed deserialization of bufLen bytes at bufAddr
+// into a fresh top-level object.
+func (s *System) Deserialize(t *schema.Message, bufAddr, bufLen uint64) (Result, error) {
+	began := s.tel.OpBegin()
+	if s.Accel != nil {
+		if s.adts == nil || s.adts.Addr(t) == 0 {
+			return Result{}, fmt.Errorf("core: type %s not loaded", t.Name)
+		}
+		adtAddr := s.adts.Addr(t)
+		var st deser.Stats
+		var heapMark, arenaMark mem.Mark
+		res, err := s.resilient("deser", accelAttempt{
+			attempt: func() (Result, error) {
+				heapMark, arenaMark = s.Heap.Mark(), s.Arena.Mark()
+				objAddr, err := s.AllocTopLevel(t)
+				if err != nil {
+					return Result{}, err
+				}
+				busy, stats, err := s.Accel.DeserializeOp(adtAddr, objAddr, bufAddr, bufLen)
+				if err != nil {
+					return Result{}, err
+				}
+				st = stats
+				return Result{
+					Cycles:  busy,
+					Seconds: s.accelSeconds(busy),
+					Bytes:   bufLen,
+					ObjAddr: objAddr,
+				}, nil
+			},
+			abort: func() (float64, error) {
+				s.Heap.Truncate(heapMark)
+				s.Arena.Truncate(arenaMark)
+				return s.Accel.Deser.Abort(), nil
+			},
+			fallback: func() (Result, error) {
+				return s.deserializeSoftware(t, bufAddr, bufLen)
+			},
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if began {
+			if res.Fault != nil && res.Fault.FellBack {
+				res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(res.Cycles, 0, 0, 0))
+			} else {
+				res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(
+					res.Cycles, st.SupplyBoundCycles, st.SpillCycles, st.ADTStallCycles))
+			}
+		}
+		return res, nil
+	}
+	res, err := s.deserializeSoftware(t, bufAddr, bufLen)
+	if err != nil {
+		return Result{}, err
 	}
 	if began {
-		res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(cy, 0, 0, 0))
+		res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(res.Cycles, 0, 0, 0))
 	}
 	return res, nil
+}
+
+// serializeSoftware runs one serialization on the host core's software
+// codec.
+func (s *System) serializeSoftware(t *schema.Message, objAddr uint64) (Result, error) {
+	start := s.CPU.Cycles()
+	addr, n, err := s.CPU.Serialize(t, objAddr, s.Out)
+	if err != nil {
+		return Result{}, err
+	}
+	cy := s.CPU.Cycles() - start
+	return Result{
+		Cycles:   cy,
+		Seconds:  s.CPU.Seconds(cy),
+		Bytes:    n,
+		WireAddr: addr,
+	}, nil
 }
 
 // Serialize runs the timed serialization of the object at objAddr.
@@ -326,43 +423,58 @@ func (s *System) Serialize(t *schema.Message, objAddr uint64) (Result, error) {
 		if s.adts == nil || s.adts.Addr(t) == 0 {
 			return Result{}, fmt.Errorf("core: type %s not loaded", t.Name)
 		}
-		busy, st, err := s.Accel.SerializeOp(s.adts.Addr(t), objAddr)
+		adtAddr := s.adts.Addr(t)
+		var st ser.Stats
+		var outMark ser.OutMark
+		res, err := s.resilient("ser", accelAttempt{
+			attempt: func() (Result, error) {
+				outMark = s.Accel.Ser.Mark()
+				busy, stats, err := s.Accel.SerializeOp(adtAddr, objAddr)
+				if err != nil {
+					return Result{}, err
+				}
+				addr, n, err := s.Accel.Ser.Output(s.Accel.Ser.Outputs() - 1)
+				if err != nil {
+					return Result{}, err
+				}
+				if n != stats.BytesProduced {
+					return Result{}, errors.New("core: serializer length bookkeeping mismatch")
+				}
+				st = stats
+				return Result{
+					Cycles:   busy,
+					Seconds:  s.accelSeconds(busy),
+					Bytes:    n,
+					WireAddr: addr,
+				}, nil
+			},
+			abort: func() (float64, error) {
+				cy := s.Accel.Ser.Abort()
+				return cy, s.Accel.Ser.Rewind(outMark)
+			},
+			fallback: func() (Result, error) {
+				return s.serializeSoftware(t, objAddr)
+			},
+		})
 		if err != nil {
 			return Result{}, err
-		}
-		addr, n, err := s.Accel.Ser.Output(s.Accel.Ser.Outputs() - 1)
-		if err != nil {
-			return Result{}, err
-		}
-		if n != st.BytesProduced {
-			return Result{}, errors.New("core: serializer length bookkeeping mismatch")
-		}
-		res := Result{
-			Cycles:   busy,
-			Seconds:  busy / (s.Cfg.AccelFreqGHz * 1e9),
-			Bytes:    n,
-			WireAddr: addr,
 		}
 		if began {
-			res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(
-				busy, 0, st.SpillCycles, st.ADTStallCycles))
+			if res.Fault != nil && res.Fault.FellBack {
+				res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(res.Cycles, 0, 0, 0))
+			} else {
+				res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(
+					res.Cycles, 0, st.SpillCycles, st.ADTStallCycles))
+			}
 		}
 		return res, nil
 	}
-	start := s.CPU.Cycles()
-	addr, n, err := s.CPU.Serialize(t, objAddr, s.Out)
+	res, err := s.serializeSoftware(t, objAddr)
 	if err != nil {
 		return Result{}, err
 	}
-	cy := s.CPU.Cycles() - start
-	res := Result{
-		Cycles:   cy,
-		Seconds:  s.CPU.Seconds(cy),
-		Bytes:    n,
-		WireAddr: addr,
-	}
 	if began {
-		res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(cy, 0, 0, 0))
+		res.Telemetry = s.tel.OpEnd(telemetry.NewAttribution(res.Cycles, 0, 0, 0))
 	}
 	return res, nil
 }
@@ -411,34 +523,71 @@ func (s *System) DeserializeBatch(t *schema.Message, refs []WireRef) (Result, []
 	}
 	before := s.Accel.Deser.Stats()
 	adtAddr := s.adts.Addr(t)
-	for i, r := range refs {
-		obj, err := s.AllocTopLevel(t)
-		if err != nil {
-			return Result{}, nil, err
-		}
-		objs[i] = obj
-		if _, err := s.Accel.Issue(rocc.Command{Op: rocc.OpDeserInfo, RS1: adtAddr, RS2: obj}); err != nil {
-			return Result{}, nil, err
-		}
-		if _, err := s.Accel.Issue(rocc.Command{Op: rocc.OpDoProtoDeser, RS1: r.Addr, RS2: r.Len}); err != nil {
-			return Result{}, nil, err
-		}
-		total.Bytes += r.Len
-	}
-	busy, err := s.Accel.Issue(rocc.Command{Op: rocc.OpBlockForDeserCompletion})
+	// A fault anywhere in the batch aborts and rolls back the whole batch
+	// (the completion barrier is what commits it), then the batch retries
+	// or falls back as a unit.
+	var heapMark, arenaMark mem.Mark
+	total, err := s.resilient("deser_batch", accelAttempt{
+		attempt: func() (Result, error) {
+			heapMark, arenaMark = s.Heap.Mark(), s.Arena.Mark()
+			var batch Result
+			for i, r := range refs {
+				obj, err := s.AllocTopLevel(t)
+				if err != nil {
+					return Result{}, err
+				}
+				objs[i] = obj
+				if _, err := s.Accel.Issue(rocc.Command{Op: rocc.OpDeserInfo, RS1: adtAddr, RS2: obj}); err != nil {
+					return Result{}, err
+				}
+				if _, err := s.Accel.Issue(rocc.Command{Op: rocc.OpDoProtoDeser, RS1: r.Addr, RS2: r.Len}); err != nil {
+					return Result{}, err
+				}
+				batch.Bytes += r.Len
+			}
+			busy, err := s.Accel.Issue(rocc.Command{Op: rocc.OpBlockForDeserCompletion})
+			if err != nil {
+				return Result{}, err
+			}
+			batch.Cycles = busy
+			batch.Seconds = s.accelSeconds(busy)
+			return batch, nil
+		},
+		abort: func() (float64, error) {
+			s.Heap.Truncate(heapMark)
+			s.Arena.Truncate(arenaMark)
+			return s.Accel.Deser.Abort(), nil
+		},
+		fallback: func() (Result, error) {
+			var batch Result
+			for i, r := range refs {
+				res, err := s.deserializeSoftware(t, r.Addr, r.Len)
+				if err != nil {
+					return Result{}, err
+				}
+				objs[i] = res.ObjAddr
+				batch.Cycles += res.Cycles
+				batch.Bytes += res.Bytes
+			}
+			batch.Seconds = s.CPU.Seconds(batch.Cycles)
+			return batch, nil
+		},
+	})
 	if err != nil {
 		return Result{}, nil, err
 	}
-	total.Cycles = busy
-	total.Seconds = busy / (s.Cfg.AccelFreqGHz * 1e9)
 	if began {
-		after := s.Accel.Deser.Stats()
-		total.Telemetry = &telemetry.OpTelemetry{
-			Counters: s.tel.Registry.Snapshot().Delta(prev),
-			Attribution: telemetry.NewAttribution(busy,
+		attr := telemetry.NewAttribution(total.Cycles, 0, 0, 0)
+		if total.Fault == nil || !total.Fault.FellBack {
+			after := s.Accel.Deser.Stats()
+			attr = telemetry.NewAttribution(total.Cycles,
 				after.SupplyBoundCycles-before.SupplyBoundCycles,
 				after.SpillCycles-before.SpillCycles,
-				after.ADTStallCycles-before.ADTStallCycles),
+				after.ADTStallCycles-before.ADTStallCycles)
+		}
+		total.Telemetry = &telemetry.OpTelemetry{
+			Counters:    s.tel.Registry.Snapshot().Delta(prev),
+			Attribution: attr,
 		}
 	}
 	return total, objs, nil
@@ -478,36 +627,71 @@ func (s *System) SerializeBatch(t *schema.Message, objAddrs []uint64) (Result, [
 	}
 	before := s.Accel.Ser.Stats()
 	adtAddr := s.adts.Addr(t)
-	firstOut := s.Accel.Ser.Outputs()
-	for _, obj := range objAddrs {
-		if _, err := s.Accel.Issue(rocc.Command{Op: rocc.OpSerInfo}); err != nil {
-			return Result{}, nil, err
-		}
-		if _, err := s.Accel.Issue(rocc.Command{Op: rocc.OpDoProtoSer, RS1: adtAddr, RS2: obj}); err != nil {
-			return Result{}, nil, err
-		}
-	}
-	busy, err := s.Accel.Issue(rocc.Command{Op: rocc.OpBlockForSerCompletion})
+	// As with DeserializeBatch, a fault anywhere rolls back and retries
+	// (or falls back) the whole batch as a unit.
+	var outMark ser.OutMark
+	total, err := s.resilient("ser_batch", accelAttempt{
+		attempt: func() (Result, error) {
+			outMark = s.Accel.Ser.Mark()
+			firstOut := s.Accel.Ser.Outputs()
+			var batch Result
+			for _, obj := range objAddrs {
+				if _, err := s.Accel.Issue(rocc.Command{Op: rocc.OpSerInfo}); err != nil {
+					return Result{}, err
+				}
+				if _, err := s.Accel.Issue(rocc.Command{Op: rocc.OpDoProtoSer, RS1: adtAddr, RS2: obj}); err != nil {
+					return Result{}, err
+				}
+			}
+			busy, err := s.Accel.Issue(rocc.Command{Op: rocc.OpBlockForSerCompletion})
+			if err != nil {
+				return Result{}, err
+			}
+			for i := range objAddrs {
+				addr, n, err := s.Accel.Ser.Output(firstOut + uint64(i))
+				if err != nil {
+					return Result{}, err
+				}
+				refs[i] = WireRef{Addr: addr, Len: n}
+				batch.Bytes += n
+			}
+			batch.Cycles = busy
+			batch.Seconds = s.accelSeconds(busy)
+			return batch, nil
+		},
+		abort: func() (float64, error) {
+			cy := s.Accel.Ser.Abort()
+			return cy, s.Accel.Ser.Rewind(outMark)
+		},
+		fallback: func() (Result, error) {
+			var batch Result
+			for i, obj := range objAddrs {
+				res, err := s.serializeSoftware(t, obj)
+				if err != nil {
+					return Result{}, err
+				}
+				refs[i] = WireRef{Addr: res.WireAddr, Len: res.Bytes}
+				batch.Cycles += res.Cycles
+				batch.Bytes += res.Bytes
+			}
+			batch.Seconds = s.CPU.Seconds(batch.Cycles)
+			return batch, nil
+		},
+	})
 	if err != nil {
 		return Result{}, nil, err
 	}
-	for i := range objAddrs {
-		addr, n, err := s.Accel.Ser.Output(firstOut + uint64(i))
-		if err != nil {
-			return Result{}, nil, err
-		}
-		refs[i] = WireRef{Addr: addr, Len: n}
-		total.Bytes += n
-	}
-	total.Cycles = busy
-	total.Seconds = busy / (s.Cfg.AccelFreqGHz * 1e9)
 	if began {
-		after := s.Accel.Ser.Stats()
-		total.Telemetry = &telemetry.OpTelemetry{
-			Counters: s.tel.Registry.Snapshot().Delta(prev),
-			Attribution: telemetry.NewAttribution(busy, 0,
+		attr := telemetry.NewAttribution(total.Cycles, 0, 0, 0)
+		if total.Fault == nil || !total.Fault.FellBack {
+			after := s.Accel.Ser.Stats()
+			attr = telemetry.NewAttribution(total.Cycles, 0,
 				after.SpillCycles-before.SpillCycles,
-				after.ADTStallCycles-before.ADTStallCycles),
+				after.ADTStallCycles-before.ADTStallCycles)
+		}
+		total.Telemetry = &telemetry.OpTelemetry{
+			Counters:    s.tel.Registry.Snapshot().Delta(prev),
+			Attribution: attr,
 		}
 	}
 	return total, refs, nil
@@ -518,13 +702,35 @@ func (s *System) SerializeBatch(t *schema.Message, objAddrs []uint64) (Result, [
 func (s *System) Clear(t *schema.Message, objAddr uint64) (Result, error) {
 	began := s.tel.OpBegin()
 	if s.Accel != nil {
-		busy, err := s.Accel.ClearOp(s.adts.Addr(t), objAddr)
+		adtAddr := s.adts.Addr(t)
+		res, err := s.resilient("clear", accelAttempt{
+			attempt: func() (Result, error) {
+				busy, err := s.Accel.ClearOp(adtAddr, objAddr)
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Cycles: busy, Seconds: s.accelSeconds(busy), ObjAddr: objAddr}, nil
+			},
+			abort: func() (float64, error) {
+				// Clear is idempotent: a partially-cleared object needs no
+				// rollback — the retry or the software fallback re-clears
+				// from the start and converges on the same result.
+				return s.Accel.Mops.Abort(), nil
+			},
+			fallback: func() (Result, error) {
+				start := s.CPU.Cycles()
+				if err := s.CPU.ClearObject(t, objAddr); err != nil {
+					return Result{}, err
+				}
+				cy := s.CPU.Cycles() - start
+				return Result{Cycles: cy, Seconds: s.CPU.Seconds(cy), ObjAddr: objAddr}, nil
+			},
+		})
 		if err != nil {
 			return Result{}, err
 		}
-		res := Result{Cycles: busy, Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9), ObjAddr: objAddr}
 		if began {
-			res.Telemetry = s.tel.OpEnd(s.mopsAttribution(busy))
+			res.Telemetry = s.tel.OpEnd(s.opAttribution(res))
 		}
 		return res, nil
 	}
@@ -545,13 +751,38 @@ func (s *System) Clear(t *schema.Message, objAddr uint64) (Result, error) {
 func (s *System) Copy(t *schema.Message, srcObj uint64) (Result, error) {
 	began := s.tel.OpBegin()
 	if s.Accel != nil {
-		busy, dst, err := s.Accel.CopyOp(s.adts.Addr(t), srcObj)
+		adtAddr := s.adts.Addr(t)
+		var arenaMark mem.Mark
+		res, err := s.resilient("copy", accelAttempt{
+			attempt: func() (Result, error) {
+				arenaMark = s.Arena.Mark()
+				busy, dst, err := s.Accel.CopyOp(adtAddr, srcObj)
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Cycles: busy, Seconds: s.accelSeconds(busy), ObjAddr: dst}, nil
+			},
+			abort: func() (float64, error) {
+				// Copy writes only freshly-allocated arena memory, so
+				// truncating the arena reverts it completely.
+				s.Arena.Truncate(arenaMark)
+				return s.Accel.Mops.Abort(), nil
+			},
+			fallback: func() (Result, error) {
+				start := s.CPU.Cycles()
+				dst, err := s.CPU.CopyObject(t, srcObj)
+				if err != nil {
+					return Result{}, err
+				}
+				cy := s.CPU.Cycles() - start
+				return Result{Cycles: cy, Seconds: s.CPU.Seconds(cy), ObjAddr: dst}, nil
+			},
+		})
 		if err != nil {
 			return Result{}, err
 		}
-		res := Result{Cycles: busy, Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9), ObjAddr: dst}
 		if began {
-			res.Telemetry = s.tel.OpEnd(s.mopsAttribution(busy))
+			res.Telemetry = s.tel.OpEnd(s.opAttribution(res))
 		}
 		return res, nil
 	}
@@ -573,13 +804,37 @@ func (s *System) Copy(t *schema.Message, srcObj uint64) (Result, error) {
 func (s *System) Merge(t *schema.Message, dstObj, srcObj uint64) (Result, error) {
 	began := s.tel.OpBegin()
 	if s.Accel != nil {
-		busy, err := s.Accel.MergeOp(s.adts.Addr(t), dstObj, srcObj)
+		adtAddr := s.adts.Addr(t)
+		res, err := s.resilient("merge", accelAttempt{
+			attempt: func() (Result, error) {
+				busy, err := s.Accel.MergeOp(adtAddr, dstObj, srcObj)
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Cycles: busy, Seconds: s.accelSeconds(busy), ObjAddr: dstObj}, nil
+			},
+			abort: func() (float64, error) {
+				// Merge's validation pre-pass hosts every fault trial before
+				// the first mutating write (see mops.Merge), so an aborted
+				// merge left the destination untouched — nothing to roll
+				// back. A failure after mutation began wraps ErrPoisoned and
+				// never reaches here.
+				return s.Accel.Mops.Abort(), nil
+			},
+			fallback: func() (Result, error) {
+				start := s.CPU.Cycles()
+				if err := s.CPU.MergeObjects(t, dstObj, srcObj); err != nil {
+					return Result{}, err
+				}
+				cy := s.CPU.Cycles() - start
+				return Result{Cycles: cy, Seconds: s.CPU.Seconds(cy), ObjAddr: dstObj}, nil
+			},
+		})
 		if err != nil {
 			return Result{}, err
 		}
-		res := Result{Cycles: busy, Seconds: busy / (s.Cfg.AccelFreqGHz * 1e9), ObjAddr: dstObj}
 		if began {
-			res.Telemetry = s.tel.OpEnd(s.mopsAttribution(busy))
+			res.Telemetry = s.tel.OpEnd(s.opAttribution(res))
 		}
 		return res, nil
 	}
@@ -595,14 +850,18 @@ func (s *System) Merge(t *schema.Message, dstObj, srcObj uint64) (Result, error)
 	return res, nil
 }
 
-// mopsAttribution builds the cycle attribution for the message-operations
+// opAttribution builds the cycle attribution for the message-operations
 // op that just completed (its per-op stats are the last MopsOps entry).
-func (s *System) mopsAttribution(busy float64) telemetry.Attribution {
-	if n := len(s.Accel.MopsOps); n > 0 {
-		st := s.Accel.MopsOps[n-1]
-		return telemetry.NewAttribution(busy, 0, st.SpillCycles, st.ADTStallCycles)
+// A fallen-back operation completed in software, where the accelerator's
+// attribution classes do not apply.
+func (s *System) opAttribution(res Result) telemetry.Attribution {
+	if res.Fault == nil || !res.Fault.FellBack {
+		if n := len(s.Accel.MopsOps); n > 0 {
+			st := s.Accel.MopsOps[n-1]
+			return telemetry.NewAttribution(res.Cycles, 0, st.SpillCycles, st.ADTStallCycles)
+		}
 	}
-	return telemetry.NewAttribution(busy, 0, 0, 0)
+	return telemetry.NewAttribution(res.Cycles, 0, 0, 0)
 }
 
 // ResetWork rewinds the resettable allocators (heap, accelerator arena,
@@ -647,6 +906,9 @@ func (s *System) ResetAll() {
 		s.Accel.Reset()
 		s.Accel.Ser.AssignArena(s.serData, s.serPtrs)
 	}
+	s.Inj.Reset()
+	s.res = resilienceStats{}
+	s.poisoned = false
 	s.tel.Reset()
 }
 

@@ -12,10 +12,10 @@ import (
 )
 
 func testType() *schema.Message {
-	sub := schema.MustMessage("Sub",
+	sub := mustMessage("Sub",
 		&schema.Field{Name: "id", Number: 1, Kind: schema.KindInt64},
 		&schema.Field{Name: "tag", Number: 2, Kind: schema.KindString})
-	return schema.MustMessage("T",
+	return mustMessage("T",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString},
 		&schema.Field{Name: "r", Number: 3, Kind: schema.KindInt64, Label: schema.LabelRepeated, Packed: true},
@@ -251,4 +251,16 @@ func TestThroughputMetric(t *testing.T) {
 	if (Result{}).Throughput() != 0 {
 		t.Error("zero result should have zero throughput")
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

@@ -20,11 +20,11 @@ import (
 //   - when the reference rejects an input, neither system may silently
 //     produce a *different* message than the codec semantics allow (the
 //     systems may reject too).
-func diffCheck(t *testing.T, typ *schema.Message, input []byte, sysBOOM, sysAccel *System) {
+func diffCheck(t *testing.T, typ *schema.Message, input []byte, systems ...*System) {
 	t.Helper()
 	ref, refErr := codec.Unmarshal(typ, input)
 
-	for _, sys := range []*System{sysBOOM, sysAccel} {
+	for _, sys := range systems {
 		sys.ResetWork()
 		// Inputs are transient here (unlike benchmark workloads): recycle
 		// the static input space so long fuzzing sessions don't exhaust it.
@@ -158,10 +158,10 @@ func TestDifferentialPureRandom(t *testing.T) {
 // `go test -fuzz=FuzzDifferentialDeserialize ./internal/core` explores the
 // input space; in normal runs the seed corpus exercises the check.
 func FuzzDifferentialDeserialize(f *testing.F) {
-	sub := schema.MustMessage("FSub",
+	sub := mustMessage("FSub",
 		&schema.Field{Name: "id", Number: 1, Kind: schema.KindInt64},
 		&schema.Field{Name: "tag", Number: 2, Kind: schema.KindString})
-	typ := schema.MustMessage("F",
+	typ := mustMessage("F",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString},
 		&schema.Field{Name: "r", Number: 3, Kind: schema.KindUint64, Label: schema.LabelRepeated, Packed: true},

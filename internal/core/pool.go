@@ -74,10 +74,12 @@ func (p *Pool) Get(cfg Config) *System {
 
 // Put returns a System to the pool for future reuse. Systems whose
 // configuration is not poolable, or that would exceed the pool's
-// capacity, are dropped (the GC reclaims them). Callers must not return a
-// System that reported an error mid-run: its state may be inconsistent.
+// capacity, are dropped (the GC reclaims them), as are poisoned Systems —
+// ones an aborted mid-mutation operation left with undefined simulated
+// state. Transactionally-aborted faults do not poison: a System that rode
+// out injected faults via retry or software fallback pools normally.
 func (p *Pool) Put(s *System) {
-	if s == nil {
+	if s == nil || s.Poisoned() {
 		return
 	}
 	key, ok := poolKey(s.Cfg)

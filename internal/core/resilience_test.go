@@ -1,0 +1,296 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"protoacc/internal/faults"
+	"protoacc/internal/pb/codec"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/telemetry"
+)
+
+// faultedConfig is an accelerated small config with deterministic fault
+// injection enabled.
+func faultedConfig(seed uint64, rate float64) Config {
+	cfg := smallConfig(KindAccel)
+	cfg.Faults = faults.Config{Enabled: true, Seed: seed, Rate: rate}
+	return cfg
+}
+
+// TestResilientOpsRecover drives every accelerator-backed operation under
+// a fault schedule dense enough to exercise retries and software
+// fallbacks, asserting the transactional contract: each operation either
+// succeeds with output identical to the fault-free reference or returns a
+// typed error — never a partial object.
+func TestResilientOpsRecover(t *testing.T) {
+	typ := testType()
+	msg := populate(typ)
+	wire, err := codec.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(faultedConfig(11, 0.08))
+	if err := sys.LoadSchema(typ); err != nil {
+		t.Fatal(err)
+	}
+	bufAddr, err := sys.WriteWire(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objAddr, err := sys.MaterializeInput(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var faulted, retries, fallbacks int
+	note := func(res Result) {
+		if res.Fault == nil {
+			return
+		}
+		faulted++
+		retries += res.Fault.Retries
+		if res.Fault.FellBack {
+			fallbacks++
+		}
+		if res.Fault.Attempts < 1 || res.Fault.Err == nil {
+			t.Fatalf("malformed fault report %+v", res.Fault)
+		}
+	}
+
+	for i := 0; i < 60; i++ {
+		dres, err := sys.Deserialize(typ, bufAddr, uint64(len(wire)))
+		if err != nil {
+			t.Fatalf("iter %d deser: %v", i, err)
+		}
+		got, err := sys.ReadMessage(typ, dres.ObjAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !msg.Equal(got) {
+			t.Fatalf("iter %d: deserialized object diverged (fault=%+v)", i, dres.Fault)
+		}
+		note(dres)
+
+		sres, err := sys.Serialize(typ, objAddr)
+		if err != nil {
+			t.Fatalf("iter %d ser: %v", i, err)
+		}
+		out, err := sys.ReadWire(sres.WireAddr, sres.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, wire) {
+			t.Fatalf("iter %d: serialized bytes diverged (fault=%+v)", i, sres.Fault)
+		}
+		note(sres)
+
+		cres, err := sys.Copy(typ, objAddr)
+		if err != nil {
+			t.Fatalf("iter %d copy: %v", i, err)
+		}
+		cp, err := sys.ReadMessage(typ, cres.ObjAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !msg.Equal(cp) {
+			t.Fatalf("iter %d: copied object diverged (fault=%+v)", i, cres.Fault)
+		}
+		note(cres)
+
+		dst, err := sys.MaterializeInput(dynamic.New(typ))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mres, err := sys.Merge(typ, dst, objAddr)
+		if err != nil {
+			t.Fatalf("iter %d merge: %v", i, err)
+		}
+		merged, err := sys.ReadMessage(typ, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !msg.Equal(merged) {
+			t.Fatalf("iter %d: merged object diverged (fault=%+v)", i, mres.Fault)
+		}
+		note(mres)
+
+		clres, err := sys.Clear(typ, cres.ObjAddr)
+		if err != nil {
+			t.Fatalf("iter %d clear: %v", i, err)
+		}
+		cleared, err := sys.ReadMessage(typ, cres.ObjAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cleared.PresentFieldNumbers()) != 0 {
+			t.Fatalf("iter %d: cleared object retains fields (fault=%+v)", i, clres.Fault)
+		}
+		note(clres)
+	}
+
+	if sys.Poisoned() {
+		t.Fatal("phantom faults must never poison the System")
+	}
+	if sys.Inj.TotalInjected() == 0 {
+		t.Fatal("fault schedule injected nothing; the test is vacuous")
+	}
+	if faulted == 0 || retries == 0 || fallbacks == 0 {
+		t.Fatalf("recovery machinery unexercised: faulted=%d retries=%d fallbacks=%d",
+			faulted, retries, fallbacks)
+	}
+
+	// The episode must be visible in telemetry: dispatch-layer recovery
+	// counters and per-site fault counters.
+	snap := sys.Telemetry().Registry.Snapshot()
+	for _, name := range []string{"resilience/aborts", "resilience/retries", "resilience/fallbacks"} {
+		if v, ok := snap.Get(name); !ok || v <= 0 {
+			t.Errorf("%s = %v (present=%v), want > 0", name, v, ok)
+		}
+	}
+	var injected float64
+	for _, site := range faults.SiteNames() {
+		if _, ok := snap.Get("faults/" + site + "/trials"); !ok {
+			t.Errorf("snapshot missing counter faults/%s/trials", site)
+		}
+		v, _ := snap.Get("faults/" + site + "/injected")
+		injected += v
+	}
+	if injected != float64(sys.Inj.TotalInjected()) {
+		t.Errorf("faults/*/injected sums to %v, injector reports %d",
+			injected, sys.Inj.TotalInjected())
+	}
+}
+
+// opTrace is the comparable footprint of one operation, used to check
+// that recycled Systems replay fault episodes exactly.
+type opTrace struct {
+	Cycles   float64
+	Seconds  float64
+	Bytes    uint64
+	Faulted  bool
+	Retries  int
+	FellBack bool
+}
+
+// runFaultedEpisode runs a fixed op sequence on sys, differentially
+// verifying every output, and returns the per-op traces plus the final
+// telemetry samples.
+func runFaultedEpisode(t *testing.T, sys *System) ([]opTrace, []telemetry.Sample) {
+	t.Helper()
+	typ := testType()
+	msg := populate(typ)
+	wire, err := codec.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadSchema(typ); err != nil {
+		t.Fatal(err)
+	}
+	bufAddr, err := sys.WriteWire(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objAddr, err := sys.MaterializeInput(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces []opTrace
+	note := func(res Result) {
+		tr := opTrace{Cycles: res.Cycles, Seconds: res.Seconds, Bytes: res.Bytes}
+		if res.Fault != nil {
+			tr.Faulted = true
+			tr.Retries = res.Fault.Retries
+			tr.FellBack = res.Fault.FellBack
+		}
+		traces = append(traces, tr)
+	}
+	for i := 0; i < 30; i++ {
+		dres, err := sys.Deserialize(typ, bufAddr, uint64(len(wire)))
+		if err != nil {
+			t.Fatalf("iter %d deser: %v", i, err)
+		}
+		got, err := sys.ReadMessage(typ, dres.ObjAddr)
+		if err != nil || !msg.Equal(got) {
+			t.Fatalf("iter %d: deser diverged: %v", i, err)
+		}
+		note(dres)
+		sres, err := sys.Serialize(typ, objAddr)
+		if err != nil {
+			t.Fatalf("iter %d ser: %v", i, err)
+		}
+		out, err := sys.ReadWire(sres.WireAddr, sres.Bytes)
+		if err != nil || !bytes.Equal(out, wire) {
+			t.Fatalf("iter %d: ser diverged: %v", i, err)
+		}
+		note(sres)
+	}
+	return traces, sys.Telemetry().Registry.Snapshot().Samples()
+}
+
+// TestFaultedSystemPoolsIndistinguishable is the error-path pooling
+// contract: a System that rode out injected faults and returned to the
+// pool must be indistinguishable from a freshly constructed one —
+// ResetAll rewinds the injector stream and zeroes all recovery state, so
+// the recycled System replays the identical fault episode.
+func TestFaultedSystemPoolsIndistinguishable(t *testing.T) {
+	cfg := faultedConfig(77, 0.06)
+	pool := NewPool(4)
+
+	first := pool.Get(cfg)
+	refTraces, refSamples := runFaultedEpisode(t, first)
+	if first.Inj.TotalInjected() == 0 {
+		t.Fatal("episode injected no faults; the test is vacuous")
+	}
+	pool.Put(first)
+	if pool.Idle() != 1 {
+		t.Fatal("transactionally-recovered System was not pooled")
+	}
+
+	recycled := pool.Get(cfg)
+	if recycled != first {
+		t.Fatal("expected the faulted System to be recycled")
+	}
+	if recycled.Inj.TotalInjected() != 0 || recycled.Poisoned() {
+		t.Fatal("recycle did not rewind injector/poison state")
+	}
+	if !recycled.Telemetry().Registry.Snapshot().Zero() {
+		t.Fatal("recycled System came back with residual counters")
+	}
+	gotTraces, gotSamples := runFaultedEpisode(t, recycled)
+	if !reflect.DeepEqual(gotTraces, refTraces) {
+		t.Error("recycled System's fault episode diverged from its first run")
+	}
+	if !reflect.DeepEqual(gotSamples, refSamples) {
+		t.Error("recycled System's telemetry diverged from its first run")
+	}
+
+	freshTraces, freshSamples := runFaultedEpisode(t, New(cfg))
+	if !reflect.DeepEqual(freshTraces, refTraces) {
+		t.Error("pooled episode diverged from a freshly constructed System's")
+	}
+	if !reflect.DeepEqual(freshSamples, refSamples) {
+		t.Error("pooled telemetry diverged from a freshly constructed System's")
+	}
+}
+
+// TestPoolRefusesPoisonedSystem: a System whose abort left simulated
+// state undefined must not recycle; ResetAll rehabilitates it.
+func TestPoolRefusesPoisonedSystem(t *testing.T) {
+	pool := NewPool(4)
+	sys := New(smallConfig(KindAccel))
+	sys.poisoned = true
+	pool.Put(sys)
+	if pool.Idle() != 0 {
+		t.Fatal("pool accepted a poisoned System")
+	}
+	sys.ResetAll()
+	if sys.Poisoned() {
+		t.Fatal("ResetAll did not clear poisoning")
+	}
+	pool.Put(sys)
+	if pool.Idle() != 1 {
+		t.Fatal("rehabilitated System should pool")
+	}
+}

@@ -49,7 +49,7 @@ func TestTelemetryCoverage(t *testing.T) {
 	}
 
 	groups := sys.Telemetry().Registry.Groups()
-	want := []string{"mem", "cpu", "rocc", "deser", "ser", "mops"}
+	want := []string{"mem", "cpu", "rocc", "deser", "ser", "mops", "faults", "resilience"}
 	if !reflect.DeepEqual(groups, want) {
 		t.Errorf("groups = %v, want %v", groups, want)
 	}
@@ -197,7 +197,7 @@ func TestResetAllZeroesTelemetry(t *testing.T) {
 	if hub.PerOpEnabled() {
 		t.Error("ResetAll left per-op capture enabled")
 	}
-	if len(hub.Registry.Groups()) != 6 {
+	if len(hub.Registry.Groups()) != 8 {
 		t.Errorf("ResetAll dropped registrations: groups = %v", hub.Registry.Groups())
 	}
 }

@@ -1,0 +1,306 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSiteNamesRoundTrip(t *testing.T) {
+	for i := 0; i < NumSites; i++ {
+		s := Site(i)
+		got, err := ParseSite(s.String())
+		if err != nil {
+			t.Fatalf("ParseSite(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("ParseSite(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+	if _, err := ParseSite("bogus"); err == nil {
+		t.Fatal("ParseSite accepted an unknown site")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	permanent := map[Site]bool{SiteArena: true, SiteWireCorrupt: true}
+	for i := 0; i < NumSites; i++ {
+		s := Site(i)
+		want := ClassTransient
+		if permanent[s] {
+			want = ClassPermanent
+		}
+		if got := Classify(s); got != want {
+			t.Errorf("Classify(%v) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var inj *Injector
+	for i := 0; i < NumSites; i++ {
+		if err := inj.At(Site(i)); err != nil {
+			t.Fatalf("nil injector fired at %v: %v", Site(i), err)
+		}
+	}
+	if inj.Enabled() {
+		t.Fatal("nil injector reports Enabled")
+	}
+	if inj.TotalInjected() != 0 || inj.Trials(SiteArena) != 0 {
+		t.Fatal("nil injector has nonzero counters")
+	}
+	inj.Reset() // must not panic
+}
+
+func TestDisabledInjectorNeverFires(t *testing.T) {
+	inj, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 1000; n++ {
+		if err := inj.At(SiteMemloader); err != nil {
+			t.Fatalf("disabled injector fired: %v", err)
+		}
+	}
+	if inj.Trials(SiteMemloader) != 0 {
+		t.Fatal("disabled injector recorded trials")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Enabled: true, Seed: 42, Rate: 0.1}
+	run := func() []bool {
+		inj, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 0, 4*1000)
+		for n := 0; n < 1000; n++ {
+			for s := 0; s < NumSites; s++ {
+				out = append(out, inj.At(Site(s)) != nil)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at trial %d", i)
+		}
+	}
+}
+
+func TestResetReplaysSchedule(t *testing.T) {
+	inj, err := New(Config{Enabled: true, Seed: 7, Rate: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []bool
+	for n := 0; n < 500; n++ {
+		first = append(first, inj.At(SiteMemwriter) != nil)
+	}
+	inj.Reset()
+	if inj.TotalInjected() != 0 {
+		t.Fatal("Reset did not zero injected counters")
+	}
+	for n := 0; n < 500; n++ {
+		if (inj.At(SiteMemwriter) != nil) != first[n] {
+			t.Fatalf("replay diverges at trial %d", n)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	schedule := func(seed uint64) []bool {
+		inj, err := New(Config{Enabled: true, Seed: seed, Rate: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 256)
+		for i := range out {
+			out[i] = inj.At(SiteArena) != nil
+		}
+		return out
+	}
+	a, b := schedule(1), schedule(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+func TestRateExtremes(t *testing.T) {
+	always, err := New(Config{Enabled: true, Seed: 3, Rate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 100; n++ {
+		if always.At(SiteStackSpill) == nil {
+			t.Fatal("rate-1 injector failed to fire")
+		}
+	}
+	never, err := New(Config{Enabled: true, Seed: 3, Rate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 100; n++ {
+		if never.At(SiteStackSpill) != nil {
+			t.Fatal("rate-0 injector fired")
+		}
+	}
+}
+
+func TestRateApproximatelyHonored(t *testing.T) {
+	inj, err := New(Config{Enabled: true, Seed: 99, Rate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 20000
+	for n := 0; n < trials; n++ {
+		inj.At(SiteMemloader)
+	}
+	got := float64(inj.Injected(SiteMemloader)) / trials
+	if got < 0.17 || got > 0.23 {
+		t.Fatalf("empirical rate %.3f too far from 0.2", got)
+	}
+}
+
+func TestSiteFilter(t *testing.T) {
+	inj, err := New(Config{Enabled: true, Seed: 5, Rate: 1, Sites: "arena, wire_corrupt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.At(SiteMemloader) != nil {
+		t.Fatal("filtered-out site fired")
+	}
+	if inj.Trials(SiteMemloader) != 0 {
+		t.Fatal("filtered-out site recorded a trial")
+	}
+	if inj.At(SiteArena) == nil {
+		t.Fatal("enabled site did not fire at rate 1")
+	}
+	if _, err := New(Config{Enabled: true, Rate: 0.5, Sites: "nope"}); err == nil {
+		t.Fatal("New accepted an unknown site filter")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Enabled: true, Rate: 1.5}).Validate(); err == nil {
+		t.Fatal("Validate accepted rate > 1")
+	}
+	if err := (Config{Enabled: true, Rate: -0.1}).Validate(); err == nil {
+		t.Fatal("Validate accepted rate < 0")
+	}
+	if err := (Config{Rate: 99}).Validate(); err != nil {
+		t.Fatalf("disabled config rejected: %v", err)
+	}
+}
+
+func TestFaultErrorShape(t *testing.T) {
+	inj, err := New(Config{Enabled: true, Seed: 11, Rate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := inj.At(SiteRoCCTimeout)
+	if e == nil {
+		t.Fatal("rate-1 injector did not fire")
+	}
+	f := AsFault(e)
+	if f == nil {
+		t.Fatalf("AsFault failed on %T", e)
+	}
+	if f.Site != SiteRoCCTimeout || f.Seq != 1 {
+		t.Fatalf("fault = %+v, want site %v seq 1", f, SiteRoCCTimeout)
+	}
+	if f.Class() != ClassTransient {
+		t.Fatalf("rocc_timeout classified %v", f.Class())
+	}
+	var target *Fault
+	if !errors.As(e, &target) {
+		t.Fatal("errors.As failed")
+	}
+	if AsFault(errors.New("plain")) != nil {
+		t.Fatal("AsFault matched a plain error")
+	}
+}
+
+func TestAtDoesNotAllocate(t *testing.T) {
+	inj, err := New(Config{Enabled: true, Seed: 1, Rate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		inj.At(SiteMemloader)
+		inj.At(SiteArena)
+	})
+	if allocs != 0 {
+		t.Fatalf("At allocates: %.1f allocs/op", allocs)
+	}
+	var nilInj *Injector
+	allocs = testing.AllocsPerRun(1000, func() { nilInj.At(SiteMemwriter) })
+	if allocs != 0 {
+		t.Fatalf("nil At allocates: %.1f allocs/op", allocs)
+	}
+}
+
+func TestCollectTelemetryShape(t *testing.T) {
+	inj, err := New(Config{Enabled: true, Seed: 2, Rate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.At(SiteMemloader)
+	var names []string
+	var values []float64
+	inj.CollectTelemetry(func(name string, v float64) {
+		names = append(names, name)
+		values = append(values, v)
+	})
+	if len(names) != 2*NumSites {
+		t.Fatalf("emitted %d counters, want %d", len(names), 2*NumSites)
+	}
+	if names[0] != "memloader/trials" || values[0] != 1 {
+		t.Fatalf("first counter %s=%v, want memloader/trials=1", names[0], values[0])
+	}
+	if names[1] != "memloader/injected" || values[1] != 1 {
+		t.Fatalf("second counter %s=%v, want memloader/injected=1", names[1], values[1])
+	}
+}
+
+func TestParseFlag(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    Config
+		wantErr bool
+	}{
+		{spec: "", want: Config{Seed: 7}},
+		{spec: "off", want: Config{Seed: 7}},
+		{spec: " off ", want: Config{Seed: 7}},
+		{spec: "0.01", want: Config{Enabled: true, Seed: 7, Rate: 0.01}},
+		{spec: "0.5@arena", want: Config{Enabled: true, Seed: 7, Rate: 0.5, Sites: "arena"}},
+		{spec: "0.1@arena,rocc_timeout", want: Config{Enabled: true, Seed: 7, Rate: 0.1, Sites: "arena,rocc_timeout"}},
+		{spec: "bogus", wantErr: true},
+		{spec: "1.5", wantErr: true}, // rate outside [0, 1]
+		{spec: "0.1@nosuch", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseFlag(c.spec, 7)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseFlag(%q): want error, got %+v", c.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseFlag(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseFlag(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}

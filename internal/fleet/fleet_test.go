@@ -214,7 +214,7 @@ func TestEstimateTimeShares(t *testing.T) {
 }
 
 func TestSamplerBasics(t *testing.T) {
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "v", Number: 1, Kind: schema.KindUint64},
 		&schema.Field{Name: "s", Number: 4, Kind: schema.KindString},
 	)
@@ -247,9 +247,9 @@ func TestSamplerBasics(t *testing.T) {
 }
 
 func TestSamplerDepth(t *testing.T) {
-	leaf := schema.MustMessage("Leaf", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
-	mid := schema.MustMessage("Mid", &schema.Field{Name: "l", Number: 1, Kind: schema.KindMessage, Message: leaf})
-	top := schema.MustMessage("Top",
+	leaf := mustMessage("Leaf", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	mid := mustMessage("Mid", &schema.Field{Name: "l", Number: 1, Kind: schema.KindMessage, Message: leaf})
+	top := mustMessage("Top",
 		&schema.Field{Name: "m", Number: 1, Kind: schema.KindMessage, Message: mid},
 		&schema.Field{Name: "v", Number: 2, Kind: schema.KindInt32})
 	m := dynamic.New(top)
@@ -313,4 +313,16 @@ func TestBucketIndex(t *testing.T) {
 			t.Errorf("bucketIndex(%d) = %d, want %d", n, got, want)
 		}
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

@@ -7,11 +7,22 @@
 package arena
 
 import (
+	"errors"
 	"fmt"
 
 	"protoacc/internal/pb/dynamic"
 	"protoacc/internal/pb/schema"
 )
+
+// ErrInvalidAlloc reports an allocation request no arena can satisfy: a
+// negative size, or one past MaxAlloc. Sizes can derive from
+// length-prefixed wire data, so the arena returns the error instead of
+// panicking the process on untrusted input.
+var ErrInvalidAlloc = errors.New("arena: invalid allocation size")
+
+// MaxAlloc bounds a single allocation (1 GiB). Wire-derived lengths past
+// this are corrupt or hostile, not real messages.
+const MaxAlloc = 1 << 30
 
 // Arena is a region allocator for message construction. It is not
 // goroutine-safe; like C++ protobuf arenas, each arena serves one
@@ -29,20 +40,21 @@ type Arena struct {
 const DefaultBlockSize = 64 << 10
 
 // New creates an arena with the default block size.
-func New() *Arena { return NewWithBlockSize(DefaultBlockSize) }
+func New() *Arena { return &Arena{blockSize: DefaultBlockSize} }
 
 // NewWithBlockSize creates an arena whose blocks are blockSize bytes.
-func NewWithBlockSize(blockSize int) *Arena {
-	if blockSize <= 0 {
-		panic(fmt.Sprintf("arena: invalid block size %d", blockSize))
+func NewWithBlockSize(blockSize int) (*Arena, error) {
+	if blockSize <= 0 || blockSize > MaxAlloc {
+		return nil, fmt.Errorf("%w: block size %d", ErrInvalidAlloc, blockSize)
 	}
-	return &Arena{blockSize: blockSize}
+	return &Arena{blockSize: blockSize}, nil
 }
 
-// Alloc returns a fresh byte slice of length n from the arena.
-func (a *Arena) Alloc(n int) []byte {
-	if n < 0 {
-		panic("arena: negative allocation")
+// Alloc returns a fresh byte slice of length n from the arena, or
+// ErrInvalidAlloc for a negative or oversized n.
+func (a *Arena) Alloc(n int) ([]byte, error) {
+	if n < 0 || n > MaxAlloc {
+		return nil, fmt.Errorf("%w: %d bytes", ErrInvalidAlloc, n)
 	}
 	// Align to 8 to mirror the pointer-bump behaviour of the C++ arena.
 	aligned := (n + 7) &^ 7
@@ -58,7 +70,7 @@ func (a *Arena) Alloc(n int) []byte {
 	b := a.buf[a.off : a.off+n : a.off+n]
 	a.off += aligned
 	a.allocated += int64(aligned)
-	return b
+	return b, nil
 }
 
 // NewMessage creates a message of type t owned by the arena. Owned
@@ -70,10 +82,13 @@ func (a *Arena) NewMessage(t *schema.Message) *dynamic.Message {
 }
 
 // Bytes copies v into arena storage.
-func (a *Arena) Bytes(v []byte) []byte {
-	b := a.Alloc(len(v))
+func (a *Arena) Bytes(v []byte) ([]byte, error) {
+	b, err := a.Alloc(len(v))
+	if err != nil {
+		return nil, err
+	}
 	copy(b, v)
-	return b
+	return b, nil
 }
 
 // SpaceUsed returns the total bytes allocated from the arena so far.

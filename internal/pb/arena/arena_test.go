@@ -1,15 +1,26 @@
 package arena
 
 import (
+	"errors"
 	"testing"
 
 	"protoacc/internal/pb/schema"
 )
 
+// alloc is the test shorthand for allocations that must succeed.
+func alloc(t *testing.T, a *Arena, n int) []byte {
+	t.Helper()
+	b, err := a.Alloc(n)
+	if err != nil {
+		t.Fatalf("Alloc(%d): %v", n, err)
+	}
+	return b
+}
+
 func TestAllocBasic(t *testing.T) {
 	a := New()
-	b1 := a.Alloc(10)
-	b2 := a.Alloc(20)
+	b1 := alloc(t, a, 10)
+	b2 := alloc(t, a, 20)
 	if len(b1) != 10 || len(b2) != 20 {
 		t.Fatal("wrong lengths")
 	}
@@ -30,14 +41,17 @@ func TestAllocBasic(t *testing.T) {
 }
 
 func TestAllocNewBlock(t *testing.T) {
-	a := NewWithBlockSize(64)
-	a.Alloc(48)
-	a.Alloc(48) // doesn't fit: new block
+	a, err := NewWithBlockSize(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc(t, a, 48)
+	alloc(t, a, 48) // doesn't fit: new block
 	if a.Blocks() != 2 {
 		t.Errorf("Blocks = %d", a.Blocks())
 	}
-	// Oversized allocation gets its own block.
-	big := a.Alloc(1000)
+	// Oversized-for-the-block allocation gets its own block.
+	big := alloc(t, a, 1000)
 	if len(big) != 1000 || a.Blocks() != 3 {
 		t.Errorf("big alloc: len=%d blocks=%d", len(big), a.Blocks())
 	}
@@ -45,14 +59,14 @@ func TestAllocNewBlock(t *testing.T) {
 
 func TestAllocZero(t *testing.T) {
 	a := New()
-	if b := a.Alloc(0); len(b) != 0 {
+	if b := alloc(t, a, 0); len(b) != 0 {
 		t.Error("Alloc(0) should be empty")
 	}
 }
 
 func TestAllocCapClamped(t *testing.T) {
 	a := New()
-	b := a.Alloc(5)
+	b := alloc(t, a, 5)
 	if cap(b) != 5 {
 		t.Errorf("cap = %d, want 5 (appends must not scribble into the arena)", cap(b))
 	}
@@ -61,7 +75,10 @@ func TestAllocCapClamped(t *testing.T) {
 func TestBytesCopies(t *testing.T) {
 	a := New()
 	src := []byte("hello")
-	cp := a.Bytes(src)
+	cp, err := a.Bytes(src)
+	if err != nil {
+		t.Fatal(err)
+	}
 	src[0] = 'X'
 	if string(cp) != "hello" {
 		t.Error("Bytes should copy")
@@ -70,31 +87,38 @@ func TestBytesCopies(t *testing.T) {
 
 func TestMessagesAndReset(t *testing.T) {
 	a := New()
-	typ := schema.MustMessage("M", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	typ, err := schema.NewMessage("M", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := a.NewMessage(typ)
 	m.SetInt32(1, 5)
 	if a.OwnedMessages() != 1 {
 		t.Errorf("OwnedMessages = %d", a.OwnedMessages())
 	}
-	a.Alloc(100)
+	alloc(t, a, 100)
 	a.Reset()
 	if a.OwnedMessages() != 0 || a.SpaceUsed() != 0 || a.Blocks() != 0 {
 		t.Error("Reset incomplete")
 	}
 }
 
-func TestPanics(t *testing.T) {
-	for name, f := range map[string]func(){
-		"negative alloc": func() { New().Alloc(-1) },
-		"bad block size": func() { NewWithBlockSize(0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			f()
-		}()
+// TestInvalidRequestsError: sizes that can derive from untrusted wire
+// lengths must come back as errors, never panics.
+func TestInvalidRequestsError(t *testing.T) {
+	a := New()
+	if _, err := a.Alloc(-1); !errors.Is(err, ErrInvalidAlloc) {
+		t.Errorf("Alloc(-1) err = %v, want ErrInvalidAlloc", err)
+	}
+	if _, err := a.Alloc(MaxAlloc + 1); !errors.Is(err, ErrInvalidAlloc) {
+		t.Errorf("Alloc(MaxAlloc+1) err = %v, want ErrInvalidAlloc", err)
+	}
+	if _, err := a.Bytes(nil); err != nil {
+		t.Errorf("Bytes(nil) err = %v", err)
+	}
+	for _, size := range []int{0, -4, MaxAlloc + 1} {
+		if _, err := NewWithBlockSize(size); !errors.Is(err, ErrInvalidAlloc) {
+			t.Errorf("NewWithBlockSize(%d) err = %v, want ErrInvalidAlloc", size, err)
+		}
 	}
 }

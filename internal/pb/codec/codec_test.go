@@ -14,7 +14,7 @@ import (
 // test1Type mirrors the canonical protobuf docs Test1 message:
 // message Test1 { optional int32 a = 1; }
 func test1Type() *schema.Message {
-	return schema.MustMessage("Test1",
+	return mustMessage("Test1",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
 }
 
@@ -35,7 +35,7 @@ func TestGoldenWireBytes(t *testing.T) {
 
 	// Test2 { optional string b = 2; } with b="testing":
 	// 12 07 74 65 73 74 69 6e 67
-	t2 := schema.MustMessage("Test2", &schema.Field{Name: "b", Number: 2, Kind: schema.KindString})
+	t2 := mustMessage("Test2", &schema.Field{Name: "b", Number: 2, Kind: schema.KindString})
 	m2 := dynamic.New(t2)
 	m2.SetString(2, "testing")
 	b2, _ := Marshal(m2)
@@ -45,7 +45,7 @@ func TestGoldenWireBytes(t *testing.T) {
 	}
 
 	// Test3 { optional Test1 c = 3; } with c.a=150: 1a 03 08 96 01
-	t3 := schema.MustMessage("Test3",
+	t3 := mustMessage("Test3",
 		&schema.Field{Name: "c", Number: 3, Kind: schema.KindMessage, Message: test1Type()})
 	m3 := dynamic.New(t3)
 	m3.MutableMessage(3).SetInt32(1, 150)
@@ -56,7 +56,7 @@ func TestGoldenWireBytes(t *testing.T) {
 
 	// Test4 { repeated int32 d = 4 [packed=true]; } with d=[3,270,86942]:
 	// 22 06 03 8e 02 9e a7 05
-	t4 := schema.MustMessage("Test4",
+	t4 := mustMessage("Test4",
 		&schema.Field{Name: "d", Number: 4, Kind: schema.KindInt32, Label: schema.LabelRepeated, Packed: true})
 	m4 := dynamic.New(t4)
 	for _, v := range []int32{3, 270, 86942} {
@@ -83,7 +83,7 @@ func TestNegativeInt32TenBytes(t *testing.T) {
 }
 
 func TestSint32OneByte(t *testing.T) {
-	typ := schema.MustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindSint32})
+	typ := mustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindSint32})
 	m := dynamic.New(typ)
 	m.SetInt32(1, -1)
 	b, _ := Marshal(m)
@@ -98,14 +98,14 @@ func TestSint32OneByte(t *testing.T) {
 
 func TestEmptyMessageZeroBytes(t *testing.T) {
 	// Figure 1 of the paper: empty messages take no bytes in encoded form.
-	typ := schema.MustMessage("Empty")
+	typ := mustMessage("Empty")
 	b, err := Marshal(dynamic.New(typ))
 	if err != nil || len(b) != 0 {
 		t.Errorf("empty message encoded to %d bytes", len(b))
 	}
 	// A sub-message field pointing at an empty message costs only
 	// tag+len(0).
-	outer := schema.MustMessage("Outer",
+	outer := mustMessage("Outer",
 		&schema.Field{Name: "e", Number: 1, Kind: schema.KindMessage, Message: typ})
 	m := dynamic.New(outer)
 	m.MutableMessage(1)
@@ -160,7 +160,7 @@ func TestDepthLimit(t *testing.T) {
 }
 
 func TestUnpackedRepeated(t *testing.T) {
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "r", Number: 2, Kind: schema.KindUint64, Label: schema.LabelRepeated})
 	m := dynamic.New(typ)
 	m.AddScalarBits(2, 1)
@@ -179,9 +179,9 @@ func TestUnpackedRepeated(t *testing.T) {
 
 func TestPackedUnpackedInterchange(t *testing.T) {
 	// A decoder must accept packed data for unpacked fields and vice versa.
-	unpackedType := schema.MustMessage("M",
+	unpackedType := mustMessage("M",
 		&schema.Field{Name: "r", Number: 1, Kind: schema.KindInt32, Label: schema.LabelRepeated})
-	packedType := schema.MustMessage("M",
+	packedType := mustMessage("M",
 		&schema.Field{Name: "r", Number: 1, Kind: schema.KindInt32, Label: schema.LabelRepeated, Packed: true})
 
 	src := dynamic.New(packedType)
@@ -207,7 +207,7 @@ func TestPackedUnpackedInterchange(t *testing.T) {
 }
 
 func TestPackedFixedWidth(t *testing.T) {
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "r", Number: 1, Kind: schema.KindFixed32, Label: schema.LabelRepeated, Packed: true},
 		&schema.Field{Name: "d", Number: 2, Kind: schema.KindDouble, Label: schema.LabelRepeated, Packed: true})
 	m := dynamic.New(typ)
@@ -239,10 +239,10 @@ func TestLastOneWins(t *testing.T) {
 }
 
 func TestSingularSubMessageMergesAcrossOccurrences(t *testing.T) {
-	sub := schema.MustMessage("Sub",
+	sub := mustMessage("Sub",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "b", Number: 2, Kind: schema.KindInt32})
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: sub})
 	// Two occurrences of field 1, each setting a different sub-field.
 	m1 := dynamic.New(typ)
@@ -264,11 +264,11 @@ func TestSingularSubMessageMergesAcrossOccurrences(t *testing.T) {
 func TestUnknownFieldPreservation(t *testing.T) {
 	// Serialize with a richer schema, deserialize with a narrower one
 	// (schema evolution), reserialize, deserialize with the rich schema.
-	rich := schema.MustMessage("M",
+	rich := mustMessage("M",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "b", Number: 2, Kind: schema.KindString},
 		&schema.Field{Name: "c", Number: 3, Kind: schema.KindFixed64})
-	narrow := schema.MustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
+	narrow := mustMessage("M", &schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
 
 	m := dynamic.New(rich)
 	m.SetInt32(1, 5)
@@ -308,7 +308,7 @@ func TestWireTypeMismatchGoesToUnknown(t *testing.T) {
 }
 
 func TestTruncatedInputs(t *testing.T) {
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "s", Number: 1, Kind: schema.KindString},
 		&schema.Field{Name: "v", Number: 2, Kind: schema.KindUint64})
 	m := dynamic.New(typ)
@@ -374,7 +374,7 @@ func TestDeterministicOutput(t *testing.T) {
 }
 
 func TestFieldsSerializedInAscendingOrder(t *testing.T) {
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "hi", Number: 200, Kind: schema.KindInt32},
 		&schema.Field{Name: "lo", Number: 1, Kind: schema.KindInt32})
 	m := dynamic.New(typ)
@@ -388,7 +388,7 @@ func TestFieldsSerializedInAscendingOrder(t *testing.T) {
 }
 
 func TestBoolCanonicalization(t *testing.T) {
-	typ := schema.MustMessage("M", &schema.Field{Name: "b", Number: 1, Kind: schema.KindBool})
+	typ := mustMessage("M", &schema.Field{Name: "b", Number: 1, Kind: schema.KindBool})
 	// Wire value 2 should decode as true (non-zero).
 	var b []byte
 	b = wire.AppendTag(b, 1, wire.TypeVarint)
@@ -425,4 +425,16 @@ func BenchmarkUnmarshalSmall(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

@@ -6,6 +6,18 @@
 //
 // Accessors panic on schema misuse (wrong kind, unknown field number): such
 // errors are programming bugs, matching the behaviour of generated code.
+//
+// None of these panics is reachable from wire input. The only decoder that
+// drives these accessors from untrusted bytes is codec.Unmarshal, which
+// resolves each tag against the schema first (unknown or wire-type-
+// mismatched fields are preserved as Unknown bytes, never dispatched) and
+// then selects the accessor from the resolved field's own kind and label —
+// so field(), checkKind, checkSingular/checkRepeated, and the scalar-kind
+// guards hold by construction. SetMessage and Merge, whose type-identity
+// panics a decoder could not guarantee, are not called by the codec: it
+// builds sub-messages with AddMessage/MutableMessage, which derive the
+// element type from the field descriptor. FuzzDeserialize in internal/core
+// asserts this empirically on arbitrary inputs.
 package dynamic
 
 import (

@@ -8,7 +8,7 @@ import (
 )
 
 func scalarType() *schema.Message {
-	return schema.MustMessage("S",
+	return mustMessage("S",
 		&schema.Field{Name: "i32", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "i64", Number: 2, Kind: schema.KindInt64},
 		&schema.Field{Name: "u32", Number: 3, Kind: schema.KindUint32},
@@ -50,7 +50,7 @@ func TestScalarAccessors(t *testing.T) {
 }
 
 func TestDefaultsWhenAbsent(t *testing.T) {
-	typ := schema.MustMessage("D",
+	typ := mustMessage("D",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32, Default: ^uint64(0) - 6}, // -7 two's complement
 		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString, DefaultBytes: []byte("dflt")},
 		&schema.Field{Name: "b", Number: 3, Kind: schema.KindBool, Default: 1},
@@ -76,7 +76,7 @@ func TestDefaultsWhenAbsent(t *testing.T) {
 }
 
 func TestRepeatedScalars(t *testing.T) {
-	typ := schema.MustMessage("R",
+	typ := mustMessage("R",
 		&schema.Field{Name: "v", Number: 1, Kind: schema.KindInt64, Label: schema.LabelRepeated},
 	)
 	m := New(typ)
@@ -96,8 +96,8 @@ func TestRepeatedScalars(t *testing.T) {
 }
 
 func TestRepeatedBytesAndMessages(t *testing.T) {
-	sub := schema.MustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
-	typ := schema.MustMessage("R",
+	sub := mustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	typ := mustMessage("R",
 		&schema.Field{Name: "names", Number: 1, Kind: schema.KindString, Label: schema.LabelRepeated},
 		&schema.Field{Name: "subs", Number: 2, Kind: schema.KindMessage, Label: schema.LabelRepeated, Message: sub},
 	)
@@ -116,8 +116,8 @@ func TestRepeatedBytesAndMessages(t *testing.T) {
 }
 
 func TestSubMessageAccessors(t *testing.T) {
-	sub := schema.MustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
-	typ := schema.MustMessage("M",
+	sub := mustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	typ := mustMessage("M",
 		&schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: sub},
 	)
 	m := New(typ)
@@ -135,7 +135,7 @@ func TestSubMessageAccessors(t *testing.T) {
 }
 
 func TestAccessorPanics(t *testing.T) {
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "r", Number: 2, Kind: schema.KindInt32, Label: schema.LabelRepeated},
 		&schema.Field{Name: "s", Number: 3, Kind: schema.KindString},
@@ -160,9 +160,9 @@ func TestAccessorPanics(t *testing.T) {
 }
 
 func TestSetMessageTypeCheck(t *testing.T) {
-	subA := schema.MustMessage("A", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
-	subB := schema.MustMessage("B", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
-	typ := schema.MustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: subA})
+	subA := mustMessage("A", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	subB := mustMessage("B", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	typ := mustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindMessage, Message: subA})
 	m := New(typ)
 	defer func() {
 		if recover() == nil {
@@ -173,8 +173,8 @@ func TestSetMessageTypeCheck(t *testing.T) {
 }
 
 func TestEqualCloneMerge(t *testing.T) {
-	sub := schema.MustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
-	typ := schema.MustMessage("M",
+	sub := mustMessage("Sub", &schema.Field{Name: "v", Number: 1, Kind: schema.KindInt32})
+	typ := mustMessage("M",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString},
 		&schema.Field{Name: "sub", Number: 3, Kind: schema.KindMessage, Message: sub},
@@ -260,9 +260,9 @@ func TestClearAll(t *testing.T) {
 }
 
 func TestIsInitialized(t *testing.T) {
-	sub := schema.MustMessage("Sub",
+	sub := mustMessage("Sub",
 		&schema.Field{Name: "req", Number: 1, Kind: schema.KindInt32, Label: schema.LabelRequired})
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "req", Number: 1, Kind: schema.KindInt32, Label: schema.LabelRequired},
 		&schema.Field{Name: "sub", Number: 2, Kind: schema.KindMessage, Message: sub},
 		&schema.Field{Name: "subs", Number: 3, Kind: schema.KindMessage, Message: sub, Label: schema.LabelRepeated},
@@ -345,4 +345,16 @@ func TestQuickClearRestoresAbsence(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

@@ -13,11 +13,11 @@ import (
 )
 
 func demoType() *schema.Message {
-	sub := schema.MustMessage("Sub",
+	sub := mustMessage("Sub",
 		&schema.Field{Name: "id", Number: 1, Kind: schema.KindInt64},
 		&schema.Field{Name: "tag", Number: 2, Kind: schema.KindString})
 	e := &schema.Enum{Name: "Color", Values: map[string]int32{"RED": 0, "BLUE": 2}}
-	return schema.MustMessage("Demo",
+	return mustMessage("Demo",
 		&schema.Field{Name: "name", Number: 1, Kind: schema.KindString},
 		&schema.Field{Name: "count", Number: 2, Kind: schema.KindInt32},
 		&schema.Field{Name: "big", Number: 3, Kind: schema.KindInt64},
@@ -77,7 +77,7 @@ func TestMarshalCanonicalForms(t *testing.T) {
 }
 
 func TestNonFiniteFloats(t *testing.T) {
-	typ := schema.MustMessage("F",
+	typ := mustMessage("F",
 		&schema.Field{Name: "f", Number: 1, Kind: schema.KindFloat},
 		&schema.Field{Name: "d", Number: 2, Kind: schema.KindDouble})
 	m := dynamic.New(typ)
@@ -196,14 +196,14 @@ func TestMarshalIndent(t *testing.T) {
 }
 
 func TestInvalidUTF8Rejected(t *testing.T) {
-	typ := schema.MustMessage("U", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+	typ := mustMessage("U", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
 	m := dynamic.New(typ)
 	m.SetBytes(1, []byte{0xff, 0xfe})
 	if _, err := Marshal(m); err == nil {
 		t.Error("invalid UTF-8 in string field should be rejected")
 	}
 	// bytes fields are base64, so arbitrary data is fine.
-	typ2 := schema.MustMessage("U2", &schema.Field{Name: "b", Number: 1, Kind: schema.KindBytes})
+	typ2 := mustMessage("U2", &schema.Field{Name: "b", Number: 1, Kind: schema.KindBytes})
 	m2 := dynamic.New(typ2)
 	m2.SetBytes(1, []byte{0xff, 0xfe})
 	if _, err := Marshal(m2); err != nil {
@@ -225,4 +225,16 @@ func TestNullSubMessage(t *testing.T) {
 	if !strings.Contains(string(b), `"sub":null`) {
 		t.Errorf("re-marshal: %s", b)
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

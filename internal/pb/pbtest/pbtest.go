@@ -10,6 +10,7 @@ import (
 
 	"protoacc/internal/pb/dynamic"
 	"protoacc/internal/pb/schema"
+	"protoacc/internal/pb/wire"
 )
 
 // SchemaConfig controls RandomSchema.
@@ -55,8 +56,8 @@ func randomMessage(rng *rand.Rand, cfg SchemaConfig, depth int, counter *int) *s
 	var fields []*schema.Field
 	for i := 0; i < nf; i++ {
 		num := 1 + rng.Int31n(cfg.MaxFieldNum)
-		if used[num] {
-			continue
+		if used[num] || (num >= wire.FirstReservedFieldNumber && num <= wire.LastReservedFieldNumber) {
+			continue // duplicate or protobuf-reserved field number
 		}
 		used[num] = true
 		f := &schema.Field{Name: fmt.Sprintf("f%d", num), Number: num}
@@ -75,7 +76,14 @@ func randomMessage(rng *rand.Rand, cfg SchemaConfig, depth int, counter *int) *s
 		}
 		fields = append(fields, f)
 	}
-	return schema.MustMessage(name, fields...)
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		// The guards above keep every generated field valid (unique,
+		// non-reserved numbers; scalar-only packing), so reaching here is a
+		// bug in the generator itself — which only test code drives.
+		panic(fmt.Sprintf("pbtest: generated invalid schema: %v", err))
+	}
+	return m
 }
 
 // MessageConfig controls RandomPopulated.

@@ -91,7 +91,7 @@ func TestFormatRecursive(t *testing.T) {
 func TestFormatSyntheticEnumlessField(t *testing.T) {
 	// Synthetic schemas may have enum fields with no descriptor; Format
 	// falls back to int32 (wire-compatible).
-	typ := schema.MustMessage("M", &schema.Field{Name: "e", Number: 1, Kind: schema.KindEnum})
+	typ := mustMessage("M", &schema.Field{Name: "e", Number: 1, Kind: schema.KindEnum})
 	text := Format(&schema.File{Messages: []*schema.Message{typ}})
 	if !strings.Contains(text, "int32 e = 1") {
 		t.Errorf("fallback missing:\n%s", text)
@@ -99,4 +99,16 @@ func TestFormatSyntheticEnumlessField(t *testing.T) {
 	if _, err := Parse("s.proto", text); err != nil {
 		t.Errorf("fallback output unparseable: %v", err)
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

@@ -279,16 +279,6 @@ func NewMessage(name string, fields ...*Field) (*Message, error) {
 	return m, nil
 }
 
-// MustMessage is NewMessage that panics on error; for tests and generators
-// with known-good inputs.
-func MustMessage(name string, fields ...*Field) *Message {
-	m, err := NewMessage(name, fields...)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // SetFields replaces the message's field set. It exists so recursive types
 // can be built: create the Message, then set fields that refer back to it.
 func (m *Message) SetFields(fields []*Field) error {

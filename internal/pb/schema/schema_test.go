@@ -87,7 +87,7 @@ func TestFixedWireSize(t *testing.T) {
 }
 
 func TestMessageConstruction(t *testing.T) {
-	m := MustMessage("M",
+	m := mustMessage("M",
 		&Field{Name: "c", Number: 9, Kind: KindInt64},
 		&Field{Name: "a", Number: 3, Kind: KindString},
 		&Field{Name: "b", Number: 5, Kind: KindBool},
@@ -155,10 +155,10 @@ func TestPackedWireType(t *testing.T) {
 }
 
 func makeChain(depth int) *Message {
-	leaf := MustMessage("D0", &Field{Name: "v", Number: 1, Kind: KindInt32})
+	leaf := mustMessage("D0", &Field{Name: "v", Number: 1, Kind: KindInt32})
 	cur := leaf
 	for i := 1; i < depth; i++ {
-		cur = MustMessage("D"+string(rune('0'+i)),
+		cur = mustMessage("D"+string(rune('0'+i)),
 			&Field{Name: "sub", Number: 1, Kind: KindMessage, Message: cur})
 	}
 	return cur
@@ -185,8 +185,8 @@ func TestMaxDepth(t *testing.T) {
 }
 
 func TestWalkVisitsOnce(t *testing.T) {
-	shared := MustMessage("Shared", &Field{Name: "v", Number: 1, Kind: KindInt32})
-	top := MustMessage("Top",
+	shared := mustMessage("Shared", &Field{Name: "v", Number: 1, Kind: KindInt32})
+	top := mustMessage("Top",
 		&Field{Name: "a", Number: 1, Kind: KindMessage, Message: shared},
 		&Field{Name: "b", Number: 2, Kind: KindMessage, Message: shared},
 	)
@@ -208,7 +208,7 @@ func TestWalkVisitsOnce(t *testing.T) {
 }
 
 func TestEmptyMessage(t *testing.T) {
-	m := MustMessage("Empty")
+	m := mustMessage("Empty")
 	if m.MinFieldNumber() != 0 || m.MaxFieldNumber() != 0 || m.FieldNumberRange() != 0 {
 		t.Error("empty message bounds should be zero")
 	}
@@ -221,8 +221,18 @@ func TestEmptyMessage(t *testing.T) {
 }
 
 func TestFileMessageByName(t *testing.T) {
-	f := &File{Path: "a.proto", Messages: []*Message{MustMessage("A"), MustMessage("B")}}
+	f := &File{Path: "a.proto", Messages: []*Message{mustMessage("A"), mustMessage("B")}}
 	if f.MessageByName("B") == nil || f.MessageByName("C") != nil {
 		t.Error("MessageByName lookup failed")
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed MustMessage:
+// build a type from known-good literal fields, panicking on error.
+func mustMessage(name string, fields ...*Field) *Message {
+	m, err := NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

@@ -11,10 +11,10 @@ import (
 )
 
 func demoType() *schema.Message {
-	sub := schema.MustMessage("Sub",
+	sub := mustMessage("Sub",
 		&schema.Field{Name: "id", Number: 1, Kind: schema.KindInt64},
 		&schema.Field{Name: "tag", Number: 2, Kind: schema.KindString})
-	return schema.MustMessage("Demo",
+	return mustMessage("Demo",
 		&schema.Field{Name: "name", Number: 1, Kind: schema.KindString},
 		&schema.Field{Name: "count", Number: 2, Kind: schema.KindInt32},
 		&schema.Field{Name: "ratio", Number: 3, Kind: schema.KindDouble},
@@ -142,7 +142,7 @@ func TestUnmarshalErrors(t *testing.T) {
 }
 
 func TestSignedRendering(t *testing.T) {
-	typ := schema.MustMessage("S",
+	typ := mustMessage("S",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindSfixed32},
 		&schema.Field{Name: "b", Number: 2, Kind: schema.KindUint64})
 	m := dynamic.New(typ)
@@ -159,4 +159,16 @@ func TestSignedRendering(t *testing.T) {
 	if err != nil || !m.Equal(got) {
 		t.Errorf("signed round trip failed: %v", err)
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

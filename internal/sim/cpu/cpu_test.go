@@ -77,10 +77,10 @@ func (r *rig) deserializeViaCPU(t *testing.T, typ *schema.Message, b []byte) *dy
 }
 
 func richType() *schema.Message {
-	sub := schema.MustMessage("Sub",
+	sub := mustMessage("Sub",
 		&schema.Field{Name: "id", Number: 1, Kind: schema.KindInt64},
 		&schema.Field{Name: "name", Number: 2, Kind: schema.KindString})
-	return schema.MustMessage("Rich",
+	return mustMessage("Rich",
 		&schema.Field{Name: "i32", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "s64", Number: 2, Kind: schema.KindSint64},
 		&schema.Field{Name: "f", Number: 3, Kind: schema.KindFloat},
@@ -180,10 +180,10 @@ func TestRandomizedEquivalence(t *testing.T) {
 }
 
 func TestUnknownFieldsSkipped(t *testing.T) {
-	rich := schema.MustMessage("M",
+	rich := mustMessage("M",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "z", Number: 9, Kind: schema.KindString})
-	narrow := schema.MustMessage("M",
+	narrow := mustMessage("M",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32})
 	src := dynamic.New(rich)
 	src.SetInt32(1, 5)
@@ -251,7 +251,7 @@ func TestLongStringCheaperPerByte(t *testing.T) {
 	// Per-byte cost must fall with string length (the memcpy regime the
 	// paper identifies for large bytes-like fields).
 	perByte := func(n int) float64 {
-		typ := schema.MustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+		typ := mustMessage("M", &schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
 		msg := dynamic.New(typ)
 		msg.SetBytes(1, bytes.Repeat([]byte{'x'}, n))
 		b, _ := codec.Marshal(msg)
@@ -270,7 +270,7 @@ func TestLongStringCheaperPerByte(t *testing.T) {
 
 func TestRepeatedGrowthFunctional(t *testing.T) {
 	// Enough elements to force several reallocations.
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "r", Number: 1, Kind: schema.KindInt64, Label: schema.LabelRepeated})
 	msg := dynamic.New(typ)
 	for i := 0; i < 1000; i++ {
@@ -285,7 +285,7 @@ func TestRepeatedGrowthFunctional(t *testing.T) {
 }
 
 func TestEmptyMessageDeserialize(t *testing.T) {
-	typ := schema.MustMessage("E")
+	typ := mustMessage("E")
 	r := newRig(t, BOOMParams())
 	got := r.deserializeViaCPU(t, typ, nil)
 	if len(got.PresentFieldNumbers()) != 0 {
@@ -315,4 +315,16 @@ func TestDepthLimit(t *testing.T) {
 	if err := r.cpu.Deserialize(rec, region.Base, uint64(len(b)), obj); err == nil {
 		t.Error("expected depth error")
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

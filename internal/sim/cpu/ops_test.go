@@ -10,10 +10,10 @@ import (
 )
 
 func opsType() *schema.Message {
-	sub := schema.MustMessage("OSub",
+	sub := mustMessage("OSub",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString})
-	return schema.MustMessage("O",
+	return mustMessage("O",
 		&schema.Field{Name: "i", Number: 1, Kind: schema.KindInt64},
 		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString},
 		&schema.Field{Name: "sub", Number: 3, Kind: schema.KindMessage, Message: sub},

@@ -276,6 +276,34 @@ func (a *Allocator) Alloc(n, align uint64) (uint64, error) {
 // Used returns the bytes consumed so far.
 func (a *Allocator) Used() uint64 { return a.off }
 
+// Mark captures an allocator position for transactional rollback
+// (Truncate). The zero Mark refers to an empty allocator.
+type Mark struct {
+	off    uint64
+	allocs int64
+}
+
+// Mark returns the allocator's current position.
+func (a *Allocator) Mark() Mark { return Mark{off: a.off, allocs: a.allocs} }
+
+// Truncate rewinds the allocator to a previously captured Mark and
+// scrubs (zeroes) the released span, restoring the backing memory to its
+// never-allocated all-zero state. This is the abort path of a
+// transactional operation: after Truncate, no partially-written object
+// allocated past the mark is observable. The mark must come from this
+// allocator and must not be newer than the current position.
+func (a *Allocator) Truncate(m Mark) {
+	if m.off >= a.off {
+		return
+	}
+	b := a.region.data[m.off:a.off]
+	for i := range b {
+		b[i] = 0
+	}
+	a.off = m.off
+	a.allocs = m.allocs
+}
+
 // Allocs returns the number of allocations performed.
 func (a *Allocator) Allocs() int64 { return a.allocs }
 

@@ -318,3 +318,72 @@ func BenchmarkRead64(b *testing.B) {
 		}
 	}
 }
+
+func TestAllocatorTruncateScrubs(t *testing.T) {
+	m := New()
+	r := m.Map("arena", 256)
+	a := NewAllocator(r)
+	p1, err := a.Alloc(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBytes(p1, []byte("committed-bytes!")); err != nil {
+		t.Fatal(err)
+	}
+	mark := a.Mark()
+
+	p2, err := a.Alloc(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBytes(p2, []byte("partial object that must vanish!")); err != nil {
+		t.Fatal(err)
+	}
+	a.Truncate(mark)
+
+	if a.Used() != 16 || a.Allocs() != 1 {
+		t.Fatalf("after truncate: used=%d allocs=%d, want 16/1", a.Used(), a.Allocs())
+	}
+	got := make([]byte, 16)
+	if err := m.ReadBytes(p1, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "committed-bytes!" {
+		t.Fatalf("committed span clobbered: %q", got)
+	}
+	scrub := make([]byte, 32)
+	if err := m.ReadBytes(p2, scrub); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range scrub {
+		if b != 0 {
+			t.Fatalf("released byte %d not scrubbed: %#x", i, b)
+		}
+	}
+	// Re-allocation after rollback lands at the same address as if the
+	// aborted allocation never happened.
+	p3, err := a.Alloc(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p2 {
+		t.Fatalf("post-rollback alloc at 0x%x, want 0x%x", p3, p2)
+	}
+}
+
+func TestAllocatorTruncateNoopOnCurrentOrNewerMark(t *testing.T) {
+	m := New()
+	a := NewAllocator(m.Map("arena", 64))
+	if _, err := a.Alloc(8, 8); err != nil {
+		t.Fatal(err)
+	}
+	mark := a.Mark()
+	a.Truncate(mark) // mark == current: no-op
+	if a.Used() != 8 {
+		t.Fatalf("truncate to current mark moved the allocator: used=%d", a.Used())
+	}
+	a.Truncate(Mark{}) // rollback to empty
+	if a.Used() != 0 || a.Allocs() != 0 {
+		t.Fatalf("truncate to zero mark: used=%d allocs=%d", a.Used(), a.Allocs())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"protoacc/internal/accel/deser"
 	"protoacc/internal/accel/mops"
 	"protoacc/internal/accel/ser"
+	"protoacc/internal/faults"
 	"protoacc/internal/sim/mem"
 	"protoacc/internal/telemetry"
 )
@@ -100,6 +101,12 @@ type Accelerator struct {
 	// valid and means no tracing.
 	Tracer *telemetry.Tracer
 
+	// Inj, when non-nil and enabled, injects simulated RoCC queue
+	// timeouts: a do_proto_* command that trials positive is dropped by
+	// the router (the core gave up waiting on the queue) before reaching
+	// its unit. Assigned by core.New; nil is valid (injection off).
+	Inj *faults.Injector
+
 	// Cycle accounting since the last block_for_*_completion.
 	dispatch      float64
 	deserInFlight float64
@@ -165,7 +172,19 @@ func (a *Accelerator) enqueued(class *int) {
 // background": their cycle counts accumulate until the matching
 // block_for_*_completion instruction is issued, whose return value is the
 // total accelerator-busy time for the batch.
+//
+// Any error drops all pending *_info latches: a protocol violation or a
+// faulted operation resets the command decoder, so a stale setup latch
+// can never pair with a later well-formed kick-off sequence.
 func (a *Accelerator) Issue(cmd Command) (float64, error) {
+	busy, err := a.issue(cmd)
+	if err != nil {
+		a.clearInfo()
+	}
+	return busy, err
+}
+
+func (a *Accelerator) issue(cmd Command) (float64, error) {
 	a.dispatch += DispatchCycles
 	a.cumDispatch += DispatchCycles
 	a.commands++
@@ -185,6 +204,9 @@ func (a *Accelerator) Issue(cmd Command) (float64, error) {
 			return 0, ErrNoInfo
 		}
 		a.deserInfoValid = false
+		if err := a.Inj.At(faults.SiteRoCCTimeout); err != nil {
+			return 0, err
+		}
 		st, err := a.Deser.Deserialize(a.deserADT, a.deserObj, cmd.RS1, cmd.RS2)
 		if err != nil {
 			return 0, err
@@ -205,6 +227,9 @@ func (a *Accelerator) Issue(cmd Command) (float64, error) {
 			return 0, ErrNoInfo
 		}
 		a.serInfoValid = false
+		if err := a.Inj.At(faults.SiteRoCCTimeout); err != nil {
+			return 0, err
+		}
 		st, err := a.Ser.Serialize(cmd.RS1, cmd.RS2)
 		if err != nil {
 			return 0, err
@@ -239,6 +264,9 @@ func (a *Accelerator) Issue(cmd Command) (float64, error) {
 			return 0, ErrNoInfo
 		}
 		a.mopsInfoValid = false
+		if err := a.Inj.At(faults.SiteRoCCTimeout); err != nil {
+			return 0, err
+		}
 		st, err := a.Mops.Clear(a.mopsADT, cmd.RS1)
 		if err != nil {
 			return 0, err
@@ -254,6 +282,9 @@ func (a *Accelerator) Issue(cmd Command) (float64, error) {
 			return 0, ErrNoInfo
 		}
 		a.mopsInfoValid = false
+		if err := a.Inj.At(faults.SiteRoCCTimeout); err != nil {
+			return 0, err
+		}
 		dst, st, err := a.Mops.Copy(a.mopsADT, cmd.RS1)
 		if err != nil {
 			return 0, err
@@ -270,6 +301,9 @@ func (a *Accelerator) Issue(cmd Command) (float64, error) {
 			return 0, ErrNoInfo
 		}
 		a.mopsInfoValid = false
+		if err := a.Inj.At(faults.SiteRoCCTimeout); err != nil {
+			return 0, err
+		}
 		st, err := a.Mops.Merge(a.mopsADT, a.mopsDst, cmd.RS1)
 		if err != nil {
 			return 0, err
@@ -292,15 +326,40 @@ func (a *Accelerator) Issue(cmd Command) (float64, error) {
 	}
 }
 
+// clearInfo drops every pending *_info latch, returning the command
+// decoder to its idle state.
+func (a *Accelerator) clearInfo() {
+	a.deserADT, a.deserObj, a.deserInfoValid = 0, 0, false
+	a.serHasbitsOff, a.serMinMax, a.serInfoValid = 0, 0, false
+	a.mopsADT, a.mopsDst, a.mopsInfoValid = 0, 0, false
+}
+
+// AbortInFlight drains the router after a faulted operation: completed
+// in-flight operations are committed (their cycles, plus dispatch and the
+// fence, are returned as busy time exactly as a barrier would), pending
+// counts and setup latches are dropped. The partially-executed operation
+// itself is not included — its attempt cycles come from the unit's own
+// Abort method.
+func (a *Accelerator) AbortInFlight() float64 {
+	busy := a.deserInFlight + a.serInFlight + a.mopsInFlight + a.dispatch + FenceCycles
+	a.deserInFlight, a.serInFlight, a.mopsInFlight, a.dispatch = 0, 0, 0, 0
+	a.fences++
+	a.pendingDeser, a.pendingSer, a.pendingMops = 0, 0, 0
+	a.clearInfo()
+	return busy
+}
+
+// Timeline returns the router's cumulative-dispatch timestamp, the
+// timeline trace events are stamped on.
+func (a *Accelerator) Timeline() float64 { return a.cumDispatch }
+
 // Reset returns the accelerator to its post-construction state: pending
 // setup, in-flight cycle accounting, the completed-operation logs, and
 // the units' cumulative counters are all cleared. Required before reusing
 // a pooled System so cycle deltas start from zero exactly as they would
 // on a fresh accelerator.
 func (a *Accelerator) Reset() {
-	a.deserADT, a.deserObj, a.deserInfoValid = 0, 0, false
-	a.serHasbitsOff, a.serMinMax, a.serInfoValid = 0, 0, false
-	a.mopsADT, a.mopsDst, a.mopsInfoValid = 0, 0, false
+	a.clearInfo()
 	a.dispatch, a.deserInFlight, a.serInFlight, a.mopsInFlight = 0, 0, 0, 0
 	a.DeserOps, a.SerOps, a.MopsOps, a.CopyResults = nil, nil, nil, nil
 	a.commands, a.fences, a.deserOps, a.serOps, a.mopsOps = 0, 0, 0, 0, 0

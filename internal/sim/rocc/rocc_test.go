@@ -17,7 +17,7 @@ import (
 
 func setup(t *testing.T) (*Accelerator, *adt.Set, *layout.Materializer, *mem.Memory, *schema.Message) {
 	t.Helper()
-	typ := schema.MustMessage("M",
+	typ := mustMessage("M",
 		&schema.Field{Name: "a", Number: 1, Kind: schema.KindInt32},
 		&schema.Field{Name: "s", Number: 2, Kind: schema.KindString})
 	m := mem.New()
@@ -194,9 +194,102 @@ func TestMopsOpcodes(t *testing.T) {
 	}
 }
 
+// TestErrorDropsInfoLatches is the regression test for the error-path
+// state poisoning fix: any error returned by Issue — protocol violation
+// or unit failure — must drop every pending *_info latch, so a stale
+// setup can never pair with a later kick-off and a fresh well-formed
+// sequence is never rejected.
+func TestErrorDropsInfoLatches(t *testing.T) {
+	a, set, mat, m, typ := setup(t)
+	msg := dynamic.New(typ)
+	msg.SetInt32(1, 9)
+	msg.SetString(2, "latch")
+	wire, _ := codec.Marshal(msg)
+	in := m.Map("in", 64)
+	if err := m.WriteBytes(in.Base, wire); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := mat.AllocObject(typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Latch deser_info, then violate the protocol on the ser path.
+	if _, err := a.Issue(Command{Op: OpDeserInfo, RS1: set.Addr(typ), RS2: obj}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Issue(Command{Op: OpDoProtoSer}); err != ErrNoInfo {
+		t.Fatalf("do_proto_ser without ser_info: err = %v, want ErrNoInfo", err)
+	}
+	// The error must have reset the decoder: the stale deser latch is gone.
+	if _, err := a.Issue(Command{Op: OpDoProtoDeser, RS1: in.Base, RS2: uint64(len(wire))}); err != ErrNoInfo {
+		t.Fatalf("stale deser_info survived an error: err = %v, want ErrNoInfo", err)
+	}
+	// A fresh well-formed sequence works and produces the right object.
+	if _, _, err := a.DeserializeOp(set.Addr(typ), obj, in.Base, uint64(len(wire))); err != nil {
+		t.Fatalf("recovery sequence rejected: %v", err)
+	}
+	got, err := mat.Read(typ, obj)
+	if err != nil || !msg.Equal(got) {
+		t.Fatalf("recovery sequence produced wrong object: %v", err)
+	}
+
+	// A unit-level failure resets the decoder too: latch ser_info, fail a
+	// deserialization on malformed wire, then do_proto_ser must be
+	// rejected rather than consuming the stale latch.
+	bad := []byte{0x12, 0x7f} // string field claiming 127 bytes in a 2-byte buffer
+	badRegion := m.Map("bad", 16)
+	if err := m.WriteBytes(badRegion.Base, bad); err != nil {
+		t.Fatal(err)
+	}
+	obj2, err := mat.AllocObject(typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Issue(Command{Op: OpSerInfo}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Issue(Command{Op: OpDeserInfo, RS1: set.Addr(typ), RS2: obj2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Issue(Command{Op: OpDoProtoDeser, RS1: badRegion.Base, RS2: uint64(len(bad))}); err == nil {
+		t.Fatal("malformed deserialization should error")
+	}
+	if _, err := a.Issue(Command{Op: OpDoProtoSer, RS1: set.Addr(typ), RS2: obj}); err != ErrNoInfo {
+		t.Fatalf("ser_info latch survived a unit failure: err = %v, want ErrNoInfo", err)
+	}
+	// And the full serialize sequence recovers, matching the codec.
+	if _, _, err := a.SerializeOp(set.Addr(typ), obj); err != nil {
+		t.Fatalf("serialize recovery sequence rejected: %v", err)
+	}
+	addr, n, err := a.Ser.Output(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, n)
+	if err := m.ReadBytes(addr, out); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(wire) {
+		t.Error("serialize output after recovery mismatches the codec")
+	}
+}
+
 func TestUnknownOpcode(t *testing.T) {
 	a, _, _, _, _ := setup(t)
 	if _, err := a.Issue(Command{Op: Opcode(200)}); err == nil {
 		t.Error("unknown opcode should error")
 	}
+}
+
+// mustMessage is the test-local stand-in for the removed
+// schema.MustMessage: build a type from known-good literal fields,
+// panicking on error. Library code uses schema.NewMessage and returns
+// the error.
+func mustMessage(name string, fields ...*schema.Field) *schema.Message {
+	m, err := schema.NewMessage(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
