@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet race bench bench-smoke fuzz-smoke chaos-smoke figures examples clean
+.PHONY: all build test vet race bench bench-smoke fuzz-smoke chaos-smoke serve-smoke serve-report figures examples clean
 
 all: build vet test
 
@@ -28,6 +28,22 @@ fuzz-smoke:
 # runs must leave every measurement untouched.
 chaos-smoke:
 	go test -run TestChaos -race -count=1 ./internal/bench
+
+# The serving layer under the race detector (batching, admission control,
+# TCP transport, serial/parallel and pooled/fresh equivalence, chaos over
+# the wire), then a short verified load-generation pass — every response
+# checked byte-identical to its canonical payload — both fault-free and
+# under an injected-fault schedule.
+serve-smoke:
+	go test -race -count=1 ./internal/serve
+	go run ./cmd/loadgen -duration 500ms -concurrency 8 -schema varint -check
+	go run ./cmd/loadgen -duration 500ms -concurrency 8 -schema mixed -check -faults 0.02 -fault-seed 7
+
+# Regenerate results/serve_throughput.md the way the checked-in artifact
+# is measured: in-process server, 4 cores, closed loop, all schemas.
+serve-report:
+	mkdir -p results
+	GOMAXPROCS=4 go run ./cmd/loadgen -duration 2s -concurrency 16 -schema all -check -out results/serve_throughput.md
 
 build:
 	go build ./...

@@ -1,0 +1,221 @@
+// Command loadgen drives a protoaccd with closed-loop (saturating) or
+// open-loop (paced) load and reports request throughput and latency
+// percentiles (p50/p99/p999 from log-linear histograms merged across
+// workers).
+//
+// Usage:
+//
+//	loadgen [-addr host:port] [-schema name] [-op deser|ser|both]
+//	        [-duration d] [-concurrency n] [-rate rps] [-timeout d]
+//	        [-check] [-out file]
+//	        [-workers n] [-max-batch n] [-batch-window d] [-queue-depth n]
+//	        [-faults rate[@site,...]] [-fault-seed n] [-stats-out file]
+//
+// With -addr it dials an already-running daemon over TCP (one connection
+// per worker). Without -addr it starts an in-process server and drives it
+// through the direct client — the zero-network configuration the checked
+// in results/serve_throughput.md is measured with; the -workers through
+// -stats-out flags configure that in-process server and are rejected with
+// -addr.
+//
+// -check verifies every OK response is byte-identical to its request
+// payload (sample payloads are canonical, so the serving contract makes
+// response == request for both operations, even under -faults).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"protoacc/internal/faults"
+	"protoacc/internal/serve"
+	"protoacc/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "", "protoaccd address; empty starts an in-process server")
+	schema := flag.String("schema", "varint", "catalog schema to exercise, or \"all\"")
+	op := flag.String("op", "both", "operation mix: deser, ser, or both (one pass per op)")
+	duration := flag.Duration("duration", 2*time.Second, "length of each pass")
+	concurrency := flag.Int("concurrency", 8, "closed-loop workers (each owns one connection)")
+	rate := flag.Float64("rate", 0, "open-loop aggregate requests/sec (0 = closed loop)")
+	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = server default)")
+	check := flag.Bool("check", true, "verify each OK response is byte-identical to its payload")
+	out := flag.String("out", "", "append a markdown report to this file (e.g. results/serve_throughput.md)")
+
+	workers := flag.Int("workers", 0, "in-process server: batch executors (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 0, "in-process server: max requests per batch")
+	batchWindow := flag.Duration("batch-window", 0, "in-process server: batch coalescing window")
+	queueDepth := flag.Int("queue-depth", 0, "in-process server: admission queue bound")
+	faultSpec := flag.String("faults", "", "in-process server fault injection: RATE or RATE@site,... (sites: "+strings.Join(faults.SiteNames(), ",")+")")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault schedule")
+	statsOut := flag.String("stats-out", "", "in-process server: write merged telemetry counters on exit")
+	flag.Parse()
+
+	serverFlags := *workers != 0 || *maxBatch != 0 || *batchWindow != 0 ||
+		*queueDepth != 0 || *faultSpec != "" || *statsOut != ""
+	if *addr != "" && serverFlags {
+		fmt.Fprintln(os.Stderr, "loadgen: -workers/-max-batch/-batch-window/-queue-depth/-faults/-stats-out configure the in-process server and conflict with -addr")
+		os.Exit(2)
+	}
+	faultCfg, err := faults.ParseFlag(*faultSpec, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	catalog := serve.DefaultCatalog()
+	var dial func() (serve.Doer, error)
+	var srv *serve.Server
+	target := *addr
+	if *addr == "" {
+		srv, err = serve.NewServer(serve.Options{
+			Catalog:     catalog,
+			Workers:     *workers,
+			MaxBatch:    *maxBatch,
+			BatchWindow: *batchWindow,
+			QueueDepth:  *queueDepth,
+			Faults:      faultCfg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dial = func() (serve.Doer, error) { return srv.InProc(), nil }
+		target = fmt.Sprintf("in-process (server workers=%d)", srv.Workers())
+	} else {
+		dial = func() (serve.Doer, error) { return serve.Dial(*addr) }
+	}
+
+	var schemas []string
+	if *schema == "all" {
+		schemas = catalog.Names()
+	} else {
+		schemas = []string{*schema}
+	}
+	var ops []serve.Op
+	switch *op {
+	case "deser":
+		ops = []serve.Op{serve.OpDeserialize}
+	case "ser":
+		ops = []serve.Op{serve.OpSerialize}
+	case "both":
+		ops = []serve.Op{serve.OpDeserialize, serve.OpSerialize}
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -op %q\n", *op)
+		os.Exit(2)
+	}
+
+	mode := "closed-loop"
+	if *rate > 0 {
+		mode = fmt.Sprintf("open-loop %.0f/s", *rate)
+	}
+	fmt.Printf("loadgen: target %s, %s, concurrency %d, %v per pass\n", target, mode, *concurrency, *duration)
+
+	var reports []*serve.LoadgenReport
+	failed := false
+	for _, name := range schemas {
+		for _, o := range ops {
+			rep, err := serve.RunLoadgen(serve.LoadgenOptions{
+				Dial:        dial,
+				Catalog:     catalog,
+				Schema:      name,
+				Op:          o,
+				Duration:    *duration,
+				Concurrency: *concurrency,
+				RatePerSec:  *rate,
+				Timeout:     *timeout,
+				Check:       *check,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			printReport(os.Stdout, rep)
+			if rep.CheckFailures > 0 || rep.Errors > 0 {
+				failed = true
+			}
+			reports = append(reports, rep)
+		}
+	}
+
+	if *out != "" {
+		if err := writeMarkdown(*out, mode, *concurrency, *duration, reports); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	if srv != nil {
+		srv.Close()
+		if *statsOut != "" {
+			if err := writeStats(*statsOut, srv); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("server telemetry written to %s\n", *statsOut)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "loadgen: FAILED (check failures or transport errors)")
+		os.Exit(1)
+	}
+}
+
+func printReport(w io.Writer, r *serve.LoadgenReport) {
+	fmt.Fprintf(w, "%-8s %-5s  %7.0f req/s  %6.3f Gbit/s  ok=%d shed=%d deadline=%d fellback=%d",
+		r.Schema, r.Op, r.RPS(), r.Gbps(), r.OK, r.Shed, r.Deadline, r.FellBack)
+	if r.Errors > 0 || r.Bad > 0 {
+		fmt.Fprintf(w, " errors=%d bad=%d", r.Errors, r.Bad)
+	}
+	if r.CheckFailures > 0 {
+		fmt.Fprintf(w, " CHECK-FAILURES=%d", r.CheckFailures)
+	}
+	fmt.Fprintf(w, "\n  latency p50=%v p99=%v p999=%v mean=%v\n",
+		r.Latency.Quantile(0.50), r.Latency.Quantile(0.99), r.Latency.Quantile(0.999), r.Latency.Mean())
+}
+
+// writeMarkdown writes the run's report table (overwriting path).
+func writeMarkdown(path, mode string, concurrency int, duration time.Duration, reports []*serve.LoadgenReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# Serving throughput (protoaccd + loadgen)\n\n")
+	fmt.Fprintf(f, "Mode: %s, concurrency %d, %v per pass, GOMAXPROCS=%d, %s.\n",
+		mode, concurrency, duration, runtime.GOMAXPROCS(0), runtime.Version())
+	fmt.Fprintf(f, "Latency percentiles are per successful request, measured client-side.\n\n")
+	fmt.Fprintf(f, "| schema | op | req/s | Gbit/s | ok | shed | deadline | fellback | p50 | p99 | p999 |\n")
+	fmt.Fprintf(f, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	for _, r := range reports {
+		fmt.Fprintf(f, "| %s | %s | %.0f | %.3f | %d | %d | %d | %d | %v | %v | %v |\n",
+			r.Schema, r.Op, r.RPS(), r.Gbps(), r.OK, r.Shed, r.Deadline, r.FellBack,
+			r.Latency.Quantile(0.50), r.Latency.Quantile(0.99), r.Latency.Quantile(0.999))
+	}
+	return nil
+}
+
+func writeStats(path string, srv *serve.Server) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap := srv.TelemetrySnapshot()
+	if strings.HasSuffix(path, ".prom") {
+		return telemetry.WritePrometheus(f, snap)
+	}
+	m := &telemetry.Manifest{
+		Command:           "loadgen " + strings.Join(os.Args[1:], " "),
+		GoVersion:         runtime.Version(),
+		ConfigFingerprint: srv.ConfigFingerprint(),
+		Parallelism:       srv.Workers(),
+	}
+	return telemetry.WriteStatsJSON(f, m, snap)
+}

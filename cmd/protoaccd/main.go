@@ -1,0 +1,133 @@
+// Command protoaccd is the accelerator serving daemon: it hosts the
+// default schema catalog and answers serialize/deserialize requests over
+// TCP (length-prefixed frames, see internal/serve), batching concurrent
+// requests per (schema, op) onto pooled accelerator Systems with admission
+// control, per-request deadlines, and software-codec graceful degradation.
+//
+// Usage:
+//
+//	protoaccd [-listen addr] [-workers n] [-max-batch n]
+//	          [-batch-window d] [-queue-depth n] [-max-payload n]
+//	          [-deadline d] [-faults rate[@site,...]] [-fault-seed n]
+//	          [-stats-out file]
+//
+// On SIGINT/SIGTERM the daemon drains in-flight work, then (with
+// -stats-out) writes the merged telemetry counters — the serving group
+// (queue, batching, shed/fallback) plus every accelerator unit's counters
+// aggregated across batches — as JSON, or Prometheus text with a .prom
+// suffix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"syscall"
+	"time"
+
+	"protoacc/internal/faults"
+	"protoacc/internal/serve"
+	"protoacc/internal/telemetry"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7411", "TCP listen address")
+	workers := flag.Int("workers", 0, "concurrent batch executors (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 0, "max requests per accelerator batch (0 = default 16)")
+	batchWindow := flag.Duration("batch-window", 0, "how long an under-full batch waits for partners (0 = default 200µs)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue bound; requests beyond it are shed (0 = default 1024)")
+	maxPayload := flag.Int("max-payload", 0, "request payload size limit in bytes (0 = default 64KiB)")
+	deadline := flag.Duration("deadline", 0, "default per-request budget (0 = default 1s)")
+	faultSpec := flag.String("faults", "", "fault injection: RATE or RATE@site,... (sites: "+strings.Join(faults.SiteNames(), ",")+"); empty or \"off\" disables")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault schedule")
+	statsOut := flag.String("stats-out", "", "write merged telemetry counters to this file on shutdown (JSON, or Prometheus text with a .prom suffix)")
+	flag.Parse()
+
+	faultCfg, err := faults.ParseFlag(*faultSpec, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	srv, err := serve.NewServer(serve.Options{
+		Workers:     *workers,
+		MaxBatch:    *maxBatch,
+		BatchWindow: *batchWindow,
+		QueueDepth:  *queueDepth,
+		MaxPayload:  *maxPayload,
+		Deadline:    *deadline,
+		Faults:      faultCfg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("protoaccd listening on %s (schemas: %s; workers=%d)\n",
+		ln.Addr(), strings.Join(srv.Catalog().Names(), ","), srv.Workers())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case s := <-sig:
+		fmt.Printf("protoaccd: %v, draining\n", s)
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+	start := time.Now()
+	srv.Close()
+	fmt.Printf("protoaccd: drained in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *statsOut != "" {
+		if err := writeStats(*statsOut, srv); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry counters written to %s\n", *statsOut)
+	}
+}
+
+// writeStats writes the server's merged telemetry snapshot with a
+// provenance manifest.
+func writeStats(path string, srv *serve.Server) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap := srv.TelemetrySnapshot()
+	if strings.HasSuffix(path, ".prom") {
+		return telemetry.WritePrometheus(f, snap)
+	}
+	m := &telemetry.Manifest{
+		Command:           "protoaccd " + strings.Join(os.Args[1:], " "),
+		GoVersion:         runtime.Version(),
+		ConfigFingerprint: srv.ConfigFingerprint(),
+		Parallelism:       srv.Workers(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitRevision = s.Value
+			case "vcs.modified":
+				m.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return telemetry.WriteStatsJSON(f, m, snap)
+}

@@ -28,6 +28,7 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -148,7 +149,7 @@ func AsFault(err error) *Fault {
 
 // Config selects a fault schedule. The zero value disables injection.
 // All fields are plain comparable values so a Config can participate in
-// the %+v pool-key fingerprint of core.Config.
+// the typed pool-key fingerprint of core.Config.
 type Config struct {
 	// Enabled turns injection on.
 	Enabled bool
@@ -161,7 +162,11 @@ type Config struct {
 	Sites string
 }
 
-// mask returns the enabled-site bitmask of the config.
+// mask returns the enabled-site bitmask of the config. An empty Sites
+// string means every site; a non-empty list must name at least one site
+// per element — empty elements (doubled or trailing commas) are rejected
+// rather than skipped, so a typo cannot silently widen or narrow the
+// schedule.
 func (c Config) mask() (uint32, error) {
 	if c.Sites == "" {
 		return 1<<uint(NumSites) - 1, nil
@@ -170,7 +175,7 @@ func (c Config) mask() (uint32, error) {
 	for _, name := range strings.Split(c.Sites, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
-			continue
+			return 0, fmt.Errorf("faults: empty site name in list %q (stray comma?)", c.Sites)
 		}
 		s, err := ParseSite(name)
 		if err != nil {
@@ -206,6 +211,12 @@ func ParseFlag(spec string, seed uint64) (Config, error) {
 	cfg.Rate = rate
 	if hasSites {
 		cfg.Sites = strings.TrimSpace(sites)
+		if cfg.Sites == "" {
+			// "0.1@" would otherwise fall through to the empty-Sites
+			// "every site" default — the opposite of what a trailing @
+			// plausibly meant.
+			return Config{Seed: seed}, fmt.Errorf("faults: empty site list in spec %q (drop the @ to fault every site)", spec)
+		}
 	}
 	if err := cfg.Validate(); err != nil {
 		return Config{Seed: seed}, err
@@ -218,7 +229,7 @@ func (c Config) Validate() error {
 	if !c.Enabled {
 		return nil
 	}
-	if c.Rate < 0 || c.Rate > 1 {
+	if math.IsNaN(c.Rate) || c.Rate < 0 || c.Rate > 1 {
 		return fmt.Errorf("faults: rate %v outside [0, 1]", c.Rate)
 	}
 	_, err := c.mask()

@@ -283,15 +283,31 @@ func TestParseFlag(t *testing.T) {
 		{spec: "0.01", want: Config{Enabled: true, Seed: 7, Rate: 0.01}},
 		{spec: "0.5@arena", want: Config{Enabled: true, Seed: 7, Rate: 0.5, Sites: "arena"}},
 		{spec: "0.1@arena,rocc_timeout", want: Config{Enabled: true, Seed: 7, Rate: 0.1, Sites: "arena,rocc_timeout"}},
+		{spec: " 0.5 @ arena ", want: Config{Enabled: true, Seed: 7, Rate: 0.5, Sites: "arena"}},
+
+		// Malformed specs must error, never be silently ignored or
+		// partially applied.
 		{spec: "bogus", wantErr: true},
-		{spec: "1.5", wantErr: true}, // rate outside [0, 1]
+		{spec: "1.5", wantErr: true},  // rate outside [0, 1]
+		{spec: "-0.1", wantErr: true}, // negative rate
+		{spec: "NaN", wantErr: true},  // parses as a float, still not a rate
 		{spec: "0.1@nosuch", wantErr: true},
+		{spec: "0.1@", wantErr: true},                 // empty site list ≠ "every site"
+		{spec: "0.1@ ", wantErr: true},                // whitespace-only site list
+		{spec: "0.1@arena,", wantErr: true},           // trailing comma
+		{spec: "0.1@,arena", wantErr: true},           // leading comma
+		{spec: "0.1@arena,,memwriter", wantErr: true}, // doubled comma
+		{spec: "0.1@arena@memwriter", wantErr: true},  // second @ folds into the site name
+		{spec: "@arena", wantErr: true},               // missing rate
 	}
 	for _, c := range cases {
 		got, err := ParseFlag(c.spec, 7)
 		if c.wantErr {
 			if err == nil {
 				t.Errorf("ParseFlag(%q): want error, got %+v", c.spec, got)
+			}
+			if got.Enabled {
+				t.Errorf("ParseFlag(%q): rejected spec was partially applied: %+v", c.spec, got)
 			}
 			continue
 		}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Doer is the client surface shared by the TCP connection and the
+// in-process client; the load generator drives either interchangeably.
+type Doer interface {
+	// Do submits one request and blocks for its response. The client owns
+	// correlation-id assignment; Request.ID is overwritten.
+	Do(req Request) (Response, error)
+	// Close releases the client. In-flight Do calls fail.
+	Close() error
+}
+
+// InProc is a direct in-process client of a Server — the zero-copy,
+// zero-framing path the equivalence tests and in-process load generation
+// use. Its Do goes through exactly the same admission, batching, and
+// execution pipeline as a TCP request.
+type InProc struct {
+	srv *Server
+	mu  sync.Mutex
+	id  uint64
+}
+
+// InProc returns an in-process client of this server.
+func (s *Server) InProc() *InProc { return &InProc{srv: s} }
+
+// Do implements Doer.
+func (c *InProc) Do(req Request) (Response, error) {
+	c.mu.Lock()
+	c.id++
+	req.ID = c.id
+	c.mu.Unlock()
+	return <-c.srv.submit(req), nil
+}
+
+// Close implements Doer (nothing to release in-process).
+func (c *InProc) Close() error { return nil }
+
+// DoBatch submits requests as preformed accelerator batches: consecutive
+// requests sharing a (schema, op) run as one batch (split at MaxBatch),
+// bypassing the time-window coalescer. Batch composition is therefore a
+// pure function of the request list — independent of worker count and
+// scheduling — which is what lets the equivalence tests demand bitwise
+// identical responses and telemetry from serial and parallel servers.
+// Responses are returned in request order.
+func (c *InProc) DoBatch(reqs []Request) ([]Response, error) {
+	chans := make([]<-chan Response, len(reqs))
+	var group []*pending
+	var key batchKey
+	flush := func() {
+		if len(group) > 0 {
+			c.srv.submitPreformed(group, key)
+			group = nil
+		}
+	}
+	for i := range reqs {
+		c.mu.Lock()
+		c.id++
+		reqs[i].ID = c.id
+		c.mu.Unlock()
+		p, ok := c.srv.admit(reqs[i])
+		chans[i] = p.resp
+		if !ok {
+			continue
+		}
+		k := batchKey{schema: reqs[i].Schema, op: reqs[i].Op}
+		if len(group) > 0 && (k != key || len(group) >= c.srv.opts.MaxBatch) {
+			flush()
+		}
+		key = k
+		group = append(group, p)
+	}
+	flush()
+	out := make([]Response, len(reqs))
+	for i, ch := range chans {
+		out[i] = <-ch
+	}
+	return out, nil
+}
+
+// Conn is a TCP client connection. It multiplexes: many goroutines may Do
+// concurrently, and responses are matched to callers by correlation id as
+// they complete (the server reorders freely across batches).
+type Conn struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	nextID  uint64
+
+	mu      sync.Mutex
+	pend    map[uint64]chan Response
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects to a protoaccd at addr.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{
+		conn: nc,
+		pend: make(map[uint64]chan Response),
+		done: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop routes response frames to waiting callers until the connection
+// dies, then fails everything still pending.
+func (c *Conn) readLoop() {
+	for {
+		body, err := readFrame(c.conn)
+		if err == nil {
+			var resp Response
+			resp, err = parseResponse(body)
+			if err == nil {
+				c.mu.Lock()
+				ch := c.pend[resp.ID]
+				delete(c.pend, resp.ID)
+				c.mu.Unlock()
+				if ch != nil {
+					ch <- resp
+				}
+				continue
+			}
+		}
+		c.mu.Lock()
+		c.readErr = err
+		c.pend = make(map[uint64]chan Response)
+		c.mu.Unlock()
+		// Waiters are buffered(1) channels; closing done (not their
+		// channels) wakes them so they can distinguish "connection died"
+		// from a zero-value response.
+		close(c.done)
+		return
+	}
+}
+
+// Do implements Doer over the wire protocol.
+func (c *Conn) Do(req Request) (Response, error) {
+	ch := make(chan Response, 1)
+
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return Response{}, fmt.Errorf("serve: connection broken: %w", err)
+	}
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	c.nextID++
+	req.ID = c.nextID
+	c.mu.Lock()
+	c.pend[req.ID] = ch
+	c.mu.Unlock()
+	err := writeFrame(c.conn, appendRequest(nil, &req))
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pend, req.ID)
+		c.mu.Unlock()
+		return Response{}, err
+	}
+
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-c.done:
+		// Drain a response that raced with the shutdown.
+		select {
+		case resp := <-ch:
+			return resp, nil
+		default:
+		}
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("connection closed")
+		}
+		return Response{}, fmt.Errorf("serve: connection broken: %w", err)
+	}
+}
+
+// Close implements Doer.
+func (c *Conn) Close() error { return c.conn.Close() }

@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Latency histogram: log-linear buckets (one major per power of two,
+// histMinors linear minors per major), the usual HDR shape — constant
+// memory, ~6% worst-case relative error at the minor resolution, mergeable
+// across workers without locks on the hot path.
+
+const (
+	histMinors    = 16
+	histMinorBits = 4
+	histBuckets   = (64 - histMinorBits + 1) * histMinors
+)
+
+// Histogram counts latency samples in nanoseconds.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+func histIndex(ns uint64) int {
+	if ns < histMinors {
+		return int(ns)
+	}
+	major := bits.Len64(ns) - 1 // >= histMinorBits
+	shift := uint(major - histMinorBits)
+	minor := (ns >> shift) & (histMinors - 1)
+	return (major-histMinorBits+1)*histMinors + int(minor)
+}
+
+// bucketUpper returns the largest value the bucket at idx can hold.
+func bucketUpper(idx int) uint64 {
+	if idx < histMinors {
+		return uint64(idx)
+	}
+	major := idx/histMinors + histMinorBits - 1
+	minor := uint64(idx % histMinors)
+	shift := uint(major - histMinorBits)
+	return ((histMinors+minor)<<shift | (1<<shift - 1))
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(d)
+	if d < 0 {
+		ns = 0
+	}
+	h.counts[histIndex(ns)]++
+	h.total++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the mean sample.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.total)
+}
+
+// Quantile returns an upper bound on the q'th quantile (0 < q <= 1) at the
+// histogram's bucket resolution.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return time.Duration(u)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// LoadgenOptions configures one load-generation run.
+type LoadgenOptions struct {
+	// Dial builds one client per worker (TCP Conn or in-process client).
+	Dial func() (Doer, error)
+
+	// Catalog supplies sample payloads; nil selects DefaultCatalog. It must
+	// match the server's catalog for -check to hold.
+	Catalog *Catalog
+
+	// Schema names the catalog entry to exercise (default "varint").
+	Schema string
+
+	// Op is the operation to issue.
+	Op Op
+
+	// Duration bounds the run (default 2s).
+	Duration time.Duration
+
+	// Concurrency is the number of closed-loop workers (default 8).
+	Concurrency int
+
+	// RatePerSec switches to open-loop: workers pace submissions to this
+	// aggregate rate instead of saturating. 0 means closed-loop.
+	RatePerSec float64
+
+	// Timeout is the per-request deadline passed to the server (0 inherits
+	// the server default).
+	Timeout time.Duration
+
+	// Check verifies every OK response is byte-identical to its request
+	// payload (sample payloads are canonical, so the serving contract makes
+	// the two equal for both ops).
+	Check bool
+}
+
+// LoadgenReport summarizes a run.
+type LoadgenReport struct {
+	Schema string
+	Op     Op
+
+	Elapsed  time.Duration
+	Requests uint64
+	OK       uint64
+	Shed     uint64
+	Deadline uint64
+	Bad      uint64
+	Errors   uint64 // transport errors and StatusError responses
+	FellBack uint64 // OK responses served by a software path
+
+	BytesIn  uint64 // payload bytes sent
+	BytesOut uint64 // payload bytes received on OK responses
+
+	CheckFailures uint64
+
+	Latency Histogram
+}
+
+// RPS returns completed (OK) requests per second.
+func (r *LoadgenReport) RPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Elapsed.Seconds()
+}
+
+// Gbps returns the OK-response payload throughput in Gbit/s.
+func (r *LoadgenReport) Gbps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.BytesOut) * 8 / r.Elapsed.Seconds() / 1e9
+}
+
+// RunLoadgen drives a server with opts.Concurrency workers and returns the
+// merged report. Each worker owns one client connection and walks the
+// schema's sample payloads; closed-loop workers issue back-to-back,
+// open-loop workers pace to RatePerSec/Concurrency each.
+func RunLoadgen(opts LoadgenOptions) (*LoadgenReport, error) {
+	if opts.Dial == nil {
+		return nil, fmt.Errorf("serve: loadgen needs a Dial function")
+	}
+	if opts.Catalog == nil {
+		opts.Catalog = DefaultCatalog()
+	}
+	if opts.Schema == "" {
+		opts.Schema = "varint"
+	}
+	entry := opts.Catalog.Lookup(opts.Schema)
+	if entry == nil {
+		return nil, fmt.Errorf("serve: loadgen: unknown schema %q", opts.Schema)
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 2 * time.Second
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+
+	reports := make([]LoadgenReport, opts.Concurrency)
+	errs := make([]error, opts.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	stop := start.Add(opts.Duration)
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client, err := opts.Dial()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer client.Close()
+			rep := &reports[w]
+			var interval time.Duration
+			next := time.Now()
+			if opts.RatePerSec > 0 {
+				interval = time.Duration(float64(opts.Concurrency) / opts.RatePerSec * float64(time.Second))
+				next = start.Add(time.Duration(w) * interval / time.Duration(opts.Concurrency))
+			}
+			for i := 0; ; i++ {
+				now := time.Now()
+				if !now.Before(stop) {
+					return
+				}
+				if interval > 0 {
+					if d := next.Sub(now); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				payload := entry.SamplePayload(w*7919 + i)
+				t0 := time.Now()
+				resp, err := client.Do(Request{
+					Op:      opts.Op,
+					Schema:  opts.Schema,
+					Timeout: opts.Timeout,
+					Payload: payload,
+				})
+				lat := time.Since(t0)
+				rep.Requests++
+				rep.BytesIn += uint64(len(payload))
+				if err != nil {
+					rep.Errors++
+					continue
+				}
+				switch resp.Status {
+				case StatusOK:
+					rep.OK++
+					rep.BytesOut += uint64(len(resp.Payload))
+					rep.Latency.Record(lat)
+					if resp.FellBack {
+						rep.FellBack++
+					}
+					if opts.Check && !bytes.Equal(resp.Payload, payload) {
+						rep.CheckFailures++
+					}
+				case StatusShed:
+					rep.Shed++
+				case StatusDeadline:
+					rep.Deadline++
+				case StatusBadRequest:
+					rep.Bad++
+				default:
+					rep.Errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	out := &LoadgenReport{Schema: opts.Schema, Op: opts.Op, Elapsed: time.Since(start)}
+	for w := range reports {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		r := &reports[w]
+		out.Requests += r.Requests
+		out.OK += r.OK
+		out.Shed += r.Shed
+		out.Deadline += r.Deadline
+		out.Bad += r.Bad
+		out.Errors += r.Errors
+		out.FellBack += r.FellBack
+		out.BytesIn += r.BytesIn
+		out.BytesOut += r.BytesOut
+		out.CheckFailures += r.CheckFailures
+		out.Latency.Merge(&r.Latency)
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"protoacc/internal/pb/wire"
+)
+
+// The wire protocol is deliberately minimal: every message is one frame —
+// a 4-byte big-endian length followed by that many body bytes — and the
+// bodies reuse the repo's own varint encoder. Requests and responses
+// carry a correlation id, so a connection may pipeline: responses come
+// back in completion order, not submission order (batching reorders).
+//
+//	request body:  version(1) op(1) id(uvarint) schema(uvarint len + bytes)
+//	               timeout_us(uvarint) payload(rest)
+//	response body: version(1) status(1) flags(1) id(uvarint)
+//	               cycles(8, fixed64 float bits) payload(rest)
+
+const (
+	// protocolVersion guards against skew between daemon and clients.
+	protocolVersion = 1
+
+	// maxFrame bounds a frame body; a peer announcing more is treated as
+	// malformed rather than trusted with the allocation.
+	maxFrame = 64 << 20
+
+	flagFellBack = 1 << 0
+)
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > maxFrame {
+		return fmt.Errorf("serve: frame of %d bytes exceeds limit %d", len(body), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame body.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("serve: peer announced %d-byte frame (limit %d)", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// appendRequest encodes req onto b.
+func appendRequest(b []byte, req *Request) []byte {
+	b = append(b, protocolVersion, byte(req.Op))
+	b = wire.AppendVarint(b, req.ID)
+	b = wire.AppendVarint(b, uint64(len(req.Schema)))
+	b = append(b, req.Schema...)
+	b = wire.AppendVarint(b, uint64(req.Timeout.Microseconds()))
+	return append(b, req.Payload...)
+}
+
+// parseRequest decodes a request body.
+func parseRequest(b []byte) (Request, error) {
+	var req Request
+	if len(b) < 2 {
+		return req, fmt.Errorf("serve: truncated request header")
+	}
+	if b[0] != protocolVersion {
+		return req, fmt.Errorf("serve: protocol version %d, want %d", b[0], protocolVersion)
+	}
+	if op := Op(b[1]); op != OpDeserialize && op != OpSerialize {
+		return req, fmt.Errorf("serve: unknown op %d", b[1])
+	}
+	req.Op = Op(b[1])
+	b = b[2:]
+	id, n, err := wire.ReadVarint(b)
+	if err != nil {
+		return req, fmt.Errorf("serve: bad request id: %w", err)
+	}
+	req.ID = id
+	b = b[n:]
+	slen, n, err := wire.ReadVarint(b)
+	if err != nil {
+		return req, fmt.Errorf("serve: bad schema length: %w", err)
+	}
+	b = b[n:]
+	if uint64(len(b)) < slen {
+		return req, fmt.Errorf("serve: truncated schema name")
+	}
+	req.Schema = string(b[:slen])
+	b = b[slen:]
+	us, n, err := wire.ReadVarint(b)
+	if err != nil {
+		return req, fmt.Errorf("serve: bad timeout: %w", err)
+	}
+	req.Timeout = time.Duration(us) * time.Microsecond
+	req.Payload = b[n:]
+	return req, nil
+}
+
+// appendResponse encodes resp onto b.
+func appendResponse(b []byte, resp *Response) []byte {
+	var flags byte
+	if resp.FellBack {
+		flags |= flagFellBack
+	}
+	b = append(b, protocolVersion, byte(resp.Status), flags)
+	b = wire.AppendVarint(b, resp.ID)
+	var cy [8]byte
+	binary.BigEndian.PutUint64(cy[:], math.Float64bits(resp.Cycles))
+	b = append(b, cy[:]...)
+	return append(b, resp.Payload...)
+}
+
+// parseResponse decodes a response body.
+func parseResponse(b []byte) (Response, error) {
+	var resp Response
+	if len(b) < 3 {
+		return resp, fmt.Errorf("serve: truncated response header")
+	}
+	if b[0] != protocolVersion {
+		return resp, fmt.Errorf("serve: protocol version %d, want %d", b[0], protocolVersion)
+	}
+	resp.Status = Status(b[1])
+	resp.FellBack = b[2]&flagFellBack != 0
+	b = b[3:]
+	id, n, err := wire.ReadVarint(b)
+	if err != nil {
+		return resp, fmt.Errorf("serve: bad response id: %w", err)
+	}
+	resp.ID = id
+	b = b[n:]
+	if len(b) < 8 {
+		return resp, fmt.Errorf("serve: truncated response cycles")
+	}
+	resp.Cycles = math.Float64frombits(binary.BigEndian.Uint64(b[:8]))
+	resp.Payload = b[8:]
+	return resp, nil
+}

@@ -1,0 +1,691 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"protoacc/internal/core"
+	"protoacc/internal/faults"
+	"protoacc/internal/pb/codec"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/telemetry"
+)
+
+// Options configures a Server. The zero value of any field selects the
+// default noted on it.
+type Options struct {
+	// Catalog of hosted schemas; nil selects DefaultCatalog.
+	Catalog *Catalog
+
+	// MaxBatch caps requests folded into one accelerator batch (default 16).
+	MaxBatch int
+
+	// BatchWindow is how long the dispatcher holds an under-full batch open
+	// waiting for coalescing partners (default 200µs).
+	BatchWindow time.Duration
+
+	// QueueDepth bounds the admission queue; requests beyond it are shed
+	// (default 1024).
+	QueueDepth int
+
+	// Workers is the number of concurrent batch executors (default
+	// GOMAXPROCS).
+	Workers int
+
+	// MaxPayload bounds a request payload in bytes (default 64KiB).
+	MaxPayload int
+
+	// Deadline is the default per-request budget when Request.Timeout is
+	// zero (default 1s).
+	Deadline time.Duration
+
+	// Faults selects a deterministic fault-injection schedule for the
+	// accelerator Systems (the chaos tests drive this).
+	Faults faults.Config
+
+	// Fresh builds a fresh System per batch instead of recycling through
+	// the pool — the reference arm of the pooled-vs-fresh equivalence
+	// tests.
+	Fresh bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Catalog == nil {
+		o.Catalog = DefaultCatalog()
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 200 * time.Microsecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxPayload <= 0 {
+		o.MaxPayload = 64 << 10
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = time.Second
+	}
+	return o
+}
+
+// serveConfig sizes the accelerated System a batch executor runs on. The
+// shape mirrors the chaos harness's sizing: wire inputs and materialized
+// objects share Static, and heap, arena, and serializer output must each
+// hold a worst-case batch (MaxBatch × MaxPayload).
+func serveConfig(o Options) core.Config {
+	cfg := core.DefaultConfig(core.KindAccel)
+	cfg.Faults = o.Faults
+	const floor = 16 << 20
+	const quantum = 1 << 20
+	need := uint64(o.MaxBatch) * uint64(o.MaxPayload)
+	q := (need + quantum - 1) &^ (quantum - 1)
+	cfg.StaticSize = q*5 + floor
+	cfg.HeapSize = q*4 + floor
+	cfg.ArenaSize = q*4 + floor
+	cfg.OutSize = q + floor
+	return cfg
+}
+
+// batchKey groups coalescible requests: one accelerator batch holds one
+// operation over one schema.
+type batchKey struct {
+	schema string
+	op     Op
+}
+
+// pending is an admitted request waiting for (or inside) a batch.
+type pending struct {
+	req      Request
+	entry    *Entry
+	msg      *dynamic.Message // payload parsed by the software codec at admission
+	deadline time.Time
+	resp     chan Response // buffered(1); receives exactly one Response
+}
+
+// batchJob is one unit on the admission queue: a single admitted request,
+// or a preformed batch (the in-process client's DoBatch) that must run as
+// one accelerator batch regardless of what else is in flight.
+type batchJob struct {
+	key       batchKey
+	pendings  []*pending
+	preformed bool
+}
+
+// Server hosts a catalog and executes serve requests on pooled
+// accelerator Systems.
+type Server struct {
+	opts Options
+	cfg  core.Config
+	pool *core.Pool
+
+	queue chan batchJob
+	work  chan batchJob
+
+	admitMu sync.RWMutex
+	closed  bool
+
+	wg sync.WaitGroup
+
+	connMu    sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+
+	mu     sync.Mutex
+	stats  stats
+	sysAgg telemetry.Aggregate
+}
+
+// stats is the serving layer's own counter group. All counters are
+// integral-valued, so cross-worker accumulation order cannot perturb the
+// totals — a serial run and a parallel run of the same batches snapshot
+// identically.
+type stats struct {
+	reqDeser, reqSer                 uint64
+	ok, shed, deadline, bad, errored uint64
+	bytesIn, bytesOut                uint64
+	batches, batchRequests           uint64
+	accelFallbacks, serverFallbacks  uint64
+	retryEvents                      uint64
+	cycles                           telemetry.Attribution
+}
+
+// NewServer builds and starts a Server (dispatcher plus worker pool).
+func NewServer(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:      opts,
+		cfg:       serveConfig(opts),
+		pool:      core.NewPool(0),
+		queue:     make(chan batchJob, opts.QueueDepth),
+		work:      make(chan batchJob),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.work {
+				s.runBatch(job)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Catalog returns the hosted catalog.
+func (s *Server) Catalog() *Catalog { return s.opts.Catalog }
+
+// Workers returns the number of batch executors (for stats manifests).
+func (s *Server) Workers() int { return s.opts.Workers }
+
+// ConfigFingerprint hashes the System configuration batches run on,
+// identifying the simulated-hardware parameter set behind a stats
+// artifact (same role as the bench harness's fingerprint).
+func (s *Server) ConfigFingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%+v\n", s.cfg)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// submit admits one request. The returned channel receives exactly one
+// Response; rejected requests (shed, bad) are answered without queueing.
+func (s *Server) submit(req Request) <-chan Response {
+	p, ok := s.admit(req)
+	if !ok {
+		return p.resp
+	}
+	job := batchJob{key: batchKey{schema: req.Schema, op: req.Op}, pendings: []*pending{p}}
+	s.admitMu.RLock()
+	if s.closed {
+		s.admitMu.RUnlock()
+		s.respond(p, Response{Status: StatusShed, Payload: []byte("server closing")})
+		return p.resp
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.respond(p, Response{Status: StatusShed, Payload: []byte("admission queue full")})
+	}
+	s.admitMu.RUnlock()
+	return p.resp
+}
+
+// submitPreformed admits a batch that must execute as one accelerator
+// batch. All requests must share a schema and op and the batch must fit
+// MaxBatch; every pending is answered through its own channel.
+func (s *Server) submitPreformed(pendings []*pending, key batchKey) {
+	job := batchJob{key: key, pendings: pendings, preformed: true}
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.closed {
+		for _, p := range pendings {
+			s.respond(p, Response{Status: StatusShed, Payload: []byte("server closing")})
+		}
+		return
+	}
+	select {
+	case s.queue <- job:
+	default:
+		for _, p := range pendings {
+			s.respond(p, Response{Status: StatusShed, Payload: []byte("admission queue full")})
+		}
+	}
+}
+
+// admit validates a request. ok means the pending is ready to queue; on
+// validation failure the pending has already been answered.
+func (s *Server) admit(req Request) (p *pending, ok bool) {
+	p = &pending{req: req, resp: make(chan Response, 1)}
+	s.mu.Lock()
+	if req.Op == OpSerialize {
+		s.stats.reqSer++
+	} else {
+		s.stats.reqDeser++
+	}
+	s.stats.bytesIn += uint64(len(req.Payload))
+	s.mu.Unlock()
+
+	if req.Op != OpDeserialize && req.Op != OpSerialize {
+		s.respond(p, Response{Status: StatusBadRequest, Payload: []byte(fmt.Sprintf("unknown op %d", req.Op))})
+		return p, false
+	}
+	entry := s.opts.Catalog.Lookup(req.Schema)
+	if entry == nil {
+		s.respond(p, Response{Status: StatusBadRequest, Payload: []byte("unknown schema " + req.Schema)})
+		return p, false
+	}
+	if len(req.Payload) > s.opts.MaxPayload {
+		s.respond(p, Response{Status: StatusBadRequest,
+			Payload: []byte(fmt.Sprintf("payload %d bytes exceeds limit %d", len(req.Payload), s.opts.MaxPayload))})
+		return p, false
+	}
+	// Both operations take wire bytes; parsing them with the software codec
+	// up front rejects malformed payloads before they reach the accelerator
+	// and keeps the software answer at hand for graceful degradation.
+	msg, err := codec.Unmarshal(entry.Type, req.Payload)
+	if err != nil {
+		s.respond(p, Response{Status: StatusBadRequest, Payload: []byte("malformed payload: " + err.Error())})
+		return p, false
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.opts.Deadline
+	}
+	p.entry = entry
+	p.msg = msg
+	p.deadline = time.Now().Add(timeout)
+	return p, true
+}
+
+// respond answers a pending exactly once and records the outcome.
+func (s *Server) respond(p *pending, resp Response) {
+	resp.ID = p.req.ID
+	s.mu.Lock()
+	switch resp.Status {
+	case StatusOK:
+		s.stats.ok++
+		s.stats.bytesOut += uint64(len(resp.Payload))
+	case StatusShed:
+		s.stats.shed++
+	case StatusDeadline:
+		s.stats.deadline++
+	case StatusBadRequest:
+		s.stats.bad++
+	default:
+		s.stats.errored++
+	}
+	s.mu.Unlock()
+	p.resp <- resp
+}
+
+// dispatch coalesces queued singles into per-(schema, op) batches, flushing
+// a batch when it reaches MaxBatch or its window expires; preformed batches
+// pass through untouched. Runs until the queue closes, then flushes every
+// open batch and closes the work channel.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	type openBatch struct {
+		pendings []*pending
+		flushAt  time.Time
+	}
+	groups := make(map[batchKey]*openBatch)
+	var timer *time.Timer
+	var timerC <-chan time.Time
+
+	rearm := func() {
+		var earliest time.Time
+		for _, g := range groups {
+			if earliest.IsZero() || g.flushAt.Before(earliest) {
+				earliest = g.flushAt
+			}
+		}
+		if earliest.IsZero() {
+			timerC = nil
+			return
+		}
+		d := time.Until(earliest)
+		if d < 0 {
+			d = 0
+		}
+		if timer == nil {
+			timer = time.NewTimer(d)
+		} else {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(d)
+		}
+		timerC = timer.C
+	}
+	flush := func(k batchKey) {
+		g := groups[k]
+		delete(groups, k)
+		s.work <- batchJob{key: k, pendings: g.pendings}
+	}
+
+	for {
+		select {
+		case job, ok := <-s.queue:
+			if !ok {
+				for k := range groups {
+					flush(k)
+				}
+				close(s.work)
+				return
+			}
+			if job.preformed {
+				s.work <- job
+				continue
+			}
+			g := groups[job.key]
+			if g == nil {
+				g = &openBatch{flushAt: time.Now().Add(s.opts.BatchWindow)}
+				groups[job.key] = g
+			}
+			g.pendings = append(g.pendings, job.pendings...)
+			if len(g.pendings) >= s.opts.MaxBatch {
+				flush(job.key)
+			}
+			rearm()
+		case <-timerC:
+			now := time.Now()
+			for k, g := range groups {
+				if !g.flushAt.After(now) {
+					flush(k)
+				}
+			}
+			rearm()
+		}
+	}
+}
+
+// runBatch executes one batch on an accelerator System: expire overdue
+// requests, run the §4.4.1 batch operation, read functional results back,
+// and degrade to the software codec when the accelerator path errors out.
+func (s *Server) runBatch(job batchJob) {
+	live := job.pendings[:0:0]
+	now := time.Now()
+	for _, p := range job.pendings {
+		if p.deadline.Before(now) {
+			s.respond(p, Response{Status: StatusDeadline, Payload: []byte("deadline expired in queue")})
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.stats.batches++
+	s.stats.batchRequests += uint64(len(live))
+	s.mu.Unlock()
+
+	var sys *core.System
+	if s.opts.Fresh {
+		sys = core.New(s.cfg)
+	} else {
+		sys = s.pool.Get(s.cfg)
+	}
+	sys.Telemetry().EnablePerOp(true)
+	if err := sys.LoadSchema(live[0].entry.Type); err != nil {
+		s.degrade(live, err)
+		return
+	}
+	switch job.key.op {
+	case OpSerialize:
+		s.runSerialize(sys, live)
+	default:
+		s.runDeserialize(sys, live)
+	}
+	s.absorb(sys)
+	if !s.opts.Fresh {
+		s.pool.Put(sys)
+	}
+}
+
+// runDeserialize answers each request with the canonical re-serialization
+// of the object the accelerator materialized from its payload.
+func (s *Server) runDeserialize(sys *core.System, live []*pending) {
+	t := live[0].entry.Type
+	refs := make([]core.WireRef, len(live))
+	for i, p := range live {
+		addr, err := sys.WriteWire(p.req.Payload)
+		if err != nil {
+			s.degrade(live, err)
+			return
+		}
+		refs[i] = core.WireRef{Addr: addr, Len: uint64(len(p.req.Payload))}
+	}
+	res, objs, err := sys.DeserializeBatch(t, refs)
+	if err != nil {
+		s.degrade(live, err)
+		return
+	}
+	s.noteBatch(res, len(live))
+	perReq := res.Cycles / float64(len(live))
+	fellBack := res.Fault != nil && res.Fault.FellBack
+	for i, p := range live {
+		m, err := sys.ReadMessage(t, objs[i])
+		if err != nil {
+			s.respond(p, Response{Status: StatusError, Payload: []byte("object readback: " + err.Error())})
+			continue
+		}
+		out, err := codec.Marshal(m)
+		if err != nil {
+			s.respond(p, Response{Status: StatusError, Payload: []byte("canonical marshal: " + err.Error())})
+			continue
+		}
+		s.respond(p, Response{Status: StatusOK, FellBack: fellBack, Cycles: perReq, Payload: out})
+	}
+}
+
+// runSerialize answers each request with the wire bytes the accelerator's
+// serializer produced for its (pre-parsed) object.
+func (s *Server) runSerialize(sys *core.System, live []*pending) {
+	t := live[0].entry.Type
+	objs := make([]uint64, len(live))
+	for i, p := range live {
+		addr, err := sys.MaterializeInput(p.msg)
+		if err != nil {
+			s.degrade(live, err)
+			return
+		}
+		objs[i] = addr
+	}
+	res, refs, err := sys.SerializeBatch(t, objs)
+	if err != nil {
+		s.degrade(live, err)
+		return
+	}
+	s.noteBatch(res, len(live))
+	perReq := res.Cycles / float64(len(live))
+	fellBack := res.Fault != nil && res.Fault.FellBack
+	for i, p := range live {
+		out, err := sys.ReadWire(refs[i].Addr, refs[i].Len)
+		if err != nil {
+			s.respond(p, Response{Status: StatusError, Payload: []byte("wire readback: " + err.Error())})
+			continue
+		}
+		s.respond(p, Response{Status: StatusOK, FellBack: fellBack, Cycles: perReq, Payload: out})
+	}
+}
+
+// degrade completes every live request of a failed batch on the host's
+// software codec. Responses stay byte-identical to the accelerator path —
+// for both operations the answer is the canonical serialization of the
+// request's pre-parsed message — so callers cannot observe which path ran
+// except through the FellBack flag.
+func (s *Server) degrade(live []*pending, cause error) {
+	_ = cause // the per-response FellBack flag and counters carry the signal
+	s.mu.Lock()
+	s.stats.serverFallbacks += uint64(len(live))
+	s.mu.Unlock()
+	for _, p := range live {
+		out, err := codec.Marshal(p.msg)
+		if err != nil {
+			s.respond(p, Response{Status: StatusError, Payload: []byte("software codec: " + err.Error())})
+			continue
+		}
+		s.respond(p, Response{Status: StatusOK, FellBack: true, Payload: out})
+	}
+}
+
+// noteBatch records a completed accelerator batch's resilience and cycle
+// attribution counters.
+func (s *Server) noteBatch(res core.Result, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if res.Fault != nil {
+		s.stats.retryEvents += uint64(res.Fault.Retries)
+		if res.Fault.FellBack {
+			s.stats.accelFallbacks += uint64(n)
+		}
+	}
+	if res.Telemetry != nil {
+		a := res.Telemetry.Attribution
+		s.stats.cycles.Total += a.Total
+		s.stats.cycles.FSM += a.FSM
+		s.stats.cycles.Supply += a.Supply
+		s.stats.cycles.Spill += a.Spill
+		s.stats.cycles.ADTMiss += a.ADTMiss
+	}
+}
+
+// absorb folds a batch System's counters into the server-wide aggregate.
+// The System came out of Get freshly reset, so its registry snapshot is
+// exactly this batch's delta.
+func (s *Server) absorb(sys *core.System) {
+	snap := sys.Telemetry().Registry.Snapshot()
+	s.mu.Lock()
+	s.sysAgg.Add(snap)
+	s.mu.Unlock()
+}
+
+// CollectTelemetry implements telemetry.Collector for the serving group.
+func (s *Server) CollectTelemetry(emit func(name string, value float64)) {
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	emit("requests/deser", float64(st.reqDeser))
+	emit("requests/ser", float64(st.reqSer))
+	emit("responses/ok", float64(st.ok))
+	emit("responses/shed", float64(st.shed))
+	emit("responses/deadline", float64(st.deadline))
+	emit("responses/bad_request", float64(st.bad))
+	emit("responses/error", float64(st.errored))
+	emit("bytes/in", float64(st.bytesIn))
+	emit("bytes/out", float64(st.bytesOut))
+	emit("batches", float64(st.batches))
+	emit("batch_requests", float64(st.batchRequests))
+	emit("fallbacks/accel", float64(st.accelFallbacks))
+	emit("fallbacks/server", float64(st.serverFallbacks))
+	emit("retries", float64(st.retryEvents))
+	emit("queue/capacity", float64(s.opts.QueueDepth))
+	emit("queue/depth", float64(len(s.queue)))
+	emit("cycles/accel", st.cycles.Total)
+	emit("cycles/fsm", st.cycles.FSM)
+	emit("cycles/supply", st.cycles.Supply)
+	emit("cycles/spill", st.cycles.Spill)
+	emit("cycles/adt_stall", st.cycles.ADTMiss)
+}
+
+// TelemetrySnapshot merges the serving group with the aggregated per-batch
+// System counters, sorted by name. At quiescence (no requests in flight)
+// the result is deterministic for a given request set — the basis of the
+// serial-vs-parallel equivalence tests.
+func (s *Server) TelemetrySnapshot() telemetry.Snapshot {
+	var reg telemetry.Registry
+	reg.Register("serve", s)
+	var agg telemetry.Aggregate
+	agg.Add(reg.Snapshot())
+	s.mu.Lock()
+	agg.Add(s.sysAgg.Snapshot())
+	s.mu.Unlock()
+	return agg.Snapshot()
+}
+
+// Serve accepts connections on ln until the listener closes (Close closes
+// every registered listener). Each connection may pipeline requests;
+// responses return in completion order, matched by id.
+func (s *Server) Serve(ln net.Listener) error {
+	s.connMu.Lock()
+	s.listeners[ln] = struct{}{}
+	s.connMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.connMu.Lock()
+			delete(s.listeners, ln)
+			s.connMu.Unlock()
+			s.admitMu.RLock()
+			closed := s.closed
+			s.admitMu.RUnlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn demultiplexes one connection: requests stream in, each is
+// submitted, and a per-connection writer lock serializes the response
+// frames. A framing or parse error terminates the connection (the peer is
+// not speaking the protocol).
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	var writeMu sync.Mutex
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := parseRequest(body)
+		if err != nil {
+			return
+		}
+		ch := s.submit(req)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := <-ch
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			writeFrame(conn, appendResponse(nil, &resp))
+		}()
+	}
+}
+
+// Close drains and stops the server: admission closes (new requests are
+// shed), queued work completes, workers exit, and open listeners and
+// connections are closed.
+func (s *Server) Close() {
+	s.admitMu.Lock()
+	if s.closed {
+		s.admitMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.admitMu.Unlock()
+	close(s.queue)
+	s.connMu.Lock()
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+}
