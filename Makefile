@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet race bench bench-smoke fuzz-smoke chaos-smoke serve-smoke serve-report figures examples clean
+.PHONY: all build test vet race bench bench-smoke fuzz-smoke chaos-smoke serve-smoke serve-report serve-tiles-smoke serve-tiles-report figures examples clean
 
 all: build vet test
 
@@ -44,6 +44,24 @@ serve-smoke:
 serve-report:
 	mkdir -p results
 	GOMAXPROCS=4 go run ./cmd/loadgen -duration 2s -concurrency 16 -schema all -check -out results/serve_throughput.md
+
+# Short verified multi-tile passes: the p2c router with work stealing,
+# then deterministic round-robin — every response checked byte-identical
+# to its canonical payload — plus a faulted run where the schedule is
+# quarantined to one tile.
+serve-tiles-smoke:
+	go run ./cmd/loadgen -tiles 4 -duration 500ms -concurrency 8 -schema varint -check
+	go run ./cmd/loadgen -tiles 4 -routing rr -duration 500ms -concurrency 8 -schema mixed -check
+	go run ./cmd/loadgen -tiles 4 -duration 500ms -concurrency 8 -schema string -check -faults 0.02 -fault-seed 7 -fault-tiles 1
+
+# Regenerate results/serve_tiles.md the way the checked-in artifact is
+# measured: fresh in-process server per tile count, 4 cores, closed loop.
+# Concurrency is high (256) so the offered load saturates every tile
+# count — a tile-scaling sweep driven below saturation measures the load
+# generator, not the server.
+serve-tiles-report:
+	mkdir -p results
+	GOMAXPROCS=4 go run ./cmd/loadgen -tile-sweep 1,2,4 -duration 2s -concurrency 256 -schema all -check -out results/serve_tiles.md
 
 build:
 	go build ./...

@@ -1,22 +1,31 @@
 // Command loadgen drives a protoaccd with closed-loop (saturating) or
 // open-loop (paced) load and reports request throughput and latency
 // percentiles (p50/p99/p999 from log-linear histograms merged across
-// workers).
+// workers). Open-loop latency is coordinated-omission-free: samples are
+// measured from the scheduled send time, so queueing delay under
+// overload lands in the tail percentiles instead of being silently
+// dropped.
 //
 // Usage:
 //
 //	loadgen [-addr host:port] [-schema name] [-op deser|ser|both]
 //	        [-duration d] [-concurrency n] [-rate rps] [-timeout d]
 //	        [-check] [-out file]
+//	        [-tiles n] [-routing p2c|rr] [-tile-sweep 1,2,4]
 //	        [-workers n] [-max-batch n] [-batch-window d] [-queue-depth n]
-//	        [-faults rate[@site,...]] [-fault-seed n] [-stats-out file]
+//	        [-faults rate[@site,...]] [-fault-seed n] [-fault-tiles 0,2]
+//	        [-stats-out file]
 //
 // With -addr it dials an already-running daemon over TCP (one connection
 // per worker). Without -addr it starts an in-process server and drives it
 // through the direct client — the zero-network configuration the checked
-// in results/serve_throughput.md is measured with; the -workers through
+// in results/serve_throughput.md is measured with; the -tiles through
 // -stats-out flags configure that in-process server and are rejected with
 // -addr.
+//
+// -tile-sweep runs the whole pass set once per listed tile count, each
+// against a fresh in-process server, and reports throughput scaling over
+// the first entry — the measurement behind results/serve_tiles.md.
 //
 // -check verifies every OK response is byte-identical to its request
 // payload (sample payloads are canonical, so the serving contract makes
@@ -29,6 +38,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,21 +56,26 @@ func main() {
 	rate := flag.Float64("rate", 0, "open-loop aggregate requests/sec (0 = closed loop)")
 	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = server default)")
 	check := flag.Bool("check", true, "verify each OK response is byte-identical to its payload")
-	out := flag.String("out", "", "append a markdown report to this file (e.g. results/serve_throughput.md)")
+	out := flag.String("out", "", "write a markdown report to this file (e.g. results/serve_throughput.md)")
 
-	workers := flag.Int("workers", 0, "in-process server: batch executors (0 = GOMAXPROCS)")
+	tiles := flag.Int("tiles", 0, "in-process server: accelerator tiles behind the router (0 = default 1)")
+	routing := flag.String("routing", "p2c", "in-process server: tile placement policy, p2c or rr")
+	tileSweep := flag.String("tile-sweep", "", "run every pass once per tile count in this comma list (e.g. 1,2,4) and report scaling; implies in-process servers")
+	workers := flag.Int("workers", 0, "in-process server: total batch executors (0 = GOMAXPROCS)")
 	maxBatch := flag.Int("max-batch", 0, "in-process server: max requests per batch")
 	batchWindow := flag.Duration("batch-window", 0, "in-process server: batch coalescing window")
-	queueDepth := flag.Int("queue-depth", 0, "in-process server: admission queue bound")
+	queueDepth := flag.Int("queue-depth", 0, "in-process server: per-tile admission queue bound")
 	faultSpec := flag.String("faults", "", "in-process server fault injection: RATE or RATE@site,... (sites: "+strings.Join(faults.SiteNames(), ",")+")")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault schedule")
+	faultTiles := flag.String("fault-tiles", "", "comma-separated tile ids the fault schedule applies to (empty = every tile)")
 	statsOut := flag.String("stats-out", "", "in-process server: write merged telemetry counters on exit")
 	flag.Parse()
 
-	serverFlags := *workers != 0 || *maxBatch != 0 || *batchWindow != 0 ||
-		*queueDepth != 0 || *faultSpec != "" || *statsOut != ""
+	serverFlags := *tiles != 0 || *routing != "p2c" || *tileSweep != "" ||
+		*workers != 0 || *maxBatch != 0 || *batchWindow != 0 ||
+		*queueDepth != 0 || *faultSpec != "" || *faultTiles != "" || *statsOut != ""
 	if *addr != "" && serverFlags {
-		fmt.Fprintln(os.Stderr, "loadgen: -workers/-max-batch/-batch-window/-queue-depth/-faults/-stats-out configure the in-process server and conflict with -addr")
+		fmt.Fprintln(os.Stderr, "loadgen: -tiles/-routing/-tile-sweep/-workers/-max-batch/-batch-window/-queue-depth/-faults/-fault-tiles/-stats-out configure the in-process server and conflict with -addr")
 		os.Exit(2)
 	}
 	faultCfg, err := faults.ParseFlag(*faultSpec, *faultSeed)
@@ -68,30 +83,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	catalog := serve.DefaultCatalog()
-	var dial func() (serve.Doer, error)
-	var srv *serve.Server
-	target := *addr
-	if *addr == "" {
-		srv, err = serve.NewServer(serve.Options{
-			Catalog:     catalog,
-			Workers:     *workers,
-			MaxBatch:    *maxBatch,
-			BatchWindow: *batchWindow,
-			QueueDepth:  *queueDepth,
-			Faults:      faultCfg,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		dial = func() (serve.Doer, error) { return srv.InProc(), nil }
-		target = fmt.Sprintf("in-process (server workers=%d)", srv.Workers())
-	} else {
-		dial = func() (serve.Doer, error) { return serve.Dial(*addr) }
+	faultTileIDs, err := parseTileList(*faultTiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	routePolicy, err := serve.ParseRouting(*routing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
+	catalog := serve.DefaultCatalog()
 	var schemas []string
 	if *schema == "all" {
 		schemas = catalog.Names()
@@ -115,23 +118,67 @@ func main() {
 	if *rate > 0 {
 		mode = fmt.Sprintf("open-loop %.0f/s", *rate)
 	}
+
+	opts := serve.Options{
+		Catalog:     catalog,
+		Routing:     routePolicy,
+		FaultTiles:  faultTileIDs,
+		Workers:     *workers,
+		MaxBatch:    *maxBatch,
+		BatchWindow: *batchWindow,
+		QueueDepth:  *queueDepth,
+		Faults:      faultCfg,
+	}
+	runOpts := serve.LoadgenOptions{
+		Catalog:     catalog,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		RatePerSec:  *rate,
+		Timeout:     *timeout,
+		Check:       *check,
+	}
+
+	if *tileSweep != "" {
+		counts, err := parseSweep(*tileSweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("loadgen: tile sweep %v, %s, concurrency %d, %v per pass\n", counts, mode, *concurrency, *duration)
+		if err := runSweep(counts, opts, runOpts, schemas, ops, mode, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var dial func() (serve.Doer, error)
+	var srv *serve.Server
+	target := *addr
+	if *addr == "" {
+		opts.Tiles = *tiles
+		srv, err = serve.NewServer(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dial = func() (serve.Doer, error) { return srv.InProc(), nil }
+		target = fmt.Sprintf("in-process (tiles=%d routing=%s workers=%d)", srv.Tiles(), srv.Routing(), srv.Workers())
+	} else {
+		dial = func() (serve.Doer, error) { return serve.Dial(*addr) }
+	}
+
 	fmt.Printf("loadgen: target %s, %s, concurrency %d, %v per pass\n", target, mode, *concurrency, *duration)
 
 	var reports []*serve.LoadgenReport
 	failed := false
 	for _, name := range schemas {
 		for _, o := range ops {
-			rep, err := serve.RunLoadgen(serve.LoadgenOptions{
-				Dial:        dial,
-				Catalog:     catalog,
-				Schema:      name,
-				Op:          o,
-				Duration:    *duration,
-				Concurrency: *concurrency,
-				RatePerSec:  *rate,
-				Timeout:     *timeout,
-				Check:       *check,
-			})
+			ro := runOpts
+			ro.Dial = dial
+			ro.Schema = name
+			ro.Op = o
+			rep, err := serve.RunLoadgen(ro)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -165,6 +212,144 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen: FAILED (check failures or transport errors)")
 		os.Exit(1)
 	}
+}
+
+// parseTileList parses a comma-separated list of tile ids; empty means
+// nil (every tile).
+func parseTileList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("loadgen: empty tile id in -fault-tiles %q (stray comma?)", s)
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: bad tile id %q in -fault-tiles: %v", part, err)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// parseSweep parses the -tile-sweep comma list.
+func parseSweep(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("loadgen: bad tile count %q in -tile-sweep", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// sweepPoint is one tile count's merged measurement across every pass.
+type sweepPoint struct {
+	tiles    int
+	elapsed  time.Duration
+	ok       uint64
+	shed     uint64
+	fellBack uint64
+	failures uint64
+	latency  serve.Histogram
+}
+
+func (p *sweepPoint) rps() float64 {
+	if p.elapsed <= 0 {
+		return 0
+	}
+	return float64(p.ok) / p.elapsed.Seconds()
+}
+
+// runSweep measures each tile count against a fresh in-process server and
+// writes the scaling report.
+func runSweep(counts []int, opts serve.Options, runOpts serve.LoadgenOptions, schemas []string, ops []serve.Op, mode, out string) error {
+	var points []*sweepPoint
+	failed := false
+	for _, n := range counts {
+		o := opts
+		o.Tiles = n
+		srv, err := serve.NewServer(o)
+		if err != nil {
+			return err
+		}
+		pt := &sweepPoint{tiles: n}
+		for _, name := range schemas {
+			for _, op := range ops {
+				ro := runOpts
+				ro.Dial = func() (serve.Doer, error) { return srv.InProc(), nil }
+				ro.Schema = name
+				ro.Op = op
+				rep, err := serve.RunLoadgen(ro)
+				if err != nil {
+					srv.Close()
+					return err
+				}
+				fmt.Printf("tiles=%d ", n)
+				printReport(os.Stdout, rep)
+				pt.elapsed += rep.Elapsed
+				pt.ok += rep.OK
+				pt.shed += rep.Shed
+				pt.fellBack += rep.FellBack
+				pt.failures += rep.CheckFailures + rep.Errors
+				pt.latency.Merge(&rep.Latency)
+			}
+		}
+		srv.Close()
+		if pt.failures > 0 {
+			failed = true
+		}
+		points = append(points, pt)
+	}
+	if out != "" {
+		if err := writeSweepMarkdown(out, mode, runOpts.Concurrency, runOpts.Duration, points); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
+	}
+	if failed {
+		return fmt.Errorf("loadgen: FAILED (check failures or transport errors during sweep)")
+	}
+	return nil
+}
+
+// writeSweepMarkdown writes the tile-scaling table (overwriting path).
+// Speedup is aggregate req/s relative to the sweep's first entry.
+func writeSweepMarkdown(path, mode string, concurrency int, duration time.Duration, points []*sweepPoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# Serving throughput vs tile count (loadgen -tile-sweep)\n\n")
+	fmt.Fprintf(f, "Mode: %s, concurrency %d, %v per pass, GOMAXPROCS=%d, %s.\n",
+		mode, concurrency, duration, runtime.GOMAXPROCS(0), runtime.Version())
+	fmt.Fprintf(f, "Each row is a fresh in-process server; req/s aggregates every (schema, op)\n")
+	fmt.Fprintf(f, "pass at that tile count, and speedup is relative to the first row — the\n")
+	fmt.Fprintf(f, "single-pool baseline when the sweep starts at 1 tile. Latency percentiles\n")
+	fmt.Fprintf(f, "are per successful request, measured client-side.\n\n")
+	fmt.Fprintf(f, "| tiles | req/s | speedup | ok | shed | fellback | p50 | p99 | p999 |\n")
+	fmt.Fprintf(f, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	base := 0.0
+	if len(points) > 0 {
+		base = points[0].rps()
+	}
+	for _, p := range points {
+		speedup := 0.0
+		if base > 0 {
+			speedup = p.rps() / base
+		}
+		fmt.Fprintf(f, "| %d | %.0f | %.2fx | %d | %d | %d | %v | %v | %v |\n",
+			p.tiles, p.rps(), speedup, p.ok, p.shed, p.fellBack,
+			p.latency.Quantile(0.50), p.latency.Quantile(0.99), p.latency.Quantile(0.999))
+	}
+	return nil
 }
 
 func printReport(w io.Writer, r *serve.LoadgenReport) {

@@ -1,21 +1,23 @@
 // Command protoaccd is the accelerator serving daemon: it hosts the
 // default schema catalog and answers serialize/deserialize requests over
-// TCP (length-prefixed frames, see internal/serve), batching concurrent
-// requests per (schema, op) onto pooled accelerator Systems with admission
-// control, per-request deadlines, and software-codec graceful degradation.
+// TCP (length-prefixed frames, see internal/serve), routing concurrent
+// requests across sharded accelerator tiles — each with its own System
+// pool, admission queue, and batch executors — with admission control,
+// per-request deadlines, and software-codec graceful degradation.
 //
 // Usage:
 //
-//	protoaccd [-listen addr] [-workers n] [-max-batch n]
-//	          [-batch-window d] [-queue-depth n] [-max-payload n]
-//	          [-deadline d] [-faults rate[@site,...]] [-fault-seed n]
+//	protoaccd [-listen addr] [-tiles n] [-routing p2c|rr] [-workers n]
+//	          [-max-batch n] [-batch-window d] [-queue-depth n]
+//	          [-max-payload n] [-deadline d]
+//	          [-faults rate[@site,...]] [-fault-seed n] [-fault-tiles 0,2]
 //	          [-stats-out file]
 //
 // On SIGINT/SIGTERM the daemon drains in-flight work, then (with
 // -stats-out) writes the merged telemetry counters — the serving group
-// (queue, batching, shed/fallback) plus every accelerator unit's counters
-// aggregated across batches — as JSON, or Prometheus text with a .prom
-// suffix.
+// (queue, batching, shed/fallback, per-tile serve/tile<i>/ breakdowns)
+// plus every accelerator unit's counters aggregated across batches — as
+// JSON, or Prometheus text with a .prom suffix.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -37,14 +40,17 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7411", "TCP listen address")
-	workers := flag.Int("workers", 0, "concurrent batch executors (0 = GOMAXPROCS)")
+	tiles := flag.Int("tiles", 0, "independent accelerator tiles behind the router (0 = default 1)")
+	routing := flag.String("routing", "p2c", "tile placement policy: p2c (power-of-two-choices + work stealing) or rr (deterministic round-robin)")
+	workers := flag.Int("workers", 0, "total batch executors, split across tiles (0 = GOMAXPROCS)")
 	maxBatch := flag.Int("max-batch", 0, "max requests per accelerator batch (0 = default 16)")
 	batchWindow := flag.Duration("batch-window", 0, "how long an under-full batch waits for partners (0 = default 200µs)")
-	queueDepth := flag.Int("queue-depth", 0, "admission queue bound; requests beyond it are shed (0 = default 1024)")
+	queueDepth := flag.Int("queue-depth", 0, "per-tile admission queue bound; requests routed to a full tile are shed (0 = default 1024)")
 	maxPayload := flag.Int("max-payload", 0, "request payload size limit in bytes (0 = default 64KiB)")
 	deadline := flag.Duration("deadline", 0, "default per-request budget (0 = default 1s)")
 	faultSpec := flag.String("faults", "", "fault injection: RATE or RATE@site,... (sites: "+strings.Join(faults.SiteNames(), ",")+"); empty or \"off\" disables")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault schedule")
+	faultTiles := flag.String("fault-tiles", "", "comma-separated tile ids the fault schedule applies to (empty = every tile)")
 	statsOut := flag.String("stats-out", "", "write merged telemetry counters to this file on shutdown (JSON, or Prometheus text with a .prom suffix)")
 	flag.Parse()
 
@@ -53,8 +59,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	routePolicy, err := serve.ParseRouting(*routing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	faultTileIDs, err := parseTileList(*faultTiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	srv, err := serve.NewServer(serve.Options{
+		Tiles:       *tiles,
+		Routing:     routePolicy,
+		FaultTiles:  faultTileIDs,
 		Workers:     *workers,
 		MaxBatch:    *maxBatch,
 		BatchWindow: *batchWindow,
@@ -73,8 +92,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("protoaccd listening on %s (schemas: %s; workers=%d)\n",
-		ln.Addr(), strings.Join(srv.Catalog().Names(), ","), srv.Workers())
+	fmt.Printf("protoaccd listening on %s (schemas: %s; tiles=%d routing=%s workers=%d)\n",
+		ln.Addr(), strings.Join(srv.Catalog().Names(), ","), srv.Tiles(), srv.Routing(), srv.Workers())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -91,6 +110,10 @@ func main() {
 	start := time.Now()
 	srv.Close()
 	fmt.Printf("protoaccd: drained in %v\n", time.Since(start).Round(time.Millisecond))
+	for i, pc := range srv.TilePoolCounters() {
+		fmt.Printf("protoaccd: tile%d pool: gets=%d hits=%d puts=%d drops=%d evictions=%d\n",
+			i, pc.Gets, pc.Hits, pc.Puts, pc.Drops, pc.Evictions)
+	}
 
 	if *statsOut != "" {
 		if err := writeStats(*statsOut, srv); err != nil {
@@ -99,6 +122,27 @@ func main() {
 		}
 		fmt.Printf("telemetry counters written to %s\n", *statsOut)
 	}
+}
+
+// parseTileList parses a comma-separated list of tile ids; empty means
+// nil (every tile).
+func parseTileList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("protoaccd: empty tile id in -fault-tiles %q (stray comma?)", s)
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("protoaccd: bad tile id %q in -fault-tiles: %v", part, err)
+		}
+		out = append(out, id)
+	}
+	return out, nil
 }
 
 // writeStats writes the server's merged telemetry snapshot with a

@@ -30,6 +30,29 @@ type Pool struct {
 	idle  map[poolKey][]idleEntry
 	count int
 	seq   uint64 // stamps idle entries so "oldest" is well defined
+	ctrs  PoolCounters
+}
+
+// PoolCounters is the pool's recycling ledger: how often Get was served
+// from an idle System (Hits) versus building a new one, and what happened
+// to returned Systems (retained, dropped as poisoned/unpoolable, or
+// evicted to make room). The serving layer's per-tile pools expose these
+// in shutdown summaries; they are deliberately not part of telemetry
+// snapshots because hit/miss counts depend on worker scheduling and would
+// break the serial-vs-parallel bitwise-equivalence contract.
+type PoolCounters struct {
+	Gets      uint64 // Get calls
+	Hits      uint64 // Gets served by recycling an idle System
+	Puts      uint64 // Systems retained by Put
+	Drops     uint64 // Puts discarded (poisoned or unpoolable config)
+	Evictions uint64 // idle Systems evicted to make room
+}
+
+// Counters returns a snapshot of the pool's recycling ledger.
+func (p *Pool) Counters() PoolCounters {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ctrs
 }
 
 // idleEntry is one retained System plus its admission stamp.
@@ -176,11 +199,16 @@ func keyFor(cfg Config) (poolKey, bool) {
 func (p *Pool) Get(cfg Config) *System {
 	key, ok := keyFor(cfg)
 	if !ok {
+		p.mu.Lock()
+		p.ctrs.Gets++
+		p.mu.Unlock()
 		return New(cfg)
 	}
 	p.mu.Lock()
+	p.ctrs.Gets++
 	list := p.idle[key]
 	if n := len(list); n > 0 {
+		p.ctrs.Hits++
 		s := list[n-1].sys
 		list[n-1] = idleEntry{}
 		p.idle[key] = list[:n-1]
@@ -209,15 +237,25 @@ func (p *Pool) Get(cfg Config) *System {
 // layer produces). Instead the oldest idle System of the most
 // over-represented key is evicted to make room.
 func (p *Pool) Put(s *System) {
-	if s == nil || s.Poisoned() {
+	if s == nil {
+		return
+	}
+	if s.Poisoned() {
+		p.mu.Lock()
+		p.ctrs.Drops++
+		p.mu.Unlock()
 		return
 	}
 	key, ok := keyFor(s.Cfg)
 	if !ok {
+		p.mu.Lock()
+		p.ctrs.Drops++
+		p.mu.Unlock()
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.ctrs.Puts++
 	if p.count >= p.max {
 		p.evictLocked()
 	}
@@ -255,6 +293,7 @@ func (p *Pool) evictLocked() {
 		p.idle[victim] = list[:len(list)-1]
 	}
 	p.count--
+	p.ctrs.Evictions++
 }
 
 // Idle returns the number of Systems currently retained (for tests).

@@ -137,6 +137,37 @@ func TestPoolPutEvictsOverRepresentedKey(t *testing.T) {
 	}
 }
 
+// The recycling ledger must account for every Get and Put outcome: hits
+// only on recycled Systems, drops for poisoned and unpoolable returns,
+// evictions when a full pool makes room.
+func TestPoolCounters(t *testing.T) {
+	p := NewPool(2)
+	miss := p.Get(taggedConfig(0)) // miss: empty pool
+	p.Put(miss)
+	hit := p.Get(taggedConfig(0)) // hit: recycles miss
+	if hit != miss {
+		t.Fatal("expected the idle System back")
+	}
+	p.Put(hit)
+
+	poisoned := New(taggedConfig(0))
+	poisoned.poisoned = true
+	p.Put(poisoned) // drop: poisoned
+
+	traced := New(taggedConfig(0))
+	traced.Cfg.Deser.Trace = func(ev deser.TraceEvent) {}
+	p.Put(traced) // drop: unpoolable config
+
+	p.Put(New(taggedConfig(1)))
+	p.Put(New(taggedConfig(1))) // pool full (max 2): evicts one idle
+
+	got := p.Counters()
+	want := PoolCounters{Gets: 2, Hits: 1, Puts: 4, Drops: 2, Evictions: 1}
+	if got != want {
+		t.Fatalf("pool counters = %+v, want %+v", got, want)
+	}
+}
+
 // Under a mixed-config workload cycling through more keys than the pool
 // holds per key, every key must keep recycling — the regression shape for
 // the old Put behavior, which dropped every return for keys other than

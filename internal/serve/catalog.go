@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 
@@ -70,10 +71,21 @@ func (e *Entry) NumSamples() int { return len(e.payloads) }
 // bloating server start-up.
 const samplesPerEntry = 64
 
+// sampleSeed derives the per-entry RNG seed from an FNV-1a hash of the
+// full schema name. Seeding from the name's *length* (as this package
+// originally did) collides for any two equal-length names — "varint" and
+// "string" shared one seed, so their sample-payload streams drew the same
+// random sequence and were correlated across schemas.
+func sampleSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
 // newEntry builds an entry, populating sample payloads from pop.
 func newEntry(name string, t *schema.Message, pop func(i int, rng *rand.Rand) *dynamic.Message) *Entry {
 	e := &Entry{Name: name, Type: t}
-	rng := rand.New(rand.NewSource(int64(len(name)) + 1))
+	rng := rand.New(rand.NewSource(sampleSeed(name)))
 	for i := 0; i < samplesPerEntry; i++ {
 		m := pop(i, rng)
 		b, err := codec.Marshal(m)

@@ -234,7 +234,15 @@ func RunLoadgen(opts LoadgenOptions) (*LoadgenReport, error) {
 				if !now.Before(stop) {
 					return
 				}
+				// Open-loop latency is measured from the *scheduled* send
+				// time, not from when the pacing sleep returned: under
+				// overload the schedule falls behind, and measuring from
+				// the post-sleep instant would silently drop exactly the
+				// queueing delay the open-loop mode exists to expose
+				// (coordinated omission, underreporting p99/p999).
+				var sendAt time.Time
 				if interval > 0 {
+					sendAt = next
 					if d := next.Sub(now); d > 0 {
 						time.Sleep(d)
 					}
@@ -242,6 +250,9 @@ func RunLoadgen(opts LoadgenOptions) (*LoadgenReport, error) {
 				}
 				payload := entry.SamplePayload(w*7919 + i)
 				t0 := time.Now()
+				if !sendAt.IsZero() {
+					t0 = sendAt
+				}
 				resp, err := client.Do(Request{
 					Op:      opts.Op,
 					Schema:  opts.Schema,

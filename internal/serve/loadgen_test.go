@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// slowDoer answers every request correctly but takes a fixed service
+// time — a deliberately overloaded "server" for the coordinated-omission
+// regression test.
+type slowDoer struct {
+	delay time.Duration
+}
+
+func (d slowDoer) Do(req Request) (Response, error) {
+	time.Sleep(d.delay)
+	return Response{ID: req.ID, Status: StatusOK, Payload: req.Payload}, nil
+}
+
+func (d slowDoer) Close() error { return nil }
+
+// Open-loop (paced) latency must be recorded from the scheduled send
+// time, not from when the pacing sleep returned. Against a server whose
+// service time exceeds the pacing interval, the schedule falls further
+// behind with every request, so the tail latency must grow far beyond the
+// per-request service time; measuring from the post-sleep instant
+// (coordinated omission) would clamp every sample to roughly the service
+// time and underreport p99/p999.
+func TestLoadgenOpenLoopCoordinatedOmission(t *testing.T) {
+	const serviceTime = 5 * time.Millisecond
+	rep, err := RunLoadgen(LoadgenOptions{
+		Dial:        func() (Doer, error) { return slowDoer{delay: serviceTime}, nil },
+		Schema:      "varint",
+		Op:          OpDeserialize,
+		Duration:    250 * time.Millisecond,
+		Concurrency: 1,
+		RatePerSec:  1000, // 1ms interval << 5ms service time: permanent overload
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK < 10 {
+		t.Fatalf("only %d requests completed; test cannot observe queueing delay", rep.OK)
+	}
+	// After k requests the schedule is behind by k*(serviceTime-interval);
+	// with ~40+ completions the worst sample must far exceed the service
+	// time. 4x is a conservative floor that the coordinated-omission bug
+	// could never reach (it reported ≈ serviceTime regardless of backlog).
+	if got := rep.Latency.Quantile(1.0); got < 4*serviceTime {
+		t.Errorf("open-loop max latency %v under permanent overload; want >= %v (queueing delay from the schedule, not the send instant)",
+			got, 4*serviceTime)
+	}
+	// The mean must also reflect the backlog, not just the tail.
+	if got := rep.Latency.Mean(); got < 2*serviceTime {
+		t.Errorf("open-loop mean latency %v under permanent overload; want >= %v", got, 2*serviceTime)
+	}
+}
+
+// Closed-loop latency is still measured from the send instant: against
+// the same slow server it must stay near the service time (no pacing, no
+// schedule to fall behind).
+func TestLoadgenClosedLoopLatencyUnchanged(t *testing.T) {
+	const serviceTime = 2 * time.Millisecond
+	rep, err := RunLoadgen(LoadgenOptions{
+		Dial:        func() (Doer, error) { return slowDoer{delay: serviceTime}, nil },
+		Schema:      "varint",
+		Op:          OpDeserialize,
+		Duration:    100 * time.Millisecond,
+		Concurrency: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 {
+		t.Fatal("no requests completed")
+	}
+	if got := rep.Latency.Quantile(0.50); got > 10*serviceTime {
+		t.Errorf("closed-loop p50 %v is far above the %v service time", got, serviceTime)
+	}
+}

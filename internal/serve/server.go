@@ -7,6 +7,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"protoacc/internal/core"
@@ -16,24 +17,77 @@ import (
 	"protoacc/internal/telemetry"
 )
 
+// Routing selects how the Server places admitted jobs onto tiles.
+type Routing uint8
+
+// Routing policies.
+const (
+	// RoutePowerOfTwo (default) picks two candidate tiles from a hashed
+	// routing sequence and enqueues on the one with the shallower
+	// admission queue — the classic load-balancing sweet spot between a
+	// global queue and blind round-robin. Idle tiles additionally steal
+	// from the deepest queue.
+	RoutePowerOfTwo Routing = iota
+	// RouteRoundRobin places jobs strictly in submission order and
+	// disables work stealing, so batch→tile placement is a pure function
+	// of the request sequence. This is the determinism mode the
+	// equivalence tests run in: a 1-tile and an N-tile server produce
+	// bitwise-identical responses and aggregated counters.
+	RouteRoundRobin
+)
+
+func (r Routing) String() string {
+	if r == RouteRoundRobin {
+		return "rr"
+	}
+	return "p2c"
+}
+
+// ParseRouting parses a -routing flag value ("p2c" or "rr").
+func ParseRouting(s string) (Routing, error) {
+	switch s {
+	case "", "p2c":
+		return RoutePowerOfTwo, nil
+	case "rr":
+		return RouteRoundRobin, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown routing policy %q (want p2c or rr)", s)
+	}
+}
+
 // Options configures a Server. The zero value of any field selects the
 // default noted on it.
 type Options struct {
 	// Catalog of hosted schemas; nil selects DefaultCatalog.
 	Catalog *Catalog
 
+	// Tiles is the number of independent accelerator tiles — each with
+	// its own System pool, admission queue, dispatcher, and executors —
+	// behind the router (default 1).
+	Tiles int
+
+	// Routing places admitted jobs onto tiles (default RoutePowerOfTwo;
+	// RouteRoundRobin is the deterministic mode).
+	Routing Routing
+
+	// FaultTiles restricts the fault-injection schedule to the listed
+	// tile ids; nil applies Faults to every tile. The chaos tests use
+	// this to show a poisoned tile degrading alone.
+	FaultTiles []int
+
 	// MaxBatch caps requests folded into one accelerator batch (default 16).
 	MaxBatch int
 
-	// BatchWindow is how long the dispatcher holds an under-full batch open
-	// waiting for coalescing partners (default 200µs).
+	// BatchWindow is how long a tile's dispatcher holds an under-full
+	// batch open waiting for coalescing partners (default 200µs).
 	BatchWindow time.Duration
 
-	// QueueDepth bounds the admission queue; requests beyond it are shed
-	// (default 1024).
+	// QueueDepth bounds each tile's admission queue; requests routed to a
+	// full tile are shed (default 1024).
 	QueueDepth int
 
-	// Workers is the number of concurrent batch executors (default
+	// Workers is the total number of concurrent batch executors, divided
+	// evenly across tiles with a floor of one per tile (default
 	// GOMAXPROCS).
 	Workers int
 
@@ -49,14 +103,17 @@ type Options struct {
 	Faults faults.Config
 
 	// Fresh builds a fresh System per batch instead of recycling through
-	// the pool — the reference arm of the pooled-vs-fresh equivalence
-	// tests.
+	// the tile pools — the reference arm of the pooled-vs-fresh
+	// equivalence tests.
 	Fresh bool
 }
 
 func (o Options) withDefaults() Options {
 	if o.Catalog == nil {
 		o.Catalog = DefaultCatalog()
+	}
+	if o.Tiles <= 0 {
+		o.Tiles = 1
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 16
@@ -113,40 +170,38 @@ type pending struct {
 	resp     chan Response // buffered(1); receives exactly one Response
 }
 
-// batchJob is one unit on the admission queue: a single admitted request,
-// or a preformed batch (the in-process client's DoBatch) that must run as
-// one accelerator batch regardless of what else is in flight.
+// batchJob is one unit on a tile's admission queue: a single admitted
+// request, or a preformed batch (the in-process client's DoBatch) that
+// must run as one accelerator batch regardless of what else is in flight.
 type batchJob struct {
 	key       batchKey
 	pendings  []*pending
 	preformed bool
 }
 
-// Server hosts a catalog and executes serve requests on pooled
-// accelerator Systems.
+// Server is the sharded serving frontend: it validates and admits
+// requests, routes each admitted job to one of its tiles, and owns the
+// admission-side counters. Execution — batching, pooled Systems,
+// degradation — belongs to the tiles.
 type Server struct {
 	opts Options
-	cfg  core.Config
-	pool *core.Pool
+	cfg  core.Config // base System config (per-tile configs derive from it)
 
-	queue chan batchJob
-	work  chan batchJob
+	tiles    []*tile
+	routeSeq atomic.Uint64 // routing sequence: RR cursor / p2c hash input
 
 	admitMu sync.RWMutex
 	closed  bool
-
-	wg sync.WaitGroup
 
 	connMu    sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 
-	mu     sync.Mutex
-	stats  stats
-	sysAgg telemetry.Aggregate
+	mu    sync.Mutex
+	stats stats
 }
 
-// stats is the serving layer's own counter group. All counters are
+// stats is the admission-side counter group. All counters are
 // integral-valued, so cross-worker accumulation order cannot perturb the
 // totals — a serial run and a parallel run of the same batches snapshot
 // identically.
@@ -154,37 +209,35 @@ type stats struct {
 	reqDeser, reqSer                 uint64
 	ok, shed, deadline, bad, errored uint64
 	bytesIn, bytesOut                uint64
-	batches, batchRequests           uint64
-	accelFallbacks, serverFallbacks  uint64
-	retryEvents                      uint64
-	cycles                           telemetry.Attribution
 }
 
-// NewServer builds and starts a Server (dispatcher plus worker pool).
+// NewServer builds and starts a Server: one router plus Options.Tiles
+// tiles, each with its own dispatcher and executor pool.
 func NewServer(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if err := opts.Faults.Validate(); err != nil {
 		return nil, err
 	}
+	for _, id := range opts.FaultTiles {
+		if id < 0 || id >= opts.Tiles {
+			return nil, fmt.Errorf("serve: FaultTiles entry %d out of range [0,%d)", id, opts.Tiles)
+		}
+	}
 	s := &Server{
 		opts:      opts,
 		cfg:       serveConfig(opts),
-		pool:      core.NewPool(0),
-		queue:     make(chan batchJob, opts.QueueDepth),
-		work:      make(chan batchJob),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
-	s.wg.Add(1)
-	go s.dispatch()
-	for i := 0; i < opts.Workers; i++ {
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			for job := range s.work {
-				s.runBatch(job)
-			}
-		}()
+	perTile := (opts.Workers + opts.Tiles - 1) / opts.Tiles
+	if perTile < 1 {
+		perTile = 1
+	}
+	for i := 0; i < opts.Tiles; i++ {
+		s.tiles = append(s.tiles, newTile(s, i))
+	}
+	for _, t := range s.tiles {
+		t.start(perTile)
 	}
 	return s, nil
 }
@@ -192,8 +245,31 @@ func NewServer(opts Options) (*Server, error) {
 // Catalog returns the hosted catalog.
 func (s *Server) Catalog() *Catalog { return s.opts.Catalog }
 
-// Workers returns the number of batch executors (for stats manifests).
-func (s *Server) Workers() int { return s.opts.Workers }
+// Workers returns the total number of batch executors across tiles (for
+// stats manifests).
+func (s *Server) Workers() int {
+	perTile := (s.opts.Workers + s.opts.Tiles - 1) / s.opts.Tiles
+	if perTile < 1 {
+		perTile = 1
+	}
+	return perTile * s.opts.Tiles
+}
+
+// Tiles returns the number of tiles.
+func (s *Server) Tiles() int { return len(s.tiles) }
+
+// Routing returns the active routing policy.
+func (s *Server) Routing() Routing { return s.opts.Routing }
+
+// TilePoolCounters returns each tile's pool recycling counters, indexed
+// by tile id (for shutdown summaries and pool introspection).
+func (s *Server) TilePoolCounters() []core.PoolCounters {
+	out := make([]core.PoolCounters, len(s.tiles))
+	for i, t := range s.tiles {
+		out[i] = t.pool.Counters()
+	}
+	return out
+}
 
 // ConfigFingerprint hashes the System configuration batches run on,
 // identifying the simulated-hardware parameter set behind a stats
@@ -202,6 +278,43 @@ func (s *Server) ConfigFingerprint() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%+v\n", s.cfg)
 	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// pick routes one job to a tile. Round-robin walks the routing sequence;
+// power-of-two-choices hashes it into two candidates and takes the one
+// with the shallower queue (ties toward the lower id, so the choice is
+// deterministic for a given arrival order and queue state).
+func (s *Server) pick() *tile {
+	n := uint64(len(s.tiles))
+	if n == 1 {
+		return s.tiles[0]
+	}
+	seq := s.routeSeq.Add(1)
+	if s.opts.Routing == RouteRoundRobin {
+		return s.tiles[(seq-1)%n]
+	}
+	r := splitmix64(seq)
+	a, b := s.tiles[r%n], s.tiles[(r>>32)%n]
+	if a.id > b.id {
+		a, b = b, a
+	}
+	if len(b.queue) < len(a.queue) {
+		return b
+	}
+	return a
+}
+
+// enqueue routes one job; false means the chosen tile's queue was full.
+// Callers must hold admitMu (read) with s.closed checked, so the tile
+// queues cannot close mid-send.
+func (s *Server) enqueue(job batchJob) bool {
+	t := s.pick()
+	select {
+	case t.queue <- job:
+		return true
+	default:
+		return false
+	}
 }
 
 // submit admits one request. The returned channel receives exactly one
@@ -218,9 +331,7 @@ func (s *Server) submit(req Request) <-chan Response {
 		s.respond(p, Response{Status: StatusShed, Payload: []byte("server closing")})
 		return p.resp
 	}
-	select {
-	case s.queue <- job:
-	default:
+	if !s.enqueue(job) {
 		s.respond(p, Response{Status: StatusShed, Payload: []byte("admission queue full")})
 	}
 	s.admitMu.RUnlock()
@@ -240,9 +351,7 @@ func (s *Server) submitPreformed(pendings []*pending, key batchKey) {
 		}
 		return
 	}
-	select {
-	case s.queue <- job:
-	default:
+	if !s.enqueue(job) {
 		for _, p := range pendings {
 			s.respond(p, Response{Status: StatusShed, Payload: []byte("admission queue full")})
 		}
@@ -315,257 +424,24 @@ func (s *Server) respond(p *pending, resp Response) {
 	p.resp <- resp
 }
 
-// dispatch coalesces queued singles into per-(schema, op) batches, flushing
-// a batch when it reaches MaxBatch or its window expires; preformed batches
-// pass through untouched. Runs until the queue closes, then flushes every
-// open batch and closes the work channel.
-func (s *Server) dispatch() {
-	defer s.wg.Done()
-	type openBatch struct {
-		pendings []*pending
-		flushAt  time.Time
-	}
-	groups := make(map[batchKey]*openBatch)
-	var timer *time.Timer
-	var timerC <-chan time.Time
-
-	rearm := func() {
-		var earliest time.Time
-		for _, g := range groups {
-			if earliest.IsZero() || g.flushAt.Before(earliest) {
-				earliest = g.flushAt
-			}
-		}
-		if earliest.IsZero() {
-			timerC = nil
-			return
-		}
-		d := time.Until(earliest)
-		if d < 0 {
-			d = 0
-		}
-		if timer == nil {
-			timer = time.NewTimer(d)
-		} else {
-			if !timer.Stop() {
-				select {
-				case <-timer.C:
-				default:
-				}
-			}
-			timer.Reset(d)
-		}
-		timerC = timer.C
-	}
-	flush := func(k batchKey) {
-		g := groups[k]
-		delete(groups, k)
-		s.work <- batchJob{key: k, pendings: g.pendings}
-	}
-
-	for {
-		select {
-		case job, ok := <-s.queue:
-			if !ok {
-				for k := range groups {
-					flush(k)
-				}
-				close(s.work)
-				return
-			}
-			if job.preformed {
-				s.work <- job
-				continue
-			}
-			g := groups[job.key]
-			if g == nil {
-				g = &openBatch{flushAt: time.Now().Add(s.opts.BatchWindow)}
-				groups[job.key] = g
-			}
-			g.pendings = append(g.pendings, job.pendings...)
-			if len(g.pendings) >= s.opts.MaxBatch {
-				flush(job.key)
-			}
-			rearm()
-		case <-timerC:
-			now := time.Now()
-			for k, g := range groups {
-				if !g.flushAt.After(now) {
-					flush(k)
-				}
-			}
-			rearm()
-		}
-	}
-}
-
-// runBatch executes one batch on an accelerator System: expire overdue
-// requests, run the §4.4.1 batch operation, read functional results back,
-// and degrade to the software codec when the accelerator path errors out.
-func (s *Server) runBatch(job batchJob) {
-	live := job.pendings[:0:0]
-	now := time.Now()
-	for _, p := range job.pendings {
-		if p.deadline.Before(now) {
-			s.respond(p, Response{Status: StatusDeadline, Payload: []byte("deadline expired in queue")})
-			continue
-		}
-		live = append(live, p)
-	}
-	if len(live) == 0 {
-		return
-	}
-	s.mu.Lock()
-	s.stats.batches++
-	s.stats.batchRequests += uint64(len(live))
-	s.mu.Unlock()
-
-	var sys *core.System
-	if s.opts.Fresh {
-		sys = core.New(s.cfg)
-	} else {
-		sys = s.pool.Get(s.cfg)
-	}
-	sys.Telemetry().EnablePerOp(true)
-	if err := sys.LoadSchema(live[0].entry.Type); err != nil {
-		s.degrade(live, err)
-		return
-	}
-	switch job.key.op {
-	case OpSerialize:
-		s.runSerialize(sys, live)
-	default:
-		s.runDeserialize(sys, live)
-	}
-	s.absorb(sys)
-	if !s.opts.Fresh {
-		s.pool.Put(sys)
-	}
-}
-
-// runDeserialize answers each request with the canonical re-serialization
-// of the object the accelerator materialized from its payload.
-func (s *Server) runDeserialize(sys *core.System, live []*pending) {
-	t := live[0].entry.Type
-	refs := make([]core.WireRef, len(live))
-	for i, p := range live {
-		addr, err := sys.WriteWire(p.req.Payload)
-		if err != nil {
-			s.degrade(live, err)
-			return
-		}
-		refs[i] = core.WireRef{Addr: addr, Len: uint64(len(p.req.Payload))}
-	}
-	res, objs, err := sys.DeserializeBatch(t, refs)
-	if err != nil {
-		s.degrade(live, err)
-		return
-	}
-	s.noteBatch(res, len(live))
-	perReq := res.Cycles / float64(len(live))
-	fellBack := res.Fault != nil && res.Fault.FellBack
-	for i, p := range live {
-		m, err := sys.ReadMessage(t, objs[i])
-		if err != nil {
-			s.respond(p, Response{Status: StatusError, Payload: []byte("object readback: " + err.Error())})
-			continue
-		}
-		out, err := codec.Marshal(m)
-		if err != nil {
-			s.respond(p, Response{Status: StatusError, Payload: []byte("canonical marshal: " + err.Error())})
-			continue
-		}
-		s.respond(p, Response{Status: StatusOK, FellBack: fellBack, Cycles: perReq, Payload: out})
-	}
-}
-
-// runSerialize answers each request with the wire bytes the accelerator's
-// serializer produced for its (pre-parsed) object.
-func (s *Server) runSerialize(sys *core.System, live []*pending) {
-	t := live[0].entry.Type
-	objs := make([]uint64, len(live))
-	for i, p := range live {
-		addr, err := sys.MaterializeInput(p.msg)
-		if err != nil {
-			s.degrade(live, err)
-			return
-		}
-		objs[i] = addr
-	}
-	res, refs, err := sys.SerializeBatch(t, objs)
-	if err != nil {
-		s.degrade(live, err)
-		return
-	}
-	s.noteBatch(res, len(live))
-	perReq := res.Cycles / float64(len(live))
-	fellBack := res.Fault != nil && res.Fault.FellBack
-	for i, p := range live {
-		out, err := sys.ReadWire(refs[i].Addr, refs[i].Len)
-		if err != nil {
-			s.respond(p, Response{Status: StatusError, Payload: []byte("wire readback: " + err.Error())})
-			continue
-		}
-		s.respond(p, Response{Status: StatusOK, FellBack: fellBack, Cycles: perReq, Payload: out})
-	}
-}
-
-// degrade completes every live request of a failed batch on the host's
-// software codec. Responses stay byte-identical to the accelerator path —
-// for both operations the answer is the canonical serialization of the
-// request's pre-parsed message — so callers cannot observe which path ran
-// except through the FellBack flag.
-func (s *Server) degrade(live []*pending, cause error) {
-	_ = cause // the per-response FellBack flag and counters carry the signal
-	s.mu.Lock()
-	s.stats.serverFallbacks += uint64(len(live))
-	s.mu.Unlock()
-	for _, p := range live {
-		out, err := codec.Marshal(p.msg)
-		if err != nil {
-			s.respond(p, Response{Status: StatusError, Payload: []byte("software codec: " + err.Error())})
-			continue
-		}
-		s.respond(p, Response{Status: StatusOK, FellBack: true, Payload: out})
-	}
-}
-
-// noteBatch records a completed accelerator batch's resilience and cycle
-// attribution counters.
-func (s *Server) noteBatch(res core.Result, n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if res.Fault != nil {
-		s.stats.retryEvents += uint64(res.Fault.Retries)
-		if res.Fault.FellBack {
-			s.stats.accelFallbacks += uint64(n)
-		}
-	}
-	if res.Telemetry != nil {
-		a := res.Telemetry.Attribution
-		s.stats.cycles.Total += a.Total
-		s.stats.cycles.FSM += a.FSM
-		s.stats.cycles.Supply += a.Supply
-		s.stats.cycles.Spill += a.Spill
-		s.stats.cycles.ADTMiss += a.ADTMiss
-	}
-}
-
-// absorb folds a batch System's counters into the server-wide aggregate.
-// The System came out of Get freshly reset, so its registry snapshot is
-// exactly this batch's delta.
-func (s *Server) absorb(sys *core.System) {
-	snap := sys.Telemetry().Registry.Snapshot()
-	s.mu.Lock()
-	s.sysAgg.Add(snap)
-	s.mu.Unlock()
-}
-
-// CollectTelemetry implements telemetry.Collector for the serving group.
+// CollectTelemetry implements telemetry.Collector for the serving group:
+// admission-side counters plus every tile's execution counters summed.
+// The per-tile breakdown lands under serve/tile<i>/ (see
+// TelemetrySnapshot); this group stays the cross-tile aggregate, so its
+// shape and values match the pre-sharding single-pool server whenever the
+// same batches run.
 func (s *Server) CollectTelemetry(emit func(name string, value float64)) {
 	s.mu.Lock()
 	st := s.stats
 	s.mu.Unlock()
+	var ts tileStats
+	depth := 0
+	for _, t := range s.tiles {
+		t.mu.Lock()
+		ts.add(t.stats)
+		t.mu.Unlock()
+		depth += len(t.queue)
+	}
 	emit("requests/deser", float64(st.reqDeser))
 	emit("requests/ser", float64(st.reqSer))
 	emit("responses/ok", float64(st.ok))
@@ -575,33 +451,78 @@ func (s *Server) CollectTelemetry(emit func(name string, value float64)) {
 	emit("responses/error", float64(st.errored))
 	emit("bytes/in", float64(st.bytesIn))
 	emit("bytes/out", float64(st.bytesOut))
-	emit("batches", float64(st.batches))
-	emit("batch_requests", float64(st.batchRequests))
-	emit("fallbacks/accel", float64(st.accelFallbacks))
-	emit("fallbacks/server", float64(st.serverFallbacks))
-	emit("retries", float64(st.retryEvents))
-	emit("queue/capacity", float64(s.opts.QueueDepth))
-	emit("queue/depth", float64(len(s.queue)))
-	emit("cycles/accel", st.cycles.Total)
-	emit("cycles/fsm", st.cycles.FSM)
-	emit("cycles/supply", st.cycles.Supply)
-	emit("cycles/spill", st.cycles.Spill)
-	emit("cycles/adt_stall", st.cycles.ADTMiss)
+	emit("batches", float64(ts.batches))
+	emit("batch_requests", float64(ts.batchRequests))
+	emit("fallbacks/accel", float64(ts.accelFallbacks))
+	emit("fallbacks/server", float64(ts.serverFallbacks))
+	emit("retries", float64(ts.retryEvents))
+	emit("steals", float64(ts.steals))
+	emit("stolen_requests", float64(ts.stolenRequests))
+	emit("tiles", float64(len(s.tiles)))
+	emit("queue/capacity", float64(s.opts.QueueDepth*len(s.tiles)))
+	emit("queue/depth", float64(depth))
+	emit("cycles/accel", ts.cycles.Total)
+	emit("cycles/fsm", ts.cycles.FSM)
+	emit("cycles/supply", ts.cycles.Supply)
+	emit("cycles/spill", ts.cycles.Spill)
+	emit("cycles/adt_stall", ts.cycles.ADTMiss)
 }
 
-// TelemetrySnapshot merges the serving group with the aggregated per-batch
-// System counters, sorted by name. At quiescence (no requests in flight)
-// the result is deterministic for a given request set — the basis of the
-// serial-vs-parallel equivalence tests.
+// TelemetrySnapshot merges the serving group, one serve/tile<i> group per
+// tile, and the per-batch System counters aggregated across every tile,
+// sorted by name. At quiescence (no requests in flight) the result is
+// deterministic for a given request set — the basis of the
+// serial-vs-parallel equivalence tests — and, under round-robin routing,
+// the serve/ aggregate is bitwise-identical between a 1-tile and an
+// N-tile server.
 func (s *Server) TelemetrySnapshot() telemetry.Snapshot {
 	var reg telemetry.Registry
 	reg.Register("serve", s)
+	for _, t := range s.tiles {
+		reg.Register(fmt.Sprintf("serve/tile%d", t.id), t)
+	}
 	var agg telemetry.Aggregate
 	agg.Add(reg.Snapshot())
-	s.mu.Lock()
-	agg.Add(s.sysAgg.Snapshot())
-	s.mu.Unlock()
+	// Tiles absorb System snapshots in batch-completion order, which is
+	// scheduling-dependent — but every counter is integral-valued, so the
+	// cross-tile sum is exact and order cannot perturb it.
+	for _, t := range s.tiles {
+		t.mu.Lock()
+		agg.Add(t.sysAgg.Snapshot())
+		t.mu.Unlock()
+	}
 	return agg.Snapshot()
+}
+
+// AggregatedCounters returns the quiescent snapshot with the per-tile
+// serve/tile<i>/ groups stripped — the tile-count-independent view the
+// 1-tile-vs-N-tile equivalence tests compare. Config echoes
+// (serve/tiles, serve/queue/capacity) are also dropped: they describe the
+// server's shape, not its measurements.
+func (s *Server) AggregatedCounters() map[string]float64 {
+	snap := s.TelemetrySnapshot()
+	out := make(map[string]float64, snap.Len())
+	for _, sm := range snap.Samples() {
+		if isTileCounter(sm.Name) || sm.Name == "serve/tiles" || sm.Name == "serve/queue/capacity" {
+			continue
+		}
+		out[sm.Name] = sm.Value
+	}
+	return out
+}
+
+// isTileCounter reports whether name belongs to a serve/tile<i>/ group.
+func isTileCounter(name string) bool {
+	const prefix = "serve/tile"
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+		return false
+	}
+	rest := name[len(prefix):]
+	i := 0
+	for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+		i++
+	}
+	return i > 0 && i < len(rest) && rest[i] == '/'
 }
 
 // Serve accepts connections on ln until the listener closes (Close closes
@@ -668,8 +589,9 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // Close drains and stops the server: admission closes (new requests are
-// shed), queued work completes, workers exit, and open listeners and
-// connections are closed.
+// shed), every tile's queued work completes — steal-capable tiles help
+// drain their neighbours' backlogs — dispatchers and executors exit, and
+// open listeners and connections are closed.
 func (s *Server) Close() {
 	s.admitMu.Lock()
 	if s.closed {
@@ -678,7 +600,9 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.admitMu.Unlock()
-	close(s.queue)
+	for _, t := range s.tiles {
+		close(t.queue)
+	}
 	s.connMu.Lock()
 	for ln := range s.listeners {
 		ln.Close()
@@ -687,5 +611,7 @@ func (s *Server) Close() {
 		conn.Close()
 	}
 	s.connMu.Unlock()
-	s.wg.Wait()
+	for _, t := range s.tiles {
+		t.wg.Wait()
+	}
 }

@@ -1,0 +1,538 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"protoacc/internal/core"
+	"protoacc/internal/faults"
+	"protoacc/internal/pb/codec"
+	"protoacc/internal/telemetry"
+)
+
+// A tile is one independent accelerator shard: its own System pool, its
+// own bounded admission queue, its own coalescing dispatcher, and its own
+// batch executors. The Server routes every admitted job to exactly one
+// tile; tiles share nothing but the Server's admission bookkeeping, so a
+// System poisoned by injected faults can only ever disturb the pool — and
+// therefore the serving capacity — of the tile it belongs to. This is the
+// RPCAcc shape (PAPERS.md): many engines behind one frontend, with the
+// frontend-to-engine messaging kept to a single bounded channel per
+// engine.
+type tile struct {
+	id   int
+	srv  *Server
+	cfg  core.Config // per-tile: FaultTiles may strip the fault schedule
+	pool *core.Pool
+
+	queue chan batchJob // admission → dispatcher (bounded, routed by Server)
+	work  chan batchJob // dispatcher → executors (MaxBatch-sized chunks)
+
+	// canSteal allows this tile's idle executors to drain the deepest
+	// other queue. Off in deterministic routing mode (stealing would make
+	// batch→tile placement scheduling-dependent) and on fault-injected
+	// tiles (a faulty tile must not pull work routed to healthy ones).
+	canSteal bool
+
+	wg sync.WaitGroup // dispatcher + executors
+
+	mu     sync.Mutex
+	stats  tileStats
+	sysAgg telemetry.Aggregate // accelerator unit counters across batches
+}
+
+// tileStats is the execution-side counter set, owned per tile. Like the
+// Server's admission stats, every field is integral-valued, so the order
+// tiles and workers accumulate in cannot perturb cross-tile sums.
+type tileStats struct {
+	batches, batchRequests          uint64
+	accelFallbacks, serverFallbacks uint64
+	retryEvents                     uint64
+	steals, stolenRequests          uint64
+	cycles                          telemetry.Attribution
+}
+
+// add folds o into s (for the Server's cross-tile aggregate).
+func (s *tileStats) add(o tileStats) {
+	s.batches += o.batches
+	s.batchRequests += o.batchRequests
+	s.accelFallbacks += o.accelFallbacks
+	s.serverFallbacks += o.serverFallbacks
+	s.retryEvents += o.retryEvents
+	s.steals += o.steals
+	s.stolenRequests += o.stolenRequests
+	s.cycles.Total += o.cycles.Total
+	s.cycles.FSM += o.cycles.FSM
+	s.cycles.Supply += o.cycles.Supply
+	s.cycles.Spill += o.cycles.Spill
+	s.cycles.ADTMiss += o.cycles.ADTMiss
+}
+
+// newTile builds one tile; start launches its goroutines. Construction
+// and start are separate so the Server can publish the full tile slice
+// before any worker begins iterating it for steal victims.
+func newTile(s *Server, id int) *tile {
+	cfg := s.cfg
+	if s.opts.FaultTiles != nil && !containsInt(s.opts.FaultTiles, id) {
+		cfg.Faults = faults.Config{}
+	}
+	t := &tile{
+		id:    id,
+		srv:   s,
+		cfg:   cfg,
+		pool:  core.NewPool(0),
+		queue: make(chan batchJob, s.opts.QueueDepth),
+		work:  make(chan batchJob),
+	}
+	t.canSteal = s.opts.Routing == RoutePowerOfTwo && s.opts.Tiles > 1 && !cfg.Faults.Enabled
+	return t
+}
+
+// start launches the tile's dispatcher and executors.
+func (t *tile) start(workers int) {
+	t.wg.Add(1)
+	go t.dispatch()
+	for i := 0; i < workers; i++ {
+		t.wg.Add(1)
+		go t.workerLoop()
+	}
+}
+
+func containsInt(list []int, x int) bool {
+	for _, v := range list {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch coalesces this tile's queued singles into per-(schema, op)
+// batches, flushing a batch when it reaches MaxBatch or its window
+// expires; preformed batches pass through untouched. Runs until the queue
+// closes, then flushes every open batch and closes the work channel.
+//
+// The window is load-bearing for batching efficiency: an "idle executor"
+// signal is NOT a flush trigger, because on a loaded host executors look
+// idle whenever the clients feeding the tile simply haven't been
+// scheduled yet, and flushing on that signal shreds every burst into
+// single-request batches (measured 4-5x throughput loss closed-loop).
+func (t *tile) dispatch() {
+	defer t.wg.Done()
+	type openBatch struct {
+		pendings []*pending
+		flushAt  time.Time
+	}
+	groups := make(map[batchKey]*openBatch)
+	var timer *time.Timer
+	var timerC <-chan time.Time
+
+	rearm := func() {
+		var earliest time.Time
+		for _, g := range groups {
+			if earliest.IsZero() || g.flushAt.Before(earliest) {
+				earliest = g.flushAt
+			}
+		}
+		if earliest.IsZero() {
+			timerC = nil
+			return
+		}
+		d := time.Until(earliest)
+		if d < 0 {
+			d = 0
+		}
+		if timer == nil {
+			timer = time.NewTimer(d)
+		} else {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(d)
+		}
+		timerC = timer.C
+	}
+	// flush hands the group to the executors in MaxBatch-sized chunks: a
+	// queued job may carry several pendings, so the accumulated group can
+	// exceed MaxBatch even though singles flush exactly at the cap —
+	// submitting it whole would overrun the batch size the Systems were
+	// sized for.
+	flush := func(k batchKey) {
+		g := groups[k]
+		delete(groups, k)
+		pendings := g.pendings
+		for len(pendings) > 0 {
+			n := len(pendings)
+			if n > t.srv.opts.MaxBatch {
+				n = t.srv.opts.MaxBatch
+			}
+			t.work <- batchJob{key: k, pendings: pendings[:n:n]}
+			pendings = pendings[n:]
+		}
+	}
+	handle := func(job batchJob) {
+		if job.preformed {
+			t.work <- job
+			return
+		}
+		g := groups[job.key]
+		if g == nil {
+			g = &openBatch{flushAt: time.Now().Add(t.srv.opts.BatchWindow)}
+			groups[job.key] = g
+		}
+		g.pendings = append(g.pendings, job.pendings...)
+		if len(g.pendings) >= t.srv.opts.MaxBatch {
+			flush(job.key)
+		}
+	}
+	drain := func() {
+		for k := range groups {
+			flush(k)
+		}
+		close(t.work)
+	}
+
+	for {
+		rearm()
+		select {
+		case job, ok := <-t.queue:
+			if !ok {
+				drain()
+				return
+			}
+			handle(job)
+		case <-timerC:
+			now := time.Now()
+			for k, g := range groups {
+				if !g.flushAt.After(now) {
+					flush(k)
+				}
+			}
+		}
+	}
+}
+
+// workerLoop executes batches for this tile. Steal-capable tiles poll:
+// when the local work channel is empty they drain one job from the
+// deepest other queue before parking briefly; tiles that cannot steal
+// block on their channel exactly like the single-pool server did.
+func (t *tile) workerLoop() {
+	defer t.wg.Done()
+	if !t.canSteal {
+		for job := range t.work {
+			t.runBatch(job)
+		}
+		return
+	}
+	var park *time.Timer
+	defer func() {
+		if park != nil {
+			park.Stop()
+		}
+	}()
+	for {
+		select {
+		case job, ok := <-t.work:
+			if !ok {
+				return
+			}
+			t.runBatch(job)
+			continue
+		default:
+		}
+		if t.trySteal() {
+			continue
+		}
+		if park == nil {
+			park = time.NewTimer(t.srv.opts.BatchWindow)
+		} else {
+			park.Reset(t.srv.opts.BatchWindow)
+		}
+		select {
+		case job, ok := <-t.work:
+			if !park.Stop() {
+				select {
+				case <-park.C:
+				default:
+				}
+			}
+			if !ok {
+				return
+			}
+			t.runBatch(job)
+		case <-park.C:
+		}
+	}
+}
+
+// trySteal drains up to a batch's worth of jobs from the deepest
+// admission queue of the other tiles and runs them here, re-coalesced by
+// (schema, op). Two rules keep stealing from destroying the batching it
+// is meant to help: it only fires when the victim's backlog exceeds a
+// full batch (below that, the victim's dispatcher is about to coalesce
+// those jobs into far cheaper MaxBatch-sized executions), and it grabs a
+// whole batch of singles rather than one — a stolen single would execute
+// as a batch of one, paying a full System checkout for one request.
+func (t *tile) trySteal() bool {
+	var victim *tile
+	best := t.srv.opts.MaxBatch // steal only past a batch's worth of backlog
+	for _, v := range t.srv.tiles {
+		if v == t {
+			continue
+		}
+		if n := len(v.queue); n > best {
+			best, victim = n, v
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	var preformed []batchJob
+	grabbed := make(map[batchKey][]*pending)
+	total := 0
+	for total < t.srv.opts.MaxBatch {
+		select {
+		case job, ok := <-victim.queue:
+			if !ok {
+				total = t.srv.opts.MaxBatch // closed: run what we hold
+				break
+			}
+			if job.preformed {
+				preformed = append(preformed, job)
+			} else {
+				grabbed[job.key] = append(grabbed[job.key], job.pendings...)
+			}
+			total += len(job.pendings)
+		default:
+			total = t.srv.opts.MaxBatch // drained: run what we hold
+		}
+	}
+	if len(preformed) == 0 && len(grabbed) == 0 {
+		return false
+	}
+	stolen := 0
+	for _, job := range preformed {
+		stolen += len(job.pendings)
+	}
+	for _, pendings := range grabbed {
+		stolen += len(pendings)
+	}
+	t.mu.Lock()
+	t.stats.steals++
+	t.stats.stolenRequests += uint64(stolen)
+	t.mu.Unlock()
+	for _, job := range preformed {
+		t.runBatch(job)
+	}
+	for k, pendings := range grabbed {
+		for len(pendings) > 0 {
+			n := len(pendings)
+			if n > t.srv.opts.MaxBatch {
+				n = t.srv.opts.MaxBatch
+			}
+			t.runBatch(batchJob{key: k, pendings: pendings[:n:n]})
+			pendings = pendings[n:]
+		}
+	}
+	return true
+}
+
+// runBatch executes one batch on this tile's accelerator pool: expire
+// overdue requests, run the §4.4.1 batch operation, read functional
+// results back, and degrade to the software codec when the accelerator
+// path errors out.
+func (t *tile) runBatch(job batchJob) {
+	live := job.pendings[:0:0]
+	now := time.Now()
+	for _, p := range job.pendings {
+		if p.deadline.Before(now) {
+			t.srv.respond(p, Response{Status: StatusDeadline, Payload: []byte("deadline expired in queue")})
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.stats.batches++
+	t.stats.batchRequests += uint64(len(live))
+	t.mu.Unlock()
+
+	var sys *core.System
+	if t.srv.opts.Fresh {
+		sys = core.New(t.cfg)
+	} else {
+		sys = t.pool.Get(t.cfg)
+	}
+	sys.Telemetry().EnablePerOp(true)
+	if err := sys.LoadSchema(live[0].entry.Type); err != nil {
+		t.degrade(live, err)
+		return
+	}
+	switch job.key.op {
+	case OpSerialize:
+		t.runSerialize(sys, live)
+	default:
+		t.runDeserialize(sys, live)
+	}
+	t.absorb(sys)
+	if !t.srv.opts.Fresh {
+		t.pool.Put(sys)
+	}
+}
+
+// runDeserialize answers each request with the canonical re-serialization
+// of the object the accelerator materialized from its payload.
+func (t *tile) runDeserialize(sys *core.System, live []*pending) {
+	mt := live[0].entry.Type
+	refs := make([]core.WireRef, len(live))
+	for i, p := range live {
+		addr, err := sys.WriteWire(p.req.Payload)
+		if err != nil {
+			t.degrade(live, err)
+			return
+		}
+		refs[i] = core.WireRef{Addr: addr, Len: uint64(len(p.req.Payload))}
+	}
+	res, objs, err := sys.DeserializeBatch(mt, refs)
+	if err != nil {
+		t.degrade(live, err)
+		return
+	}
+	t.noteBatch(res, len(live))
+	perReq := res.Cycles / float64(len(live))
+	fellBack := res.Fault != nil && res.Fault.FellBack
+	for i, p := range live {
+		m, err := sys.ReadMessage(mt, objs[i])
+		if err != nil {
+			t.srv.respond(p, Response{Status: StatusError, Payload: []byte("object readback: " + err.Error())})
+			continue
+		}
+		out, err := codec.Marshal(m)
+		if err != nil {
+			t.srv.respond(p, Response{Status: StatusError, Payload: []byte("canonical marshal: " + err.Error())})
+			continue
+		}
+		t.srv.respond(p, Response{Status: StatusOK, FellBack: fellBack, Cycles: perReq, Payload: out})
+	}
+}
+
+// runSerialize answers each request with the wire bytes the accelerator's
+// serializer produced for its (pre-parsed) object.
+func (t *tile) runSerialize(sys *core.System, live []*pending) {
+	mt := live[0].entry.Type
+	objs := make([]uint64, len(live))
+	for i, p := range live {
+		addr, err := sys.MaterializeInput(p.msg)
+		if err != nil {
+			t.degrade(live, err)
+			return
+		}
+		objs[i] = addr
+	}
+	res, refs, err := sys.SerializeBatch(mt, objs)
+	if err != nil {
+		t.degrade(live, err)
+		return
+	}
+	t.noteBatch(res, len(live))
+	perReq := res.Cycles / float64(len(live))
+	fellBack := res.Fault != nil && res.Fault.FellBack
+	for i, p := range live {
+		out, err := sys.ReadWire(refs[i].Addr, refs[i].Len)
+		if err != nil {
+			t.srv.respond(p, Response{Status: StatusError, Payload: []byte("wire readback: " + err.Error())})
+			continue
+		}
+		t.srv.respond(p, Response{Status: StatusOK, FellBack: fellBack, Cycles: perReq, Payload: out})
+	}
+}
+
+// degrade completes every live request of a failed batch on the host's
+// software codec. Responses stay byte-identical to the accelerator path —
+// for both operations the answer is the canonical serialization of the
+// request's pre-parsed message — so callers cannot observe which path ran
+// except through the FellBack flag. Degradation is a per-tile event: only
+// this tile's fallback counter moves, and only this tile's pool can hold
+// the poisoned System that caused it.
+func (t *tile) degrade(live []*pending, cause error) {
+	_ = cause // the per-response FellBack flag and counters carry the signal
+	t.mu.Lock()
+	t.stats.serverFallbacks += uint64(len(live))
+	t.mu.Unlock()
+	for _, p := range live {
+		out, err := codec.Marshal(p.msg)
+		if err != nil {
+			t.srv.respond(p, Response{Status: StatusError, Payload: []byte("software codec: " + err.Error())})
+			continue
+		}
+		t.srv.respond(p, Response{Status: StatusOK, FellBack: true, Payload: out})
+	}
+}
+
+// noteBatch records a completed accelerator batch's resilience and cycle
+// attribution counters.
+func (t *tile) noteBatch(res core.Result, n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if res.Fault != nil {
+		t.stats.retryEvents += uint64(res.Fault.Retries)
+		if res.Fault.FellBack {
+			t.stats.accelFallbacks += uint64(n)
+		}
+	}
+	if res.Telemetry != nil {
+		a := res.Telemetry.Attribution
+		t.stats.cycles.Total += a.Total
+		t.stats.cycles.FSM += a.FSM
+		t.stats.cycles.Supply += a.Supply
+		t.stats.cycles.Spill += a.Spill
+		t.stats.cycles.ADTMiss += a.ADTMiss
+	}
+}
+
+// absorb folds a batch System's counters into the tile aggregate. The
+// System came out of Get freshly reset, so its registry snapshot is
+// exactly this batch's delta.
+func (t *tile) absorb(sys *core.System) {
+	snap := sys.Telemetry().Registry.Snapshot()
+	t.mu.Lock()
+	t.sysAgg.Add(snap)
+	t.mu.Unlock()
+}
+
+// CollectTelemetry implements telemetry.Collector for one serve/tile<i>
+// group: this tile's execution counters plus its queue and pool state.
+func (t *tile) CollectTelemetry(emit func(name string, value float64)) {
+	t.mu.Lock()
+	st := t.stats
+	t.mu.Unlock()
+	emit("batches", float64(st.batches))
+	emit("batch_requests", float64(st.batchRequests))
+	emit("fallbacks/accel", float64(st.accelFallbacks))
+	emit("fallbacks/server", float64(st.serverFallbacks))
+	emit("retries", float64(st.retryEvents))
+	emit("steals", float64(st.steals))
+	emit("stolen_requests", float64(st.stolenRequests))
+	emit("queue/depth", float64(len(t.queue)))
+	emit("cycles/accel", st.cycles.Total)
+	emit("cycles/fsm", st.cycles.FSM)
+	emit("cycles/supply", st.cycles.Supply)
+	emit("cycles/spill", st.cycles.Spill)
+	emit("cycles/adt_stall", st.cycles.ADTMiss)
+}
+
+// splitmix64 is the same mixing function the fault scheduler uses: a
+// cheap, high-quality hash of the routing sequence number, so
+// power-of-two-choices candidate picks are reproducible for a given
+// arrival order without any locked RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"protoacc/internal/faults"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/schema"
+)
+
+// runBatchedCounters drives one server with preformed batches and returns
+// responses plus the tile-count-independent aggregated counter view.
+func runBatchedCounters(t *testing.T, opts Options, reqs []Request) ([]Response, map[string]float64) {
+	t.Helper()
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := srv.InProc()
+	resps, err := client.DoBatch(append([]Request(nil), reqs...))
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	srv.Close()
+	return resps, srv.AggregatedCounters()
+}
+
+// A 1-tile server and an N-tile server in deterministic round-robin mode
+// must produce bitwise-identical responses and identical aggregated
+// serve/ counters for the same preformed batches: sharding is a capacity
+// knob, not an observable. (Responses are tile-independent under any
+// routing; the aggregated counters are compared in round-robin mode,
+// where batch→tile placement is a pure function of submission order.)
+func TestServeTileDeterminism(t *testing.T) {
+	reqs := sampleRequests(DefaultCatalog(), 8)
+
+	one := testOptions()
+	one.Tiles = 1
+	one.Routing = RouteRoundRobin
+
+	four := testOptions()
+	four.Tiles = 4
+	four.Routing = RouteRoundRobin
+	four.Workers = 4
+
+	ra, ca := runBatchedCounters(t, one, reqs)
+	rb, cb := runBatchedCounters(t, four, reqs)
+
+	if len(ra) != len(rb) {
+		t.Fatalf("response counts differ: 1-tile=%d 4-tile=%d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].Status != rb[i].Status || ra[i].FellBack != rb[i].FellBack {
+			t.Errorf("response %d: status/fallback differ: 1-tile=%+v 4-tile=%+v", i, ra[i], rb[i])
+		}
+		if !bytes.Equal(ra[i].Payload, rb[i].Payload) {
+			t.Errorf("response %d: payload bytes differ between 1-tile and 4-tile runs", i)
+		}
+		if ra[i].Cycles != rb[i].Cycles {
+			t.Errorf("response %d: cycles differ: 1-tile=%v 4-tile=%v", i, ra[i].Cycles, rb[i].Cycles)
+		}
+	}
+	if len(ca) != len(cb) {
+		t.Fatalf("aggregated counter shapes differ: 1-tile=%d 4-tile=%d", len(ca), len(cb))
+	}
+	for name, va := range ca {
+		vb, ok := cb[name]
+		if !ok {
+			t.Errorf("counter %s present in 1-tile run, missing in 4-tile run", name)
+			continue
+		}
+		if va != vb {
+			t.Errorf("counter %s: 1-tile=%v 4-tile=%v", name, va, vb)
+		}
+	}
+}
+
+// The per-tile groups must partition the aggregate: summing each
+// execution counter across serve/tile<i>/ groups must reproduce the
+// serve/ total, and with round-robin routing every tile must have run
+// batches.
+func TestServeTileCountersPartitionAggregate(t *testing.T) {
+	opts := testOptions()
+	opts.Tiles = 4
+	opts.Routing = RouteRoundRobin
+	opts.Workers = 4
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := srv.InProc()
+	if _, err := client.DoBatch(sampleRequests(DefaultCatalog(), 8)); err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	srv.Close()
+	snap := srv.TelemetrySnapshot()
+	counters := make(map[string]float64, snap.Len())
+	for _, sm := range snap.Samples() {
+		counters[sm.Name] = sm.Value
+	}
+	for _, name := range []string{"batches", "batch_requests", "fallbacks/accel", "fallbacks/server", "retries", "steals"} {
+		var sum float64
+		for i := 0; i < opts.Tiles; i++ {
+			sum += counters[fmt.Sprintf("serve/tile%d/%s", i, name)]
+		}
+		if total := counters["serve/"+name]; sum != total {
+			t.Errorf("%s: per-tile sum %v != aggregate %v", name, sum, total)
+		}
+	}
+	for i := 0; i < opts.Tiles; i++ {
+		if counters[fmt.Sprintf("serve/tile%d/batches", i)] == 0 {
+			t.Errorf("tile %d ran no batches under round-robin routing", i)
+		}
+	}
+	if counters["serve/steals"] != 0 {
+		t.Errorf("work stealing fired in deterministic round-robin mode: %v steals", counters["serve/steals"])
+	}
+}
+
+// With the fault schedule confined to one tile, that tile must degrade
+// alone: its neighbours keep serving on the accelerator path with zero
+// fault activity (no injections in their System aggregates, no fallbacks
+// or retries in their serve counters), and every response — from the
+// poisoned tile included — stays byte-identical to the software codec.
+func TestServeTileFaultQuarantine(t *testing.T) {
+	const faultTile = 1
+	opts := testOptions()
+	opts.Tiles = 4
+	opts.Routing = RouteRoundRobin
+	opts.Workers = 4
+	opts.Faults = faults.Config{Enabled: true, Seed: 1234, Rate: 0.2}
+	opts.FaultTiles = []int{faultTile}
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := sampleRequests(DefaultCatalog(), 16)
+	client := srv.InProc()
+	resps, err := client.DoBatch(reqs)
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	srv.Close()
+	for i, resp := range resps {
+		if resp.Status != StatusOK {
+			t.Fatalf("request %d: status %v under quarantined faults: %s", i, resp.Status, resp.Payload)
+		}
+		if !bytes.Equal(resp.Payload, reqs[i].Payload) {
+			t.Errorf("request %d: response diverges from software codec (fellBack=%v)", i, resp.FellBack)
+		}
+	}
+	var faultActivity float64
+	for i, tile := range srv.tiles {
+		tile.mu.Lock()
+		st := tile.stats
+		var injected float64
+		for _, sm := range tile.sysAgg.Snapshot().Samples() {
+			if len(sm.Name) > 7 && sm.Name[:7] == "faults/" {
+				injected += sm.Value
+			}
+		}
+		tile.mu.Unlock()
+		if i == faultTile {
+			faultActivity = injected + float64(st.retryEvents+st.accelFallbacks+st.serverFallbacks)
+			continue
+		}
+		if st.accelFallbacks != 0 || st.serverFallbacks != 0 || st.retryEvents != 0 {
+			t.Errorf("healthy tile %d shows fault recovery: accelFB=%d serverFB=%d retries=%d",
+				i, st.accelFallbacks, st.serverFallbacks, st.retryEvents)
+		}
+		if injected != 0 {
+			t.Errorf("healthy tile %d injected %v faults", i, injected)
+		}
+		if st.batches == 0 {
+			t.Errorf("healthy tile %d served no batches while tile %d was poisoned", i, faultTile)
+		}
+	}
+	if faultActivity == 0 {
+		t.Errorf("fault schedule at rate 0.2 never fired on tile %d", faultTile)
+	}
+}
+
+// A queued job carrying more pendings than MaxBatch must be flushed in
+// MaxBatch-sized chunks: submitting the accumulated group whole would
+// produce a batch larger than the Systems were sized for. 9 pendings at
+// MaxBatch 4 must run as ceil(9/4) = 3 batches, not 1.
+func TestDispatchFlushChunksAtMaxBatch(t *testing.T) {
+	opts := testOptions() // MaxBatch 4
+	opts.Workers = 1
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := srv.Catalog().Lookup("varint")
+	const n = 9
+	var pendings []*pending
+	for i := 0; i < n; i++ {
+		p, ok := srv.admit(Request{ID: uint64(i + 1), Op: OpDeserialize, Schema: "varint", Payload: entry.SamplePayload(i)})
+		if !ok {
+			t.Fatalf("request %d rejected at admission: %+v", i, <-p.resp)
+		}
+		pendings = append(pendings, p)
+	}
+	// A single non-preformed job carrying every pending: the dispatcher
+	// must not hand this to an executor in one piece.
+	srv.tiles[0].queue <- batchJob{key: batchKey{schema: "varint", op: OpDeserialize}, pendings: pendings}
+	for i, p := range pendings {
+		resp := <-p.resp
+		if resp.Status != StatusOK {
+			t.Fatalf("pending %d: status %v: %s", i, resp.Status, resp.Payload)
+		}
+		if !bytes.Equal(resp.Payload, entry.SamplePayload(i)) {
+			t.Errorf("pending %d: payload diverges", i)
+		}
+	}
+	srv.Close()
+	snap := srv.TelemetrySnapshot()
+	batches, _ := snap.Get("serve/batches")
+	batchReqs, _ := snap.Get("serve/batch_requests")
+	if batchReqs != n {
+		t.Errorf("batch_requests = %v, want %d", batchReqs, n)
+	}
+	want := float64((n + opts.MaxBatch - 1) / opts.MaxBatch)
+	if batches != want {
+		t.Errorf("a %d-pending job at MaxBatch %d ran as %v batches, want %v (MaxBatch-sized chunks)",
+			n, opts.MaxBatch, batches, want)
+	}
+}
+
+// Under power-of-two-choices routing an idle tile must drain a deep
+// neighbour: with every job forced onto tile 0 and tile 0 given a single
+// executor, tile 1's executor has nothing of its own and must steal.
+func TestServeWorkStealing(t *testing.T) {
+	opts := testOptions()
+	opts.Tiles = 2
+	opts.Routing = RoutePowerOfTwo
+	opts.Workers = 2 // one executor per tile
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	entry := srv.Catalog().Lookup("varint")
+	const n = 256
+	var pendings []*pending
+	for i := 0; i < n; i++ {
+		p, ok := srv.admit(Request{ID: uint64(i + 1), Op: OpDeserialize, Schema: "varint", Payload: entry.SamplePayload(i)})
+		if !ok {
+			t.Fatalf("request %d rejected at admission", i)
+		}
+		pendings = append(pendings, p)
+		// Bypass the router: pile everything onto tile 0 as preformed
+		// singles so its queue stays deep while tile 1 sits idle.
+		srv.tiles[0].queue <- batchJob{key: batchKey{schema: "varint", op: OpDeserialize}, pendings: []*pending{p}, preformed: true}
+	}
+	for i, p := range pendings {
+		resp := <-p.resp
+		if resp.Status != StatusOK {
+			t.Fatalf("request %d: status %v: %s", i, resp.Status, resp.Payload)
+		}
+	}
+	srv.tiles[1].mu.Lock()
+	steals := srv.tiles[1].stats.steals
+	srv.tiles[1].mu.Unlock()
+	if steals == 0 {
+		t.Errorf("tile 1 stole nothing from a %d-job backlog on tile 0", n)
+	}
+}
+
+// Sample payloads for two equal-length schema names must come from
+// distinct RNG streams. The original seed — the name's length — made
+// "varint" and "string" draw identical random sequences, so their payload
+// streams were correlated across schemas.
+func TestCatalogSeedsDistinctForEqualLengthNames(t *testing.T) {
+	if sampleSeed("varint") == sampleSeed("string") {
+		t.Fatal("equal-length schema names still collide on the sample-payload seed")
+	}
+	// Two entries over the same type with the same population function:
+	// only the entry name (same length!) differs, so any payload
+	// divergence can come solely from the seed.
+	typ := mustType("SeedProbe",
+		&schema.Field{Name: "f1", Number: 1, Kind: schema.KindUint64})
+	pop := func(i int, rng *rand.Rand) *dynamic.Message {
+		m := dynamic.New(typ)
+		m.SetUint64(1, rng.Uint64())
+		return m
+	}
+	a := newEntry("aaaa", typ, pop)
+	b := newEntry("bbbb", typ, pop)
+	same := 0
+	for i := 0; i < a.NumSamples(); i++ {
+		if bytes.Equal(a.SamplePayload(i), b.SamplePayload(i)) {
+			same++
+		}
+	}
+	if same == a.NumSamples() {
+		t.Errorf("equal-length names %q and %q produced identical payload streams (%d/%d samples equal)",
+			a.Name, b.Name, same, a.NumSamples())
+	}
+}
