@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet race bench bench-smoke fuzz-smoke chaos-smoke serve-smoke serve-report serve-tiles-smoke serve-tiles-report figures examples clean
+.PHONY: all build test vet race bench bench-smoke fuzz-smoke chaos-smoke serve-smoke serve-fast-smoke serve-report serve-tiles-smoke serve-tiles-report figures examples clean
 
 all: build vet test
 
@@ -38,6 +38,15 @@ serve-smoke:
 	go test -race -count=1 ./internal/serve
 	go run ./cmd/loadgen -duration 500ms -concurrency 8 -schema varint -check
 	go run ./cmd/loadgen -duration 500ms -concurrency 8 -schema mixed -check -faults 0.02 -fault-seed 7
+
+# Both cycle modes under byte verification: an exact pass and a sampled
+# pass (1-in-8 batches run the full cycle model, the rest serve
+# functional bytes) must both answer byte-identical to the canonical
+# codec, single- and multi-tile.
+serve-fast-smoke:
+	go run ./cmd/loadgen -duration 500ms -concurrency 8 -schema all -check -cycle-mode exact
+	go run ./cmd/loadgen -duration 500ms -concurrency 8 -schema all -check -cycle-mode sampled -cycle-sample-n 8
+	go run ./cmd/loadgen -tiles 4 -routing rr -duration 500ms -concurrency 8 -schema mixed -check -cycle-mode sampled
 
 # Regenerate results/serve_throughput.md the way the checked-in artifact
 # is measured: in-process server, 4 cores, closed loop, all schemas.

@@ -38,6 +38,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -69,13 +70,50 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault schedule")
 	faultTiles := flag.String("fault-tiles", "", "comma-separated tile ids the fault schedule applies to (empty = every tile)")
 	statsOut := flag.String("stats-out", "", "in-process server: write merged telemetry counters on exit")
+	cycleMode := flag.String("cycle-mode", "exact", "in-process server cycle accounting: exact (every request) or sampled (1-in-N requests carry full attribution)")
+	cycleSampleN := flag.Int("cycle-sample-n", 0, "in-process server: sampling period for -cycle-mode sampled (0 = default 8)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run (loadgen + in-process server) to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	serverFlags := *tiles != 0 || *routing != "p2c" || *tileSweep != "" ||
 		*workers != 0 || *maxBatch != 0 || *batchWindow != 0 ||
-		*queueDepth != 0 || *faultSpec != "" || *faultTiles != "" || *statsOut != ""
+		*queueDepth != 0 || *faultSpec != "" || *faultTiles != "" || *statsOut != "" ||
+		*cycleMode != "exact" || *cycleSampleN != 0
 	if *addr != "" && serverFlags {
-		fmt.Fprintln(os.Stderr, "loadgen: -tiles/-routing/-tile-sweep/-workers/-max-batch/-batch-window/-queue-depth/-faults/-fault-tiles/-stats-out configure the in-process server and conflict with -addr")
+		fmt.Fprintln(os.Stderr, "loadgen: -tiles/-routing/-tile-sweep/-workers/-max-batch/-batch-window/-queue-depth/-faults/-fault-tiles/-stats-out/-cycle-mode/-cycle-sample-n configure the in-process server and conflict with -addr")
+		os.Exit(2)
+	}
+	cycles, err := serve.ParseCycleMode(*cycleMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	faultCfg, err := faults.ParseFlag(*faultSpec, *faultSeed)
@@ -120,14 +158,16 @@ func main() {
 	}
 
 	opts := serve.Options{
-		Catalog:     catalog,
-		Routing:     routePolicy,
-		FaultTiles:  faultTileIDs,
-		Workers:     *workers,
-		MaxBatch:    *maxBatch,
-		BatchWindow: *batchWindow,
-		QueueDepth:  *queueDepth,
-		Faults:      faultCfg,
+		Catalog:      catalog,
+		Routing:      routePolicy,
+		FaultTiles:   faultTileIDs,
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+		BatchWindow:  *batchWindow,
+		QueueDepth:   *queueDepth,
+		CycleMode:    cycles,
+		CycleSampleN: *cycleSampleN,
+		Faults:       faultCfg,
 	}
 	runOpts := serve.LoadgenOptions{
 		Catalog:     catalog,

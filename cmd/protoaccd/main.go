@@ -10,8 +10,9 @@
 //	protoaccd [-listen addr] [-tiles n] [-routing p2c|rr] [-workers n]
 //	          [-max-batch n] [-batch-window d] [-queue-depth n]
 //	          [-max-payload n] [-deadline d]
+//	          [-cycle-mode exact|sampled] [-cycle-sample-n n]
 //	          [-faults rate[@site,...]] [-fault-seed n] [-fault-tiles 0,2]
-//	          [-stats-out file]
+//	          [-stats-out file] [-cpuprofile file] [-memprofile file]
 //
 // On SIGINT/SIGTERM the daemon drains in-flight work, then (with
 // -stats-out) writes the merged telemetry counters — the serving group
@@ -28,6 +29,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -52,6 +54,10 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault schedule")
 	faultTiles := flag.String("fault-tiles", "", "comma-separated tile ids the fault schedule applies to (empty = every tile)")
 	statsOut := flag.String("stats-out", "", "write merged telemetry counters to this file on shutdown (JSON, or Prometheus text with a .prom suffix)")
+	cycleMode := flag.String("cycle-mode", "exact", "cycle accounting: exact (every request runs the full cycle model) or sampled (1-in-N batches carry attribution, rest run functional-only)")
+	cycleSampleN := flag.Int("cycle-sample-n", 0, "sampling period for -cycle-mode sampled (0 = default 8)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the serving run to this file (stopped at drain)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after drain")
 	flag.Parse()
 
 	faultCfg, err := faults.ParseFlag(*faultSpec, *faultSeed)
@@ -64,23 +70,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	cycles, err := serve.ParseCycleMode(*cycleMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	faultTileIDs, err := parseTileList(*faultTiles)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	srv, err := serve.NewServer(serve.Options{
-		Tiles:       *tiles,
-		Routing:     routePolicy,
-		FaultTiles:  faultTileIDs,
-		Workers:     *workers,
-		MaxBatch:    *maxBatch,
-		BatchWindow: *batchWindow,
-		QueueDepth:  *queueDepth,
-		MaxPayload:  *maxPayload,
-		Deadline:    *deadline,
-		Faults:      faultCfg,
+		Tiles:        *tiles,
+		Routing:      routePolicy,
+		FaultTiles:   faultTileIDs,
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+		BatchWindow:  *batchWindow,
+		QueueDepth:   *queueDepth,
+		MaxPayload:   *maxPayload,
+		Deadline:     *deadline,
+		CycleMode:    cycles,
+		CycleSampleN: *cycleSampleN,
+		Faults:       faultCfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -110,6 +135,24 @@ func main() {
 	start := time.Now()
 	srv.Close()
 	fmt.Printf("protoaccd: drained in %v\n", time.Since(start).Round(time.Millisecond))
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		fmt.Printf("cpu profile written to %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("heap profile written to %s\n", *memprofile)
+	}
 	for i, pc := range srv.TilePoolCounters() {
 		fmt.Printf("protoaccd: tile%d pool: gets=%d hits=%d puts=%d drops=%d evictions=%d\n",
 			i, pc.Gets, pc.Hits, pc.Puts, pc.Drops, pc.Evictions)

@@ -122,14 +122,25 @@ type Unit struct {
 
 	// Per-handle-field-op work tracking: one field serializer unit owns
 	// one op, so parallelism is op-granular, not element-granular. The
-	// makespan over ops bounds the field-unit stage.
-	opWork  []*float64
-	curWork *float64
+	// makespan over ops bounds the field-unit stage. curOp indexes the
+	// op currently charging into opWork (-1: none); index-based tracking
+	// keeps the hot field loop free of per-field boxing and closures.
+	opWork []float64
+	curOp  int
+
+	// traced caches Tracer.Enabled() for the duration of one Serialize so
+	// the per-field trace hook is a single flag test, not an interface
+	// indirection per field.
+	traced bool
+
+	// scratch is the wire-encoding staging buffer reused across fields;
+	// writeBack copies it into the output arena before the next use.
+	scratch []byte
 }
 
 // New creates a serializer unit.
 func New(m *mem.Memory, port *memmodel.Port, cfg Config) *Unit {
-	return &Unit{Mem: m, Port: port, Cfg: cfg}
+	return &Unit{Mem: m, Port: port, Cfg: cfg, curOp: -1}
 }
 
 // AssignArena implements ser_assign_arena: dataRegion receives serialized
@@ -182,7 +193,7 @@ func (u *Unit) CollectTelemetry(emit func(name string, value float64)) {
 // trace emits one event on the System-owned stream, timestamped with the
 // frontend's cumulative cycle counter.
 func (u *Unit) trace(name string, depth int, field int32, note string) {
-	if u.Tracer.Enabled() {
+	if u.traced {
 		u.Tracer.Emit(telemetry.Event{
 			Unit: "ser", Name: name, Cycle: u.stats.FrontendCycles,
 			Depth: depth, Field: field, Note: note,
@@ -195,8 +206,8 @@ func (u *Unit) trace(name string, depth int, field int32, note string) {
 // re-assigned separately via AssignArena).
 func (u *Unit) ResetStats() {
 	u.stats = Stats{}
-	u.opWork = nil
-	u.curWork = nil
+	u.opWork = u.opWork[:0]
+	u.curOp = -1
 	u.opFrontStart, u.opUnitStart, u.opWriterStart = 0, 0, 0
 }
 
@@ -257,8 +268,8 @@ func (u *Unit) Abort() float64 {
 	front := u.stats.FrontendCycles - u.opFrontStart
 	units := (u.stats.FieldUnitCycles - u.opUnitStart) / float64(u.Cfg.NumFieldUnits)
 	for _, w := range u.opWork {
-		if *w > units {
-			units = *w
+		if w > units {
+			units = w
 		}
 	}
 	writer := u.stats.MemwriterCycles - u.opWriterStart
@@ -271,7 +282,7 @@ func (u *Unit) Abort() float64 {
 	}
 	u.stats.Cycles += dur
 	u.opWork = u.opWork[:0]
-	u.curWork = nil
+	u.curOp = -1
 	u.opFrontStart = u.stats.FrontendCycles
 	u.opUnitStart = u.stats.FieldUnitCycles
 	u.opWriterStart = u.stats.MemwriterCycles
@@ -283,19 +294,9 @@ func (u *Unit) frontend(c float64) { u.stats.FrontendCycles += c }
 // fieldUnit charges work to the current handle-field-op.
 func (u *Unit) fieldUnit(c float64) {
 	u.stats.FieldUnitCycles += c
-	if u.curWork != nil {
-		*u.curWork += c
+	if u.curOp >= 0 {
+		u.opWork[u.curOp] += c
 	}
-}
-
-// beginOp opens a new handle-field-op work accumulator and returns a
-// closure restoring the previous one.
-func (u *Unit) beginOp() func() {
-	prev := u.curWork
-	w := new(float64)
-	u.opWork = append(u.opWork, w)
-	u.curWork = w
-	return func() { u.curWork = prev }
 }
 
 // blockingLoad charges a frontend-blocking load.
@@ -343,7 +344,8 @@ func (u *Unit) Serialize(adtAddr, objAddr uint64) (Stats, error) {
 	}
 	before := u.stats
 	u.opWork = u.opWork[:0]
-	u.curWork = nil
+	u.curOp = -1
+	u.traced = u.Tracer.Enabled()
 	u.frontend(8) // RoCC dispatch + context stack init
 
 	u.opFrontStart = u.stats.FrontendCycles
@@ -381,8 +383,8 @@ func (u *Unit) Serialize(adtAddr, objAddr uint64) (Stats, error) {
 	front := u.stats.FrontendCycles - u.opFrontStart
 	units := (u.stats.FieldUnitCycles - u.opUnitStart) / float64(u.Cfg.NumFieldUnits)
 	for _, w := range u.opWork {
-		if *w > units {
-			units = *w
+		if w > units {
+			units = w
 		}
 	}
 	writer := u.stats.MemwriterCycles - u.opWriterStart
@@ -456,10 +458,24 @@ func (u *Unit) serializeMessage(adtAddr, objAddr, end uint64, depth int) (uint64
 	}
 	words := (uint64(rng) + 63) / 64
 	// Frontend loads hasbits and is_submessage bit fields in parallel
-	// (§4.5.3): one pass of word loads each.
+	// (§4.5.3): one pass of word loads each. The word values are kept in
+	// a per-call buffer so the reverse field scan below tests bits without
+	// re-reading simulated memory per field; the buffer is per call (not
+	// unit-owned scratch) because sub-message recursion interleaves with
+	// the parent's field loop.
 	hbBase := objAddr + header.HasbitsOffset
 	sbBase := adtAddr + adt.HeaderSize + uint64(rng)*adt.EntrySize
+	var hbStack [4]uint64
+	hbWords := hbStack[:0]
+	if words > uint64(len(hbStack)) {
+		hbWords = make([]uint64, 0, words)
+	}
 	for w := uint64(0); w < words; w++ {
+		hw, err := u.Mem.Read64(hbBase + w*8)
+		if err != nil {
+			return 0, err
+		}
+		hbWords = append(hbWords, hw)
 		u.blockingLoad(hbBase+w*8, 8)
 		u.adtLoad(sbBase+w*8, 8)
 		u.frontend(1) // per-word scan step
@@ -469,11 +485,7 @@ func (u *Unit) serializeMessage(adtAddr, objAddr, end uint64, depth int) (uint64
 	// Reverse field-number order (§4.5.1).
 	for num := header.MaxField; num >= header.MinField; num-- {
 		idx := uint64(num - header.MinField)
-		hw, err := u.Mem.Read64(hbBase + (idx/64)*8)
-		if err != nil {
-			return 0, err
-		}
-		if hw>>(idx%64)&1 == 0 {
+		if hbWords[idx/64]>>(idx%64)&1 == 0 {
 			continue // absent: only the scanned bit was spent
 		}
 		u.frontend(2.5) // present field: issue ADT load, construct handle-field-op
@@ -486,9 +498,13 @@ func (u *Unit) serializeMessage(adtAddr, objAddr, end uint64, depth int) (uint64
 		u.adtLoad(entryAddr, adt.EntrySize)
 		u.trace("field", depth, num, entry.Kind.String())
 
-		endOp := u.beginOp()
+		// Open a handle-field-op work window (see curOp); restore the
+		// enclosing op's window when the field completes.
+		prevOp := u.curOp
+		u.curOp = len(u.opWork)
+		u.opWork = append(u.opWork, 0)
 		pos, err = u.serializeField(entry, num, objAddr, pos, depth)
-		endOp()
+		u.curOp = prevOp
 		if err != nil {
 			return 0, err
 		}
@@ -526,29 +542,31 @@ func scalarSlotSize(k schema.Kind) uint64 {
 	}
 }
 
-// encodeScalar renders one scalar's wire bytes (value only). Encoding is
-// single-cycle in hardware regardless of varint width (§5.1.2).
-func encodeScalar(k schema.Kind, bits uint64) []byte {
+// encodeScalar appends one scalar's wire bytes (value only) to dst.
+// Encoding is single-cycle in hardware regardless of varint width
+// (§5.1.2). Appending into the unit's reusable scratch buffer keeps the
+// per-field path allocation-free.
+func encodeScalar(dst []byte, k schema.Kind, bits uint64) []byte {
 	switch k {
 	case schema.KindFloat, schema.KindFixed32, schema.KindSfixed32:
-		return wire.AppendFixed32(nil, uint32(bits))
+		return wire.AppendFixed32(dst, uint32(bits))
 	case schema.KindDouble, schema.KindFixed64, schema.KindSfixed64:
-		return wire.AppendFixed64(nil, bits)
+		return wire.AppendFixed64(dst, bits)
 	case schema.KindSint32:
-		return wire.AppendVarint(nil, wire.EncodeZigZag32(int32(bits)))
+		return wire.AppendVarint(dst, wire.EncodeZigZag32(int32(bits)))
 	case schema.KindSint64:
-		return wire.AppendVarint(nil, wire.EncodeZigZag64(int64(bits)))
+		return wire.AppendVarint(dst, wire.EncodeZigZag64(int64(bits)))
 	case schema.KindUint32:
-		return wire.AppendVarint(nil, uint64(uint32(bits)))
+		return wire.AppendVarint(dst, uint64(uint32(bits)))
 	case schema.KindInt32, schema.KindEnum:
-		return wire.AppendVarint(nil, uint64(int64(int32(bits))))
+		return wire.AppendVarint(dst, uint64(int64(int32(bits))))
 	case schema.KindBool:
 		if bits != 0 {
-			return []byte{1}
+			return append(dst, 1)
 		}
-		return []byte{0}
+		return append(dst, 0)
 	default:
-		return wire.AppendVarint(nil, bits)
+		return wire.AppendVarint(dst, bits)
 	}
 }
 
@@ -596,17 +614,18 @@ func (u *Unit) serializeField(e adt.Entry, num int32, objAddr, pos uint64, depth
 	}
 }
 
-// emitKV writes one scalar key/value pair ending at pos.
+// emitKV writes one scalar key/value pair ending at pos. The key and
+// value are staged together in the scratch buffer and retired by a single
+// memwriter transaction — the hardware's output sequencer drains the
+// whole chunk at once (§4.5.5), and charging the port once per chunk
+// instead of once per component halves the hot path's port walks.
 func (u *Unit) emitKV(num int32, k schema.Kind, bits uint64, pos uint64) (uint64, error) {
-	val := encodeScalar(k, bits)
-	pos, err := u.writeBack(pos, val)
-	if err != nil {
-		return 0, err
-	}
+	u.scratch = wire.AppendTag(u.scratch[:0], num, k.WireType())
+	u.scratch = encodeScalar(u.scratch, k, bits)
 	u.fieldUnit(1) // key construction
 	// Round-robin output sequencing of the chunk (§4.5.5): select + drain.
 	u.stats.MemwriterCycles += 2
-	return u.writeBack(pos, wire.AppendTag(nil, num, k.WireType()))
+	return u.writeBack(pos, u.scratch)
 }
 
 // emitString writes tag + length + payload (payload copied from the
@@ -637,11 +656,9 @@ func (u *Unit) emitString(num int32, ptr, n, pos uint64) (uint64, error) {
 	pos = payloadPos
 	u.fieldUnit(1) // length + key construction
 	u.stats.MemwriterCycles += 2
-	pos, err := u.writeBack(pos, wire.AppendVarint(nil, n))
-	if err != nil {
-		return 0, err
-	}
-	return u.writeBack(pos, wire.AppendTag(nil, num, wire.TypeBytes))
+	u.scratch = wire.AppendTag(u.scratch[:0], num, wire.TypeBytes)
+	u.scratch = wire.AppendVarint(u.scratch, n)
+	return u.writeBack(pos, u.scratch)
 }
 
 // serializeSubMessage recurses with a context-stack push/pop; the
@@ -664,13 +681,11 @@ func (u *Unit) serializeSubMessage(subADT, subObj uint64, num int32, pos uint64,
 	}
 	length := bodyEnd - bodyStart
 	// End-of-message op: the memwriter injects the key with the now-known
-	// length.
+	// length, retiring both as one chunk.
 	u.stats.MemwriterCycles++
-	pos, err = u.writeBack(bodyStart, wire.AppendVarint(nil, length))
-	if err != nil {
-		return 0, err
-	}
-	pos, err = u.writeBack(pos, wire.AppendTag(nil, num, wire.TypeBytes))
+	u.scratch = wire.AppendTag(u.scratch[:0], num, wire.TypeBytes)
+	u.scratch = wire.AppendVarint(u.scratch, length)
+	pos, err = u.writeBack(bodyStart, u.scratch)
 	if err != nil {
 		return 0, err
 	}
@@ -735,18 +750,17 @@ func (u *Unit) serializeRepeated(e adt.Entry, num int32, slotAddr, pos uint64, d
 				return 0, err
 			}
 			u.fieldUnit(1)
-			pos, err = u.writeBack(pos, encodeScalar(e.Kind, sign32(e.Kind, bits)))
+			u.scratch = encodeScalar(u.scratch[:0], e.Kind, sign32(e.Kind, bits))
+			pos, err = u.writeBack(pos, u.scratch)
 			if err != nil {
 				return 0, err
 			}
 		}
 		length := body - pos
 		u.fieldUnit(1)
-		pos, err = u.writeBack(pos, wire.AppendVarint(nil, length))
-		if err != nil {
-			return 0, err
-		}
-		return u.writeBack(pos, wire.AppendTag(nil, num, wire.TypeBytes))
+		u.scratch = wire.AppendTag(u.scratch[:0], num, wire.TypeBytes)
+		u.scratch = wire.AppendVarint(u.scratch, length)
+		return u.writeBack(pos, u.scratch)
 	default:
 		es := scalarSlotSize(e.Kind)
 		for i := n; i > 0; i-- {

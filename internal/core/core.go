@@ -494,7 +494,10 @@ func (s *System) DeserializeBatch(t *schema.Message, refs []WireRef) (Result, []
 	// Batches snapshot the registry directly rather than via Hub.OpBegin:
 	// the software path below re-enters Deserialize per item, and the
 	// Hub's single scratch snapshot must stay owned by the innermost op.
+	// Attribution-only mode (EnableAttribution) skips the snapshots and
+	// derives the attribution from unit stat deltas alone.
 	began := s.tel.PerOpEnabled()
+	wantAttr := s.tel.AttributionEnabled()
 	var prev telemetry.Snapshot
 	if began {
 		prev = s.tel.Registry.Snapshot()
@@ -510,10 +513,12 @@ func (s *System) DeserializeBatch(t *schema.Message, refs []WireRef) (Result, []
 			total.Bytes += res.Bytes
 		}
 		total.Seconds = s.CPU.Seconds(total.Cycles)
-		if began {
+		if wantAttr {
 			total.Telemetry = &telemetry.OpTelemetry{
-				Counters:    s.tel.Registry.Snapshot().Delta(prev),
 				Attribution: telemetry.NewAttribution(total.Cycles, 0, 0, 0),
+			}
+			if began {
+				total.Telemetry.Counters = s.tel.Registry.Snapshot().Delta(prev)
 			}
 		}
 		return total, objs, nil
@@ -576,7 +581,7 @@ func (s *System) DeserializeBatch(t *schema.Message, refs []WireRef) (Result, []
 	if err != nil {
 		return Result{}, nil, err
 	}
-	if began {
+	if wantAttr {
 		attr := telemetry.NewAttribution(total.Cycles, 0, 0, 0)
 		if total.Fault == nil || !total.Fault.FellBack {
 			after := s.Accel.Deser.Stats()
@@ -585,9 +590,9 @@ func (s *System) DeserializeBatch(t *schema.Message, refs []WireRef) (Result, []
 				after.SpillCycles-before.SpillCycles,
 				after.ADTStallCycles-before.ADTStallCycles)
 		}
-		total.Telemetry = &telemetry.OpTelemetry{
-			Counters:    s.tel.Registry.Snapshot().Delta(prev),
-			Attribution: attr,
+		total.Telemetry = &telemetry.OpTelemetry{Attribution: attr}
+		if began {
+			total.Telemetry.Counters = s.tel.Registry.Snapshot().Delta(prev)
 		}
 	}
 	return total, objs, nil
@@ -599,6 +604,7 @@ func (s *System) SerializeBatch(t *schema.Message, objAddrs []uint64) (Result, [
 	refs := make([]WireRef, len(objAddrs))
 	var total Result
 	began := s.tel.PerOpEnabled()
+	wantAttr := s.tel.AttributionEnabled()
 	var prev telemetry.Snapshot
 	if began {
 		prev = s.tel.Registry.Snapshot()
@@ -614,10 +620,12 @@ func (s *System) SerializeBatch(t *schema.Message, objAddrs []uint64) (Result, [
 			total.Bytes += res.Bytes
 		}
 		total.Seconds = s.CPU.Seconds(total.Cycles)
-		if began {
+		if wantAttr {
 			total.Telemetry = &telemetry.OpTelemetry{
-				Counters:    s.tel.Registry.Snapshot().Delta(prev),
 				Attribution: telemetry.NewAttribution(total.Cycles, 0, 0, 0),
+			}
+			if began {
+				total.Telemetry.Counters = s.tel.Registry.Snapshot().Delta(prev)
 			}
 		}
 		return total, refs, nil
@@ -681,7 +689,7 @@ func (s *System) SerializeBatch(t *schema.Message, objAddrs []uint64) (Result, [
 	if err != nil {
 		return Result{}, nil, err
 	}
-	if began {
+	if wantAttr {
 		attr := telemetry.NewAttribution(total.Cycles, 0, 0, 0)
 		if total.Fault == nil || !total.Fault.FellBack {
 			after := s.Accel.Ser.Stats()
@@ -689,9 +697,9 @@ func (s *System) SerializeBatch(t *schema.Message, objAddrs []uint64) (Result, [
 				after.SpillCycles-before.SpillCycles,
 				after.ADTStallCycles-before.ADTStallCycles)
 		}
-		total.Telemetry = &telemetry.OpTelemetry{
-			Counters:    s.tel.Registry.Snapshot().Delta(prev),
-			Attribution: attr,
+		total.Telemetry = &telemetry.OpTelemetry{Attribution: attr}
+		if began {
+			total.Telemetry.Counters = s.tel.Registry.Snapshot().Delta(prev)
 		}
 	}
 	return total, refs, nil
@@ -880,7 +888,7 @@ func (s *System) ResetWork() {
 
 // ResetAll returns the System to the state New left it in, without
 // remapping or re-zeroing whole regions: allocators rewind, only the
-// dirty prefix of each region is zeroed (mem.Region's high-water mark),
+// dirty span of each region is zeroed (mem.Region's [lo, hi) tracking),
 // the cache/TLB hierarchy and all cycle accumulators reset, and the
 // layout registry restarts type-id assignment. After ResetAll the System
 // is bitwise-indistinguishable — addresses, latencies, cycle counts —
@@ -899,6 +907,47 @@ func (s *System) ResetAll() {
 	s.Reg.Reset()
 	s.schemaRoots = nil
 	s.adts = nil
+	if s.CPU != nil {
+		s.CPU.ResetCycles()
+	}
+	if s.Accel != nil {
+		s.Accel.Reset()
+		s.Accel.Ser.AssignArena(s.serData, s.serPtrs)
+	}
+	s.Inj.Reset()
+	s.res = resilienceStats{}
+	s.poisoned = false
+	s.tel.Reset()
+}
+
+// ResetBatch returns a System to the state a `ResetAll` followed by a
+// `LoadSchema` of its already-loaded roots would produce, without paying
+// for either: the schema registry, the built ADTs, and the ADT region
+// contents are kept (adt.Build is deterministic, so rebuilding them would
+// write back the exact same bytes at the exact same addresses), while
+// everything a batch can touch is reset — work allocators rewind and
+// their regions' dirty spans are zeroed, the cache/TLB hierarchy goes
+// cold, the accelerator and CPU cycle accumulators clear, the fault
+// schedule restarts, and the telemetry hub resets. The serving tiles use
+// this to keep per-schema resident Systems across batches: a batch on a
+// ResetBatch-recycled System is bitwise-indistinguishable from one on a
+// freshly pooled-and-loaded System.
+func (s *System) ResetBatch() {
+	s.Static.Reset()
+	s.Heap.Reset()
+	s.Out.Reset()
+	s.Static.Region().ResetDirty()
+	s.Heap.Region().ResetDirty()
+	s.Out.Region().ResetDirty()
+	if s.Arena != nil {
+		s.Arena.Reset()
+		s.Arena.Region().ResetDirty()
+	}
+	if s.serData != nil {
+		s.serData.ResetDirty()
+		s.serPtrs.ResetDirty()
+	}
+	s.MemSys.Reset()
 	if s.CPU != nil {
 		s.CPU.ResetCycles()
 	}

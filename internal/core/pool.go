@@ -17,7 +17,7 @@ import (
 // Pool recycles Systems across runs with identical configurations.
 // Building a System maps (and the runtime zeroes) hundreds of megabytes of
 // simulated memory; recycling one costs only a ResetAll, which zeroes the
-// dirty prefix of each region — proportional to the bytes the previous
+// dirty span of each region — proportional to the bytes the previous
 // run touched. Get returns a reset System that is bitwise-equivalent to a
 // freshly constructed one (see System.ResetAll), so pooled execution
 // produces identical measurements to the unpooled path.

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// The fast functional mode (CycleSampled) must be invisible in the data
+// plane: for the full serving catalog, both operations, round-robin
+// routing, and both 1- and 4-tile servers, every response's status and
+// payload bytes must be identical to the exact cycle mode's. Only cycle
+// values (estimates vs. measurements) may differ.
+func TestServeCycleModeBitwiseEquivalence(t *testing.T) {
+	for _, tiles := range []int{1, 4} {
+		reqs := sampleRequests(DefaultCatalog(), 16)
+
+		exact := testOptions()
+		exact.Tiles = tiles
+		exact.Routing = RouteRoundRobin
+		exact.QueueDepth = 1024
+
+		sampled := exact
+		sampled.CycleMode = CycleSampled
+		sampled.CycleSampleN = 8
+
+		ea, _ := runBatched(t, exact, reqs)
+		sa, _ := runBatched(t, sampled, reqs)
+		if len(ea) != len(sa) {
+			t.Fatalf("tiles=%d: response counts differ: exact=%d sampled=%d", tiles, len(ea), len(sa))
+		}
+		for i := range ea {
+			if ea[i].Status != sa[i].Status {
+				t.Errorf("tiles=%d response %d: status exact=%v sampled=%v",
+					tiles, i, ea[i].Status, sa[i].Status)
+			}
+			if !bytes.Equal(ea[i].Payload, sa[i].Payload) {
+				t.Errorf("tiles=%d response %d (%s/%v): payload bytes differ between cycle modes",
+					tiles, i, reqs[i].Schema, reqs[i].Op)
+			}
+			// Cycles is deliberately NOT compared: sampled-mode responses
+			// carry per-request estimates (zero until the stream's first
+			// sampled batch completes), exact-mode responses carry
+			// measurements.
+		}
+	}
+}
+
+// Sampled-mode extrapolation must converge: driving identical request
+// streams through an exact server and a 1-in-8 sampled server, the
+// extrapolated serve/cycles/* counters must land within 10%% of the
+// exact-mode measurements. Payloads rotate with period 5 — coprime to the
+// sample cadence — so sampled batches are representative but not
+// identical to the stream average, exercising the estimator rather than a
+// degenerate constant workload.
+func TestServeSampledCycleConvergence(t *testing.T) {
+	const (
+		sampleN = 8
+		batches = 40
+	)
+	cat := DefaultCatalog()
+	base := testOptions()
+	base.Workers = 1
+	base.Tiles = 1
+	base.Routing = RouteRoundRobin
+	base.QueueDepth = 1024 // 240 preformed batches are enqueued up front
+
+	var reqs []Request
+	for _, name := range cat.Names() {
+		e := cat.Lookup(name)
+		for _, op := range []Op{OpDeserialize, OpSerialize} {
+			idx := 0
+			for b := 0; b < batches; b++ {
+				for j := 0; j < base.MaxBatch; j++ {
+					reqs = append(reqs, Request{Op: op, Schema: name, Payload: e.SamplePayload(idx % 5)})
+					idx++
+				}
+			}
+		}
+	}
+
+	exactResps, exactC := runBatched(t, base, reqs)
+
+	sampledOpts := base
+	sampledOpts.CycleMode = CycleSampled
+	sampledOpts.CycleSampleN = sampleN
+	sampledResps, sampledC := runBatched(t, sampledOpts, reqs)
+
+	for i := range exactResps {
+		if exactResps[i].Status != StatusOK || sampledResps[i].Status != StatusOK {
+			t.Fatalf("response %d: status exact=%v sampled=%v, want ok/ok",
+				i, exactResps[i].Status, sampledResps[i].Status)
+		}
+		if !bytes.Equal(exactResps[i].Payload, sampledResps[i].Payload) {
+			t.Fatalf("response %d: payload bytes differ between cycle modes", i)
+		}
+	}
+
+	// Provenance counters: the sampled run must declare its rate and that
+	// cycles/* are extrapolated; the exact run must not.
+	if got := sampledC["serve/cycle_sample_rate"]; got != sampleN {
+		t.Errorf("sampled serve/cycle_sample_rate = %v, want %d", got, sampleN)
+	}
+	if got := sampledC["serve/cycle_extrapolated"]; got != 1 {
+		t.Errorf("sampled serve/cycle_extrapolated = %v, want 1", got)
+	}
+	if got := exactC["serve/cycle_extrapolated"]; got != 0 {
+		t.Errorf("exact serve/cycle_extrapolated = %v, want 0", got)
+	}
+	sampledReqs := sampledC["serve/cycle_sampled_requests"]
+	totalReqs := sampledC["serve/batch_requests"]
+	if sampledReqs <= 0 || sampledReqs >= totalReqs {
+		t.Fatalf("serve/cycle_sampled_requests = %v of %v total, want a proper subset",
+			sampledReqs, totalReqs)
+	}
+	if exactC["serve/cycle_sampled_requests"] != exactC["serve/batch_requests"] {
+		t.Errorf("exact mode: sampled_requests %v != batch_requests %v (every request is measured)",
+			exactC["serve/cycle_sampled_requests"], exactC["serve/batch_requests"])
+	}
+
+	// Convergence: extrapolated totals within 10% of exact measurements.
+	// accel and fsm must be nonzero for any workload; the stall classes
+	// are checked only when the exact run saw them (this catalog's small
+	// payloads produce no supply stalls).
+	for _, name := range []string{"serve/cycles/accel", "serve/cycles/fsm"} {
+		if exactC[name] <= 0 {
+			t.Fatalf("exact %s = %v, want > 0", name, exactC[name])
+		}
+	}
+	for _, name := range []string{
+		"serve/cycles/accel", "serve/cycles/fsm", "serve/cycles/supply",
+		"serve/cycles/spill", "serve/cycles/adt_stall",
+	} {
+		e, s := exactC[name], sampledC[name]
+		if e == 0 {
+			if s != 0 {
+				t.Errorf("%s: sampled=%v but exact saw none", name, s)
+			}
+			continue
+		}
+		if rel := math.Abs(s-e) / e; rel > 0.10 {
+			t.Errorf("%s: sampled=%v exact=%v (relative error %.3f > 0.10)", name, s, e, rel)
+		}
+	}
+}
+
+// AggregatedCounters strips the cycle-mode config echoes but keeps the
+// sampled-request measurement.
+func TestAggregatedCountersStripCycleModeEchoes(t *testing.T) {
+	opts := testOptions()
+	opts.CycleMode = CycleSampled
+	opts.CycleSampleN = 4
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.InProc().DoBatch(sampleRequests(srv.Catalog(), 8)); err != nil {
+		t.Fatal(err)
+	}
+	agg := srv.AggregatedCounters()
+	for _, echo := range []string{"serve/cycle_sample_rate", "serve/cycle_extrapolated"} {
+		if _, ok := agg[echo]; ok {
+			t.Errorf("config echo %s present in AggregatedCounters", echo)
+		}
+	}
+	if _, ok := agg["serve/cycle_sampled_requests"]; !ok {
+		t.Error("measurement serve/cycle_sampled_requests missing from AggregatedCounters")
+	}
+}

@@ -55,6 +55,48 @@ func ParseRouting(s string) (Routing, error) {
 	}
 }
 
+// CycleMode selects how much cycle-model bookkeeping the serving data
+// plane pays per request.
+type CycleMode uint8
+
+// Cycle accounting modes.
+const (
+	// CycleExact (default) runs the full cycle model — pooled System
+	// checkout, simulated memory, cache/TLB timing — for every batch.
+	// Every response carries its measured per-request cycle share, and
+	// counters are exact; this is the mode all determinism and
+	// bitwise-equivalence tests run in.
+	CycleExact CycleMode = iota
+	// CycleSampled decouples the data path from cycle attribution
+	// (RPCAcc's split, PAPERS.md): most batches run only the functional
+	// serializer — bytes in, bytes out, bit-identical to exact mode — and
+	// 1-in-N batches per (schema, op) additionally run the full cycle
+	// model. Telemetry extrapolates the sampled cycle counters to the
+	// full request population and tags the snapshot with provenance
+	// counters (serve/cycle_sample_rate, serve/cycle_sampled_requests,
+	// serve/cycle_extrapolated).
+	CycleSampled
+)
+
+func (m CycleMode) String() string {
+	if m == CycleSampled {
+		return "sampled"
+	}
+	return "exact"
+}
+
+// ParseCycleMode parses a -cycle-mode flag value ("exact" or "sampled").
+func ParseCycleMode(s string) (CycleMode, error) {
+	switch s {
+	case "", "exact":
+		return CycleExact, nil
+	case "sampled":
+		return CycleSampled, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown cycle mode %q (want exact or sampled)", s)
+	}
+}
+
 // Options configures a Server. The zero value of any field selects the
 // default noted on it.
 type Options struct {
@@ -98,6 +140,15 @@ type Options struct {
 	// zero (default 1s).
 	Deadline time.Duration
 
+	// CycleMode selects exact (default) or sampled cycle accounting; see
+	// the CycleMode constants.
+	CycleMode CycleMode
+
+	// CycleSampleN is the sampling period in CycleSampled mode: per
+	// (schema, op) stream on each tile, every N'th batch runs the full
+	// cycle model (default 8). Ignored in CycleExact mode.
+	CycleSampleN int
+
 	// Faults selects a deterministic fault-injection schedule for the
 	// accelerator Systems (the chaos tests drive this).
 	Faults faults.Config
@@ -132,6 +183,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Deadline <= 0 {
 		o.Deadline = time.Second
+	}
+	if o.CycleSampleN <= 0 {
+		o.CycleSampleN = 8
 	}
 	return o
 }
@@ -435,11 +489,20 @@ func (s *Server) CollectTelemetry(emit func(name string, value float64)) {
 	st := s.stats
 	s.mu.Unlock()
 	var ts tileStats
+	var cyc telemetry.Attribution
+	var sampledReqs uint64
 	depth := 0
 	for _, t := range s.tiles {
 		t.mu.Lock()
 		ts.add(t.stats)
 		t.mu.Unlock()
+		a, n := t.cycleTelemetry()
+		cyc.Total += a.Total
+		cyc.FSM += a.FSM
+		cyc.Supply += a.Supply
+		cyc.Spill += a.Spill
+		cyc.ADTMiss += a.ADTMiss
+		sampledReqs += n
 		depth += len(t.queue)
 	}
 	emit("requests/deser", float64(st.reqDeser))
@@ -461,11 +524,22 @@ func (s *Server) CollectTelemetry(emit func(name string, value float64)) {
 	emit("tiles", float64(len(s.tiles)))
 	emit("queue/capacity", float64(s.opts.QueueDepth*len(s.tiles)))
 	emit("queue/depth", float64(depth))
-	emit("cycles/accel", ts.cycles.Total)
-	emit("cycles/fsm", ts.cycles.FSM)
-	emit("cycles/supply", ts.cycles.Supply)
-	emit("cycles/spill", ts.cycles.Spill)
-	emit("cycles/adt_stall", ts.cycles.ADTMiss)
+	emit("cycles/accel", cyc.Total)
+	emit("cycles/fsm", cyc.FSM)
+	emit("cycles/supply", cyc.Supply)
+	emit("cycles/spill", cyc.Spill)
+	emit("cycles/adt_stall", cyc.ADTMiss)
+	// Provenance: how the cycles/* values above were obtained. In sampled
+	// mode they are extrapolated from cycle_sampled_requests measured
+	// requests at 1-in-cycle_sample_rate batch cadence; in exact mode
+	// every request was measured (rate 1, extrapolated 0).
+	rate, extrapolated := 1, 0
+	if s.opts.CycleMode == CycleSampled {
+		rate, extrapolated = s.opts.CycleSampleN, 1
+	}
+	emit("cycle_sample_rate", float64(rate))
+	emit("cycle_sampled_requests", float64(sampledReqs))
+	emit("cycle_extrapolated", float64(extrapolated))
 }
 
 // TelemetrySnapshot merges the serving group, one serve/tile<i> group per
@@ -497,13 +571,18 @@ func (s *Server) TelemetrySnapshot() telemetry.Snapshot {
 // AggregatedCounters returns the quiescent snapshot with the per-tile
 // serve/tile<i>/ groups stripped — the tile-count-independent view the
 // 1-tile-vs-N-tile equivalence tests compare. Config echoes
-// (serve/tiles, serve/queue/capacity) are also dropped: they describe the
-// server's shape, not its measurements.
+// (serve/tiles, serve/queue/capacity, serve/cycle_sample_rate,
+// serve/cycle_extrapolated) are also dropped: they describe the server's
+// shape and mode, not its measurements.
 func (s *Server) AggregatedCounters() map[string]float64 {
 	snap := s.TelemetrySnapshot()
 	out := make(map[string]float64, snap.Len())
 	for _, sm := range snap.Samples() {
-		if isTileCounter(sm.Name) || sm.Name == "serve/tiles" || sm.Name == "serve/queue/capacity" {
+		switch {
+		case isTileCounter(sm.Name):
+			continue
+		case sm.Name == "serve/tiles", sm.Name == "serve/queue/capacity",
+			sm.Name == "serve/cycle_sample_rate", sm.Name == "serve/cycle_extrapolated":
 			continue
 		}
 		out[sm.Name] = sm.Value

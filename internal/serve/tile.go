@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -36,9 +37,37 @@ type tile struct {
 
 	wg sync.WaitGroup // dispatcher + executors
 
-	mu     sync.Mutex
-	stats  tileStats
-	sysAgg telemetry.Aggregate // accelerator unit counters across batches
+	mu      sync.Mutex
+	stats   tileStats
+	sysAgg  telemetry.Aggregate // accelerator unit counters across batches
+	sysSnap telemetry.Snapshot  // absorb scratch, guarded by mu
+
+	// residents are warm Systems kept per schema between batches: the
+	// schema registry and built ADTs survive, so a coalesced batch pays
+	// only a ResetBatch (proportional scrub + stat reset) instead of a
+	// pool checkout plus LoadSchema. Capped at the tile's executor count —
+	// beyond that the extra Systems overflow into the pool.
+	resMu       sync.Mutex
+	residents   map[string][]*core.System
+	residentN   int
+	residentCap int
+
+	// samples tracks per-(schema, op) sampling state in CycleSampled mode:
+	// the batch cadence, the sampled-vs-total request populations the
+	// telemetry extrapolation scales by, and the latest per-request cycle
+	// estimate carried by functional responses.
+	sampleMu sync.Mutex
+	samples  map[batchKey]*sampleState
+}
+
+// sampleState is one (schema, op) stream's cycle-sampling ledger.
+type sampleState struct {
+	seen           uint64 // batches dispatched (drives the 1-in-N cadence)
+	sampledBatches uint64
+	sampledReqs    uint64                // requests that ran the full cycle model
+	totalReqs      uint64                // all requests (sampled + functional)
+	attr           telemetry.Attribution // accumulated over sampled batches only
+	perReq         float64               // latest sampled per-request cycle estimate
 }
 
 // tileStats is the execution-side counter set, owned per tile. Like the
@@ -77,12 +106,14 @@ func newTile(s *Server, id int) *tile {
 		cfg.Faults = faults.Config{}
 	}
 	t := &tile{
-		id:    id,
-		srv:   s,
-		cfg:   cfg,
-		pool:  core.NewPool(0),
-		queue: make(chan batchJob, s.opts.QueueDepth),
-		work:  make(chan batchJob),
+		id:        id,
+		srv:       s,
+		cfg:       cfg,
+		pool:      core.NewPool(0),
+		queue:     make(chan batchJob, s.opts.QueueDepth),
+		work:      make(chan batchJob),
+		residents: make(map[string][]*core.System),
+		samples:   make(map[batchKey]*sampleState),
 	}
 	t.canSteal = s.opts.Routing == RoutePowerOfTwo && s.opts.Tiles > 1 && !cfg.Faults.Enabled
 	return t
@@ -90,6 +121,7 @@ func newTile(s *Server, id int) *tile {
 
 // start launches the tile's dispatcher and executors.
 func (t *tile) start(workers int) {
+	t.residentCap = workers
 	t.wg.Add(1)
 	go t.dispatch()
 	for i := 0; i < workers; i++ {
@@ -340,10 +372,12 @@ func (t *tile) trySteal() bool {
 	return true
 }
 
-// runBatch executes one batch on this tile's accelerator pool: expire
-// overdue requests, run the §4.4.1 batch operation, read functional
-// results back, and degrade to the software codec when the accelerator
-// path errors out.
+// runBatch executes one batch on this tile's accelerator shard: expire
+// overdue requests, then either run the §4.4.1 batch operation on a
+// checked-out System (exact mode, and the sampled batches of sampled
+// mode) or answer functionally with no System at all (the non-sampled
+// batches of sampled mode). The accelerator path degrades to the
+// software codec when it errors out.
 func (t *tile) runBatch(job batchJob) {
 	live := job.pendings[:0:0]
 	now := time.Now()
@@ -362,32 +396,128 @@ func (t *tile) runBatch(job batchJob) {
 	t.stats.batchRequests += uint64(len(live))
 	t.mu.Unlock()
 
+	// In sampled mode, only every CycleSampleN'th batch of each
+	// (schema, op) stream runs the cycle model; the rest answer on the
+	// functional path, carrying the stream's latest per-request estimate.
+	// The first batch of every stream is always sampled, so estimates
+	// exist from the start.
+	var st *sampleState
+	if t.srv.opts.CycleMode == CycleSampled {
+		st = t.sampleState(job.key)
+		t.sampleMu.Lock()
+		seq := st.seen
+		st.seen++
+		st.totalReqs += uint64(len(live))
+		est := st.perReq
+		t.sampleMu.Unlock()
+		if seq%uint64(t.srv.opts.CycleSampleN) != 0 {
+			t.runFunctional(live, est)
+			return
+		}
+	}
+
+	sys, err := t.checkout(job.key.schema, live[0].entry)
+	if err != nil {
+		t.degrade(live, err)
+		return
+	}
+	sys.Telemetry().EnableAttribution(true)
+	switch job.key.op {
+	case OpSerialize:
+		t.runSerialize(sys, live, st)
+	default:
+		t.runDeserialize(sys, live, st)
+	}
+	t.absorb(sys)
+	t.checkin(job.key.schema, sys)
+}
+
+// sampleState returns (creating on demand) the sampling ledger for one
+// (schema, op) stream.
+func (t *tile) sampleState(k batchKey) *sampleState {
+	t.sampleMu.Lock()
+	defer t.sampleMu.Unlock()
+	st := t.samples[k]
+	if st == nil {
+		st = &sampleState{}
+		t.samples[k] = st
+	}
+	return st
+}
+
+// checkout acquires a System with the batch's schema loaded: a fresh one
+// when Options.Fresh demands it, a ResetBatch-recycled resident when one
+// is warm for this schema, or a pool checkout plus LoadSchema otherwise.
+func (t *tile) checkout(schema string, entry *Entry) (*core.System, error) {
+	if !t.srv.opts.Fresh {
+		t.resMu.Lock()
+		if list := t.residents[schema]; len(list) > 0 {
+			sys := list[len(list)-1]
+			list[len(list)-1] = nil
+			t.residents[schema] = list[:len(list)-1]
+			t.residentN--
+			t.resMu.Unlock()
+			sys.ResetBatch()
+			return sys, nil
+		}
+		t.resMu.Unlock()
+	}
 	var sys *core.System
 	if t.srv.opts.Fresh {
 		sys = core.New(t.cfg)
 	} else {
 		sys = t.pool.Get(t.cfg)
 	}
-	sys.Telemetry().EnablePerOp(true)
-	if err := sys.LoadSchema(live[0].entry.Type); err != nil {
-		t.degrade(live, err)
+	if err := sys.LoadSchema(entry.Type); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// checkin retires a batch System: fresh Systems are dropped, poisoned
+// ones are routed through the pool (which drops and counts them), and
+// healthy ones become residents for their schema — or overflow into the
+// pool when the resident cap is reached. Residents are reset on the next
+// checkout, mirroring the pool's reset-on-Get discipline.
+func (t *tile) checkin(schema string, sys *core.System) {
+	if t.srv.opts.Fresh {
 		return
 	}
-	switch job.key.op {
-	case OpSerialize:
-		t.runSerialize(sys, live)
-	default:
-		t.runDeserialize(sys, live)
-	}
-	t.absorb(sys)
-	if !t.srv.opts.Fresh {
+	if sys.Poisoned() {
 		t.pool.Put(sys)
+		return
+	}
+	t.resMu.Lock()
+	if t.residentN < t.residentCap {
+		t.residents[schema] = append(t.residents[schema], sys)
+		t.residentN++
+		t.resMu.Unlock()
+		return
+	}
+	t.resMu.Unlock()
+	t.pool.Put(sys)
+}
+
+// runFunctional answers a non-sampled batch in fast functional mode: the
+// response payload is the canonical serialization of the admission-parsed
+// message, which is byte-identical to what the exact path returns for
+// both operations (the same contract the degrade path and the loadgen
+// -check verifier rely on). No System is checked out and no cycle model
+// runs; Cycles carries the stream's latest sampled per-request estimate.
+func (t *tile) runFunctional(live []*pending, estCycles float64) {
+	for _, p := range live {
+		out, err := codec.Marshal(p.msg)
+		if err != nil {
+			t.srv.respond(p, Response{Status: StatusError, Payload: []byte("functional codec: " + err.Error())})
+			continue
+		}
+		t.srv.respond(p, Response{Status: StatusOK, Cycles: estCycles, Payload: out})
 	}
 }
 
 // runDeserialize answers each request with the canonical re-serialization
 // of the object the accelerator materialized from its payload.
-func (t *tile) runDeserialize(sys *core.System, live []*pending) {
+func (t *tile) runDeserialize(sys *core.System, live []*pending, st *sampleState) {
 	mt := live[0].entry.Type
 	refs := make([]core.WireRef, len(live))
 	for i, p := range live {
@@ -403,7 +533,7 @@ func (t *tile) runDeserialize(sys *core.System, live []*pending) {
 		t.degrade(live, err)
 		return
 	}
-	t.noteBatch(res, len(live))
+	t.noteBatch(res, len(live), st)
 	perReq := res.Cycles / float64(len(live))
 	fellBack := res.Fault != nil && res.Fault.FellBack
 	for i, p := range live {
@@ -423,7 +553,7 @@ func (t *tile) runDeserialize(sys *core.System, live []*pending) {
 
 // runSerialize answers each request with the wire bytes the accelerator's
 // serializer produced for its (pre-parsed) object.
-func (t *tile) runSerialize(sys *core.System, live []*pending) {
+func (t *tile) runSerialize(sys *core.System, live []*pending, st *sampleState) {
 	mt := live[0].entry.Type
 	objs := make([]uint64, len(live))
 	for i, p := range live {
@@ -439,7 +569,7 @@ func (t *tile) runSerialize(sys *core.System, live []*pending) {
 		t.degrade(live, err)
 		return
 	}
-	t.noteBatch(res, len(live))
+	t.noteBatch(res, len(live), st)
 	perReq := res.Cycles / float64(len(live))
 	fellBack := res.Fault != nil && res.Fault.FellBack
 	for i, p := range live {
@@ -475,17 +605,18 @@ func (t *tile) degrade(live []*pending, cause error) {
 }
 
 // noteBatch records a completed accelerator batch's resilience and cycle
-// attribution counters.
-func (t *tile) noteBatch(res core.Result, n int) {
+// attribution counters. In exact mode (st == nil) the attribution folds
+// into the tile totals; in sampled mode it folds into the stream's
+// sampling ledger, which telemetry later extrapolates.
+func (t *tile) noteBatch(res core.Result, n int, st *sampleState) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if res.Fault != nil {
 		t.stats.retryEvents += uint64(res.Fault.Retries)
 		if res.Fault.FellBack {
 			t.stats.accelFallbacks += uint64(n)
 		}
 	}
-	if res.Telemetry != nil {
+	if st == nil && res.Telemetry != nil {
 		a := res.Telemetry.Attribution
 		t.stats.cycles.Total += a.Total
 		t.stats.cycles.FSM += a.FSM
@@ -493,16 +624,74 @@ func (t *tile) noteBatch(res core.Result, n int) {
 		t.stats.cycles.Spill += a.Spill
 		t.stats.cycles.ADTMiss += a.ADTMiss
 	}
+	t.mu.Unlock()
+	if st != nil && res.Telemetry != nil {
+		a := res.Telemetry.Attribution
+		t.sampleMu.Lock()
+		st.sampledBatches++
+		st.sampledReqs += uint64(n)
+		st.attr.Total += a.Total
+		st.attr.FSM += a.FSM
+		st.attr.Supply += a.Supply
+		st.attr.Spill += a.Spill
+		st.attr.ADTMiss += a.ADTMiss
+		st.perReq = res.Cycles / float64(n)
+		t.sampleMu.Unlock()
+	}
 }
 
 // absorb folds a batch System's counters into the tile aggregate. The
-// System came out of Get freshly reset, so its registry snapshot is
-// exactly this batch's delta.
+// System came out of checkout freshly reset, so its registry snapshot is
+// exactly this batch's delta. The snapshot lands in a scratch buffer
+// under the tile lock — per-batch snapshot allocation was a measured
+// serving-path cost.
 func (t *tile) absorb(sys *core.System) {
-	snap := sys.Telemetry().Registry.Snapshot()
 	t.mu.Lock()
-	t.sysAgg.Add(snap)
+	sys.Telemetry().Registry.SnapshotInto(&t.sysSnap)
+	t.sysAgg.Add(t.sysSnap)
 	t.mu.Unlock()
+}
+
+// cycleTelemetry returns the tile's cycle attribution for telemetry and
+// the number of requests that actually ran the cycle model. Exact mode
+// reports the measured totals; sampled mode extrapolates each
+// (schema, op) stream's sampled cycles to its full request population
+// (measured × total/sampled requests), summing streams in sorted key
+// order so the float accumulation is deterministic.
+func (t *tile) cycleTelemetry() (attr telemetry.Attribution, sampledReqs uint64) {
+	if t.srv.opts.CycleMode != CycleSampled {
+		t.mu.Lock()
+		attr = t.stats.cycles
+		n := t.stats.batchRequests
+		t.mu.Unlock()
+		return attr, n
+	}
+	t.sampleMu.Lock()
+	defer t.sampleMu.Unlock()
+	keys := make([]batchKey, 0, len(t.samples))
+	for k := range t.samples {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].schema != keys[j].schema {
+			return keys[i].schema < keys[j].schema
+		}
+		return keys[i].op < keys[j].op
+	})
+	for _, k := range keys {
+		st := t.samples[k]
+		if st.sampledReqs == 0 {
+			continue
+		}
+		scale := float64(st.totalReqs) / float64(st.sampledReqs)
+		attr.Total += st.attr.Total * scale
+		attr.FSM += st.attr.FSM * scale
+		attr.Supply += st.attr.Supply * scale
+		attr.Spill += st.attr.Spill * scale
+		attr.ADTMiss += st.attr.ADTMiss * scale
+		sampledReqs += st.sampledReqs
+	}
+	return attr, sampledReqs
 }
 
 // CollectTelemetry implements telemetry.Collector for one serve/tile<i>
@@ -519,11 +708,13 @@ func (t *tile) CollectTelemetry(emit func(name string, value float64)) {
 	emit("steals", float64(st.steals))
 	emit("stolen_requests", float64(st.stolenRequests))
 	emit("queue/depth", float64(len(t.queue)))
-	emit("cycles/accel", st.cycles.Total)
-	emit("cycles/fsm", st.cycles.FSM)
-	emit("cycles/supply", st.cycles.Supply)
-	emit("cycles/spill", st.cycles.Spill)
-	emit("cycles/adt_stall", st.cycles.ADTMiss)
+	cyc, sampled := t.cycleTelemetry()
+	emit("cycles/accel", cyc.Total)
+	emit("cycles/fsm", cyc.FSM)
+	emit("cycles/supply", cyc.Supply)
+	emit("cycles/spill", cyc.Spill)
+	emit("cycles/adt_stall", cyc.ADTMiss)
+	emit("cycles/sampled_requests", float64(sampled))
 }
 
 // splitmix64 is the same mixing function the fault scheduler uses: a

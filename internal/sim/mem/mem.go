@@ -28,16 +28,21 @@ var (
 
 // Region is a contiguous mapped range of simulated memory.
 //
-// Each region tracks a dirty high-water mark: the end offset of the
-// highest byte handed out through a mutable path (Slice and the Write*
-// helpers). ResetDirty restores the region to its freshly-mapped all-zero
-// state by zeroing only [0, dirty), so the cost of recycling a System is
-// proportional to the bytes a run actually touched, not to region size.
+// Each region tracks a dirty span [dirtyLo, dirtyHi): the tightest
+// offset range covering every byte handed out through a mutable path
+// (Slice and the Write* helpers). ResetDirty restores the region to its
+// freshly-mapped all-zero state by zeroing only that span, so the cost
+// of recycling a System is proportional to the bytes a run actually
+// touched, not to region size. A span (rather than a prefix high-water
+// mark) matters because the serializer's memwriter emits its output
+// high-to-low from the top of a large arena (§4.5.1): a prefix mark
+// would condemn the whole region on the first write.
 type Region struct {
-	Name  string
-	Base  uint64
-	data  []byte
-	dirty uint64 // end offset of the highest possibly-written byte
+	Name    string
+	Base    uint64
+	data    []byte
+	dirtyLo uint64 // start offset of the lowest possibly-written byte
+	dirtyHi uint64 // end offset of the highest possibly-written byte
 }
 
 // Size returns the region's size in bytes.
@@ -51,19 +56,37 @@ func (r *Region) Contains(addr, n uint64) bool {
 	return addr >= r.Base && n <= r.Size() && addr-r.Base <= r.Size()-n
 }
 
-// DirtyBytes returns the dirty high-water mark: the size of the prefix
-// that may differ from the region's initial all-zero state.
-func (r *Region) DirtyBytes() uint64 { return r.dirty }
+// DirtyBytes returns the size of the dirty span: the tightest range that
+// may differ from the region's initial all-zero state.
+func (r *Region) DirtyBytes() uint64 { return r.dirtyHi - r.dirtyLo }
+
+// DirtySpan returns the dirty span as region-relative offsets [lo, hi).
+// A clean region returns (0, 0).
+func (r *Region) DirtySpan() (lo, hi uint64) { return r.dirtyLo, r.dirtyHi }
+
+// markDirty widens the dirty span to cover [off, off+n).
+func (r *Region) markDirty(off, n uint64) {
+	if r.dirtyHi == r.dirtyLo { // clean: adopt the write as the span
+		r.dirtyLo, r.dirtyHi = off, off+n
+		return
+	}
+	if off < r.dirtyLo {
+		r.dirtyLo = off
+	}
+	if off+n > r.dirtyHi {
+		r.dirtyHi = off + n
+	}
+}
 
 // ResetDirty restores the region to its freshly-mapped all-zero state,
-// zeroing only the dirty prefix. Slices previously obtained via Slice keep
+// zeroing only the dirty span. Slices previously obtained via Slice keep
 // aliasing the same backing bytes and observe the zeroing.
 func (r *Region) ResetDirty() {
-	b := r.data[:r.dirty]
+	b := r.data[r.dirtyLo:r.dirtyHi]
 	for i := range b {
 		b[i] = 0
 	}
-	r.dirty = 0
+	r.dirtyLo, r.dirtyHi = 0, 0
 }
 
 // Memory is the simulated physical memory.
@@ -123,7 +146,7 @@ func (m *Memory) find(addr, n uint64) (*Region, error) {
 // fast path for streaming units (memloader, memwriter, memcpy).
 // Zero-length slices succeed at any address (including one past a region's
 // end, where an empty high-to-low output lands). The caller may write
-// through the slice, so the region's dirty mark is advanced; read-only
+// through the slice, so the region's dirty span is widened; read-only
 // paths should use View instead.
 func (m *Memory) Slice(addr, n uint64) ([]byte, error) {
 	if n == 0 {
@@ -134,9 +157,7 @@ func (m *Memory) Slice(addr, n uint64) ([]byte, error) {
 		return nil, err
 	}
 	off := addr - r.Base
-	if off+n > r.dirty {
-		r.dirty = off + n
-	}
+	r.markDirty(off, n)
 	return r.data[off : off+n : off+n], nil
 }
 
@@ -156,7 +177,7 @@ func (m *Memory) View(addr, n uint64) ([]byte, error) {
 }
 
 // ResetDirty restores every region to its freshly-mapped all-zero state,
-// zeroing only dirty prefixes (see Region.ResetDirty).
+// zeroing only dirty spans (see Region.ResetDirty).
 func (m *Memory) ResetDirty() {
 	for _, r := range m.regions {
 		r.ResetDirty()

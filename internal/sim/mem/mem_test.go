@@ -169,53 +169,86 @@ func TestMappedBytes(t *testing.T) {
 	}
 }
 
-func TestDirtyHighWaterMark(t *testing.T) {
+func TestDirtySpanTracking(t *testing.T) {
 	m := New()
 	r := m.Map("buf", 4096)
 	if r.DirtyBytes() != 0 {
 		t.Fatalf("fresh region dirty = %d", r.DirtyBytes())
 	}
-	// A write advances the mark to the end of the access.
+	// The first write seeds the span with exactly the accessed range.
 	if err := m.Write64(r.Base+100, 1); err != nil {
 		t.Fatal(err)
 	}
-	if r.DirtyBytes() != 108 {
-		t.Errorf("dirty after Write64@100 = %d, want 108", r.DirtyBytes())
+	if lo, hi := r.DirtySpan(); lo != 100 || hi != 108 {
+		t.Errorf("span after Write64@100 = [%d, %d), want [100, 108)", lo, hi)
 	}
-	// A write below the mark leaves it in place.
+	if r.DirtyBytes() != 8 {
+		t.Errorf("dirty after Write64@100 = %d, want 8", r.DirtyBytes())
+	}
+	// A write below the span extends it downward.
 	if err := m.Write8(r.Base+10, 2); err != nil {
 		t.Fatal(err)
 	}
-	if r.DirtyBytes() != 108 {
-		t.Errorf("dirty after low write = %d, want 108", r.DirtyBytes())
+	if lo, hi := r.DirtySpan(); lo != 10 || hi != 108 {
+		t.Errorf("span after low write = [%d, %d), want [10, 108)", lo, hi)
 	}
-	// A write above the mark advances it.
+	// A write above the span extends it upward.
 	if err := m.WriteBytes(r.Base+200, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	if r.DirtyBytes() != 203 {
-		t.Errorf("dirty after high write = %d, want 203", r.DirtyBytes())
+	if lo, hi := r.DirtySpan(); lo != 10 || hi != 203 {
+		t.Errorf("span after high write = [%d, %d), want [10, 203)", lo, hi)
 	}
-	// Reads do not advance the mark.
+	// Reads do not widen the span.
 	if _, err := m.Read64(r.Base + 1000); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := m.View(r.Base+2000, 64); err != nil {
 		t.Fatal(err)
 	}
-	if r.DirtyBytes() != 203 {
-		t.Errorf("dirty after reads = %d, want 203", r.DirtyBytes())
+	if r.DirtyBytes() != 193 {
+		t.Errorf("dirty after reads = %d, want 193", r.DirtyBytes())
 	}
 	// Slice conservatively dirties its whole range (callers may write).
 	if _, err := m.Slice(r.Base+300, 8); err != nil {
 		t.Fatal(err)
 	}
-	if r.DirtyBytes() != 308 {
-		t.Errorf("dirty after Slice = %d, want 308", r.DirtyBytes())
+	if lo, hi := r.DirtySpan(); lo != 10 || hi != 308 {
+		t.Errorf("span after Slice = [%d, %d), want [10, 308)", lo, hi)
 	}
 }
 
-func TestResetDirtyZeroesOnlyTouchedPrefix(t *testing.T) {
+func TestDirtySpanHighToLowWrites(t *testing.T) {
+	// The serializer writes its output arena from the top end downward; a
+	// span must stay proportional to the touched bytes, not region size.
+	m := New()
+	r := m.Map("out", 1<<20)
+	end := r.End()
+	if err := m.WriteBytes(end-64, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBytes(end-128, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if r.DirtyBytes() != 128 {
+		t.Errorf("dirty after two top-end writes = %d, want 128", r.DirtyBytes())
+	}
+	if lo, hi := r.DirtySpan(); lo != r.Size()-128 || hi != r.Size() {
+		t.Errorf("span = [%d, %d), want [%d, %d)", lo, hi, r.Size()-128, r.Size())
+	}
+	r.ResetDirty()
+	buf := make([]byte, 128)
+	if err := m.ReadBytes(end-128, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x after reset, want 0", i, b)
+		}
+	}
+}
+
+func TestResetDirtyZeroesOnlyTouchedSpan(t *testing.T) {
 	m := New()
 	r := m.Map("buf", 4096)
 	if err := m.WriteBytes(r.Base+8, []byte{0xaa, 0xbb, 0xcc}); err != nil {

@@ -358,10 +358,16 @@ func (a *Accelerator) Timeline() float64 { return a.cumDispatch }
 // the units' cumulative counters are all cleared. Required before reusing
 // a pooled System so cycle deltas start from zero exactly as they would
 // on a fresh accelerator.
+//
+// The per-operation stat logs are truncated in place rather than
+// reallocated: a recycled System appends one Stats record per do_proto_*
+// element, and dropping the backing arrays made every batch re-grow them
+// element by element (measured while profiling the serving path).
 func (a *Accelerator) Reset() {
 	a.clearInfo()
 	a.dispatch, a.deserInFlight, a.serInFlight, a.mopsInFlight = 0, 0, 0, 0
-	a.DeserOps, a.SerOps, a.MopsOps, a.CopyResults = nil, nil, nil, nil
+	a.DeserOps, a.SerOps, a.MopsOps, a.CopyResults =
+		a.DeserOps[:0], a.SerOps[:0], a.MopsOps[:0], a.CopyResults[:0]
 	a.commands, a.fences, a.deserOps, a.serOps, a.mopsOps = 0, 0, 0, 0, 0
 	a.cumDispatch = 0
 	a.pendingDeser, a.pendingSer, a.pendingMops, a.queueHighWater = 0, 0, 0, 0

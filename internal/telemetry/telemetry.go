@@ -110,10 +110,15 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	return out
 }
 
-// group is one registered collector with its name prefix.
+// group is one registered collector with its name prefix. The full
+// "<prefix>/<name>" strings are interned on first enumeration and reused
+// afterwards — the Collector contract guarantees a stable shape, and
+// snapshotting is on the serving hot path (once per batch), where
+// rebuilding a couple hundred concatenated names dominated the cost.
 type group struct {
 	prefix string
 	c      Collector
+	names  []string // cached full names, built on first enumeration
 }
 
 // Registry is an ordered set of named counter groups. The zero value is
@@ -154,10 +159,26 @@ func (r *Registry) Snapshot() Snapshot {
 // snapshotting (per-op deltas) stops allocating once the shape is known.
 func (r *Registry) SnapshotInto(s *Snapshot) {
 	s.samples = s.samples[:0]
-	for _, g := range r.groups {
-		prefix := g.prefix
+	for gi := range r.groups {
+		g := &r.groups[gi]
+		if g.names == nil {
+			g.c.CollectTelemetry(func(name string, value float64) {
+				full := g.prefix + "/" + name
+				g.names = append(g.names, full)
+				s.samples = append(s.samples, Sample{Name: full, Value: value})
+			})
+			continue
+		}
+		i := 0
 		g.c.CollectTelemetry(func(name string, value float64) {
-			s.samples = append(s.samples, Sample{Name: prefix + "/" + name, Value: value})
+			// Interned fast path; fall back to concatenation if a collector
+			// ever emits more counters than its first enumeration did.
+			if i < len(g.names) {
+				s.samples = append(s.samples, Sample{Name: g.names[i], Value: value})
+			} else {
+				s.samples = append(s.samples, Sample{Name: g.prefix + "/" + name, Value: value})
+			}
+			i++
 		})
 	}
 }
@@ -235,8 +256,9 @@ type Hub struct {
 	Registry Registry
 	Tracer   Tracer
 
-	perOp bool
-	prev  Snapshot // scratch for per-op deltas
+	perOp    bool
+	attrOnly bool
+	prev     Snapshot // scratch for per-op deltas
 }
 
 // EnablePerOp toggles per-operation Result attachment (counter deltas and
@@ -245,6 +267,19 @@ func (h *Hub) EnablePerOp(on bool) { h.perOp = on }
 
 // PerOpEnabled reports whether per-op attachment is on.
 func (h *Hub) PerOpEnabled() bool { return h != nil && h.perOp }
+
+// EnableAttribution toggles attribution-only Result attachment for the
+// batch operations: Results carry a cycle Attribution (computed from unit
+// stat deltas, a handful of field reads) but no counter snapshot delta.
+// The serving data plane uses this instead of EnablePerOp — two full
+// registry snapshots plus a positional delta per batch were a measured
+// double-digit share of serving CPU, while the only per-batch consumer
+// was the attribution. Implied by EnablePerOp; off by default.
+func (h *Hub) EnableAttribution(on bool) { h.attrOnly = on }
+
+// AttributionEnabled reports whether batch Results should carry a cycle
+// attribution (with or without the counter delta).
+func (h *Hub) AttributionEnabled() bool { return h != nil && (h.perOp || h.attrOnly) }
 
 // OpBegin snapshots the registry before an operation when per-op
 // telemetry is on, returning false (and doing nothing) otherwise.
@@ -271,5 +306,6 @@ func (h *Hub) OpEnd(attr Attribution) *OpTelemetry {
 func (h *Hub) Reset() {
 	h.Tracer.Reset()
 	h.perOp = false
+	h.attrOnly = false
 	h.prev.samples = h.prev.samples[:0]
 }
