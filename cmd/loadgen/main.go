@@ -8,13 +8,14 @@
 //
 // Usage:
 //
-//	loadgen [-addr host:port] [-schema name] [-op deser|ser|both]
+//	loadgen [-addr host:port] [-admin-url url] [-schema name]
+//	        [-op deser|ser|both]
 //	        [-duration d] [-concurrency n] [-rate rps] [-timeout d]
-//	        [-check] [-out file]
+//	        [-check] [-out file] [-scrape file] [-trace-out file]
 //	        [-tiles n] [-routing p2c|rr] [-tile-sweep 1,2,4]
 //	        [-workers n] [-max-batch n] [-batch-window d] [-queue-depth n]
 //	        [-faults rate[@site,...]] [-fault-seed n] [-fault-tiles 0,2]
-//	        [-stats-out file]
+//	        [-stats-out file] [-span-sample-n n]
 //
 // With -addr it dials an already-running daemon over TCP (one connection
 // per worker). Without -addr it starts an in-process server and drives it
@@ -22,6 +23,16 @@
 // in results/serve_throughput.md is measured with; the -tiles through
 // -stats-out flags configure that in-process server and are rejected with
 // -addr.
+//
+// -scrape writes an observability report pairing the client-observed
+// latency percentiles with the server-side stage breakdown (queue wait,
+// coalesce wait, batch build, execute, respond write) — the measurement
+// behind results/serve_observability.md. Against an in-process server the
+// breakdown is read directly; with -addr it comes from the daemon's admin
+// endpoint, named by -admin-url, which loadgen scrapes at ~10Hz for the
+// whole run (each tick also validates the /metrics Prometheus exposition
+// parses). -trace-out saves the sampled lifecycle spans as Perfetto trace
+// JSON (in-process with -span-sample-n, or fetched from -admin-url).
 //
 // -tile-sweep runs the whole pass set once per listed tile count, each
 // against a fresh in-process server, and reports throughput scaling over
@@ -33,9 +44,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -58,6 +71,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = server default)")
 	check := flag.Bool("check", true, "verify each OK response is byte-identical to its payload")
 	out := flag.String("out", "", "write a markdown report to this file (e.g. results/serve_throughput.md)")
+	scrape := flag.String("scrape", "", "write an observability report (client latency + server stage breakdown) to this markdown file; with -addr requires -admin-url")
+	adminURL := flag.String("admin-url", "", "admin endpoint base URL of the -addr daemon (e.g. http://127.0.0.1:7412); scraped at ~10Hz during passes")
+	traceOut := flag.String("trace-out", "", "write sampled lifecycle spans as Perfetto trace JSON to this file (in-process: enable -span-sample-n; with -addr: fetched from -admin-url /spans)")
 
 	tiles := flag.Int("tiles", 0, "in-process server: accelerator tiles behind the router (0 = default 1)")
 	routing := flag.String("routing", "p2c", "in-process server: tile placement policy, p2c or rr")
@@ -72,6 +88,7 @@ func main() {
 	statsOut := flag.String("stats-out", "", "in-process server: write merged telemetry counters on exit")
 	cycleMode := flag.String("cycle-mode", "exact", "in-process server cycle accounting: exact (every request) or sampled (1-in-N requests carry full attribution)")
 	cycleSampleN := flag.Int("cycle-sample-n", 0, "in-process server: sampling period for -cycle-mode sampled (0 = default 8)")
+	spanSampleN := flag.Int("span-sample-n", 0, "in-process server: sample every N'th admitted request with a lifecycle span (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run (loadgen + in-process server) to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -106,9 +123,21 @@ func main() {
 	serverFlags := *tiles != 0 || *routing != "p2c" || *tileSweep != "" ||
 		*workers != 0 || *maxBatch != 0 || *batchWindow != 0 ||
 		*queueDepth != 0 || *faultSpec != "" || *faultTiles != "" || *statsOut != "" ||
-		*cycleMode != "exact" || *cycleSampleN != 0
+		*cycleMode != "exact" || *cycleSampleN != 0 || *spanSampleN != 0
 	if *addr != "" && serverFlags {
-		fmt.Fprintln(os.Stderr, "loadgen: -tiles/-routing/-tile-sweep/-workers/-max-batch/-batch-window/-queue-depth/-faults/-fault-tiles/-stats-out/-cycle-mode/-cycle-sample-n configure the in-process server and conflict with -addr")
+		fmt.Fprintln(os.Stderr, "loadgen: -tiles/-routing/-tile-sweep/-workers/-max-batch/-batch-window/-queue-depth/-faults/-fault-tiles/-stats-out/-cycle-mode/-cycle-sample-n/-span-sample-n configure the in-process server and conflict with -addr")
+		os.Exit(2)
+	}
+	if *adminURL != "" && *addr == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -admin-url names a remote daemon's admin endpoint and needs -addr (the in-process server is read directly)")
+		os.Exit(2)
+	}
+	if *addr != "" && (*scrape != "" || *traceOut != "") && *adminURL == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -scrape/-trace-out against a remote daemon need -admin-url")
+		os.Exit(2)
+	}
+	if *scrape != "" && *tileSweep != "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -scrape does not combine with -tile-sweep (one report per server)")
 		os.Exit(2)
 	}
 	cycles, err := serve.ParseCycleMode(*cycleMode)
@@ -167,6 +196,7 @@ func main() {
 		QueueDepth:   *queueDepth,
 		CycleMode:    cycles,
 		CycleSampleN: *cycleSampleN,
+		SpanSampleN:  *spanSampleN,
 		Faults:       faultCfg,
 	}
 	runOpts := serve.LoadgenOptions{
@@ -210,6 +240,11 @@ func main() {
 
 	fmt.Printf("loadgen: target %s, %s, concurrency %d, %v per pass\n", target, mode, *concurrency, *duration)
 
+	var sc *scraper
+	if *adminURL != "" {
+		sc = startScraper(*adminURL)
+	}
+
 	var reports []*serve.LoadgenReport
 	failed := false
 	for _, name := range schemas {
@@ -231,6 +266,15 @@ func main() {
 		}
 	}
 
+	if sc != nil {
+		sc.stop()
+		fmt.Printf("loadgen: admin scrape: %d ticks, %d scrape errors, %d exposition errors\n",
+			sc.scrapes, sc.failures, sc.invalid)
+		if sc.invalid > 0 || sc.scrapes == 0 {
+			failed = true
+		}
+	}
+
 	if *out != "" {
 		if err := writeMarkdown(*out, mode, *concurrency, *duration, reports); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -248,10 +292,188 @@ func main() {
 			fmt.Printf("server telemetry written to %s\n", *statsOut)
 		}
 	}
+
+	// Observability artifacts: the server-side view comes from the
+	// in-process server directly, or from the admin scraper's last
+	// /statusz capture against a remote daemon.
+	var status *serve.Statusz
+	if srv != nil {
+		status = srv.StatuszSnapshot(nil)
+	} else if sc != nil {
+		status = sc.last
+	}
+	if *scrape != "" {
+		if status == nil {
+			fmt.Fprintln(os.Stderr, "loadgen: -scrape: no server-side snapshot captured (is -admin-url reachable?)")
+			os.Exit(1)
+		}
+		if err := writeObsMarkdown(*scrape, mode, *concurrency, *duration, reports, status, sc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability report written to %s\n", *scrape)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, srv, *adminURL); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("span trace written to %s\n", *traceOut)
+	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "loadgen: FAILED (check failures or transport errors)")
+		fmt.Fprintln(os.Stderr, "loadgen: FAILED (check failures, transport errors, or admin scrape errors)")
 		os.Exit(1)
 	}
+}
+
+// scraper polls a daemon's admin endpoint at ~10Hz for the whole run:
+// each tick fetches /statusz (keeping the last decoded snapshot) and
+// validates the /metrics Prometheus exposition parses — exercising the
+// scrape path concurrently with serving traffic is exactly the condition
+// the observability plane's determinism guard covers.
+type scraper struct {
+	base   string
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	last     *serve.Statusz
+	scrapes  int // successful /statusz captures
+	failures int // transport/decode errors
+	invalid  int // /metrics expositions that failed validation
+}
+
+func startScraper(base string) *scraper {
+	sc := &scraper{base: strings.TrimSuffix(base, "/"), stopCh: make(chan struct{}), doneCh: make(chan struct{})}
+	client := &http.Client{Timeout: 2 * time.Second}
+	go func() {
+		defer close(sc.doneCh)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			sc.tick(client)
+			select {
+			case <-sc.stopCh:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return sc
+}
+
+func (sc *scraper) tick(client *http.Client) {
+	resp, err := client.Get(sc.base + "/statusz")
+	if err != nil {
+		sc.failures++
+		return
+	}
+	var doc serve.Statusz
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		sc.failures++
+		return
+	}
+	sc.last = &doc
+	sc.scrapes++
+
+	mresp, err := client.Get(sc.base + "/metrics")
+	if err != nil {
+		sc.failures++
+		return
+	}
+	err = telemetry.ValidatePrometheus(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: /metrics exposition invalid:", err)
+		sc.invalid++
+	}
+}
+
+// stop ends the polling loop and waits for the in-flight tick.
+func (sc *scraper) stop() {
+	close(sc.stopCh)
+	<-sc.doneCh
+}
+
+// writeTrace saves the sampled lifecycle spans as Perfetto trace JSON,
+// from the in-process server or the remote daemon's /spans endpoint.
+func writeTrace(path string, srv *serve.Server, adminURL string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if srv != nil {
+		return telemetry.WritePerfetto(f, srv.SpanEvents())
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(strings.TrimSuffix(adminURL, "/") + "/spans")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: /spans returned %s", resp.Status)
+	}
+	_, err = io.Copy(f, resp.Body)
+	return err
+}
+
+// writeObsMarkdown writes the observability report: the client-observed
+// latency of each pass next to the server's own stage breakdown, so time
+// attributed inside the daemon (queue wait, coalescing, batch build,
+// execute, respond) can be read against the end-to-end percentiles the
+// client saw.
+func writeObsMarkdown(path, mode string, concurrency int, duration time.Duration, reports []*serve.LoadgenReport, status *serve.Statusz, sc *scraper) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# Serving observability (loadgen -scrape)\n\n")
+	fmt.Fprintf(f, "Mode: %s, concurrency %d, %v per pass, GOMAXPROCS=%d, %s.\n",
+		mode, concurrency, duration, runtime.GOMAXPROCS(0), runtime.Version())
+	fmt.Fprintf(f, "Server: tiles=%d routing=%s workers=%d max-batch=%d cycle-mode=%s span-sample-n=%d.\n",
+		status.Config.Tiles, status.Config.Routing, status.Config.Workers,
+		status.Config.MaxBatch, status.Config.CycleMode, status.Config.SpanSampleN)
+	if sc != nil {
+		fmt.Fprintf(f, "Server-side view scraped from the admin endpoint at ~10Hz under load: %d ticks, %d scrape errors, %d exposition errors.\n",
+			sc.scrapes, sc.failures, sc.invalid)
+	} else {
+		fmt.Fprintf(f, "Server-side view read from the in-process server after the passes.\n")
+	}
+	fmt.Fprintf(f, "\n## Client-observed latency\n\n")
+	fmt.Fprintf(f, "| schema | op | req/s | ok | p50 | p99 | p999 | mean |\n")
+	fmt.Fprintf(f, "|---|---|---:|---:|---:|---:|---:|---:|\n")
+	for _, r := range reports {
+		fmt.Fprintf(f, "| %s | %s | %.0f | %d | %v | %v | %v | %v |\n",
+			r.Schema, r.Op, r.RPS(), r.OK,
+			r.Latency.Quantile(0.50), r.Latency.Quantile(0.99), r.Latency.Quantile(0.999), r.Latency.Mean())
+	}
+	fmt.Fprintf(f, "\n## Server-side stage breakdown (merged across tiles)\n\n")
+	fmt.Fprintf(f, "batch_size is in requests per executed batch; every other row is time per\n")
+	fmt.Fprintf(f, "request in that lifecycle stage. e2e spans admit to respond and is the\n")
+	fmt.Fprintf(f, "server-side counterpart of the client percentiles above (minus transport).\n\n")
+	fmt.Fprintf(f, "| stage | count | p50 | p99 | max | mean |\n")
+	fmt.Fprintf(f, "|---|---:|---:|---:|---:|---:|\n")
+	for _, st := range status.Stages {
+		if st.Stage == "batch_size" {
+			fmt.Fprintf(f, "| %s | %d | %d | %d | %d | %d |\n",
+				st.Stage, st.Count, st.P50NS, st.P99NS, st.MaxNS, st.MeanNS)
+			continue
+		}
+		fmt.Fprintf(f, "| %s | %d | %v | %v | %v | %v |\n",
+			st.Stage, st.Count,
+			time.Duration(st.P50NS), time.Duration(st.P99NS),
+			time.Duration(st.MaxNS), time.Duration(st.MeanNS))
+	}
+	if status.Spans.SampleN > 0 {
+		fmt.Fprintf(f, "\nSpans: 1-in-%d sampling, %d sampled, %d completed, %d overwritten, %d buffered.\n",
+			status.Spans.SampleN, status.Spans.Sampled, status.Spans.Completed,
+			status.Spans.Dropped, status.Spans.Buffered)
+	}
+	return nil
 }
 
 // parseTileList parses a comma-separated list of tile ids; empty means
@@ -297,7 +519,7 @@ type sweepPoint struct {
 	shed     uint64
 	fellBack uint64
 	failures uint64
-	latency  serve.Histogram
+	latency  telemetry.Histogram
 }
 
 func (p *sweepPoint) rps() float64 {

@@ -7,24 +7,39 @@
 //
 // Usage:
 //
-//	protoaccd [-listen addr] [-tiles n] [-routing p2c|rr] [-workers n]
-//	          [-max-batch n] [-batch-window d] [-queue-depth n]
+//	protoaccd [-listen addr] [-admin addr] [-tiles n] [-routing p2c|rr]
+//	          [-workers n] [-max-batch n] [-batch-window d] [-queue-depth n]
 //	          [-max-payload n] [-deadline d]
 //	          [-cycle-mode exact|sampled] [-cycle-sample-n n]
+//	          [-span-sample-n n]
 //	          [-faults rate[@site,...]] [-fault-seed n] [-fault-tiles 0,2]
 //	          [-stats-out file] [-cpuprofile file] [-memprofile file]
 //
-// On SIGINT/SIGTERM the daemon drains in-flight work, then (with
-// -stats-out) writes the merged telemetry counters — the serving group
-// (queue, batching, shed/fallback, per-tile serve/tile<i>/ breakdowns)
-// plus every accelerator unit's counters aggregated across batches — as
-// JSON, or Prometheus text with a .prom suffix.
+// -admin serves the live observability plane on a second listener:
+// /metrics (Prometheus text: counters, gauges, per-tile stage
+// histograms), /healthz (per-tile quarantine/breaker state), /statusz
+// (JSON snapshot; ?write=1 flushes -stats-out mid-run), /spans (sampled
+// lifecycle spans as Perfetto trace JSON), and /debug/pprof. All admin
+// handlers are read-passive: scraping them perturbs neither responses
+// nor exact-mode counters.
+//
+// -span-sample-n N samples every N'th admitted request with a lifecycle
+// span (admit → queue → coalesce → execute → respond) for /spans.
+//
+// On SIGINT/SIGTERM — or a fatal listener accept error — the daemon
+// drains in-flight work, then (with -stats-out) writes the merged
+// telemetry counters — the serving group (queue, batching,
+// shed/fallback, per-tile serve/tile<i>/ breakdowns) plus every
+// accelerator unit's counters aggregated across batches — as JSON, or
+// Prometheus text with a .prom suffix. SIGUSR1 writes the same artifact
+// mid-run without draining.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -32,6 +47,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -42,6 +58,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7411", "TCP listen address")
+	admin := flag.String("admin", "", "HTTP admin listen address (/metrics, /healthz, /statusz, /spans, /debug/pprof); empty disables")
 	tiles := flag.Int("tiles", 0, "independent accelerator tiles behind the router (0 = default 1)")
 	routing := flag.String("routing", "p2c", "tile placement policy: p2c (power-of-two-choices + work stealing) or rr (deterministic round-robin)")
 	workers := flag.Int("workers", 0, "total batch executors, split across tiles (0 = GOMAXPROCS)")
@@ -56,6 +73,7 @@ func main() {
 	statsOut := flag.String("stats-out", "", "write merged telemetry counters to this file on shutdown (JSON, or Prometheus text with a .prom suffix)")
 	cycleMode := flag.String("cycle-mode", "exact", "cycle accounting: exact (every request runs the full cycle model) or sampled (1-in-N batches carry attribution, rest run functional-only)")
 	cycleSampleN := flag.Int("cycle-sample-n", 0, "sampling period for -cycle-mode sampled (0 = default 8)")
+	spanSampleN := flag.Int("span-sample-n", 0, "sample every N'th admitted request with a lifecycle span for the admin /spans endpoint (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the serving run to this file (stopped at drain)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after drain")
 	flag.Parse()
@@ -105,6 +123,7 @@ func main() {
 		Deadline:     *deadline,
 		CycleMode:    cycles,
 		CycleSampleN: *cycleSampleN,
+		SpanSampleN:  *spanSampleN,
 		Faults:       faultCfg,
 	})
 	if err != nil {
@@ -120,19 +139,69 @@ func main() {
 	fmt.Printf("protoaccd listening on %s (schemas: %s; tiles=%d routing=%s workers=%d)\n",
 		ln.Addr(), strings.Join(srv.Catalog().Names(), ","), srv.Tiles(), srv.Routing(), srv.Workers())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(ln) }()
-	select {
-	case s := <-sig:
-		fmt.Printf("protoaccd: %v, draining\n", s)
-	case err := <-done:
+	// flushStats serializes mid-run stats writes (SIGUSR1 and
+	// /statusz?write=1 may race) against the shutdown write.
+	var statsMu sync.Mutex
+	flushStats := func() (string, error) {
+		statsMu.Lock()
+		defer statsMu.Unlock()
+		if err := writeStats(*statsOut, srv); err != nil {
+			return "", err
+		}
+		return *statsOut, nil
+	}
+
+	var adminLn net.Listener
+	if *admin != "" {
+		adminLn, err = net.Listen("tcp", *admin)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		adminOpts := serve.AdminOptions{Manifest: buildManifest(srv)}
+		if *statsOut != "" {
+			adminOpts.FlushStats = flushStats
+		}
+		adminSrv := &http.Server{Handler: serve.NewAdminHandler(srv, adminOpts)}
+		go adminSrv.Serve(adminLn)
+		fmt.Printf("protoaccd admin on http://%s (/metrics /healthz /statusz /spans /debug/pprof)\n", adminLn.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+run:
+	for {
+		select {
+		case s := <-sig:
+			fmt.Printf("protoaccd: %v, draining\n", s)
+			break run
+		case <-usr1:
+			if *statsOut == "" {
+				fmt.Fprintln(os.Stderr, "protoaccd: SIGUSR1 ignored (no -stats-out)")
+				continue
+			}
+			if path, err := flushStats(); err != nil {
+				fmt.Fprintln(os.Stderr, "protoaccd: SIGUSR1 stats flush:", err)
+			} else {
+				fmt.Printf("telemetry counters written to %s (SIGUSR1)\n", path)
+			}
+		case err := <-done:
+			// A fatal accept error ends serving; fall through to the same
+			// drain + stats path a signal takes, so -stats-out still fires.
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "protoaccd: listener failed, draining:", err)
+			}
+			break run
 		}
 	}
 	start := time.Now()
+	if adminLn != nil {
+		adminLn.Close()
+	}
 	srv.Close()
 	fmt.Printf("protoaccd: drained in %v\n", time.Since(start).Round(time.Millisecond))
 	if *cpuprofile != "" {
@@ -159,7 +228,7 @@ func main() {
 	}
 
 	if *statsOut != "" {
-		if err := writeStats(*statsOut, srv); err != nil {
+		if _, err := flushStats(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -188,18 +257,9 @@ func parseTileList(s string) ([]int, error) {
 	return out, nil
 }
 
-// writeStats writes the server's merged telemetry snapshot with a
-// provenance manifest.
-func writeStats(path string, srv *serve.Server) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	snap := srv.TelemetrySnapshot()
-	if strings.HasSuffix(path, ".prom") {
-		return telemetry.WritePrometheus(f, snap)
-	}
+// buildManifest assembles the provenance manifest stats artifacts and
+// /statusz carry.
+func buildManifest(srv *serve.Server) *telemetry.Manifest {
 	m := &telemetry.Manifest{
 		Command:           "protoaccd " + strings.Join(os.Args[1:], " "),
 		GoVersion:         runtime.Version(),
@@ -216,5 +276,20 @@ func writeStats(path string, srv *serve.Server) error {
 			}
 		}
 	}
-	return telemetry.WriteStatsJSON(f, m, snap)
+	return m
+}
+
+// writeStats writes the server's merged telemetry snapshot with a
+// provenance manifest.
+func writeStats(path string, srv *serve.Server) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap := srv.TelemetrySnapshot()
+	if strings.HasSuffix(path, ".prom") {
+		return telemetry.WritePrometheus(f, snap)
+	}
+	return telemetry.WriteStatsJSON(f, buildManifest(srv), snap)
 }

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"protoacc/internal/telemetry"
+)
+
+// Admin endpoint: a read-only HTTP plane for a running daemon. Every
+// handler is a pure observer — it snapshots counters, evaluates gauges,
+// and reads histogram shards, but never takes a lock the serving path
+// holds across a batch and never writes serving state. The admin
+// determinism test pins that contract: a scraper polling these handlers
+// at 10Hz changes neither responses nor exact-mode counters.
+
+// AdminOptions configures the admin handler.
+type AdminOptions struct {
+	// Manifest describes the build and invocation for /statusz (nil omits
+	// the build section).
+	Manifest *telemetry.Manifest
+
+	// FlushStats, when non-nil, is invoked by /statusz?write=1 to write
+	// the daemon's -stats-out artifact mid-run (the same writer the
+	// shutdown path uses). It returns the path written.
+	FlushStats func() (string, error)
+}
+
+// TileHealth is one tile's entry in the /healthz report. A tile is
+// degraded when its configuration quarantines it behind a fault schedule,
+// when its pool has dropped poisoned Systems, or when its admission queue
+// is saturated (the shed breaker: new arrivals routed here are shed).
+type TileHealth struct {
+	Tile            int    `json:"tile"`
+	QueueDepth      int    `json:"queue_depth"`
+	QueueCapacity   int    `json:"queue_capacity"`
+	InflightBatches int64  `json:"inflight_batches"`
+	Residents       int    `json:"residents"`
+	FaultInjected   bool   `json:"fault_injected"`
+	PoolDrops       uint64 `json:"pool_drops"`
+	AccelFallbacks  uint64 `json:"accel_fallbacks"`
+	ServerFallbacks uint64 `json:"server_fallbacks"`
+	Retries         uint64 `json:"retries"`
+	Degraded        bool   `json:"degraded"`
+}
+
+// Health reports per-tile quarantine/breaker state.
+func (s *Server) Health() []TileHealth {
+	out := make([]TileHealth, len(s.tiles))
+	for i, t := range s.tiles {
+		t.mu.Lock()
+		st := t.stats
+		t.mu.Unlock()
+		t.resMu.Lock()
+		residents := t.residentN
+		t.resMu.Unlock()
+		h := TileHealth{
+			Tile:            t.id,
+			QueueDepth:      len(t.queue),
+			QueueCapacity:   s.opts.QueueDepth,
+			InflightBatches: t.obs.inflight.Load(),
+			Residents:       residents,
+			FaultInjected:   t.cfg.Faults.Enabled,
+			PoolDrops:       t.pool.Counters().Drops,
+			AccelFallbacks:  st.accelFallbacks,
+			ServerFallbacks: st.serverFallbacks,
+			Retries:         st.retryEvents,
+		}
+		h.Degraded = h.FaultInjected || h.PoolDrops > 0 || h.QueueDepth >= h.QueueCapacity
+		out[i] = h
+	}
+	return out
+}
+
+// Closed reports whether the server has begun shutting down (admission
+// sheds everything).
+func (s *Server) Closed() bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	return s.closed
+}
+
+// healthzDoc is the /healthz response body.
+type healthzDoc struct {
+	Status string       `json:"status"` // "ok" or "closing"
+	Tiles  []TileHealth `json:"tiles"`
+}
+
+// SpanStats summarizes the span sampler for /statusz.
+type SpanStats struct {
+	SampleN   int    `json:"sample_n"` // 0 = sampling off
+	Sampled   uint64 `json:"sampled"`
+	Completed uint64 `json:"completed"`
+	Dropped   uint64 `json:"dropped"` // ring overwrites
+	Buffered  int    `json:"buffered"`
+}
+
+// StatuszConfig echoes the serving configuration in /statusz.
+type StatuszConfig struct {
+	Tiles         int    `json:"tiles"`
+	Routing       string `json:"routing"`
+	Workers       int    `json:"workers"`
+	MaxBatch      int    `json:"max_batch"`
+	BatchWindowNS int64  `json:"batch_window_ns"`
+	QueueDepth    int    `json:"queue_depth"`
+	MaxPayload    int    `json:"max_payload"`
+	CycleMode     string `json:"cycle_mode"`
+	CycleSampleN  int    `json:"cycle_sample_n"`
+	SpanSampleN   int    `json:"span_sample_n"`
+	Fingerprint   string `json:"config_fingerprint"`
+}
+
+// StatuszSchema identifies the /statusz JSON format.
+const StatuszSchema = "protoacc-statusz/v1"
+
+// Statusz is the /statusz JSON document: a point-in-time snapshot of
+// everything the daemon knows about itself — build and config manifest,
+// the exact counter snapshot, live gauges, merged stage summaries, span
+// sampler state, and per-tile health.
+type Statusz struct {
+	Schema        string              `json:"schema"`
+	Build         *telemetry.Manifest `json:"build,omitempty"`
+	Config        StatuszConfig       `json:"config"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	Counters      map[string]float64  `json:"counters"`
+	Gauges        map[string]float64  `json:"gauges"`
+	Stages        []StageSummary      `json:"stages"`
+	Spans         SpanStats           `json:"spans"`
+	Tiles         []TileHealth        `json:"tiles"`
+	StatsWritten  string              `json:"stats_written,omitempty"`
+}
+
+// StatuszSnapshot assembles the /statusz document (also used directly by
+// loadgen's in-process -scrape report).
+func (s *Server) StatuszSnapshot(manifest *telemetry.Manifest) *Statusz {
+	counters := make(map[string]float64)
+	for _, sm := range s.TelemetrySnapshot().Samples() {
+		counters[sm.Name] = sm.Value
+	}
+	gauges := make(map[string]float64)
+	for _, g := range s.obs.reg.GaugeValues() {
+		gauges[g.Name] = g.Value
+	}
+	sampled, completed, dropped := s.obs.spanCounters()
+	s.obs.spanMu.Lock()
+	buffered := len(s.obs.spans)
+	s.obs.spanMu.Unlock()
+	return &Statusz{
+		Schema: StatuszSchema,
+		Build:  manifest,
+		Config: StatuszConfig{
+			Tiles:         len(s.tiles),
+			Routing:       s.opts.Routing.String(),
+			Workers:       s.Workers(),
+			MaxBatch:      s.opts.MaxBatch,
+			BatchWindowNS: int64(s.opts.BatchWindow),
+			QueueDepth:    s.opts.QueueDepth,
+			MaxPayload:    s.opts.MaxPayload,
+			CycleMode:     s.opts.CycleMode.String(),
+			CycleSampleN:  s.opts.CycleSampleN,
+			SpanSampleN:   s.opts.SpanSampleN,
+			Fingerprint:   s.ConfigFingerprint(),
+		},
+		UptimeSeconds: time.Since(s.obs.start).Seconds(),
+		Counters:      counters,
+		Gauges:        gauges,
+		Stages:        s.StageSummaries(),
+		Spans: SpanStats{
+			SampleN: s.opts.SpanSampleN, Sampled: sampled,
+			Completed: completed, Dropped: dropped, Buffered: buffered,
+		},
+		Tiles: s.Health(),
+	}
+}
+
+// NewAdminHandler builds the admin HTTP mux for a Server:
+//
+//	/metrics      Prometheus text exposition: counters, live gauges, and
+//	              per-tile stage histograms (tile-labeled families)
+//	/healthz      per-tile quarantine/breaker state; 503 once closing
+//	/statusz      JSON snapshot (build/config manifest, counters, gauges,
+//	              stage summaries, span stats, tile health); ?write=1
+//	              flushes the -stats-out artifact mid-run
+//	/spans        buffered lifecycle spans as Perfetto trace JSON
+//	/debug/pprof  the standard Go profiling endpoints
+func NewAdminHandler(s *Server, opts AdminOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		counters, gauges, hists := s.MetricsSnapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		telemetry.WritePrometheusMetrics(w, counters, gauges, hists)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		doc := healthzDoc{Status: "ok", Tiles: s.Health()}
+		code := http.StatusOK
+		if s.Closed() {
+			doc.Status = "closing"
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		doc := s.StatuszSnapshot(opts.Manifest)
+		if r.URL.Query().Get("write") == "1" {
+			if opts.FlushStats == nil {
+				http.Error(w, "statusz: no -stats-out configured", http.StatusBadRequest)
+				return
+			}
+			path, err := opts.FlushStats()
+			if err != nil {
+				http.Error(w, fmt.Sprintf("statusz: stats flush: %v", err), http.StatusInternalServerError)
+				return
+			}
+			doc.StatsWritten = path
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		telemetry.WritePerfetto(w, s.SpanEvents())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "protoaccd admin: /metrics /healthz /statusz /spans /debug/pprof\n")
+	})
+	return mux
+}

@@ -3,111 +3,11 @@ package serve
 import (
 	"bytes"
 	"fmt"
-	"math/bits"
 	"sync"
 	"time"
+
+	"protoacc/internal/telemetry"
 )
-
-// Latency histogram: log-linear buckets (one major per power of two,
-// histMinors linear minors per major), the usual HDR shape — constant
-// memory, ~6% worst-case relative error at the minor resolution, mergeable
-// across workers without locks on the hot path.
-
-const (
-	histMinors    = 16
-	histMinorBits = 4
-	histBuckets   = (64 - histMinorBits + 1) * histMinors
-)
-
-// Histogram counts latency samples in nanoseconds.
-type Histogram struct {
-	counts [histBuckets]uint64
-	total  uint64
-	sum    uint64
-	max    uint64
-}
-
-func histIndex(ns uint64) int {
-	if ns < histMinors {
-		return int(ns)
-	}
-	major := bits.Len64(ns) - 1 // >= histMinorBits
-	shift := uint(major - histMinorBits)
-	minor := (ns >> shift) & (histMinors - 1)
-	return (major-histMinorBits+1)*histMinors + int(minor)
-}
-
-// bucketUpper returns the largest value the bucket at idx can hold.
-func bucketUpper(idx int) uint64 {
-	if idx < histMinors {
-		return uint64(idx)
-	}
-	major := idx/histMinors + histMinorBits - 1
-	minor := uint64(idx % histMinors)
-	shift := uint(major - histMinorBits)
-	return ((histMinors+minor)<<shift | (1<<shift - 1))
-}
-
-// Record adds one sample.
-func (h *Histogram) Record(d time.Duration) {
-	ns := uint64(d)
-	if d < 0 {
-		ns = 0
-	}
-	h.counts[histIndex(ns)]++
-	h.total++
-	h.sum += ns
-	if ns > h.max {
-		h.max = ns
-	}
-}
-
-// Merge folds o into h.
-func (h *Histogram) Merge(o *Histogram) {
-	for i, c := range o.counts {
-		h.counts[i] += c
-	}
-	h.total += o.total
-	h.sum += o.sum
-	if o.max > h.max {
-		h.max = o.max
-	}
-}
-
-// Count returns the number of recorded samples.
-func (h *Histogram) Count() uint64 { return h.total }
-
-// Mean returns the mean sample.
-func (h *Histogram) Mean() time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	return time.Duration(h.sum / h.total)
-}
-
-// Quantile returns an upper bound on the q'th quantile (0 < q <= 1) at the
-// histogram's bucket resolution.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	rank := uint64(q * float64(h.total))
-	if rank >= h.total {
-		rank = h.total - 1
-	}
-	var seen uint64
-	for i, c := range h.counts {
-		seen += c
-		if seen > rank {
-			u := bucketUpper(i)
-			if u > h.max {
-				u = h.max
-			}
-			return time.Duration(u)
-		}
-	}
-	return time.Duration(h.max)
-}
 
 // LoadgenOptions configures one load-generation run.
 type LoadgenOptions struct {
@@ -163,7 +63,10 @@ type LoadgenReport struct {
 
 	CheckFailures uint64
 
-	Latency Histogram
+	// Latency is the client-observed end-to-end latency distribution,
+	// merged across workers (telemetry.Histogram records are atomic, so a
+	// per-worker shard plus a final Merge stays contention-free).
+	Latency telemetry.Histogram
 }
 
 // RPS returns completed (OK) requests per second.

@@ -451,34 +451,6 @@ func TestServeTCPChaos(t *testing.T) {
 	}
 }
 
-// The histogram's quantiles must bound true quantiles to bucket precision.
-func TestHistogramQuantiles(t *testing.T) {
-	var h Histogram
-	for i := 1; i <= 1000; i++ {
-		h.Record(time.Duration(i) * time.Microsecond)
-	}
-	if h.Count() != 1000 {
-		t.Fatalf("count = %d", h.Count())
-	}
-	for _, tc := range []struct {
-		q    float64
-		want time.Duration
-	}{
-		{0.50, 500 * time.Microsecond},
-		{0.99, 990 * time.Microsecond},
-		{0.999, 999 * time.Microsecond},
-	} {
-		got := h.Quantile(tc.q)
-		if got < tc.want || got > tc.want+tc.want/10 {
-			t.Errorf("q%.3f = %v, want within [%v, +10%%]", tc.q, got, tc.want)
-		}
-	}
-	var empty Histogram
-	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
-		t.Error("empty histogram quantile/mean not zero")
-	}
-}
-
 type errResp Response
 
 func (e errResp) Error() string {

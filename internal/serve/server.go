@@ -149,6 +149,13 @@ type Options struct {
 	// cycle model (default 8). Ignored in CycleExact mode.
 	CycleSampleN int
 
+	// SpanSampleN samples every N'th admitted request with a lifecycle
+	// span (admit → route → queue → coalesce → dispatch → execute →
+	// respond, annotated with tile id, batch size, and steal/retry/
+	// fallback events), buffered for the admin /spans endpoint and the
+	// Perfetto exporters. 0 (default) disables span sampling.
+	SpanSampleN int
+
 	// Faults selects a deterministic fault-injection schedule for the
 	// accelerator Systems (the chaos tests drive this).
 	Faults faults.Config
@@ -222,6 +229,13 @@ type pending struct {
 	msg      *dynamic.Message // payload parsed by the software codec at admission
 	deadline time.Time
 	resp     chan Response // buffered(1); receives exactly one Response
+
+	// Observability-only fields; nothing on the serving path branches on
+	// them, so they cannot perturb responses or exact-mode counters.
+	admitAt    time.Time // admission entry (e2e histogram origin)
+	enqueuedAt time.Time // admission end / queue entry (queue-wait origin)
+	joinedAt   time.Time // dispatcher pickup (coalesce-wait origin)
+	span       *Span     // non-nil on sampled requests
 }
 
 // batchJob is one unit on a tile's admission queue: a single admitted
@@ -240,6 +254,7 @@ type batchJob struct {
 type Server struct {
 	opts Options
 	cfg  core.Config // base System config (per-tile configs derive from it)
+	obs  *serverObs  // live observability plane (stage histograms, gauges, spans)
 
 	tiles    []*tile
 	routeSeq atomic.Uint64 // routing sequence: RR cursor / p2c hash input
@@ -280,6 +295,7 @@ func NewServer(opts Options) (*Server, error) {
 	s := &Server{
 		opts:      opts,
 		cfg:       serveConfig(opts),
+		obs:       newServerObs(opts),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
@@ -290,6 +306,7 @@ func NewServer(opts Options) (*Server, error) {
 	for i := 0; i < opts.Tiles; i++ {
 		s.tiles = append(s.tiles, newTile(s, i))
 	}
+	s.obs.registerGauges(s)
 	for _, t := range s.tiles {
 		t.start(perTile)
 	}
@@ -363,6 +380,12 @@ func (s *Server) pick() *tile {
 // queues cannot close mid-send.
 func (s *Server) enqueue(job batchJob) bool {
 	t := s.pick()
+	for _, p := range job.pendings {
+		if p.span != nil {
+			p.span.Tile = t.id
+			p.span.EnqueueAt = s.obs.since()
+		}
+	}
 	select {
 	case t.queue <- job:
 		return true
@@ -415,7 +438,11 @@ func (s *Server) submitPreformed(pendings []*pending, key batchKey) {
 // admit validates a request. ok means the pending is ready to queue; on
 // validation failure the pending has already been answered.
 func (s *Server) admit(req Request) (p *pending, ok bool) {
-	p = &pending{req: req, resp: make(chan Response, 1)}
+	p = &pending{req: req, resp: make(chan Response, 1), admitAt: time.Now()}
+	if sp := s.obs.maybeSpan(); sp != nil {
+		sp.Schema, sp.Op = req.Schema, req.Op
+		p.span = sp
+	}
 	s.mu.Lock()
 	if req.Op == OpSerialize {
 		s.stats.reqSer++
@@ -453,7 +480,9 @@ func (s *Server) admit(req Request) (p *pending, ok bool) {
 	}
 	p.entry = entry
 	p.msg = msg
-	p.deadline = time.Now().Add(timeout)
+	now := time.Now()
+	p.deadline = now.Add(timeout)
+	p.enqueuedAt = now
 	return p, true
 }
 
@@ -475,6 +504,15 @@ func (s *Server) respond(p *pending, resp Response) {
 		s.stats.errored++
 	}
 	s.mu.Unlock()
+	s.obs.e2e.Record(time.Since(p.admitAt))
+	if sp := p.span; sp != nil {
+		sp.DoneAt = s.obs.since()
+		sp.Status = resp.Status
+		if resp.FellBack {
+			sp.FellBack = true
+		}
+		s.obs.finish(sp)
+	}
 	p.resp <- resp
 }
 
@@ -540,6 +578,16 @@ func (s *Server) CollectTelemetry(emit func(name string, value float64)) {
 	emit("cycle_sample_rate", float64(rate))
 	emit("cycle_sampled_requests", float64(sampledReqs))
 	emit("cycle_extrapolated", float64(extrapolated))
+	// Span-sampling provenance: how many requests carried a lifecycle
+	// span, how many spans completed, and how many the bounded ring
+	// overwrote. All zero with SpanSampleN=0, so the pre-existing
+	// equivalence contracts are unchanged at their default configuration;
+	// with sampling on, the counts are a pure function of the admitted
+	// request sequence.
+	sampled, completed, dropped := s.obs.spanCounters()
+	emit("spans/sampled", float64(sampled))
+	emit("spans/completed", float64(completed))
+	emit("spans/dropped", float64(dropped))
 }
 
 // TelemetrySnapshot merges the serving group, one serve/tile<i> group per

@@ -25,6 +25,7 @@ type tile struct {
 	srv  *Server
 	cfg  core.Config // per-tile: FaultTiles may strip the fault schedule
 	pool *core.Pool
+	obs  *tileObs // this tile's shard of the observability plane
 
 	queue chan batchJob // admission → dispatcher (bounded, routed by Server)
 	work  chan batchJob // dispatcher → executors (MaxBatch-sized chunks)
@@ -109,6 +110,7 @@ func newTile(s *Server, id int) *tile {
 		id:        id,
 		srv:       s,
 		cfg:       cfg,
+		obs:       s.obs.tiles[id],
 		pool:      core.NewPool(0),
 		queue:     make(chan batchJob, s.opts.QueueDepth),
 		work:      make(chan batchJob),
@@ -206,6 +208,16 @@ func (t *tile) dispatch() {
 		}
 	}
 	handle := func(job batchJob) {
+		now := time.Now()
+		for _, p := range job.pendings {
+			if !p.enqueuedAt.IsZero() {
+				t.obs.record(stageQueueWait, now.Sub(p.enqueuedAt))
+			}
+			p.joinedAt = now
+			if p.span != nil {
+				p.span.DequeueAt = t.srv.obs.since()
+			}
+		}
 		if job.preformed {
 			t.work <- job
 			return
@@ -356,6 +368,25 @@ func (t *tile) trySteal() bool {
 	t.stats.steals++
 	t.stats.stolenRequests += uint64(stolen)
 	t.mu.Unlock()
+	now := time.Now()
+	markStolen := func(pendings []*pending) {
+		for _, p := range pendings {
+			if !p.enqueuedAt.IsZero() {
+				t.obs.record(stageQueueWait, now.Sub(p.enqueuedAt))
+			}
+			p.joinedAt = now
+			if p.span != nil {
+				p.span.Stolen = true
+				p.span.DequeueAt = t.srv.obs.since()
+			}
+		}
+	}
+	for _, job := range preformed {
+		markStolen(job.pendings)
+	}
+	for _, pendings := range grabbed {
+		markStolen(pendings)
+	}
 	for _, job := range preformed {
 		t.runBatch(job)
 	}
@@ -391,6 +422,20 @@ func (t *tile) runBatch(job batchJob) {
 	if len(live) == 0 {
 		return
 	}
+	t.obs.inflight.Add(1)
+	defer t.obs.inflight.Add(-1)
+	t.obs.batchSize.RecordValue(uint64(len(live)))
+	batchAt := t.srv.obs.since()
+	for _, p := range live {
+		if !p.joinedAt.IsZero() {
+			t.obs.record(stageCoalesceWait, now.Sub(p.joinedAt))
+		}
+		if p.span != nil {
+			p.span.Tile = t.id // executing tile; differs from routed on steals
+			p.span.BatchSize = len(live)
+			p.span.BatchAt = batchAt
+		}
+	}
 	t.mu.Lock()
 	t.stats.batches++
 	t.stats.batchRequests += uint64(len(live))
@@ -416,6 +461,7 @@ func (t *tile) runBatch(job batchJob) {
 		}
 	}
 
+	buildStart := time.Now()
 	sys, err := t.checkout(job.key.schema, live[0].entry)
 	if err != nil {
 		t.degrade(live, err)
@@ -424,12 +470,28 @@ func (t *tile) runBatch(job batchJob) {
 	sys.Telemetry().EnableAttribution(true)
 	switch job.key.op {
 	case OpSerialize:
-		t.runSerialize(sys, live, st)
+		t.runSerialize(sys, live, st, buildStart)
 	default:
-		t.runDeserialize(sys, live, st)
+		t.runDeserialize(sys, live, st, buildStart)
 	}
 	t.absorb(sys)
 	t.checkin(job.key.schema, sys)
+}
+
+// execMarks records the build→execute stage boundary on every sampled
+// span of the batch (build covers System checkout plus input
+// materialization; execute is the accelerator batch operation).
+func (t *tile) execMarks(live []*pending, at time.Duration, end bool) {
+	for _, p := range live {
+		if p.span == nil {
+			continue
+		}
+		if end {
+			p.span.ExecEndAt = at
+		} else {
+			p.span.ExecStartAt = at
+		}
+	}
 }
 
 // sampleState returns (creating on demand) the sampling ledger for one
@@ -505,6 +567,7 @@ func (t *tile) checkin(schema string, sys *core.System) {
 // -check verifier rely on). No System is checked out and no cycle model
 // runs; Cycles carries the stream's latest sampled per-request estimate.
 func (t *tile) runFunctional(live []*pending, estCycles float64) {
+	t0 := time.Now()
 	for _, p := range live {
 		out, err := codec.Marshal(p.msg)
 		if err != nil {
@@ -513,11 +576,12 @@ func (t *tile) runFunctional(live []*pending, estCycles float64) {
 		}
 		t.srv.respond(p, Response{Status: StatusOK, Cycles: estCycles, Payload: out})
 	}
+	t.obs.record(stageRespondWrite, time.Since(t0))
 }
 
 // runDeserialize answers each request with the canonical re-serialization
 // of the object the accelerator materialized from its payload.
-func (t *tile) runDeserialize(sys *core.System, live []*pending, st *sampleState) {
+func (t *tile) runDeserialize(sys *core.System, live []*pending, st *sampleState, buildStart time.Time) {
 	mt := live[0].entry.Type
 	refs := make([]core.WireRef, len(live))
 	for i, p := range live {
@@ -528,12 +592,19 @@ func (t *tile) runDeserialize(sys *core.System, live []*pending, st *sampleState
 		}
 		refs[i] = core.WireRef{Addr: addr, Len: uint64(len(p.req.Payload))}
 	}
+	execStart := time.Now()
+	t.obs.record(stageBatchBuild, execStart.Sub(buildStart))
+	t.execMarks(live, t.srv.obs.since(), false)
 	res, objs, err := sys.DeserializeBatch(mt, refs)
 	if err != nil {
 		t.degrade(live, err)
 		return
 	}
+	execEnd := time.Now()
+	t.obs.record(stageExecute, execEnd.Sub(execStart))
+	t.execMarks(live, t.srv.obs.since(), true)
 	t.noteBatch(res, len(live), st)
+	t.annotateSpans(live, res)
 	perReq := res.Cycles / float64(len(live))
 	fellBack := res.Fault != nil && res.Fault.FellBack
 	for i, p := range live {
@@ -549,11 +620,12 @@ func (t *tile) runDeserialize(sys *core.System, live []*pending, st *sampleState
 		}
 		t.srv.respond(p, Response{Status: StatusOK, FellBack: fellBack, Cycles: perReq, Payload: out})
 	}
+	t.obs.record(stageRespondWrite, time.Since(execEnd))
 }
 
 // runSerialize answers each request with the wire bytes the accelerator's
 // serializer produced for its (pre-parsed) object.
-func (t *tile) runSerialize(sys *core.System, live []*pending, st *sampleState) {
+func (t *tile) runSerialize(sys *core.System, live []*pending, st *sampleState, buildStart time.Time) {
 	mt := live[0].entry.Type
 	objs := make([]uint64, len(live))
 	for i, p := range live {
@@ -564,12 +636,19 @@ func (t *tile) runSerialize(sys *core.System, live []*pending, st *sampleState) 
 		}
 		objs[i] = addr
 	}
+	execStart := time.Now()
+	t.obs.record(stageBatchBuild, execStart.Sub(buildStart))
+	t.execMarks(live, t.srv.obs.since(), false)
 	res, refs, err := sys.SerializeBatch(mt, objs)
 	if err != nil {
 		t.degrade(live, err)
 		return
 	}
+	execEnd := time.Now()
+	t.obs.record(stageExecute, execEnd.Sub(execStart))
+	t.execMarks(live, t.srv.obs.since(), true)
 	t.noteBatch(res, len(live), st)
+	t.annotateSpans(live, res)
 	perReq := res.Cycles / float64(len(live))
 	fellBack := res.Fault != nil && res.Fault.FellBack
 	for i, p := range live {
@@ -579,6 +658,20 @@ func (t *tile) runSerialize(sys *core.System, live []*pending, st *sampleState) 
 			continue
 		}
 		t.srv.respond(p, Response{Status: StatusOK, FellBack: fellBack, Cycles: perReq, Payload: out})
+	}
+	t.obs.record(stageRespondWrite, time.Since(execEnd))
+}
+
+// annotateSpans copies a batch result's resilience events onto every
+// sampled span in the batch.
+func (t *tile) annotateSpans(live []*pending, res core.Result) {
+	if res.Fault == nil {
+		return
+	}
+	for _, p := range live {
+		if p.span != nil {
+			p.span.Retries = uint64(res.Fault.Retries)
+		}
 	}
 }
 
@@ -594,7 +687,11 @@ func (t *tile) degrade(live []*pending, cause error) {
 	t.mu.Lock()
 	t.stats.serverFallbacks += uint64(len(live))
 	t.mu.Unlock()
+	t0 := time.Now()
 	for _, p := range live {
+		if p.span != nil {
+			p.span.FellBack = true
+		}
 		out, err := codec.Marshal(p.msg)
 		if err != nil {
 			t.srv.respond(p, Response{Status: StatusError, Payload: []byte("software codec: " + err.Error())})
@@ -602,6 +699,7 @@ func (t *tile) degrade(live []*pending, cause error) {
 		}
 		t.srv.respond(p, Response{Status: StatusOK, FellBack: true, Payload: out})
 	}
+	t.obs.record(stageRespondWrite, time.Since(t0))
 }
 
 // noteBatch records a completed accelerator batch's resilience and cycle

@@ -73,13 +73,171 @@ func promName(name string) string {
 	return b.String()
 }
 
-// WritePrometheus writes the snapshot in Prometheus text exposition
-// format, one counter per line in snapshot order.
+// splitTile recognizes a tile-indexed path segment ("serve/tile3/x" →
+// base "serve/x", tile "3"). Tile-sharded counters export as one metric
+// family with a tile label instead of one family per tile.
+func splitTile(name string) (base, tile string) {
+	for i := 0; i < len(name); {
+		j := strings.IndexByte(name[i:], '/')
+		var seg string
+		if j < 0 {
+			seg = name[i:]
+			j = len(name)
+		} else {
+			seg = name[i : i+j]
+			j = i + j
+		}
+		if rest, ok := strings.CutPrefix(seg, "tile"); ok && rest != "" {
+			digits := true
+			for _, r := range rest {
+				if r < '0' || r > '9' {
+					digits = false
+					break
+				}
+			}
+			if digits {
+				if j == len(name) { // trailing "tile<i>" segment: not a shard prefix
+					return name, ""
+				}
+				return name[:i] + name[j+1:], rest
+			}
+		}
+		if j == len(name) {
+			break
+		}
+		i = j + 1
+	}
+	return name, ""
+}
+
+// promSample is one exposition line of a family: a rendered label set
+// (possibly empty) and a value.
+type promSample struct {
+	path   string // original counter path, for collision disambiguation
+	labels []string
+	value  float64
+	hist   *HistogramSnapshot // non-nil for histogram families
+}
+
+// promFamily is one metric family: a single # TYPE line followed by its
+// samples. Distinct counter paths that mangle to the same Prometheus
+// name land in the same family (never a duplicate TYPE line); samples
+// whose label sets would still collide gain a path label carrying the
+// original counter path.
+type promFamily struct {
+	name    string
+	kind    string
+	samples []promSample
+}
+
+// buildFamilies folds samples into families in first-appearance order.
+func buildFamilies(fams []*promFamily, byName map[string]*promFamily, kind string, samples []Sample, hists []NamedHistogram) []*promFamily {
+	add := func(path, kind string, value float64, hist *HistogramSnapshot) {
+		base, tile := splitTile(path)
+		n := promName(base)
+		f := byName[n]
+		if f == nil {
+			f = &promFamily{name: n, kind: kind}
+			byName[n] = f
+			fams = append(fams, f)
+		}
+		var labels []string
+		if tile != "" {
+			labels = append(labels, `tile="`+tile+`"`)
+		}
+		f.samples = append(f.samples, promSample{path: path, labels: labels, value: value, hist: hist})
+	}
+	for _, sm := range samples {
+		add(sm.Name, kind, sm.Value, nil)
+	}
+	for _, nh := range hists {
+		hs := nh.Hist.Snapshot()
+		add(nh.Name, "histogram", 0, &hs)
+	}
+	return fams
+}
+
+// disambiguate appends a path label to samples of a family whose label
+// sets collide (distinct original paths mangled to one name), so every
+// exposition line stays unique.
+func (f *promFamily) disambiguate() {
+	seen := make(map[string][]int)
+	for i, sm := range f.samples {
+		key := strings.Join(sm.labels, ",")
+		seen[key] = append(seen[key], i)
+	}
+	for _, idxs := range seen {
+		if len(idxs) < 2 {
+			continue
+		}
+		distinct := false
+		for _, i := range idxs[1:] {
+			if f.samples[i].path != f.samples[idxs[0]].path {
+				distinct = true
+			}
+		}
+		if !distinct {
+			continue
+		}
+		for _, i := range idxs {
+			f.samples[i].labels = append(f.samples[i].labels, `path="`+f.samples[i].path+`"`)
+		}
+	}
+}
+
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(labels, ",") + "}"
+}
+
+// WritePrometheus writes the counter snapshot in Prometheus text
+// exposition format. Equivalent to WritePrometheusMetrics with no gauges
+// or histograms.
 func WritePrometheus(w io.Writer, s Snapshot) error {
-	for _, sm := range s.Samples() {
-		n := promName(sm.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %v\n", n, n, sm.Value); err != nil {
+	return WritePrometheusMetrics(w, s, nil, nil)
+}
+
+// WritePrometheusMetrics writes counters, gauges, and histograms as one
+// Prometheus text exposition: families in first-appearance order, one
+// # TYPE line per family, tile-sharded paths folded into a tile label,
+// and residual name collisions disambiguated with a path label.
+// Histograms expose cumulative _bucket{le=...} series plus _sum/_count.
+func WritePrometheusMetrics(w io.Writer, counters Snapshot, gauges []Sample, hists []NamedHistogram) error {
+	byName := make(map[string]*promFamily)
+	fams := buildFamilies(nil, byName, "counter", counters.Samples(), nil)
+	fams = buildFamilies(fams, byName, "gauge", gauges, nil)
+	fams = buildFamilies(fams, byName, "", nil, hists)
+	for _, f := range fams {
+		f.disambiguate()
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
+		}
+		for _, sm := range f.samples {
+			if sm.hist == nil {
+				if _, err := fmt.Fprintf(w, "%s%s %v\n", f.name, renderLabels(sm.labels), sm.value); err != nil {
+					return err
+				}
+				continue
+			}
+			var cum uint64
+			for _, b := range sm.hist.Buckets {
+				cum += b.Count
+				le := append(sm.labels[:len(sm.labels):len(sm.labels)], fmt.Sprintf(`le="%d"`, b.Upper))
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(le), cum); err != nil {
+					return err
+				}
+			}
+			inf := append(sm.labels[:len(sm.labels):len(sm.labels)], `le="+Inf"`)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(inf), sm.hist.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+				f.name, renderLabels(sm.labels), sm.hist.Sum,
+				f.name, renderLabels(sm.labels), sm.hist.Count); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

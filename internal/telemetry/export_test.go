@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -158,6 +159,137 @@ func TestStatsJSONDeterministicBytes(t *testing.T) {
 	}
 	if !bytes.Equal(x.Bytes(), y.Bytes()) {
 		t.Error("same snapshot produced different bytes")
+	}
+}
+
+// Tile-indexed counter paths must fold into ONE family with a tile
+// label (the pre-fix exporter emitted one family — and one duplicate
+// # TYPE line — per tile), and residual collisions from the name
+// mangling ("a/b_c" vs "a/b/c" both → protoacc_a_b_c) must stay apart
+// via a path label. The whole exposition must satisfy the scraper rules.
+func TestWritePrometheusTileLabelsAndCollisions(t *testing.T) {
+	s := Snapshot{samples: []Sample{
+		{Name: "serve/tile0/batches", Value: 1},
+		{Name: "serve/tile1/batches", Value: 2},
+		{Name: "serve/batches", Value: 3},
+		{Name: "a/b_c", Value: 4},
+		{Name: "a/b/c", Value: 5},
+	}}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE protoacc_serve_batches "); n != 1 {
+		t.Errorf("protoacc_serve_batches declared %d times, want 1:\n%s", n, out)
+	}
+	if n := strings.Count(out, "# TYPE protoacc_a_b_c "); n != 1 {
+		t.Errorf("protoacc_a_b_c declared %d times, want 1:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`protoacc_serve_batches{tile="0"} 1`,
+		`protoacc_serve_batches{tile="1"} 2`,
+		"protoacc_serve_batches 3",
+		`protoacc_a_b_c{path="a/b_c"} 4`,
+		`protoacc_a_b_c{path="a/b/c"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidatePrometheus(strings.NewReader(out)); err != nil {
+		t.Errorf("exposition fails validation: %v\n%s", err, out)
+	}
+}
+
+// A trailing tile<i> segment is a metric name, not a shard prefix — it
+// must NOT become a tile label.
+func TestWritePrometheusTrailingTileSegment(t *testing.T) {
+	s := Snapshot{samples: []Sample{{Name: "router/picks/tile3", Value: 7}}}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "protoacc_router_picks_tile3 7") {
+		t.Errorf("trailing tile segment mangled:\n%s", out)
+	}
+	if strings.Contains(out, `tile="3"`) {
+		t.Errorf("trailing tile segment wrongly folded into a label:\n%s", out)
+	}
+}
+
+// Histogram families must expose cumulative, tile-labeled
+// _bucket{le=...} series capped by +Inf, plus _sum and _count, and the
+// result must pass the scraper validator.
+func TestWritePrometheusHistogramExposition(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{10, 100, 100000} {
+		h.RecordValue(v)
+	}
+	gauges := []Sample{{Name: "serve/live/depth", Value: 4}}
+	hists := []NamedHistogram{{Name: "serve/tile0/stage/execute_ns", Hist: &h}}
+	var buf bytes.Buffer
+	if err := WritePrometheusMetrics(&buf, Snapshot{}, gauges, hists); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE protoacc_serve_live_depth gauge",
+		"protoacc_serve_live_depth 4",
+		"# TYPE protoacc_serve_stage_execute_ns histogram",
+		`protoacc_serve_stage_execute_ns_bucket{tile="0",le="+Inf"} 3`,
+		`protoacc_serve_stage_execute_ns_sum{tile="0"} 100110`,
+		`protoacc_serve_stage_execute_ns_count{tile="0"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Bucket counts must be cumulative (non-decreasing down the series).
+	last := -1.0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "protoacc_serve_stage_execute_ns_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Errorf("bucket series not cumulative at %q (prev %v)", line, last)
+		}
+		last = v
+	}
+	if err := ValidatePrometheus(strings.NewReader(out)); err != nil {
+		t.Errorf("histogram exposition fails validation: %v\n%s", err, out)
+	}
+}
+
+// The validator must reject each structural violation a scraper would
+// choke on, and accept a well-formed histogram exposition.
+func TestValidatePrometheusRejects(t *testing.T) {
+	bad := map[string]string{
+		"duplicate TYPE":       "# TYPE protoacc_x counter\nprotoacc_x 1\n# TYPE protoacc_x counter\nprotoacc_x 2\n",
+		"duplicate series":     "# TYPE protoacc_x counter\nprotoacc_x{a=\"1\"} 1\nprotoacc_x{a=\"1\"} 2\n",
+		"sample without TYPE":  "protoacc_x 1\n",
+		"interleaved family":   "# TYPE protoacc_x counter\nprotoacc_x 1\n# TYPE protoacc_y counter\nprotoacc_y 1\nprotoacc_x 2\n",
+		"illegal metric name":  "# TYPE protoacc_x counter\nprotoacc-x 1\n",
+		"unparseable value":    "# TYPE protoacc_x counter\nprotoacc_x one\n",
+		"unknown kind":         "# TYPE protoacc_x widget\nprotoacc_x 1\n",
+		"unquoted label value": "# TYPE protoacc_x counter\nprotoacc_x{a=1} 1\n",
+	}
+	for name, exp := range bad {
+		if err := ValidatePrometheus(strings.NewReader(exp)); err == nil {
+			t.Errorf("%s accepted:\n%s", name, exp)
+		}
+	}
+	good := "# TYPE protoacc_h histogram\n" +
+		"protoacc_h_bucket{le=\"10\"} 1\nprotoacc_h_bucket{le=\"+Inf\"} 2\n" +
+		"protoacc_h_sum 12\nprotoacc_h_count 2\n"
+	if err := ValidatePrometheus(strings.NewReader(good)); err != nil {
+		t.Errorf("well-formed histogram rejected: %v", err)
 	}
 }
 

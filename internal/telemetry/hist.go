@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear histogram: one major bucket per power of two, histMinors
+// linear minors per major — the usual HDR shape. Constant memory, ~6%
+// worst-case relative error at the minor resolution, and every mutation
+// is a plain atomic add, so one histogram can be recorded into by many
+// goroutines and scraped concurrently without locks. This is the
+// histogram the loadgen measured client latency with since PR 4,
+// promoted into the telemetry layer so the serving daemon records its
+// server-side stage latencies into the same bucket scheme and the two
+// sides of a measurement are directly comparable.
+
+const (
+	histMinors    = 16
+	histMinorBits = 4
+	// HistBuckets is the fixed bucket count of every Histogram.
+	HistBuckets = (64 - histMinorBits + 1) * histMinors
+)
+
+// Histogram counts samples in nanoseconds (or any other nonnegative
+// integer unit — bucket boundaries are unit-agnostic). The zero value is
+// an empty histogram ready to use.
+//
+// Concurrency contract: Record/RecordValue are lock-free (atomic adds
+// plus a CAS loop for the max) and readers (Snapshot, Quantile, Merge)
+// use atomic loads, so a scraper observing a histogram mid-run sees a
+// torn-but-monotonic view — each bucket individually consistent — and
+// never perturbs writers. Exact cross-field consistency (count == sum of
+// buckets) holds at quiescence, which is when the determinism tests
+// compare.
+type Histogram struct {
+	counts [HistBuckets]uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+func histIndex(v uint64) int {
+	if v < histMinors {
+		return int(v)
+	}
+	major := bits.Len64(v) - 1 // >= histMinorBits
+	shift := uint(major - histMinorBits)
+	minor := (v >> shift) & (histMinors - 1)
+	return (major-histMinorBits+1)*histMinors + int(minor)
+}
+
+// BucketUpper returns the largest value the bucket at idx can hold.
+func BucketUpper(idx int) uint64 {
+	if idx < histMinors {
+		return uint64(idx)
+	}
+	major := idx/histMinors + histMinorBits - 1
+	minor := uint64(idx % histMinors)
+	shift := uint(major - histMinorBits)
+	return ((histMinors+minor)<<shift | (1<<shift - 1))
+}
+
+// Record adds one duration sample (negative durations clamp to zero).
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(d)
+	if d < 0 {
+		ns = 0
+	}
+	h.RecordValue(ns)
+}
+
+// RecordValue adds one raw sample.
+func (h *Histogram) RecordValue(v uint64) {
+	atomic.AddUint64(&h.counts[histIndex(v)], 1)
+	atomic.AddUint64(&h.total, 1)
+	atomic.AddUint64(&h.sum, v)
+	for {
+		cur := atomic.LoadUint64(&h.max)
+		if v <= cur || atomic.CompareAndSwapUint64(&h.max, cur, v) {
+			return
+		}
+	}
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.counts {
+		if c := atomic.LoadUint64(&o.counts[i]); c != 0 {
+			atomic.AddUint64(&h.counts[i], c)
+		}
+	}
+	atomic.AddUint64(&h.total, atomic.LoadUint64(&o.total))
+	atomic.AddUint64(&h.sum, atomic.LoadUint64(&o.sum))
+	om := atomic.LoadUint64(&o.max)
+	for {
+		cur := atomic.LoadUint64(&h.max)
+		if om <= cur || atomic.CompareAndSwapUint64(&h.max, cur, om) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return atomic.LoadUint64(&h.total) }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() uint64 { return atomic.LoadUint64(&h.sum) }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() uint64 { return atomic.LoadUint64(&h.max) }
+
+// Mean returns the mean sample as a duration.
+func (h *Histogram) Mean() time.Duration {
+	t := atomic.LoadUint64(&h.total)
+	if t == 0 {
+		return 0
+	}
+	return time.Duration(atomic.LoadUint64(&h.sum) / t)
+}
+
+// Quantile returns an upper bound on the q'th quantile (0 < q <= 1) at
+// the histogram's bucket resolution.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := atomic.LoadUint64(&h.total)
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	max := atomic.LoadUint64(&h.max)
+	var seen uint64
+	for i := range h.counts {
+		seen += atomic.LoadUint64(&h.counts[i])
+		if seen > rank {
+			u := BucketUpper(i)
+			if u > max {
+				u = max
+			}
+			return time.Duration(u)
+		}
+	}
+	return time.Duration(max)
+}
+
+// HistBucket is one occupied bucket of a histogram snapshot: the bucket's
+// inclusive upper bound and its raw (non-cumulative) sample count.
+type HistBucket struct {
+	Upper uint64 `json:"upper"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: only occupied
+// buckets, in ascending bound order.
+type HistogramSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Max     uint64       `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's occupied buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: atomic.LoadUint64(&h.total),
+		Sum:   atomic.LoadUint64(&h.sum),
+		Max:   atomic.LoadUint64(&h.max),
+	}
+	for i := range h.counts {
+		if c := atomic.LoadUint64(&h.counts[i]); c != 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Upper: BucketUpper(i), Count: c})
+		}
+	}
+	return s
+}

@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The histogram's quantiles must bound true quantiles to bucket precision.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+		{0.999, 999 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want || got > tc.want+tc.want/10 {
+			t.Errorf("q%.3f = %v, want within [%v, +10%%]", tc.q, got, tc.want)
+		}
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram quantile/mean not zero")
+	}
+}
+
+// Every recorded value must land in a bucket whose bounds contain it:
+// BucketUpper(histIndex(v)) >= v, and the previous bucket's upper bound
+// is strictly below v. At the log-linear resolution (16 minors per
+// power of two) the bucket width bounds the relative error at ~1/16.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	values := []uint64{0, 1, 15, 16, 17, 31, 32, 255, 256, 1<<20 - 1, 1 << 20, 1<<63 - 1, 1 << 63}
+	for i := 0; i < 10000; i++ {
+		values = append(values, rng.Uint64()>>uint(rng.Intn(64)))
+	}
+	for _, v := range values {
+		idx := histIndex(v)
+		if idx < 0 || idx >= HistBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", v, idx)
+		}
+		upper := BucketUpper(idx)
+		if v > upper {
+			t.Fatalf("value %d above its bucket upper bound %d (idx %d)", v, upper, idx)
+		}
+		if idx > 0 {
+			if prev := BucketUpper(idx - 1); v <= prev {
+				t.Fatalf("value %d not above previous bucket's upper bound %d (idx %d)", v, prev, idx)
+			}
+		}
+		// Relative error bound: bucket width / value <= ~1/16 once past
+		// the unit-width linear region.
+		if v >= 16 {
+			lower := BucketUpper(idx - 1)
+			if width := upper - lower; width > v/8 {
+				t.Fatalf("bucket %d holding %d is %d wide (> value/8)", idx, v, width)
+			}
+		}
+	}
+	// Bucket upper bounds must be strictly increasing.
+	for i := 1; i < HistBuckets; i++ {
+		if BucketUpper(i) <= BucketUpper(i-1) {
+			t.Fatalf("BucketUpper not increasing at %d: %d <= %d", i, BucketUpper(i), BucketUpper(i-1))
+		}
+	}
+}
+
+// Merging per-shard histograms must reproduce the single-histogram result
+// exactly: same bucket counts, count, sum, max, and therefore identical
+// quantiles. This is the contract that makes per-tile shards, per-worker
+// loadgen shards, and their scrape-time merges interchangeable.
+func TestHistogramMergeOfShardsEqualsSingle(t *testing.T) {
+	const shards = 4
+	rng := rand.New(rand.NewSource(99))
+	var single Histogram
+	var parts [shards]Histogram
+	for i := 0; i < 20000; i++ {
+		v := rng.Uint64() >> uint(rng.Intn(64))
+		single.RecordValue(v)
+		parts[i%shards].RecordValue(v)
+	}
+	var merged Histogram
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.Count() != single.Count() || merged.Sum() != single.Sum() || merged.Max() != single.Max() {
+		t.Fatalf("merge drifted: count %d/%d sum %d/%d max %d/%d",
+			merged.Count(), single.Count(), merged.Sum(), single.Sum(), merged.Max(), single.Max())
+	}
+	ms, ss := merged.Snapshot(), single.Snapshot()
+	if len(ms.Buckets) != len(ss.Buckets) {
+		t.Fatalf("bucket shapes differ: %d vs %d", len(ms.Buckets), len(ss.Buckets))
+	}
+	for i := range ms.Buckets {
+		if ms.Buckets[i] != ss.Buckets[i] {
+			t.Fatalf("bucket %d differs: merged %+v single %+v", i, ms.Buckets[i], ss.Buckets[i])
+		}
+	}
+	for q := 0.01; q <= 1.0; q += 0.01 {
+		if merged.Quantile(q) != single.Quantile(q) {
+			t.Fatalf("q%.2f differs: merged %v single %v", q, merged.Quantile(q), single.Quantile(q))
+		}
+	}
+}
+
+// Quantile must be monotone in q and clamped to [0, max].
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.RecordValue(rng.Uint64() >> uint(rng.Intn(50)))
+	}
+	prev := time.Duration(-1)
+	for q := 0.001; q <= 1.0; q += 0.013 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantile not monotone: q%.3f = %v < previous %v", q, cur, prev)
+		}
+		prev = cur
+	}
+	if got := h.Quantile(1.0); got != time.Duration(h.Max()) {
+		t.Errorf("q1.0 = %v, want max %v", got, time.Duration(h.Max()))
+	}
+}
+
+// Negative durations clamp to zero; snapshot bucket counts total the
+// recorded count and carry only occupied buckets in ascending order.
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Record(-5 * time.Second)
+	h.Record(0)
+	h.Record(time.Microsecond)
+	h.Record(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("snapshot count = %d, want 4", s.Count)
+	}
+	var total uint64
+	for i, b := range s.Buckets {
+		if b.Count == 0 {
+			t.Errorf("snapshot carries empty bucket at %d", i)
+		}
+		if i > 0 && b.Upper <= s.Buckets[i-1].Upper {
+			t.Errorf("snapshot buckets out of order at %d", i)
+		}
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+	if s.Max != uint64(time.Millisecond) {
+		t.Errorf("snapshot max = %d, want %d", s.Max, uint64(time.Millisecond))
+	}
+}
+
+// Registry histogram and gauge registration must surface through the
+// scrape-side enumeration paths without touching the counter snapshot
+// (Snapshot stays counters-only — the determinism contract).
+func TestRegistryHistogramsAndGauges(t *testing.T) {
+	var r Registry
+	var h Histogram
+	h.RecordValue(42)
+	r.RegisterHistogram("x/lat_ns", &h)
+	r.RegisterGauge("x/depth", func() float64 { return 7 })
+
+	if n := r.Snapshot().Len(); n != 0 {
+		t.Errorf("counter snapshot picked up %d non-counter metrics", n)
+	}
+	hs := r.Histograms()
+	if len(hs) != 1 || hs[0].Name != "x/lat_ns" || hs[0].Hist.Count() != 1 {
+		t.Errorf("Histograms() = %+v", hs)
+	}
+	gs := r.GaugeValues()
+	if len(gs) != 1 || gs[0].Name != "x/depth" || gs[0].Value != 7 {
+		t.Errorf("GaugeValues() = %+v", gs)
+	}
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidatePrometheus checks a Prometheus text exposition for the
+// structural rules a scraper enforces: legal metric and label names,
+// parseable values, exactly one # TYPE line per family (the duplicate
+// TYPE emission was the bug the exporter's collision handling fixes),
+// samples grouped contiguously under their family, every sample covered
+// by a declared family, and no two samples of a family sharing an
+// identical label set. Returns nil for an empty exposition.
+func ValidatePrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	declared := make(map[string]string) // family -> kind
+	seenSeries := make(map[string]bool) // family+labels
+	current := ""                       // family whose block we are inside
+	closed := make(map[string]bool)     // families whose block has ended
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, kind := fields[2], fields[3]
+				if _, dup := declared[name]; dup {
+					return fmt.Errorf("line %d: duplicate # TYPE for family %s", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric kind %q", lineNo, kind)
+				}
+				declared[name] = kind
+				if current != "" {
+					closed[current] = true
+				}
+				current = name
+			}
+			continue
+		}
+		name, labels, value, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: illegal metric name %q", lineNo, name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: unparseable value %q", lineNo, value)
+		}
+		fam := sampleFamily(name, declared)
+		if fam == "" {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		if fam != current {
+			if closed[fam] {
+				return fmt.Errorf("line %d: family %s interleaved with other families", lineNo, fam)
+			}
+			return fmt.Errorf("line %d: sample %s outside its family block (in %s)", lineNo, name, current)
+		}
+		series := name + "{" + labels + "}"
+		if seenSeries[series] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		seenSeries[series] = true
+	}
+	return sc.Err()
+}
+
+// splitSample splits "name{labels} value" / "name value" into parts,
+// validating label syntax along the way.
+func splitSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+		for _, pair := range splitLabelPairs(labels) {
+			eq := strings.IndexByte(pair, '=')
+			if eq <= 0 {
+				return "", "", "", fmt.Errorf("malformed label pair %q", pair)
+			}
+			lname, lval := pair[:eq], pair[eq+1:]
+			if !validLabelName(lname) {
+				return "", "", "", fmt.Errorf("illegal label name %q", lname)
+			}
+			if len(lval) < 2 || lval[0] != '"' || lval[len(lval)-1] != '"' {
+				return "", "", "", fmt.Errorf("unquoted label value in %q", pair)
+			}
+		}
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", "", "", fmt.Errorf("no value in sample line %q", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", "", "", fmt.Errorf("malformed sample line %q", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+// splitLabelPairs splits a label body on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func validMetricName(s string) bool {
+	for i, r := range s {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func validLabelName(s string) bool {
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// sampleFamily maps a sample name to its declared family, accounting for
+// histogram/summary suffixes (_bucket, _sum, _count, quantile series).
+func sampleFamily(name string, declared map[string]string) string {
+	if _, ok := declared[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if kind := declared[base]; kind == "histogram" || kind == "summary" {
+				return base
+			}
+		}
+	}
+	return ""
+}

@@ -121,11 +121,33 @@ type group struct {
 	names  []string // cached full names, built on first enumeration
 }
 
-// Registry is an ordered set of named counter groups. The zero value is
-// ready to use. Registration happens at System construction; Snapshot
-// enumerates every group's counters on demand.
+// Registry is an ordered set of named counter groups, plus first-class
+// histogram and gauge registrations. The zero value is ready to use.
+// Registration happens at System construction; Snapshot enumerates every
+// group's counters on demand.
+//
+// Counters and the other two kinds deliberately live on separate
+// enumeration paths: Snapshot stays counters-only, because its output
+// feeds the bitwise determinism contracts (serial-vs-parallel,
+// 1-tile-vs-N-tile), while histograms and gauges typically carry
+// wall-clock measurements that legitimately differ run to run. The
+// live-scrape exporters (WritePrometheusMetrics) consume all three.
 type Registry struct {
 	groups []group
+	hists  []NamedHistogram
+	gauges []namedGauge
+}
+
+// NamedHistogram pairs a registered histogram with its counter-style
+// path name.
+type NamedHistogram struct {
+	Name string
+	Hist *Histogram
+}
+
+type namedGauge struct {
+	name string
+	fn   func() float64
 }
 
 // Register adds a collector under the given prefix ("deser", "mem", ...).
@@ -137,6 +159,34 @@ func (r *Registry) Register(prefix string, c Collector) {
 // RegisterFunc is Register for a bare function.
 func (r *Registry) RegisterFunc(prefix string, fn CollectorFunc) {
 	r.Register(prefix, fn)
+}
+
+// RegisterHistogram adds a histogram under a full path name
+// ("serve/tile0/stage/execute_ns", ...). Several shards may register
+// under distinct names and be merged by the consumer; a name may also be
+// registered once per shard and folded by the Prometheus exporter's
+// label rules.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.hists = append(r.hists, NamedHistogram{Name: name, Hist: h})
+}
+
+// RegisterGauge adds a gauge: a callback sampled at scrape time, so the
+// instrumented code pays nothing between scrapes. The callback must be
+// safe to invoke from a scraper goroutine.
+func (r *Registry) RegisterGauge(name string, fn func() float64) {
+	r.gauges = append(r.gauges, namedGauge{name: name, fn: fn})
+}
+
+// Histograms returns the registered histograms in registration order.
+func (r *Registry) Histograms() []NamedHistogram { return r.hists }
+
+// GaugeValues samples every registered gauge now, in registration order.
+func (r *Registry) GaugeValues() []Sample {
+	out := make([]Sample, len(r.gauges))
+	for i, g := range r.gauges {
+		out[i] = Sample{Name: g.name, Value: g.fn()}
+	}
+	return out
 }
 
 // Groups returns the registered prefixes in registration order.
