@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet race bench bench-smoke fuzz-smoke chaos-smoke serve-smoke serve-fast-smoke serve-report serve-tiles-smoke serve-tiles-report obs-smoke serve-obs-report figures examples clean
+.PHONY: all build test vet race bench bench-smoke fuzz-smoke chaos-smoke serve-smoke serve-fast-smoke serve-report serve-tiles-smoke serve-tiles-report obs-smoke serve-obs-report elements-smoke serve-elements-report figures examples clean
 
 all: build vet test
 
@@ -90,6 +90,57 @@ obs-smoke:
 	grep -q '| execute |' /tmp/obs_smoke.md
 	grep -q '| queue_wait |' /tmp/obs_smoke.md
 	grep -q traceEvents /tmp/obs_smoke_spans.json
+
+# End-to-end element-chain smoke: a real daemon with the full chain on
+# and a fast breaker, driven with hot-key-skewed verified traffic, then a
+# breaker drill over the admin plane — /faultz poisons tile 1, the trip
+# is asserted from /metrics, injection stops, and a recovery pass must
+# re-close the breaker (live state gauge back to 0). Also asserts the
+# skewed pass produced nonzero cache hits.
+elements-smoke:
+	go build -o /tmp/protoaccd-elements ./cmd/protoaccd
+	/tmp/protoaccd-elements -listen 127.0.0.1:7423 -admin 127.0.0.1:7424 \
+	  -tiles 4 -elements all \
+	  -breaker-window 200ms -breaker-trip-rate 0.3 -breaker-min-volume 8 \
+	  -breaker-open-for 100ms -breaker-probes 4 & \
+	pid=$$!; \
+	ok=0; for i in $$(seq 50); do \
+	  curl -sf http://127.0.0.1:7424/healthz >/dev/null && { ok=1; break; }; sleep 0.1; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "elements-smoke: admin endpoint never came up"; kill $$pid; exit 1; }; \
+	go run ./cmd/loadgen -addr 127.0.0.1:7423 \
+	  -duration 1s -concurrency 8 -schema varint -skew 1.2 -check \
+	  || { kill $$pid; exit 1; }; \
+	curl -s http://127.0.0.1:7424/metrics | \
+	  awk '/^protoacc_serve_elements_cache_hits /{found=1; exit !($$2>0)} END{exit !found}' \
+	  || { echo "elements-smoke: no cache hits under skewed traffic"; kill $$pid; exit 1; }; \
+	curl -sf "http://127.0.0.1:7424/faultz?tile=1&faults=0.9" >/dev/null \
+	  || { echo "elements-smoke: /faultz injection failed"; kill $$pid; exit 1; }; \
+	go run ./cmd/loadgen -addr 127.0.0.1:7423 \
+	  -duration 1s -concurrency 8 -schema varint -check \
+	  || { kill $$pid; exit 1; }; \
+	curl -s http://127.0.0.1:7424/metrics | \
+	  awk '/^protoacc_serve_elements_breaker_trips /{found=1; exit !($$2>0)} END{exit !found}' \
+	  || { echo "elements-smoke: breaker never tripped on the faulted tile"; kill $$pid; exit 1; }; \
+	curl -sf "http://127.0.0.1:7424/faultz?tile=1&faults=off" >/dev/null \
+	  || { echo "elements-smoke: /faultz clear failed"; kill $$pid; exit 1; }; \
+	go run ./cmd/loadgen -addr 127.0.0.1:7423 \
+	  -duration 1s -concurrency 8 -schema varint -check \
+	  || { kill $$pid; exit 1; }; \
+	curl -s http://127.0.0.1:7424/metrics | \
+	  awk '/^protoacc_serve_elements_breaker_closes /{found=1; exit !($$2>0)} END{exit !found}' \
+	  || { echo "elements-smoke: breaker never re-closed after injection stopped"; kill $$pid; exit 1; }; \
+	curl -s http://127.0.0.1:7424/metrics | \
+	  grep -q 'protoacc_serve_live_breaker_state{tile="1"} 0' \
+	  || { echo "elements-smoke: tile 1 breaker not closed at end of drill"; kill $$pid; exit 1; }; \
+	kill $$pid; wait $$pid 2>/dev/null; true
+
+# Regenerate results/serve_elements.md the way the checked-in artifact is
+# measured: the skewed-traffic chain-off/chain-on comparison plus the
+# breaker trip/recovery drill, in-process servers, 4 cores.
+serve-elements-report:
+	mkdir -p results
+	GOMAXPROCS=4 go run ./cmd/loadgen -elements-sweep -duration 2s -concurrency 16 -schema varint -check -out results/serve_elements.md
 
 # Regenerate results/serve_observability.md and the checked-in span
 # trace the way those artifacts are measured: the stage-breakdown report

@@ -10,12 +10,23 @@
 //
 //	loadgen [-addr host:port] [-admin-url url] [-schema name]
 //	        [-op deser|ser|both]
-//	        [-duration d] [-concurrency n] [-rate rps] [-timeout d]
+//	        [-duration d] [-concurrency n] [-rate rps] [-skew s] [-timeout d]
 //	        [-check] [-out file] [-scrape file] [-trace-out file]
 //	        [-tiles n] [-routing p2c|rr] [-tile-sweep 1,2,4]
+//	        [-elements all|off|admission,breaker,cache] [-elements-sweep]
 //	        [-workers n] [-max-batch n] [-batch-window d] [-queue-depth n]
 //	        [-faults rate[@site,...]] [-fault-seed n] [-fault-tiles 0,2]
 //	        [-stats-out file] [-span-sample-n n]
+//
+// -skew s draws payloads from a Zipf(s) distribution over the schema's
+// sample set instead of walking it uniformly — hot-key traffic, the shape
+// the daemon's response-cache element exists for (s must exceed 1; larger
+// is more skewed).
+//
+// -elements-sweep measures the element chain's effect on skewed traffic
+// (chain off vs on at several skew levels, fresh in-process server per
+// cell) and runs a breaker trip/recovery drill against a part-faulted
+// fleet — the measurement behind results/serve_elements.md.
 //
 // With -addr it dials an already-running daemon over TCP (one connection
 // per worker). Without -addr it starts an in-process server and drives it
@@ -58,6 +69,7 @@ import (
 
 	"protoacc/internal/faults"
 	"protoacc/internal/serve"
+	"protoacc/internal/serve/elements"
 	"protoacc/internal/telemetry"
 )
 
@@ -68,6 +80,7 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "length of each pass")
 	concurrency := flag.Int("concurrency", 8, "closed-loop workers (each owns one connection)")
 	rate := flag.Float64("rate", 0, "open-loop aggregate requests/sec (0 = closed loop)")
+	skew := flag.Float64("skew", 0, "Zipf skew s over the schema's sample payloads (>1 = hot-key traffic; 0 = uniform walk)")
 	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = server default)")
 	check := flag.Bool("check", true, "verify each OK response is byte-identical to its payload")
 	out := flag.String("out", "", "write a markdown report to this file (e.g. results/serve_throughput.md)")
@@ -78,6 +91,8 @@ func main() {
 	tiles := flag.Int("tiles", 0, "in-process server: accelerator tiles behind the router (0 = default 1)")
 	routing := flag.String("routing", "p2c", "in-process server: tile placement policy, p2c or rr")
 	tileSweep := flag.String("tile-sweep", "", "run every pass once per tile count in this comma list (e.g. 1,2,4) and report scaling; implies in-process servers")
+	elementsSpec := flag.String("elements", "", "in-process server: data-plane element chain (\"all\", \"off\", or comma list of admission,breaker,cache)")
+	elementsSweep := flag.Bool("elements-sweep", false, "run the skewed-traffic element comparison (chain off vs on at several skew levels, plus a breaker trip/recovery drill) and report; implies in-process servers")
 	workers := flag.Int("workers", 0, "in-process server: total batch executors (0 = GOMAXPROCS)")
 	maxBatch := flag.Int("max-batch", 0, "in-process server: max requests per batch")
 	batchWindow := flag.Duration("batch-window", 0, "in-process server: batch coalescing window")
@@ -121,11 +136,20 @@ func main() {
 	}
 
 	serverFlags := *tiles != 0 || *routing != "p2c" || *tileSweep != "" ||
+		*elementsSpec != "" || *elementsSweep ||
 		*workers != 0 || *maxBatch != 0 || *batchWindow != 0 ||
 		*queueDepth != 0 || *faultSpec != "" || *faultTiles != "" || *statsOut != "" ||
 		*cycleMode != "exact" || *cycleSampleN != 0 || *spanSampleN != 0
 	if *addr != "" && serverFlags {
-		fmt.Fprintln(os.Stderr, "loadgen: -tiles/-routing/-tile-sweep/-workers/-max-batch/-batch-window/-queue-depth/-faults/-fault-tiles/-stats-out/-cycle-mode/-cycle-sample-n/-span-sample-n configure the in-process server and conflict with -addr")
+		fmt.Fprintln(os.Stderr, "loadgen: -tiles/-routing/-tile-sweep/-elements/-elements-sweep/-workers/-max-batch/-batch-window/-queue-depth/-faults/-fault-tiles/-stats-out/-cycle-mode/-cycle-sample-n/-span-sample-n configure the in-process server and conflict with -addr")
+		os.Exit(2)
+	}
+	if *elementsSweep && *tileSweep != "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -elements-sweep does not combine with -tile-sweep")
+		os.Exit(2)
+	}
+	if *elementsSweep && *scrape != "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -scrape does not combine with -elements-sweep (one report per server)")
 		os.Exit(2)
 	}
 	if *adminURL != "" && *addr == "" {
@@ -156,6 +180,11 @@ func main() {
 		os.Exit(2)
 	}
 	routePolicy, err := serve.ParseRouting(*routing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	elemCfg, err := elements.ParseSpec(*elementsSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -197,6 +226,7 @@ func main() {
 		CycleMode:    cycles,
 		CycleSampleN: *cycleSampleN,
 		SpanSampleN:  *spanSampleN,
+		Elements:     elemCfg,
 		Faults:       faultCfg,
 	}
 	runOpts := serve.LoadgenOptions{
@@ -204,6 +234,7 @@ func main() {
 		Duration:    *duration,
 		Concurrency: *concurrency,
 		RatePerSec:  *rate,
+		ZipfS:       *skew,
 		Timeout:     *timeout,
 		Check:       *check,
 	}
@@ -216,6 +247,15 @@ func main() {
 		}
 		fmt.Printf("loadgen: tile sweep %v, %s, concurrency %d, %v per pass\n", counts, mode, *concurrency, *duration)
 		if err := runSweep(counts, opts, runOpts, schemas, ops, mode, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *elementsSweep {
+		fmt.Printf("loadgen: elements sweep, %s, concurrency %d, %v per pass\n", mode, *concurrency, *duration)
+		if err := runElementsSweep(opts, runOpts, schemas, ops, mode, *out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -614,9 +654,216 @@ func writeSweepMarkdown(path, mode string, concurrency int, duration time.Durati
 	return nil
 }
 
+// elemPoint is one (skew, chain on/off) cell of the elements sweep,
+// merged across every (schema, op) pass.
+type elemPoint struct {
+	skew      float64
+	elems     string // elements spec of the pass ("off" or the enabled list)
+	elapsed   time.Duration
+	ok        uint64
+	shed      uint64
+	throttled uint64
+	fellBack  uint64
+	failures  uint64
+	hits      uint64 // cache hits (0 with the chain off)
+	lookups   uint64 // cache lookups (0 with the chain off)
+	latency   telemetry.Histogram
+}
+
+func (p *elemPoint) rps() float64 {
+	if p.elapsed <= 0 {
+		return 0
+	}
+	return float64(p.ok) / p.elapsed.Seconds()
+}
+
+func (p *elemPoint) hitRate() float64 {
+	if p.lookups == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(p.lookups)
+}
+
+// runElementsSweep measures the element chain's effect on skewed traffic
+// (chain off vs on at several Zipf skew levels, fresh in-process server
+// per cell), then runs a breaker drill — one faulted tile out of four,
+// injection stopped mid-pass — and writes the combined report with the
+// breaker's trip/recovery timeline from the server's own /statusz view.
+func runElementsSweep(opts serve.Options, runOpts serve.LoadgenOptions, schemas []string, ops []serve.Op, mode, out string) error {
+	// The chain-on cells run all three elements, with the admission fill
+	// rate set high enough to be transparent: the cells compare the cache
+	// (and the chain's overhead), not rate-limit policy, and a closed-loop
+	// worker would blow through any realistic per-client budget.
+	chainOn := elements.Config{
+		Admission: true, Breaker: true, Cache: true,
+		FillRate: 1e9,
+	}
+	var points []*elemPoint
+	failed := false
+	for _, skew := range []float64{0, 1.2, 2.0} {
+		for _, on := range []bool{false, true} {
+			o := opts
+			if on {
+				o.Elements = chainOn
+			} else {
+				o.Elements = elements.Config{}
+			}
+			srv, err := serve.NewServer(o)
+			if err != nil {
+				return err
+			}
+			pt := &elemPoint{skew: skew, elems: o.Elements.Spec()}
+			for _, name := range schemas {
+				for _, op := range ops {
+					ro := runOpts
+					ro.Dial = func() (serve.Doer, error) { return srv.InProc(), nil }
+					ro.Schema = name
+					ro.Op = op
+					ro.ZipfS = skew
+					rep, err := serve.RunLoadgen(ro)
+					if err != nil {
+						srv.Close()
+						return err
+					}
+					fmt.Printf("skew=%.1f elements=%s ", skew, pt.elems)
+					printReport(os.Stdout, rep)
+					pt.elapsed += rep.Elapsed
+					pt.ok += rep.OK
+					pt.shed += rep.Shed
+					pt.throttled += rep.Throttled
+					pt.fellBack += rep.FellBack
+					pt.failures += rep.CheckFailures + rep.Errors
+					pt.latency.Merge(&rep.Latency)
+				}
+			}
+			if c := srv.Elements(); c != nil && c.Cache != nil {
+				lookups, hits, _, _, _, _ := c.Cache.Stats()
+				pt.lookups, pt.hits = lookups, hits
+			}
+			srv.Close()
+			if pt.failures > 0 {
+				failed = true
+			}
+			points = append(points, pt)
+		}
+	}
+
+	// Breaker drill: four tiles, a heavy fault schedule on tile 1 only,
+	// breaker tuned to trip fast; injection stops halfway through the pass
+	// so the half-open probes re-admit the tile within the run. The cache
+	// stays off — a hit bypasses the tiles, and the drill needs the
+	// faulted tile to keep seeing traffic.
+	drill := opts
+	drill.Tiles = 4
+	drill.FaultTiles = []int{1}
+	drillFaults, err := faults.ParseFlag("0.9", 1)
+	if err != nil {
+		return err
+	}
+	drill.Faults = drillFaults
+	drill.Elements = elements.Config{
+		Breaker: true,
+		Window:  250 * time.Millisecond, TripRate: 0.3, MinVolume: 8,
+		OpenFor: 200 * time.Millisecond, Probes: 4,
+	}
+	srv, err := serve.NewServer(drill)
+	if err != nil {
+		return err
+	}
+	clearAt := runOpts.Duration / 2
+	timer := time.AfterFunc(clearAt, func() {
+		if err := srv.SetTileFaults(1, faults.Config{}); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: breaker drill fault clear:", err)
+		}
+	})
+	ro := runOpts
+	ro.Dial = func() (serve.Doer, error) { return srv.InProc(), nil }
+	ro.Schema = schemas[0]
+	ro.Op = ops[0]
+	drillRep, err := serve.RunLoadgen(ro)
+	timer.Stop()
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	fmt.Printf("breaker drill ")
+	printReport(os.Stdout, drillRep)
+	drillStatus := srv.StatuszSnapshot(nil)
+	srv.Close()
+	if drillRep.CheckFailures > 0 || drillRep.Errors > 0 {
+		failed = true
+	}
+	if drillStatus.Elements == nil || drillStatus.Elements.Breaker == nil {
+		return fmt.Errorf("loadgen: breaker drill produced no breaker status")
+	}
+
+	if out != "" {
+		if err := writeElementsMarkdown(out, mode, runOpts.Concurrency, runOpts.Duration, points, drillStatus, clearAt); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
+	}
+	if failed {
+		return fmt.Errorf("loadgen: FAILED (check failures or transport errors during elements sweep)")
+	}
+	return nil
+}
+
+// writeElementsMarkdown writes the element-chain report (overwriting
+// path): the skew × chain-on/off comparison, then the breaker drill's
+// transition timeline and final per-tile states.
+func writeElementsMarkdown(path, mode string, concurrency int, duration time.Duration, points []*elemPoint, drill *serve.Statusz, clearAt time.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# Data-plane element chain (loadgen -elements-sweep)\n\n")
+	fmt.Fprintf(f, "Mode: %s, concurrency %d, %v per pass, GOMAXPROCS=%d, %s.\n\n",
+		mode, concurrency, duration, runtime.GOMAXPROCS(0), runtime.Version())
+	fmt.Fprintf(f, "## Hot-key skew: chain off vs on\n\n")
+	fmt.Fprintf(f, "Each row pair is a fresh in-process server driven with the same traffic:\n")
+	fmt.Fprintf(f, "skew 0 walks the sample payloads uniformly, skew s > 1 draws them from a\n")
+	fmt.Fprintf(f, "Zipf(s) distribution (hot-key traffic). The chain-on rows run admission +\n")
+	fmt.Fprintf(f, "breaker + cache, with the admission fill rate set high enough to be\n")
+	fmt.Fprintf(f, "transparent — the comparison isolates the response cache and the chain's\n")
+	fmt.Fprintf(f, "per-request overhead. -check held in every cell, so cached responses were\n")
+	fmt.Fprintf(f, "byte-identical to served ones.\n\n")
+	fmt.Fprintf(f, "| skew | elements | req/s | ok | cache hits | hit rate | p50 | p99 |\n")
+	fmt.Fprintf(f, "|---:|---|---:|---:|---:|---:|---:|---:|\n")
+	for _, p := range points {
+		fmt.Fprintf(f, "| %.1f | %s | %.0f | %d | %d | %.1f%% | %v | %v |\n",
+			p.skew, p.elems, p.rps(), p.ok, p.hits, p.hitRate()*100,
+			p.latency.Quantile(0.50), p.latency.Quantile(0.99))
+	}
+	br := drill.Elements.Breaker
+	fmt.Fprintf(f, "\n## Breaker drill: trip and recovery\n\n")
+	fmt.Fprintf(f, "Four tiles, deterministic fault injection (rate 0.9) on tile 1 only,\n")
+	fmt.Fprintf(f, "breaker window %v, trip rate %.2f over ≥%d requests, open dwell %v,\n",
+		time.Duration(br.WindowNS), br.TripRate, br.MinVolume, time.Duration(br.OpenForNS))
+	fmt.Fprintf(f, "%d probes to re-close. Injection was stopped at t=%v (half the pass) via\n", br.Probes, clearAt)
+	fmt.Fprintf(f, "the live fault control, so the timeline shows the trip under faults and\n")
+	fmt.Fprintf(f, "the half-open recovery after they stop.\n\n")
+	fmt.Fprintf(f, "| t (s) | tile | transition |\n")
+	fmt.Fprintf(f, "|---:|---:|---|\n")
+	for _, ev := range br.Events {
+		fmt.Fprintf(f, "| %.3f | %d | %s → %s |\n", ev.AtSeconds, ev.Tile, ev.From, ev.To)
+	}
+	fmt.Fprintf(f, "\n| tile | final state | trips | last trip (s) | window reqs | window fails |\n")
+	fmt.Fprintf(f, "|---:|---|---:|---:|---:|---:|\n")
+	for _, t := range br.Tiles {
+		fmt.Fprintf(f, "| %d | %s | %d | %.3f | %d | %d |\n",
+			t.Tile, t.State, t.Trips, t.LastTripS, t.WindowRequests, t.WindowFailures)
+	}
+	return nil
+}
+
 func printReport(w io.Writer, r *serve.LoadgenReport) {
 	fmt.Fprintf(w, "%-8s %-5s  %7.0f req/s  %6.3f Gbit/s  ok=%d shed=%d deadline=%d fellback=%d",
 		r.Schema, r.Op, r.RPS(), r.Gbps(), r.OK, r.Shed, r.Deadline, r.FellBack)
+	if r.Throttled > 0 {
+		fmt.Fprintf(w, " throttled=%d", r.Throttled)
+	}
 	if r.Errors > 0 || r.Bad > 0 {
 		fmt.Fprintf(w, " errors=%d bad=%d", r.Errors, r.Bad)
 	}

@@ -12,8 +12,21 @@
 //	          [-max-payload n] [-deadline d]
 //	          [-cycle-mode exact|sampled] [-cycle-sample-n n]
 //	          [-span-sample-n n]
+//	          [-elements all|off|admission,breaker,cache]
+//	          [-admit-rate r] [-admit-burst b]
+//	          [-breaker-window d] [-breaker-trip-rate r]
+//	          [-breaker-min-volume n] [-breaker-open-for d] [-breaker-probes n]
+//	          [-cache-bytes n]
 //	          [-faults rate[@site,...]] [-fault-seed n] [-fault-tiles 0,2]
 //	          [-stats-out file] [-cpuprofile file] [-memprofile file]
+//
+// -elements enables the composable data-plane element chain every request
+// traverses before the tile router: per-client token-bucket admission
+// control (over-rate clients get StatusThrottled), a per-tile circuit
+// breaker the router treats like quarantine, and a canonical-bytes
+// response cache with LRU eviction. Each element is independently
+// selectable and byte-transparent: chain on or off, every response's
+// bytes are identical. Telemetry lands under serve/elements/<name>/.
 //
 // -admin serves the live observability plane on a second listener:
 // /metrics (Prometheus text: counters, gauges, per-tile stage
@@ -53,6 +66,7 @@ import (
 
 	"protoacc/internal/faults"
 	"protoacc/internal/serve"
+	"protoacc/internal/serve/elements"
 	"protoacc/internal/telemetry"
 )
 
@@ -67,6 +81,15 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "per-tile admission queue bound; requests routed to a full tile are shed (0 = default 1024)")
 	maxPayload := flag.Int("max-payload", 0, "request payload size limit in bytes (0 = default 64KiB)")
 	deadline := flag.Duration("deadline", 0, "default per-request budget (0 = default 1s)")
+	elementsSpec := flag.String("elements", "", "data-plane element chain: \"all\", \"off\", or a comma list of admission,breaker,cache (empty = off)")
+	admitRate := flag.Float64("admit-rate", 0, "admission element: token-bucket fill rate per client, req/s (0 = default 2000)")
+	admitBurst := flag.Float64("admit-burst", 0, "admission element: token-bucket burst capacity (0 = default 2x fill rate)")
+	breakerWindow := flag.Duration("breaker-window", 0, "breaker element: rolling failure-rate window (0 = default 1s)")
+	breakerTripRate := flag.Float64("breaker-trip-rate", 0, "breaker element: failure-rate threshold that opens a tile's breaker (0 = default 0.5)")
+	breakerMinVolume := flag.Int("breaker-min-volume", 0, "breaker element: minimum requests in the window before the trip rate is evaluated (0 = default 16)")
+	breakerOpenFor := flag.Duration("breaker-open-for", 0, "breaker element: open-state dwell before half-open probing (0 = default 500ms)")
+	breakerProbes := flag.Int("breaker-probes", 0, "breaker element: successful half-open probes required to re-close (0 = default 8)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "cache element: response-cache byte budget (0 = default 16MiB)")
 	faultSpec := flag.String("faults", "", "fault injection: RATE or RATE@site,... (sites: "+strings.Join(faults.SiteNames(), ",")+"); empty or \"off\" disables")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault schedule")
 	faultTiles := flag.String("fault-tiles", "", "comma-separated tile ids the fault schedule applies to (empty = every tile)")
@@ -98,6 +121,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	elemCfg, err := elements.ParseSpec(*elementsSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	elemCfg.FillRate = *admitRate
+	elemCfg.Burst = *admitBurst
+	elemCfg.Window = *breakerWindow
+	elemCfg.TripRate = *breakerTripRate
+	elemCfg.MinVolume = *breakerMinVolume
+	elemCfg.OpenFor = *breakerOpenFor
+	elemCfg.Probes = *breakerProbes
+	elemCfg.CacheBytes = *cacheBytes
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -124,6 +160,7 @@ func main() {
 		CycleMode:    cycles,
 		CycleSampleN: *cycleSampleN,
 		SpanSampleN:  *spanSampleN,
+		Elements:     elemCfg,
 		Faults:       faultCfg,
 	})
 	if err != nil {
@@ -136,8 +173,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("protoaccd listening on %s (schemas: %s; tiles=%d routing=%s workers=%d)\n",
-		ln.Addr(), strings.Join(srv.Catalog().Names(), ","), srv.Tiles(), srv.Routing(), srv.Workers())
+	fmt.Printf("protoaccd listening on %s (schemas: %s; tiles=%d routing=%s workers=%d elements=%s)\n",
+		ln.Addr(), strings.Join(srv.Catalog().Names(), ","), srv.Tiles(), srv.Routing(), srv.Workers(), elemCfg.Spec())
 
 	// flushStats serializes mid-run stats writes (SIGUSR1 and
 	// /statusz?write=1 may race) against the shutdown write.

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
+	"protoacc/internal/faults"
+	"protoacc/internal/serve/elements"
 	"protoacc/internal/telemetry"
 )
 
@@ -31,8 +34,9 @@ type AdminOptions struct {
 
 // TileHealth is one tile's entry in the /healthz report. A tile is
 // degraded when its configuration quarantines it behind a fault schedule,
-// when its pool has dropped poisoned Systems, or when its admission queue
-// is saturated (the shed breaker: new arrivals routed here are shed).
+// when its pool has dropped poisoned Systems, when its admission queue
+// is saturated (the shed breaker: new arrivals routed here are shed), or
+// when its circuit breaker is not closed.
 type TileHealth struct {
 	Tile            int    `json:"tile"`
 	QueueDepth      int    `json:"queue_depth"`
@@ -45,10 +49,22 @@ type TileHealth struct {
 	ServerFallbacks uint64 `json:"server_fallbacks"`
 	Retries         uint64 `json:"retries"`
 	Degraded        bool   `json:"degraded"`
+
+	// Circuit-breaker element state; Breaker is empty when the element is
+	// off (the pre-chain /healthz document, field for field).
+	Breaker          string  `json:"breaker,omitempty"` // closed / open / half-open
+	BreakerTrips     uint64  `json:"breaker_trips,omitempty"`
+	BreakerLastTripS float64 `json:"breaker_last_trip_s,omitempty"` // offset since server start; 0 = never
+	WindowRequests   uint64  `json:"breaker_window_requests,omitempty"`
+	WindowFailures   uint64  `json:"breaker_window_failures,omitempty"`
 }
 
 // Health reports per-tile quarantine/breaker state.
 func (s *Server) Health() []TileHealth {
+	var brStates []elements.TileBreaker
+	if br := s.breaker(); br != nil {
+		brStates = br.TileStates(time.Now())
+	}
 	out := make([]TileHealth, len(s.tiles))
 	for i, t := range s.tiles {
 		t.mu.Lock()
@@ -63,13 +79,22 @@ func (s *Server) Health() []TileHealth {
 			QueueCapacity:   s.opts.QueueDepth,
 			InflightBatches: t.obs.inflight.Load(),
 			Residents:       residents,
-			FaultInjected:   t.cfg.Faults.Enabled,
+			FaultInjected:   t.faultsEnabled(),
 			PoolDrops:       t.pool.Counters().Drops,
 			AccelFallbacks:  st.accelFallbacks,
 			ServerFallbacks: st.serverFallbacks,
 			Retries:         st.retryEvents,
 		}
-		h.Degraded = h.FaultInjected || h.PoolDrops > 0 || h.QueueDepth >= h.QueueCapacity
+		if brStates != nil {
+			b := brStates[i]
+			h.Breaker = b.State
+			h.BreakerTrips = b.Trips
+			h.BreakerLastTripS = b.LastTripS
+			h.WindowRequests = b.WindowRequests
+			h.WindowFailures = b.WindowFailures
+		}
+		h.Degraded = h.FaultInjected || h.PoolDrops > 0 || h.QueueDepth >= h.QueueCapacity ||
+			(h.Breaker != "" && h.Breaker != elements.StateClosed.String())
 		out[i] = h
 	}
 	return out
@@ -83,10 +108,26 @@ func (s *Server) Closed() bool {
 	return s.closed
 }
 
+// healthTotals carries the admission-side rejection totals in /healthz:
+// how much traffic the server is turning away, and why.
+type healthTotals struct {
+	Shed      uint64 `json:"shed"`
+	Throttled uint64 `json:"throttled"`
+	Deadline  uint64 `json:"deadline"`
+}
+
 // healthzDoc is the /healthz response body.
 type healthzDoc struct {
 	Status string       `json:"status"` // "ok" or "closing"
+	Totals healthTotals `json:"totals"`
 	Tiles  []TileHealth `json:"tiles"`
+}
+
+// healthTotals snapshots the admission-side rejection counters.
+func (s *Server) healthTotals() healthTotals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return healthTotals{Shed: s.stats.shed, Throttled: s.stats.throttled, Deadline: s.stats.deadline}
 }
 
 // SpanStats summarizes the span sampler for /statusz.
@@ -113,6 +154,87 @@ type StatuszConfig struct {
 	Fingerprint   string `json:"config_fingerprint"`
 }
 
+// AdmissionStatus summarizes the admission-control element for /statusz.
+type AdmissionStatus struct {
+	FillRate  float64 `json:"fill_rate"`
+	Burst     float64 `json:"burst"`
+	Clients   int     `json:"clients"`
+	Allowed   uint64  `json:"allowed"`
+	Throttled uint64  `json:"throttled"`
+}
+
+// BreakerStatus summarizes the circuit-breaker element for /statusz:
+// config echo, per-tile state, and the transition-event timeline.
+type BreakerStatus struct {
+	WindowNS  int64                  `json:"window_ns"`
+	TripRate  float64                `json:"trip_rate"`
+	MinVolume int                    `json:"min_volume"`
+	OpenForNS int64                  `json:"open_for_ns"`
+	Probes    int                    `json:"probes"`
+	Tiles     []elements.TileBreaker `json:"tiles"`
+	Events    []elements.Event       `json:"events"`
+}
+
+// CacheStatus summarizes the response-cache element for /statusz.
+type CacheStatus struct {
+	MaxBytes   int64  `json:"max_bytes"`
+	Bytes      int64  `json:"bytes"`
+	Entries    int    `json:"entries"`
+	Lookups    uint64 `json:"lookups"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Inserts    uint64 `json:"inserts"`
+	Evictions  uint64 `json:"evictions"`
+	Collisions uint64 `json:"collisions"`
+}
+
+// ElementsStatus is the /statusz section for the data-plane element
+// chain; per-element blocks are present only when that element is on.
+type ElementsStatus struct {
+	Spec      string           `json:"spec"` // -elements flag echo
+	Enabled   []string         `json:"enabled"`
+	Admission *AdmissionStatus `json:"admission,omitempty"`
+	Breaker   *BreakerStatus   `json:"breaker,omitempty"`
+	Cache     *CacheStatus     `json:"cache,omitempty"`
+}
+
+// elementsStatus assembles the /statusz elements section; nil when the
+// chain is off (the section is omitted, keeping the pre-chain document).
+func (s *Server) elementsStatus() *ElementsStatus {
+	if s.elems == nil {
+		return nil
+	}
+	cfg := s.elems.Config()
+	es := &ElementsStatus{Spec: cfg.Spec(), Enabled: cfg.Names()}
+	if a := s.elems.Admission; a != nil {
+		allowed, throttled := a.Totals()
+		es.Admission = &AdmissionStatus{
+			FillRate: a.FillRate(), Burst: a.Burst(),
+			Clients: a.Clients(), Allowed: allowed, Throttled: throttled,
+		}
+	}
+	if b := s.elems.Breaker; b != nil {
+		es.Breaker = &BreakerStatus{
+			WindowNS:  int64(cfg.Window),
+			TripRate:  cfg.TripRate,
+			MinVolume: cfg.MinVolume,
+			OpenForNS: int64(cfg.OpenFor),
+			Probes:    cfg.Probes,
+			Tiles:     b.TileStates(time.Now()),
+			Events:    b.Events(),
+		}
+	}
+	if c := s.elems.Cache; c != nil {
+		lookups, hits, misses, inserts, evictions, collisions := c.Stats()
+		es.Cache = &CacheStatus{
+			MaxBytes: c.MaxBytes(), Bytes: c.Bytes(), Entries: c.Len(),
+			Lookups: lookups, Hits: hits, Misses: misses,
+			Inserts: inserts, Evictions: evictions, Collisions: collisions,
+		}
+	}
+	return es
+}
+
 // StatuszSchema identifies the /statusz JSON format.
 const StatuszSchema = "protoacc-statusz/v1"
 
@@ -129,6 +251,7 @@ type Statusz struct {
 	Gauges        map[string]float64  `json:"gauges"`
 	Stages        []StageSummary      `json:"stages"`
 	Spans         SpanStats           `json:"spans"`
+	Elements      *ElementsStatus     `json:"elements,omitempty"`
 	Tiles         []TileHealth        `json:"tiles"`
 	StatsWritten  string              `json:"stats_written,omitempty"`
 }
@@ -172,7 +295,8 @@ func (s *Server) StatuszSnapshot(manifest *telemetry.Manifest) *Statusz {
 			SampleN: s.opts.SpanSampleN, Sampled: sampled,
 			Completed: completed, Dropped: dropped, Buffered: buffered,
 		},
-		Tiles: s.Health(),
+		Elements: s.elementsStatus(),
+		Tiles:    s.Health(),
 	}
 }
 
@@ -185,6 +309,8 @@ func (s *Server) StatuszSnapshot(manifest *telemetry.Manifest) *Statusz {
 //	              stage summaries, span stats, tile health); ?write=1
 //	              flushes the -stats-out artifact mid-run
 //	/spans        buffered lifecycle spans as Perfetto trace JSON
+//	/faultz       per-tile fault schedules; ?tile=N&faults=SPEC swaps one
+//	              live (the chaos-drill control)
 //	/debug/pprof  the standard Go profiling endpoints
 func NewAdminHandler(s *Server, opts AdminOptions) http.Handler {
 	mux := http.NewServeMux()
@@ -194,7 +320,7 @@ func NewAdminHandler(s *Server, opts AdminOptions) http.Handler {
 		telemetry.WritePrometheusMetrics(w, counters, gauges, hists)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		doc := healthzDoc{Status: "ok", Tiles: s.Health()}
+		doc := healthzDoc{Status: "ok", Totals: s.healthTotals(), Tiles: s.Health()}
 		code := http.StatusOK
 		if s.Closed() {
 			doc.Status = "closing"
@@ -229,6 +355,54 @@ func NewAdminHandler(s *Server, opts AdminOptions) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		telemetry.WritePerfetto(w, s.SpanEvents())
 	})
+	// /faultz is the chaos-drill control (like /statusz?write=1, it is a
+	// documented mutator on an otherwise read-only plane): GET with no
+	// parameters reports each tile's live fault schedule; with
+	// ?tile=N&faults=SPEC[&seed=S] it swaps tile N's schedule — SPEC uses
+	// the -faults flag grammar, "off" stops injection — so a drill can
+	// fault a live tile, watch its breaker trip, stop injection, and watch
+	// the half-open probes re-admit it.
+	mux.HandleFunc("/faultz", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if spec := q.Get("faults"); spec != "" {
+			tileID, err := strconv.Atoi(q.Get("tile"))
+			if err != nil {
+				http.Error(w, "faultz: ?faults= requires ?tile=N", http.StatusBadRequest)
+				return
+			}
+			var seed uint64 = 1
+			if v := q.Get("seed"); v != "" {
+				if seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+					http.Error(w, "faultz: bad seed: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+			}
+			cfg, err := faults.ParseFlag(spec, seed)
+			if err != nil {
+				http.Error(w, "faultz: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := s.SetTileFaults(tileID, cfg); err != nil {
+				http.Error(w, "faultz: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		type tileFaults struct {
+			Tile    int     `json:"tile"`
+			Enabled bool    `json:"enabled"`
+			Rate    float64 `json:"rate,omitempty"`
+			Seed    uint64  `json:"seed,omitempty"`
+		}
+		doc := make([]tileFaults, s.Tiles())
+		for i := range doc {
+			cfg := s.TileFaults(i)
+			doc[i] = tileFaults{Tile: i, Enabled: cfg.Enabled, Rate: cfg.Rate, Seed: cfg.Seed}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -239,7 +413,7 @@ func NewAdminHandler(s *Server, opts AdminOptions) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "protoaccd admin: /metrics /healthz /statusz /spans /debug/pprof\n")
+		fmt.Fprint(w, "protoaccd admin: /metrics /healthz /statusz /spans /faultz /debug/pprof\n")
 	})
 	return mux
 }

@@ -22,13 +22,18 @@ type Doer interface {
 // use. Its Do goes through exactly the same admission, batching, and
 // execution pipeline as a TCP request.
 type InProc struct {
-	srv *Server
-	mu  sync.Mutex
-	id  uint64
+	srv    *Server
+	client string // admission-control identity, unique per InProc
+	mu     sync.Mutex
+	id     uint64
 }
 
-// InProc returns an in-process client of this server.
-func (s *Server) InProc() *InProc { return &InProc{srv: s} }
+// InProc returns an in-process client of this server. Each client gets
+// its own admission-control identity, mirroring the per-connection
+// identity TCP clients get from their remote address.
+func (s *Server) InProc() *InProc {
+	return &InProc{srv: s, client: fmt.Sprintf("inproc-%d", s.inprocSeq.Add(1))}
+}
 
 // Do implements Doer.
 func (c *InProc) Do(req Request) (Response, error) {
@@ -36,7 +41,7 @@ func (c *InProc) Do(req Request) (Response, error) {
 	c.id++
 	req.ID = c.id
 	c.mu.Unlock()
-	return <-c.srv.submit(req), nil
+	return <-c.srv.submit(c.client, req), nil
 }
 
 // Close implements Doer (nothing to release in-process).
@@ -64,7 +69,7 @@ func (c *InProc) DoBatch(reqs []Request) ([]Response, error) {
 		c.id++
 		reqs[i].ID = c.id
 		c.mu.Unlock()
-		p, ok := c.srv.admit(reqs[i])
+		p, ok := c.srv.admit(c.client, reqs[i])
 		chans[i] = p.resp
 		if !ok {
 			continue

@@ -1,0 +1,291 @@
+package elements
+
+import (
+	"sync"
+	"time"
+)
+
+// State is one tile's breaker position.
+type State uint8
+
+// Breaker states, the classic three-state machine: closed (traffic
+// flows, failures are watched), open (the router avoids the tile), and
+// half-open (a bounded probe stream tests recovery).
+const (
+	StateClosed State = iota
+	StateOpen
+	StateHalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// windowBuckets is the rolling window's resolution: failure rates are
+// evaluated over the last Window seconds bucketed this finely, so a trip
+// decision lags a failure burst by at most Window/windowBuckets.
+const windowBuckets = 8
+
+// eventRingCap bounds the transition-event timeline kept for /statusz;
+// past it the ring overwrites oldest-first.
+const eventRingCap = 128
+
+// Event is one breaker state transition, kept for the /statusz timeline.
+type Event struct {
+	Tile      int     `json:"tile"`
+	From      string  `json:"from"`
+	To        string  `json:"to"`
+	AtSeconds float64 `json:"at_s"` // offset since server start
+}
+
+// brTile is one tile's breaker state.
+type brTile struct {
+	state State
+
+	// Rolling failure window: slot i holds the counts of epoch epochs[i];
+	// slots whose epoch has rotated out of the window are ignored (and
+	// reset on reuse).
+	reqs   [windowBuckets]uint64
+	fails  [windowBuckets]uint64
+	epochs [windowBuckets]int64
+
+	openedAt     time.Time // last transition into StateOpen
+	probesRouted int       // half-open: probe budget consumed by the router
+	probeOK      int       // half-open: successful probe requests observed
+	trips        uint64    // closed→open transitions (reopens excluded)
+	lastTrip     time.Time
+}
+
+// Breaker is the per-tile circuit-breaker element. The router asks
+// Routable before placing work and NoteRouted after; the tiles feed
+// Observe with per-batch (requests, failures) outcomes — failures being
+// fallback-completed requests, deadline misses, and fault retries, the
+// same events the serve/tile<i>/ counters record.
+type Breaker struct {
+	cfg       Config
+	start     time.Time
+	bucketDur time.Duration
+
+	mu     sync.Mutex
+	tiles  []*brTile
+	events []Event
+	evNext int
+
+	trips, reopens, closes, halfOpens uint64
+	probes, reroutes                  uint64
+}
+
+func newBreaker(cfg Config, tiles int) *Breaker {
+	if tiles < 1 {
+		tiles = 1
+	}
+	b := &Breaker{
+		cfg:       cfg,
+		start:     time.Now(),
+		bucketDur: cfg.Window / windowBuckets,
+	}
+	if b.bucketDur <= 0 {
+		b.bucketDur = time.Millisecond
+	}
+	for i := 0; i < tiles; i++ {
+		b.tiles = append(b.tiles, &brTile{})
+	}
+	return b
+}
+
+// epochAt maps a wall time onto the rolling window's bucket epoch.
+func (b *Breaker) epochAt(now time.Time) int64 {
+	return int64(now.Sub(b.start) / b.bucketDur)
+}
+
+// record appends a transition event to the bounded timeline ring.
+// Callers hold b.mu.
+func (b *Breaker) record(tile int, from, to State, now time.Time) {
+	ev := Event{Tile: tile, From: from.String(), To: to.String(), AtSeconds: now.Sub(b.start).Seconds()}
+	if len(b.events) < eventRingCap {
+		b.events = append(b.events, ev)
+	} else {
+		b.events[b.evNext] = ev
+	}
+	b.evNext = (b.evNext + 1) % eventRingCap
+}
+
+// Routable reports whether the router may place new work on tile. An
+// open breaker whose dwell has expired transitions to half-open here —
+// routing pressure is what drives recovery probing — and then admits
+// probes until the half-open budget is spent.
+func (b *Breaker) Routable(tile int, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.tiles[tile]
+	switch t.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if now.Sub(t.openedAt) < b.cfg.OpenFor {
+			return false
+		}
+		t.state = StateHalfOpen
+		t.probesRouted, t.probeOK = 0, 0
+		b.halfOpens++
+		b.record(tile, StateOpen, StateHalfOpen, now)
+		return true
+	default: // StateHalfOpen
+		return t.probesRouted < b.cfg.Probes
+	}
+}
+
+// NoteRouted records that n requests were just placed on tile; while
+// half-open they consume the probe budget.
+func (b *Breaker) NoteRouted(tile, n int, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.tiles[tile]
+	if t.state == StateHalfOpen {
+		t.probesRouted += n
+		b.probes += uint64(n)
+	}
+}
+
+// NoteReroute counts requests the router steered away from their
+// preferred tile because its breaker was not routable.
+func (b *Breaker) NoteReroute(n int) {
+	b.mu.Lock()
+	b.reroutes += uint64(n)
+	b.mu.Unlock()
+}
+
+// Observe feeds one batch outcome on tile into the breaker: reqs
+// requests completed, fails of which were failure events. Closed
+// breakers evaluate the trip condition; half-open breakers grade the
+// probe stream (any failure re-opens, cfg.Probes successes re-close).
+func (b *Breaker) Observe(tile int, reqs, fails uint64, now time.Time) {
+	if reqs == 0 && fails == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.tiles[tile]
+	epoch := b.epochAt(now)
+	slot := int(epoch % windowBuckets)
+	if t.epochs[slot] != epoch {
+		t.epochs[slot] = epoch
+		t.reqs[slot], t.fails[slot] = 0, 0
+	}
+	t.reqs[slot] += reqs
+	t.fails[slot] += fails
+
+	switch t.state {
+	case StateClosed:
+		var wr, wf uint64
+		for i := 0; i < windowBuckets; i++ {
+			if t.epochs[i] > epoch-windowBuckets {
+				wr += t.reqs[i]
+				wf += t.fails[i]
+			}
+		}
+		if wr >= uint64(b.cfg.MinVolume) && float64(wf) >= b.cfg.TripRate*float64(wr) {
+			t.state = StateOpen
+			t.openedAt, t.lastTrip = now, now
+			t.trips++
+			b.trips++
+			b.record(tile, StateClosed, StateOpen, now)
+		}
+	case StateHalfOpen:
+		if fails > 0 {
+			t.state = StateOpen
+			t.openedAt = now
+			b.reopens++
+			b.record(tile, StateHalfOpen, StateOpen, now)
+			return
+		}
+		t.probeOK += int(reqs)
+		if t.probeOK >= b.cfg.Probes {
+			t.state = StateClosed
+			// A fresh closed window: the failures that tripped the breaker
+			// predate recovery and must not re-trip it instantly.
+			for i := 0; i < windowBuckets; i++ {
+				t.reqs[i], t.fails[i], t.epochs[i] = 0, 0, -1
+			}
+			b.closes++
+			b.record(tile, StateHalfOpen, StateClosed, now)
+		}
+	}
+}
+
+// StateOf returns tile's current state without transitioning it —
+// the read-only view /healthz, /statusz, and the gauges use (an expired
+// open dwell still reads "open" until routing pressure probes it).
+func (b *Breaker) StateOf(tile int) State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tiles[tile].state
+}
+
+// TileBreaker is one tile's breaker summary for /healthz and /statusz.
+type TileBreaker struct {
+	Tile           int     `json:"tile"`
+	State          string  `json:"state"`
+	Trips          uint64  `json:"trips"`
+	LastTripS      float64 `json:"last_trip_s,omitempty"` // offset since server start; 0 = never tripped
+	WindowRequests uint64  `json:"window_requests"`
+	WindowFailures uint64  `json:"window_failures"`
+}
+
+// TileStates returns every tile's breaker summary, window counts
+// evaluated at now.
+func (b *Breaker) TileStates(now time.Time) []TileBreaker {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	epoch := b.epochAt(now)
+	out := make([]TileBreaker, len(b.tiles))
+	for i, t := range b.tiles {
+		s := TileBreaker{Tile: i, State: t.state.String(), Trips: t.trips}
+		if !t.lastTrip.IsZero() {
+			s.LastTripS = t.lastTrip.Sub(b.start).Seconds()
+		}
+		for j := 0; j < windowBuckets; j++ {
+			if t.epochs[j] > epoch-windowBuckets {
+				s.WindowRequests += t.reqs[j]
+				s.WindowFailures += t.fails[j]
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Events returns the transition timeline, oldest first.
+func (b *Breaker) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, 0, len(b.events))
+	if len(b.events) == eventRingCap {
+		out = append(out, b.events[b.evNext:]...)
+		out = append(out, b.events[:b.evNext]...)
+		return out
+	}
+	return append(out, b.events...)
+}
+
+// CollectTelemetry emits the serve/elements/breaker/ counter group
+// (structurally a telemetry.Collector).
+func (b *Breaker) CollectTelemetry(emit func(name string, value float64)) {
+	b.mu.Lock()
+	trips, reopens, closes, halfOpens := b.trips, b.reopens, b.closes, b.halfOpens
+	probes, reroutes := b.probes, b.reroutes
+	b.mu.Unlock()
+	emit("trips", float64(trips))
+	emit("reopens", float64(reopens))
+	emit("closes", float64(closes))
+	emit("half_opens", float64(halfOpens))
+	emit("probes", float64(probes))
+	emit("reroutes", float64(reroutes))
+}

@@ -1,0 +1,222 @@
+// Package elements is the daemon's composable data-plane element chain:
+// per-request protections every request traverses before it reaches the
+// tile router, modeled on the service-mesh element sets that front
+// shared RPC accelerators (RPCAcc, PAPERS.md; the arpc echo elements in
+// ROADMAP.md). Three elements ship:
+//
+//   - Admission: a token bucket per client connection. Clients pushing
+//     past their fill rate are answered with a distinct throttled status
+//     before the server spends a software parse or an accelerator batch
+//     on them.
+//   - Breaker: a circuit breaker per tile, driven by the same
+//     fallback/retry/deadline events the serve/tile<i>/ counters record.
+//     A tile whose recent failure rate crosses the trip threshold opens
+//     (the router treats it like a quarantined tile), dwells, then
+//     half-opens a bounded probe stream; probe success re-closes it
+//     without operator action.
+//   - Cache: a canonical-bytes response cache keyed on
+//     (schema, op, payload FNV-1a) with bounded memory and LRU
+//     eviction, so hot-key skewed traffic short-circuits the
+//     accelerator entirely.
+//
+// Every element is byte-transparent by construction. Responses in this
+// server are canonical codec.Marshal bytes — a pure function of
+// (schema, op, payload) — so a cache hit returns exactly the bytes a
+// fresh execution would produce, a breaker reroute lands on a tile that
+// produces the same bytes, and admission only ever substitutes a
+// throttled status for work not done. The chaos tests assert the chain
+// on/off response streams are bitwise identical.
+//
+// The package deliberately depends on nothing in internal/serve (serve
+// imports it): elements speak primitive types, and their
+// CollectTelemetry methods structurally satisfy telemetry.Collector.
+package elements
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Config selects and tunes the element chain. The zero value disables
+// every element; zero tuning fields select the defaults noted on them.
+type Config struct {
+	// Admission enables per-client token-bucket admission control.
+	Admission bool
+	// Breaker enables the per-tile circuit breaker.
+	Breaker bool
+	// Cache enables the canonical-bytes response cache.
+	Cache bool
+
+	// FillRate is each client's sustained admission rate in requests per
+	// second (default 2000).
+	FillRate float64
+	// Burst is each client's bucket capacity in requests; bursts up to
+	// this size pass even at zero sustained budget (default 2×FillRate).
+	Burst float64
+
+	// Window is the breaker's rolling failure-rate window (default 1s).
+	Window time.Duration
+	// TripRate is the failure fraction over Window that opens a closed
+	// breaker (default 0.5). Failure events are fallback-completed
+	// requests, deadline misses, and fault retries, so the ratio can
+	// exceed 1 on a badly faulted tile.
+	TripRate float64
+	// MinVolume is the minimum request volume in Window before TripRate
+	// is evaluated — a floor against tripping on tiny samples (default 16).
+	MinVolume int
+	// OpenFor is how long an open breaker dwells before half-opening
+	// (default 500ms).
+	OpenFor time.Duration
+	// Probes is the half-open probe budget: at most this many requests
+	// route to the tile while half-open; any observed failure re-opens,
+	// this many observed successes re-close (default 8).
+	Probes int
+
+	// CacheBytes bounds the cache's payload memory (request + response
+	// bytes per entry); LRU entries evict past it (default 16MiB).
+	CacheBytes int64
+}
+
+// Defaults, exported so flag help and /statusz can echo them.
+const (
+	DefaultFillRate   = 2000.0
+	DefaultWindow     = time.Second
+	DefaultTripRate   = 0.5
+	DefaultMinVolume  = 16
+	DefaultOpenFor    = 500 * time.Millisecond
+	DefaultProbes     = 8
+	DefaultCacheBytes = 16 << 20
+)
+
+func (c Config) withDefaults() Config {
+	if c.FillRate <= 0 {
+		c.FillRate = DefaultFillRate
+	}
+	if c.Burst <= 0 {
+		c.Burst = 2 * c.FillRate
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.TripRate <= 0 {
+		c.TripRate = DefaultTripRate
+	}
+	if c.MinVolume <= 0 {
+		c.MinVolume = DefaultMinVolume
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = DefaultOpenFor
+	}
+	if c.Probes <= 0 {
+		c.Probes = DefaultProbes
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
+	return c
+}
+
+// Any reports whether at least one element is enabled.
+func (c Config) Any() bool { return c.Admission || c.Breaker || c.Cache }
+
+// Names returns the enabled element names in chain order.
+func (c Config) Names() []string {
+	var out []string
+	if c.Admission {
+		out = append(out, "admission")
+	}
+	if c.Breaker {
+		out = append(out, "breaker")
+	}
+	if c.Cache {
+		out = append(out, "cache")
+	}
+	return out
+}
+
+// Spec renders the enable set back into -elements flag form.
+func (c Config) Spec() string {
+	if !c.Any() {
+		return "off"
+	}
+	if c.Admission && c.Breaker && c.Cache {
+		return "all"
+	}
+	return strings.Join(c.Names(), ",")
+}
+
+// ParseSpec parses a -elements flag value: "" or "off" disables the
+// chain, "all" enables every element, otherwise a comma-separated subset
+// of admission, breaker, cache. Tuning fields stay zero (defaults).
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	switch spec {
+	case "", "off", "none":
+		return c, nil
+	case "all":
+		c.Admission, c.Breaker, c.Cache = true, true, true
+		return c, nil
+	}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(part)
+		if seen[name] {
+			return c, fmt.Errorf("elements: duplicate element %q in spec %q", name, spec)
+		}
+		seen[name] = true
+		switch name {
+		case "admission":
+			c.Admission = true
+		case "breaker":
+			c.Breaker = true
+		case "cache":
+			c.Cache = true
+		default:
+			return c, fmt.Errorf("elements: unknown element %q in spec %q (want admission, breaker, cache, all, or off)", name, spec)
+		}
+	}
+	return c, nil
+}
+
+// Chain is a server's instantiated element set. Nil element pointers —
+// and a nil Chain — mean that element is off; call sites guard on nil,
+// so a chain-off server runs exactly the pre-chain code path.
+type Chain struct {
+	Admission *Admission
+	Breaker   *Breaker
+	Cache     *Cache
+
+	cfg Config
+}
+
+// New builds the chain cfg selects for a server with the given tile
+// count. Returns nil when no element is enabled.
+func New(cfg Config, tiles int) *Chain {
+	if !cfg.Any() {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	ch := &Chain{cfg: cfg}
+	if cfg.Admission {
+		ch.Admission = newAdmission(cfg.FillRate, cfg.Burst)
+	}
+	if cfg.Breaker {
+		ch.Breaker = newBreaker(cfg, tiles)
+	}
+	if cfg.Cache {
+		ch.Cache = newCache(cfg.CacheBytes)
+	}
+	return ch
+}
+
+// Config returns the (defaulted) configuration the chain was built with.
+func (ch *Chain) Config() Config { return ch.cfg }
+
+// Names returns the enabled element names in chain order; nil-safe.
+func (ch *Chain) Names() []string {
+	if ch == nil {
+		return nil
+	}
+	return ch.cfg.Names()
+}

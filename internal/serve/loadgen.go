@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -34,6 +35,13 @@ type LoadgenOptions struct {
 	// aggregate rate instead of saturating. 0 means closed-loop.
 	RatePerSec float64
 
+	// ZipfS > 1 switches payload selection from the uniform sample walk to
+	// a Zipf(s)-skewed draw over the schema's sample payloads — hot-key
+	// traffic, where a handful of payloads dominate (the distribution the
+	// response cache exists for). Larger s is more skewed; 0 keeps the
+	// uniform walk. Values in (0, 1] are invalid (Zipf needs s > 1).
+	ZipfS float64
+
 	// Timeout is the per-request deadline passed to the server (0 inherits
 	// the server default).
 	Timeout time.Duration
@@ -49,14 +57,15 @@ type LoadgenReport struct {
 	Schema string
 	Op     Op
 
-	Elapsed  time.Duration
-	Requests uint64
-	OK       uint64
-	Shed     uint64
-	Deadline uint64
-	Bad      uint64
-	Errors   uint64 // transport errors and StatusError responses
-	FellBack uint64 // OK responses served by a software path
+	Elapsed   time.Duration
+	Requests  uint64
+	OK        uint64
+	Shed      uint64
+	Throttled uint64 // rejected by the admission-control element
+	Deadline  uint64
+	Bad       uint64
+	Errors    uint64 // transport errors and StatusError responses
+	FellBack  uint64 // OK responses served by a software path
 
 	BytesIn  uint64 // payload bytes sent
 	BytesOut uint64 // payload bytes received on OK responses
@@ -109,6 +118,9 @@ func RunLoadgen(opts LoadgenOptions) (*LoadgenReport, error) {
 	if opts.Concurrency <= 0 {
 		opts.Concurrency = 8
 	}
+	if opts.ZipfS > 0 && opts.ZipfS <= 1 {
+		return nil, fmt.Errorf("serve: loadgen: -skew %g invalid (Zipf needs s > 1, or 0 for uniform)", opts.ZipfS)
+	}
 
 	reports := make([]LoadgenReport, opts.Concurrency)
 	errs := make([]error, opts.Concurrency)
@@ -126,6 +138,15 @@ func RunLoadgen(opts LoadgenOptions) (*LoadgenReport, error) {
 			}
 			defer client.Close()
 			rep := &reports[w]
+			// Skewed mode draws sample indices from a per-worker Zipf
+			// source (seeded by worker id, so runs are reproducible for a
+			// given concurrency); rank 0 — the hottest key — maps to sample
+			// 0 on every worker, so the fleet-wide hot set overlaps.
+			var zipf *rand.Zipf
+			if opts.ZipfS > 1 {
+				src := rand.New(rand.NewSource(int64(w) + 1))
+				zipf = rand.NewZipf(src, opts.ZipfS, 1, uint64(entry.NumSamples()-1))
+			}
 			var interval time.Duration
 			next := time.Now()
 			if opts.RatePerSec > 0 {
@@ -151,7 +172,11 @@ func RunLoadgen(opts LoadgenOptions) (*LoadgenReport, error) {
 					}
 					next = next.Add(interval)
 				}
-				payload := entry.SamplePayload(w*7919 + i)
+				idx := w*7919 + i
+				if zipf != nil {
+					idx = int(zipf.Uint64())
+				}
+				payload := entry.SamplePayload(idx)
 				t0 := time.Now()
 				if !sendAt.IsZero() {
 					t0 = sendAt
@@ -182,6 +207,8 @@ func RunLoadgen(opts LoadgenOptions) (*LoadgenReport, error) {
 					}
 				case StatusShed:
 					rep.Shed++
+				case StatusThrottled:
+					rep.Throttled++
 				case StatusDeadline:
 					rep.Deadline++
 				case StatusBadRequest:
@@ -202,6 +229,7 @@ func RunLoadgen(opts LoadgenOptions) (*LoadgenReport, error) {
 		out.Requests += r.Requests
 		out.OK += r.OK
 		out.Shed += r.Shed
+		out.Throttled += r.Throttled
 		out.Deadline += r.Deadline
 		out.Bad += r.Bad
 		out.Errors += r.Errors

@@ -149,6 +149,31 @@ func (o *serverObs) registerGauges(s *Server) {
 	o.reg.RegisterGauge("serve/live/uptime_seconds", func() float64 {
 		return time.Since(o.start).Seconds()
 	})
+	// Element-chain gauges register only when their element is on, so a
+	// chain-off scrape is shaped exactly like the pre-chain server's.
+	if s.elems != nil {
+		if a := s.elems.Admission; a != nil {
+			o.reg.RegisterGauge("serve/elements/admission/live/clients", func() float64 {
+				return float64(a.Clients())
+			})
+		}
+		if b := s.elems.Breaker; b != nil {
+			for _, t := range s.tiles {
+				id := t.id
+				o.reg.RegisterGauge(fmt.Sprintf("serve/tile%d/live/breaker_state", id), func() float64 {
+					return float64(b.StateOf(id)) // 0 closed, 1 open, 2 half-open
+				})
+			}
+		}
+		if c := s.elems.Cache; c != nil {
+			o.reg.RegisterGauge("serve/elements/cache/live/bytes", func() float64 {
+				return float64(c.Bytes())
+			})
+			o.reg.RegisterGauge("serve/elements/cache/live/entries", func() float64 {
+				return float64(c.Len())
+			})
+		}
+	}
 }
 
 // since returns the monotonic offset used for span timestamps.

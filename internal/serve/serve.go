@@ -64,6 +64,10 @@ const (
 	StatusBadRequest
 	// StatusError: an internal error; Payload carries the message.
 	StatusError
+	// StatusThrottled: the client exceeded its admission-control token
+	// budget (elements chain); distinct from StatusShed so clients can
+	// tell "server full" from "you specifically are over rate".
+	StatusThrottled
 )
 
 func (s Status) String() string {
@@ -78,6 +82,8 @@ func (s Status) String() string {
 		return "bad_request"
 	case StatusError:
 		return "error"
+	case StatusThrottled:
+		return "throttled"
 	default:
 		return "status(?)"
 	}

@@ -14,6 +14,7 @@ import (
 	"protoacc/internal/faults"
 	"protoacc/internal/pb/codec"
 	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/serve/elements"
 	"protoacc/internal/telemetry"
 )
 
@@ -156,6 +157,13 @@ type Options struct {
 	// Perfetto exporters. 0 (default) disables span sampling.
 	SpanSampleN int
 
+	// Elements selects and tunes the data-plane element chain every
+	// request traverses before the tile router: per-client token-bucket
+	// admission, a per-tile circuit breaker, and a canonical-bytes
+	// response cache. The zero value disables the chain entirely — the
+	// pre-chain code path, byte for byte.
+	Elements elements.Config
+
 	// Faults selects a deterministic fault-injection schedule for the
 	// accelerator Systems (the chaos tests drive this).
 	Faults faults.Config
@@ -224,11 +232,12 @@ type batchKey struct {
 
 // pending is an admitted request waiting for (or inside) a batch.
 type pending struct {
-	req      Request
-	entry    *Entry
-	msg      *dynamic.Message // payload parsed by the software codec at admission
-	deadline time.Time
-	resp     chan Response // buffered(1); receives exactly one Response
+	req       Request
+	entry     *Entry
+	msg       *dynamic.Message // payload parsed by the software codec at admission
+	deadline  time.Time
+	fromCache bool          // answered from the response cache; respond must not re-fill
+	resp      chan Response // buffered(1); receives exactly one Response
 
 	// Observability-only fields; nothing on the serving path branches on
 	// them, so they cannot perturb responses or exact-mode counters.
@@ -252,12 +261,14 @@ type batchJob struct {
 // admission-side counters. Execution — batching, pooled Systems,
 // degradation — belongs to the tiles.
 type Server struct {
-	opts Options
-	cfg  core.Config // base System config (per-tile configs derive from it)
-	obs  *serverObs  // live observability plane (stage histograms, gauges, spans)
+	opts  Options
+	cfg   core.Config     // base System config (per-tile configs derive from it)
+	obs   *serverObs      // live observability plane (stage histograms, gauges, spans)
+	elems *elements.Chain // data-plane element chain; nil when every element is off
 
-	tiles    []*tile
-	routeSeq atomic.Uint64 // routing sequence: RR cursor / p2c hash input
+	tiles     []*tile
+	routeSeq  atomic.Uint64 // routing sequence: RR cursor / p2c hash input
+	inprocSeq atomic.Uint64 // in-process client identities for admission control
 
 	admitMu sync.RWMutex
 	closed  bool
@@ -277,6 +288,7 @@ type Server struct {
 type stats struct {
 	reqDeser, reqSer                 uint64
 	ok, shed, deadline, bad, errored uint64
+	throttled                        uint64
 	bytesIn, bytesOut                uint64
 }
 
@@ -296,6 +308,7 @@ func NewServer(opts Options) (*Server, error) {
 		opts:      opts,
 		cfg:       serveConfig(opts),
 		obs:       newServerObs(opts),
+		elems:     elements.New(opts.Elements, opts.Tiles),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
@@ -332,6 +345,63 @@ func (s *Server) Tiles() int { return len(s.tiles) }
 // Routing returns the active routing policy.
 func (s *Server) Routing() Routing { return s.opts.Routing }
 
+// Elements returns the server's data-plane element chain; nil when the
+// chain is off.
+func (s *Server) Elements() *elements.Chain { return s.elems }
+
+// breaker returns the circuit-breaker element, nil when off.
+func (s *Server) breaker() *elements.Breaker {
+	if s.elems == nil {
+		return nil
+	}
+	return s.elems.Breaker
+}
+
+// cache returns the response-cache element, nil when off.
+func (s *Server) cache() *elements.Cache {
+	if s.elems == nil {
+		return nil
+	}
+	return s.elems.Cache
+}
+
+// SetTileFaults replaces tile id's fault-injection schedule at runtime —
+// the control the chaos drills and the /faultz admin endpoint use to
+// start or stop injection on a live tile and watch the breaker trip and
+// recover. Warm resident Systems were built under the old schedule, so
+// they are dropped (abandoned to the GC); pooled Systems need no flush
+// because the pool keys on the full config — a checkout under the new
+// schedule can never return an old-schedule System.
+func (s *Server) SetTileFaults(id int, cfg faults.Config) error {
+	if id < 0 || id >= len(s.tiles) {
+		return fmt.Errorf("serve: tile %d out of range [0,%d)", id, len(s.tiles))
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	t := s.tiles[id]
+	t.cfgMu.Lock()
+	t.cfg.Faults = cfg
+	t.cfgMu.Unlock()
+	t.resMu.Lock()
+	t.residents = make(map[string][]*core.System)
+	t.residentN = 0
+	t.resMu.Unlock()
+	return nil
+}
+
+// TileFaults returns tile id's current fault schedule (zero Config for
+// an out-of-range id).
+func (s *Server) TileFaults(id int) faults.Config {
+	if id < 0 || id >= len(s.tiles) {
+		return faults.Config{}
+	}
+	t := s.tiles[id]
+	t.cfgMu.RLock()
+	defer t.cfgMu.RUnlock()
+	return t.cfg.Faults
+}
+
 // TilePoolCounters returns each tile's pool recycling counters, indexed
 // by tile id (for shutdown summaries and pool introspection).
 func (s *Server) TilePoolCounters() []core.PoolCounters {
@@ -355,19 +425,62 @@ func (s *Server) ConfigFingerprint() string {
 // power-of-two-choices hashes it into two candidates and takes the one
 // with the shallower queue (ties toward the lower id, so the choice is
 // deterministic for a given arrival order and queue state).
+//
+// With the breaker element on, an open tile is treated like quarantine:
+// round-robin scans deterministically forward to the next routable tile,
+// p2c filters its candidates (falling back to a scan when both are
+// open). If every breaker is open the preferred tile serves anyway —
+// shedding everything on an all-open fleet would turn a partial outage
+// into a total one. With every breaker closed — and always with the
+// chain off — placement is bit-identical to the pre-breaker router,
+// which is what keeps the rr determinism contract intact.
 func (s *Server) pick() *tile {
 	n := uint64(len(s.tiles))
 	if n == 1 {
 		return s.tiles[0]
 	}
 	seq := s.routeSeq.Add(1)
+	br := s.breaker()
 	if s.opts.Routing == RouteRoundRobin {
-		return s.tiles[(seq-1)%n]
+		t := s.tiles[(seq-1)%n]
+		if br == nil || br.Routable(t.id, time.Now()) {
+			return t
+		}
+		now := time.Now()
+		for off := uint64(1); off < n; off++ {
+			c := s.tiles[(seq-1+off)%n]
+			if br.Routable(c.id, now) {
+				br.NoteReroute(1)
+				return c
+			}
+		}
+		return t
 	}
 	r := splitmix64(seq)
 	a, b := s.tiles[r%n], s.tiles[(r>>32)%n]
 	if a.id > b.id {
 		a, b = b, a
+	}
+	if br != nil {
+		now := time.Now()
+		ra, rb := br.Routable(a.id, now), br.Routable(b.id, now)
+		switch {
+		case ra && !rb:
+			br.NoteReroute(1)
+			return a
+		case !ra && rb:
+			br.NoteReroute(1)
+			return b
+		case !ra && !rb:
+			for off := uint64(1); off <= n; off++ {
+				c := s.tiles[(r+off)%n]
+				if br.Routable(c.id, now) {
+					br.NoteReroute(1)
+					return c
+				}
+			}
+			// Every breaker open: fall through to the plain p2c choice.
+		}
 	}
 	if len(b.queue) < len(a.queue) {
 		return b
@@ -380,6 +493,9 @@ func (s *Server) pick() *tile {
 // queues cannot close mid-send.
 func (s *Server) enqueue(job batchJob) bool {
 	t := s.pick()
+	if br := s.breaker(); br != nil {
+		br.NoteRouted(t.id, len(job.pendings), time.Now())
+	}
 	for _, p := range job.pendings {
 		if p.span != nil {
 			p.span.Tile = t.id
@@ -394,10 +510,11 @@ func (s *Server) enqueue(job batchJob) bool {
 	}
 }
 
-// submit admits one request. The returned channel receives exactly one
-// Response; rejected requests (shed, bad) are answered without queueing.
-func (s *Server) submit(req Request) <-chan Response {
-	p, ok := s.admit(req)
+// submit admits one request on behalf of client. The returned channel
+// receives exactly one Response; rejected requests (shed, throttled,
+// bad) and cache hits are answered without queueing.
+func (s *Server) submit(client string, req Request) <-chan Response {
+	p, ok := s.admit(client, req)
 	if !ok {
 		return p.resp
 	}
@@ -435,9 +552,11 @@ func (s *Server) submitPreformed(pendings []*pending, key batchKey) {
 	}
 }
 
-// admit validates a request. ok means the pending is ready to queue; on
-// validation failure the pending has already been answered.
-func (s *Server) admit(req Request) (p *pending, ok bool) {
+// admit validates a request from client and runs the element chain's
+// admission-side stages. ok means the pending is ready to queue; on
+// validation failure, throttle, or a cache hit the pending has already
+// been answered.
+func (s *Server) admit(client string, req Request) (p *pending, ok bool) {
 	p = &pending{req: req, resp: make(chan Response, 1), admitAt: time.Now()}
 	if sp := s.obs.maybeSpan(); sp != nil {
 		sp.Schema, sp.Op = req.Schema, req.Op
@@ -466,6 +585,24 @@ func (s *Server) admit(req Request) (p *pending, ok bool) {
 			Payload: []byte(fmt.Sprintf("payload %d bytes exceeds limit %d", len(req.Payload), s.opts.MaxPayload))})
 		return p, false
 	}
+	// Element chain, admission side. Admission control runs before the
+	// software parse so an over-rate client cannot buy CPU with rejected
+	// requests; the cache runs next, because a hit skips both the parse
+	// and the accelerator — a hit implies a previously-served identical
+	// payload, so well-formedness is already established.
+	if s.elems != nil {
+		if a := s.elems.Admission; a != nil && !a.Allow(client, time.Now()) {
+			s.respond(p, Response{Status: StatusThrottled, Payload: []byte("client over admission rate")})
+			return p, false
+		}
+		if c := s.elems.Cache; c != nil {
+			if out, cycles, hit := c.Get(req.Schema, uint8(req.Op), req.Payload); hit {
+				p.fromCache = true
+				s.respond(p, Response{Status: StatusOK, Cycles: cycles, Payload: out})
+				return p, false
+			}
+		}
+	}
 	// Both operations take wire bytes; parsing them with the software codec
 	// up front rejects malformed payloads before they reach the accelerator
 	// and keeps the software answer at hand for graceful degradation.
@@ -486,9 +623,18 @@ func (s *Server) admit(req Request) (p *pending, ok bool) {
 	return p, true
 }
 
-// respond answers a pending exactly once and records the outcome.
+// respond answers a pending exactly once and records the outcome. This
+// is also where the response cache fills: only clean accelerator-path OK
+// responses are stored (no fallbacks — their bytes are identical anyway,
+// but a fallback marks a degraded tile, and caching under degradation
+// would mask it), and never re-stored from a cache hit.
 func (s *Server) respond(p *pending, resp Response) {
 	resp.ID = p.req.ID
+	if resp.Status == StatusOK && !resp.FellBack && !p.fromCache {
+		if c := s.cache(); c != nil {
+			c.Put(p.req.Schema, uint8(p.req.Op), p.req.Payload, resp.Payload, resp.Cycles)
+		}
+	}
 	s.mu.Lock()
 	switch resp.Status {
 	case StatusOK:
@@ -500,6 +646,8 @@ func (s *Server) respond(p *pending, resp Response) {
 		s.stats.deadline++
 	case StatusBadRequest:
 		s.stats.bad++
+	case StatusThrottled:
+		s.stats.throttled++
 	default:
 		s.stats.errored++
 	}
@@ -550,6 +698,7 @@ func (s *Server) CollectTelemetry(emit func(name string, value float64)) {
 	emit("responses/deadline", float64(st.deadline))
 	emit("responses/bad_request", float64(st.bad))
 	emit("responses/error", float64(st.errored))
+	emit("responses/throttled", float64(st.throttled))
 	emit("bytes/in", float64(st.bytesIn))
 	emit("bytes/out", float64(st.bytesOut))
 	emit("batches", float64(ts.batches))
@@ -602,6 +751,19 @@ func (s *Server) TelemetrySnapshot() telemetry.Snapshot {
 	reg.Register("serve", s)
 	for _, t := range s.tiles {
 		reg.Register(fmt.Sprintf("serve/tile%d", t.id), t)
+	}
+	// Element groups register only when their element is on, so a
+	// chain-off snapshot is byte-identical to the pre-chain server's.
+	if s.elems != nil {
+		if a := s.elems.Admission; a != nil {
+			reg.Register("serve/elements/admission", a)
+		}
+		if b := s.elems.Breaker; b != nil {
+			reg.Register("serve/elements/breaker", b)
+		}
+		if c := s.elems.Cache; c != nil {
+			reg.Register("serve/elements/cache", c)
+		}
 	}
 	var agg telemetry.Aggregate
 	agg.Add(reg.Snapshot())
@@ -691,6 +853,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.connMu.Unlock()
 		conn.Close()
 	}()
+	// The connection's remote address is the admission-control client
+	// identity: one token bucket per client connection.
+	client := conn.RemoteAddr().String()
 	var writeMu sync.Mutex
 	var wg sync.WaitGroup
 	defer wg.Wait()
@@ -703,7 +868,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		ch := s.submit(req)
+		ch := s.submit(client, req)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

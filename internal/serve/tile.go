@@ -21,9 +21,18 @@ import (
 // frontend-to-engine messaging kept to a single bounded channel per
 // engine.
 type tile struct {
-	id   int
-	srv  *Server
-	cfg  core.Config // per-tile: FaultTiles may strip the fault schedule
+	id  int
+	srv *Server
+
+	// cfg is the per-tile System config (FaultTiles may strip the fault
+	// schedule at construction; Server.SetTileFaults may swap it live).
+	// cfgMu guards it: executors read a copy at checkout, the admin
+	// fault control writes it. The pool needs no flush on a swap — it
+	// keys on the full config, so a checkout under the new schedule can
+	// never return an old-schedule System.
+	cfgMu sync.RWMutex
+	cfg   core.Config
+
 	pool *core.Pool
 	obs  *tileObs // this tile's shard of the observability plane
 
@@ -139,6 +148,29 @@ func containsInt(list []int, x int) bool {
 		}
 	}
 	return false
+}
+
+// config returns a copy of the tile's current System config.
+func (t *tile) config() core.Config {
+	t.cfgMu.RLock()
+	defer t.cfgMu.RUnlock()
+	return t.cfg
+}
+
+// faultsEnabled reports whether a fault schedule is currently active on
+// this tile.
+func (t *tile) faultsEnabled() bool {
+	t.cfgMu.RLock()
+	defer t.cfgMu.RUnlock()
+	return t.cfg.Faults.Enabled
+}
+
+// observeBreaker feeds one batch outcome (reqs completed, fails of which
+// were failure events) into the circuit-breaker element, if on.
+func (t *tile) observeBreaker(reqs, fails uint64) {
+	if br := t.srv.breaker(); br != nil {
+		br.Observe(t.id, reqs, fails, time.Now())
+	}
 }
 
 // dispatch coalesces this tile's queued singles into per-(schema, op)
@@ -321,6 +353,16 @@ func (t *tile) workerLoop() {
 // whole batch of singles rather than one — a stolen single would execute
 // as a batch of one, paying a full System checkout for one request.
 func (t *tile) trySteal() bool {
+	// canSteal is fixed at construction; two dynamic conditions also veto:
+	// a fault schedule enabled after construction (SetTileFaults), and an
+	// open/exhausted breaker — a tile the router is avoiding must not
+	// pull in work routed to healthy tiles through the back door.
+	if t.faultsEnabled() {
+		return false
+	}
+	if br := t.srv.breaker(); br != nil && !br.Routable(t.id, time.Now()) {
+		return false
+	}
 	var victim *tile
 	best := t.srv.opts.MaxBatch // steal only past a batch's worth of backlog
 	for _, v := range t.srv.tiles {
@@ -412,12 +454,19 @@ func (t *tile) trySteal() bool {
 func (t *tile) runBatch(job batchJob) {
 	live := job.pendings[:0:0]
 	now := time.Now()
+	expired := 0
 	for _, p := range job.pendings {
 		if p.deadline.Before(now) {
 			t.srv.respond(p, Response{Status: StatusDeadline, Payload: []byte("deadline expired in queue")})
+			expired++
 			continue
 		}
 		live = append(live, p)
+	}
+	if expired > 0 {
+		// Deadline misses count as failure events on this tile: a tile whose
+		// queue lets budgets expire is unhealthy from the client's view.
+		t.observeBreaker(uint64(expired), uint64(expired))
 	}
 	if len(live) == 0 {
 		return
@@ -524,11 +573,12 @@ func (t *tile) checkout(schema string, entry *Entry) (*core.System, error) {
 		}
 		t.resMu.Unlock()
 	}
+	cfg := t.config()
 	var sys *core.System
 	if t.srv.opts.Fresh {
-		sys = core.New(t.cfg)
+		sys = core.New(cfg)
 	} else {
-		sys = t.pool.Get(t.cfg)
+		sys = t.pool.Get(cfg)
 	}
 	if err := sys.LoadSchema(entry.Type); err != nil {
 		return nil, err
@@ -576,6 +626,7 @@ func (t *tile) runFunctional(live []*pending, estCycles float64) {
 		}
 		t.srv.respond(p, Response{Status: StatusOK, Cycles: estCycles, Payload: out})
 	}
+	t.observeBreaker(uint64(len(live)), 0)
 	t.obs.record(stageRespondWrite, time.Since(t0))
 }
 
@@ -687,6 +738,9 @@ func (t *tile) degrade(live []*pending, cause error) {
 	t.mu.Lock()
 	t.stats.serverFallbacks += uint64(len(live))
 	t.mu.Unlock()
+	// Every degraded request is a failure event: the accelerator shard
+	// could not serve it, which is exactly what the breaker watches for.
+	t.observeBreaker(uint64(len(live)), uint64(len(live)))
 	t0 := time.Now()
 	for _, p := range live {
 		if p.span != nil {
@@ -736,6 +790,17 @@ func (t *tile) noteBatch(res core.Result, n int, st *sampleState) {
 		st.perReq = res.Cycles / float64(n)
 		t.sampleMu.Unlock()
 	}
+	// Breaker view of the batch: every request completed; retries and
+	// (when the core fell back) every request count as failure events —
+	// the same events the serve/tile<i>/ resilience counters record.
+	var fails uint64
+	if res.Fault != nil {
+		fails = uint64(res.Fault.Retries)
+		if res.Fault.FellBack {
+			fails += uint64(n)
+		}
+	}
+	t.observeBreaker(uint64(n), fails)
 }
 
 // absorb folds a batch System's counters into the tile aggregate. The
