@@ -14,6 +14,7 @@
 //	        [-check] [-out file] [-scrape file] [-trace-out file]
 //	        [-tiles n] [-routing p2c|rr] [-tile-sweep 1,2,4]
 //	        [-elements all|off|admission,breaker,cache] [-elements-sweep]
+//	        [-workload trace|chain|all] [-trace-seed n] [-trace-len n] [-hops n]
 //	        [-workers n] [-max-batch n] [-batch-window d] [-queue-depth n]
 //	        [-faults rate[@site,...]] [-fault-seed n] [-fault-tiles 0,2]
 //	        [-stats-out file] [-span-sample-n n]
@@ -27,6 +28,16 @@
 // (chain off vs on at several skew levels, fresh in-process server per
 // cell) and runs a breaker trip/recovery drill against a part-faulted
 // fleet — the measurement behind results/serve_elements.md.
+//
+// -workload replaces the per-(schema, op) passes with fleet-shaped
+// workloads from internal/workloads: "trace" replays a seeded,
+// deterministic key/size/op trace (schema mix and payload sizes shaped
+// by the fleet study, Zipf-ranked key popularity), "chain" drives a
+// 2–3 hop service chain (frontend → kv → backend [→ store]) where every
+// hop's serialize and deserialize runs on the accelerated serving path,
+// and "all" does both — the measurement behind results/serve_workloads.md.
+// -trace-seed, -trace-len, and -hops tune it; both modes work against an
+// in-process server or a live daemon via -addr.
 //
 // With -addr it dials an already-running daemon over TCP (one connection
 // per worker). Without -addr it starts an in-process server and drives it
@@ -88,6 +99,11 @@ func main() {
 	adminURL := flag.String("admin-url", "", "admin endpoint base URL of the -addr daemon (e.g. http://127.0.0.1:7412); scraped at ~10Hz during passes")
 	traceOut := flag.String("trace-out", "", "write sampled lifecycle spans as Perfetto trace JSON to this file (in-process: enable -span-sample-n; with -addr: fetched from -admin-url /spans)")
 
+	workload := flag.String("workload", "", "fleet-shaped workload mode: trace (replay a synthesized trace), chain (2–3 hop service chain), or all")
+	traceSeed := flag.Int64("trace-seed", 1, "seed of the synthesized workload trace (same seed = same trace)")
+	traceLen := flag.Int("trace-len", 0, "records in the synthesized workload trace (0 = default 4096)")
+	hops := flag.Int("hops", 2, "service-chain length in edges for -workload chain (1..3: frontend→kv→backend→store)")
+
 	tiles := flag.Int("tiles", 0, "in-process server: accelerator tiles behind the router (0 = default 1)")
 	routing := flag.String("routing", "p2c", "in-process server: tile placement policy, p2c or rr")
 	tileSweep := flag.String("tile-sweep", "", "run every pass once per tile count in this comma list (e.g. 1,2,4) and report scaling; implies in-process servers")
@@ -142,6 +158,10 @@ func main() {
 		*cycleMode != "exact" || *cycleSampleN != 0 || *spanSampleN != 0
 	if *addr != "" && serverFlags {
 		fmt.Fprintln(os.Stderr, "loadgen: -tiles/-routing/-tile-sweep/-elements/-elements-sweep/-workers/-max-batch/-batch-window/-queue-depth/-faults/-fault-tiles/-stats-out/-cycle-mode/-cycle-sample-n/-span-sample-n configure the in-process server and conflict with -addr")
+		os.Exit(2)
+	}
+	if *workload != "" && (*tileSweep != "" || *elementsSweep || *scrape != "") {
+		fmt.Fprintln(os.Stderr, "loadgen: -workload does not combine with -tile-sweep, -elements-sweep, or -scrape")
 		os.Exit(2)
 	}
 	if *elementsSweep && *tileSweep != "" {
@@ -237,6 +257,27 @@ func main() {
 		ZipfS:       *skew,
 		Timeout:     *timeout,
 		Check:       *check,
+	}
+
+	if *workload != "" {
+		if err := runWorkloads(workloadsRun{
+			mode:     *workload,
+			seed:     *traceSeed,
+			records:  *traceLen,
+			hops:     *hops,
+			workers:  *concurrency,
+			timeout:  *timeout,
+			check:    *check,
+			addr:     *addr,
+			tiles:    *tiles,
+			opts:     opts,
+			out:      *out,
+			statsOut: *statsOut,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *tileSweep != "" {

@@ -315,6 +315,55 @@ func TestBucketIndex(t *testing.T) {
 	}
 }
 
+// Regression: every share/quantile helper divides by an observed total.
+// On an empty Sampler those totals are zero, and an unguarded division
+// would return NaNs that flow straight into workload shaping
+// (internal/workloads synthesizes traces from these shares and falls
+// back to the published Figure 3/4a data exactly when they are all
+// zero — a NaN would instead poison every weighted draw). Empty must
+// mean zeros, never NaN.
+func TestSamplerEmptyNoNaN(t *testing.T) {
+	s := NewSampler()
+
+	checkSlice := func(name string, shares []float64, wantLen int) {
+		t.Helper()
+		if len(shares) != wantLen {
+			t.Errorf("%s: %d buckets, want %d", name, len(shares), wantLen)
+		}
+		for i, v := range shares {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s[%d] = %v on an empty sampler", name, i, v)
+			}
+			if v != 0 {
+				t.Errorf("%s[%d] = %v on an empty sampler, want 0", name, i, v)
+			}
+		}
+	}
+	checkSlice("MessageSizeShares", s.MessageSizeShares(), len(SizeBucketBounds))
+	checkSlice("BytesFieldShares", s.BytesFieldShares(), len(BytesFieldBucketBounds))
+	checkSlice("DensityShares", s.DensityShares(), len(FieldDensity()))
+
+	for name, m := range map[string]map[TypeKey]float64{
+		"FieldCountShares": s.FieldCountShares(),
+		"FieldByteShares":  s.FieldByteShares(),
+	} {
+		if len(m) != 0 {
+			t.Errorf("%s on an empty sampler has %d entries, want 0", name, len(m))
+		}
+		for k, v := range m {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s[%v] = %v on an empty sampler", name, k, v)
+			}
+		}
+	}
+
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if d := s.DepthCoverage(q); d != 1 {
+			t.Errorf("DepthCoverage(%v) = %d on an empty sampler, want 1 (top level)", q, d)
+		}
+	}
+}
+
 // mustMessage is the test-local stand-in for the removed
 // schema.MustMessage: build a type from known-good literal fields,
 // panicking on error. Library code uses schema.NewMessage and returns

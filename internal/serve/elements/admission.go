@@ -1,6 +1,7 @@
 package elements
 
 import (
+	"math"
 	"sync"
 	"time"
 )
@@ -33,6 +34,18 @@ type Admission struct {
 }
 
 func newAdmission(fillRate, burst float64) *Admission {
+	// Clamp, NaN-safely, anything that would poison the refill
+	// arithmetic: `x <= 0` comparisons are false for NaN, so the usual
+	// defaulting idiom lets NaN through, and the sweep's
+	// burst/fillRate*Second then converts Inf/NaN to time.Duration —
+	// implementation-defined (minInt64 on amd64), making the idle sweep
+	// either never fire or drop every bucket.
+	if !(fillRate > 0) || math.IsInf(fillRate, 0) {
+		fillRate = DefaultFillRate
+	}
+	if !(burst > 0) || math.IsInf(burst, 0) {
+		burst = 2 * fillRate
+	}
 	return &Admission{
 		fillRate: fillRate,
 		burst:    burst,
@@ -76,7 +89,17 @@ func (a *Admission) Allow(client string, now time.Time) bool {
 
 // sweepLocked drops buckets idle long enough to have refilled to burst.
 func (a *Admission) sweepLocked(now time.Time) {
-	refill := time.Duration(a.burst / a.fillRate * float64(time.Second))
+	// Construction clamps the rates, but guard the conversion anyway: a
+	// non-finite or non-positive refill interval through
+	// float64→time.Duration is implementation-defined, and a negative
+	// result would silently drop every bucket. Fall back to a long idle
+	// horizon instead of corrupting the sweep.
+	refill := time.Hour
+	if f := a.burst / a.fillRate * float64(time.Second); f > 0 && !math.IsInf(f, 0) && !math.IsNaN(f) {
+		if f < float64(math.MaxInt64) {
+			refill = time.Duration(f)
+		}
+	}
 	for client, b := range a.clients {
 		if now.Sub(b.lastFill) > refill {
 			delete(a.clients, client)

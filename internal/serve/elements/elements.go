@@ -34,6 +34,7 @@ package elements
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 )
@@ -90,10 +91,12 @@ const (
 )
 
 func (c Config) withDefaults() Config {
-	if c.FillRate <= 0 {
+	// `!(x > 0)` instead of `x <= 0`: the comparison must also catch NaN,
+	// which `<= 0` lets through into the admission refill arithmetic.
+	if !(c.FillRate > 0) || math.IsInf(c.FillRate, 0) {
 		c.FillRate = DefaultFillRate
 	}
-	if c.Burst <= 0 {
+	if !(c.Burst > 0) || math.IsInf(c.Burst, 0) {
 		c.Burst = 2 * c.FillRate
 	}
 	if c.Window <= 0 {

@@ -2,6 +2,7 @@ package elements
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 	"testing"
 	"time"
@@ -160,6 +161,72 @@ func TestAdmissionSweep(t *testing.T) {
 	a.Allow("fresh", now)
 	if n := a.Clients(); n != 1 {
 		t.Fatalf("Clients() after sweep = %d, want 1", n)
+	}
+}
+
+// Regression: sweepLocked computed the refill horizon as
+// burst/fillRate*Second with no guard, so a zero, negative, or NaN fill
+// rate produced an Inf/NaN float whose time.Duration conversion is
+// implementation-defined (minInt64 on amd64 — a negative horizon that
+// drops every bucket; a +Inf-as-maxInt64 horizon never sweeps any).
+// Degenerate rates must be clamped at construction, and the sweep itself
+// must stay sane even with a hand-corrupted rate.
+func TestAdmissionSweepDegenerateRates(t *testing.T) {
+	now := time.Unix(1000, 0)
+	for _, tc := range []struct {
+		name             string
+		fillRate, burst  float64
+		wantRate, wantBt float64
+	}{
+		{"zero", 0, 0, DefaultFillRate, 2 * DefaultFillRate},
+		{"negative", -5, -10, DefaultFillRate, 2 * DefaultFillRate},
+		{"nan", math.NaN(), math.NaN(), DefaultFillRate, 2 * DefaultFillRate},
+		{"inf", math.Inf(1), math.Inf(1), DefaultFillRate, 2 * DefaultFillRate},
+		{"zero-burst", 10, math.NaN(), 10, 20},
+	} {
+		a := newAdmission(tc.fillRate, tc.burst)
+		if a.FillRate() != tc.wantRate || a.Burst() != tc.wantBt {
+			t.Errorf("%s: clamped to (rate=%v, burst=%v), want (%v, %v)",
+				tc.name, a.FillRate(), a.Burst(), tc.wantRate, tc.wantBt)
+		}
+		// The sweep must neither drop a just-filled bucket (negative
+		// horizon) nor refuse to drop a long-idle one (infinite horizon).
+		a.Allow("live", now)
+		a.Allow("idle", now.Add(-48*time.Hour))
+		a.sweepLocked(now)
+		if a.Clients() != 1 {
+			t.Errorf("%s: sweep kept %d clients, want 1 (idle dropped, live kept)", tc.name, a.Clients())
+		}
+	}
+
+	// Even if a degenerate rate reaches the sweep directly (bypassing the
+	// construction clamp), the horizon falls back instead of going
+	// negative or non-finite.
+	a := newAdmission(10, 20)
+	a.Allow("live", now)
+	a.fillRate = 0 // burst/0 → +Inf
+	a.sweepLocked(now)
+	if a.Clients() != 1 {
+		t.Fatalf("inf horizon sweep dropped a just-filled bucket (%d clients left)", a.Clients())
+	}
+	a.fillRate = math.NaN()
+	a.sweepLocked(now)
+	if a.Clients() != 1 {
+		t.Fatalf("NaN horizon sweep dropped a just-filled bucket (%d clients left)", a.Clients())
+	}
+}
+
+// The chain's config defaulting must be equally NaN-safe: `<= 0` is
+// false for NaN, so a NaN FillRate used to pass straight through
+// withDefaults into the admission element.
+func TestConfigWithDefaultsNaNSafe(t *testing.T) {
+	cfg := Config{Admission: true, FillRate: math.NaN(), Burst: math.Inf(1)}.withDefaults()
+	if cfg.FillRate != DefaultFillRate || cfg.Burst != 2*DefaultFillRate {
+		t.Fatalf("withDefaults kept degenerate rates: fill=%v burst=%v", cfg.FillRate, cfg.Burst)
+	}
+	ch := New(Config{Admission: true, FillRate: math.NaN()}, 1)
+	if ch.Admission.FillRate() != DefaultFillRate {
+		t.Fatalf("chain admission built with NaN fill rate: %v", ch.Admission.FillRate())
 	}
 }
 

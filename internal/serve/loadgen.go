@@ -121,6 +121,15 @@ func RunLoadgen(opts LoadgenOptions) (*LoadgenReport, error) {
 	if opts.ZipfS > 0 && opts.ZipfS <= 1 {
 		return nil, fmt.Errorf("serve: loadgen: -skew %g invalid (Zipf needs s > 1, or 0 for uniform)", opts.ZipfS)
 	}
+	// Entry.SamplePayload indexes modulo the sample count, so an entry
+	// with no payloads cannot be driven at all (i%0 panics), and skewed
+	// mode additionally needs NumSamples-1 ≥ 1 as its Zipf imax: at one
+	// sample the subtraction still works (imax 0 — every draw is sample
+	// 0), but at zero it wraps to 2^64-1. Reject the empty entry up front
+	// instead of panicking in a worker.
+	if entry.NumSamples() == 0 {
+		return nil, fmt.Errorf("serve: loadgen: schema %q has no sample payloads", opts.Schema)
+	}
 
 	reports := make([]LoadgenReport, opts.Concurrency)
 	errs := make([]error, opts.Concurrency)
@@ -142,10 +151,18 @@ func RunLoadgen(opts LoadgenOptions) (*LoadgenReport, error) {
 			// source (seeded by worker id, so runs are reproducible for a
 			// given concurrency); rank 0 — the hottest key — maps to sample
 			// 0 on every worker, so the fleet-wide hot set overlaps.
+			// A single-sample schema degenerates to the uniform walk (every
+			// draw would be sample 0 anyway), and a nil return from
+			// rand.NewZipf — its signal for parameters it rejects — becomes
+			// a worker error instead of a nil-dereference panic in the loop.
 			var zipf *rand.Zipf
-			if opts.ZipfS > 1 {
+			if opts.ZipfS > 1 && entry.NumSamples() > 1 {
 				src := rand.New(rand.NewSource(int64(w) + 1))
 				zipf = rand.NewZipf(src, opts.ZipfS, 1, uint64(entry.NumSamples()-1))
+				if zipf == nil {
+					errs[w] = fmt.Errorf("serve: loadgen: rand.NewZipf rejected s=%g imax=%d", opts.ZipfS, entry.NumSamples()-1)
+					return
+				}
 			}
 			var interval time.Duration
 			next := time.Now()

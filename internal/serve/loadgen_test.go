@@ -56,6 +56,70 @@ func TestLoadgenOpenLoopCoordinatedOmission(t *testing.T) {
 	}
 }
 
+// Skewed (and uniform) mode over sample-count edge cases. A zero-sample
+// entry used to reach the worker loop, where SamplePayload's modulo
+// panicked (uniform) or NumSamples-1 wrapped to 2^64-1 as the Zipf imax
+// (skewed); a single-sample entry spent a Zipf source on a distribution
+// with one outcome. Zero samples must be rejected up front, one and many
+// must run clean in both modes.
+func TestLoadgenSampleCountEdgeCases(t *testing.T) {
+	payloadsOf := func(e *Entry, n int) [][]byte {
+		var out [][]byte
+		for i := 0; i < n; i++ {
+			out = append(out, e.SamplePayload(i))
+		}
+		return out
+	}
+	full := DefaultCatalog().Lookup("varint")
+	cases := []struct {
+		name    string
+		samples int
+		skew    float64
+		wantErr bool
+	}{
+		{"zero-uniform", 0, 0, true},
+		{"zero-skewed", 0, 1.2, true},
+		{"one-uniform", 1, 0, false},
+		{"one-skewed", 1, 1.2, false},
+		{"many-uniform", 8, 0, false},
+		{"many-skewed", 8, 1.2, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cat, err := NewCatalog(&Entry{
+				Name:     "varint",
+				Type:     full.Type,
+				payloads: payloadsOf(full, tc.samples),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := RunLoadgen(LoadgenOptions{
+				Dial:        func() (Doer, error) { return slowDoer{}, nil },
+				Catalog:     cat,
+				Schema:      "varint",
+				Op:          OpDeserialize,
+				Duration:    30 * time.Millisecond,
+				Concurrency: 2,
+				ZipfS:       tc.skew,
+				Check:       true,
+			})
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("%d samples accepted; want an error, not a worker panic", tc.samples)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.OK == 0 || rep.OK != rep.Requests || rep.CheckFailures != 0 {
+				t.Fatalf("ok=%d requests=%d checkFailures=%d", rep.OK, rep.Requests, rep.CheckFailures)
+			}
+		})
+	}
+}
+
 // Closed-loop latency is still measured from the send instant: against
 // the same slow server it must stay near the service time (no pacing, no
 // schedule to fall behind).

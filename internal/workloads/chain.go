@@ -1,0 +1,231 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"protoacc/internal/serve"
+	"protoacc/internal/telemetry"
+)
+
+// serviceNames are the chain's service roles in order; a chain of H hops
+// crosses services[0..H] (frontend → kv → backend → store).
+var serviceNames = []string{"frontend", "kv", "backend", "store"}
+
+// MaxHops bounds the chain length to the named topology.
+const MaxHops = 3
+
+// ChainOptions configures one service-chain run.
+type ChainOptions struct {
+	// Dial builds clients; each worker gets one per hop (a hop is one
+	// service-to-service edge with its own connection identity).
+	Dial func() (serve.Doer, error)
+
+	// Trace supplies the request stream; each record traverses the whole
+	// chain.
+	Trace *Trace
+
+	// Catalog resolves records to payloads; nil selects
+	// serve.DefaultCatalog.
+	Catalog *serve.Catalog
+
+	// Hops is the chain length in edges: 2 = frontend→kv→backend,
+	// 3 adds backend→store (default 2).
+	Hops int
+
+	// Workers shard the trace into contiguous slices (default 1, the
+	// deterministic mode).
+	Workers int
+
+	// Timeout is the per-request deadline (0 inherits the server default).
+	Timeout time.Duration
+
+	// Check byte-verifies every OK response against the hop's input.
+	Check bool
+
+	// Costs enables per-hop accel-vs-software savings. Nil skips them.
+	Costs *CostTable
+
+	// Observe, when non-nil, sees every hop response in shard order
+	// (test hook for determinism checks).
+	Observe func(worker, hop int, rec Record, resp serve.Response)
+}
+
+// ChainReport summarizes a chain run.
+type ChainReport struct {
+	Hops    []*HopStats         // per hop, in chain order
+	E2E     telemetry.Histogram // per-record end-to-end latency (all hops)
+	Elapsed time.Duration
+	Records uint64 // trace records that completed every hop OK
+}
+
+// HopName labels hop i (0-based) as "frontend→kv" etc.
+func HopName(i int) string {
+	if i < 0 || i >= MaxHops {
+		return fmt.Sprintf("hop%d", i)
+	}
+	return serviceNames[i] + "→" + serviceNames[i+1]
+}
+
+// RegisterHops registers the report's per-hop stats on a telemetry
+// registry as serve/workload/hop<i>/ counter groups. Call after the run
+// (the report's stats are final).
+func (r *ChainReport) RegisterHops(reg *telemetry.Registry) {
+	for i, h := range r.Hops {
+		reg.Register(fmt.Sprintf("serve/workload/hop%d", i), h)
+	}
+}
+
+// RPS returns chain traversals (all hops OK) per second.
+func (r *ChainReport) RPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Records) / r.Elapsed.Seconds()
+}
+
+// RunChain replays the trace through an H-hop service chain. For each
+// record and each hop, the sending service serializes the record's
+// object through the accelerated path and the receiving service
+// deserializes the resulting bytes — both directions of one RPC edge on
+// the accelerator, the end-to-end shape RPCAcc evaluates. Responses are
+// canonical bytes, so each hop's output feeds the next hop unchanged
+// and the whole chain stays byte-verifiable.
+func RunChain(opts ChainOptions) (*ChainReport, error) {
+	if opts.Dial == nil {
+		return nil, fmt.Errorf("workloads: chain needs a Dial function")
+	}
+	if opts.Trace == nil || len(opts.Trace.Records) == 0 {
+		return nil, fmt.Errorf("workloads: chain needs a non-empty trace")
+	}
+	if opts.Catalog == nil {
+		opts.Catalog = serve.DefaultCatalog()
+	}
+	if opts.Hops == 0 {
+		opts.Hops = 2
+	}
+	if opts.Hops < 1 || opts.Hops > MaxHops {
+		return nil, fmt.Errorf("workloads: -hops %d out of range [1, %d]", opts.Hops, MaxHops)
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Workers > len(opts.Trace.Records) {
+		opts.Workers = len(opts.Trace.Records)
+	}
+	for _, r := range opts.Trace.Records {
+		if opts.Catalog.Lookup(r.Schema) == nil {
+			return nil, fmt.Errorf("workloads: trace names schema %q not in catalog", r.Schema)
+		}
+	}
+
+	// One Doer per (worker, hop): each hop edge keeps its own connection
+	// and admission identity, like distinct services would.
+	doers, err := dialWorkers(opts.Dial, opts.Workers*opts.Hops)
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll(doers)
+
+	shards := sliceRecords(len(opts.Trace.Records), opts.Workers)
+	// stats[w][h]: per-worker, per-hop shards merged after the run.
+	stats := make([][]HopStats, opts.Workers)
+	e2e := make([]telemetry.Histogram, opts.Workers)
+	completed := make([]uint64, opts.Workers)
+	errs := make([]error, opts.Workers)
+	done := make(chan int, opts.Workers)
+	start := time.Now()
+	for w := 0; w < opts.Workers; w++ {
+		stats[w] = make([]HopStats, opts.Hops)
+		go func(w int) {
+			defer func() { done <- w }()
+			for _, rec := range opts.Trace.Records[shards[w][0]:shards[w][1]] {
+				entry := opts.Catalog.Lookup(rec.Schema)
+				payload := entry.SamplePayload(rec.Sample)
+				recStart := time.Now()
+				allOK := true
+				for h := 0; h < opts.Hops; h++ {
+					client := doers[w*opts.Hops+h]
+					st := &stats[w][h]
+					hopStart := time.Now()
+					ok := true
+					// Sender side: serialize the object onto the wire.
+					var softSer, softDeser float64
+					if opts.Costs != nil {
+						softSer = opts.Costs.Cycles(rec.Schema, rec.Sample, serve.OpSerialize)
+						softDeser = opts.Costs.Cycles(rec.Schema, rec.Sample, serve.OpDeserialize)
+					}
+					serResp, err := client.Do(serve.Request{
+						Op:      serve.OpSerialize,
+						Schema:  rec.Schema,
+						Timeout: opts.Timeout,
+						Payload: payload,
+					})
+					st.note(serResp, err, payload, softSer, opts.Check)
+					if err != nil {
+						errs[w] = fmt.Errorf("workloads: chain worker %d hop %d: %w", w, h, err)
+						return
+					}
+					if opts.Observe != nil {
+						opts.Observe(w, h, rec, serResp)
+					}
+					if serResp.Status != serve.StatusOK {
+						ok = false
+					}
+					// Receiver side: deserialize the bytes that arrived.
+					// Responses are canonical, so the wire bytes equal the
+					// hop input and the chain stays byte-stable end to end.
+					wireBytes := payload
+					if ok {
+						wireBytes = serResp.Payload
+					}
+					deserResp, err := client.Do(serve.Request{
+						Op:      serve.OpDeserialize,
+						Schema:  rec.Schema,
+						Timeout: opts.Timeout,
+						Payload: wireBytes,
+					})
+					st.note(deserResp, err, wireBytes, softDeser, opts.Check)
+					if err != nil {
+						errs[w] = fmt.Errorf("workloads: chain worker %d hop %d: %w", w, h, err)
+						return
+					}
+					if opts.Observe != nil {
+						opts.Observe(w, h, rec, deserResp)
+					}
+					if deserResp.Status != serve.StatusOK {
+						ok = false
+					}
+					if ok {
+						st.Latency.Record(time.Since(hopStart))
+					} else {
+						allOK = false
+					}
+				}
+				if allOK {
+					e2e[w].Record(time.Since(recStart))
+					completed[w]++
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		<-done
+	}
+	rep := &ChainReport{Elapsed: time.Since(start)}
+	for h := 0; h < opts.Hops; h++ {
+		hs := &HopStats{Name: HopName(h)}
+		for w := range stats {
+			hs.merge(&stats[w][h])
+		}
+		rep.Hops = append(rep.Hops, hs)
+	}
+	for w := range e2e {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		rep.E2E.Merge(&e2e[w])
+		rep.Records += completed[w]
+	}
+	return rep, nil
+}

@@ -1,0 +1,149 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"protoacc/internal/serve"
+)
+
+// ReplayOptions configures one trace replay.
+type ReplayOptions struct {
+	// Dial builds one client per worker (TCP Conn or in-process client).
+	Dial func() (serve.Doer, error)
+
+	// Trace is the recorded sequence to replay.
+	Trace *Trace
+
+	// Catalog resolves each record's (schema, sample) to payload bytes;
+	// nil selects serve.DefaultCatalog. It must be the catalog the trace
+	// was synthesized against.
+	Catalog *serve.Catalog
+
+	// Workers shard the trace into contiguous slices replayed
+	// concurrently (default 1: the whole trace in record order, the
+	// deterministic mode).
+	Workers int
+
+	// Timeout is the per-request deadline (0 inherits the server default).
+	Timeout time.Duration
+
+	// Check byte-verifies every OK response against the request payload
+	// (sample payloads are canonical, so both ops must echo them).
+	Check bool
+
+	// Costs attributes a calibrated Xeon software cost to each request,
+	// enabling the accel-vs-software savings columns. Nil skips them.
+	Costs *CostTable
+
+	// Observe, when non-nil, is called with each response in replay
+	// order within a worker's shard (test hook for determinism checks).
+	Observe func(worker int, rec Record, resp serve.Response)
+}
+
+// ReplayReport summarizes a replay run.
+type ReplayReport struct {
+	Stats   HopStats // aggregated over workers
+	Elapsed time.Duration
+	Deser   uint64 // deserialize records replayed
+	Ser     uint64 // serialize records replayed
+}
+
+// RPS returns completed (OK) requests per second.
+func (r *ReplayReport) RPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Stats.OK) / r.Elapsed.Seconds()
+}
+
+// Replay drives the trace through the serving path and returns the
+// merged report. Each worker owns one client and replays its contiguous
+// shard in trace order.
+func Replay(opts ReplayOptions) (*ReplayReport, error) {
+	if opts.Dial == nil {
+		return nil, fmt.Errorf("workloads: replay needs a Dial function")
+	}
+	if opts.Trace == nil || len(opts.Trace.Records) == 0 {
+		return nil, fmt.Errorf("workloads: replay needs a non-empty trace")
+	}
+	if opts.Catalog == nil {
+		opts.Catalog = serve.DefaultCatalog()
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Workers > len(opts.Trace.Records) {
+		opts.Workers = len(opts.Trace.Records)
+	}
+	for _, r := range opts.Trace.Records {
+		if opts.Catalog.Lookup(r.Schema) == nil {
+			return nil, fmt.Errorf("workloads: trace names schema %q not in catalog", r.Schema)
+		}
+	}
+
+	doers, err := dialWorkers(opts.Dial, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll(doers)
+
+	shards := sliceRecords(len(opts.Trace.Records), opts.Workers)
+	stats := make([]HopStats, opts.Workers)
+	errs := make([]error, opts.Workers)
+	done := make(chan int, opts.Workers)
+	start := time.Now()
+	for w := 0; w < opts.Workers; w++ {
+		go func(w int) {
+			defer func() { done <- w }()
+			client := doers[w]
+			st := &stats[w]
+			for _, rec := range opts.Trace.Records[shards[w][0]:shards[w][1]] {
+				entry := opts.Catalog.Lookup(rec.Schema)
+				payload := entry.SamplePayload(rec.Sample)
+				var soft float64
+				if opts.Costs != nil {
+					soft = opts.Costs.Cycles(rec.Schema, rec.Sample, rec.Op)
+				}
+				t0 := time.Now()
+				resp, err := client.Do(serve.Request{
+					Op:      rec.Op,
+					Schema:  rec.Schema,
+					Timeout: opts.Timeout,
+					Payload: payload,
+				})
+				lat := time.Since(t0)
+				if err == nil && resp.Status == serve.StatusOK {
+					st.Latency.Record(lat)
+				}
+				st.note(resp, err, payload, soft, opts.Check)
+				if err != nil {
+					errs[w] = fmt.Errorf("workloads: replay worker %d: %w", w, err)
+					return
+				}
+				if opts.Observe != nil {
+					opts.Observe(w, rec, resp)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		<-done
+	}
+	rep := &ReplayReport{Elapsed: time.Since(start)}
+	rep.Stats.Name = "trace"
+	for w := range stats {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		rep.Stats.merge(&stats[w])
+	}
+	for _, r := range opts.Trace.Records {
+		if r.Op == serve.OpSerialize {
+			rep.Ser++
+		} else {
+			rep.Deser++
+		}
+	}
+	return rep, nil
+}

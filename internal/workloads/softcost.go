@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"fmt"
+
+	"protoacc/internal/core"
+	"protoacc/internal/pb/codec"
+	"protoacc/internal/serve"
+)
+
+// CostTable holds calibrated Xeon software-codec cycle costs per
+// (schema, sample payload, op), normalized to the accelerator's clock so
+// they divide directly against the serving layer's per-request
+// accelerator cycles (Response.Cycles): savings = software / accel is a
+// wall-time ratio, the clock-fair comparison the bench harness uses.
+type CostTable struct {
+	XeonGHz  float64
+	AccelGHz float64
+
+	samples map[string]int
+	cycles  map[costKey]float64
+}
+
+type costKey struct {
+	schema string
+	sample int
+	op     serve.Op
+}
+
+// Cycles returns the accelerator-clock-normalized Xeon software cycles
+// for one request, 0 if uncalibrated. The sample index wraps like
+// Entry.SamplePayload.
+func (t *CostTable) Cycles(schema string, sample int, op serve.Op) float64 {
+	if t == nil {
+		return 0
+	}
+	n := t.samples[schema]
+	if n > 0 {
+		sample = sample % n
+	}
+	return t.cycles[costKey{schema, sample, op}]
+}
+
+// CalibrateCosts measures every catalog sample payload under both ops on
+// a Xeon software-codec System (core.KindXeon, the paper's server-class
+// baseline) and returns the per-request cost table. Each measurement
+// runs on batch-reset state — cold caches, rewound allocators — so costs
+// are per-request, order-independent, and deterministic for a given
+// catalog. Calibration uses small memory regions (the payloads are
+// kilobytes, not the benchmark harness's hundreds of MB).
+func CalibrateCosts(c *serve.Catalog) (*CostTable, error) {
+	if c == nil {
+		c = serve.DefaultCatalog()
+	}
+	cfg := core.DefaultConfig(core.KindXeon)
+	const region = 16 << 20
+	cfg.StaticSize, cfg.HeapSize, cfg.ArenaSize, cfg.OutSize = region, region, region, region
+	sys := core.New(cfg)
+
+	t := &CostTable{
+		XeonGHz:  cfg.CPU.FrequencyGHz,
+		AccelGHz: cfg.AccelFreqGHz,
+		samples:  make(map[string]int),
+		cycles:   make(map[costKey]float64),
+	}
+	// Xeon cycles → accelerator-clock cycles: a Xeon cycle is shorter, so
+	// the same wall time is fewer accelerator cycles.
+	norm := cfg.AccelFreqGHz / cfg.CPU.FrequencyGHz
+
+	for _, name := range c.Names() {
+		e := c.Lookup(name)
+		if err := sys.LoadSchema(e.Type); err != nil {
+			return nil, fmt.Errorf("workloads: calibrate %s: %v", name, err)
+		}
+		t.samples[name] = e.NumSamples()
+		for i := 0; i < e.NumSamples(); i++ {
+			payload := e.SamplePayload(i)
+
+			sys.ResetBatch()
+			addr, err := sys.WriteWire(payload)
+			if err != nil {
+				return nil, fmt.Errorf("workloads: calibrate %s/%d deser: %v", name, i, err)
+			}
+			res, _, err := sys.DeserializeBatch(e.Type, []core.WireRef{{Addr: addr, Len: uint64(len(payload))}})
+			if err != nil {
+				return nil, fmt.Errorf("workloads: calibrate %s/%d deser: %v", name, i, err)
+			}
+			t.cycles[costKey{name, i, serve.OpDeserialize}] = res.Cycles * norm
+
+			sys.ResetBatch()
+			msg, err := codec.Unmarshal(e.Type, payload)
+			if err != nil {
+				return nil, fmt.Errorf("workloads: calibrate %s/%d ser: %v", name, i, err)
+			}
+			obj, err := sys.MaterializeInput(msg)
+			if err != nil {
+				return nil, fmt.Errorf("workloads: calibrate %s/%d ser: %v", name, i, err)
+			}
+			res, _, err = sys.SerializeBatch(e.Type, []uint64{obj})
+			if err != nil {
+				return nil, fmt.Errorf("workloads: calibrate %s/%d ser: %v", name, i, err)
+			}
+			t.cycles[costKey{name, i, serve.OpSerialize}] = res.Cycles * norm
+		}
+	}
+	return t, nil
+}

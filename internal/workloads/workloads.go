@@ -1,0 +1,211 @@
+// Package workloads turns the fleet study (internal/fleet, paper §3)
+// into a first-class traffic generator: instead of loadgen's synthetic
+// per-(schema, op) passes, it synthesizes and replays application-shaped
+// traces — fleet-shaped message sizes, fleet-shaped schema and operation
+// mixes, Zipf popularity skew over a stable key space — and models a
+// small service chain (frontend → kv → backend) where every hop's
+// serialize and deserialize runs on the accelerated serving path.
+//
+// Three pieces:
+//
+//   - Trace synthesis (Synthesize): a deterministic, seeded key/size/op
+//     trace. Each key is assigned a schema and a sample payload once,
+//     with the schema mix weighted by the fleet field-type distribution
+//     (Figure 4a) and the payload size drawn from the fleet message-size
+//     distribution (Figure 3, or a live fleet.Sampler's observed
+//     shares); record keys follow a Zipf popularity ranking, the same
+//     hot-key machinery loadgen's -skew mode uses. Traces round-trip
+//     through a text format, so a recorded trace can be replayed later
+//     or elsewhere.
+//   - Trace replay (Replay): drives a serve.Doer — the in-process
+//     client or a live protoaccd connection — through the trace in
+//     record order, byte-verifying responses and attributing accelerator
+//     cycles per request.
+//   - Service chain (RunChain): each trace record crosses 2–3 hops; a
+//     hop is one service-to-service edge whose sender serializes and
+//     receiver deserializes on the accelerated path. Per-hop latency,
+//     per-hop accelerator-vs-software cycle savings (against a Xeon
+//     software-codec calibration, CostTable), and end-to-end
+//     percentiles are reported, with each hop exporting its own
+//     serve/workload/hop<i>/ telemetry group.
+//
+// Determinism mirrors the serving layer's contracts: with one worker and
+// round-robin routing, a trace replay or chain run produces
+// bitwise-identical responses and identical aggregated serve/ counters
+// on a 1-tile and an N-tile server (see the package tests).
+package workloads
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"protoacc/internal/serve"
+	"protoacc/internal/telemetry"
+)
+
+// HopStats accumulates one hop's (or the whole trace replay's) traffic
+// counters. It structurally satisfies telemetry.Collector, so each hop
+// registers as its own serve/workload/hop<i>/ counter group.
+type HopStats struct {
+	mu sync.Mutex
+
+	Name string // topology label, e.g. "frontend→kv"
+
+	Requests  uint64 // accelerated serving calls issued (ser + deser)
+	OK        uint64
+	Errors    uint64 // transport errors and error statuses
+	Rejected  uint64 // shed / throttled / deadline / bad
+	FellBack  uint64 // OK responses served by a software path
+	CheckFail uint64 // responses that diverged from the canonical bytes
+
+	BytesIn  uint64 // payload bytes sent into this hop
+	BytesOut uint64 // payload bytes received from OK responses
+
+	AccelCycles float64 // accelerator cycles attributed by the server
+	SoftCycles  float64 // Xeon software-codec cycles for the same work (calibrated)
+	SoftReqs    uint64  // requests with a software calibration entry
+
+	// Latency is the hop's per-edge latency distribution (the ser+deser
+	// pair for a chain hop; per-request for trace replay).
+	Latency telemetry.Histogram
+}
+
+// note records one accelerated serving call's outcome on the hop.
+func (h *HopStats) note(resp serve.Response, err error, payload []byte, soft float64, check bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.Requests++
+	h.BytesIn += uint64(len(payload))
+	if err != nil {
+		h.Errors++
+		return
+	}
+	switch resp.Status {
+	case serve.StatusOK:
+		h.OK++
+		h.BytesOut += uint64(len(resp.Payload))
+		if resp.FellBack {
+			h.FellBack++
+		} else {
+			// Cycle savings compare accelerator-path work only: a
+			// fallback's Cycles mix clock domains (or are zero), so both
+			// sides of the ratio skip it.
+			h.AccelCycles += resp.Cycles
+			if soft > 0 {
+				h.SoftCycles += soft
+				h.SoftReqs++
+			}
+		}
+		if check && !bytesEqual(resp.Payload, payload) {
+			h.CheckFail++
+		}
+	case serve.StatusShed, serve.StatusThrottled, serve.StatusDeadline, serve.StatusBadRequest:
+		h.Rejected++
+	default:
+		h.Errors++
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// merge folds o into h (used to gather per-worker shards).
+func (h *HopStats) merge(o *HopStats) {
+	h.Requests += o.Requests
+	h.OK += o.OK
+	h.Errors += o.Errors
+	h.Rejected += o.Rejected
+	h.FellBack += o.FellBack
+	h.CheckFail += o.CheckFail
+	h.BytesIn += o.BytesIn
+	h.BytesOut += o.BytesOut
+	h.AccelCycles += o.AccelCycles
+	h.SoftCycles += o.SoftCycles
+	h.SoftReqs += o.SoftReqs
+	h.Latency.Merge(&o.Latency)
+}
+
+// Savings returns the hop's accelerator-vs-software cycle savings as a
+// time ratio: calibrated Xeon software cycles (normalized to the
+// accelerator clock) divided by the accelerator cycles spent on the same
+// requests. 0 means no calibrated accelerator-path requests completed.
+func (h *HopStats) Savings() float64 {
+	if h.AccelCycles <= 0 || h.SoftCycles <= 0 {
+		return 0
+	}
+	return h.SoftCycles / h.AccelCycles
+}
+
+// CollectTelemetry emits the hop's counter group (structurally a
+// telemetry.Collector; registered as serve/workload/hop<i>/ or
+// serve/workload/trace/).
+func (h *HopStats) CollectTelemetry(emit func(name string, value float64)) {
+	emit("requests", float64(h.Requests))
+	emit("ok", float64(h.OK))
+	emit("errors", float64(h.Errors))
+	emit("rejected", float64(h.Rejected))
+	emit("fellback", float64(h.FellBack))
+	emit("check_failures", float64(h.CheckFail))
+	emit("bytes/in", float64(h.BytesIn))
+	emit("bytes/out", float64(h.BytesOut))
+	emit("cycles/accel", h.AccelCycles)
+	emit("cycles/software", h.SoftCycles)
+	emit("cycles/calibrated_requests", float64(h.SoftReqs))
+}
+
+// dialWorkers builds one Doer per worker, closing any partial set on
+// failure.
+func dialWorkers(dial func() (serve.Doer, error), n int) ([]serve.Doer, error) {
+	out := make([]serve.Doer, 0, n)
+	for i := 0; i < n; i++ {
+		d, err := dial()
+		if err != nil {
+			for _, c := range out {
+				c.Close()
+			}
+			return nil, fmt.Errorf("workloads: dial worker %d: %w", i, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func closeAll(doers []serve.Doer) {
+	for _, d := range doers {
+		d.Close()
+	}
+}
+
+// sliceRecords splits n records into w contiguous shards (the replay
+// order inside a shard is the trace order, so a single worker replays
+// the trace exactly).
+func sliceRecords(n, w int) [][2]int {
+	out := make([][2]int, 0, w)
+	per := n / w
+	rem := n % w
+	start := 0
+	for i := 0; i < w; i++ {
+		size := per
+		if i < rem {
+			size++
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}
+
+// quantileDur is a tiny readability helper for report code.
+func quantileDur(h *telemetry.Histogram, q float64) time.Duration {
+	return h.Quantile(q)
+}

@@ -1,0 +1,307 @@
+package workloads
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"protoacc/internal/fleet"
+	"protoacc/internal/serve"
+	"protoacc/internal/telemetry"
+)
+
+func testServerOptions() serve.Options {
+	return serve.Options{
+		MaxBatch:    4,
+		QueueDepth:  64,
+		Workers:     2,
+		MaxPayload:  8 << 10,
+		BatchWindow: 100 * time.Microsecond,
+		Deadline:    time.Minute,
+	}
+}
+
+// Same seed and options must synthesize the identical trace; different
+// seeds must not.
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, err := Synthesize(SynthOptions{Seed: 7, Records: 512, Keys: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(SynthOptions{Seed: 7, Records: 512, Keys: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c, err := Synthesize(SynthOptions{Seed: 8, Records: 512, Keys: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Records, c.Records) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// The synthesized trace must be fleet-shaped: every catalog schema
+// appears, the op mix tracks the §3.2 deserialize/serialize cycle split,
+// keys are Zipf-skewed (rank 0 dominates), and each record's Size equals
+// its resolved payload length with the same (schema, sample) on every
+// occurrence of a key.
+func TestSynthesizeFleetShape(t *testing.T) {
+	cat := serve.DefaultCatalog()
+	tr, err := Synthesize(SynthOptions{Seed: 1, Records: 8192, Keys: 128, Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemas := map[string]int{}
+	keyBind := map[uint64]Record{}
+	var deser, keyZero int
+	for _, r := range tr.Records {
+		schemas[r.Schema]++
+		if r.Op == serve.OpDeserialize {
+			deser++
+		}
+		if r.Key == 0 {
+			keyZero++
+		}
+		if got := len(cat.Lookup(r.Schema).SamplePayload(r.Sample)); got != r.Size {
+			t.Fatalf("record size %d != payload length %d", r.Size, got)
+		}
+		if prev, ok := keyBind[r.Key]; ok {
+			if prev.Schema != r.Schema || prev.Sample != r.Sample {
+				t.Fatalf("key %d re-bound: %v then %v", r.Key, prev, r)
+			}
+		} else {
+			keyBind[r.Key] = r
+		}
+	}
+	for _, name := range cat.Names() {
+		if schemas[name] == 0 {
+			t.Errorf("schema %q never appears in an 8192-record trace", name)
+		}
+	}
+	want := fleet.FleetCyclesInCppDeser / (fleet.FleetCyclesInCppDeser + fleet.FleetCyclesInCppSer)
+	got := float64(deser) / float64(len(tr.Records))
+	if got < want-0.05 || got > want+0.05 {
+		t.Errorf("deserialize share %.3f, want %.3f±0.05 (fleet op mix)", got, want)
+	}
+	if float64(keyZero)/float64(len(tr.Records)) < 0.2 {
+		t.Errorf("hottest key holds %.1f%% of records; Zipf(1.2) skew should concentrate >20%%",
+			100*float64(keyZero)/float64(len(tr.Records)))
+	}
+}
+
+// An empty fleet.Sampler must shape exactly like the published data:
+// its share helpers return zeros (never NaNs), and Synthesize falls back
+// to Figures 3/4a.
+func TestSynthesizeEmptySamplerFallsBack(t *testing.T) {
+	base, err := Synthesize(SynthOptions{Seed: 3, Records: 256, Keys: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEmpty, err := Synthesize(SynthOptions{Seed: 3, Records: 256, Keys: 32, Sampler: fleet.NewSampler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Records, withEmpty.Records) {
+		t.Fatal("an empty sampler changed the synthesized trace (zero-sample shares leaked)")
+	}
+}
+
+// WriteTo/ReadTrace must round-trip exactly.
+func TestTraceRoundTrip(t *testing.T) {
+	tr, err := Synthesize(SynthOptions{Seed: 11, Records: 300, Keys: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "protoacc-trace/v1 seed=11\n") {
+		t.Fatalf("bad header: %q", buf.String()[:40])
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatal("trace did not round-trip through the text format")
+	}
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not-a-trace seed=1\n",
+		"protoacc-trace/v1 seed=x\n",
+		"protoacc-trace/v1 seed=1\n1 varint 0 deser\n",        // 4 fields
+		"protoacc-trace/v1 seed=1\n1 varint 0 merge 10\n",     // bad op
+		"protoacc-trace/v1 seed=1\n1 varint -2 deser 10\n",    // negative sample
+		"protoacc-trace/v1 seed=1\nx varint 0 deser 10\n",     // bad key
+		"protoacc-trace/v1 seed=1\n1 varint 0 deser banana\n", // bad size
+	} {
+		if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadTrace accepted malformed input %q", bad)
+		}
+	}
+}
+
+// The Xeon cost table must cover every (schema, sample, op) with a
+// positive cost, and lookups must wrap sample indices like
+// Entry.SamplePayload.
+func TestCalibrateCosts(t *testing.T) {
+	cat := serve.DefaultCatalog()
+	costs, err := CalibrateCosts(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range cat.Names() {
+		e := cat.Lookup(name)
+		for i := 0; i < e.NumSamples(); i++ {
+			for _, op := range []serve.Op{serve.OpDeserialize, serve.OpSerialize} {
+				if c := costs.Cycles(name, i, op); c <= 0 {
+					t.Fatalf("%s/%d %v: cost %v, want > 0", name, i, op, c)
+				}
+			}
+		}
+		if a, b := costs.Cycles(name, 1, serve.OpDeserialize), costs.Cycles(name, 1+e.NumSamples(), serve.OpDeserialize); a != b {
+			t.Errorf("%s: sample index does not wrap: [1]=%v [1+n]=%v", name, a, b)
+		}
+	}
+	if costs.Cycles("no-such-schema", 0, serve.OpDeserialize) != 0 {
+		t.Error("unknown schema should cost 0 (uncalibrated)")
+	}
+	var nilTable *CostTable
+	if nilTable.Cycles("varint", 0, serve.OpDeserialize) != 0 {
+		t.Error("nil table should cost 0")
+	}
+}
+
+// Replay against an in-process server: every response byte-verified,
+// counters consistent, accelerator savings positive under the Xeon cost
+// table (the paper's headline: hardware beats the software codec).
+func TestReplayInProcess(t *testing.T) {
+	tr, err := Synthesize(SynthOptions{Seed: 5, Records: 160, Keys: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := CalibrateCosts(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.NewServer(testServerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rep, err := Replay(ReplayOptions{
+		Dial:  func() (serve.Doer, error) { return srv.InProc(), nil },
+		Trace: tr, Workers: 2, Check: true, Costs: costs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &rep.Stats
+	if st.Requests != uint64(len(tr.Records)) {
+		t.Fatalf("replayed %d of %d records", st.Requests, len(tr.Records))
+	}
+	if st.OK != st.Requests {
+		t.Fatalf("%d of %d requests not OK (errors=%d rejected=%d)", st.Requests-st.OK, st.Requests, st.Errors, st.Rejected)
+	}
+	if st.CheckFail != 0 {
+		t.Fatalf("%d byte-verification failures", st.CheckFail)
+	}
+	if rep.Deser+rep.Ser != st.Requests {
+		t.Errorf("op split %d+%d != %d", rep.Deser, rep.Ser, st.Requests)
+	}
+	if st.Latency.Count() != st.OK {
+		t.Errorf("latency samples %d != OK %d", st.Latency.Count(), st.OK)
+	}
+	if s := st.Savings(); s <= 1 {
+		t.Errorf("accel-vs-software savings %.2fx, want > 1x (accel=%.0f soft=%.0f over %d reqs)",
+			s, st.AccelCycles, st.SoftCycles, st.SoftReqs)
+	}
+}
+
+// A 2-hop chain run: per-hop counters filled, hop latency and e2e
+// histograms populated, telemetry groups emitted under
+// serve/workload/hop<i>/.
+func TestRunChainInProcess(t *testing.T) {
+	tr, err := Synthesize(SynthOptions{Seed: 6, Records: 96, Keys: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.NewServer(testServerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rep, err := RunChain(ChainOptions{
+		Dial:  func() (serve.Doer, error) { return srv.InProc(), nil },
+		Trace: tr, Hops: 2, Workers: 2, Check: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Hops) != 2 {
+		t.Fatalf("got %d hops, want 2", len(rep.Hops))
+	}
+	if rep.Records != uint64(len(tr.Records)) {
+		t.Fatalf("%d of %d records completed the chain", rep.Records, len(tr.Records))
+	}
+	if rep.E2E.Count() != rep.Records {
+		t.Errorf("e2e samples %d != completed records %d", rep.E2E.Count(), rep.Records)
+	}
+	for i, h := range rep.Hops {
+		// Each hop runs one serialize + one deserialize per record.
+		if want := uint64(2 * len(tr.Records)); h.Requests != want {
+			t.Errorf("hop %d: %d requests, want %d", i, h.Requests, want)
+		}
+		if h.OK != h.Requests || h.CheckFail != 0 {
+			t.Errorf("hop %d: ok=%d/%d checkfail=%d", i, h.OK, h.Requests, h.CheckFail)
+		}
+		if h.Latency.Count() == 0 {
+			t.Errorf("hop %d: empty latency histogram", i)
+		}
+		if h.Name != HopName(i) {
+			t.Errorf("hop %d named %q, want %q", i, h.Name, HopName(i))
+		}
+	}
+	reg := &telemetry.Registry{}
+	rep.RegisterHops(reg)
+	snap := reg.Snapshot()
+	for i := range rep.Hops {
+		name := "serve/workload/hop" + string(rune('0'+i)) + "/requests"
+		v, ok := snap.Get(name)
+		if !ok || v == 0 {
+			t.Errorf("counter %s missing or zero (got %v, present=%v)", name, v, ok)
+		}
+	}
+}
+
+// HopName labels the fixed topology.
+func TestHopNames(t *testing.T) {
+	want := []string{"frontend→kv", "kv→backend", "backend→store"}
+	for i, w := range want {
+		if got := HopName(i); got != w {
+			t.Errorf("HopName(%d) = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// Chain rejects out-of-range hop counts.
+func TestRunChainRejectsBadHops(t *testing.T) {
+	tr := &Trace{Records: []Record{{Schema: "varint", Op: serve.OpDeserialize}}}
+	_, err := RunChain(ChainOptions{
+		Dial:  func() (serve.Doer, error) { return nil, nil },
+		Trace: tr, Hops: MaxHops + 1,
+	})
+	if err == nil {
+		t.Fatal("RunChain accepted hops beyond the topology")
+	}
+}
