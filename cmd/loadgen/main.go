@@ -15,6 +15,9 @@
 //	        [-tiles n] [-routing p2c|rr] [-tile-sweep 1,2,4]
 //	        [-elements all|off|admission,breaker,cache] [-elements-sweep]
 //	        [-workload trace|chain|all] [-trace-seed n] [-trace-len n] [-hops n]
+//	        [-cluster host:port,host:port] [-cluster-admin host:port,...]
+//	        [-cluster-routing p2c|rr] [-hedge] [-hedge-quantile q]
+//	        [-cluster-sweep] [-protoaccd-bin path]
 //	        [-workers n] [-max-batch n] [-batch-window d] [-queue-depth n]
 //	        [-faults rate[@site,...]] [-fault-seed n] [-fault-tiles 0,2]
 //	        [-stats-out file] [-span-sample-n n]
@@ -38,6 +41,17 @@
 // and "all" does both — the measurement behind results/serve_workloads.md.
 // -trace-seed, -trace-len, and -hops tune it; both modes work against an
 // in-process server or a live daemon via -addr.
+//
+// -cluster drives a pool of already-running protoaccd daemons through
+// the client-side balancer (internal/serve/cluster): p2c or rr node
+// placement over live in-flight/latency estimates, optional straggler
+// hedging (-hedge), and — with -cluster-admin — /healthz-driven node
+// ejection and recovery. -cluster-sweep instead spawns its own local
+// daemons (binary named by -protoaccd-bin) and runs the
+// disaggregated-pool measurement: aggregate throughput scaling over
+// 1→2→4 daemons, a hedge drill against a deliberately slow node (p999
+// with hedging off vs on), and a live-fault ejection/recovery drill via
+// /faultz — the measurement behind results/serve_cluster.md.
 //
 // With -addr it dials an already-running daemon over TCP (one connection
 // per worker). Without -addr it starts an in-process server and drives it
@@ -80,6 +94,7 @@ import (
 
 	"protoacc/internal/faults"
 	"protoacc/internal/serve"
+	"protoacc/internal/serve/cluster"
 	"protoacc/internal/serve/elements"
 	"protoacc/internal/telemetry"
 )
@@ -103,6 +118,14 @@ func main() {
 	traceSeed := flag.Int64("trace-seed", 1, "seed of the synthesized workload trace (same seed = same trace)")
 	traceLen := flag.Int("trace-len", 0, "records in the synthesized workload trace (0 = default 4096)")
 	hops := flag.Int("hops", 2, "service-chain length in edges for -workload chain (1..3: frontend→kv→backend→store)")
+
+	clusterAddrs := flag.String("cluster", "", "comma-separated protoaccd data addresses; drives the pool through the client-side balancer")
+	clusterAdmin := flag.String("cluster-admin", "", "comma-separated admin addresses parallel to -cluster; enables /healthz polling and node ejection")
+	clusterRouting := flag.String("cluster-routing", "p2c", "balancer node placement: p2c (in-flight × latency scoring) or rr (deterministic round-robin)")
+	hedge := flag.Bool("hedge", false, "hedge straggler requests against a second node after an adaptive quantile delay (needs ≥2 cluster nodes)")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0.95, "OK-latency quantile the hedge delay adapts to")
+	clusterSweep := flag.Bool("cluster-sweep", false, "spawn local protoaccd daemons and run the disaggregated-pool measurement (1→2→4 scaling, hedge drill, ejection drill); writes -out")
+	protoaccdBin := flag.String("protoaccd-bin", "", "protoaccd binary for -cluster-sweep (empty = find \"protoaccd\" in PATH)")
 
 	tiles := flag.Int("tiles", 0, "in-process server: accelerator tiles behind the router (0 = default 1)")
 	routing := flag.String("routing", "p2c", "in-process server: tile placement policy, p2c or rr")
@@ -158,6 +181,24 @@ func main() {
 		*cycleMode != "exact" || *cycleSampleN != 0 || *spanSampleN != 0
 	if *addr != "" && serverFlags {
 		fmt.Fprintln(os.Stderr, "loadgen: -tiles/-routing/-tile-sweep/-elements/-elements-sweep/-workers/-max-batch/-batch-window/-queue-depth/-faults/-fault-tiles/-stats-out/-cycle-mode/-cycle-sample-n/-span-sample-n configure the in-process server and conflict with -addr")
+		os.Exit(2)
+	}
+	clusterMode := *clusterAddrs != "" || *clusterSweep
+	clusterFlags := *clusterAdmin != "" || *clusterRouting != "p2c" || *hedge || *hedgeQuantile != 0.95 || *protoaccdBin != ""
+	if clusterFlags && !clusterMode {
+		fmt.Fprintln(os.Stderr, "loadgen: -cluster-admin/-cluster-routing/-hedge/-hedge-quantile/-protoaccd-bin need -cluster or -cluster-sweep")
+		os.Exit(2)
+	}
+	if *clusterAddrs != "" && *clusterSweep {
+		fmt.Fprintln(os.Stderr, "loadgen: -cluster-sweep spawns its own daemons and conflicts with -cluster")
+		os.Exit(2)
+	}
+	if clusterMode && (*addr != "" || serverFlags) {
+		fmt.Fprintln(os.Stderr, "loadgen: -cluster/-cluster-sweep replace the single -addr target and do not combine with -addr or the in-process server flags")
+		os.Exit(2)
+	}
+	if clusterMode && (*workload != "" || *scrape != "" || *traceOut != "" || *adminURL != "") {
+		fmt.Fprintln(os.Stderr, "loadgen: -cluster/-cluster-sweep do not combine with -workload, -scrape, -trace-out, or -admin-url")
 		os.Exit(2)
 	}
 	if *workload != "" && (*tileSweep != "" || *elementsSweep || *scrape != "") {
@@ -303,10 +344,33 @@ func main() {
 		return
 	}
 
+	if *clusterSweep {
+		fmt.Printf("loadgen: cluster sweep, %s, concurrency %d, %v per pass\n", mode, *concurrency, *duration)
+		if err := runClusterSweep(*protoaccdBin, runOpts, schemas, ops, mode, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var dial func() (serve.Doer, error)
 	var srv *serve.Server
+	var bal *cluster.Balancer
 	target := *addr
-	if *addr == "" {
+	if *clusterAddrs != "" {
+		copts, err := clusterOptions(*clusterAddrs, *clusterAdmin, *clusterRouting, *hedge, *hedgeQuantile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		bal, err = cluster.New(copts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dial = func() (serve.Doer, error) { return bal.Client(), nil }
+		target = fmt.Sprintf("cluster of %d nodes (routing=%s hedge=%v)", bal.Nodes(), *clusterRouting, *hedge)
+	} else if *addr == "" {
 		opts.Tiles = *tiles
 		srv, err = serve.NewServer(opts)
 		if err != nil {
@@ -354,6 +418,11 @@ func main() {
 		if sc.invalid > 0 || sc.scrapes == 0 {
 			failed = true
 		}
+	}
+
+	if bal != nil {
+		printClusterStats(os.Stdout, bal)
+		bal.Close()
 	}
 
 	if *out != "" {

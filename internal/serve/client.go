@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Doer is the client surface shared by the TCP connection and the
@@ -89,41 +90,99 @@ func (c *InProc) DoBatch(reqs []Request) ([]Response, error) {
 	return out, nil
 }
 
+// Sentinel errors a Conn surfaces to callers. Both wrap into the errors
+// returned from Do, so callers test with errors.Is.
+var (
+	// ErrTimeout reports a request whose per-request wait budget expired
+	// with no response. The connection stays usable: the daemon may still
+	// answer the abandoned id later, and the read loop drops it.
+	ErrTimeout = errors.New("serve: request timed out")
+	// ErrClosed reports a Conn used after Close, or one whose transport
+	// died. A broken Conn never recovers — reconnecting is the caller's
+	// (or the cluster balancer's) job, so redial policy stays explicit
+	// rather than hidden inside a client that silently re-sends.
+	ErrClosed = errors.New("serve: connection closed")
+)
+
+// DialOptions tunes a Conn. The zero value of any field selects the
+// default noted on it.
+type DialOptions struct {
+	// Timeout bounds every Do call end to end. Zero defers to the
+	// per-request budget: Request.Timeout (plus Grace for the round
+	// trip) when set, otherwise the wait is unbounded — the legacy
+	// behavior, for callers who manage their own deadlines.
+	Timeout time.Duration
+
+	// Grace is added to Request.Timeout when it (and not Timeout) bounds
+	// the wait, covering queueing and the wire round trip beyond the
+	// server-side budget (default 1s).
+	Grace time.Duration
+
+	// WriteTimeout bounds each request write on the socket (default 10s).
+	// A stalled write — a SIGSTOPped daemon with full TCP buffers — would
+	// otherwise hold the write lock forever and wedge every other Do on
+	// the connection; on expiry the Conn is failed, waking all waiters.
+	WriteTimeout time.Duration
+}
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.Grace <= 0 {
+		o.Grace = time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	return o
+}
+
 // Conn is a TCP client connection. It multiplexes: many goroutines may Do
 // concurrently, and responses are matched to callers by correlation id as
 // they complete (the server reorders freely across batches).
 type Conn struct {
 	conn net.Conn
+	opts DialOptions
 
 	writeMu sync.Mutex
 	nextID  uint64
 
-	mu      sync.Mutex
-	pend    map[uint64]chan Response
-	readErr error
-	done    chan struct{}
+	mu       sync.Mutex
+	pend     map[uint64]chan Response
+	readErr  error
+	closed   bool
+	done     chan struct{} // closed when the read loop dies; waiters select on it
+	readGone chan struct{} // closed when the read loop has returned
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// Dial connects to a protoaccd at addr.
-func Dial(addr string) (*Conn, error) {
+// Dial connects to a protoaccd at addr with default options.
+func Dial(addr string) (*Conn, error) { return DialWith(addr, DialOptions{}) }
+
+// DialWith connects to a protoaccd at addr.
+func DialWith(addr string, opts DialOptions) (*Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Conn{
-		conn: nc,
-		pend: make(map[uint64]chan Response),
-		done: make(chan struct{}),
+		conn:     nc,
+		opts:     opts.withDefaults(),
+		pend:     make(map[uint64]chan Response),
+		done:     make(chan struct{}),
+		readGone: make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
 }
 
-// readLoop routes response frames to waiting callers until the connection
-// dies, then fails everything still pending.
+// readLoop routes response messages to waiting callers until the
+// connection dies, then fails everything still pending. Responses whose
+// waiter already gave up (timeout) are dropped.
 func (c *Conn) readLoop() {
+	defer close(c.readGone)
 	for {
-		body, err := readFrame(c.conn)
+		body, _, err := readMessage(c.conn, maxFrame)
 		if err == nil {
 			var resp Response
 			resp, err = parseResponse(body)
@@ -150,36 +209,99 @@ func (c *Conn) readLoop() {
 	}
 }
 
-// Do implements Doer over the wire protocol.
+// Broken reports whether the connection is dead (transport error or
+// closed) and can never carry another request. The cluster balancer polls
+// this to decide when a node needs a redial.
+func (c *Conn) Broken() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// brokenErr builds the caller-facing error for a dead connection.
+func (c *Conn) brokenErr() error {
+	c.mu.Lock()
+	err := c.readErr
+	closed := c.closed
+	c.mu.Unlock()
+	if closed || err == nil || errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	return fmt.Errorf("serve: connection broken: %w", err)
+}
+
+// waitBudget returns the wait bound for one request: the dial-time
+// Timeout if set, else the request's own budget plus Grace, else zero
+// (unbounded).
+func (c *Conn) waitBudget(req *Request) time.Duration {
+	if c.opts.Timeout > 0 {
+		return c.opts.Timeout
+	}
+	if req.Timeout > 0 {
+		return req.Timeout + c.opts.Grace
+	}
+	return 0
+}
+
+// Do implements Doer over the wire protocol. The wait is bounded by
+// waitBudget; on expiry the caller gets ErrTimeout and the connection
+// stays usable (a late response to the abandoned id is dropped by the
+// read loop).
 func (c *Conn) Do(req Request) (Response, error) {
+	if c.Broken() {
+		return Response{}, c.brokenErr()
+	}
 	ch := make(chan Response, 1)
 
-	c.mu.Lock()
-	if c.readErr != nil {
-		err := c.readErr
-		c.mu.Unlock()
-		return Response{}, fmt.Errorf("serve: connection broken: %w", err)
-	}
-	c.mu.Unlock()
-
 	c.writeMu.Lock()
+	if c.Broken() { // may have died while we queued for the lock
+		c.writeMu.Unlock()
+		return Response{}, c.brokenErr()
+	}
 	c.nextID++
 	req.ID = c.nextID
 	c.mu.Lock()
 	c.pend[req.ID] = ch
 	c.mu.Unlock()
-	err := writeFrame(c.conn, appendRequest(nil, &req))
+	c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	_, err := writeMessage(c.conn, appendRequest(nil, &req))
+	c.conn.SetWriteDeadline(time.Time{})
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pend, req.ID)
 		c.mu.Unlock()
-		return Response{}, err
+		// A partial request frame desynchronizes the stream: nothing sent
+		// after it can parse. Kill the connection so every other waiter
+		// fails fast instead of hanging on responses that cannot arrive.
+		c.conn.Close()
+		return Response{}, fmt.Errorf("serve: request write failed: %w", err)
 	}
 
+	var timeout <-chan time.Time
+	if d := c.waitBudget(&req); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
 	select {
 	case resp := <-ch:
 		return resp, nil
+	case <-timeout:
+		c.mu.Lock()
+		delete(c.pend, req.ID)
+		c.mu.Unlock()
+		// The read loop may have routed the response between the timer
+		// firing and the delete; prefer the real answer.
+		select {
+		case resp := <-ch:
+			return resp, nil
+		default:
+		}
+		return Response{}, fmt.Errorf("serve: request %d: %w", req.ID, ErrTimeout)
 	case <-c.done:
 		// Drain a response that raced with the shutdown.
 		select {
@@ -187,15 +309,21 @@ func (c *Conn) Do(req Request) (Response, error) {
 			return resp, nil
 		default:
 		}
-		c.mu.Lock()
-		err := c.readErr
-		c.mu.Unlock()
-		if err == nil {
-			err = errors.New("connection closed")
-		}
-		return Response{}, fmt.Errorf("serve: connection broken: %w", err)
+		return Response{}, c.brokenErr()
 	}
 }
 
-// Close implements Doer.
-func (c *Conn) Close() error { return c.conn.Close() }
+// Close implements Doer. It is idempotent and safe to call concurrently
+// with Do: the transport closes, the read loop exits failing every
+// pending waiter, and Close returns only after the read loop is gone —
+// so when Close returns, no Do call is still blocked on this Conn.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		c.mu.Unlock()
+		c.closeErr = c.conn.Close()
+		<-c.readGone
+	})
+	return c.closeErr
+}

@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeDaemon listens on loopback and hands every accepted connection to
+// handle; it stands in for a protoaccd that is hung, half-dead, or
+// otherwise misbehaving in ways a real server won't reproduce on demand.
+func fakeDaemon(t *testing.T, handle func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go handle(nc)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// readAndHold consumes inbound messages forever without ever answering —
+// a daemon that accepted the request and then hung.
+func readAndHold(nc net.Conn) {
+	for {
+		if _, _, err := readMessage(nc, maxFrame); err != nil {
+			nc.Close()
+			return
+		}
+	}
+}
+
+// Regression: Conn.Do used to wait forever on a server that never
+// responds. The dial-level Timeout must bound the wait, return ErrTimeout,
+// and leave the connection usable for later requests.
+func TestConnDoTimeoutSlowServer(t *testing.T) {
+	addr := fakeDaemon(t, readAndHold)
+	conn, err := DialWith(addr, DialOptions{Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	_, err = conn.Do(Request{Op: OpDeserialize, Schema: "varint"})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Do against a hung server: err = %v, want ErrTimeout", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("timeout took %v, want ~150ms", waited)
+	}
+	if conn.Broken() {
+		t.Error("a request timeout must not kill the connection")
+	}
+	// The abandoned id must no longer be registered: pend would otherwise
+	// leak one channel per timed-out request.
+	conn.mu.Lock()
+	n := len(conn.pend)
+	conn.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d pending waiters leaked after timeout", n)
+	}
+}
+
+// The per-request budget (Request.Timeout + Grace) must bound the wait
+// when no dial-level Timeout is set.
+func TestConnDoTimeoutFromRequestBudget(t *testing.T) {
+	addr := fakeDaemon(t, readAndHold)
+	conn, err := DialWith(addr, DialOptions{Grace: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Do(Request{Op: OpDeserialize, Schema: "varint", Timeout: 50 * time.Millisecond})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("err = %v, want ErrTimeout", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do ignored the per-request budget")
+	}
+}
+
+// Regression: a daemon dying mid-flight used to be survivable only
+// because readLoop failed the pend map — but callers with no timeout
+// depended entirely on that one path. The waiter must get an error
+// promptly, and later Do calls must fail fast with ErrClosed semantics
+// instead of touching the dead socket.
+func TestConnDaemonDiesMidFlight(t *testing.T) {
+	addr := fakeDaemon(t, func(nc net.Conn) {
+		// Accept the request, then die without answering.
+		readMessage(nc, maxFrame)
+		nc.Close()
+	})
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Do(Request{Op: OpDeserialize, Schema: "varint"})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Do returned success from a daemon that died mid-flight")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do blocked forever on a dead daemon")
+	}
+	if !conn.Broken() {
+		t.Error("Broken() = false after the transport died")
+	}
+	if _, err := conn.Do(Request{Op: OpDeserialize, Schema: "varint"}); err == nil {
+		t.Error("Do on a broken connection returned success")
+	}
+}
+
+// Regression: Close used to just close the socket; waiters blocked in Do
+// with no timeout were freed only by the read loop's error path, and
+// Close gave no guarantee it had happened. Now Close must fail every
+// pending waiter before returning, and be idempotent.
+func TestConnCloseFailsWaiters(t *testing.T) {
+	addr := fakeDaemon(t, readAndHold)
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := conn.Do(Request{Op: OpDeserialize, Schema: "varint"})
+			errs <- err
+		}()
+	}
+	// Wait until every waiter is registered before closing.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn.mu.Lock()
+		pending := len(conn.pend)
+		conn.mu.Unlock()
+		if pending == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests registered", pending, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Close returning means the read loop is gone — every Do must already
+	// be unblocked, so the waitgroup cannot hang.
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("waiter err = %v, want ErrClosed", err)
+		}
+	}
+	if err := conn.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := conn.Do(Request{Op: OpDeserialize, Schema: "varint"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Do after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// Regression: a daemon that stops draining its socket (SIGSTOP) used to
+// wedge the writer forever while it held writeMu — every other Do on the
+// connection then deadlocked behind the lock, timeout or not. The write
+// deadline must fail the stalled write and kill the connection so all
+// callers escape.
+func TestConnWriteStallFailsFast(t *testing.T) {
+	accepted := make(chan net.Conn, 1)
+	addr := fakeDaemon(t, func(nc net.Conn) {
+		accepted <- nc // hold the conn open but never read from it
+	})
+	conn, err := DialWith(addr, DialOptions{WriteTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	defer func() {
+		if nc := <-accepted; nc != nil {
+			nc.Close()
+		}
+	}()
+	// Large enough to overrun the kernel socket buffers so the write
+	// genuinely stalls mid-message.
+	payload := make([]byte, 16<<20)
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Do(Request{Op: OpDeserialize, Schema: "varint", Payload: payload})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stalled write reported success")
+		}
+		var nerr net.Error
+		if !errors.As(err, &nerr) || !nerr.Timeout() {
+			t.Errorf("err = %v, want a net timeout", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Do deadlocked on a stalled socket write")
+	}
+	// The partial frame desynchronized the stream; the Conn must be dead
+	// and later calls must fail instead of queueing behind a wedged lock.
+	if !conn.Broken() {
+		t.Error("Broken() = false after a write timeout")
+	}
+	if _, err := conn.Do(Request{Op: OpDeserialize, Schema: "varint"}); err == nil {
+		t.Error("Do on a write-wedged connection returned success")
+	}
+}
+
+// A broken read stream (garbage response bytes) must surface as a broken
+// connection, not a hang or a misrouted response.
+func TestConnGarbageResponse(t *testing.T) {
+	addr := fakeDaemon(t, func(nc net.Conn) {
+		if _, _, err := readMessage(nc, maxFrame); err != nil {
+			nc.Close()
+			return
+		}
+		nc.Write(frame([]byte("not a response")))
+	})
+	conn, err := DialWith(addr, DialOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Do(Request{Op: OpDeserialize, Schema: "varint"}); err == nil {
+		t.Fatal("garbage response bytes accepted")
+	}
+	if !conn.Broken() {
+		t.Error("Broken() = false after a response parse failure")
+	}
+}
+
+// Sanity: io.EOF from a clean peer shutdown maps to ErrClosed after the
+// caller closes, and to a wrapped transport error otherwise. (Guards the
+// brokenErr classification the cluster balancer keys off.)
+func TestConnBrokenErrClassification(t *testing.T) {
+	addr := fakeDaemon(t, func(nc net.Conn) { nc.Close() })
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the read loop to observe the hangup.
+	deadline := time.Now().Add(10 * time.Second)
+	for !conn.Broken() {
+		if time.Now().After(deadline) {
+			t.Fatal("read loop never observed the peer hangup")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := conn.brokenErr(); !errors.Is(err, io.EOF) {
+		t.Errorf("peer hangup err = %v, want io.EOF wrap", err)
+	}
+	conn.Close()
+	if err := conn.brokenErr(); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-Close err = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,685 @@
+// Package cluster is the client side of a disaggregated accelerator
+// pool: a balancer holding one TCP connection per protoaccd daemon,
+// routing each request with power-of-two-choices over live in-flight and
+// latency estimates (the tile router's policy, lifted across the
+// network), hedging stragglers against a second node after an adaptive
+// quantile delay, and ejecting sick nodes based on transport errors and
+// each daemon's /healthz admin surface — RPCAcc's "accelerator as a
+// network-attached resource", built from the serving layer this repo
+// already has.
+//
+// The balancer deliberately owns all recovery policy. A serve.Conn never
+// reconnects on its own (see serve.ErrClosed): redial, failover, and
+// hedging all happen here, where there is a second node to fail over to
+// and counters to account the decision.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"protoacc/internal/serve"
+	"protoacc/internal/telemetry"
+)
+
+// HedgeOptions tunes straggler hedging. Hedging sends a second copy of a
+// request to a different node once the first has been outstanding longer
+// than an adaptive delay — the observed Quantile of OK latency, clamped
+// to [Min, Max] — and takes whichever response lands first. The loser is
+// not cancelled (the wire protocol has no cancel); it completes and is
+// discarded, which is the classic hedged-request trade: bounded duplicate
+// work for a p999 cut.
+type HedgeOptions struct {
+	// Enabled turns hedging on. Off by default: hedging trades duplicate
+	// work for tail latency, which is the caller's call to make.
+	Enabled bool
+
+	// Quantile of the observed OK-latency distribution to wait before
+	// hedging (default 0.95): 5% of requests hedge at steady state.
+	Quantile float64
+
+	// Min and Max clamp the adaptive delay (defaults 1ms and 100ms). Max
+	// also serves as the delay while fewer than MinSamples latencies have
+	// been observed.
+	Min, Max time.Duration
+
+	// MinSamples is how many OK latencies must be observed before the
+	// quantile is trusted (default 64).
+	MinSamples int
+}
+
+func (o HedgeOptions) withDefaults() HedgeOptions {
+	if o.Quantile <= 0 || o.Quantile >= 1 {
+		o.Quantile = 0.95
+	}
+	if o.Min <= 0 {
+		o.Min = time.Millisecond
+	}
+	if o.Max <= 0 {
+		o.Max = 100 * time.Millisecond
+	}
+	if o.Max < o.Min {
+		o.Max = o.Min
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 64
+	}
+	return o
+}
+
+// HealthOptions tunes node ejection and recovery. Two signals feed the
+// state machine: transport errors observed on the data path (always on),
+// and each daemon's /healthz admin document (on when Interval > 0 and
+// the node has an admin address).
+type HealthOptions struct {
+	// Interval between /healthz polls; 0 (default) disables polling —
+	// transport-error ejection still applies.
+	Interval time.Duration
+
+	// Timeout for one /healthz request (default 1s).
+	Timeout time.Duration
+
+	// ErrorThreshold ejects a node after this many consecutive transport
+	// errors (default 3; < 0 disables error ejection).
+	ErrorThreshold int
+
+	// SickPolls ejects a node after this many consecutive sick /healthz
+	// polls (default 2).
+	SickPolls int
+
+	// HealthyPolls restores an ejected node after this many consecutive
+	// healthy polls (default 2).
+	HealthyPolls int
+
+	// DegradedTiles is the number of degraded tiles in a /healthz report
+	// that marks the node sick (default 1: any degraded tile).
+	DegradedTiles int
+
+	// EjectDwell is how long an ejected node sits out before the router
+	// sends it a probe request (default 2s).
+	EjectDwell time.Duration
+}
+
+func (o HealthOptions) withDefaults() HealthOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = time.Second
+	}
+	if o.ErrorThreshold == 0 {
+		o.ErrorThreshold = 3
+	}
+	if o.SickPolls <= 0 {
+		o.SickPolls = 2
+	}
+	if o.HealthyPolls <= 0 {
+		o.HealthyPolls = 2
+	}
+	if o.DegradedTiles <= 0 {
+		o.DegradedTiles = 1
+	}
+	if o.EjectDwell <= 0 {
+		o.EjectDwell = 2 * time.Second
+	}
+	return o
+}
+
+// Options configures a Balancer.
+type Options struct {
+	// Addrs are the daemons' data-plane addresses (required, 1..N).
+	Addrs []string
+
+	// AdminAddrs are the daemons' admin-plane addresses for /healthz
+	// polling, parallel to Addrs. Empty slice or empty entries disable
+	// health polling for the whole pool or that node respectively.
+	AdminAddrs []string
+
+	// Routing picks nodes: serve.RoutePowerOfTwo (default) scores two
+	// candidates by in-flight count × smoothed latency; RouteRoundRobin
+	// is the deterministic mode — node choice is a pure function of the
+	// request sequence, which is what the cluster equivalence tests pin.
+	Routing serve.Routing
+
+	// Dial tunes every per-node connection (deadlines; see
+	// serve.DialOptions).
+	Dial serve.DialOptions
+
+	Hedge  HedgeOptions
+	Health HealthOptions
+}
+
+// nodeState is the ejection state machine: healthy nodes route, ejected
+// nodes sit out EjectDwell, then the first route that considers one flips
+// it to probing and sends it a single real request — success restores it,
+// failure re-ejects it. /healthz polling can also restore an ejected node
+// without burning a request.
+type nodeState int32
+
+const (
+	stateHealthy nodeState = iota
+	stateEjected
+	stateProbing
+)
+
+// node is one daemon: its connection, live routing estimates, health
+// state, and counters.
+type node struct {
+	id        int
+	addr      string
+	adminAddr string
+	b         *Balancer
+
+	inflight atomic.Int64
+	ewmaNs   atomic.Uint64 // smoothed OK latency; 0 = no data yet
+
+	connMu sync.Mutex
+	conn   *serve.Conn
+
+	mu           sync.Mutex
+	state        nodeState
+	ejectedUntil time.Time
+	consecErrs   int
+	consecSick   int
+	consecWell   int
+
+	// Counters (atomic: the data path and the poller both write).
+	requests  atomic.Uint64
+	oks       atomic.Uint64
+	errs      atomic.Uint64
+	fallbacks atomic.Uint64
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+	ejections atomic.Uint64
+	redials   atomic.Uint64
+}
+
+// Balancer fans a Doer interface out over a pool of protoaccd daemons.
+// It is safe for concurrent use; one Balancer serves any number of
+// workers.
+type Balancer struct {
+	opts  Options
+	nodes []*node
+	seq   atomic.Uint64 // routing sequence: rr cursor / p2c hash input
+
+	okLatency telemetry.Histogram // all OK attempt latencies; feeds the hedge delay
+	hedgeWin  telemetry.Histogram // winning hedge latencies (hedge send → response)
+
+	requests    atomic.Uint64
+	hedgesSent  atomic.Uint64
+	hedgeWins   atomic.Uint64
+	hedgeLosses atomic.Uint64
+	retries     atomic.Uint64
+	ejections   atomic.Uint64
+	recoveries  atomic.Uint64
+
+	closed atomic.Bool
+	health *healthPoller
+}
+
+// New builds a Balancer and dials every node. Nodes that fail the
+// initial dial are not fatal — they start life with a broken connection
+// and the redial/ejection machinery takes it from there — but at least
+// one node must be reachable.
+func New(opts Options) (*Balancer, error) {
+	if len(opts.Addrs) == 0 {
+		return nil, errors.New("cluster: no node addresses")
+	}
+	if len(opts.AdminAddrs) != 0 && len(opts.AdminAddrs) != len(opts.Addrs) {
+		return nil, fmt.Errorf("cluster: %d admin addresses for %d nodes", len(opts.AdminAddrs), len(opts.Addrs))
+	}
+	opts.Hedge = opts.Hedge.withDefaults()
+	opts.Health = opts.Health.withDefaults()
+	b := &Balancer{opts: opts}
+	reachable := 0
+	for i, addr := range opts.Addrs {
+		n := &node{id: i, addr: addr, b: b}
+		if len(opts.AdminAddrs) > 0 {
+			n.adminAddr = opts.AdminAddrs[i]
+		}
+		conn, err := serve.DialWith(addr, opts.Dial)
+		if err == nil {
+			n.conn = conn
+			reachable++
+		}
+		b.nodes = append(b.nodes, n)
+	}
+	if reachable == 0 {
+		return nil, fmt.Errorf("cluster: no node reachable (tried %d)", len(opts.Addrs))
+	}
+	if opts.Health.Interval > 0 {
+		b.health = startHealthPoller(b)
+	}
+	return b, nil
+}
+
+// Nodes returns the pool size.
+func (b *Balancer) Nodes() int { return len(b.nodes) }
+
+// Close stops the health poller and closes every node connection. Any
+// in-flight Do calls fail.
+func (b *Balancer) Close() error {
+	if !b.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if b.health != nil {
+		b.health.stop()
+	}
+	for _, n := range b.nodes {
+		n.connMu.Lock()
+		if n.conn != nil {
+			n.conn.Close()
+		}
+		n.connMu.Unlock()
+	}
+	return nil
+}
+
+// client returns the node's live connection, redialing a broken one.
+// Redial is single-flight per node under connMu.
+func (n *node) client() (*serve.Conn, error) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if n.b.closed.Load() {
+		return nil, serve.ErrClosed
+	}
+	if n.conn != nil && !n.conn.Broken() {
+		return n.conn, nil
+	}
+	if n.conn != nil {
+		n.conn.Close()
+		n.conn = nil
+	}
+	conn, err := serve.DialWith(n.addr, n.b.opts.Dial)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %d redial: %w", n.id, err)
+	}
+	n.redials.Add(1)
+	n.conn = conn
+	return conn, nil
+}
+
+// do runs one attempt on this node, maintaining the routing estimates
+// and the health state machine.
+func (n *node) do(req serve.Request) (serve.Response, time.Duration, error) {
+	n.requests.Add(1)
+	conn, err := n.client()
+	if err != nil {
+		n.finish(err)
+		return serve.Response{}, 0, err
+	}
+	n.inflight.Add(1)
+	start := time.Now()
+	resp, err := conn.Do(req)
+	lat := time.Since(start)
+	n.inflight.Add(-1)
+	if err == nil {
+		n.noteOK(lat)
+		if resp.FellBack {
+			n.fallbacks.Add(1)
+		}
+	} else {
+		n.finish(err)
+	}
+	return resp, lat, err
+}
+
+// ewmaAlpha is the smoothing weight for the per-node latency estimate.
+const ewmaAlpha = 0.2
+
+// noteOK folds a successful attempt into the routing estimate and
+// restores a probing node.
+func (n *node) noteOK(lat time.Duration) {
+	n.oks.Add(1)
+	n.b.okLatency.Record(lat)
+	for {
+		cur := n.ewmaNs.Load()
+		next := uint64(float64(cur)*(1-ewmaAlpha) + float64(lat.Nanoseconds())*ewmaAlpha)
+		if cur == 0 {
+			next = uint64(lat.Nanoseconds())
+		}
+		if n.ewmaNs.CompareAndSwap(cur, next) {
+			break
+		}
+	}
+	n.mu.Lock()
+	n.consecErrs = 0
+	if n.state == stateProbing {
+		n.state = stateHealthy
+		n.b.recoveries.Add(1)
+	}
+	n.mu.Unlock()
+}
+
+// finish records a failed attempt: a probing node re-ejects immediately,
+// a healthy one ejects after ErrorThreshold consecutive errors.
+func (n *node) finish(err error) {
+	n.errs.Add(1)
+	th := n.b.opts.Health.ErrorThreshold
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.consecErrs++
+	switch {
+	case n.state == stateProbing:
+		n.ejectLocked()
+	case n.state == stateHealthy && th > 0 && n.consecErrs >= th:
+		n.ejectLocked()
+	}
+}
+
+// ejectLocked moves the node to ejected for EjectDwell. Callers hold mu.
+func (n *node) ejectLocked() {
+	n.state = stateEjected
+	n.ejectedUntil = time.Now().Add(n.b.opts.Health.EjectDwell)
+	n.consecWell = 0
+	n.ejections.Add(1)
+	n.b.ejections.Add(1)
+}
+
+// restoreLocked returns the node to service. Callers hold mu.
+func (n *node) restoreLocked() {
+	if n.state != stateHealthy {
+		n.state = stateHealthy
+		n.b.recoveries.Add(1)
+	}
+	n.consecErrs = 0
+	n.consecSick = 0
+}
+
+// routable reports whether the router may send this node a request now.
+// An ejected node whose dwell has elapsed converts to probing and gets
+// exactly one request; further routes skip it until the probe resolves.
+func (n *node) routable(now time.Time) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch n.state {
+	case stateHealthy:
+		return true
+	case stateEjected:
+		if now.After(n.ejectedUntil) {
+			n.state = stateProbing
+			return true
+		}
+	}
+	return false
+}
+
+// score is the p2c routing metric: queue pressure times smoothed
+// latency, so a slow node and a busy node both lose ties. An unmeasured
+// node scores minimally and attracts traffic until it has an estimate.
+func (n *node) score() uint64 {
+	return uint64(n.inflight.Load()+1) * (n.ewmaNs.Load() + 1)
+}
+
+// splitmix64 is the route-sequence hash (same mixer as the tile router):
+// consecutive sequence numbers map to well-spread candidate pairs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// route picks the next node, skipping exclude (the hedge's primary, or a
+// just-failed node) and unroutable nodes. Round-robin walks the sequence
+// deterministically; p2c hashes it into two candidates and takes the
+// lower score. If nothing is routable the preferred node serves anyway —
+// an all-ejected pool must degrade to "try", not "refuse".
+func (b *Balancer) route(exclude *node) *node {
+	nodes := b.nodes
+	nn := uint64(len(nodes))
+	if nn == 1 {
+		return nodes[0]
+	}
+	seq := b.seq.Add(1)
+	now := time.Now()
+	if b.opts.Routing == serve.RouteRoundRobin {
+		for off := uint64(0); off < nn; off++ {
+			c := nodes[(seq-1+off)%nn]
+			if c == exclude {
+				continue
+			}
+			if c.routable(now) {
+				return c
+			}
+		}
+		if c := nodes[(seq-1)%nn]; c != exclude {
+			return c
+		}
+		return nodes[seq%nn]
+	}
+	r := splitmix64(seq)
+	a, c := nodes[r%nn], nodes[(r>>32)%nn]
+	if a.id > c.id {
+		a, c = c, a
+	}
+	ra := a != exclude && a.routable(now)
+	rc := c != a && c != exclude && c.routable(now)
+	switch {
+	case ra && rc:
+		if c.score() < a.score() {
+			return c
+		}
+		return a
+	case ra:
+		return a
+	case rc:
+		return c
+	}
+	// Neither candidate usable: deterministic forward scan.
+	for off := uint64(1); off <= nn; off++ {
+		cand := nodes[(r+off)%nn]
+		if cand != exclude && cand.routable(now) {
+			return cand
+		}
+	}
+	if a != exclude {
+		return a
+	}
+	return c
+}
+
+// hedgeDelay is how long a request stays outstanding before a hedge
+// fires: the configured quantile of observed OK latency, clamped to
+// [Min, Max]; until MinSamples latencies exist the delay is Max (hedge
+// conservatively while the estimate warms up).
+func (b *Balancer) hedgeDelay() time.Duration {
+	h := b.opts.Hedge
+	if b.okLatency.Count() < uint64(h.MinSamples) {
+		return h.Max
+	}
+	d := b.okLatency.Quantile(h.Quantile)
+	if d < h.Min {
+		return h.Min
+	}
+	if d > h.Max {
+		return h.Max
+	}
+	return d
+}
+
+// attempt is one in-flight copy of a request.
+type attempt struct {
+	resp   serve.Response
+	err    error
+	node   *node
+	lat    time.Duration
+	hedged bool
+}
+
+// Do implements serve.Doer across the pool: route, optionally hedge,
+// first response wins, transport errors fail over to another node (at
+// most one attempt per node). Server-side statuses (shed, bad request,
+// deadline) are responses, not errors — they win like any other.
+func (b *Balancer) Do(req serve.Request) (serve.Response, error) {
+	if b.closed.Load() {
+		return serve.Response{}, serve.ErrClosed
+	}
+	b.requests.Add(1)
+	primary := b.route(nil)
+	ch := make(chan attempt, len(b.nodes)+1)
+	launch := func(nd *node, hedged bool) {
+		go func() {
+			resp, lat, err := nd.do(req)
+			ch <- attempt{resp: resp, err: err, node: nd, lat: lat, hedged: hedged}
+		}()
+	}
+	launch(primary, false)
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if b.opts.Hedge.Enabled && len(b.nodes) > 1 {
+		hedgeTimer = time.NewTimer(b.hedgeDelay())
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+
+	outstanding := 1
+	attempts := 1
+	hedged := false
+	lastFailed := primary
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			nd := b.route(primary)
+			if nd == nil || nd == primary {
+				continue
+			}
+			hedged = true
+			b.hedgesSent.Add(1)
+			nd.hedges.Add(1)
+			launch(nd, true)
+			outstanding++
+			attempts++
+		case res := <-ch:
+			outstanding--
+			if res.err == nil {
+				if res.hedged {
+					b.hedgeWins.Add(1)
+					res.node.hedgeWins.Add(1)
+					b.hedgeWin.Record(res.lat)
+				} else if hedged {
+					b.hedgeLosses.Add(1)
+				}
+				// A losing attempt still in flight completes on its own
+				// goroutine and is discarded (the channel is buffered).
+				return res.resp, nil
+			}
+			lastFailed = res.node
+			if outstanding > 0 {
+				continue // the other copy may still win
+			}
+			if attempts < len(b.nodes) {
+				nd := b.route(lastFailed)
+				if nd != nil && nd != lastFailed {
+					b.retries.Add(1)
+					attempts++
+					outstanding++
+					hedgeC = nil
+					launch(nd, false)
+					continue
+				}
+			}
+			return serve.Response{}, fmt.Errorf("cluster: node %d (%s): %w", res.node.id, res.node.addr, res.err)
+		}
+	}
+}
+
+// Close is part of serve.Doer on the client handle, not the balancer
+// itself; Client returns a non-owning handle whose Close is a no-op, so
+// each loadgen worker can hold "its own" Doer over the shared pool.
+type clientHandle struct{ b *Balancer }
+
+func (h clientHandle) Do(req serve.Request) (serve.Response, error) { return h.b.Do(req) }
+func (h clientHandle) Close() error                                 { return nil }
+
+// Client returns a serve.Doer view of the pool that does not own it:
+// Close is a no-op, the Balancer outlives all handles.
+func (b *Balancer) Client() serve.Doer { return clientHandle{b} }
+
+// NodeCounters is one node's counter snapshot.
+type NodeCounters struct {
+	Addr      string
+	Requests  uint64
+	OKs       uint64
+	Errors    uint64
+	Fallbacks uint64
+	Hedges    uint64
+	HedgeWins uint64
+	Ejections uint64
+	Redials   uint64
+	Ejected   bool
+}
+
+// NodeStats snapshots every node's counters, indexed by node id.
+func (b *Balancer) NodeStats() []NodeCounters {
+	out := make([]NodeCounters, len(b.nodes))
+	for i, n := range b.nodes {
+		n.mu.Lock()
+		ejected := n.state != stateHealthy
+		n.mu.Unlock()
+		out[i] = NodeCounters{
+			Addr:      n.addr,
+			Requests:  n.requests.Load(),
+			OKs:       n.oks.Load(),
+			Errors:    n.errs.Load(),
+			Fallbacks: n.fallbacks.Load(),
+			Hedges:    n.hedges.Load(),
+			HedgeWins: n.hedgeWins.Load(),
+			Ejections: n.ejections.Load(),
+			Redials:   n.redials.Load(),
+			Ejected:   ejected,
+		}
+	}
+	return out
+}
+
+// HedgeWinHistogram returns the winning-hedge latency histogram.
+func (b *Balancer) HedgeWinHistogram() *telemetry.Histogram { return &b.hedgeWin }
+
+// CollectTelemetry implements telemetry.Collector: the serve/cluster/
+// counter group. Shape is stable (fixed emission order, every node every
+// time), per the Collector contract.
+func (b *Balancer) CollectTelemetry(emit func(name string, value float64)) {
+	emit("nodes", float64(len(b.nodes)))
+	emit("requests", float64(b.requests.Load()))
+	emit("hedges", float64(b.hedgesSent.Load()))
+	emit("hedge_wins", float64(b.hedgeWins.Load()))
+	emit("hedge_losses", float64(b.hedgeLosses.Load()))
+	emit("retries", float64(b.retries.Load()))
+	emit("ejections", float64(b.ejections.Load()))
+	emit("recoveries", float64(b.recoveries.Load()))
+	for i, n := range b.nodes {
+		prefix := fmt.Sprintf("node%d/", i)
+		emit(prefix+"requests", float64(n.requests.Load()))
+		emit(prefix+"ok", float64(n.oks.Load()))
+		emit(prefix+"errors", float64(n.errs.Load()))
+		emit(prefix+"fallbacks", float64(n.fallbacks.Load()))
+		emit(prefix+"hedges", float64(n.hedges.Load()))
+		emit(prefix+"hedge_wins", float64(n.hedgeWins.Load()))
+		emit(prefix+"ejections", float64(n.ejections.Load()))
+		emit(prefix+"redials", float64(n.redials.Load()))
+	}
+}
+
+// RegisterTelemetry registers the balancer's counter group and
+// histograms into reg under serve/cluster/.
+func (b *Balancer) RegisterTelemetry(reg *telemetry.Registry) {
+	reg.Register("serve/cluster", b)
+	reg.RegisterHistogram("serve/cluster/latency_ok_ns", &b.okLatency)
+	reg.RegisterHistogram("serve/cluster/hedge/win_ns", &b.hedgeWin)
+}
+
+// Counters returns the serve/cluster/ counter group as a map (test and
+// report convenience).
+func (b *Balancer) Counters() map[string]float64 {
+	var reg telemetry.Registry
+	reg.Register("serve/cluster", b)
+	snap := reg.Snapshot()
+	out := make(map[string]float64, snap.Len())
+	for _, sm := range snap.Samples() {
+		out[sm.Name] = sm.Value
+	}
+	return out
+}

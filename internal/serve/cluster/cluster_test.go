@@ -1,0 +1,421 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"protoacc/internal/faults"
+	"protoacc/internal/serve"
+)
+
+// serverOptions mirrors the serve package's test sizing: small batches
+// and tight memory so a test cluster of 2–4 daemons stays cheap.
+func serverOptions() serve.Options {
+	return serve.Options{
+		MaxBatch:    4,
+		QueueDepth:  64,
+		Workers:     2,
+		MaxPayload:  8 << 10,
+		BatchWindow: 100 * time.Microsecond,
+		Deadline:    time.Minute,
+	}
+}
+
+// startServer runs one in-process protoaccd equivalent on loopback.
+func startServer(t *testing.T, opts serve.Options) (*serve.Server, string) {
+	t.Helper()
+	srv, err := serve.NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return srv, ln.Addr().String()
+}
+
+// startBlackhole listens and swallows every byte without ever answering —
+// a daemon that accepts work and hangs (the hedging target scenario).
+func startBlackhole(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, nc)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// startRefuser accepts and immediately closes every connection — a
+// daemon that is reachable but dead (the failover/ejection scenario).
+func startRefuser(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped := false
+	stop := func() {
+		if !stopped {
+			stopped = true
+			ln.Close()
+		}
+	}
+	t.Cleanup(stop)
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			nc.Close()
+		}
+	}()
+	return ln.Addr().String(), stop
+}
+
+// sampleRequest builds the i'th canonical request over the default
+// catalog's varint schema.
+func sampleRequest(srv *serve.Server, i int) serve.Request {
+	e := srv.Catalog().Lookup("varint")
+	return serve.Request{Op: serve.OpDeserialize, Schema: "varint", Payload: e.SamplePayload(i)}
+}
+
+// A balanced pool must answer byte-verified through every node, spread
+// load across the pool, and account every request in serve/cluster/.
+func TestClusterRoundTrip(t *testing.T) {
+	srvA, addrA := startServer(t, serverOptions())
+	_, addrB := startServer(t, serverOptions())
+	b, err := New(Options{Addrs: []string{addrA, addrB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		req := sampleRequest(srvA, i)
+		resp, err := b.Do(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.Status != serve.StatusOK {
+			t.Fatalf("request %d: status %v: %s", i, resp.Status, resp.Payload)
+		}
+		if !bytes.Equal(resp.Payload, req.Payload) {
+			t.Fatalf("request %d: response diverges from canonical payload", i)
+		}
+	}
+	c := b.Counters()
+	if got := c["serve/cluster/requests"]; got != n {
+		t.Errorf("serve/cluster/requests = %v, want %d", got, n)
+	}
+	stats := b.NodeStats()
+	var total uint64
+	for i, ns := range stats {
+		if ns.Requests == 0 {
+			t.Errorf("node %d received no traffic", i)
+		}
+		total += ns.OKs
+	}
+	if total != n {
+		t.Errorf("per-node OK sum = %d, want %d", total, n)
+	}
+}
+
+// Hedging must rescue requests routed to a hung node: the second copy
+// races ahead, wins, and is accounted in the hedge counters and win
+// histogram — while the caller just sees a normal OK response.
+func TestClusterHedgeRescuesStalledNode(t *testing.T) {
+	stall := startBlackhole(t)
+	srv, healthy := startServer(t, serverOptions())
+	b, err := New(Options{
+		Addrs:   []string{stall, healthy},
+		Routing: serve.RouteRoundRobin, // force traffic onto the hung node
+		Dial:    serve.DialOptions{Timeout: 5 * time.Second},
+		Hedge: HedgeOptions{
+			Enabled:    true,
+			Min:        2 * time.Millisecond,
+			Max:        10 * time.Millisecond,
+			MinSamples: 1,
+		},
+		// Keep error ejection out of the way: the stalled node times out
+		// slowly; this test is about hedging, not ejection.
+		Health: HealthOptions{ErrorThreshold: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		req := sampleRequest(srv, i)
+		start := time.Now()
+		resp, err := b.Do(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.Status != serve.StatusOK || !bytes.Equal(resp.Payload, req.Payload) {
+			t.Fatalf("request %d: bad response %v", i, resp.Status)
+		}
+		if waited := time.Since(start); waited > 3*time.Second {
+			t.Fatalf("request %d took %v despite hedging", i, waited)
+		}
+	}
+	c := b.Counters()
+	if c["serve/cluster/hedges"] == 0 {
+		t.Error("no hedges fired against a stalled node")
+	}
+	if c["serve/cluster/hedge_wins"] == 0 {
+		t.Error("no hedge wins recorded")
+	}
+	if b.HedgeWinHistogram().Count() == 0 {
+		t.Error("hedge-win histogram is empty")
+	}
+	stats := b.NodeStats()
+	if stats[1].Hedges == 0 || stats[1].HedgeWins == 0 {
+		t.Errorf("healthy node shows hedges=%d wins=%d, want both > 0", stats[1].Hedges, stats[1].HedgeWins)
+	}
+}
+
+// Transport errors must fail over to a live node, eject the dead one
+// after ErrorThreshold consecutive errors, and — once a real daemon
+// comes back on the same address — recover it through a probe request.
+func TestClusterFailoverEjectRecover(t *testing.T) {
+	dead, stopDead := startRefuser(t)
+	srv, healthy := startServer(t, serverOptions())
+	b, err := New(Options{
+		Addrs:   []string{dead, healthy},
+		Routing: serve.RouteRoundRobin,
+		Health: HealthOptions{
+			ErrorThreshold: 2,
+			EjectDwell:     300 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 12
+	for i := 0; i < n; i++ {
+		req := sampleRequest(srv, i)
+		resp, err := b.Do(req)
+		if err != nil {
+			t.Fatalf("request %d: failover did not save it: %v", i, err)
+		}
+		if resp.Status != serve.StatusOK || !bytes.Equal(resp.Payload, req.Payload) {
+			t.Fatalf("request %d: bad response %v", i, resp.Status)
+		}
+	}
+	c := b.Counters()
+	if c["serve/cluster/retries"] == 0 {
+		t.Error("no failover retries recorded against a dead node")
+	}
+	if c["serve/cluster/ejections"] == 0 {
+		t.Error("dead node was never ejected")
+	}
+	stats := b.NodeStats()
+	if !stats[0].Ejected {
+		t.Error("dead node not marked ejected")
+	}
+	if stats[1].OKs != n {
+		t.Errorf("healthy node served %d OKs, want %d", stats[1].OKs, n)
+	}
+
+	// Resurrect the dead address with a real daemon; after the dwell the
+	// router sends node 0 a probe, which succeeds and restores it.
+	stopDead()
+	ln, err := net.Listen("tcp", dead)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", dead, err)
+	}
+	srv2, err := serve.NewServer(serverOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	go srv2.Serve(ln)
+
+	deadline := time.Now().Add(15 * time.Second)
+	recovered := false
+	for i := 0; time.Now().Before(deadline); i++ {
+		req := sampleRequest(srv, i)
+		if _, err := b.Do(req); err != nil {
+			t.Fatalf("request during recovery: %v", err)
+		}
+		st := b.NodeStats()
+		if !st[0].Ejected && st[0].OKs > 0 {
+			recovered = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("ejected node never recovered after the daemon came back")
+	}
+	if b.Counters()["serve/cluster/recoveries"] == 0 {
+		t.Error("no recovery accounted")
+	}
+}
+
+// fakeAdmin serves a controllable /healthz document.
+type fakeAdmin struct {
+	sick atomic.Bool
+	srv  *httptest.Server
+}
+
+func newFakeAdmin(t *testing.T) *fakeAdmin {
+	t.Helper()
+	a := &fakeAdmin{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if a.sick.Load() {
+			fmt.Fprint(w, `{"status":"ok","tiles":[{"degraded":true},{"degraded":false}]}`)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok","tiles":[{"degraded":false},{"degraded":false}]}`)
+	})
+	a.srv = httptest.NewServer(mux)
+	t.Cleanup(a.srv.Close)
+	return a
+}
+
+func (a *fakeAdmin) addr() string { return strings.TrimPrefix(a.srv.URL, "http://") }
+
+// /healthz-driven ejection: a node reporting degraded tiles must be
+// ejected without any data-path error, drained of new traffic, and
+// restored by clean polls once it reports healthy again.
+func TestClusterHealthEjection(t *testing.T) {
+	srvA, addrA := startServer(t, serverOptions())
+	_, addrB := startServer(t, serverOptions())
+	adminA, adminB := newFakeAdmin(t), newFakeAdmin(t)
+	b, err := New(Options{
+		Addrs:      []string{addrA, addrB},
+		AdminAddrs: []string{adminA.addr(), adminB.addr()},
+		Routing:    serve.RouteRoundRobin,
+		Health: HealthOptions{
+			Interval:     10 * time.Millisecond,
+			SickPolls:    2,
+			HealthyPolls: 2,
+			EjectDwell:   time.Hour, // recovery must come from polling, not a probe
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	waitState := func(ejected bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for b.NodeStats()[0].Ejected != ejected {
+			if time.Now().After(deadline) {
+				t.Fatalf("node 0 never became %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	adminA.sick.Store(true)
+	waitState(true, "ejected")
+	if b.Counters()["serve/cluster/ejections"] == 0 {
+		t.Error("health ejection not accounted")
+	}
+
+	// While ejected, traffic flows only to node 1.
+	before := b.NodeStats()[0].Requests
+	for i := 0; i < 8; i++ {
+		req := sampleRequest(srvA, i)
+		resp, err := b.Do(req)
+		if err != nil || resp.Status != serve.StatusOK {
+			t.Fatalf("request %d during ejection: %v %v", i, err, resp.Status)
+		}
+	}
+	if after := b.NodeStats()[0].Requests; after != before {
+		t.Errorf("ejected node received %d requests", after-before)
+	}
+
+	adminA.sick.Store(false)
+	waitState(false, "restored")
+	if b.Counters()["serve/cluster/recoveries"] == 0 {
+		t.Error("health recovery not accounted")
+	}
+}
+
+// chaos isolation: a fault-injected node degrades alone — its fallbacks
+// never appear on the healthy node's counters, and every response from
+// either node stays byte-identical to the canonical payload.
+func TestClusterChaosIsolation(t *testing.T) {
+	faulty := serverOptions()
+	faulty.Faults = faults.Config{Enabled: true, Seed: 91, Rate: 0.9}
+	srvFaulty, addrFaulty := startServer(t, faulty)
+	srvClean, addrClean := startServer(t, serverOptions())
+
+	b, err := New(Options{
+		Addrs:   []string{addrFaulty, addrClean},
+		Routing: serve.RouteRoundRobin, // deterministic split across both nodes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 80
+	var fellBack int
+	for i := 0; i < n; i++ {
+		req := sampleRequest(srvFaulty, i)
+		resp, err := b.Do(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.Status != serve.StatusOK {
+			t.Fatalf("request %d: status %v: %s", i, resp.Status, resp.Payload)
+		}
+		if !bytes.Equal(resp.Payload, req.Payload) {
+			t.Fatalf("request %d: chaos leaked through the wire", i)
+		}
+		if resp.FellBack {
+			fellBack++
+		}
+	}
+	if fellBack == 0 {
+		t.Fatal("fault injection at rate 0.9 produced no fallbacks; test is vacuous")
+	}
+	stats := b.NodeStats()
+	if stats[0].Fallbacks == 0 {
+		t.Error("faulted node shows no fallbacks")
+	}
+	if stats[1].Fallbacks != 0 {
+		t.Errorf("healthy node shows %d fallbacks — leakage across nodes", stats[1].Fallbacks)
+	}
+	// And server-side: the clean daemon's own counters must be fallback-free.
+	if v := srvClean.AggregatedCounters()["serve/fallbacks/accel"]; v != 0 {
+		t.Errorf("clean daemon counted %v accel fallbacks", v)
+	}
+	if v := srvFaulty.AggregatedCounters()["serve/fallbacks/accel"]; v == 0 {
+		t.Error("faulty daemon counted no accel fallbacks")
+	}
+}

@@ -10,24 +10,56 @@ import (
 	"protoacc/internal/pb/wire"
 )
 
-// The wire protocol is deliberately minimal: every message is one frame —
-// a 4-byte big-endian length followed by that many body bytes — and the
-// bodies reuse the repo's own varint encoder. Requests and responses
-// carry a correlation id, so a connection may pipeline: responses come
-// back in completion order, not submission order (batching reorders).
+// The wire protocol is deliberately minimal: every message is one or more
+// frames — a 4-byte big-endian length followed by that many body bytes —
+// and the bodies reuse the repo's own varint encoder. Requests and
+// responses carry a correlation id, so a connection may pipeline:
+// responses come back in completion order, not submission order (batching
+// reorders).
 //
 //	request body:  version(1) op(1) id(uvarint) schema(uvarint len + bytes)
 //	               timeout_us(uvarint) payload(rest)
 //	response body: version(1) status(1) flags(1) id(uvarint)
 //	               cycles(8, fixed64 float bits) payload(rest)
-
+//
+// Messages whose body exceeds one frame's capacity (chunkBody) are
+// chunked HGum-style: a small header frame announces the total body
+// length, then the body streams as fixed-capacity continuation frames.
+// Interleaving is per-direction only — a writer holds its stream lock
+// for the whole train — so one oversized message never monopolizes a
+// frame slot beyond chunkBody bytes, and the reader can validate every
+// continuation frame against the announced total before trusting it.
+//
+//	chunk header frame: chunkMagic(1) total_len(uvarint)
+//	continuation frame: raw body bytes (chunkBody per frame, last short)
+//
+// A single-frame message is byte-identical to the pre-chunking protocol;
+// the chunk header is distinguishable because every message body begins
+// with protocolVersion (1), which chunkMagic (2) can never collide with.
 const (
 	// protocolVersion guards against skew between daemon and clients.
 	protocolVersion = 1
 
-	// maxFrame bounds a frame body; a peer announcing more is treated as
-	// malformed rather than trusted with the allocation.
+	// chunkMagic is the first byte of a chunk header frame. Message
+	// bodies always start with protocolVersion, so the two namespaces
+	// cannot collide.
+	chunkMagic = 2
+
+	// chunkBody is one frame's body capacity: messages up to this size
+	// travel as a single frame (bit-identical to the pre-chunking
+	// protocol), larger ones are chunked.
+	chunkBody = 64 << 10
+
+	// maxFrame bounds any message body, single-frame or reassembled; a
+	// peer announcing more is treated as malformed rather than trusted
+	// with the allocation.
 	maxFrame = 64 << 20
+
+	// allocStep caps how much memory a length prefix can commit before
+	// any body byte has actually arrived: readFrame grows its buffer in
+	// steps of this size as data is read, so a corrupt or hostile prefix
+	// costs at most one step, not the announced length.
+	allocStep = 1 << 20
 
 	flagFellBack = 1 << 0
 )
@@ -46,21 +78,121 @@ func writeFrame(w io.Writer, body []byte) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame body.
-func readFrame(r io.Reader) ([]byte, error) {
+// readFrame reads one length-prefixed frame body of at most limit bytes.
+// The allocation is committed incrementally (allocStep at a time) as body
+// bytes actually arrive, so a corrupt length prefix produces a clean
+// error — never an unbounded (or even limit-sized) up-front allocation.
+func readFrame(r io.Reader, limit int) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("serve: peer announced %d-byte frame (limit %d)", n, maxFrame)
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > limit {
+		return nil, fmt.Errorf("serve: peer announced %d-byte frame (limit %d)", n, limit)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
+	step := n
+	if step > allocStep {
+		step = allocStep
+	}
+	body := make([]byte, 0, step)
+	for len(body) < n {
+		want := n - len(body)
+		if want > allocStep {
+			want = allocStep
+		}
+		off := len(body)
+		body = append(body, make([]byte, want)...)
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			return nil, err
+		}
 	}
 	return body, nil
+}
+
+// writeMessage writes one protocol message, chunking bodies larger than
+// chunkBody. Callers must hold their stream's write lock across the call:
+// a chunk train is not interleavable. Returns whether the message was
+// chunked (for telemetry).
+func writeMessage(w io.Writer, body []byte) (chunked bool, err error) {
+	if len(body) <= chunkBody {
+		return false, writeFrame(w, body)
+	}
+	if len(body) > maxFrame {
+		return false, fmt.Errorf("serve: message of %d bytes exceeds limit %d", len(body), maxFrame)
+	}
+	hdr := make([]byte, 0, 1+10)
+	hdr = append(hdr, chunkMagic)
+	hdr = wire.AppendVarint(hdr, uint64(len(body)))
+	if err := writeFrame(w, hdr); err != nil {
+		return true, err
+	}
+	for off := 0; off < len(body); off += chunkBody {
+		end := off + chunkBody
+		if end > len(body) {
+			end = len(body)
+		}
+		if err := writeFrame(w, body[off:end]); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// readMessage reads one protocol message of at most limit body bytes,
+// reassembling chunk trains. Every continuation frame is validated
+// against the announced total — wrong-sized continuations, totals at or
+// under the single-frame threshold, and totals over the limit are all
+// clean protocol errors.
+func readMessage(r io.Reader, limit int) (body []byte, chunked bool, err error) {
+	if limit > maxFrame {
+		limit = maxFrame
+	}
+	frame, err := readFrame(r, limit)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(frame) == 0 || frame[0] != chunkMagic {
+		return frame, false, nil
+	}
+	total64, n, err := wire.ReadVarint(frame[1:])
+	if err != nil {
+		return nil, true, fmt.Errorf("serve: bad chunk header length: %w", err)
+	}
+	if 1+n != len(frame) {
+		return nil, true, fmt.Errorf("serve: chunk header carries %d trailing bytes", len(frame)-1-n)
+	}
+	if total64 > uint64(limit) {
+		return nil, true, fmt.Errorf("serve: peer announced %d-byte chunked message (limit %d)", total64, limit)
+	}
+	total := int(total64)
+	if total <= chunkBody {
+		return nil, true, fmt.Errorf("serve: chunked message of %d bytes fits one frame (threshold %d)", total, chunkBody)
+	}
+	body = make([]byte, 0, allocStepOf(total))
+	for len(body) < total {
+		want := total - len(body)
+		if want > chunkBody {
+			want = chunkBody
+		}
+		cont, err := readFrame(r, chunkBody)
+		if err != nil {
+			return nil, true, err
+		}
+		if len(cont) != want {
+			return nil, true, fmt.Errorf("serve: chunk continuation of %d bytes, want %d", len(cont), want)
+		}
+		body = append(body, cont...)
+	}
+	return body, true, nil
+}
+
+// allocStepOf bounds an initial buffer allocation to allocStep.
+func allocStepOf(n int) int {
+	if n > allocStep {
+		return allocStep
+	}
+	return n
 }
 
 // appendRequest encodes req onto b.

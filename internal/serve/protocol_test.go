@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"protoacc/internal/pb/codec"
+	"protoacc/internal/pb/dynamic"
+	"protoacc/internal/pb/schema"
+	"protoacc/internal/pb/wire"
+)
+
+// frame prepends a length prefix to body.
+func frame(body []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	return append(hdr[:], body...)
+}
+
+// rawFrame builds a frame whose length prefix lies about the body.
+func rawFrame(announce uint32, body []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], announce)
+	return append(hdr[:], body...)
+}
+
+// A corrupt or hostile stream must produce a clean error from readMessage
+// — never a hang, a huge trusted allocation, or a silently wrong body.
+func TestReadMessageHostileInput(t *testing.T) {
+	chunkHeader := func(total uint64) []byte {
+		return frame(wire.AppendVarint([]byte{chunkMagic}, total))
+	}
+	cases := []struct {
+		name    string
+		input   []byte
+		wantErr bool
+		want    []byte
+	}{
+		{name: "empty frame", input: frame(nil), want: []byte{}},
+		{name: "plain frame", input: frame([]byte{protocolVersion, 9, 9}), want: []byte{protocolVersion, 9, 9}},
+		{name: "truncated header", input: []byte{0, 0}, wantErr: true},
+		{name: "truncated body", input: rawFrame(10, []byte("abc")), wantErr: true},
+		{name: "announce 4GiB", input: rawFrame(0xffffffff, nil), wantErr: true},
+		{name: "announce over limit", input: rawFrame(maxFrame+1, nil), wantErr: true},
+		{name: "chunk header truncated varint", input: frame([]byte{chunkMagic, 0x80}), wantErr: true},
+		{name: "chunk header trailing bytes", input: frame(append(wire.AppendVarint([]byte{chunkMagic}, chunkBody+1), 0xee)), wantErr: true},
+		{name: "chunk total over limit", input: chunkHeader(maxFrame + 1), wantErr: true},
+		{name: "chunk total absurd", input: chunkHeader(1 << 60), wantErr: true},
+		{name: "chunk total fits one frame", input: chunkHeader(chunkBody), wantErr: true},
+		{name: "chunk total zero", input: chunkHeader(0), wantErr: true},
+		{name: "chunk continuation truncated", input: append(chunkHeader(chunkBody+1), rawFrame(chunkBody, []byte("short"))...), wantErr: true},
+		{
+			name: "chunk continuation wrong size",
+			input: append(chunkHeader(chunkBody+10),
+				append(frame(make([]byte, 100)), frame(make([]byte, chunkBody))...)...),
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body, _, err := readMessage(bytes.NewReader(tc.input), maxFrame)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("accepted hostile input, body %d bytes", len(body))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(body, tc.want) {
+				t.Fatalf("body %v, want %v", body, tc.want)
+			}
+		})
+	}
+}
+
+// The caller-supplied limit must bound single frames and reassembled chunk
+// trains alike, below the protocol-wide maxFrame.
+func TestReadMessageCallerLimit(t *testing.T) {
+	const limit = 1 << 10
+	if _, _, err := readMessage(bytes.NewReader(frame(make([]byte, limit+1))), limit); err == nil {
+		t.Error("single frame over the caller limit accepted")
+	}
+	hdr := frame(wire.AppendVarint([]byte{chunkMagic}, limit+chunkBody))
+	if _, _, err := readMessage(bytes.NewReader(hdr), limit); err == nil {
+		t.Error("chunk total over the caller limit accepted")
+	}
+	body, chunked, err := readMessage(bytes.NewReader(frame(make([]byte, limit))), limit)
+	if err != nil || chunked || len(body) != limit {
+		t.Errorf("at-limit frame rejected: %d bytes, chunked=%v, err=%v", len(body), chunked, err)
+	}
+}
+
+// writeMessage/readMessage must round-trip every size class: empty,
+// single-frame, the exact chunking boundary, and multi-chunk trains —
+// with single-frame messages staying byte-identical to the pre-chunking
+// wire format.
+func TestMessageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{0, 1, chunkBody - 1, chunkBody, chunkBody + 1, 2 * chunkBody, 3*chunkBody + 17} {
+		body := make([]byte, n)
+		rng.Read(body)
+		if n > 0 {
+			body[0] = protocolVersion // real messages always start with the version byte
+		}
+		var buf bytes.Buffer
+		wroteChunked, err := writeMessage(&buf, body)
+		if err != nil {
+			t.Fatalf("size %d: %v", n, err)
+		}
+		if wantChunked := n > chunkBody; wroteChunked != wantChunked {
+			t.Errorf("size %d: chunked=%v, want %v", n, wroteChunked, wantChunked)
+		}
+		if !wroteChunked {
+			// Single-frame messages are the legacy format, bit for bit.
+			if !bytes.Equal(buf.Bytes(), frame(body)) {
+				t.Errorf("size %d: single-frame encoding diverges from legacy framing", n)
+			}
+		}
+		got, readChunked, err := readMessage(&buf, maxFrame)
+		if err != nil {
+			t.Fatalf("size %d: %v", n, err)
+		}
+		if readChunked != wroteChunked {
+			t.Errorf("size %d: reader chunked=%v, writer chunked=%v", n, readChunked, wroteChunked)
+		}
+		if !bytes.Equal(got, body) {
+			t.Errorf("size %d: body corrupted in transit", n)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("size %d: %d trailing bytes after message", n, buf.Len())
+		}
+	}
+}
+
+// dialRaw opens a bare TCP connection for speaking malformed bytes at a
+// live server.
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nc
+}
+
+// waitCounter polls an aggregated counter until it reaches want (counting
+// is asynchronous with the connection teardown the client observes).
+func waitCounter(t *testing.T, srv *Server, name string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := srv.AggregatedCounters()[name]
+		if got >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %v, want >= %v", name, got, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A hostile length prefix or unparseable body must terminate only the
+// offending connection — counted under serve/protocol/errors — while the
+// server keeps serving well-formed clients.
+func TestServeTCPHostileFrames(t *testing.T) {
+	srv, addr := startTCP(t, testOptions())
+	defer srv.Close()
+
+	hostile := [][]byte{
+		rawFrame(0xffffffff, nil),                       // 4GiB announcement
+		rawFrame(uint32(srv.readLimit()+1), nil),        // just past the server's limit
+		frame([]byte("this is not a protocol message")), // fails parseRequest
+		frame(nil), // empty body
+	}
+	for i, raw := range hostile {
+		nc := dialRaw(t, addr)
+		if _, err := nc.Write(raw); err != nil {
+			t.Fatalf("hostile write %d: %v", i, err)
+		}
+		// The server must hang up on us.
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		var one [1]byte
+		if _, err := nc.Read(one[:]); err == nil {
+			t.Errorf("hostile frame %d: server kept the connection open", i)
+		}
+		nc.Close()
+		waitCounter(t, srv, "serve/protocol/errors", float64(i+1))
+	}
+
+	// A well-formed client on a fresh connection is unaffected.
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	e := srv.Catalog().Lookup("varint")
+	resp, err := conn.Do(Request{Op: OpDeserialize, Schema: "varint", Payload: e.SamplePayload(0)})
+	if err != nil || resp.Status != StatusOK {
+		t.Fatalf("healthy client after hostile peers: %v %v", err, resp.Status)
+	}
+}
+
+// bigCatalog hosts one schema whose sample payload exceeds chunkBody, so
+// requests and responses must both cross the wire as chunk trains.
+func bigCatalog(t *testing.T, payloadLen int) *Catalog {
+	t.Helper()
+	bigT := mustType("ServeBigString",
+		&schema.Field{Name: "s", Number: 1, Kind: schema.KindString})
+	m := dynamic.New(bigT)
+	b := make([]byte, payloadLen)
+	rng := rand.New(rand.NewSource(7))
+	for i := range b {
+		b[i] = byte(' ' + rng.Intn(95))
+	}
+	m.SetBytes(1, b)
+	payload, err := codec.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) <= chunkBody {
+		t.Fatalf("sample payload %d bytes does not exceed chunkBody %d", len(payload), chunkBody)
+	}
+	cat, err := NewCatalog(&Entry{Name: "big", Type: bigT, payloads: [][]byte{payload}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// Messages larger than one frame must survive the wire chunked — byte
+// verified end to end, with the chunk counters accounting both directions.
+func TestServeTCPChunkedMessages(t *testing.T) {
+	opts := testOptions()
+	opts.MaxPayload = 512 << 10
+	opts.Catalog = bigCatalog(t, 200<<10)
+	srv, addr := startTCP(t, opts)
+	defer srv.Close()
+
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := srv.Catalog().Lookup("big").SamplePayload(0)
+	for i, op := range []Op{OpDeserialize, OpSerialize} {
+		resp, err := conn.Do(Request{Op: op, Schema: "big", Payload: payload})
+		if err != nil {
+			t.Fatalf("op %v: %v", op, err)
+		}
+		if resp.Status != StatusOK {
+			t.Fatalf("op %v: status %v: %s", op, resp.Status, truncate(resp.Payload))
+		}
+		if !bytes.Equal(resp.Payload, payload) {
+			t.Errorf("op %v: chunked response diverges from canonical payload", op)
+		}
+		waitCounter(t, srv, "serve/protocol/chunked_in", float64(i+1))
+		waitCounter(t, srv, "serve/protocol/chunked_out", float64(i+1))
+	}
+	if n := srv.AggregatedCounters()["serve/protocol/errors"]; n != 0 {
+		t.Errorf("chunked traffic counted %v protocol errors", n)
+	}
+}
+
+func truncate(b []byte) string {
+	if len(b) > 80 {
+		b = b[:80]
+	}
+	return fmt.Sprintf("%q", b)
+}

@@ -346,11 +346,11 @@ func TestProtocolRoundTrip(t *testing.T) {
 	if err := writeFrame(&buf, []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	body, err := readFrame(&buf)
+	body, err := readFrame(&buf, maxFrame)
 	if err != nil || string(body) != "hello" {
 		t.Fatalf("frame round-trip: %q %v", body, err)
 	}
-	if _, err := readFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); err == nil {
+	if _, err := readFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff}), maxFrame); err == nil {
 		t.Error("oversized frame announcement accepted")
 	}
 }

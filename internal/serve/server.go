@@ -3,7 +3,9 @@ package serve
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -290,6 +292,8 @@ type stats struct {
 	ok, shed, deadline, bad, errored uint64
 	throttled                        uint64
 	bytesIn, bytesOut                uint64
+	protoErrs                        uint64 // malformed frames/bodies that terminated a connection
+	chunkedIn, chunkedOut            uint64 // messages that crossed the wire as chunk trains
 }
 
 // NewServer builds and starts a Server: one router plus Options.Tiles
@@ -701,6 +705,9 @@ func (s *Server) CollectTelemetry(emit func(name string, value float64)) {
 	emit("responses/throttled", float64(st.throttled))
 	emit("bytes/in", float64(st.bytesIn))
 	emit("bytes/out", float64(st.bytesOut))
+	emit("protocol/errors", float64(st.protoErrs))
+	emit("protocol/chunked_in", float64(st.chunkedIn))
+	emit("protocol/chunked_out", float64(st.chunkedOut))
 	emit("batches", float64(ts.batches))
 	emit("batch_requests", float64(ts.batchRequests))
 	emit("fallbacks/accel", float64(ts.accelFallbacks))
@@ -842,10 +849,32 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// readLimit bounds an inbound message body. It is deliberately looser
+// than MaxPayload: a moderately-oversized payload should still be read,
+// parsed, and answered with a polite StatusBadRequest rather than a
+// slammed connection; only a frame no legitimate client would send (far
+// past any payload the catalog admits) is treated as a protocol error.
+func (s *Server) readLimit() int {
+	return s.opts.MaxPayload*2 + 4096
+}
+
+// noteProtocolError counts a connection terminated for a malformed frame
+// or body. A clean peer disconnect (EOF between messages, or our own
+// Close tearing the socket down) is not a protocol error.
+func (s *Server) noteProtocolError(err error) {
+	if err == nil || err == io.EOF || errors.Is(err, net.ErrClosed) {
+		return
+	}
+	s.mu.Lock()
+	s.stats.protoErrs++
+	s.mu.Unlock()
+}
+
 // serveConn demultiplexes one connection: requests stream in, each is
 // submitted, and a per-connection writer lock serializes the response
-// frames. A framing or parse error terminates the connection (the peer is
-// not speaking the protocol).
+// messages (a chunk train must not interleave). A framing or parse error
+// terminates the connection (the peer is not speaking the protocol) and
+// is counted under serve/protocol/errors.
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		s.connMu.Lock()
@@ -860,12 +889,19 @@ func (s *Server) serveConn(conn net.Conn) {
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
-		body, err := readFrame(conn)
+		body, chunked, err := readMessage(conn, s.readLimit())
 		if err != nil {
+			s.noteProtocolError(err)
 			return
+		}
+		if chunked {
+			s.mu.Lock()
+			s.stats.chunkedIn++
+			s.mu.Unlock()
 		}
 		req, err := parseRequest(body)
 		if err != nil {
+			s.noteProtocolError(err)
 			return
 		}
 		ch := s.submit(client, req)
@@ -874,8 +910,20 @@ func (s *Server) serveConn(conn net.Conn) {
 			defer wg.Done()
 			resp := <-ch
 			writeMu.Lock()
-			defer writeMu.Unlock()
-			writeFrame(conn, appendResponse(nil, &resp))
+			chunked, err := writeMessage(conn, appendResponse(nil, &resp))
+			writeMu.Unlock()
+			if err != nil {
+				// A partial response frame desynchronizes the stream;
+				// drop the connection rather than risk corrupting the
+				// next message.
+				conn.Close()
+				return
+			}
+			if chunked {
+				s.mu.Lock()
+				s.stats.chunkedOut++
+				s.mu.Unlock()
+			}
 		}()
 	}
 }
